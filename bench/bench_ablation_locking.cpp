@@ -1,0 +1,70 @@
+/// \file bench_ablation_locking.cpp
+/// \brief Ablation of the concurrency-control extension: the fixed
+/// GETLOCK-delay model of the paper vs the real 2PL lock manager with
+/// wait-die, across update ratios.  Quantifies what the simpler model
+/// misses (blocking, restarts, tail latency).
+#include <iostream>
+
+#include "desp/random.hpp"
+#include "harness.hpp"
+#include "ocb/workload.hpp"
+#include "voodb/system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace voodb;
+  using namespace voodb::bench;
+  const RunOptions options = ParseOptions(
+      argc, argv, "Ablation — fixed-delay locks vs real 2PL (wait-die)");
+
+  util::TextTable table({"PUPDATE", "Lock model", "Throughput (tps)",
+                         "Restarts", "p50 (ms)", "p99 (ms)"});
+  for (const double p_update : {0.0, 0.2, 0.5}) {
+    ocb::OcbParameters wl;
+    wl.num_classes = 10;
+    wl.num_objects = 1000;
+    wl.p_update = p_update;
+    wl.root_region = 8;
+    const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
+    for (const bool real_locks : {false, true}) {
+      double restarts = 0.0;
+      double p50 = 0.0;
+      double p99 = 0.0;
+      const Estimate tps = Replicate(
+          options.replications, options.seed, [&](uint64_t seed) {
+            core::VoodbConfig cfg;
+            cfg.system_class = core::SystemClass::kCentralized;
+            cfg.buffer_pages = 256;
+            cfg.num_users = 8;
+            cfg.multiprogramming_level = 8;
+            cfg.use_lock_manager = real_locks;
+            core::VoodbSystem sys(cfg, &base, nullptr, seed);
+            ocb::WorkloadGenerator gen(&base,
+                                       desp::RandomStream(seed).Derive(1));
+            const core::PhaseMetrics m =
+                sys.RunTransactions(gen, options.transactions / 2);
+            restarts = static_cast<double>(m.transaction_restarts);
+            const auto& h =
+                sys.transaction_manager().response_histogram();
+            p50 = h.Quantile(0.5);
+            p99 = h.Quantile(0.99);
+            return m.ThroughputTps();
+          });
+      table.AddRow({util::FormatDouble(p_update, 1),
+                    real_locks ? "2PL wait-die" : "fixed delay",
+                    WithCi(tps, 2), util::FormatDouble(restarts, 0),
+                    util::FormatDouble(p50, 1),
+                    util::FormatDouble(p99, 1)});
+    }
+  }
+  std::cout << "== Ablation: lock model ==\n";
+  if (options.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::cout << "Expectation: the models agree on read-only workloads; as "
+               "PUPDATE grows, real locking shows restarts, lower "
+               "throughput and a stretched p99 that the fixed-delay model "
+               "cannot see.\n";
+  return 0;
+}

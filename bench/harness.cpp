@@ -1,0 +1,87 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "desp/random.hpp"
+#include "util/check.hpp"
+
+namespace voodb::bench {
+
+RunOptions ParseOptions(int argc, const char* const* argv,
+                        const std::string& description) {
+  util::CliArgs args(argc, argv);
+  RunOptions options;
+  options.replications =
+      static_cast<uint64_t>(args.GetInt("replications", 10));
+  options.transactions =
+      static_cast<uint64_t>(args.GetInt("transactions", 1000));
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  options.csv = args.GetBool("csv", false);
+  if (args.help_requested()) {
+    std::cout << description << "\n\n"
+              << "Flags:\n"
+                 "  --replications=N  replications per point (default 10;"
+                 " paper used 100)\n"
+                 "  --transactions=N  transactions per replication"
+                 " (default 1000)\n"
+                 "  --seed=N          base RNG seed (default 42)\n"
+                 "  --csv             CSV output\n";
+    std::exit(0);
+  }
+  args.RejectUnknown();
+  VOODB_CHECK_MSG(options.replications >= 2,
+                  "need at least 2 replications for confidence intervals");
+  return options;
+}
+
+Estimate Replicate(uint64_t n, uint64_t base_seed,
+                   const std::function<double(uint64_t)>& model) {
+  desp::Tally tally;
+  uint64_t sm = base_seed;
+  for (uint64_t i = 0; i < n; ++i) {
+    tally.Add(model(desp::SplitMix64(sm)));
+  }
+  Estimate e;
+  e.mean = tally.mean();
+  if (tally.count() >= 2 && tally.stddev() > 0.0) {
+    e.half_width = desp::StudentConfidenceInterval(tally, 0.95).half_width;
+  }
+  return e;
+}
+
+std::string WithCi(const Estimate& e, int precision) {
+  return util::FormatDouble(e.mean, precision) + " ±" +
+         util::FormatDouble(e.half_width, precision);
+}
+
+FigureReport::FigureReport(std::string title, std::string x_label)
+    : title_(std::move(title)),
+      table_({std::move(x_label), "Benchmark(emu)", "Simulation(VOODB)",
+              "Sim/Bench", "Paper bench*", "Paper sim*"}) {}
+
+void FigureReport::AddPoint(const std::string& x, const Estimate& bench,
+                            const Estimate& sim, double paper_bench,
+                            double paper_sim) {
+  table_.AddRow({x, WithCi(bench), WithCi(sim),
+                 util::FormatDouble(bench.mean > 0 ? sim.mean / bench.mean
+                                                   : 0.0,
+                                    3),
+                 util::FormatDouble(paper_bench, 0),
+                 util::FormatDouble(paper_sim, 0)});
+}
+
+void FigureReport::Print(const RunOptions& options) const {
+  std::cout << "== " << title_ << " ==\n";
+  if (options.csv) {
+    table_.PrintCsv(std::cout);
+  } else {
+    table_.Print(std::cout);
+  }
+  std::cout << "(*) paper series read off the published figure; "
+               "approximate.  Shapes, not absolute values, are the "
+               "reproduction target (see EXPERIMENTS.md).\n\n";
+}
+
+}  // namespace voodb::bench

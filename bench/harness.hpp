@@ -1,0 +1,74 @@
+/// \file harness.hpp
+/// \brief Shared machinery for the figure/table reproduction harnesses.
+///
+/// Every bench binary regenerates one figure or table of the paper's
+/// evaluation section (§4).  The "Benchmark" series is produced by the
+/// direct-execution emulators (src/emu), the "Simulation" series by the
+/// VOODB discrete-event model (src/voodb); the paper's own numbers are
+/// embedded for side-by-side comparison (values read off the published
+/// figures are approximate and labelled as such).
+///
+/// Common flags (every harness):
+///   --replications=N   independent replications per point (default 10;
+///                      the paper used 100 — pass --replications=100 to
+///                      match, at ~10x the runtime)
+///   --transactions=N   transactions per replication (default 1000, HOTN)
+///   --seed=N           base RNG seed
+///   --csv              emit CSV instead of an aligned table
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "desp/stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace voodb::bench {
+
+/// Options shared by all harnesses.
+struct RunOptions {
+  uint64_t replications = 10;
+  uint64_t transactions = 1000;
+  uint64_t seed = 42;
+  bool csv = false;
+};
+
+/// Parses the common flags; prints usage and exits on --help.
+RunOptions ParseOptions(int argc, const char* const* argv,
+                        const std::string& description);
+
+/// A replicated estimate: sample mean and 95 % CI half-width.
+struct Estimate {
+  double mean = 0.0;
+  double half_width = 0.0;
+};
+
+/// Runs `model` for `n` replications with derived seeds and aggregates.
+Estimate Replicate(uint64_t n, uint64_t base_seed,
+                   const std::function<double(uint64_t seed)>& model);
+
+/// Formats "mean ±hw".
+std::string WithCi(const Estimate& e, int precision = 1);
+
+/// Prints the standard five-column comparison row layout used by the
+/// figure harnesses and renders the table.
+class FigureReport {
+ public:
+  /// \param x_label the sweep axis ("Instances", "Cache (MB)", ...)
+  FigureReport(std::string title, std::string x_label);
+
+  void AddPoint(const std::string& x, const Estimate& bench,
+                const Estimate& sim, double paper_bench, double paper_sim);
+
+  /// Renders to stdout (aligned text or CSV per options).
+  void Print(const RunOptions& options) const;
+
+ private:
+  std::string title_;
+  util::TextTable table_;
+};
+
+}  // namespace voodb::bench

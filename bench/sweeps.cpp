@@ -1,0 +1,245 @@
+#include "sweeps.hpp"
+
+#include <iostream>
+
+#include "cluster/dstc.hpp"
+#include "desp/random.hpp"
+#include "emu/o2_emulator.hpp"
+#include "emu/texas_emulator.hpp"
+#include "util/check.hpp"
+#include "voodb/catalog.hpp"
+#include "voodb/system.hpp"
+
+namespace voodb::bench {
+
+namespace {
+
+/// The six NO points of Figures 6/7/9/10.
+const std::vector<uint64_t> kInstancePoints = {500,  1000,  2000,
+                                               5000, 10000, 20000};
+/// The six memory points (MB) of Figures 8/11.
+const std::vector<double> kMemoryPoints = {8, 12, 16, 24, 32, 64};
+
+ocb::OcbParameters FigureWorkload(uint32_t num_classes, uint64_t num_objects) {
+  ocb::OcbParameters p;  // Table 5 defaults (PSET..STODEPTH = OCB values)
+  p.num_classes = num_classes;
+  p.num_objects = num_objects;
+  return p;
+}
+
+double RunEmulator(TargetSystem system, const ocb::ObjectBase& base,
+                   double memory_mb, uint64_t transactions, uint64_t seed) {
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed));
+  if (system == TargetSystem::kO2) {
+    emu::O2Config cfg;
+    cfg.cache_pages = static_cast<uint64_t>(memory_mb * 1024 * 1024 / 4096);
+    emu::O2Emulator o2(cfg, &base, seed);
+    return static_cast<double>(o2.RunTransactions(gen, transactions).total_ios);
+  }
+  emu::TexasConfig cfg;
+  cfg.memory_pages = emu::TexasConfig::FramesForMemory(memory_mb, 4096);
+  emu::TexasEmulator texas(cfg, &base, seed);
+  return static_cast<double>(texas.RunTransactions(gen, transactions).total_ios);
+}
+
+double RunSimulation(TargetSystem system, const ocb::ObjectBase& base,
+                     double memory_mb, uint64_t transactions, uint64_t seed) {
+  core::VoodbConfig cfg = system == TargetSystem::kO2
+                              ? core::SystemCatalog::O2WithCache(memory_mb)
+                              : core::SystemCatalog::TexasWithMemory(memory_mb);
+  core::VoodbSystem sys(cfg, &base, nullptr, seed);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed).Derive(1));
+  return static_cast<double>(
+      sys.RunTransactions(gen, transactions).total_ios);
+}
+
+}  // namespace
+
+void RunInstanceSweep(const RunOptions& options, TargetSystem system,
+                      uint32_t num_classes, const char* title,
+                      const std::vector<double>& paper_bench,
+                      const std::vector<double>& paper_sim) {
+  VOODB_CHECK(paper_bench.size() == kInstancePoints.size());
+  VOODB_CHECK(paper_sim.size() == kInstancePoints.size());
+  // Default memory budgets of §4.2.1: O2's 16 MB server cache, Texas' 64 MB
+  // host.
+  const double memory_mb = system == TargetSystem::kO2 ? 16.0 : 64.0;
+  FigureReport report(title, "Instances");
+  for (size_t i = 0; i < kInstancePoints.size(); ++i) {
+    const uint64_t no = kInstancePoints[i];
+    const ocb::ObjectBase base =
+        ocb::ObjectBase::Generate(FigureWorkload(num_classes, no));
+    const Estimate bench =
+        Replicate(options.replications, options.seed, [&](uint64_t seed) {
+          return RunEmulator(system, base, memory_mb, options.transactions,
+                             seed);
+        });
+    const Estimate sim =
+        Replicate(options.replications, options.seed ^ 0x5151,
+                  [&](uint64_t seed) {
+                    return RunSimulation(system, base, memory_mb,
+                                         options.transactions, seed);
+                  });
+    report.AddPoint(std::to_string(no), bench, sim, paper_bench[i],
+                    paper_sim[i]);
+  }
+  report.Print(options);
+}
+
+void RunMemorySweep(const RunOptions& options, TargetSystem system,
+                    const char* title,
+                    const std::vector<double>& paper_bench,
+                    const std::vector<double>& paper_sim) {
+  VOODB_CHECK(paper_bench.size() == kMemoryPoints.size());
+  VOODB_CHECK(paper_sim.size() == kMemoryPoints.size());
+  const ocb::ObjectBase base =
+      ocb::ObjectBase::Generate(FigureWorkload(50, 20000));
+  FigureReport report(title, system == TargetSystem::kO2
+                                 ? "Cache (MB)"
+                                 : "Memory (MB)");
+  for (size_t i = 0; i < kMemoryPoints.size(); ++i) {
+    const double mb = kMemoryPoints[i];
+    const Estimate bench =
+        Replicate(options.replications, options.seed, [&](uint64_t seed) {
+          return RunEmulator(system, base, mb, options.transactions, seed);
+        });
+    const Estimate sim =
+        Replicate(options.replications, options.seed ^ 0x5151,
+                  [&](uint64_t seed) {
+                    return RunSimulation(system, base, mb,
+                                         options.transactions, seed);
+                  });
+    report.AddPoint(util::FormatDouble(mb, 0), bench, sim, paper_bench[i],
+                    paper_sim[i]);
+  }
+  report.Print(options);
+}
+
+namespace {
+
+/// One replication of the DSTC experiment on either path.
+struct DstcRun {
+  double pre = 0.0;
+  double overhead = 0.0;
+  double post = 0.0;
+  double clusters = 0.0;
+  double cluster_size = 0.0;
+  double Gain() const { return post > 0.0 ? pre / post : 0.0; }
+};
+
+ocb::OcbParameters DstcWorkload() {
+  // §4.4: "very characteristic transactions (namely, depth-3 hierarchy
+  // traversals)" in favorable conditions — a hot set of repeatedly
+  // traversed roots over the mid-sized NC=50 / NO=20000 base.
+  ocb::OcbParameters p;
+  p.num_classes = 50;
+  p.num_objects = 20000;
+  p.hierarchy_depth = 3;
+  p.root_region = 30;
+  return p;
+}
+
+DstcRun DstcOnEmulator(const ocb::ObjectBase& base, double memory_mb,
+                       uint64_t transactions, uint64_t seed) {
+  emu::TexasConfig cfg;
+  cfg.memory_pages = emu::TexasConfig::FramesForMemory(memory_mb, 4096);
+  emu::TexasEmulator texas(cfg, &base, seed);
+  texas.SetClusteringPolicy(std::make_unique<cluster::DstcPolicy>());
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed));
+  DstcRun run;
+  run.pre = static_cast<double>(
+      texas
+          .RunTransactionsOfKind(
+              gen, ocb::TransactionKind::kHierarchyTraversal, transactions)
+          .total_ios);
+  const emu::TexasClusteringMetrics cm = texas.PerformClustering();
+  run.overhead = static_cast<double>(cm.overhead_ios);
+  run.clusters = static_cast<double>(cm.num_clusters);
+  run.cluster_size = cm.mean_cluster_size;
+  texas.DropMemory();
+  run.post = static_cast<double>(
+      texas
+          .RunTransactionsOfKind(
+              gen, ocb::TransactionKind::kHierarchyTraversal, transactions)
+          .total_ios);
+  return run;
+}
+
+DstcRun DstcOnSimulation(const ocb::ObjectBase& base, double memory_mb,
+                         uint64_t transactions, uint64_t seed) {
+  core::VoodbConfig cfg = core::SystemCatalog::TexasWithMemory(memory_mb);
+  core::VoodbSystem sys(cfg, &base, std::make_unique<cluster::DstcPolicy>(),
+                        seed);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed).Derive(1));
+  DstcRun run;
+  run.pre = static_cast<double>(
+      sys.RunTransactionsOfKind(gen, ocb::TransactionKind::kHierarchyTraversal,
+                                transactions)
+          .total_ios);
+  const core::ClusteringMetrics cm = sys.TriggerClustering();
+  run.overhead = static_cast<double>(cm.overhead_ios);
+  run.clusters = static_cast<double>(cm.num_clusters);
+  run.cluster_size = cm.mean_cluster_size;
+  sys.DropBuffer();
+  run.post = static_cast<double>(
+      sys.RunTransactionsOfKind(gen, ocb::TransactionKind::kHierarchyTraversal,
+                                transactions)
+          .total_ios);
+  return run;
+}
+
+DstcAggregate Aggregate(const std::vector<DstcRun>& runs) {
+  desp::Tally pre;
+  desp::Tally overhead;
+  desp::Tally post;
+  desp::Tally gain;
+  desp::Tally clusters;
+  desp::Tally size;
+  for (const DstcRun& r : runs) {
+    pre.Add(r.pre);
+    overhead.Add(r.overhead);
+    post.Add(r.post);
+    gain.Add(r.Gain());
+    clusters.Add(r.clusters);
+    size.Add(r.cluster_size);
+  }
+  auto estimate = [](const desp::Tally& t) {
+    Estimate e;
+    e.mean = t.mean();
+    if (t.count() >= 2 && t.stddev() > 0.0) {
+      e.half_width = desp::StudentConfidenceInterval(t, 0.95).half_width;
+    }
+    return e;
+  };
+  DstcAggregate agg;
+  agg.pre = estimate(pre);
+  agg.overhead = estimate(overhead);
+  agg.post = estimate(post);
+  agg.gain = estimate(gain);
+  agg.clusters = estimate(clusters);
+  agg.cluster_size = estimate(size);
+  return agg;
+}
+
+}  // namespace
+
+DstcComparison RunDstcExperiment(const RunOptions& options,
+                                 double memory_mb) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(DstcWorkload());
+  std::vector<DstcRun> bench_runs;
+  std::vector<DstcRun> sim_runs;
+  uint64_t sm = options.seed;
+  for (uint64_t i = 0; i < options.replications; ++i) {
+    const uint64_t seed = desp::SplitMix64(sm);
+    bench_runs.push_back(
+        DstcOnEmulator(base, memory_mb, options.transactions, seed));
+    sim_runs.push_back(
+        DstcOnSimulation(base, memory_mb, options.transactions, seed));
+  }
+  DstcComparison cmp;
+  cmp.bench = Aggregate(bench_runs);
+  cmp.sim = Aggregate(sim_runs);
+  return cmp;
+}
+
+}  // namespace voodb::bench

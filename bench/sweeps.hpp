@@ -1,0 +1,55 @@
+/// \file sweeps.hpp
+/// \brief The actual experiment sweeps behind each figure/table harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace voodb::bench {
+
+/// Which validated system a sweep targets.
+enum class TargetSystem { kO2, kTexas };
+
+/// Figures 6/7 (O2) and 9/10 (Texas): mean number of I/Os as the number
+/// of instances NO varies (500..20000) for a fixed number of classes NC.
+/// `paper_bench` / `paper_sim` carry the paper's series for the six
+/// standard NO points.
+void RunInstanceSweep(const RunOptions& options, TargetSystem system,
+                      uint32_t num_classes, const char* title,
+                      const std::vector<double>& paper_bench,
+                      const std::vector<double>& paper_sim);
+
+/// Figure 8 (O2 cache size) and Figure 11 (Texas main memory): mean
+/// number of I/Os as the memory budget varies (8..64 MB) on the fixed
+/// NC=50 / NO=20000 base.
+void RunMemorySweep(const RunOptions& options, TargetSystem system,
+                    const char* title,
+                    const std::vector<double>& paper_bench,
+                    const std::vector<double>& paper_sim);
+
+/// Tables 6-8: the DSTC experiment.  Runs pure depth-3 hierarchy
+/// traversals over a hot set of roots, triggers DSTC, and measures
+/// pre-clustering usage, clustering overhead, post-clustering usage and
+/// cluster statistics on both the Texas emulator (physical OIDs) and the
+/// VOODB simulation (logical OIDs).
+struct DstcAggregate {
+  Estimate pre;
+  Estimate overhead;
+  Estimate post;
+  Estimate gain;
+  Estimate clusters;
+  Estimate cluster_size;
+};
+
+struct DstcComparison {
+  DstcAggregate bench;
+  DstcAggregate sim;
+};
+
+/// \param memory_mb 64 for the mid-size experiment (Tables 6/7), 8 for
+///   the "large" one (Table 8).
+DstcComparison RunDstcExperiment(const RunOptions& options, double memory_mb);
+
+}  // namespace voodb::bench

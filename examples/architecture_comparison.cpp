@@ -1,0 +1,52 @@
+/// \file architecture_comparison.cpp
+/// \brief "To determine the best architecture for a given purpose" (§5):
+/// instantiates the generic model as each of the four system classes and
+/// sweeps the number of concurrent users, showing how architecture and
+/// network shape throughput and response time while server I/Os stay
+/// identical.
+#include <iostream>
+
+#include "desp/random.hpp"
+#include "ocb/workload.hpp"
+#include "util/table.hpp"
+#include "voodb/system.hpp"
+
+int main() {
+  using namespace voodb;
+
+  ocb::OcbParameters workload;
+  workload.num_classes = 20;
+  workload.num_objects = 3000;
+  workload.think_time_ms = 50.0;  // interactive users
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(workload);
+
+  util::TextTable table({"SYSCLASS", "Users", "Throughput (tps)",
+                         "Response (ms)", "Server I/Os", "Net KiB"});
+  for (const core::SystemClass sysclass :
+       {core::SystemClass::kCentralized, core::SystemClass::kObjectServer,
+        core::SystemClass::kPageServer, core::SystemClass::kDbServer}) {
+    for (const uint32_t users : {1u, 4u, 16u}) {
+      core::VoodbConfig config;
+      config.system_class = sysclass;
+      config.network_throughput_mbps = 1.0;  // Table 3 default LAN
+      config.buffer_pages = 800;
+      config.num_users = users;
+      config.multiprogramming_level = 10;
+      core::VoodbSystem system(config, &base, nullptr, 11);
+      ocb::WorkloadGenerator generator(&base, desp::RandomStream(11));
+      const core::PhaseMetrics m = system.RunTransactions(generator, 600);
+      table.AddRow({ToString(sysclass), std::to_string(users),
+                    util::FormatDouble(m.ThroughputTps(), 1),
+                    util::FormatDouble(m.mean_response_ms, 1),
+                    std::to_string(m.total_ios),
+                    std::to_string(m.network_bytes / 1024)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: server-side I/Os barely move across classes "
+               "(same buffer, same placement), but the bytes a class "
+               "ships — pages vs objects vs results — dominate response "
+               "time on a slow network, and queueing amplifies it as "
+               "users grow.\n";
+  return 0;
+}

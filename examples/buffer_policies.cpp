@@ -1,0 +1,46 @@
+/// \file buffer_policies.cpp
+/// \brief "Adjust the parameters of a buffering technique" (§1): sweeps
+/// the Buffering Manager's replacement policy (PGREP) and buffer size
+/// (BUFFSIZE) on one workload, the classic a-priori tuning question.
+#include <iostream>
+
+#include "desp/random.hpp"
+#include "ocb/workload.hpp"
+#include "util/table.hpp"
+#include "voodb/system.hpp"
+
+int main() {
+  using namespace voodb;
+
+  ocb::OcbParameters workload;
+  workload.num_classes = 20;
+  workload.num_objects = 8000;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(workload);
+
+  util::TextTable table({"PGREP", "BUFFSIZE (pages)", "Mean I/Os",
+                         "Hit rate", "Mean response (ms)"});
+  for (const storage::ReplacementPolicy policy :
+       {storage::ReplacementPolicy::kRandom, storage::ReplacementPolicy::kFifo,
+        storage::ReplacementPolicy::kLfu, storage::ReplacementPolicy::kLru,
+        storage::ReplacementPolicy::kLruK, storage::ReplacementPolicy::kClock,
+        storage::ReplacementPolicy::kGclock}) {
+    for (const uint64_t pages : {100u, 400u}) {
+      core::VoodbConfig config;
+      config.system_class = core::SystemClass::kCentralized;
+      config.page_replacement = policy;
+      config.buffer_pages = pages;
+      config.lru_k = 2;
+      core::VoodbSystem system(config, &base, nullptr, 23);
+      ocb::WorkloadGenerator generator(&base, desp::RandomStream(23));
+      const core::PhaseMetrics m = system.RunTransactions(generator, 800);
+      table.AddRow({ToString(policy), std::to_string(pages),
+                    std::to_string(m.total_ios),
+                    util::FormatDouble(m.HitRate(), 3),
+                    util::FormatDouble(m.mean_response_ms, 2)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: the policy gap narrows as BUFFSIZE grows — "
+               "replacement quality matters most when memory is scarce.\n";
+  return 0;
+}

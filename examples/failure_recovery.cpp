@@ -1,0 +1,67 @@
+/// \file failure_recovery.cpp
+/// \brief The random-hazards extension (paper §5): "observe how the
+/// studied OODB behaves and recovers in critical conditions".  Injects
+/// transient disk faults and full system crashes while a workload runs,
+/// and reports the cost of each hazard class.
+#include <iostream>
+
+#include "desp/random.hpp"
+#include "ocb/workload.hpp"
+#include "util/table.hpp"
+#include "voodb/system.hpp"
+
+int main() {
+  using namespace voodb;
+
+  ocb::OcbParameters workload;
+  workload.num_classes = 10;
+  workload.num_objects = 2000;
+  workload.p_update = 0.2;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(workload);
+
+  struct Scenario {
+    const char* name;
+    double mtbf_ms;
+    double fault_prob;
+  };
+  const Scenario scenarios[] = {
+      {"healthy", 0.0, 0.0},
+      {"flaky disk (2% transient faults)", 0.0, 0.02},
+      {"crashes (MTBF 4 sim-seconds)", 4000.0, 0.0},
+      {"both hazards", 4000.0, 0.02},
+  };
+
+  util::TextTable table({"Scenario", "I/Os", "Sim time (s)", "p99 (ms)",
+                         "Crashes", "Recovery (s)", "Disk faults"});
+  for (const Scenario& s : scenarios) {
+    core::VoodbConfig config;
+    config.system_class = core::SystemClass::kCentralized;
+    config.buffer_pages = 512;
+    config.failure_mtbf_ms = s.mtbf_ms;
+    config.recovery_base_ms = 800.0;
+    config.recovery_per_dirty_page_ms = 3.0;
+    config.disk_fault_prob = s.fault_prob;
+    core::VoodbSystem system(config, &base, nullptr, 37);
+    ocb::WorkloadGenerator generator(&base, desp::RandomStream(37));
+    const core::PhaseMetrics m = system.RunTransactions(generator, 500);
+
+    const auto* injector = system.failure_injector();
+    const auto& h = system.transaction_manager().response_histogram();
+    table.AddRow(
+        {s.name, std::to_string(m.total_ios),
+         util::FormatDouble(m.sim_time_ms / 1000.0, 1),
+         util::FormatDouble(h.Quantile(0.99), 0),
+         std::to_string(injector ? injector->stats().crashes : 0),
+         util::FormatDouble(
+             injector ? injector->stats().total_recovery_ms / 1000.0 : 0.0,
+             2),
+         std::to_string(system.io_subsystem().transient_faults())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: transient faults stretch time without changing "
+               "the I/O count; crashes add both — every crash drops the "
+               "buffer (lost pages must be re-read) and stalls the disk "
+               "for base + per-dirty-page recovery.  Tail latency (p99) "
+               "is the early-warning metric in both cases.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// \file lock_contention.cpp
+/// \brief The concurrency-control extension (paper §5): real object-level
+/// two-phase locks with wait-die deadlock handling, under a write-hot
+/// multi-user workload.  Shows throughput, restart rate and response-time
+/// percentiles as concurrency grows.
+#include <iostream>
+
+#include "desp/random.hpp"
+#include "ocb/workload.hpp"
+#include "util/table.hpp"
+#include "voodb/system.hpp"
+
+int main() {
+  using namespace voodb;
+
+  // A contended workload: hot roots, half the accesses are updates.
+  ocb::OcbParameters workload;
+  workload.num_classes = 10;
+  workload.num_objects = 1000;
+  workload.p_update = 0.5;
+  workload.root_region = 8;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(workload);
+
+  util::TextTable table({"Users", "Throughput (tps)", "Restarts",
+                         "Lock waits", "p50 (ms)", "p95 (ms)", "p99 (ms)"});
+  for (const uint32_t users : {1u, 2u, 4u, 8u, 16u}) {
+    core::VoodbConfig config;
+    config.system_class = core::SystemClass::kCentralized;
+    config.buffer_pages = 256;
+    config.num_users = users;
+    config.multiprogramming_level = users;
+    config.use_lock_manager = true;  // the §5 extension
+    core::VoodbSystem system(config, &base, nullptr, 31);
+    ocb::WorkloadGenerator generator(&base, desp::RandomStream(31));
+    const core::PhaseMetrics m = system.RunTransactions(generator, 400);
+
+    const desp::LogHistogram& h =
+        system.transaction_manager().response_histogram();
+    const core::LockManager* lm = system.transaction_manager().lock_manager();
+    table.AddRow({std::to_string(users),
+                  util::FormatDouble(m.ThroughputTps(), 2),
+                  std::to_string(m.transaction_restarts),
+                  std::to_string(lm->stats().waits),
+                  util::FormatDouble(h.Quantile(0.5), 1),
+                  util::FormatDouble(h.Quantile(0.95), 1),
+                  util::FormatDouble(h.Quantile(0.99), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: wait-die keeps the contended workload live "
+               "(restarts instead of deadlocks), but tail latencies (p99) "
+               "grow much faster than the median as users pile onto the "
+               "hot objects.\n";
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "cluster/dstc.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace voodb::cluster {
+
+namespace {
+inline uint64_t LinkKey(ocb::Oid from, ocb::Oid to) {
+  return (from << 32) | (to & 0xFFFFFFFFULL);
+}
+inline ocb::Oid LinkFrom(uint64_t key) { return key >> 32; }
+inline ocb::Oid LinkTo(uint64_t key) { return key & 0xFFFFFFFFULL; }
+}  // namespace
+
+void DstcParameters::Validate() const {
+  VOODB_CHECK_MSG(observation_period >= 1, "observation period must be >= 1");
+  VOODB_CHECK_MSG(min_object_frequency >= 1, "Tfa must be >= 1");
+  VOODB_CHECK_MSG(min_link_weight >= 1, "Tfc must be >= 1");
+  VOODB_CHECK_MSG(extension_threshold >= min_link_weight,
+                  "Tfe must be >= Tfc");
+  VOODB_CHECK_MSG(max_cluster_size >= 2, "max cluster size must be >= 2");
+}
+
+DstcPolicy::DstcPolicy(DstcParameters params) : params_(params) {
+  params_.Validate();
+}
+
+void DstcPolicy::OnTransactionStart() {
+  in_transaction_ = true;
+  previous_in_txn_ = ocb::kNullOid;
+}
+
+void DstcPolicy::OnObjectAccess(ocb::Oid oid, bool /*is_write*/) {
+  VOODB_CHECK_MSG(oid < (1ULL << 32), "DSTC packs OIDs into 32 bits");
+  ++observed_accesses_;
+  ++frequency_[oid];
+  if (in_transaction_ && previous_in_txn_ != ocb::kNullOid &&
+      previous_in_txn_ != oid) {
+    ++links_[LinkKey(previous_in_txn_, oid)];
+  }
+  previous_in_txn_ = oid;
+}
+
+void DstcPolicy::OnTransactionEnd() {
+  in_transaction_ = false;
+  previous_in_txn_ = ocb::kNullOid;
+  ++observed_transactions_;
+  ++transactions_since_eval_;
+}
+
+bool DstcPolicy::ShouldTrigger() const {
+  if (transactions_since_eval_ < params_.observation_period) return false;
+  // Cheap test: enough strong links collected to justify a reorganization.
+  uint64_t strong = 0;
+  for (const auto& [key, weight] : links_) {
+    if (weight >= params_.min_link_weight) {
+      if (++strong >= params_.trigger_min_links) return true;
+    }
+  }
+  return false;
+}
+
+std::unordered_map<ocb::Oid, std::vector<DstcPolicy::Candidate>>
+DstcPolicy::SelectLinks() const {
+  std::unordered_map<ocb::Oid, std::vector<Candidate>> by_source;
+  for (const auto& [key, weight] : links_) {
+    if (weight < params_.min_link_weight) continue;
+    const ocb::Oid from = LinkFrom(key);
+    const ocb::Oid to = LinkTo(key);
+    const auto f_from = frequency_.find(from);
+    const auto f_to = frequency_.find(to);
+    if (f_from == frequency_.end() ||
+        f_from->second < params_.min_object_frequency ||
+        f_to == frequency_.end() ||
+        f_to->second < params_.min_object_frequency) {
+      continue;
+    }
+    by_source[from].push_back(Candidate{to, weight});
+  }
+  // Deterministic strongest-first order (ties by OID).
+  for (auto& [from, candidates] : by_source) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.target < b.target;
+              });
+  }
+  return by_source;
+}
+
+ClusteringOutcome DstcPolicy::Recluster(const ocb::ObjectBase& base,
+                                        const storage::Placement& current) {
+  auto by_source = SelectLinks();
+
+  // Seed order: hottest objects first (deterministic; ties by OID).
+  std::vector<std::pair<ocb::Oid, uint32_t>> seeds;
+  seeds.reserve(frequency_.size());
+  for (const auto& [oid, freq] : frequency_) {
+    if (freq >= params_.min_object_frequency) seeds.emplace_back(oid, freq);
+  }
+  std::sort(seeds.begin(), seeds.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  std::vector<char> clustered(base.NumObjects(), 0);
+  std::vector<std::vector<ocb::Oid>> clusters;
+  for (const auto& [seed, freq] : seeds) {
+    if (clustered[seed]) continue;
+    // Grow a fragment by repeatedly absorbing the strongest surviving link
+    // out of *any* fragment member (DSTC builds its clustering units from
+    // the whole web of links around the seed, not a single chain).
+    std::vector<ocb::Oid> fragment;
+    fragment.push_back(seed);
+    clustered[seed] = 1;
+    // Max-heap of frontier links: (weight, -order stability via seq).
+    struct Frontier {
+      uint32_t weight;
+      uint64_t seq;
+      ocb::Oid target;
+      bool operator<(const Frontier& o) const {
+        if (weight != o.weight) return weight < o.weight;
+        return seq > o.seq;  // earlier-pushed first among equals
+      }
+    };
+    std::priority_queue<Frontier> frontier;
+    uint64_t seq = 0;
+    auto push_links = [&](ocb::Oid from) {
+      const auto it = by_source.find(from);
+      if (it == by_source.end()) return;
+      for (const Candidate& c : it->second) {
+        if (c.weight < params_.extension_threshold) break;  // sorted desc
+        if (!clustered[c.target]) {
+          frontier.push(Frontier{c.weight, seq++, c.target});
+        }
+      }
+    };
+    push_links(seed);
+    while (fragment.size() < params_.max_cluster_size && !frontier.empty()) {
+      const Frontier f = frontier.top();
+      frontier.pop();
+      if (clustered[f.target]) continue;  // claimed since it was pushed
+      fragment.push_back(f.target);
+      clustered[f.target] = 1;
+      push_links(f.target);
+    }
+    if (fragment.size() >= 2) {
+      clusters.push_back(std::move(fragment));
+    } else {
+      clustered[seed] = 0;  // singleton: stays where it is
+    }
+  }
+
+  ClusteringOutcome outcome = FinalizeOutcome(std::move(clusters), base,
+                                              current);
+  // Statistics are consumed: a new observation phase starts.
+  Reset();
+  return outcome;
+}
+
+void DstcPolicy::Reset() {
+  frequency_.clear();
+  links_.clear();
+  previous_in_txn_ = ocb::kNullOid;
+  in_transaction_ = false;
+  transactions_since_eval_ = 0;
+}
+
+}  // namespace voodb::cluster

@@ -1,0 +1,92 @@
+#include "cluster/gay_gruenwald.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace voodb::cluster {
+
+void GayGruenwaldParameters::Validate() const {
+  VOODB_CHECK_MSG(observation_period >= 1, "observation period must be >= 1");
+  VOODB_CHECK_MSG(min_heat >= 1, "min heat must be >= 1");
+  VOODB_CHECK_MSG(max_cluster_size >= 2, "max cluster size must be >= 2");
+}
+
+GayGruenwaldPolicy::GayGruenwaldPolicy(GayGruenwaldParameters params)
+    : params_(params) {
+  params_.Validate();
+}
+
+void GayGruenwaldPolicy::OnObjectAccess(ocb::Oid oid, bool /*is_write*/) {
+  ++heat_[oid];
+}
+
+void GayGruenwaldPolicy::OnTransactionEnd() { ++transactions_since_eval_; }
+
+bool GayGruenwaldPolicy::ShouldTrigger() const {
+  if (transactions_since_eval_ < params_.observation_period) return false;
+  for (const auto& [oid, h] : heat_) {
+    if (h >= params_.min_heat) return true;
+  }
+  return false;
+}
+
+ClusteringOutcome GayGruenwaldPolicy::Recluster(
+    const ocb::ObjectBase& base, const storage::Placement& current) {
+  std::vector<std::pair<ocb::Oid, uint32_t>> seeds;
+  seeds.reserve(heat_.size());
+  for (const auto& [oid, h] : heat_) {
+    if (h >= params_.min_heat) seeds.emplace_back(oid, h);
+  }
+  std::sort(seeds.begin(), seeds.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  auto heat_of = [this](ocb::Oid oid) -> uint32_t {
+    const auto it = heat_.find(oid);
+    return it == heat_.end() ? 0 : it->second;
+  };
+
+  std::vector<char> clustered(base.NumObjects(), 0);
+  std::vector<std::vector<ocb::Oid>> clusters;
+  for (const auto& [seed, h] : seeds) {
+    if (clustered[seed]) continue;
+    std::vector<ocb::Oid> fragment;
+    std::deque<ocb::Oid> frontier;
+    fragment.push_back(seed);
+    clustered[seed] = 1;
+    frontier.push_back(seed);
+    while (!frontier.empty() &&
+           fragment.size() < params_.max_cluster_size) {
+      const ocb::Oid cursor = frontier.front();
+      frontier.pop_front();
+      for (ocb::Oid ref : base.Object(cursor).references) {
+        if (ref == ocb::kNullOid || clustered[ref]) continue;
+        if (heat_of(ref) < params_.min_heat) continue;
+        fragment.push_back(ref);
+        clustered[ref] = 1;
+        frontier.push_back(ref);
+        if (fragment.size() >= params_.max_cluster_size) break;
+      }
+    }
+    if (fragment.size() >= 2) {
+      clusters.push_back(std::move(fragment));
+    } else {
+      clustered[seed] = 0;
+    }
+  }
+
+  ClusteringOutcome outcome =
+      FinalizeOutcome(std::move(clusters), base, current);
+  Reset();
+  return outcome;
+}
+
+void GayGruenwaldPolicy::Reset() {
+  heat_.clear();
+  transactions_since_eval_ = 0;
+}
+
+}  // namespace voodb::cluster

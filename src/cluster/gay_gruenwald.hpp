@@ -1,0 +1,65 @@
+/// \file gay_gruenwald.hpp
+/// \brief A structural dynamic clustering policy after Gay & Gruenwald.
+///
+/// The VOODB paper's future work (§5) plans to evaluate "the clustering
+/// strategy proposed by [Gay97]" (Gay & Gruenwald, DEXA '97) as a second
+/// interchangeable Clustering Manager module.  This implementation follows
+/// the technique's published outline: it keeps only *per-object* access
+/// heat (much cheaper to maintain than DSTC's pairwise transition
+/// statistics) and groups a hot object with the objects it structurally
+/// references, breadth-first, assuming traversals will follow the schema's
+/// reference graph.  Where the original leaves details open we choose the
+/// simplest deterministic variant and document it here:
+///
+/// * seeds are hot objects in decreasing heat order;
+/// * expansion follows reference slots in declaration order, admitting
+///   only targets whose heat reaches `min_heat`;
+/// * fragments are BFS-ordered and capped at `max_cluster_size`.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cluster/policy.hpp"
+
+namespace voodb::cluster {
+
+/// Tunables of the Gay-Gruenwald-style policy.
+struct GayGruenwaldParameters {
+  /// Transactions between trigger evaluations.
+  uint32_t observation_period = 100;
+  /// Minimum access count for an object to seed or join a cluster.
+  uint32_t min_heat = 2;
+  /// Maximum objects per cluster.
+  uint32_t max_cluster_size = 32;
+
+  void Validate() const;
+};
+
+/// Heat-based structural clustering (see file comment).
+class GayGruenwaldPolicy final : public ClusteringPolicy {
+ public:
+  explicit GayGruenwaldPolicy(GayGruenwaldParameters params = {});
+
+  const char* name() const override { return "GAY_GRUENWALD"; }
+
+  void OnObjectAccess(ocb::Oid oid, bool is_write) override;
+  void OnTransactionEnd() override;
+
+  bool ShouldTrigger() const override;
+
+  ClusteringOutcome Recluster(const ocb::ObjectBase& base,
+                              const storage::Placement& current) override;
+
+  void Reset() override;
+
+  uint64_t TrackedObjects() const { return heat_.size(); }
+  const GayGruenwaldParameters& params() const { return params_; }
+
+ private:
+  GayGruenwaldParameters params_;
+  std::unordered_map<ocb::Oid, uint32_t> heat_;
+  uint64_t transactions_since_eval_ = 0;
+};
+
+}  // namespace voodb::cluster

@@ -1,0 +1,183 @@
+#include "cluster/graph_partitioning.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace voodb::cluster {
+
+namespace {
+
+inline uint64_t EdgeKey(ocb::Oid a, ocb::Oid b) {
+  if (a > b) std::swap(a, b);
+  return (a << 32) | (b & 0xFFFFFFFFULL);
+}
+inline ocb::Oid EdgeA(uint64_t key) { return key >> 32; }
+inline ocb::Oid EdgeB(uint64_t key) { return key & 0xFFFFFFFFULL; }
+
+/// Union-find with per-root byte accounting.
+class UnionFind {
+ public:
+  UnionFind(uint64_t n) : parent_(n), bytes_(n, 0) {
+    for (uint64_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  uint64_t Find(uint64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Merges the sets of a and b when their combined bytes fit `budget`.
+  bool TryUnion(uint64_t a, uint64_t b, uint64_t budget) {
+    const uint64_t ra = Find(a);
+    const uint64_t rb = Find(b);
+    if (ra == rb) return false;
+    if (bytes_[ra] + bytes_[rb] > budget) return false;
+    parent_[rb] = ra;
+    bytes_[ra] += bytes_[rb];
+    return true;
+  }
+  void SetBytes(uint64_t x, uint64_t bytes) { bytes_[x] = bytes; }
+
+ private:
+  std::vector<uint64_t> parent_;
+  std::vector<uint64_t> bytes_;
+};
+
+}  // namespace
+
+void GraphPartitioningParameters::Validate() const {
+  VOODB_CHECK_MSG(observation_period >= 1, "observation period must be >= 1");
+  VOODB_CHECK_MSG(min_edge_weight >= 1, "min edge weight must be >= 1");
+}
+
+GraphPartitioningPolicy::GraphPartitioningPolicy(
+    GraphPartitioningParameters params)
+    : params_(params) {
+  params_.Validate();
+}
+
+void GraphPartitioningPolicy::OnTransactionStart() {
+  previous_in_txn_ = ocb::kNullOid;
+}
+
+void GraphPartitioningPolicy::OnObjectAccess(ocb::Oid oid, bool /*is_write*/) {
+  VOODB_CHECK_MSG(oid < (1ULL << 32), "GGP packs OIDs into 32 bits");
+  ++frequency_[oid];
+  if (previous_in_txn_ != ocb::kNullOid && previous_in_txn_ != oid) {
+    ++edges_[EdgeKey(previous_in_txn_, oid)];
+  }
+  previous_in_txn_ = oid;
+}
+
+void GraphPartitioningPolicy::OnTransactionEnd() {
+  previous_in_txn_ = ocb::kNullOid;
+  ++transactions_since_eval_;
+}
+
+bool GraphPartitioningPolicy::ShouldTrigger() const {
+  if (transactions_since_eval_ < params_.observation_period) return false;
+  for (const auto& [key, weight] : edges_) {
+    if (weight >= params_.min_edge_weight) return true;
+  }
+  return false;
+}
+
+ClusteringOutcome GraphPartitioningPolicy::Recluster(
+    const ocb::ObjectBase& base, const storage::Placement& current) {
+  const uint64_t budget = params_.partition_byte_budget > 0
+                              ? params_.partition_byte_budget
+                              : current.page_size();
+
+  // Surviving edges, heaviest first (ties by key for determinism).
+  struct Edge {
+    uint32_t weight;
+    uint64_t key;
+  };
+  std::vector<Edge> sorted;
+  sorted.reserve(edges_.size());
+  for (const auto& [key, weight] : edges_) {
+    if (weight >= params_.min_edge_weight) sorted.push_back(Edge{weight, key});
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.key < b.key;
+  });
+
+  // Greedy edge merge under the byte budget.
+  UnionFind uf(base.NumObjects());
+  for (ocb::Oid oid = 0; oid < base.NumObjects(); ++oid) {
+    uf.SetBytes(oid, base.Object(oid).size);
+  }
+  std::unordered_map<uint64_t, std::vector<ocb::Oid>> groups;
+  for (const Edge& e : sorted) {
+    uf.TryUnion(EdgeA(e.key), EdgeB(e.key), budget);
+  }
+  // Collect multi-member partitions (touched objects only).
+  for (const auto& [oid, freq] : frequency_) {
+    groups[uf.Find(oid)].push_back(oid);
+  }
+
+  // Order each partition by BFS over the co-access graph from its
+  // hottest member; build the adjacency restricted to the partition.
+  std::vector<std::vector<ocb::Oid>> clusters;
+  for (auto& [root, members] : groups) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end(),
+              [this](ocb::Oid a, ocb::Oid b) {
+                const uint32_t fa = frequency_.at(a);
+                const uint32_t fb = frequency_.at(b);
+                if (fa != fb) return fa > fb;
+                return a < b;
+              });
+    std::unordered_map<ocb::Oid, std::vector<ocb::Oid>> adjacency;
+    for (const Edge& e : sorted) {
+      const ocb::Oid a = EdgeA(e.key);
+      const ocb::Oid b = EdgeB(e.key);
+      if (uf.Find(a) != root || uf.Find(b) != root) continue;
+      adjacency[a].push_back(b);
+      adjacency[b].push_back(a);
+    }
+    std::vector<ocb::Oid> ordered;
+    std::unordered_map<ocb::Oid, bool> visited;
+    std::deque<ocb::Oid> frontier;
+    frontier.push_back(members.front());
+    visited[members.front()] = true;
+    while (!frontier.empty()) {
+      const ocb::Oid cur = frontier.front();
+      frontier.pop_front();
+      ordered.push_back(cur);
+      const auto it = adjacency.find(cur);
+      if (it == adjacency.end()) continue;
+      for (ocb::Oid next : it->second) {
+        if (visited[next]) continue;
+        visited[next] = true;
+        frontier.push_back(next);
+      }
+    }
+    // Unconnected members (merged through other edges) keep heat order.
+    for (ocb::Oid m : members) {
+      if (!visited[m]) ordered.push_back(m);
+    }
+    if (ordered.size() >= 2) clusters.push_back(std::move(ordered));
+  }
+  // Deterministic cluster order: by first member's OID.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+
+  ClusteringOutcome outcome =
+      FinalizeOutcome(std::move(clusters), base, current);
+  Reset();
+  return outcome;
+}
+
+void GraphPartitioningPolicy::Reset() {
+  edges_.clear();
+  frequency_.clear();
+  previous_in_txn_ = ocb::kNullOid;
+  transactions_since_eval_ = 0;
+}
+
+}  // namespace voodb::cluster

@@ -1,0 +1,54 @@
+#include "cluster/policy.hpp"
+
+#include "util/check.hpp"
+
+namespace voodb::cluster {
+
+double ClusteringOutcome::MeanClusterSize() const {
+  if (clusters.empty()) return 0.0;
+  uint64_t total = 0;
+  for (const auto& c : clusters) total += c.size();
+  return static_cast<double>(total) / static_cast<double>(clusters.size());
+}
+
+ClusteringOutcome FinalizeOutcome(
+    std::vector<std::vector<ocb::Oid>> clusters, const ocb::ObjectBase& base,
+    const storage::Placement& current) {
+  ClusteringOutcome outcome;
+  outcome.clusters = std::move(clusters);
+  if (outcome.clusters.empty()) return outcome;
+  outcome.reorganized = true;
+
+  const uint64_t no = base.NumObjects();
+  std::vector<char> in_cluster(no, 0);
+  outcome.new_order.reserve(no);
+  for (const auto& cluster : outcome.clusters) {
+    VOODB_CHECK_MSG(cluster.size() >= 2, "clusters must have >= 2 objects");
+    for (ocb::Oid oid : cluster) {
+      VOODB_CHECK_MSG(oid < no, "cluster oid out of range");
+      VOODB_CHECK_MSG(!in_cluster[oid], "object in two clusters");
+      in_cluster[oid] = 1;
+      outcome.new_order.push_back(oid);
+    }
+  }
+  // Remaining objects keep their current relative order.
+  for (storage::PageId page = 0; page < current.NumPages(); ++page) {
+    for (ocb::Oid oid : current.ObjectsOn(page)) {
+      if (!in_cluster[oid]) outcome.new_order.push_back(oid);
+    }
+  }
+  VOODB_CHECK_MSG(outcome.new_order.size() == no,
+                  "new order must be a permutation of all OIDs");
+
+  // Moved set: exactly the clustered objects.  A logical-OID system
+  // relocates cluster fragments into fresh pages and leaves unclustered
+  // objects where they are; a physical-OID system additionally rewrites
+  // every page to patch references (charged by the host, not here).
+  for (const auto& cluster : outcome.clusters) {
+    outcome.moved_objects.insert(outcome.moved_objects.end(), cluster.begin(),
+                                 cluster.end());
+  }
+  return outcome;
+}
+
+}  // namespace voodb::cluster

@@ -1,0 +1,77 @@
+#include "desp/histogram.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace voodb::desp {
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           uint32_t buckets_per_decade)
+    : log_min_(std::log10(min_value)),
+      log_max_(std::log10(max_value)),
+      buckets_per_decade_(static_cast<double>(buckets_per_decade)) {
+  VOODB_CHECK_MSG(min_value > 0.0, "min_value must be positive");
+  VOODB_CHECK_MSG(max_value > min_value, "max_value must exceed min_value");
+  VOODB_CHECK_MSG(buckets_per_decade >= 1, "need >= 1 bucket per decade");
+  const double decades = log_max_ - log_min_;
+  buckets_.assign(
+      static_cast<size_t>(std::ceil(decades * buckets_per_decade_)) + 1, 0);
+}
+
+void LogHistogram::Add(double value) {
+  tally_.Add(value);
+  if (value <= 0.0 || std::log10(value) < log_min_) {
+    ++underflow_;
+    return;
+  }
+  const double offset = (std::log10(value) - log_min_) * buckets_per_decade_;
+  if (offset >= static_cast<double>(buckets_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++buckets_[static_cast<size_t>(offset)];
+}
+
+double LogHistogram::BucketLower(size_t index) const {
+  return std::pow(10.0, log_min_ + static_cast<double>(index) /
+                                       buckets_per_decade_);
+}
+
+double LogHistogram::BucketUpper(size_t index) const {
+  return BucketLower(index + 1);
+}
+
+double LogHistogram::Quantile(double q) const {
+  VOODB_CHECK_MSG(q > 0.0 && q < 1.0, "quantile must lie in (0, 1)");
+  if (tally_.count() == 0) return 0.0;
+  const double target = q * static_cast<double>(tally_.count());
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) return tally_.min();
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      // Linear interpolation inside the bucket.
+      const double fraction =
+          (target - cumulative) / static_cast<double>(buckets_[i]);
+      const double lo = BucketLower(i);
+      const double hi = BucketUpper(i);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return tally_.max();  // overflow region
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  VOODB_CHECK_MSG(buckets_.size() == other.buckets_.size() &&
+                      log_min_ == other.log_min_ &&
+                      buckets_per_decade_ == other.buckets_per_decade_,
+                  "histograms must share bucketing to merge");
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  tally_.Merge(other.tally_);
+}
+
+}  // namespace voodb::desp

@@ -1,0 +1,59 @@
+/// \file histogram.hpp
+/// \brief Log-scale histogram for latency-like observations.
+///
+/// Response times in a DES span several orders of magnitude (a buffer
+/// hit vs a recovery stall), so buckets are logarithmic: a fixed number
+/// per decade between `min_value` and `max_value`.  Quantiles are
+/// estimated by linear interpolation inside the containing bucket —
+/// adequate for reporting p50/p95/p99 of transaction response times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "desp/stats.hpp"
+
+namespace voodb::desp {
+
+/// A fixed-memory log-bucketed histogram of positive values.
+class LogHistogram {
+ public:
+  /// \param min_value    lower edge of the first bucket (> 0)
+  /// \param max_value    upper edge of the last bucket
+  /// \param buckets_per_decade resolution (relative error ~ 10^(1/n) - 1)
+  explicit LogHistogram(double min_value = 0.01, double max_value = 1e8,
+                        uint32_t buckets_per_decade = 20);
+
+  /// Records one observation.  Values below/above the range land in
+  /// dedicated underflow/overflow buckets (still counted in moments).
+  void Add(double value);
+
+  /// Estimated q-quantile (q in (0, 1)); exact moments are tracked
+  /// separately.  Returns 0 when empty.
+  double Quantile(double q) const;
+
+  uint64_t count() const { return tally_.count(); }
+  double mean() const { return tally_.mean(); }
+  double min() const { return tally_.min(); }
+  double max() const { return tally_.max(); }
+  double stddev() const { return tally_.stddev(); }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+
+  /// Merges another histogram with identical bucketing.
+  void Merge(const LogHistogram& other);
+
+ private:
+  double BucketLower(size_t index) const;
+  double BucketUpper(size_t index) const;
+
+  double log_min_;
+  double log_max_;
+  double buckets_per_decade_;
+  std::vector<uint64_t> buckets_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  Tally tally_;
+};
+
+}  // namespace voodb::desp

@@ -1,0 +1,82 @@
+#include "desp/replication.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "desp/random.hpp"
+#include "util/check.hpp"
+
+namespace voodb::desp {
+
+void MetricSink::Observe(const std::string& name, double value) {
+  VOODB_CHECK_MSG(values_.emplace(name, value).second,
+                  "metric '" << name << "' observed twice in one replication");
+}
+
+const Tally& ReplicationResult::Metric(const std::string& name) const {
+  const auto it = tallies_.find(name);
+  VOODB_CHECK_MSG(it != tallies_.end(), "unknown metric '" << name << "'");
+  return it->second;
+}
+
+bool ReplicationResult::HasMetric(const std::string& name) const {
+  return tallies_.count(name) != 0;
+}
+
+std::vector<std::string> ReplicationResult::MetricNames() const {
+  std::vector<std::string> names;
+  names.reserve(tallies_.size());
+  for (const auto& [name, tally] : tallies_) names.push_back(name);
+  return names;
+}
+
+ConfidenceInterval ReplicationResult::Interval(const std::string& name,
+                                               double level) const {
+  return StudentConfidenceInterval(Metric(name), level);
+}
+
+ReplicationRunner::ReplicationRunner(Model model, uint64_t base_seed)
+    : model_(std::move(model)), base_seed_(base_seed) {
+  VOODB_CHECK_MSG(static_cast<bool>(model_), "model must be callable");
+}
+
+ReplicationResult ReplicationRunner::Run(uint64_t n) const {
+  VOODB_CHECK_MSG(n >= 1, "need at least one replication");
+  ReplicationResult result;
+  uint64_t sm = base_seed_;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t seed = SplitMix64(sm);
+    MetricSink sink;
+    model_(seed, sink);
+    for (const auto& [name, value] : sink.values()) {
+      result.tallies_[name].Add(value);
+    }
+    ++result.replications_;
+  }
+  return result;
+}
+
+ReplicationResult ReplicationRunner::RunToPrecision(const std::string& metric,
+                                                    double relative_precision,
+                                                    uint64_t pilot_n,
+                                                    uint64_t max_n,
+                                                    double level) const {
+  VOODB_CHECK_MSG(relative_precision > 0.0,
+                  "relative precision must be positive");
+  VOODB_CHECK_MSG(pilot_n >= 2 && pilot_n <= max_n,
+                  "need 2 <= pilot_n <= max_n");
+  const ReplicationResult pilot = Run(pilot_n);
+  const ConfidenceInterval ci = pilot.Interval(metric, level);
+  const double target = relative_precision * std::abs(ci.mean);
+  uint64_t n = pilot_n;
+  if (target > 0.0 && ci.half_width > target) {
+    n = pilot_n + AdditionalReplications(pilot_n, ci.half_width, target);
+  }
+  n = std::min(n, max_n);
+  // Re-run from scratch so the final estimate uses independent seeds in a
+  // single pass (the paper likewise reports the full-run statistics).
+  return Run(n);
+}
+
+}  // namespace voodb::desp

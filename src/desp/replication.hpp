@@ -1,0 +1,80 @@
+/// \file replication.hpp
+/// \brief Independent-replication experiment runner (paper §4.2.2).
+///
+/// The VOODB paper runs every experiment as 100 independent replications
+/// and reports the sample mean with a 95 % Student-t confidence interval,
+/// after a pilot study of n = 10 sized via n* = n.(h/h*)^2.  This runner
+/// packages that protocol: a *model* is any callable that maps a
+/// replication seed to a set of named metric observations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "desp/stats.hpp"
+
+namespace voodb::desp {
+
+/// Collects named scalar observations from one replication.
+class MetricSink {
+ public:
+  /// Records one value for `name` (one call per replication per metric).
+  void Observe(const std::string& name, double value);
+
+  const std::map<std::string, double>& values() const { return values_; }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Aggregated results of a replicated experiment.
+class ReplicationResult {
+ public:
+  /// Per-metric tallies across replications.
+  const Tally& Metric(const std::string& name) const;
+  bool HasMetric(const std::string& name) const;
+  std::vector<std::string> MetricNames() const;
+
+  /// Student-t CI for a metric at `level`.
+  ConfidenceInterval Interval(const std::string& name,
+                              double level = 0.95) const;
+
+  uint64_t replications() const { return replications_; }
+
+ private:
+  friend class ReplicationRunner;
+  std::map<std::string, Tally> tallies_;
+  uint64_t replications_ = 0;
+};
+
+/// Runs a model for n independent replications with derived seeds.
+class ReplicationRunner {
+ public:
+  /// A model maps (seed, sink) to observations; it must be deterministic
+  /// in the seed.
+  using Model = std::function<void(uint64_t seed, MetricSink& sink)>;
+
+  explicit ReplicationRunner(Model model, uint64_t base_seed = 42);
+
+  /// Runs `n` replications (seeds derived from base_seed) and aggregates.
+  ReplicationResult Run(uint64_t n) const;
+
+  /// The paper's protocol: pilot of `pilot_n`, then enough additional
+  /// replications that `metric`'s CI half-width is within
+  /// `relative_precision` of its mean (e.g. 0.05 for "within 5 % of the
+  /// sample mean with 95 % confidence"), capped at `max_n`.
+  ReplicationResult RunToPrecision(const std::string& metric,
+                                   double relative_precision,
+                                   uint64_t pilot_n = 10,
+                                   uint64_t max_n = 100,
+                                   double level = 0.95) const;
+
+ private:
+  Model model_;
+  uint64_t base_seed_;
+};
+
+}  // namespace voodb::desp

@@ -1,0 +1,107 @@
+#include "desp/resource.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace voodb::desp {
+
+const char* ToString(QueueDiscipline d) {
+  switch (d) {
+    case QueueDiscipline::kFifo:
+      return "FIFO";
+    case QueueDiscipline::kLifo:
+      return "LIFO";
+    case QueueDiscipline::kPriority:
+      return "PRIORITY";
+  }
+  return "?";
+}
+
+Resource::Resource(Scheduler* scheduler, std::string name, uint64_t capacity,
+                   QueueDiscipline discipline)
+    : scheduler_(scheduler),
+      name_(std::move(name)),
+      capacity_(capacity),
+      discipline_(discipline),
+      busy_stat_(scheduler->Now(), 0.0),
+      queue_stat_(scheduler->Now(), 0.0) {
+  VOODB_CHECK_MSG(capacity_ >= 1, "resource '" << name_
+                                               << "' needs capacity >= 1");
+}
+
+void Resource::Acquire(Grant on_grant, double priority) {
+  VOODB_CHECK_MSG(static_cast<bool>(on_grant),
+                  "Acquire needs a grant continuation");
+  Waiter w{std::move(on_grant), priority, scheduler_->Now(), next_seq_++};
+  if (busy_ < capacity_) {
+    GrantTo(std::move(w));
+    return;
+  }
+  queue_.push_back(std::move(w));
+  queue_stat_.Update(scheduler_->Now(), static_cast<double>(queue_.size()));
+}
+
+void Resource::Release() {
+  VOODB_CHECK_MSG(busy_ > 0, "Release on idle resource '" << name_ << "'");
+  --busy_;
+  busy_stat_.Update(scheduler_->Now(), static_cast<double>(busy_));
+  if (!queue_.empty()) PopAndGrant();
+}
+
+void Resource::AcquireFor(SimTime service_time, Grant on_done,
+                          double priority) {
+  VOODB_CHECK_MSG(service_time >= 0.0, "service time must be non-negative");
+  Acquire(
+      [this, service_time, on_done = std::move(on_done)]() mutable {
+        scheduler_->Schedule(service_time,
+                             [this, on_done = std::move(on_done)]() {
+                               Release();
+                               if (on_done) on_done();
+                             });
+      },
+      priority);
+}
+
+double Resource::Utilization() const {
+  return busy_stat_.TimeAverage(scheduler_->Now()) /
+         static_cast<double>(capacity_);
+}
+
+double Resource::MeanQueueLength() const {
+  return queue_stat_.TimeAverage(scheduler_->Now());
+}
+
+void Resource::GrantTo(Waiter waiter) {
+  ++busy_;
+  ++grants_;
+  busy_stat_.Update(scheduler_->Now(), static_cast<double>(busy_));
+  wait_times_.Add(scheduler_->Now() - waiter.enqueued_at);
+  // Run the continuation as an event so grants never grow the call stack.
+  scheduler_->Schedule(0.0, std::move(waiter.on_grant));
+}
+
+void Resource::PopAndGrant() {
+  auto it = queue_.begin();
+  switch (discipline_) {
+    case QueueDiscipline::kFifo:
+      break;
+    case QueueDiscipline::kLifo:
+      it = std::prev(queue_.end());
+      break;
+    case QueueDiscipline::kPriority:
+      it = std::max_element(queue_.begin(), queue_.end(),
+                            [](const Waiter& a, const Waiter& b) {
+                              if (a.priority != b.priority) {
+                                return a.priority < b.priority;
+                              }
+                              return a.seq > b.seq;  // FIFO among equals
+                            });
+      break;
+  }
+  Waiter w = std::move(*it);
+  queue_.erase(it);
+  queue_stat_.Update(scheduler_->Now(), static_cast<double>(queue_.size()));
+  GrantTo(std::move(w));
+}
+
+}  // namespace voodb::desp

@@ -1,0 +1,91 @@
+#include "desp/scheduler.hpp"
+
+#include <utility>
+
+namespace voodb::desp {
+
+bool EventHandle::pending() const {
+  return state_ != nullptr && !state_->cancelled && !state_->fired;
+}
+
+bool Scheduler::Compare::operator()(const QueueEntry& a,
+                                    const QueueEntry& b) const {
+  // std::priority_queue is a max-heap; we want the *smallest* time first,
+  // then the highest priority, then the lowest sequence number.
+  if (a.state->time != b.state->time) return a.state->time > b.state->time;
+  if (a.state->priority != b.state->priority) {
+    return a.state->priority < b.state->priority;
+  }
+  return a.state->seq > b.state->seq;
+}
+
+EventHandle Scheduler::Schedule(SimTime delay, Action action, int priority) {
+  VOODB_CHECK_MSG(delay >= 0.0, "cannot schedule into the past (delay="
+                                    << delay << ")");
+  return ScheduleAt(now_ + delay, std::move(action), priority);
+}
+
+EventHandle Scheduler::ScheduleAt(SimTime when, Action action, int priority) {
+  VOODB_CHECK_MSG(when >= now_, "cannot schedule into the past (when="
+                                    << when << ", now=" << now_ << ")");
+  VOODB_CHECK_MSG(static_cast<bool>(action), "event action must be callable");
+  auto state = std::make_shared<EventHandle::State>();
+  state->time = when;
+  state->priority = priority;
+  state->seq = next_seq_++;
+  state->action = std::move(action);
+  queue_.push(QueueEntry{state});
+  ++pending_;
+  EventHandle handle;
+  handle.state_ = std::move(state);
+  return handle;
+}
+
+bool Scheduler::Cancel(EventHandle& handle) {
+  if (!handle.pending()) return false;
+  handle.state_->cancelled = true;
+  handle.state_->action = nullptr;  // release captured resources eagerly
+  --pending_;
+  return true;
+}
+
+bool Scheduler::Step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (entry.state->cancelled) continue;
+    --pending_;
+    now_ = entry.state->time;
+    entry.state->fired = true;
+    Action action = std::move(entry.state->action);
+    entry.state->action = nullptr;
+    ++executed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+}
+
+void Scheduler::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek past cancelled entries.
+    while (!queue_.empty() && queue_.top().state->cancelled) {
+      queue_.pop();
+    }
+    if (queue_.empty()) break;
+    if (queue_.top().state->time > deadline) {
+      now_ = deadline;
+      return;
+    }
+    Step();
+  }
+}
+
+}  // namespace voodb::desp

@@ -1,0 +1,95 @@
+#include "desp/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/special_functions.hpp"
+
+namespace voodb::desp {
+
+void Tally::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Tally::Merge(const Tally& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Tally::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Tally::stddev() const { return std::sqrt(variance()); }
+
+TimeWeighted::TimeWeighted(double start_time, double start_value)
+    : start_time_(start_time),
+      last_time_(start_time),
+      value_(start_value),
+      max_(start_value) {}
+
+void TimeWeighted::Update(double now, double value) {
+  VOODB_CHECK_MSG(now >= last_time_,
+                  "TimeWeighted updates must be chronological");
+  integral_ += value_ * (now - last_time_);
+  last_time_ = now;
+  value_ = value;
+  max_ = std::max(max_, value);
+}
+
+double TimeWeighted::TimeAverage(double now) const {
+  const double elapsed = now - start_time_;
+  if (elapsed <= 0.0) return value_;
+  const double total = integral_ + value_ * (now - last_time_);
+  return total / elapsed;
+}
+
+ConfidenceInterval StudentConfidenceInterval(const Tally& tally,
+                                             double level) {
+  VOODB_CHECK_MSG(tally.count() >= 2,
+                  "confidence interval needs at least 2 observations");
+  VOODB_CHECK_MSG(level > 0.0 && level < 1.0,
+                  "confidence level must lie in (0, 1)");
+  const double n = static_cast<double>(tally.count());
+  const double alpha = 1.0 - level;
+  const double t =
+      util::StudentTQuantile(1.0 - alpha / 2.0, n - 1.0);
+  ConfidenceInterval ci;
+  ci.mean = tally.mean();
+  ci.half_width = t * tally.stddev() / std::sqrt(n);
+  ci.level = level;
+  return ci;
+}
+
+uint64_t AdditionalReplications(uint64_t pilot_n, double pilot_half_width,
+                                double target_half_width) {
+  VOODB_CHECK_MSG(pilot_n >= 2, "pilot study needs at least 2 replications");
+  VOODB_CHECK_MSG(target_half_width > 0.0,
+                  "target half-width must be positive");
+  if (pilot_half_width <= target_half_width) return 0;
+  const double ratio = pilot_half_width / target_half_width;
+  const double total = static_cast<double>(pilot_n) * ratio * ratio;
+  const double extra = std::ceil(total - static_cast<double>(pilot_n));
+  return extra <= 0.0 ? 0 : static_cast<uint64_t>(extra);
+}
+
+}  // namespace voodb::desp

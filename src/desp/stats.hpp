@@ -1,0 +1,95 @@
+/// \file stats.hpp
+/// \brief Observation and time-weighted statistics collectors.
+///
+/// DESP-C++ computes confidence intervals "by default" (VOODB paper,
+/// §4.2.2); these collectors are the building blocks.  `Tally` accumulates
+/// independent observations (Welford's algorithm), `TimeWeighted`
+/// integrates a piecewise-constant signal over simulated time (queue
+/// lengths, busy servers), and `StudentConfidenceInterval` implements the
+/// paper's h = t(n-1, 1-alpha/2) * sigma / sqrt(n) recipe.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace voodb::desp {
+
+/// Accumulates independent observations; O(1) memory.
+class Tally {
+ public:
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Merges another tally into this one (parallel-combinable Welford).
+  void Merge(const Tally& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return count_ == 0 ? 0.0 : mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Integrates a piecewise-constant signal over time.
+///
+/// Call `Update(now, v)` whenever the signal changes to value `v`; the
+/// interval since the previous update is weighted by the previous value.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(double start_time = 0.0, double start_value = 0.0);
+
+  /// Records that the signal takes value `value` from time `now` on.
+  void Update(double now, double value);
+
+  /// Time-average of the signal over [start, now].
+  double TimeAverage(double now) const;
+
+  double current() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double start_time_;
+  double last_time_;
+  double value_;
+  double integral_ = 0.0;
+  double max_;
+};
+
+/// A two-sided confidence interval: mean ± half_width at `level`.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double level = 0.95;
+
+  double lower() const { return mean - half_width; }
+  double upper() const { return mean + half_width; }
+  /// True when `value` lies inside the interval.
+  bool Contains(double value) const {
+    return value >= lower() && value <= upper();
+  }
+};
+
+/// Student-t confidence interval for the mean of `tally` (paper §4.2.2).
+/// Requires at least two observations.
+ConfidenceInterval StudentConfidenceInterval(const Tally& tally,
+                                             double level = 0.95);
+
+/// The paper's pilot-study rule: given a pilot of `pilot_n` replications
+/// with half-width `pilot_half_width`, returns the number of *additional*
+/// replications n* = n.(h/h*)^2 - n needed to reach `target_half_width`
+/// (rounded up, never negative).
+uint64_t AdditionalReplications(uint64_t pilot_n, double pilot_half_width,
+                                double target_half_width);
+
+}  // namespace voodb::desp

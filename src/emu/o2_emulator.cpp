@@ -1,0 +1,72 @@
+#include "emu/o2_emulator.hpp"
+
+#include "util/check.hpp"
+
+namespace voodb::emu {
+
+O2Emulator::O2Emulator(O2Config config, const ocb::ObjectBase* base,
+                       uint64_t seed)
+    : config_(config),
+      base_(base),
+      placement_(storage::Placement::Build(*base, config.page_size,
+                                           config.placement,
+                                           config.storage_overhead)) {
+  VOODB_CHECK_MSG(base_ != nullptr, "emulator needs an object base");
+  cache_ = std::make_unique<storage::BufferManager>(
+      config_.cache_pages, config_.replacement, desp::RandomStream(seed));
+}
+
+core::PhaseMetrics O2Emulator::RunTransactions(ocb::WorkloadGenerator& workload,
+                                               uint64_t n) {
+  return Drive(workload, nullptr, n);
+}
+
+core::PhaseMetrics O2Emulator::RunTransactionsOfKind(
+    ocb::WorkloadGenerator& workload, ocb::TransactionKind kind, uint64_t n) {
+  return Drive(workload, &kind, n);
+}
+
+core::PhaseMetrics O2Emulator::Drive(ocb::WorkloadGenerator& workload,
+                                     const ocb::TransactionKind* forced,
+                                     uint64_t n) {
+  const storage::BufferStats before = cache_->stats();
+  const uint64_t reads_before = reads_;
+  const uint64_t writes_before = writes_;
+  const uint64_t accesses_before = accesses_;
+  core::PhaseMetrics m;
+  for (uint64_t i = 0; i < n; ++i) {
+    const ocb::Transaction txn = forced != nullptr
+                                     ? workload.NextOfKind(*forced)
+                                     : workload.Next();
+    for (const ocb::ObjectAccess& access : txn.accesses) {
+      AccessObject(access.oid, access.is_write);
+    }
+    ++m.transactions;
+  }
+  const storage::BufferStats after = cache_->stats();
+  m.object_accesses = accesses_ - accesses_before;
+  m.reads = reads_ - reads_before;
+  m.writes = writes_ - writes_before;
+  m.total_ios = m.reads + m.writes;
+  m.buffer_hits = after.hits - before.hits;
+  m.buffer_requests = after.accesses - before.accesses;
+  return m;
+}
+
+void O2Emulator::AccessObject(ocb::Oid oid, bool write) {
+  ++accesses_;
+  const storage::PageSpan span = placement_.SpanOf(oid);
+  for (uint32_t i = 0; i < span.count; ++i) {
+    const storage::AccessOutcome outcome =
+        cache_->Access(span.first + i, write);
+    for (const storage::PageIo& io : outcome.ios) {
+      if (io.kind == storage::PageIo::Kind::kRead) {
+        ++reads_;
+      } else {
+        ++writes_;
+      }
+    }
+  }
+}
+
+}  // namespace voodb::emu

@@ -1,0 +1,69 @@
+/// \file o2_emulator.hpp
+/// \brief Direct-execution emulator of the O2 page server.
+///
+/// Stand-in for the real O2 v5.0 installation of the paper's validation
+/// experiments (§4.2.1) — see DESIGN.md for the substitution rationale.
+/// The emulator *executes* the OCB workload against a functional page
+/// server: logical OIDs resolved through the placement, a server page
+/// cache with LRU replacement, and a disk that only counts I/Os (the
+/// "Benchmark" series of Figures 6-8 reports mean numbers of I/Os, not
+/// times).  No discrete-event machinery is involved; this is the
+/// reference the VOODB simulation is validated against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "desp/random.hpp"
+#include "ocb/object_base.hpp"
+#include "ocb/workload.hpp"
+#include "storage/buffer_manager.hpp"
+#include "storage/placement.hpp"
+#include "voodb/metrics.hpp"
+
+namespace voodb::emu {
+
+/// Configuration of the emulated O2 server.
+struct O2Config {
+  uint32_t page_size = 4096;
+  uint64_t cache_pages = 3840;  ///< 16 MB server cache (default install)
+  storage::ReplacementPolicy replacement = storage::ReplacementPolicy::kLru;
+  storage::PlacementPolicy placement =
+      storage::PlacementPolicy::kOptimizedSequential;
+  /// O2's storage overhead (the NC=50/NO=20000 base occupies ~28 MB).
+  double storage_overhead = 1.33;
+};
+
+/// The emulated O2 server.
+class O2Emulator {
+ public:
+  O2Emulator(O2Config config, const ocb::ObjectBase* base, uint64_t seed);
+
+  /// Executes `n` transactions from `workload`; returns the phase's
+  /// counters (sim_time_ms is always 0 — the emulator does not model
+  /// time).
+  core::PhaseMetrics RunTransactions(ocb::WorkloadGenerator& workload,
+                                     uint64_t n);
+  core::PhaseMetrics RunTransactionsOfKind(ocb::WorkloadGenerator& workload,
+                                           ocb::TransactionKind kind,
+                                           uint64_t n);
+
+  /// Database size on disk.
+  uint64_t NumPages() const { return placement_.NumPages(); }
+  const storage::BufferManager& cache() const { return *cache_; }
+
+ private:
+  core::PhaseMetrics Drive(ocb::WorkloadGenerator& workload,
+                           const ocb::TransactionKind* forced, uint64_t n);
+  void AccessObject(ocb::Oid oid, bool write);
+
+  O2Config config_;
+  const ocb::ObjectBase* base_;
+  storage::Placement placement_;
+  std::unique_ptr<storage::BufferManager> cache_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t accesses_ = 0;
+};
+
+}  // namespace voodb::emu

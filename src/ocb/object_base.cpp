@@ -1,0 +1,97 @@
+#include "ocb/object_base.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace voodb::ocb {
+
+ObjectBase ObjectBase::Generate(const OcbParameters& params) {
+  params.Validate();
+  ObjectBase base;
+  base.params_ = params;
+  desp::RandomStream root_stream(params.seed);
+  base.schema_ = Schema::Generate(params, root_stream.Derive(1));
+  desp::RandomStream ref_stream = root_stream.Derive(2);
+
+  const uint64_t no = params.num_objects;
+  const uint32_t nc = params.num_classes;
+  base.objects_.resize(no);
+  base.instances_per_class_.assign(nc, 0);
+
+  // Instances are assigned to classes round-robin: object i belongs to
+  // class (i mod NC).  This populates every class evenly and — because a
+  // class's instances all share one residue — lets reference generation
+  // snap a locality-window candidate to the demanded target class in O(1).
+  for (Oid i = 0; i < no; ++i) {
+    ObjectDef& obj = base.objects_[i];
+    obj.id = i;
+    obj.cls = static_cast<ClassId>(i % nc);
+    const ClassDef& cls = base.schema_.Class(obj.cls);
+    obj.size = cls.instance_size;
+    base.total_bytes_ += obj.size;
+    ++base.instances_per_class_[obj.cls];
+    obj.references.assign(cls.references.size(), kNullOid);
+  }
+
+  const auto window_limit = static_cast<int64_t>(
+      std::min<uint64_t>(params.object_locality, no));
+  for (Oid i = 0; i < no; ++i) {
+    ObjectDef& obj = base.objects_[i];
+    const ClassDef& cls = base.schema_.Class(obj.cls);
+    for (size_t slot = 0; slot < obj.references.size(); ++slot) {
+      const ClassId target_class = cls.references[slot].target_class;
+      if (base.instances_per_class_[target_class] == 0) continue;  // dangling
+      int64_t offset = 0;
+      switch (params.reference_distribution) {
+        case Distribution::kUniform:
+          offset = ref_stream.UniformInt(0, window_limit - 1);
+          break;
+        case Distribution::kZipf:
+          offset = ref_stream.Zipf(window_limit, params.zipf_skew);
+          break;
+        case Distribution::kNormal: {
+          const double raw = ref_stream.Normal(
+              0.0, static_cast<double>(window_limit) / 4.0);
+          offset = static_cast<int64_t>(std::llround(std::fabs(raw))) %
+                   window_limit;
+          break;
+        }
+      }
+      // Candidate inside the locality window, snapped to the residue of
+      // the demanded class (round-robin assignment, see above).
+      const uint64_t candidate = (i + static_cast<uint64_t>(offset)) % no;
+      uint64_t snapped =
+          candidate - (candidate % nc) + target_class;
+      if (snapped >= no) {
+        snapped = target_class;  // wrap to the first instance of the class
+      }
+      obj.references[slot] = snapped;
+    }
+  }
+  return base;
+}
+
+const ObjectDef& ObjectBase::Object(Oid oid) const {
+  VOODB_CHECK_MSG(oid < objects_.size(), "oid " << oid << " out of range");
+  return objects_[oid];
+}
+
+uint64_t ObjectBase::InstancesOf(ClassId c) const {
+  VOODB_CHECK_MSG(c < instances_per_class_.size(),
+                  "class id " << c << " out of range");
+  return instances_per_class_[c];
+}
+
+double ObjectBase::MeanFanout() const {
+  if (objects_.empty()) return 0.0;
+  uint64_t refs = 0;
+  for (const auto& obj : objects_) {
+    for (Oid r : obj.references) {
+      if (r != kNullOid) ++refs;
+    }
+  }
+  return static_cast<double>(refs) / static_cast<double>(objects_.size());
+}
+
+}  // namespace voodb::ocb

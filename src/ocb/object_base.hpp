@@ -1,0 +1,59 @@
+/// \file object_base.hpp
+/// \brief The OCB object base: instances and their reference graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "desp/random.hpp"
+#include "ocb/parameters.hpp"
+#include "ocb/schema.hpp"
+#include "ocb/types.hpp"
+
+namespace voodb::ocb {
+
+/// One object instance.
+struct ObjectDef {
+  Oid id = kNullOid;
+  ClassId cls = 0;
+  uint32_t size = 0;
+  /// Reference slots; parallel to the class's reference attributes.
+  /// Slots may be kNullOid (dangling).
+  std::vector<Oid> references;
+};
+
+/// The generated object base (schema + instances).
+///
+/// Instances are assigned to classes round-robin so every class is
+/// populated; reference targets respect the OLOCREF locality window and
+/// point to instances of the slot's target class wherever possible.
+class ObjectBase {
+ public:
+  /// Generates a base; deterministic in `params.seed`.
+  static ObjectBase Generate(const OcbParameters& params);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<ObjectDef>& objects() const { return objects_; }
+  const ObjectDef& Object(Oid oid) const;
+  uint64_t NumObjects() const { return objects_.size(); }
+
+  /// Sum of instance sizes (bytes), i.e. the payload size of the base.
+  uint64_t TotalBytes() const { return total_bytes_; }
+
+  /// Number of instances of class `c`.
+  uint64_t InstancesOf(ClassId c) const;
+
+  /// Mean number of non-null references per object.
+  double MeanFanout() const;
+
+  const OcbParameters& params() const { return params_; }
+
+ private:
+  OcbParameters params_;
+  Schema schema_;
+  std::vector<ObjectDef> objects_;
+  std::vector<uint64_t> instances_per_class_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace voodb::ocb

@@ -1,0 +1,106 @@
+/// \file parameters.hpp
+/// \brief The OCB parameter block (the benchmark's "thorough set of
+/// parameters", VOODB paper §3.3).
+#pragma once
+
+#include <cstdint>
+
+namespace voodb::ocb {
+
+/// Distribution used to pick reference targets and roots.
+enum class Distribution {
+  kUniform,  ///< uniform over the candidate range
+  kZipf,     ///< Zipf-skewed (hot objects / hot classes)
+  kNormal,   ///< gaussian around the source (locality window)
+};
+
+const char* ToString(Distribution d);
+
+/// All tunables of the OCB object base and workload.
+///
+/// Database-structure parameters mirror the OCB publication (NC, MAXNREF,
+/// BASESIZE, NO, NREFT, locality windows); workload parameters mirror
+/// Table 5 of the VOODB paper (COLDN, HOTN, PSET/SETDEPTH,
+/// PSIMPLE/SIMDEPTH, PHIER/HIEDEPTH, PSTOCH/STODEPTH).  Defaults are the
+/// paper's defaults wherever the paper states them.
+struct OcbParameters {
+  // --- Database structure -------------------------------------------------
+  /// NC: number of classes in the schema.
+  uint32_t num_classes = 50;
+  /// MAXNREF: maximum number of reference attributes per class.  The
+  /// actual count for a class is drawn uniformly in [1, MAXNREF].
+  uint32_t max_refs_per_class = 10;
+  /// BASESIZE: base instance size in bytes.  The instance size of class c
+  /// is BASESIZE * (1 + c) when `class_size_growth` is set (so schemas
+  /// with more classes hold larger objects).  The default is calibrated
+  /// so the paper's reference base (NC=50, NO=20000) occupies ~21 MB in
+  /// Texas and ~28 MB in O2, as §4.3 reports; see DESIGN.md.
+  uint32_t base_instance_size = 32;
+  /// Whether instance size grows linearly with the class index.
+  bool class_size_growth = true;
+  /// NO: number of object instances in the base.
+  uint64_t num_objects = 20000;
+  /// NREFT: number of reference types (inheritance, aggregation, ...).
+  uint32_t num_reference_types = 4;
+  /// CLOCREF: class locality window — a class's reference attributes
+  /// point to classes within this distance of it (wraps around).
+  uint32_t class_locality = 50;
+  /// OLOCREF: object locality window — an object's references point to
+  /// objects within this distance of it (wraps around).
+  uint64_t object_locality = 100;
+  /// Distribution of reference targets inside the locality window.
+  Distribution reference_distribution = Distribution::kUniform;
+  /// Zipf skew used when a distribution above is kZipf.
+  double zipf_skew = 0.8;
+
+  // --- Workload ------------------------------------------------------------
+  /// COLDN: transactions executed before measurements start.
+  uint32_t cold_transactions = 0;
+  /// HOTN: measured transactions.
+  uint32_t hot_transactions = 1000;
+  /// PSET / SETDEPTH: set-oriented access probability and depth.
+  double p_set = 0.25;
+  uint32_t set_depth = 3;
+  /// PSIMPLE / SIMDEPTH: simple traversal probability and depth.
+  double p_simple = 0.25;
+  uint32_t simple_depth = 3;
+  /// PHIER / HIEDEPTH: hierarchy traversal probability and depth.
+  double p_hierarchy = 0.25;
+  uint32_t hierarchy_depth = 5;
+  /// PSTOCH / STODEPTH: stochastic traversal probability and depth.
+  double p_stochastic = 0.25;
+  uint32_t stochastic_depth = 50;
+  /// PRAND / RANDOMN: random-access probability and accesses per
+  /// transaction (independent uniform draws over the whole base).
+  double p_random_access = 0.0;
+  uint32_t random_access_count = 25;
+  /// PSCAN / SCANMAX: sequential class-scan probability and instance cap
+  /// (0 = scan every instance of the chosen class).
+  double p_scan = 0.0;
+  uint64_t scan_max_instances = 0;
+  /// Probability that an individual object access is an update.
+  double p_update = 0.0;
+  /// Distribution of transaction root objects.
+  Distribution root_distribution = Distribution::kUniform;
+  /// Roots are drawn from a fixed *hot set* of `root_region` objects
+  /// spread evenly across the base (0 = roots may be any object).  A
+  /// small hot set concentrates the workload on a few neighbourhoods and
+  /// makes the same traversals repeat — the "favorable conditions" of the
+  /// paper's DSTC experiment (§4.4).
+  uint64_t root_region = 0;
+  /// Mean think time between a user's transactions (ms, exponential).
+  double think_time_ms = 0.0;
+  /// Whether hierarchy traversals visit each object at most once
+  /// (set semantics) or once per path (bag semantics).
+  bool traversal_visits_once = true;
+
+  /// Base RNG seed for object-base generation (workload streams are
+  /// derived per replication by the experiment runner).
+  uint64_t seed = 1999;
+
+  /// Throws voodb::util::Error when a value is out of range (negative
+  /// probabilities, probabilities not summing to 1, zero sizes, ...).
+  void Validate() const;
+};
+
+}  // namespace voodb::ocb

@@ -1,0 +1,73 @@
+#include "ocb/schema.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace voodb::ocb {
+
+Schema Schema::Generate(const OcbParameters& params,
+                        desp::RandomStream stream) {
+  params.Validate();
+  Schema schema;
+  schema.classes_.resize(params.num_classes);
+  const auto nc = static_cast<int64_t>(params.num_classes);
+  for (ClassId c = 0; c < params.num_classes; ++c) {
+    ClassDef& def = schema.classes_[c];
+    def.id = c;
+    // Inheritance forest: each non-root class picks a superclass among the
+    // classes generated before it, so the graph is acyclic by construction.
+    if (c > 0 && stream.Bernoulli(0.5)) {
+      def.parent =
+          static_cast<ClassId>(stream.UniformInt(0, static_cast<int64_t>(c) - 1));
+    }
+    def.instance_size = params.class_size_growth
+                            ? params.base_instance_size * (1 + c)
+                            : params.base_instance_size;
+    const auto nref = static_cast<uint32_t>(
+        stream.UniformInt(1, params.max_refs_per_class));
+    def.references.resize(nref);
+    for (auto& ref : def.references) {
+      // Reference targets respect the CLOCREF locality window around the
+      // source class (wrapping), drawn per the configured distribution.
+      const int64_t window =
+          std::min<int64_t>(params.class_locality, nc);
+      int64_t offset = 0;
+      switch (params.reference_distribution) {
+        case Distribution::kUniform:
+          offset = stream.UniformInt(0, window - 1);
+          break;
+        case Distribution::kZipf:
+          offset = stream.Zipf(window, params.zipf_skew);
+          break;
+        case Distribution::kNormal: {
+          const double raw =
+              stream.Normal(0.0, static_cast<double>(window) / 4.0);
+          offset = static_cast<int64_t>(std::llround(std::fabs(raw))) %
+                   window;
+          break;
+        }
+      }
+      ref.target_class =
+          static_cast<ClassId>((static_cast<int64_t>(c) + offset) % nc);
+      ref.type = static_cast<uint32_t>(
+          stream.UniformInt(0, params.num_reference_types - 1));
+    }
+  }
+  return schema;
+}
+
+const ClassDef& Schema::Class(ClassId id) const {
+  VOODB_CHECK_MSG(id < classes_.size(), "class id " << id << " out of range");
+  return classes_[id];
+}
+
+double Schema::MeanInstanceSize() const {
+  if (classes_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& c : classes_) total += c.instance_size;
+  return total / static_cast<double>(classes_.size());
+}
+
+}  // namespace voodb::ocb

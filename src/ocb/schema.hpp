@@ -1,0 +1,55 @@
+/// \file schema.hpp
+/// \brief OCB schema: classes, inheritance and typed reference attributes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "desp/random.hpp"
+#include "ocb/parameters.hpp"
+#include "ocb/types.hpp"
+
+namespace voodb::ocb {
+
+/// One reference attribute of a class.
+struct ReferenceAttribute {
+  ClassId target_class = 0;
+  /// OCB reference type tag in [0, NREFT); clustering policies may weight
+  /// reference types differently.
+  uint32_t type = 0;
+};
+
+/// One class of the generated schema.
+struct ClassDef {
+  ClassId id = 0;
+  /// Superclass, or kNoParent for roots of the inheritance forest.
+  ClassId parent = kNoParent;
+  /// Size in bytes of one instance of this class.
+  uint32_t instance_size = 0;
+  /// Reference attributes every instance of this class carries.
+  std::vector<ReferenceAttribute> references;
+
+  static constexpr ClassId kNoParent = static_cast<ClassId>(-1);
+};
+
+/// The generated schema: a dense vector of classes forming an inheritance
+/// forest plus a typed reference graph.
+class Schema {
+ public:
+  /// Generates a schema from the OCB parameters.  Deterministic in
+  /// `stream`'s seed.
+  static Schema Generate(const OcbParameters& params,
+                         desp::RandomStream stream);
+
+  const std::vector<ClassDef>& classes() const { return classes_; }
+  const ClassDef& Class(ClassId id) const;
+  uint32_t NumClasses() const { return static_cast<uint32_t>(classes_.size()); }
+
+  /// Mean instance size over classes (bytes).
+  double MeanInstanceSize() const;
+
+ private:
+  std::vector<ClassDef> classes_;
+};
+
+}  // namespace voodb::ocb

@@ -1,0 +1,57 @@
+/// \file types.hpp
+/// \brief Fundamental identifiers and access records of the OCB workload.
+///
+/// OCB (Object Clustering Benchmark, Darmont et al., EDBT '98) is the
+/// workload model the VOODB paper plugs into its simulation model.  The
+/// benchmark manipulates a generic object base: `NC` classes linked by
+/// typed references, `NO` instances whose reference graph mirrors the
+/// schema, and four kinds of transactions (set-oriented accesses plus
+/// simple / hierarchical / stochastic traversals).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace voodb::ocb {
+
+/// Identifies a class of the schema (0-based, dense).
+using ClassId = uint32_t;
+
+/// Logical object identifier (0-based, dense).  Physical OIDs, when a
+/// system uses them (Texas), live in the storage layer, not here.
+using Oid = uint64_t;
+
+/// Sentinel for "no object" (dangling reference slot).
+inline constexpr Oid kNullOid = static_cast<Oid>(-1);
+
+/// The OCB transaction kinds.  The four traversal kinds are the paper's
+/// Table 5 mix; random accesses and sequential class scans complete the
+/// OCB operation set (they default to probability 0 in the mix).
+enum class TransactionKind {
+  kSetOriented,         ///< breadth-first set access, depth SETDEPTH
+  kSimpleTraversal,     ///< single random path, depth SIMDEPTH
+  kHierarchyTraversal,  ///< depth-first traversal of all refs, HIEDEPTH
+  kStochasticTraversal, ///< random walk of STODEPTH steps
+  kRandomAccess,        ///< RANDOMN independent uniform object accesses
+  kSequentialScan,      ///< all instances of one class, in OID order
+};
+
+/// Human-readable transaction-kind name.
+const char* ToString(TransactionKind kind);
+
+/// One object-level operation inside a transaction.
+struct ObjectAccess {
+  Oid oid = kNullOid;
+  bool is_write = false;
+};
+
+/// A generated transaction: a root plus the object accesses the
+/// Transaction Manager will perform, in order.
+struct Transaction {
+  TransactionKind kind = TransactionKind::kSetOriented;
+  Oid root = kNullOid;
+  std::vector<ObjectAccess> accesses;
+};
+
+}  // namespace voodb::ocb

@@ -1,0 +1,232 @@
+#include "ocb/workload.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace voodb::ocb {
+
+const char* ToString(TransactionKind kind) {
+  switch (kind) {
+    case TransactionKind::kSetOriented:
+      return "SET_ORIENTED";
+    case TransactionKind::kSimpleTraversal:
+      return "SIMPLE_TRAVERSAL";
+    case TransactionKind::kHierarchyTraversal:
+      return "HIERARCHY_TRAVERSAL";
+    case TransactionKind::kStochasticTraversal:
+      return "STOCHASTIC_TRAVERSAL";
+    case TransactionKind::kRandomAccess:
+      return "RANDOM_ACCESS";
+    case TransactionKind::kSequentialScan:
+      return "SEQUENTIAL_SCAN";
+  }
+  return "?";
+}
+
+WorkloadGenerator::WorkloadGenerator(const ObjectBase* base,
+                                     desp::RandomStream stream)
+    : base_(base), stream_(stream) {
+  VOODB_CHECK_MSG(base_ != nullptr, "workload needs an object base");
+  visit_stamp_.assign(base_->NumObjects(), 0);
+}
+
+Transaction WorkloadGenerator::Next() {
+  const OcbParameters& p = base_->params();
+  const double u = stream_.NextDouble();
+  TransactionKind kind;
+  double cumulative = p.p_set;
+  if (u < cumulative) {
+    kind = TransactionKind::kSetOriented;
+  } else if (u < (cumulative += p.p_simple)) {
+    kind = TransactionKind::kSimpleTraversal;
+  } else if (u < (cumulative += p.p_hierarchy)) {
+    kind = TransactionKind::kHierarchyTraversal;
+  } else if (u < (cumulative += p.p_stochastic)) {
+    kind = TransactionKind::kStochasticTraversal;
+  } else if (u < (cumulative += p.p_random_access)) {
+    kind = TransactionKind::kRandomAccess;
+  } else {
+    kind = TransactionKind::kSequentialScan;
+  }
+  return NextOfKind(kind);
+}
+
+Transaction WorkloadGenerator::NextOfKind(TransactionKind kind) {
+  const OcbParameters& p = base_->params();
+  Transaction txn;
+  txn.kind = kind;
+  txn.root = PickRoot();
+  ++visit_epoch_;
+  switch (kind) {
+    case TransactionKind::kSetOriented:
+      GenerateSetOriented(txn, p.set_depth);
+      break;
+    case TransactionKind::kSimpleTraversal:
+      GenerateSimple(txn, p.simple_depth);
+      break;
+    case TransactionKind::kHierarchyTraversal:
+      GenerateHierarchy(txn, p.hierarchy_depth);
+      break;
+    case TransactionKind::kStochasticTraversal:
+      GenerateStochastic(txn, p.stochastic_depth);
+      break;
+    case TransactionKind::kRandomAccess:
+      GenerateRandomAccess(txn, p.random_access_count);
+      break;
+    case TransactionKind::kSequentialScan:
+      GenerateSequentialScan(txn, p.scan_max_instances);
+      break;
+  }
+  generated_accesses_ += txn.accesses.size();
+  return txn;
+}
+
+Oid WorkloadGenerator::PickRoot() {
+  const OcbParameters& p = base_->params();
+  const auto full = static_cast<int64_t>(base_->NumObjects());
+  auto no = full;
+  int64_t stride = 1;
+  if (p.root_region > 0 && static_cast<int64_t>(p.root_region) < full) {
+    // Hot set: `root_region` objects strided evenly across the base.
+    no = static_cast<int64_t>(p.root_region);
+    stride = full / no;
+  }
+  int64_t index = 0;
+  switch (p.root_distribution) {
+    case Distribution::kUniform:
+      index = stream_.UniformInt(0, no - 1);
+      break;
+    case Distribution::kZipf:
+      index = stream_.Zipf(no, p.zipf_skew);
+      break;
+    case Distribution::kNormal: {
+      const double raw =
+          stream_.Normal(static_cast<double>(no) / 2.0,
+                         static_cast<double>(no) / 6.0);
+      index = static_cast<int64_t>(std::llround(raw));
+      if (index < 0) index = 0;
+      if (index >= no) index = no - 1;
+      break;
+    }
+  }
+  return static_cast<Oid>(index * stride);
+}
+
+bool WorkloadGenerator::MaybeWrite() {
+  const double p = base_->params().p_update;
+  return p > 0.0 && stream_.Bernoulli(p);
+}
+
+void WorkloadGenerator::AppendAccess(Transaction& txn, Oid oid) {
+  txn.accesses.push_back(ObjectAccess{oid, MaybeWrite()});
+}
+
+bool WorkloadGenerator::MarkVisited(Oid oid) {
+  if (visit_stamp_[oid] == visit_epoch_) return false;
+  visit_stamp_[oid] = visit_epoch_;
+  return true;
+}
+
+void WorkloadGenerator::GenerateSetOriented(Transaction& txn, uint32_t depth) {
+  // Breadth-first set access: every distinct object within `depth` levels.
+  std::deque<std::pair<Oid, uint32_t>> frontier;
+  MarkVisited(txn.root);
+  AppendAccess(txn, txn.root);
+  frontier.emplace_back(txn.root, 0);
+  while (!frontier.empty()) {
+    const auto [oid, level] = frontier.front();
+    frontier.pop_front();
+    if (level >= depth) continue;
+    for (Oid ref : base_->Object(oid).references) {
+      if (ref == kNullOid || !MarkVisited(ref)) continue;
+      AppendAccess(txn, ref);
+      frontier.emplace_back(ref, level + 1);
+    }
+  }
+}
+
+void WorkloadGenerator::GenerateSimple(Transaction& txn, uint32_t depth) {
+  Oid current = txn.root;
+  AppendAccess(txn, current);
+  for (uint32_t level = 0; level < depth; ++level) {
+    const auto& refs = base_->Object(current).references;
+    // Collect non-null slots; stop at a leaf.
+    std::vector<Oid> live;
+    live.reserve(refs.size());
+    for (Oid r : refs) {
+      if (r != kNullOid) live.push_back(r);
+    }
+    if (live.empty()) break;
+    current = live[static_cast<size_t>(
+        stream_.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+    AppendAccess(txn, current);
+  }
+}
+
+void WorkloadGenerator::GenerateHierarchy(Transaction& txn, uint32_t depth) {
+  MarkVisited(txn.root);
+  AppendAccess(txn, txn.root);
+  HierarchyVisit(txn, txn.root, depth);
+}
+
+void WorkloadGenerator::HierarchyVisit(Transaction& txn, Oid oid,
+                                       uint32_t remaining) {
+  if (remaining == 0) return;
+  const bool visit_once = base_->params().traversal_visits_once;
+  for (Oid ref : base_->Object(oid).references) {
+    if (ref == kNullOid) continue;
+    if (visit_once) {
+      if (!MarkVisited(ref)) continue;
+    }
+    AppendAccess(txn, ref);
+    HierarchyVisit(txn, ref, remaining - 1);
+  }
+}
+
+void WorkloadGenerator::GenerateRandomAccess(Transaction& txn,
+                                             uint32_t count) {
+  // The root was already chosen; it counts as the first access.  The
+  // remaining draws are independent and uniform over the whole base
+  // (ignoring the hot-root restriction: random accesses model index or
+  // dictionary lookups).
+  AppendAccess(txn, txn.root);
+  const auto no = static_cast<int64_t>(base_->NumObjects());
+  for (uint32_t i = 1; i < count; ++i) {
+    AppendAccess(txn, static_cast<Oid>(stream_.UniformInt(0, no - 1)));
+  }
+}
+
+void WorkloadGenerator::GenerateSequentialScan(Transaction& txn,
+                                               uint64_t max_instances) {
+  // Scan every instance of the root's class in OID order (instances of
+  // class c are the OIDs congruent to c modulo NC, by construction).
+  const ClassId cls = base_->Object(txn.root).cls;
+  const uint64_t nc = base_->schema().NumClasses();
+  uint64_t scanned = 0;
+  for (Oid oid = cls; oid < base_->NumObjects(); oid += nc) {
+    if (max_instances > 0 && scanned >= max_instances) break;
+    AppendAccess(txn, oid);
+    ++scanned;
+  }
+}
+
+void WorkloadGenerator::GenerateStochastic(Transaction& txn, uint32_t steps) {
+  Oid current = txn.root;
+  AppendAccess(txn, current);
+  for (uint32_t step = 0; step < steps; ++step) {
+    const auto& refs = base_->Object(current).references;
+    std::vector<Oid> live;
+    live.reserve(refs.size());
+    for (Oid r : refs) {
+      if (r != kNullOid) live.push_back(r);
+    }
+    if (live.empty()) break;
+    current = live[static_cast<size_t>(
+        stream_.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+    AppendAccess(txn, current);
+  }
+}
+
+}  // namespace voodb::ocb

@@ -1,0 +1,66 @@
+/// \file workload.hpp
+/// \brief The OCB transaction generator (paper Table 5 workload).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "desp/random.hpp"
+#include "ocb/object_base.hpp"
+#include "ocb/types.hpp"
+
+namespace voodb::ocb {
+
+/// Generates the OCB transaction stream over a given object base.
+///
+/// Each call to Next() draws a transaction kind from the PSET / PSIMPLE /
+/// PHIER / PSTOCH mix, a root object, and materializes the ordered list of
+/// object accesses the transaction performs:
+///
+/// * **set-oriented access** — all objects reachable from the root within
+///   SETDEPTH levels, breadth-first, each at most once;
+/// * **simple traversal** — one random reference followed per level,
+///   SIMDEPTH levels deep;
+/// * **hierarchy traversal** — depth-first traversal of *all* references
+///   down to HIEDEPTH (each object visited once when
+///   `traversal_visits_once`, else once per path);
+/// * **stochastic traversal** — a random walk of STODEPTH steps.
+///
+/// The generator is deterministic in its RandomStream seed and never
+/// mutates the object base.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const ObjectBase* base, desp::RandomStream stream);
+
+  /// Generates the next transaction.
+  Transaction Next();
+
+  /// Generates a transaction of a forced kind (used by the DSTC
+  /// experiments, which run pure depth-3 hierarchy traversals).
+  Transaction NextOfKind(TransactionKind kind);
+
+  /// Total object accesses generated so far (all transactions).
+  uint64_t GeneratedAccesses() const { return generated_accesses_; }
+
+ private:
+  Oid PickRoot();
+  bool MaybeWrite();
+  void AppendAccess(Transaction& txn, Oid oid);
+  void GenerateSetOriented(Transaction& txn, uint32_t depth);
+  void GenerateSimple(Transaction& txn, uint32_t depth);
+  void GenerateHierarchy(Transaction& txn, uint32_t depth);
+  void GenerateStochastic(Transaction& txn, uint32_t steps);
+  void GenerateRandomAccess(Transaction& txn, uint32_t count);
+  void GenerateSequentialScan(Transaction& txn, uint64_t max_instances);
+  void HierarchyVisit(Transaction& txn, Oid oid, uint32_t remaining);
+  bool MarkVisited(Oid oid);
+
+  const ObjectBase* base_;
+  desp::RandomStream stream_;
+  uint64_t generated_accesses_ = 0;
+  // Epoch-stamped visited set: O(1) reset per transaction.
+  std::vector<uint32_t> visit_stamp_;
+  uint32_t visit_epoch_ = 0;
+};
+
+}  // namespace voodb::ocb

@@ -1,0 +1,92 @@
+#include "storage/buffer_manager.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace voodb::storage {
+
+BufferManager::BufferManager(uint64_t capacity_pages, ReplacementPolicy policy,
+                             desp::RandomStream rng, uint32_t lru_k)
+    : capacity_(capacity_pages),
+      policy_(policy),
+      algo_(MakeReplacementAlgo(policy, rng, lru_k)) {
+  VOODB_CHECK_MSG(capacity_ >= 1, "buffer capacity must be >= 1 page");
+}
+
+void BufferManager::SetPrefetcher(std::unique_ptr<Prefetcher> prefetcher) {
+  prefetcher_ = std::move(prefetcher);
+}
+
+AccessOutcome BufferManager::Access(PageId page, bool write) {
+  AccessOutcome outcome;
+  ++stats_.accesses;
+  const auto it = resident_.find(page);
+  if (it != resident_.end()) {
+    ++stats_.hits;
+    outcome.hit = true;
+    it->second = it->second || write;
+    algo_->OnAccess(page);
+    return outcome;
+  }
+  ++stats_.misses;
+  Admit(page, write, outcome.ios);
+  outcome.ios.push_back(PageIo{PageIo::Kind::kRead, page});
+  if (prefetcher_ != nullptr) {
+    for (PageId extra : prefetcher_->OnMiss(page)) {
+      if (resident_.count(extra) != 0 || extra == page) continue;
+      Admit(extra, /*dirty=*/false, outcome.ios);
+      outcome.ios.push_back(PageIo{PageIo::Kind::kRead, extra});
+      ++stats_.prefetch_reads;
+    }
+  }
+  return outcome;
+}
+
+std::vector<PageIo> BufferManager::FlushAll() {
+  std::vector<PageIo> ios;
+  for (auto& [page, dirty] : resident_) {
+    if (dirty) {
+      ios.push_back(PageIo{PageIo::Kind::kWrite, page});
+      ++stats_.writebacks;
+      dirty = false;
+    }
+  }
+  return ios;
+}
+
+void BufferManager::DropAll() {
+  for (const auto& [page, dirty] : resident_) {
+    algo_->OnEvict(page);
+  }
+  resident_.clear();
+}
+
+std::vector<PageIo> BufferManager::Resize(uint64_t capacity_pages) {
+  VOODB_CHECK_MSG(capacity_pages >= 1, "buffer capacity must be >= 1 page");
+  std::vector<PageIo> ios;
+  capacity_ = capacity_pages;
+  while (resident_.size() > capacity_) EvictOne(ios);
+  return ios;
+}
+
+void BufferManager::EvictOne(std::vector<PageIo>& ios) {
+  const PageId victim = algo_->PickVictim();
+  const auto it = resident_.find(victim);
+  VOODB_CHECK_MSG(it != resident_.end(), "victim not resident");
+  if (it->second) {
+    ios.push_back(PageIo{PageIo::Kind::kWrite, victim});
+    ++stats_.writebacks;
+  }
+  algo_->OnEvict(victim);
+  resident_.erase(it);
+  ++stats_.evictions;
+}
+
+void BufferManager::Admit(PageId page, bool dirty, std::vector<PageIo>& ios) {
+  while (resident_.size() >= capacity_) EvictOne(ios);
+  resident_.emplace(page, dirty);
+  algo_->OnAdmit(page);
+}
+
+}  // namespace voodb::storage

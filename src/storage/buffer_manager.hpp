@@ -1,0 +1,99 @@
+/// \file buffer_manager.hpp
+/// \brief The Buffering Manager's page cache (knowledge model, Fig. 4).
+///
+/// The Buffering Manager checks whether a requested page is present in the
+/// memory buffer; on a miss it asks the I/O Subsystem for the page and, if
+/// the buffer is full, evicts a victim chosen by the configured
+/// replacement policy (writing it back when dirty).  This class is the
+/// pure cache logic — timing is applied by whoever executes the returned
+/// `PageIo` operations (the DES I/O subsystem actor, or the emulators'
+/// simple counters).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "desp/random.hpp"
+#include "storage/page.hpp"
+#include "storage/prefetch.hpp"
+#include "storage/replacement.hpp"
+
+namespace voodb::storage {
+
+/// Counters exposed by the buffer manager.
+struct BufferStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+  uint64_t prefetch_reads = 0;
+
+  double HitRate() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+};
+
+/// A fixed-capacity page buffer with pluggable replacement and prefetch.
+class BufferManager {
+ public:
+  /// \param capacity_pages BUFFSIZE (Table 3); must be >= 1
+  /// \param policy        PGREP
+  /// \param rng           stream for the RANDOM policy
+  /// \param lru_k         K for the LRU-K policy
+  BufferManager(uint64_t capacity_pages, ReplacementPolicy policy,
+                desp::RandomStream rng = desp::RandomStream(7),
+                uint32_t lru_k = 2);
+
+  /// Installs a prefetcher (nullptr = PREFETCH None).
+  void SetPrefetcher(std::unique_ptr<Prefetcher> prefetcher);
+
+  /// Performs one logical page access.  The outcome lists the physical
+  /// operations implied: dirty write-backs, the read of `page` when it
+  /// missed, and prefetch reads.
+  AccessOutcome Access(PageId page, bool write);
+
+  /// True when `page` is resident.
+  bool Contains(PageId page) const { return resident_.count(page) != 0; }
+
+  /// Writes back all dirty pages (returned as write IOs) and keeps the
+  /// pages resident but clean.
+  std::vector<PageIo> FlushAll();
+
+  /// Discards all resident pages without write-back (used when a
+  /// reorganization rebuilds the page space from scratch).
+  void DropAll();
+
+  /// Changes the capacity; evicts (with write-back IOs) when shrinking.
+  std::vector<PageIo> Resize(uint64_t capacity_pages);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t resident_pages() const { return resident_.size(); }
+  /// Number of resident dirty pages (O(resident)).
+  uint64_t DirtyPages() const {
+    uint64_t n = 0;
+    for (const auto& [page, dirty] : resident_) n += dirty ? 1 : 0;
+    return n;
+  }
+  const BufferStats& stats() const { return stats_; }
+  ReplacementPolicy policy() const { return policy_; }
+
+ private:
+  /// Evicts one victim, appending its write-back to `ios` when dirty.
+  void EvictOne(std::vector<PageIo>& ios);
+  /// Admits a non-resident page, evicting as needed.
+  void Admit(PageId page, bool dirty, std::vector<PageIo>& ios);
+
+  uint64_t capacity_;
+  ReplacementPolicy policy_;
+  std::unique_ptr<ReplacementAlgo> algo_;
+  std::unique_ptr<Prefetcher> prefetcher_;
+  std::unordered_map<PageId, bool> resident_;  // page -> dirty
+  BufferStats stats_;
+};
+
+}  // namespace voodb::storage

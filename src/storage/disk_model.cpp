@@ -1,0 +1,38 @@
+#include "storage/disk_model.hpp"
+
+#include "util/check.hpp"
+
+namespace voodb::storage {
+
+void DiskParameters::Validate() const {
+  VOODB_CHECK_MSG(search_ms >= 0.0 && latency_ms >= 0.0 && transfer_ms >= 0.0,
+                  "disk timings must be non-negative");
+}
+
+DiskModel::DiskModel(DiskParameters params) : params_(params) {
+  params_.Validate();
+}
+
+double DiskModel::AccessTime(PageId page) {
+  const bool contiguous = last_page_ != kNullPage &&
+                          (page == last_page_ + 1 || page == last_page_);
+  last_page_ = page;
+  if (contiguous) {
+    ++sequential_hits_;
+    return params_.latency_ms + params_.transfer_ms;
+  }
+  return params_.search_ms + params_.latency_ms + params_.transfer_ms;
+}
+
+double DiskModel::IoTime(const PageIo& io) {
+  if (io.kind == PageIo::Kind::kRead) {
+    ++reads_;
+  } else {
+    ++writes_;
+  }
+  return AccessTime(io.page);
+}
+
+void DiskModel::ResetHead() { last_page_ = kNullPage; }
+
+}  // namespace voodb::storage

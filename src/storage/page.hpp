@@ -1,0 +1,33 @@
+/// \file page.hpp
+/// \brief Page identifiers and page-level I/O records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace voodb::storage {
+
+/// Identifies a disk page (0-based, dense within a database).
+using PageId = uint64_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kNullPage = static_cast<PageId>(-1);
+
+/// One physical I/O operation produced by the buffering layer and consumed
+/// by the I/O subsystem (which assigns it a duration via the disk model).
+struct PageIo {
+  enum class Kind { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  PageId page = kNullPage;
+};
+
+/// Outcome of one logical page access against a buffering layer.
+struct AccessOutcome {
+  /// True when the page was already resident (no read needed).
+  bool hit = false;
+  /// Physical operations to perform, in order (evicted-dirty write-backs
+  /// first, then the read of the requested page, then prefetch reads).
+  std::vector<PageIo> ios;
+};
+
+}  // namespace voodb::storage

@@ -1,0 +1,230 @@
+#include "storage/placement.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace voodb::storage {
+
+const char* ToString(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kSequential:
+      return "SEQUENTIAL";
+    case PlacementPolicy::kOptimizedSequential:
+      return "OPTIMIZED_SEQUENTIAL";
+    case PlacementPolicy::kReferenceDfs:
+      return "REFERENCE_DFS";
+  }
+  return "?";
+}
+
+Placement Placement::Build(const ocb::ObjectBase& base, uint32_t page_size,
+                           PlacementPolicy policy, double overhead_factor) {
+  std::vector<ocb::Oid> order;
+  switch (policy) {
+    case PlacementPolicy::kSequential:
+      order.resize(base.NumObjects());
+      std::iota(order.begin(), order.end(), ocb::Oid{0});
+      break;
+    case PlacementPolicy::kOptimizedSequential:
+      order = ClassMajorOrder(base);
+      break;
+    case PlacementPolicy::kReferenceDfs:
+      order = DepthFirstOrder(base);
+      break;
+  }
+  return Pack(base, page_size, order, overhead_factor);
+}
+
+Placement Placement::BuildFromOrder(const ocb::ObjectBase& base,
+                                    uint32_t page_size,
+                                    const std::vector<ocb::Oid>& order,
+                                    double overhead_factor) {
+  VOODB_CHECK_MSG(order.size() == base.NumObjects(),
+                  "order must be a permutation of all OIDs");
+  return Pack(base, page_size, order, overhead_factor);
+}
+
+Placement Placement::RelocateToTail(const Placement& current,
+                                    const ocb::ObjectBase& base,
+                                    const std::vector<ocb::Oid>& moved_order,
+                                    double overhead_factor) {
+  VOODB_CHECK_MSG(overhead_factor >= 1.0, "overhead factor must be >= 1");
+  Placement placement = current;
+  std::vector<char> moved(base.NumObjects(), 0);
+  for (ocb::Oid oid : moved_order) {
+    VOODB_CHECK_MSG(oid < base.NumObjects(), "oid out of range");
+    VOODB_CHECK_MSG(!moved[oid], "oid " << oid << " moved twice");
+    moved[oid] = 1;
+  }
+  // Remove moved objects from their old pages (holes are not reclaimed).
+  for (ocb::Oid oid : moved_order) {
+    const PageSpan span = placement.spans_[oid];
+    if (span.first == kNullPage) continue;
+    auto& page_objects = placement.pages_[span.first];
+    for (size_t i = 0; i < page_objects.size(); ++i) {
+      if (page_objects[i] == oid) {
+        page_objects.erase(page_objects.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  // Repack moved objects into fresh pages at the tail.
+  const uint32_t page_size = placement.page_size_;
+  uint64_t current_page = placement.pages_.size();
+  uint32_t used_in_page = 0;
+  bool page_open = false;
+  for (ocb::Oid oid : moved_order) {
+    const auto raw = static_cast<double>(base.Object(oid).size);
+    const auto stored =
+        static_cast<uint64_t>(std::ceil(raw * overhead_factor));
+    if (stored > page_size) {
+      if (page_open) {
+        ++current_page;
+        page_open = false;
+      }
+      const auto span_pages =
+          static_cast<uint32_t>((stored + page_size - 1) / page_size);
+      placement.spans_[oid] = PageSpan{current_page, span_pages};
+      placement.pages_.emplace_back();
+      placement.pages_.back().push_back(oid);
+      for (uint32_t extra = 1; extra < span_pages; ++extra) {
+        placement.pages_.emplace_back();
+      }
+      current_page += span_pages;
+      continue;
+    }
+    if (!page_open) {
+      placement.pages_.emplace_back();
+      page_open = true;
+      used_in_page = 0;
+    }
+    if (used_in_page + stored > page_size) {
+      ++current_page;
+      placement.pages_.emplace_back();
+      used_in_page = 0;
+    }
+    placement.spans_[oid] = PageSpan{current_page, 1};
+    placement.pages_.back().push_back(oid);
+    used_in_page += static_cast<uint32_t>(stored);
+  }
+  return placement;
+}
+
+Placement Placement::Pack(const ocb::ObjectBase& base, uint32_t page_size,
+                          const std::vector<ocb::Oid>& order,
+                          double overhead_factor) {
+  VOODB_CHECK_MSG(page_size >= 512, "page size must be >= 512 bytes");
+  VOODB_CHECK_MSG(overhead_factor >= 1.0, "overhead factor must be >= 1");
+  Placement placement;
+  placement.page_size_ = page_size;
+  placement.spans_.assign(base.NumObjects(), PageSpan{});
+  std::vector<char> placed(base.NumObjects(), 0);
+
+  uint64_t current_page = 0;
+  uint32_t used_in_page = 0;
+  bool page_open = false;
+  auto open_page = [&]() {
+    if (!page_open) {
+      placement.pages_.emplace_back();
+      page_open = true;
+      used_in_page = 0;
+    }
+  };
+  auto close_page = [&]() {
+    if (page_open) {
+      ++current_page;
+      page_open = false;
+    }
+  };
+
+  for (ocb::Oid oid : order) {
+    VOODB_CHECK_MSG(oid < base.NumObjects(), "oid " << oid << " out of range");
+    VOODB_CHECK_MSG(!placed[oid], "oid " << oid << " appears twice in order");
+    placed[oid] = 1;
+    const auto raw = static_cast<double>(base.Object(oid).size);
+    const auto stored =
+        static_cast<uint64_t>(std::ceil(raw * overhead_factor));
+    if (stored > page_size) {
+      // Large object: dedicated contiguous span.
+      close_page();
+      const auto span_pages =
+          static_cast<uint32_t>((stored + page_size - 1) / page_size);
+      placement.spans_[oid] = PageSpan{current_page, span_pages};
+      placement.pages_.emplace_back();
+      placement.pages_.back().push_back(oid);
+      for (uint32_t extra = 1; extra < span_pages; ++extra) {
+        placement.pages_.emplace_back();
+      }
+      current_page += span_pages;
+      continue;
+    }
+    open_page();
+    if (used_in_page + stored > page_size) {
+      close_page();
+      open_page();
+    }
+    placement.spans_[oid] = PageSpan{current_page, 1};
+    placement.pages_.back().push_back(oid);
+    used_in_page += static_cast<uint32_t>(stored);
+  }
+  close_page();
+  return placement;
+}
+
+std::vector<ocb::Oid> Placement::DepthFirstOrder(const ocb::ObjectBase& base) {
+  const uint64_t no = base.NumObjects();
+  std::vector<ocb::Oid> order;
+  order.reserve(no);
+  std::vector<char> visited(no, 0);
+  std::vector<ocb::Oid> stack;
+  for (ocb::Oid root = 0; root < no; ++root) {
+    if (visited[root]) continue;
+    stack.push_back(root);
+    visited[root] = 1;
+    while (!stack.empty()) {
+      const ocb::Oid oid = stack.back();
+      stack.pop_back();
+      order.push_back(oid);
+      const auto& refs = base.Object(oid).references;
+      // Push in reverse so the first reference is visited first.
+      for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
+        const ocb::Oid ref = *it;
+        if (ref == ocb::kNullOid || visited[ref]) continue;
+        visited[ref] = 1;
+        stack.push_back(ref);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<ocb::Oid> Placement::ClassMajorOrder(const ocb::ObjectBase& base) {
+  const uint64_t no = base.NumObjects();
+  std::vector<ocb::Oid> order;
+  order.reserve(no);
+  // Bucket by class, preserving OID order within each class.
+  const uint32_t nc = base.schema().NumClasses();
+  std::vector<std::vector<ocb::Oid>> buckets(nc);
+  for (ocb::Oid oid = 0; oid < no; ++oid) {
+    buckets[base.Object(oid).cls].push_back(oid);
+  }
+  for (auto& bucket : buckets) {
+    order.insert(order.end(), bucket.begin(), bucket.end());
+  }
+  return order;
+}
+
+PageSpan Placement::SpanOf(ocb::Oid oid) const {
+  VOODB_CHECK_MSG(oid < spans_.size(), "oid " << oid << " out of range");
+  return spans_[oid];
+}
+
+const std::vector<ocb::Oid>& Placement::ObjectsOn(PageId page) const {
+  VOODB_CHECK_MSG(page < pages_.size(), "page " << page << " out of range");
+  return pages_[page];
+}
+
+}  // namespace voodb::storage

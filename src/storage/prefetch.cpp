@@ -1,0 +1,23 @@
+#include "storage/prefetch.hpp"
+
+#include "util/check.hpp"
+
+namespace voodb::storage {
+
+SequentialPrefetcher::SequentialPrefetcher(uint32_t depth, PageId max_page)
+    : depth_(depth), max_page_(max_page) {
+  VOODB_CHECK_MSG(depth_ >= 1, "prefetch depth must be >= 1");
+}
+
+std::vector<PageId> SequentialPrefetcher::OnMiss(PageId missed) {
+  std::vector<PageId> pages;
+  pages.reserve(depth_);
+  for (uint32_t i = 1; i <= depth_; ++i) {
+    const PageId next = missed + i;
+    if (next > max_page_) break;
+    pages.push_back(next);
+  }
+  return pages;
+}
+
+}  // namespace voodb::storage

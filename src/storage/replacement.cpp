@@ -1,0 +1,349 @@
+#include "storage/replacement.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace voodb::storage {
+
+const char* ToString(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kRandom:
+      return "RANDOM";
+    case ReplacementPolicy::kFifo:
+      return "FIFO";
+    case ReplacementPolicy::kLfu:
+      return "LFU";
+    case ReplacementPolicy::kLru:
+      return "LRU";
+    case ReplacementPolicy::kLruK:
+      return "LRU-K";
+    case ReplacementPolicy::kClock:
+      return "CLOCK";
+    case ReplacementPolicy::kGclock:
+      return "GCLOCK";
+  }
+  return "?";
+}
+
+namespace {
+
+/// RANDOM: victim drawn uniformly among resident pages.
+class RandomAlgo final : public ReplacementAlgo {
+ public:
+  explicit RandomAlgo(desp::RandomStream rng) : rng_(rng) {}
+
+  void OnAdmit(PageId page) override {
+    index_[page] = pages_.size();
+    pages_.push_back(page);
+  }
+  void OnAccess(PageId) override {}
+  PageId PickVictim() override {
+    VOODB_CHECK_MSG(!pages_.empty(), "no resident pages");
+    const auto i = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(pages_.size()) - 1));
+    return pages_[i];
+  }
+  void OnEvict(PageId page) override {
+    const auto it = index_.find(page);
+    VOODB_CHECK_MSG(it != index_.end(), "evicting non-resident page");
+    const size_t i = it->second;
+    index_.erase(it);
+    if (i + 1 != pages_.size()) {
+      pages_[i] = pages_.back();
+      index_[pages_[i]] = i;
+    }
+    pages_.pop_back();
+  }
+
+ private:
+  desp::RandomStream rng_;
+  std::vector<PageId> pages_;
+  std::unordered_map<PageId, size_t> index_;
+};
+
+/// FIFO: victim is the oldest admitted page; accesses do not refresh.
+class FifoAlgo final : public ReplacementAlgo {
+ public:
+  void OnAdmit(PageId page) override {
+    queue_.push_back(page);
+    resident_.insert({page, true});
+  }
+  void OnAccess(PageId) override {}
+  PageId PickVictim() override {
+    while (!queue_.empty()) {
+      const PageId front = queue_.front();
+      const auto it = resident_.find(front);
+      if (it != resident_.end() && it->second) return front;
+      queue_.pop_front();  // stale entry
+    }
+    VOODB_CHECK_MSG(false, "no resident pages");
+    return kNullPage;
+  }
+  void OnEvict(PageId page) override {
+    const auto it = resident_.find(page);
+    VOODB_CHECK_MSG(it != resident_.end() && it->second,
+                    "evicting non-resident page");
+    resident_.erase(it);
+  }
+
+ private:
+  std::deque<PageId> queue_;
+  std::unordered_map<PageId, bool> resident_;
+};
+
+/// LFU: victim has the smallest access count (FIFO among ties).
+/// Lazily-invalidated min-heap keyed by (count, admission seq).
+class LfuAlgo final : public ReplacementAlgo {
+ public:
+  void OnAdmit(PageId page) override {
+    Meta& m = meta_[page];
+    m.count = 1;
+    m.resident = true;
+    m.seq = next_seq_++;
+    heap_.push(Entry{m.count, m.seq, page});
+  }
+  void OnAccess(PageId page) override {
+    Meta& m = meta_.at(page);
+    ++m.count;
+    heap_.push(Entry{m.count, m.seq, page});
+  }
+  PageId PickVictim() override {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      const auto it = meta_.find(top.page);
+      if (it != meta_.end() && it->second.resident &&
+          it->second.count == top.count) {
+        return top.page;
+      }
+      heap_.pop();  // stale
+    }
+    VOODB_CHECK_MSG(false, "no resident pages");
+    return kNullPage;
+  }
+  void OnEvict(PageId page) override {
+    const auto it = meta_.find(page);
+    VOODB_CHECK_MSG(it != meta_.end() && it->second.resident,
+                    "evicting non-resident page");
+    meta_.erase(it);  // forget history; re-admission restarts the count
+  }
+
+ private:
+  struct Meta {
+    uint64_t count = 0;
+    uint64_t seq = 0;
+    bool resident = false;
+  };
+  struct Entry {
+    uint64_t count;
+    uint64_t seq;
+    PageId page;
+    bool operator>(const Entry& o) const {
+      if (count != o.count) return count > o.count;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<PageId, Meta> meta_;
+  uint64_t next_seq_ = 0;
+};
+
+/// LRU-1: classic least-recently-used via an intrusive list.
+class LruAlgo final : public ReplacementAlgo {
+ public:
+  void OnAdmit(PageId page) override {
+    order_.push_front(page);
+    where_[page] = order_.begin();
+  }
+  void OnAccess(PageId page) override {
+    const auto it = where_.find(page);
+    VOODB_CHECK_MSG(it != where_.end(), "access to non-resident page");
+    order_.splice(order_.begin(), order_, it->second);
+  }
+  PageId PickVictim() override {
+    VOODB_CHECK_MSG(!order_.empty(), "no resident pages");
+    return order_.back();
+  }
+  void OnEvict(PageId page) override {
+    const auto it = where_.find(page);
+    VOODB_CHECK_MSG(it != where_.end(), "evicting non-resident page");
+    order_.erase(it->second);
+    where_.erase(it);
+  }
+
+ private:
+  std::list<PageId> order_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> where_;
+};
+
+/// LRU-K (O'Neil et al.): victim has the largest backward-K distance,
+/// i.e. the smallest K-th most recent access stamp; pages with fewer than
+/// K accesses have infinite distance and are evicted first (oldest last
+/// access breaking ties).  Lazily-invalidated min-heap.
+class LruKAlgo final : public ReplacementAlgo {
+ public:
+  explicit LruKAlgo(uint32_t k) : k_(k) {
+    VOODB_CHECK_MSG(k_ >= 1, "LRU-K needs K >= 1");
+  }
+
+  void OnAdmit(PageId page) override {
+    Meta& m = meta_[page];
+    m.resident = true;
+    m.history.clear();
+    Touch(page, m);
+  }
+  void OnAccess(PageId page) override { Touch(page, meta_.at(page)); }
+  PageId PickVictim() override {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      const auto it = meta_.find(top.page);
+      if (it != meta_.end() && it->second.resident &&
+          it->second.version == top.version) {
+        return top.page;
+      }
+      heap_.pop();  // stale
+    }
+    VOODB_CHECK_MSG(false, "no resident pages");
+    return kNullPage;
+  }
+  void OnEvict(PageId page) override {
+    const auto it = meta_.find(page);
+    VOODB_CHECK_MSG(it != meta_.end() && it->second.resident,
+                    "evicting non-resident page");
+    meta_.erase(it);
+  }
+
+ private:
+  struct Meta {
+    std::deque<uint64_t> history;  // most recent first, at most K stamps
+    uint64_t version = 0;
+    bool resident = false;
+  };
+  struct Entry {
+    bool has_k;          // false sorts first (infinite distance)
+    uint64_t key;        // K-th stamp when has_k, else last stamp
+    uint64_t version;
+    PageId page;
+    bool operator>(const Entry& o) const {
+      if (has_k != o.has_k) return has_k && !o.has_k;
+      return key > o.key;
+    }
+  };
+
+  void Touch(PageId page, Meta& m) {
+    m.history.push_front(++clock_);
+    if (m.history.size() > k_) m.history.pop_back();
+    ++m.version;
+    const bool has_k = m.history.size() >= k_;
+    heap_.push(Entry{has_k, has_k ? m.history.back() : m.history.front(),
+                     m.version, page});
+  }
+
+  uint32_t k_;
+  uint64_t clock_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<PageId, Meta> meta_;
+};
+
+/// CLOCK: second-chance sweep over a circular frame table.  With
+/// `increment_on_access`, behaves as GCLOCK (reference counters instead of
+/// a single reference bit).
+class ClockAlgo : public ReplacementAlgo {
+ public:
+  explicit ClockAlgo(uint32_t initial_weight = 1,
+                     bool increment_on_access = false,
+                     uint32_t max_weight = 8)
+      : initial_weight_(initial_weight),
+        increment_on_access_(increment_on_access),
+        max_weight_(max_weight) {}
+
+  void OnAdmit(PageId page) override {
+    size_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      frames_[slot] = Frame{page, initial_weight_, true};
+    } else {
+      slot = frames_.size();
+      frames_.push_back(Frame{page, initial_weight_, true});
+    }
+    where_[page] = slot;
+  }
+  void OnAccess(PageId page) override {
+    Frame& f = frames_[where_.at(page)];
+    if (increment_on_access_) {
+      f.weight = std::min(f.weight + 1, max_weight_);
+    } else {
+      f.weight = initial_weight_;
+    }
+  }
+  PageId PickVictim() override {
+    VOODB_CHECK_MSG(frames_.size() > free_slots_.size(), "no resident pages");
+    while (true) {
+      if (hand_ >= frames_.size()) hand_ = 0;
+      Frame& f = frames_[hand_];
+      if (!f.occupied) {
+        ++hand_;
+        continue;
+      }
+      if (f.weight == 0) return f.page;
+      --f.weight;
+      ++hand_;
+    }
+  }
+  void OnEvict(PageId page) override {
+    const auto it = where_.find(page);
+    VOODB_CHECK_MSG(it != where_.end(), "evicting non-resident page");
+    frames_[it->second].occupied = false;
+    free_slots_.push_back(it->second);
+    where_.erase(it);
+  }
+
+ private:
+  struct Frame {
+    PageId page = kNullPage;
+    uint32_t weight = 0;
+    bool occupied = false;
+  };
+  uint32_t initial_weight_;
+  bool increment_on_access_ = false;
+  uint32_t max_weight_ = 8;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_slots_;
+  std::unordered_map<PageId, size_t> where_;
+  size_t hand_ = 0;
+};
+
+/// GCLOCK: generalized CLOCK with a reference counter per frame (the
+/// sweep decrements counters; hits increment them).
+class GclockAlgo final : public ClockAlgo {
+ public:
+  GclockAlgo() : ClockAlgo(/*initial_weight=*/1, /*increment_on_access=*/true) {}
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementAlgo> MakeReplacementAlgo(ReplacementPolicy policy,
+                                                     desp::RandomStream rng,
+                                                     uint32_t lru_k) {
+  switch (policy) {
+    case ReplacementPolicy::kRandom:
+      return std::make_unique<RandomAlgo>(rng);
+    case ReplacementPolicy::kFifo:
+      return std::make_unique<FifoAlgo>();
+    case ReplacementPolicy::kLfu:
+      return std::make_unique<LfuAlgo>();
+    case ReplacementPolicy::kLru:
+      return std::make_unique<LruAlgo>();
+    case ReplacementPolicy::kLruK:
+      return std::make_unique<LruKAlgo>(lru_k);
+    case ReplacementPolicy::kClock:
+      return std::make_unique<ClockAlgo>();
+    case ReplacementPolicy::kGclock:
+      return std::make_unique<GclockAlgo>();
+  }
+  VOODB_CHECK_MSG(false, "unknown replacement policy");
+  return nullptr;
+}
+
+}  // namespace voodb::storage

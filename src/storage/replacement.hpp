@@ -1,0 +1,56 @@
+/// \file replacement.hpp
+/// \brief Buffer page replacement policies (Table 3's PGREP parameter).
+///
+/// The paper lists RANDOM, FIFO, LFU, LRU-K, CLOCK and GCLOCK as the
+/// interchangeable policies of the Buffering Manager; LRU-1 is the
+/// default.  Each policy tracks the set of resident pages and nominates a
+/// victim on demand.  Policies that would need an O(capacity) victim scan
+/// (LFU, LRU-K) use lazily-invalidated heaps so all operations stay
+/// O(log capacity) amortized.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "desp/random.hpp"
+#include "storage/page.hpp"
+
+namespace voodb::storage {
+
+/// Replacement policy selector (PGREP).
+enum class ReplacementPolicy {
+  kRandom,
+  kFifo,
+  kLfu,
+  kLru,    ///< LRU-1
+  kLruK,   ///< LRU-K with configurable K (default 2)
+  kClock,
+  kGclock,
+};
+
+const char* ToString(ReplacementPolicy p);
+
+/// Interface every replacement algorithm implements.  The BufferManager
+/// guarantees: OnAdmit for non-resident pages only, OnAccess for resident
+/// pages only, PickVictim only when at least one page is resident, and
+/// OnEvict exactly once per evicted page.
+class ReplacementAlgo {
+ public:
+  virtual ~ReplacementAlgo() = default;
+  virtual void OnAdmit(PageId page) = 0;
+  virtual void OnAccess(PageId page) = 0;
+  virtual PageId PickVictim() = 0;
+  virtual void OnEvict(PageId page) = 0;
+};
+
+/// Factory.  `rng` is used by kRandom; `lru_k` by kLruK.
+std::unique_ptr<ReplacementAlgo> MakeReplacementAlgo(ReplacementPolicy policy,
+                                                     desp::RandomStream rng,
+                                                     uint32_t lru_k = 2);
+
+}  // namespace voodb::storage

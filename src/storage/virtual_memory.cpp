@@ -1,0 +1,107 @@
+#include "storage/virtual_memory.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace voodb::storage {
+
+void VmParameters::Validate() const {
+  VOODB_CHECK_MSG(memory_pages >= 1, "VM needs at least one frame");
+}
+
+VirtualMemoryModel::VirtualMemoryModel(VmParameters params)
+    : params_(params) {
+  params_.Validate();
+}
+
+AccessOutcome VirtualMemoryModel::Touch(PageId page, bool write) {
+  AccessOutcome outcome;
+  ++stats_.touches;
+  const auto it = where_.find(page);
+  if (it != where_.end() && it->second->state == State::kLoaded) {
+    ++stats_.soft_hits;
+    outcome.hit = true;
+    it->second->dirty = it->second->dirty || write;
+    MoveToFront(it->second);
+    return outcome;
+  }
+
+  // Fault: the page is absent or only reserved; either way its contents
+  // must come from disk.
+  ++stats_.faults;
+  if (it != where_.end()) {
+    // Reserved -> Loaded in place.
+    it->second->state = State::kLoaded;
+    it->second->dirty = params_.dirty_on_load || write;
+    MoveToFront(it->second);
+  } else {
+    AllocateFrame(page, State::kLoaded, params_.dirty_on_load || write,
+                  outcome.ios);
+  }
+  ++stats_.reads;
+  outcome.ios.push_back(PageIo{PageIo::Kind::kRead, page});
+  return outcome;
+}
+
+std::vector<PageIo> VirtualMemoryModel::Reserve(PageId page) {
+  std::vector<PageIo> ios;
+  if (where_.count(page) != 0) return ios;  // already has a frame
+  if (params_.reservations_enter_hot) {
+    AllocateFrame(page, State::kReserved, /*dirty=*/false, ios);
+  } else {
+    // Insert cold: the reservation becomes the next eviction victim
+    // unless a fault promotes it first.
+    while (frames_.size() >= params_.memory_pages) EvictOne(ios);
+    frames_.push_back(Frame{page, State::kReserved, false});
+    where_[page] = std::prev(frames_.end());
+  }
+  ++stats_.reservations;
+  return ios;
+}
+
+void VirtualMemoryModel::DropAll() {
+  frames_.clear();
+  where_.clear();
+}
+
+std::vector<PageIo> VirtualMemoryModel::Resize(uint64_t memory_pages) {
+  VOODB_CHECK_MSG(memory_pages >= 1, "VM needs at least one frame");
+  params_.memory_pages = memory_pages;
+  std::vector<PageIo> ios;
+  while (frames_.size() > params_.memory_pages) EvictOne(ios);
+  return ios;
+}
+
+bool VirtualMemoryModel::IsLoaded(PageId page) const {
+  const auto it = where_.find(page);
+  return it != where_.end() && it->second->state == State::kLoaded;
+}
+
+void VirtualMemoryModel::EvictOne(std::vector<PageIo>& ios) {
+  VOODB_CHECK_MSG(!frames_.empty(), "no frame to evict");
+  const Frame victim = frames_.back();
+  where_.erase(victim.page);
+  frames_.pop_back();
+  if (victim.state == State::kReserved) {
+    ++stats_.reserved_evictions;  // nothing was loaded; no I/O
+    return;
+  }
+  if (victim.dirty) {
+    ++stats_.swap_writes;
+    ios.push_back(PageIo{PageIo::Kind::kWrite, victim.page});
+  }
+}
+
+void VirtualMemoryModel::AllocateFrame(PageId page, State state, bool dirty,
+                                       std::vector<PageIo>& ios) {
+  while (frames_.size() >= params_.memory_pages) EvictOne(ios);
+  frames_.push_front(Frame{page, state, dirty});
+  where_[page] = frames_.begin();
+}
+
+void VirtualMemoryModel::MoveToFront(FrameList::iterator it) {
+  frames_.splice(frames_.begin(), frames_, it);
+}
+
+}  // namespace voodb::storage

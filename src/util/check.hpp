@@ -1,0 +1,60 @@
+/// \file check.hpp
+/// \brief Internal invariant-checking macros and the library exception type.
+///
+/// VOODB is a simulation library: configuration errors are reported with
+/// exceptions (callers can recover and fix their config), while broken
+/// internal invariants abort through VOODB_DCHECK in debug builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace voodb::util {
+
+/// Exception thrown for invalid configurations or misuse of the public API.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ThrowCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "VOODB_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace voodb::util
+
+/// Always-on check; throws voodb::util::Error when the condition is false.
+#define VOODB_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::voodb::util::detail::ThrowCheckFailure(#cond, __FILE__, __LINE__,     \
+                                               std::string());                \
+    }                                                                         \
+  } while (false)
+
+/// Always-on check with a streamed message:
+/// VOODB_CHECK_MSG(x > 0, "x must be positive, got " << x);
+#define VOODB_CHECK_MSG(cond, stream_expr)                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream voodb_check_os_;                                     \
+      voodb_check_os_ << stream_expr;                                         \
+      ::voodb::util::detail::ThrowCheckFailure(#cond, __FILE__, __LINE__,     \
+                                               voodb_check_os_.str());        \
+    }                                                                         \
+  } while (false)
+
+#ifndef NDEBUG
+#define VOODB_DCHECK(cond) VOODB_CHECK(cond)
+#else
+#define VOODB_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#endif

@@ -1,0 +1,79 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace voodb::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    VOODB_CHECK_MSG(arg.rfind("--", 0) == 0,
+                    "expected --name=value argument, got '" << arg << "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag => boolean
+    }
+  }
+}
+
+std::string CliArgs::GetString(const std::string& name,
+                               const std::string& def) {
+  seen_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t CliArgs::GetInt(const std::string& name, int64_t def) {
+  seen_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  VOODB_CHECK_MSG(end != nullptr && *end == '\0',
+                  "flag --" << name << " expects an integer, got '"
+                            << it->second << "'");
+  return v;
+}
+
+double CliArgs::GetDouble(const std::string& name, double def) {
+  seen_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  VOODB_CHECK_MSG(end != nullptr && *end == '\0',
+                  "flag --" << name << " expects a number, got '" << it->second
+                            << "'");
+  return v;
+}
+
+bool CliArgs::GetBool(const std::string& name, bool def) {
+  seen_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  VOODB_CHECK_MSG(false, "flag --" << name << " expects a boolean, got '" << v
+                                   << "'");
+  return def;
+}
+
+void CliArgs::RejectUnknown() const {
+  for (const auto& [name, value] : values_) {
+    VOODB_CHECK_MSG(seen_.count(name) != 0, "unknown flag --" << name);
+  }
+}
+
+}  // namespace voodb::util

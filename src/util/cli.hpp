@@ -1,0 +1,41 @@
+/// \file cli.hpp
+/// \brief Minimal command-line flag parsing for examples and bench harnesses.
+///
+/// Flags use the form `--name=value` or `--name value`.  Unknown flags are
+/// rejected so typos do not silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace voodb::util {
+
+/// Parses `--key=value` style arguments.
+class CliArgs {
+ public:
+  /// Parses argv; throws voodb::util::Error on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  /// Declares a flag so it is accepted; returns its value or `def`.
+  std::string GetString(const std::string& name, const std::string& def);
+  int64_t GetInt(const std::string& name, int64_t def);
+  double GetDouble(const std::string& name, double def);
+  bool GetBool(const std::string& name, bool def);
+
+  /// Throws if any provided flag was never declared via a Get* call.
+  /// Call after all Get* calls.
+  void RejectUnknown() const;
+
+  /// True when `--help` / `-h` was passed.
+  bool help_requested() const { return help_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> seen_;
+  bool help_ = false;
+};
+
+}  // namespace voodb::util

@@ -1,0 +1,35 @@
+/// \file special_functions.hpp
+/// \brief Statistical special functions used by the simulation kernel.
+///
+/// The confidence-interval machinery of §4.2.2 of the VOODB paper needs
+/// Student-t quantiles (h = t(n-1, 1-alpha/2) * sigma / sqrt(n)).  Rather
+/// than hard-coding a quantile table we implement the regularized incomplete
+/// beta function and derive the t CDF / quantile from it; the classic
+/// textbook table is used in the unit tests as ground truth.
+#pragma once
+
+namespace voodb::util {
+
+/// Natural log of the gamma function (thin wrapper over std::lgamma, kept
+/// here so all special functions share one header).
+double LogGamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+/// x in [0, 1].  Continued-fraction evaluation (Lentz's algorithm).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Quantile (inverse CDF) of the Student-t distribution with `df` degrees
+/// of freedom at probability `p` in (0, 1).  Monotone bisection on the CDF.
+double StudentTQuantile(double p, double df);
+
+/// Quantile of the standard normal distribution (Acklam's rational
+/// approximation, |error| < 1.15e-9).
+double NormalQuantile(double p);
+
+/// CDF of the standard normal distribution.
+double NormalCdf(double x);
+
+}  // namespace voodb::util

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace voodb::util {
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VOODB_CHECK_MSG(!header_.empty(), "table must have at least one column");
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  VOODB_CHECK_MSG(cells.size() == header_.size(),
+                  "row arity " << cells.size() << " != header arity "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddNumericRow(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace voodb::util

@@ -1,0 +1,49 @@
+/// \file table.hpp
+/// \brief Plain-text table and CSV rendering for benchmark harnesses.
+///
+/// Every bench binary in bench/ prints the rows/series of one paper figure
+/// or table; this helper keeps the output format uniform (aligned columns
+/// on stdout, optional CSV for post-processing).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace voodb::util {
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+/// \code
+///   TextTable t({"Instances", "Benchmark", "Simulation", "Ratio"});
+///   t.AddRow({"500", "403.1", "395.2", "1.02"});
+///   t.Print(std::cout);
+/// \endcode
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimal digits.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 2);
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  void Print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our cell content).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table rows).
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace voodb::util

@@ -1,0 +1,108 @@
+#include "voodb/buffering_manager.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace voodb::core {
+
+BufferingManagerActor::BufferingManagerActor(desp::Scheduler* scheduler,
+                                             const VoodbConfig& config,
+                                             ObjectManagerActor* object_manager,
+                                             IoSubsystemActor* io,
+                                             desp::RandomStream rng)
+    : scheduler_(scheduler), object_manager_(object_manager), io_(io) {
+  VOODB_CHECK_MSG(object_manager_ != nullptr && io_ != nullptr,
+                  "buffering manager needs its peers");
+  if (config.use_virtual_memory) {
+    storage::VmParameters vm_params;
+    vm_params.memory_pages = config.buffer_pages;
+    vm_params.dirty_on_load = config.vm_dirty_on_load;
+    vm_params.reservations_enter_hot = config.vm_reservations_enter_hot;
+    vm_reserve_references_ = config.vm_reserve_references;
+    vm_ = std::make_unique<storage::VirtualMemoryModel>(vm_params);
+  } else {
+    buffer_ = std::make_unique<storage::BufferManager>(
+        config.buffer_pages, config.page_replacement, rng, config.lru_k);
+    if (config.prefetch == PrefetchPolicy::kSequential) {
+      // max_page is refreshed lazily: the prefetcher is rebuilt after a
+      // relocation grows the page space (see AccessPage).
+      buffer_->SetPrefetcher(std::make_unique<storage::SequentialPrefetcher>(
+          config.prefetch_depth, object_manager_->NumPages() - 1));
+    }
+  }
+}
+
+void BufferingManagerActor::AccessObject(ocb::Oid oid, bool write,
+                                         std::function<void()> done) {
+  AccessSpan(object_manager_->SpanOf(oid), write, std::move(done));
+}
+
+void BufferingManagerActor::AccessSpan(storage::PageSpan span, bool write,
+                                       std::function<void()> done) {
+  VOODB_CHECK_MSG(span.count >= 1, "empty page span");
+  AccessSpanStep(span, 0, write, std::move(done));
+}
+
+void BufferingManagerActor::AccessSpanStep(storage::PageSpan span,
+                                           uint32_t index, bool write,
+                                           std::function<void()> done) {
+  if (index >= span.count) {
+    done();
+    return;
+  }
+  AccessPage(span.first + index, write,
+             [this, span, index, write, done = std::move(done)]() mutable {
+               AccessSpanStep(span, index + 1, write, std::move(done));
+             });
+}
+
+void BufferingManagerActor::AccessPage(storage::PageId page, bool write,
+                                       std::function<void()> done) {
+  ++requests_;
+  storage::AccessOutcome outcome = vm_ != nullptr
+                                       ? vm_->Touch(page, write)
+                                       : buffer_->Access(page, write);
+  if (outcome.hit) {
+    ++hits_;
+    done();
+    return;
+  }
+  if (vm_ != nullptr && vm_reserve_references_) {
+    // Texas faulted the page in: swizzling its pointers reserves frames
+    // for every page referenced from it; evictions caused by the
+    // reservations produce swap writes the disk must absorb.
+    for (storage::PageId ref : object_manager_->ReferencedPages(page)) {
+      for (storage::PageIo& io : vm_->Reserve(ref)) {
+        outcome.ios.push_back(io);
+      }
+    }
+  }
+  io_->Execute(std::move(outcome.ios), std::move(done));
+}
+
+void BufferingManagerActor::Flush(std::function<void()> done) {
+  if (vm_ != nullptr) {
+    done();
+    return;
+  }
+  io_->Execute(buffer_->FlushAll(), std::move(done));
+}
+
+bool BufferingManagerActor::Contains(storage::PageId page) const {
+  return vm_ != nullptr ? vm_->IsLoaded(page) : buffer_->Contains(page);
+}
+
+uint64_t BufferingManagerActor::DirtyPages() const {
+  return vm_ != nullptr ? vm_->DirtyFrames() : buffer_->DirtyPages();
+}
+
+void BufferingManagerActor::Drop() {
+  if (vm_ != nullptr) {
+    vm_->DropAll();
+  } else {
+    buffer_->DropAll();
+  }
+}
+
+}  // namespace voodb::core

@@ -1,0 +1,82 @@
+/// \file buffering_manager.hpp
+/// \brief The Buffering Manager active resource (knowledge model, Fig. 4).
+///
+/// "Access Page(s)": checks the memory buffer and, on a miss, requests the
+/// page from the I/O Subsystem.  Depending on the configuration this actor
+/// fronts either a database page buffer (BufferManager, with the PGREP
+/// replacement policy) or the OS virtual-memory model (Texas).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "desp/random.hpp"
+#include "desp/scheduler.hpp"
+#include "ocb/types.hpp"
+#include "storage/buffer_manager.hpp"
+#include "storage/virtual_memory.hpp"
+#include "voodb/config.hpp"
+#include "voodb/io_subsystem.hpp"
+#include "voodb/object_manager.hpp"
+
+namespace voodb::core {
+
+/// The Buffering Manager actor.
+class BufferingManagerActor {
+ public:
+  BufferingManagerActor(desp::Scheduler* scheduler, const VoodbConfig& config,
+                        ObjectManagerActor* object_manager,
+                        IoSubsystemActor* io, desp::RandomStream rng);
+
+  /// Accesses object `oid` (every page of its span in order, plus the
+  /// reserve-on-swizzle reservations when the Texas VM model is active),
+  /// then calls `done`.
+  void AccessObject(ocb::Oid oid, bool write, std::function<void()> done);
+
+  /// Accesses every page of `span` in order, then calls `done`.
+  void AccessSpan(storage::PageSpan span, bool write,
+                  std::function<void()> done);
+
+  /// Accesses a single page, then calls `done`.
+  void AccessPage(storage::PageId page, bool write,
+                  std::function<void()> done);
+
+  /// Forgets all buffered pages (no write-back).
+  void Drop();
+
+  /// Writes all dirty pages back through the I/O subsystem, then calls
+  /// `done` (no-op completion for the VM-backed configuration, which has
+  /// no force point).
+  void Flush(std::function<void()> done);
+
+  /// True when `page`'s contents are memory-resident.
+  bool Contains(storage::PageId page) const;
+
+  /// Resident dirty pages (the redo work a crash would leave behind).
+  uint64_t DirtyPages() const;
+
+  uint64_t requests() const { return requests_; }
+  uint64_t hits() const { return hits_; }
+  double HitRate() const {
+    return requests_ == 0
+               ? 0.0
+               : static_cast<double>(hits_) / static_cast<double>(requests_);
+  }
+  bool uses_virtual_memory() const { return vm_ != nullptr; }
+
+ private:
+  void AccessSpanStep(storage::PageSpan span, uint32_t index, bool write,
+                      std::function<void()> done);
+
+  desp::Scheduler* scheduler_;
+  ObjectManagerActor* object_manager_;
+  IoSubsystemActor* io_;
+  std::unique_ptr<storage::BufferManager> buffer_;
+  std::unique_ptr<storage::VirtualMemoryModel> vm_;
+  bool vm_reserve_references_ = false;
+  uint64_t requests_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace voodb::core

@@ -1,0 +1,87 @@
+#include "voodb/clustering_manager.hpp"
+
+#include <string_view>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace voodb::core {
+
+ClusteringManagerActor::ClusteringManagerActor(
+    desp::Scheduler* scheduler,
+    std::unique_ptr<cluster::ClusteringPolicy> policy,
+    ObjectManagerActor* object_manager, BufferingManagerActor* buffering,
+    IoSubsystemActor* io)
+    : scheduler_(scheduler),
+      policy_(std::move(policy)),
+      object_manager_(object_manager),
+      buffering_(buffering),
+      io_(io) {
+  if (policy_ == nullptr) {
+    policy_ = std::make_unique<cluster::NoClustering>();
+  }
+}
+
+bool ClusteringManagerActor::enabled() const {
+  return std::string_view(policy_->name()) != "NONE";
+}
+
+void ClusteringManagerActor::OnTransactionStart() {
+  policy_->OnTransactionStart();
+}
+
+void ClusteringManagerActor::OnObjectAccess(ocb::Oid oid, bool is_write) {
+  policy_->OnObjectAccess(oid, is_write);
+}
+
+void ClusteringManagerActor::OnTransactionEnd() { policy_->OnTransactionEnd(); }
+
+bool ClusteringManagerActor::ShouldTrigger() const {
+  return policy_->ShouldTrigger();
+}
+
+void ClusteringManagerActor::PerformClustering(
+    std::function<void(ClusteringMetrics)> done) {
+  VOODB_CHECK_MSG(static_cast<bool>(done), "needs a continuation");
+  const double started = scheduler_->Now();
+  cluster::ClusteringOutcome outcome = policy_->Recluster(
+      object_manager_->base(), object_manager_->placement());
+  ClusteringMetrics metrics;
+  metrics.reorganized = outcome.reorganized;
+  metrics.num_clusters = outcome.NumClusters();
+  metrics.mean_cluster_size = outcome.MeanClusterSize();
+  if (!outcome.reorganized) {
+    done(metrics);
+    return;
+  }
+
+  const ObjectManagerActor::RelocationIo relocation =
+      object_manager_->ApplyRelocation(outcome.moved_objects);
+  std::vector<storage::PageIo> ios;
+  ios.reserve(relocation.pages_to_read.size() +
+              relocation.pages_to_write.size());
+  for (storage::PageId page : relocation.pages_to_read) {
+    // Source pages already buffered need no physical read; the hot pages
+    // being clustered usually are (this is why the simulated overhead is
+    // small even before the logical/physical OID asymmetry).
+    if (buffering_->Contains(page)) continue;
+    ios.push_back(storage::PageIo{storage::PageIo::Kind::kRead, page});
+  }
+  for (storage::PageId page : relocation.pages_to_write) {
+    ios.push_back(storage::PageIo{storage::PageIo::Kind::kWrite, page});
+  }
+  // The buffer's view of relocated objects is stale; drop it so the next
+  // phase starts from disk, exactly like a post-reorganization restart.
+  buffering_->Drop();
+
+  metrics.overhead_ios = ios.size();
+  total_overhead_ios_ += ios.size();
+  ++reorganizations_;
+  io_->Execute(std::move(ios),
+               [this, metrics, started, done = std::move(done)]() mutable {
+                 metrics.duration_ms = scheduler_->Now() - started;
+                 done(metrics);
+               });
+}
+
+}  // namespace voodb::core

@@ -1,0 +1,120 @@
+/// \file config.hpp
+/// \brief The VOODB evaluation-model parameters (paper Table 3).
+#pragma once
+
+#include <cstdint>
+
+#include "storage/disk_model.hpp"
+#include "storage/placement.hpp"
+#include "storage/replacement.hpp"
+
+namespace voodb::core {
+
+/// SYSCLASS: the architecture the generic model is instantiated as.
+enum class SystemClass {
+  kCentralized,   ///< single host (e.g. Texas)
+  kObjectServer,  ///< objects shipped to clients (e.g. ORION, ONTOS)
+  kPageServer,    ///< pages shipped to clients (e.g. ObjectStore, O2)
+  kDbServer,      ///< queries shipped to the server (database server)
+};
+
+const char* ToString(SystemClass s);
+
+/// PREFETCH: the prefetching policy ({None | Other}).
+enum class PrefetchPolicy {
+  kNone,
+  kSequential,  ///< the "Other" slot: sequential read-ahead
+};
+
+const char* ToString(PrefetchPolicy p);
+
+/// All Table 3 parameters plus the system-level extras the validation
+/// experiments need (storage overhead factor, Texas' VM behaviour).
+struct VoodbConfig {
+  // --- System --------------------------------------------------------------
+  SystemClass system_class = SystemClass::kPageServer;  ///< SYSCLASS
+  /// NETTHRU in MB/s; <= 0 means infinite throughput (no network delay).
+  double network_throughput_mbps = 1.0;
+
+  // --- Buffering Manager ---------------------------------------------------
+  uint32_t page_size = 4096;       ///< PGSIZE
+  uint64_t buffer_pages = 500;     ///< BUFFSIZE
+  storage::ReplacementPolicy page_replacement =
+      storage::ReplacementPolicy::kLru;  ///< PGREP (default LRU-1)
+  uint32_t lru_k = 2;                    ///< K when PGREP is LRU-K
+  PrefetchPolicy prefetch = PrefetchPolicy::kNone;  ///< PREFETCH
+  uint32_t prefetch_depth = 2;
+
+  // --- Clustering Manager --------------------------------------------------
+  /// INITPL: initial object placement.
+  storage::PlacementPolicy initial_placement =
+      storage::PlacementPolicy::kOptimizedSequential;
+  /// Whether the Clustering Manager evaluates its trigger automatically
+  /// at transaction boundaries (knowledge model "Automatic triggering");
+  /// external triggering via VoodbSystem::TriggerClustering is always
+  /// available.
+  bool auto_clustering = false;
+  /// CPU time charged per object access for statistics collection when a
+  /// clustering policy is installed (ms).
+  double clustering_stat_cpu_ms = 0.02;
+
+  // --- I/O Subsystem -------------------------------------------------------
+  storage::DiskParameters disk;  ///< DISKSEA / DISKLAT / DISKTRA
+
+  // --- Transaction Manager -------------------------------------------------
+  uint32_t multiprogramming_level = 10;  ///< MULTILVL
+  double get_lock_ms = 0.5;              ///< GETLOCK (per object access)
+  double release_lock_ms = 0.5;          ///< RELLOCK (per held lock)
+  /// Force policy: write all dirty buffer pages to disk at transaction
+  /// commit.  Off by default (the paper's model counts write-backs only
+  /// at eviction); irrelevant for the VM-backed (Texas) configuration,
+  /// which has no transactional force point.
+  bool flush_on_commit = false;
+  /// Concurrency-control extension (paper §5): acquire real object-level
+  /// S/X two-phase locks through the LockManager instead of charging the
+  /// fixed GETLOCK delay alone.  Wait-die resolves deadlocks; aborted
+  /// transactions restart after an exponential backoff.
+  bool use_lock_manager = false;
+  /// Mean of the exponential restart backoff (ms) after a wait-die abort.
+  double restart_backoff_ms = 20.0;
+
+  // --- Random hazards (paper §5 extension) ----------------------------------
+  /// Mean time between system crashes (ms); 0 disables the hazard process.
+  double failure_mtbf_ms = 0.0;
+  /// Fixed restart cost after a crash (ms).
+  double recovery_base_ms = 500.0;
+  /// Log-replay cost per dirty page lost in a crash (ms).
+  double recovery_per_dirty_page_ms = 2.0;
+  /// Per-I/O transient fault probability (benign failures); 0 disables.
+  double disk_fault_prob = 0.0;
+  /// Retry penalty per transient fault (ms).
+  double disk_fault_retry_ms = 30.0;
+  /// Retries before a transient fault clears.
+  uint32_t disk_fault_max_retries = 3;
+
+  // --- Users ---------------------------------------------------------------
+  uint32_t num_users = 1;  ///< NUSERS
+
+  // --- System-level extras (Table 4 calibration) ---------------------------
+  /// Storage overhead factor applied when packing objects into pages
+  /// (O2's page server stores the OCB base in ~28 MB where Texas needs
+  /// ~21 MB; >= 1).
+  double storage_overhead = 1.0;
+  /// Use the OS virtual-memory model instead of a database buffer
+  /// (Texas).  BUFFSIZE is then the number of page frames.
+  bool use_virtual_memory = false;
+  /// Texas reserve-on-swizzle behaviour (only with use_virtual_memory).
+  bool vm_reserve_references = true;
+  /// Reserved frames enter the LRU order hot (MRU head) — the Linux 2.0
+  /// behaviour the paper measured; false inserts them cold (ablation).
+  bool vm_reservations_enter_hot = true;
+  /// Pages dirtied by pointer swizzling at load time (only with
+  /// use_virtual_memory).
+  bool vm_dirty_on_load = true;
+  /// CPU time per in-memory object operation (ms).
+  double object_cpu_ms = 0.005;
+
+  void Validate() const;
+};
+
+}  // namespace voodb::core

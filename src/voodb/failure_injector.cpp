@@ -1,0 +1,62 @@
+#include "voodb/failure_injector.hpp"
+
+#include "util/check.hpp"
+
+namespace voodb::core {
+
+void FailureParameters::Validate() const {
+  VOODB_CHECK_MSG(recovery_base_ms >= 0.0, "recovery base must be >= 0");
+  VOODB_CHECK_MSG(recovery_per_dirty_page_ms >= 0.0,
+                  "per-page recovery cost must be >= 0");
+}
+
+FailureInjectorActor::FailureInjectorActor(desp::Scheduler* scheduler,
+                                           FailureParameters params,
+                                           BufferingManagerActor* buffering,
+                                           IoSubsystemActor* io,
+                                           desp::RandomStream rng)
+    : scheduler_(scheduler),
+      params_(params),
+      buffering_(buffering),
+      io_(io),
+      rng_(rng) {
+  params_.Validate();
+  VOODB_CHECK_MSG(scheduler_ && buffering_ && io_,
+                  "failure injector needs its peers");
+}
+
+void FailureInjectorActor::Arm() {
+  if (params_.mtbf_ms <= 0.0 || pending_.pending()) return;
+  ScheduleNext();
+}
+
+void FailureInjectorActor::Disarm() {
+  if (pending_.pending()) scheduler_->Cancel(pending_);
+}
+
+bool FailureInjectorActor::armed() const { return pending_.pending(); }
+
+void FailureInjectorActor::ScheduleNext() {
+  pending_ =
+      scheduler_->Schedule(rng_.Exponential(params_.mtbf_ms),
+                           [this] { Crash(); });
+}
+
+void FailureInjectorActor::Crash() {
+  ++stats_.crashes;
+  const uint64_t dirty = buffering_->DirtyPages();
+  stats_.dirty_pages_lost += dirty;
+  const double recovery =
+      params_.recovery_base_ms +
+      params_.recovery_per_dirty_page_ms * static_cast<double>(dirty);
+  stats_.total_recovery_ms += recovery;
+  stats_.recovery_times.Add(recovery);
+  // The volatile buffer is gone; the disk is busy replaying the log.
+  buffering_->Drop();
+  io_->Seize(recovery, [this] {
+    // System back up: the hazard process continues.
+    ScheduleNext();
+  });
+}
+
+}  // namespace voodb::core

@@ -1,0 +1,83 @@
+/// \file failure_injector.hpp
+/// \brief Random hazards: system failures and recovery (paper §5).
+///
+/// "VOODB could also take into account random hazards, like benign or
+/// serious system failures, in order to observe how the studied OODB
+/// behaves and recovers in critical conditions."  This module implements
+/// the *serious* failures (crashes); the *benign* ones (transient disk
+/// errors) live in IoSubsystemActor::SetFaultModel.
+///
+/// Crash model: crashes arrive as a Poisson process with mean inter-
+/// arrival `mtbf_ms`.  A crash (1) discards the volatile buffer — every
+/// unwritten update is lost and must be redone — and (2) occupies the
+/// disk exclusively for the recovery time
+///   recovery_base_ms + recovery_per_dirty_page_ms * dirty_pages,
+/// modelling the restart plus log replay proportional to the lost dirty
+/// set.  In-flight transactions are not aborted; they stall behind the
+/// recovery scan and their response times absorb the outage (a warm
+/// restart with strict redo, no undo — the simple ARIES-style story).
+#pragma once
+
+#include <cstdint>
+
+#include "desp/random.hpp"
+#include "desp/scheduler.hpp"
+#include "desp/stats.hpp"
+#include "voodb/buffering_manager.hpp"
+#include "voodb/io_subsystem.hpp"
+
+namespace voodb::core {
+
+/// Crash-model tunables.
+struct FailureParameters {
+  /// Mean time between system failures (ms); <= 0 disables crashes.
+  double mtbf_ms = 0.0;
+  /// Fixed restart cost (process restart, log open).
+  double recovery_base_ms = 500.0;
+  /// Redo cost per dirty page lost in the crash.
+  double recovery_per_dirty_page_ms = 2.0;
+
+  void Validate() const;
+};
+
+/// Counters exposed by the injector.
+struct FailureStats {
+  uint64_t crashes = 0;
+  double total_recovery_ms = 0.0;
+  uint64_t dirty_pages_lost = 0;
+  desp::Tally recovery_times;
+};
+
+/// Schedules crashes and performs the recovery protocol.
+class FailureInjectorActor {
+ public:
+  FailureInjectorActor(desp::Scheduler* scheduler, FailureParameters params,
+                       BufferingManagerActor* buffering, IoSubsystemActor* io,
+                       desp::RandomStream rng);
+
+  /// Schedules the first crash (no-op when mtbf <= 0).  Crashes then
+  /// re-arm themselves indefinitely; pending crash events survive phase
+  /// boundaries (the system driver stops on work completion, not on an
+  /// empty event list).
+  void Arm();
+
+  /// Cancels the pending crash, if any.
+  void Disarm();
+
+  bool armed() const;
+  const FailureStats& stats() const { return stats_; }
+
+ private:
+  void ScheduleNext();
+  void Crash();
+
+  desp::Scheduler* scheduler_;
+  FailureParameters params_;
+  BufferingManagerActor* buffering_;
+  IoSubsystemActor* io_;
+  desp::RandomStream rng_;
+  desp::EventHandle pending_;
+  FailureStats stats_;
+};
+
+}  // namespace voodb::core

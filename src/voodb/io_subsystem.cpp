@@ -1,0 +1,76 @@
+#include "voodb/io_subsystem.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace voodb::core {
+
+IoSubsystemActor::IoSubsystemActor(desp::Scheduler* scheduler,
+                                   storage::DiskParameters disk_params)
+    : scheduler_(scheduler),
+      disk_(scheduler, "disk", /*capacity=*/1),
+      disk_model_(disk_params) {}
+
+void IoSubsystemActor::Execute(std::vector<storage::PageIo> ios,
+                               std::function<void()> done) {
+  VOODB_CHECK_MSG(static_cast<bool>(done), "Execute needs a continuation");
+  if (ios.empty()) {
+    done();
+    return;
+  }
+  auto shared = std::make_shared<std::vector<storage::PageIo>>(std::move(ios));
+  ExecuteNext(std::move(shared), 0, std::move(done));
+}
+
+void IoSubsystemActor::ExecuteNext(
+    std::shared_ptr<std::vector<storage::PageIo>> ios, size_t index,
+    std::function<void()> done) {
+  if (index >= ios->size()) {
+    done();
+    return;
+  }
+  disk_.Acquire([this, ios = std::move(ios), index,
+                 done = std::move(done)]() mutable {
+    // Service time is computed at grant time so the head position
+    // reflects the actual execution order under contention.
+    const double service = disk_model_.IoTime((*ios)[index]) + FaultPenalty();
+    scheduler_->Schedule(service, [this, ios = std::move(ios), index,
+                                   done = std::move(done)]() mutable {
+      disk_.Release();
+      ExecuteNext(std::move(ios), index + 1, std::move(done));
+    });
+  });
+}
+
+void IoSubsystemActor::Seize(double duration_ms, std::function<void()> done) {
+  VOODB_CHECK_MSG(duration_ms >= 0.0, "seize duration must be >= 0");
+  disk_.AcquireFor(duration_ms, std::move(done));
+}
+
+void IoSubsystemActor::SetFaultModel(double fault_prob,
+                                     double retry_penalty_ms,
+                                     uint32_t max_retries,
+                                     desp::RandomStream rng) {
+  VOODB_CHECK_MSG(fault_prob >= 0.0 && fault_prob < 1.0,
+                  "fault probability must lie in [0, 1)");
+  VOODB_CHECK_MSG(retry_penalty_ms >= 0.0, "retry penalty must be >= 0");
+  faults_enabled_ = fault_prob > 0.0;
+  fault_prob_ = fault_prob;
+  retry_penalty_ms_ = retry_penalty_ms;
+  max_retries_ = max_retries;
+  fault_rng_ = rng;
+}
+
+double IoSubsystemActor::FaultPenalty() {
+  if (!faults_enabled_) return 0.0;
+  double penalty = 0.0;
+  for (uint32_t attempt = 0; attempt < max_retries_; ++attempt) {
+    if (!fault_rng_.Bernoulli(fault_prob_)) break;
+    ++transient_faults_;
+    penalty += retry_penalty_ms_;
+  }
+  return penalty;
+}
+
+}  // namespace voodb::core

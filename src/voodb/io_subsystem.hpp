@@ -1,0 +1,70 @@
+/// \file io_subsystem.hpp
+/// \brief The I/O Subsystem active resource (knowledge model, Fig. 4/5).
+///
+/// Owns the disk (a capacity-1 passive resource: the "server disk
+/// controller and secondary storage" of Table 1) and the disk service-time
+/// model.  Other actors hand it batches of `PageIo` operations; it
+/// executes them sequentially on the disk resource and fires a completion
+/// continuation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "desp/random.hpp"
+#include "desp/resource.hpp"
+#include "desp/scheduler.hpp"
+#include "storage/disk_model.hpp"
+#include "storage/page.hpp"
+
+namespace voodb::core {
+
+/// The I/O Subsystem actor.
+class IoSubsystemActor {
+ public:
+  IoSubsystemActor(desp::Scheduler* scheduler,
+                   storage::DiskParameters disk_params);
+
+  /// Executes `ios` in order (each waits for the disk resource, holds it
+  /// for the modelled service time, releases) and then calls `done`.
+  /// Calls `done` immediately when `ios` is empty.
+  void Execute(std::vector<storage::PageIo> ios, std::function<void()> done);
+
+  /// Occupies the disk exclusively for `duration_ms` (recovery scans,
+  /// log replay), then calls `done`.  Queued I/O waits behind it.
+  void Seize(double duration_ms, std::function<void()> done);
+
+  /// Enables the transient-fault model (paper §5 "benign failures"):
+  /// each physical I/O independently fails with probability `fault_prob`
+  /// and is retried (up to `max_retries` times, `retry_penalty_ms` each)
+  /// before succeeding.
+  void SetFaultModel(double fault_prob, double retry_penalty_ms,
+                     uint32_t max_retries, desp::RandomStream rng);
+
+  uint64_t total_ios() const { return disk_model_.total_ios(); }
+  uint64_t reads() const { return disk_model_.reads(); }
+  uint64_t writes() const { return disk_model_.writes(); }
+  /// Transient faults injected so far.
+  uint64_t transient_faults() const { return transient_faults_; }
+  double DiskUtilization() const { return disk_.Utilization(); }
+  const storage::DiskModel& disk_model() const { return disk_model_; }
+
+ private:
+  void ExecuteNext(std::shared_ptr<std::vector<storage::PageIo>> ios,
+                   size_t index, std::function<void()> done);
+  double FaultPenalty();
+
+  desp::Scheduler* scheduler_;
+  desp::Resource disk_;
+  storage::DiskModel disk_model_;
+  bool faults_enabled_ = false;
+  double fault_prob_ = 0.0;
+  double retry_penalty_ms_ = 0.0;
+  uint32_t max_retries_ = 0;
+  uint64_t transient_faults_ = 0;
+  desp::RandomStream fault_rng_{0};
+};
+
+}  // namespace voodb::core

@@ -1,0 +1,274 @@
+#include "voodb/lock_manager.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace voodb::core {
+
+const char* ToString(LockMode m) {
+  return m == LockMode::kShared ? "S" : "X";
+}
+
+LockManager::LockManager(desp::Scheduler* scheduler)
+    : scheduler_(scheduler) {
+  VOODB_CHECK_MSG(scheduler_ != nullptr, "lock manager needs a scheduler");
+}
+
+void LockManager::BeginTransaction(uint64_t txn, double timestamp) {
+  auto [it, inserted] = transactions_.emplace(txn, TxnState{timestamp, {}});
+  VOODB_CHECK_MSG(inserted, "transaction " << txn << " already active");
+}
+
+bool LockManager::Compatible(const LockEntry& entry, uint64_t txn,
+                             LockMode mode) const {
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) continue;  // own locks never conflict
+    if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockManager::MayWait(const LockEntry& entry, uint64_t txn,
+                          LockMode mode, size_t ahead_count) const {
+  const auto requester = transactions_.find(txn);
+  VOODB_CHECK_MSG(requester != transactions_.end(),
+                  "unknown transaction " << txn);
+  const double ts = requester->second.timestamp;
+  auto conflicting = [mode](LockMode other) {
+    return mode == LockMode::kExclusive || other == LockMode::kExclusive;
+  };
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn || !conflicting(h.mode)) continue;
+    const auto holder = transactions_.find(h.txn);
+    VOODB_CHECK_MSG(holder != transactions_.end(), "holder vanished");
+    // Wait-die: the requester may wait only for *younger* holders.
+    if (ts >= holder->second.timestamp) {
+      return false;  // requester is younger (or tied): it dies
+    }
+  }
+  size_t position = 0;
+  for (const Waiter& w : entry.waiters) {
+    if (position++ >= ahead_count) break;
+    if (w.txn == txn || !conflicting(w.mode)) continue;
+    const auto ahead = transactions_.find(w.txn);
+    if (ahead == transactions_.end()) continue;  // stale entry
+    if (ts >= ahead->second.timestamp) {
+      return false;  // would queue behind an older conflicting waiter
+    }
+  }
+  return true;
+}
+
+void LockManager::Grant(LockEntry& entry, uint64_t txn, LockMode mode) {
+  for (Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      // Upgrade in place when needed.
+      if (mode == LockMode::kExclusive && h.mode == LockMode::kShared) {
+        h.mode = LockMode::kExclusive;
+        ++stats_.upgrades;
+      }
+      return;
+    }
+  }
+  entry.holders.push_back(Holder{txn, mode});
+}
+
+void LockManager::Acquire(uint64_t txn, ocb::Oid oid, LockMode mode,
+                          std::function<void()> granted,
+                          std::function<void()> died) {
+  VOODB_CHECK_MSG(static_cast<bool>(granted) && static_cast<bool>(died),
+                  "Acquire needs both continuations");
+  const auto txn_it = transactions_.find(txn);
+  VOODB_CHECK_MSG(txn_it != transactions_.end(),
+                  "transaction " << txn << " not begun");
+  ++stats_.requests;
+  LockEntry& entry = table_[oid];
+
+  if (Holds(txn, oid, mode)) {
+    ++stats_.immediate_grants;
+    scheduler_->Schedule(0.0, std::move(granted));
+    return;
+  }
+  // An upgrade request comes from a transaction already holding the lock
+  // in S mode.  Upgrades must bypass the FIFO queue (they go to its
+  // front) or the classic upgrade deadlock arises: an X-waiter blocked
+  // by our S hold would sit ahead of us forever while we sit behind it.
+  bool is_upgrade = false;
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      is_upgrade = true;
+      break;
+    }
+  }
+  // Fresh requests may not overtake parked waiters even when currently
+  // compatible (S requests slipping past a queued X would both starve
+  // the X and let an older holder sneak in behind a queued upgrade,
+  // recreating the deadlock wait-die cannot see).
+  const bool may_grant_now =
+      Compatible(entry, txn, mode) && (is_upgrade || entry.waiters.empty());
+  if (may_grant_now) {
+    const bool strengthened = is_upgrade && mode == LockMode::kExclusive;
+    Grant(entry, txn, mode);
+    txn_it->second.held.push_back(oid);
+    ++stats_.immediate_grants;
+    stats_.wait_times.Add(0.0);
+    scheduler_->Schedule(0.0, std::move(granted));
+    if (strengthened) EnforceWaitDie(oid);  // S->X may newly conflict
+    return;
+  }
+  // Fresh requests queue at the back, so every current waiter is ahead;
+  // upgrades jump to the front, but must still be older than every
+  // conflicting parked waiter (they overtake the whole queue).
+  if (!MayWait(entry, txn, mode, entry.waiters.size())) {
+    ++stats_.deadlock_aborts;
+    scheduler_->Schedule(0.0, std::move(died));
+    return;
+  }
+  ++stats_.waits;
+  Waiter waiter{txn, mode, scheduler_->Now(), std::move(granted),
+                std::move(died)};
+  if (is_upgrade) {
+    entry.waiters.push_front(std::move(waiter));
+  } else {
+    entry.waiters.push_back(std::move(waiter));
+  }
+}
+
+void LockManager::ReleaseAll(uint64_t txn) {
+  const auto txn_it = transactions_.find(txn);
+  VOODB_CHECK_MSG(txn_it != transactions_.end(),
+                  "transaction " << txn << " not active");
+  std::vector<ocb::Oid> held = std::move(txn_it->second.held);
+  transactions_.erase(txn_it);
+  std::sort(held.begin(), held.end());
+  held.erase(std::unique(held.begin(), held.end()), held.end());
+  for (ocb::Oid oid : held) {
+    const auto entry_it = table_.find(oid);
+    if (entry_it == table_.end()) continue;
+    auto& holders = entry_it->second.holders;
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [txn](const Holder& h) {
+                                   return h.txn == txn;
+                                 }),
+                  holders.end());
+    WakeWaiters(oid);
+    if (entry_it->second.holders.empty() &&
+        entry_it->second.waiters.empty()) {
+      table_.erase(entry_it);
+    }
+  }
+  // Remove any waiting requests this transaction still has queued (it may
+  // release while a request of its is parked — e.g. external abort), and
+  // re-evaluate those queues: a purged head may have been the only thing
+  // parking compatible waiters behind it.
+  std::vector<ocb::Oid> purged;
+  for (auto& [other_oid, entry] : table_) {
+    auto& waiters = entry.waiters;
+    const size_t before = waiters.size();
+    waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                                 [txn](const Waiter& w) {
+                                   return w.txn == txn;
+                                 }),
+                  waiters.end());
+    if (waiters.size() != before) purged.push_back(other_oid);
+  }
+  for (ocb::Oid oid : purged) WakeWaiters(oid);
+}
+
+void LockManager::WakeWaiters(ocb::Oid oid) {
+  const auto entry_it = table_.find(oid);
+  if (entry_it == table_.end()) return;
+  LockEntry& entry = entry_it->second;
+  // FIFO wake-up: grant the head while it is compatible (several shared
+  // requests may be granted together).
+  bool granted_any = false;
+  while (!entry.waiters.empty()) {
+    Waiter& head = entry.waiters.front();
+    const auto txn_it = transactions_.find(head.txn);
+    if (txn_it == transactions_.end()) {
+      entry.waiters.pop_front();  // waiter's transaction is gone
+      continue;
+    }
+    if (!Compatible(entry, head.txn, head.mode)) break;
+    Grant(entry, head.txn, head.mode);
+    txn_it->second.held.push_back(oid);
+    stats_.wait_times.Add(scheduler_->Now() - head.enqueued_at);
+    scheduler_->Schedule(0.0, std::move(head.granted));
+    entry.waiters.pop_front();
+    granted_any = true;
+  }
+  if (granted_any) EnforceWaitDie(oid);
+}
+
+void LockManager::EnforceWaitDie(ocb::Oid oid) {
+  const auto entry_it = table_.find(oid);
+  if (entry_it == table_.end()) return;
+  LockEntry& entry = entry_it->second;
+  auto& waiters = entry.waiters;
+  size_t position = 0;
+  for (auto it = waiters.begin(); it != waiters.end();) {
+    const auto txn_it = transactions_.find(it->txn);
+    if (txn_it == transactions_.end()) {
+      it = waiters.erase(it);
+      continue;
+    }
+    // Each waiter is re-checked against the holders and the waiters
+    // still ahead of it.
+    if (MayWait(entry, it->txn, it->mode, position)) {
+      ++it;
+      ++position;
+      continue;
+    }
+    // An older conflicting holder/waiter appeared ahead: the waiter dies.
+    ++stats_.deadlock_aborts;
+    scheduler_->Schedule(0.0, std::move(it->died));
+    it = waiters.erase(it);
+  }
+}
+
+size_t LockManager::HeldLocks(uint64_t txn) const {
+  const auto it = transactions_.find(txn);
+  if (it == transactions_.end()) return 0;
+  std::vector<ocb::Oid> held = it->second.held;
+  std::sort(held.begin(), held.end());
+  held.erase(std::unique(held.begin(), held.end()), held.end());
+  return held.size();
+}
+
+void LockManager::DebugDump(std::ostream& os) const {
+  os << "lock table: " << table_.size() << " entries, "
+     << transactions_.size() << " active txns\n";
+  for (const auto& [txn, state] : transactions_) {
+    os << "  txn " << txn << " age=" << state.timestamp << " held="
+       << state.held.size() << "\n";
+  }
+  for (const auto& [oid, entry] : table_) {
+    if (entry.waiters.empty()) continue;
+    os << "  oid " << oid << " holders:";
+    for (const Holder& h : entry.holders) {
+      os << " " << h.txn << ToString(h.mode);
+    }
+    os << " | waiters:";
+    for (const Waiter& w : entry.waiters) {
+      os << " " << w.txn << ToString(w.mode);
+    }
+    os << "\n";
+  }
+}
+
+bool LockManager::Holds(uint64_t txn, ocb::Oid oid, LockMode mode) const {
+  const auto entry_it = table_.find(oid);
+  if (entry_it == table_.end()) return false;
+  for (const Holder& h : entry_it->second.holders) {
+    if (h.txn != txn) continue;
+    return mode == LockMode::kShared || h.mode == LockMode::kExclusive;
+  }
+  return false;
+}
+
+}  // namespace voodb::core

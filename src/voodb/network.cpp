@@ -1,0 +1,30 @@
+#include "voodb/network.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace voodb::core {
+
+NetworkActor::NetworkActor(desp::Scheduler* scheduler, double throughput_mbps)
+    : scheduler_(scheduler),
+      link_(scheduler, "network", /*capacity=*/1),
+      throughput_mbps_(throughput_mbps) {}
+
+double NetworkActor::TransferTime(uint64_t bytes) const {
+  if (infinite()) return 0.0;
+  // MB/s -> bytes/ms: 1 MB/s = 1e6 B / 1e3 ms = 1000 B/ms.
+  return static_cast<double>(bytes) / (throughput_mbps_ * 1000.0);
+}
+
+void NetworkActor::Transfer(uint64_t bytes, std::function<void()> done) {
+  VOODB_CHECK_MSG(static_cast<bool>(done), "Transfer needs a continuation");
+  bytes_transferred_ += bytes;
+  if (infinite()) {
+    done();
+    return;
+  }
+  link_.AcquireFor(TransferTime(bytes), std::move(done));
+}
+
+}  // namespace voodb::core

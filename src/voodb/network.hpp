@@ -1,0 +1,40 @@
+/// \file network.hpp
+/// \brief The network between clients and server (Client-Server classes).
+///
+/// Models NETTHRU (Table 3) as a capacity-1 link whose service time is
+/// bytes / throughput.  A non-positive throughput means "infinite"
+/// (Table 4 sets NETTHRU = +inf for the O2 experiments, which measured
+/// server-side I/Os only) and transfers complete immediately.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "desp/resource.hpp"
+#include "desp/scheduler.hpp"
+
+namespace voodb::core {
+
+/// The network actor.
+class NetworkActor {
+ public:
+  /// \param throughput_mbps NETTHRU in MB/s; <= 0 => infinite.
+  NetworkActor(desp::Scheduler* scheduler, double throughput_mbps);
+
+  /// Transfers `bytes` and then calls `done`.
+  void Transfer(uint64_t bytes, std::function<void()> done);
+
+  /// Time to move `bytes` (ms), ignoring queueing.
+  double TransferTime(uint64_t bytes) const;
+
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+  bool infinite() const { return throughput_mbps_ <= 0.0; }
+
+ private:
+  desp::Scheduler* scheduler_;
+  desp::Resource link_;
+  double throughput_mbps_;
+  uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace voodb::core

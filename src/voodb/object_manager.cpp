@@ -1,0 +1,71 @@
+#include "voodb/object_manager.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace voodb::core {
+
+ObjectManagerActor::ObjectManagerActor(
+    const ocb::ObjectBase* base, uint32_t page_size,
+    storage::PlacementPolicy initial_placement, double overhead_factor)
+    : base_(base), page_size_(page_size), overhead_factor_(overhead_factor) {
+  VOODB_CHECK_MSG(base_ != nullptr, "object manager needs an object base");
+  placement_ = std::make_unique<storage::Placement>(storage::Placement::Build(
+      *base_, page_size_, initial_placement, overhead_factor_));
+}
+
+ObjectManagerActor::RelocationIo ObjectManagerActor::ApplyRelocation(
+    const std::vector<ocb::Oid>& moved_order) {
+  RelocationIo io;
+  // Old pages of the moved objects, deduplicated.
+  for (ocb::Oid oid : moved_order) {
+    const storage::PageSpan span = placement_->SpanOf(oid);
+    for (uint32_t i = 0; i < span.count; ++i) {
+      io.pages_to_read.push_back(span.first + i);
+    }
+  }
+  std::sort(io.pages_to_read.begin(), io.pages_to_read.end());
+  io.pages_to_read.erase(
+      std::unique(io.pages_to_read.begin(), io.pages_to_read.end()),
+      io.pages_to_read.end());
+
+  const uint64_t old_num_pages = placement_->NumPages();
+  placement_ = std::make_unique<storage::Placement>(
+      storage::Placement::RelocateToTail(*placement_, *base_, moved_order,
+                                         overhead_factor_));
+  for (storage::PageId p = old_num_pages; p < placement_->NumPages(); ++p) {
+    io.pages_to_write.push_back(p);
+  }
+  adjacency_valid_ = false;
+  return io;
+}
+
+const std::vector<storage::PageId>& ObjectManagerActor::ReferencedPages(
+    storage::PageId page) {
+  if (!adjacency_valid_) RebuildAdjacency();
+  VOODB_CHECK_MSG(page < adjacency_.size(), "page out of range");
+  return adjacency_[page];
+}
+
+void ObjectManagerActor::RebuildAdjacency() {
+  adjacency_.assign(placement_->NumPages(), {});
+  for (storage::PageId page = 0; page < placement_->NumPages(); ++page) {
+    auto& out = adjacency_[page];
+    for (ocb::Oid oid : placement_->ObjectsOn(page)) {
+      for (ocb::Oid ref : base_->Object(oid).references) {
+        if (ref == ocb::kNullOid) continue;
+        const storage::PageSpan span = placement_->SpanOf(ref);
+        for (uint32_t i = 0; i < span.count; ++i) {
+          out.push_back(span.first + i);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    out.erase(std::remove(out.begin(), out.end(), page), out.end());
+  }
+  adjacency_valid_ = true;
+}
+
+}  // namespace voodb::core

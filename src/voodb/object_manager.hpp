@@ -1,0 +1,63 @@
+/// \file object_manager.hpp
+/// \brief The Object Manager active resource (knowledge model, Fig. 4).
+///
+/// "Extract Page(s)": resolves logical OIDs into the disk pages holding
+/// the object.  The Object Manager owns the placement — the simulation
+/// model always uses *logical* OIDs (paper §4.4: "our simulation models
+/// ... necessarily use logical OIDs"), so a clustering reorganization only
+/// rewrites the placement table and the moved pages, never the
+/// references inside other objects.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ocb/object_base.hpp"
+#include "storage/placement.hpp"
+
+namespace voodb::core {
+
+/// The Object Manager actor.
+class ObjectManagerActor {
+ public:
+  ObjectManagerActor(const ocb::ObjectBase* base, uint32_t page_size,
+                     storage::PlacementPolicy initial_placement,
+                     double overhead_factor);
+
+  /// Pages holding `oid`.
+  storage::PageSpan SpanOf(ocb::Oid oid) const {
+    return placement_->SpanOf(oid);
+  }
+
+  const storage::Placement& placement() const { return *placement_; }
+  const ocb::ObjectBase& base() const { return *base_; }
+  uint64_t NumPages() const { return placement_->NumPages(); }
+
+  /// Applies a logical-OID reorganization: relocates `moved_order`'s
+  /// objects into fresh tail pages.  Returns the old pages the moved
+  /// objects came from (to be read) and the new pages written.
+  struct RelocationIo {
+    std::vector<storage::PageId> pages_to_read;
+    std::vector<storage::PageId> pages_to_write;
+  };
+  RelocationIo ApplyRelocation(const std::vector<ocb::Oid>& moved_order);
+
+  /// Pages holding the objects referenced from any object on `page`
+  /// (deduplicated, excluding `page` itself).  Drives the VM model's
+  /// page-granular reserve-on-swizzle behaviour; lazily rebuilt after a
+  /// relocation changes the page space.
+  const std::vector<storage::PageId>& ReferencedPages(storage::PageId page);
+
+ private:
+  void RebuildAdjacency();
+
+  const ocb::ObjectBase* base_;
+  uint32_t page_size_;
+  double overhead_factor_;
+  std::unique_ptr<storage::Placement> placement_;
+  std::vector<std::vector<storage::PageId>> adjacency_;
+  bool adjacency_valid_ = false;
+};
+
+}  // namespace voodb::core

@@ -1,0 +1,183 @@
+#include "voodb/system.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace voodb::core {
+
+VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
+                         std::unique_ptr<cluster::ClusteringPolicy> policy,
+                         uint64_t seed)
+    : config_(config), base_(base), rng_(seed) {
+  config_.Validate();
+  VOODB_CHECK_MSG(base_ != nullptr, "system needs an object base");
+  object_manager_ = std::make_unique<ObjectManagerActor>(
+      base_, config_.page_size, config_.initial_placement,
+      config_.storage_overhead);
+  io_ = std::make_unique<IoSubsystemActor>(&scheduler_, config_.disk);
+  network_ = std::make_unique<NetworkActor>(&scheduler_,
+                                            config_.network_throughput_mbps);
+  buffering_ = std::make_unique<BufferingManagerActor>(
+      &scheduler_, config_, object_manager_.get(), io_.get(),
+      rng_.Derive(0xB0FF));
+  clustering_ = std::make_unique<ClusteringManagerActor>(
+      &scheduler_, std::move(policy), object_manager_.get(), buffering_.get(),
+      io_.get());
+  tm_ = std::make_unique<TransactionManagerActor>(
+      &scheduler_, config_, object_manager_.get(), buffering_.get(),
+      clustering_.get(), network_.get());
+  if (config_.disk_fault_prob > 0.0) {
+    io_->SetFaultModel(config_.disk_fault_prob, config_.disk_fault_retry_ms,
+                       config_.disk_fault_max_retries, rng_.Derive(0xFA17));
+  }
+  if (config_.failure_mtbf_ms > 0.0) {
+    FailureParameters fp;
+    fp.mtbf_ms = config_.failure_mtbf_ms;
+    fp.recovery_base_ms = config_.recovery_base_ms;
+    fp.recovery_per_dirty_page_ms = config_.recovery_per_dirty_page_ms;
+    failures_ = std::make_unique<FailureInjectorActor>(
+        &scheduler_, fp, buffering_.get(), io_.get(), rng_.Derive(0xC7A5));
+    failures_->Arm();
+  }
+}
+
+PhaseMetrics VoodbSystem::RunTransactions(ocb::WorkloadGenerator& workload,
+                                          uint64_t n) {
+  return Drive(workload, nullptr, n);
+}
+
+PhaseMetrics VoodbSystem::RunTransactionsOfKind(ocb::WorkloadGenerator& workload,
+                                                ocb::TransactionKind kind,
+                                                uint64_t n) {
+  return Drive(workload, &kind, n);
+}
+
+PhaseMetrics VoodbSystem::Drive(ocb::WorkloadGenerator& workload,
+                                const ocb::TransactionKind* forced_kind,
+                                uint64_t n) {
+  const Snapshot before = Take();
+  if (n == 0) return Delta(before);
+
+  // The Users active resource: NUSERS independent users draw transactions
+  // from the shared generator, think, submit, and repeat until the phase's
+  // n transactions have been issued.
+  struct UsersDriver {
+    VoodbSystem* sys;
+    ocb::WorkloadGenerator* workload;
+    const ocb::TransactionKind* forced_kind;
+    uint64_t to_issue;
+    uint64_t outstanding = 0;
+    desp::RandomStream think_rng;
+    double think_time_ms;
+
+    void UserLoop() {
+      if (to_issue == 0) {
+        // Phase exhausted; the user retires.  Once the last in-flight
+        // transaction commits, the phase ends — even if hazard events
+        // are still armed on the scheduler.
+        if (outstanding == 0) sys->scheduler_.Stop();
+        return;
+      }
+      --to_issue;
+      ++outstanding;
+      ocb::Transaction txn = forced_kind != nullptr
+                                 ? workload->NextOfKind(*forced_kind)
+                                 : workload->Next();
+      auto submit = [this, txn = std::move(txn)]() mutable {
+        sys->tm_->Submit(std::move(txn), [this]() { AfterCommit(); });
+      };
+      if (think_time_ms > 0.0) {
+        sys->scheduler_.Schedule(think_rng.Exponential(think_time_ms),
+                                 std::move(submit));
+      } else {
+        submit();
+      }
+    }
+
+    void AfterCommit() {
+      --outstanding;
+      // Automatic triggering happens at transaction boundaries.
+      if (sys->config_.auto_clustering &&
+          sys->clustering_->ShouldTrigger()) {
+        sys->clustering_->PerformClustering(
+            [this](ClusteringMetrics) { UserLoop(); });
+        return;
+      }
+      UserLoop();
+    }
+  };
+
+  UsersDriver driver{this,
+                     &workload,
+                     forced_kind,
+                     n,
+                     0,
+                     rng_.Derive(0x7817 + tm_->committed()),
+                     base_->params().think_time_ms};
+  const uint32_t active_users =
+      static_cast<uint32_t>(std::min<uint64_t>(config_.num_users, n));
+  for (uint32_t u = 0; u < active_users; ++u) driver.UserLoop();
+  scheduler_.Run();
+  VOODB_CHECK_MSG(driver.to_issue == 0 && driver.outstanding == 0,
+                  "phase ended with unfinished work");
+  return Delta(before);
+}
+
+ClusteringMetrics VoodbSystem::TriggerClustering() {
+  ClusteringMetrics metrics;
+  bool finished = false;
+  clustering_->PerformClustering([&](ClusteringMetrics m) {
+    metrics = m;
+    finished = true;
+  });
+  // Step (don't drain): armed hazard events may outlive the
+  // reorganization.
+  while (!finished && scheduler_.Step()) {
+  }
+  VOODB_CHECK_MSG(finished, "clustering did not complete");
+  return metrics;
+}
+
+VoodbSystem::Snapshot VoodbSystem::Take() const {
+  Snapshot s;
+  s.ios = io_->total_ios();
+  s.reads = io_->reads();
+  s.writes = io_->writes();
+  s.hits = buffering_->hits();
+  s.requests = buffering_->requests();
+  s.committed = tm_->committed();
+  s.operations = tm_->object_operations();
+  s.restarts = tm_->restarts();
+  s.net_bytes = network_->bytes_transferred();
+  s.response_count = tm_->response_times().count();
+  s.response_sum = tm_->response_times().sum();
+  s.time = scheduler_.Now();
+  return s;
+}
+
+PhaseMetrics VoodbSystem::Delta(const Snapshot& before) const {
+  const Snapshot after = Take();
+  PhaseMetrics m;
+  m.transactions = after.committed - before.committed;
+  m.object_accesses = after.operations - before.operations;
+  m.transaction_restarts = after.restarts - before.restarts;
+  m.total_ios = after.ios - before.ios;
+  m.reads = after.reads - before.reads;
+  m.writes = after.writes - before.writes;
+  m.buffer_hits = after.hits - before.hits;
+  m.buffer_requests = after.requests - before.requests;
+  m.network_bytes = after.net_bytes - before.net_bytes;
+  m.sim_time_ms = after.time - before.time;
+  const uint64_t responses = after.response_count - before.response_count;
+  m.mean_response_ms =
+      responses == 0
+          ? 0.0
+          : (after.response_sum - before.response_sum) /
+                static_cast<double>(responses);
+  m.max_response_ms = tm_->response_times().max();
+  return m;
+}
+
+}  // namespace voodb::core

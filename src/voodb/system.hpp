@@ -1,0 +1,111 @@
+/// \file system.hpp
+/// \brief VoodbSystem — one instantiated VOODB evaluation model.
+///
+/// Wires the active resources of the knowledge model (Fig. 4) over one
+/// OCB object base:
+///
+///   Users -> Transaction Manager -> Object Manager -> Buffering Manager
+///         -> I/O Subsystem, with the Clustering Manager observing every
+///   object operation and the network crossing client/server boundaries
+///   for the Client-Server system classes.
+///
+/// The system persists across workload phases, which is how the DSTC
+/// experiments run: usage phase, external clustering trigger, usage phase
+/// again on the reorganized base (paper §4.4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/policy.hpp"
+#include "desp/random.hpp"
+#include "desp/scheduler.hpp"
+#include "ocb/object_base.hpp"
+#include "ocb/workload.hpp"
+#include "voodb/buffering_manager.hpp"
+#include "voodb/clustering_manager.hpp"
+#include "voodb/config.hpp"
+#include "voodb/failure_injector.hpp"
+#include "voodb/io_subsystem.hpp"
+#include "voodb/metrics.hpp"
+#include "voodb/network.hpp"
+#include "voodb/object_manager.hpp"
+#include "voodb/transaction_manager.hpp"
+
+namespace voodb::core {
+
+/// A fully wired instance of the generic evaluation model.
+class VoodbSystem {
+ public:
+  /// \param config  Table 3 parameters (validated here)
+  /// \param base    the OCB object base (not owned; must outlive us)
+  /// \param policy  CLUSTP module (nullptr = None)
+  /// \param seed    replication seed (drives RANDOM replacement, think
+  ///                times, and any other stochastic system behaviour)
+  VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
+              std::unique_ptr<cluster::ClusteringPolicy> policy,
+              uint64_t seed);
+
+  /// Runs `n` transactions drawn from `workload` across NUSERS users and
+  /// returns this phase's metrics.  Reusable: state (buffer contents,
+  /// clustering statistics, placement) carries over between calls.
+  PhaseMetrics RunTransactions(ocb::WorkloadGenerator& workload, uint64_t n);
+
+  /// Same, but every transaction is of the forced kind (the DSTC
+  /// experiments run pure depth-3 hierarchy traversals).
+  PhaseMetrics RunTransactionsOfKind(ocb::WorkloadGenerator& workload,
+                                     ocb::TransactionKind kind, uint64_t n);
+
+  /// External clustering trigger (knowledge model: "Clustering Demand"
+  /// from the Users).  Blocks until the reorganization I/O completes.
+  ClusteringMetrics TriggerClustering();
+
+  /// Empties the page buffer (cold restart between phases).
+  void DropBuffer() { buffering_->Drop(); }
+
+  // --- component access (benches, tests) -----------------------------------
+  const VoodbConfig& config() const { return config_; }
+  desp::Scheduler& scheduler() { return scheduler_; }
+  ObjectManagerActor& object_manager() { return *object_manager_; }
+  BufferingManagerActor& buffering_manager() { return *buffering_; }
+  ClusteringManagerActor& clustering_manager() { return *clustering_; }
+  TransactionManagerActor& transaction_manager() { return *tm_; }
+  IoSubsystemActor& io_subsystem() { return *io_; }
+  NetworkActor& network() { return *network_; }
+  /// The hazard process (nullptr unless failure_mtbf_ms > 0).
+  FailureInjectorActor* failure_injector() { return failures_.get(); }
+
+ private:
+  struct Snapshot {
+    uint64_t ios = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t hits = 0;
+    uint64_t requests = 0;
+    uint64_t committed = 0;
+    uint64_t operations = 0;
+    uint64_t restarts = 0;
+    uint64_t net_bytes = 0;
+    uint64_t response_count = 0;
+    double response_sum = 0.0;
+    double time = 0.0;
+  };
+  Snapshot Take() const;
+  PhaseMetrics Delta(const Snapshot& before) const;
+  PhaseMetrics Drive(ocb::WorkloadGenerator& workload,
+                     const ocb::TransactionKind* forced_kind, uint64_t n);
+
+  VoodbConfig config_;
+  const ocb::ObjectBase* base_;
+  desp::Scheduler scheduler_;
+  desp::RandomStream rng_;
+  std::unique_ptr<ObjectManagerActor> object_manager_;
+  std::unique_ptr<IoSubsystemActor> io_;
+  std::unique_ptr<NetworkActor> network_;
+  std::unique_ptr<BufferingManagerActor> buffering_;
+  std::unique_ptr<ClusteringManagerActor> clustering_;
+  std::unique_ptr<TransactionManagerActor> tm_;
+  std::unique_ptr<FailureInjectorActor> failures_;
+};
+
+}  // namespace voodb::core

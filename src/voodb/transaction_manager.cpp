@@ -1,0 +1,194 @@
+#include "voodb/transaction_manager.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace voodb::core {
+
+namespace {
+/// Size of a request message on the wire (bytes).
+constexpr uint64_t kRequestBytes = 128;
+}  // namespace
+
+TransactionManagerActor::TransactionManagerActor(
+    desp::Scheduler* scheduler, const VoodbConfig& config,
+    ObjectManagerActor* object_manager, BufferingManagerActor* buffering,
+    ClusteringManagerActor* clustering, NetworkActor* network)
+    : scheduler_(scheduler),
+      config_(config),
+      object_manager_(object_manager),
+      buffering_(buffering),
+      clustering_(clustering),
+      network_(network),
+      db_scheduler_(scheduler, "db-scheduler", config.multiprogramming_level),
+      cpu_(scheduler, "cpu", /*capacity=*/1),
+      backoff_rng_(0xBAC0FF) {
+  VOODB_CHECK_MSG(object_manager_ && buffering_ && clustering_ && network_,
+                  "transaction manager needs its peers");
+  if (config_.use_lock_manager) {
+    lock_manager_ = std::make_unique<LockManager>(scheduler_);
+  }
+}
+
+void TransactionManagerActor::Submit(ocb::Transaction txn,
+                                     std::function<void()> done) {
+  VOODB_CHECK_MSG(static_cast<bool>(done), "Submit needs a continuation");
+  auto state = std::make_shared<InFlight>();
+  state->txn = std::move(txn);
+  state->done = std::move(done);
+  const double submitted_at = scheduler_->Now();
+  db_scheduler_.Acquire([this, state, submitted_at]() {
+    state->admitted_at = submitted_at;  // response time includes queueing
+    if (lock_manager_ != nullptr) {
+      state->txn_id = next_txn_id_++;
+      state->age_stamp = next_age_stamp_++;
+      lock_manager_->BeginTransaction(state->txn_id,
+                                      static_cast<double>(state->age_stamp));
+    }
+    clustering_->OnTransactionStart();
+    if (config_.system_class == SystemClass::kDbServer) {
+      // The whole query ships to the server up front.
+      network_->Transfer(kRequestBytes,
+                         [this, state]() { ProcessNext(state); });
+    } else {
+      ProcessNext(state);
+    }
+  });
+}
+
+void TransactionManagerActor::ProcessNext(std::shared_ptr<InFlight> state) {
+  if (state->next_access >= state->txn.accesses.size()) {
+    Commit(std::move(state));
+    return;
+  }
+  // GETLOCK: lock acquisition for this object operation, on the CPU.
+  double cpu_cost = config_.get_lock_ms + config_.object_cpu_ms;
+  if (clustering_->enabled()) cpu_cost += config_.clustering_stat_cpu_ms;
+  if (cpu_cost > 0.0) {
+    cpu_.AcquireFor(cpu_cost,
+                    [this, state = std::move(state)]() mutable {
+                      AccessObject(std::move(state));
+                    });
+  } else {
+    AccessObject(std::move(state));
+  }
+}
+
+void TransactionManagerActor::AccessObject(std::shared_ptr<InFlight> state) {
+  const ocb::ObjectAccess access = state->txn.accesses[state->next_access];
+  ++state->next_access;
+  if (lock_manager_ != nullptr) {
+    const LockMode mode =
+        access.is_write ? LockMode::kExclusive : LockMode::kShared;
+    lock_manager_->Acquire(
+        state->txn_id, access.oid, mode,
+        [this, state, access]() mutable {
+          PerformAccess(std::move(state), access);
+        },
+        [this, state]() mutable { Restart(std::move(state)); });
+    return;
+  }
+  PerformAccess(std::move(state), access);
+}
+
+void TransactionManagerActor::Restart(std::shared_ptr<InFlight> state) {
+  // Wait-die abort: release everything, back off, retry from the start
+  // with a fresh lock identity but the original age stamp (so the
+  // transaction eventually becomes the oldest and cannot starve).
+  ++restarts_;
+  lock_manager_->ReleaseAll(state->txn_id);
+  state->next_access = 0;
+  state->response_bytes = 0;
+  const double backoff = config_.restart_backoff_ms > 0.0
+                             ? backoff_rng_.Exponential(
+                                   config_.restart_backoff_ms)
+                             : 0.0;
+  scheduler_->Schedule(backoff, [this, state = std::move(state)]() mutable {
+    state->txn_id = next_txn_id_++;
+    lock_manager_->BeginTransaction(state->txn_id,
+                                    static_cast<double>(state->age_stamp));
+    ProcessNext(std::move(state));
+  });
+}
+
+void TransactionManagerActor::PerformAccess(std::shared_ptr<InFlight> state,
+                                            ocb::ObjectAccess access) {
+  ++object_operations_;
+  clustering_->OnObjectAccess(access.oid, access.is_write);
+  const storage::PageSpan span = object_manager_->SpanOf(access.oid);
+  const uint64_t object_bytes = object_manager_->base().Object(access.oid).size;
+  buffering_->AccessObject(
+      access.oid, access.is_write,
+      [this, state = std::move(state), span, object_bytes]() mutable {
+        // Client-Server shipping once the data is server-resident.
+        switch (config_.system_class) {
+          case SystemClass::kCentralized:
+            ProcessNext(std::move(state));
+            break;
+          case SystemClass::kPageServer:
+            ShipAndContinue(std::move(state),
+                            kRequestBytes + static_cast<uint64_t>(span.count) *
+                                                config_.page_size);
+            break;
+          case SystemClass::kObjectServer:
+            ShipAndContinue(std::move(state), kRequestBytes + object_bytes);
+            break;
+          case SystemClass::kDbServer:
+            // Results accumulate and ship at commit.
+            state->response_bytes += object_bytes;
+            ProcessNext(std::move(state));
+            break;
+        }
+      });
+}
+
+void TransactionManagerActor::ShipAndContinue(std::shared_ptr<InFlight> state,
+                                              uint64_t bytes) {
+  network_->Transfer(bytes, [this, state = std::move(state)]() mutable {
+    ProcessNext(std::move(state));
+  });
+}
+
+void TransactionManagerActor::Commit(std::shared_ptr<InFlight> state) {
+  // RELLOCK: every lock acquired by the transaction is released.
+  const double release_cost =
+      config_.release_lock_ms *
+      static_cast<double>(state->txn.accesses.size());
+  auto finish = [this, state]() mutable {
+    auto complete = [this, state]() mutable {
+      auto retire = [this, state]() mutable {
+        if (lock_manager_ != nullptr) {
+          lock_manager_->ReleaseAll(state->txn_id);  // strict 2PL
+        }
+        clustering_->OnTransactionEnd();
+        db_scheduler_.Release();
+        ++committed_;
+        const double response = scheduler_->Now() - state->admitted_at;
+        response_times_.Add(response);
+        response_histogram_.Add(response);
+        auto done = std::move(state->done);
+        state.reset();
+        done();
+      };
+      if (config_.flush_on_commit) {
+        buffering_->Flush(std::move(retire));
+      } else {
+        retire();
+      }
+    };
+    if (config_.system_class == SystemClass::kDbServer &&
+        state->response_bytes > 0) {
+      network_->Transfer(state->response_bytes, std::move(complete));
+    } else {
+      complete();
+    }
+  };
+  if (release_cost > 0.0) {
+    cpu_.AcquireFor(release_cost, std::move(finish));
+  } else {
+    finish();
+  }
+}
+
+}  // namespace voodb::core

@@ -1,0 +1,98 @@
+/// \file transaction_manager.hpp
+/// \brief The Transaction Manager active resource (knowledge model, Fig. 4).
+///
+/// Admits transactions against the database scheduler (a passive resource
+/// of capacity MULTILVL, Table 1: "concurrent access is managed by a
+/// scheduler that applies a transaction scheduling policy that depends on
+/// the multiprogramming level"), acquires a lock per object operation
+/// (GETLOCK on the CPU), asks the Object Manager for the object's pages,
+/// the Buffering Manager for those pages, the network for shipping
+/// (Client-Server classes), and releases locks at commit (RELLOCK).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "desp/histogram.hpp"
+#include "desp/random.hpp"
+#include "desp/resource.hpp"
+#include "desp/scheduler.hpp"
+#include "desp/stats.hpp"
+#include "ocb/types.hpp"
+#include "voodb/buffering_manager.hpp"
+#include "voodb/clustering_manager.hpp"
+#include "voodb/config.hpp"
+#include "voodb/lock_manager.hpp"
+#include "voodb/network.hpp"
+#include "voodb/object_manager.hpp"
+
+namespace voodb::core {
+
+/// The Transaction Manager actor.
+class TransactionManagerActor {
+ public:
+  TransactionManagerActor(desp::Scheduler* scheduler,
+                          const VoodbConfig& config,
+                          ObjectManagerActor* object_manager,
+                          BufferingManagerActor* buffering,
+                          ClusteringManagerActor* clustering,
+                          NetworkActor* network);
+
+  /// Executes `txn` to commit, then calls `done`.  Transactions beyond
+  /// the multiprogramming level queue at the database scheduler.
+  void Submit(ocb::Transaction txn, std::function<void()> done);
+
+  uint64_t committed() const { return committed_; }
+  uint64_t object_operations() const { return object_operations_; }
+  /// Wait-die restarts (0 unless use_lock_manager).
+  uint64_t restarts() const { return restarts_; }
+  const desp::Tally& response_times() const { return response_times_; }
+  /// Full response-time distribution (ms) since construction; use
+  /// Quantile(0.5/0.95/0.99) for percentile reporting.
+  const desp::LogHistogram& response_histogram() const {
+    return response_histogram_;
+  }
+  double SchedulerUtilization() const { return db_scheduler_.Utilization(); }
+  /// The lock manager (nullptr unless use_lock_manager).
+  const LockManager* lock_manager() const { return lock_manager_.get(); }
+
+ private:
+  struct InFlight {
+    ocb::Transaction txn;
+    size_t next_access = 0;
+    double admitted_at = 0.0;
+    uint64_t response_bytes = 0;  // DbServer: result shipped at commit
+    uint64_t txn_id = 0;          // lock-manager identity (per attempt)
+    uint64_t age_stamp = 0;       // wait-die age (kept across restarts)
+    std::function<void()> done;
+  };
+
+  void ProcessNext(std::shared_ptr<InFlight> state);
+  void AccessObject(std::shared_ptr<InFlight> state);
+  void PerformAccess(std::shared_ptr<InFlight> state,
+                     ocb::ObjectAccess access);
+  void Restart(std::shared_ptr<InFlight> state);
+  void ShipAndContinue(std::shared_ptr<InFlight> state, uint64_t bytes);
+  void Commit(std::shared_ptr<InFlight> state);
+
+  desp::Scheduler* scheduler_;
+  const VoodbConfig config_;
+  ObjectManagerActor* object_manager_;
+  BufferingManagerActor* buffering_;
+  ClusteringManagerActor* clustering_;
+  NetworkActor* network_;
+  desp::Resource db_scheduler_;  ///< capacity = MULTILVL
+  desp::Resource cpu_;           ///< server CPU (locks, object ops, stats)
+  std::unique_ptr<LockManager> lock_manager_;  ///< §5 extension
+  desp::RandomStream backoff_rng_;
+  uint64_t next_txn_id_ = 1;
+  uint64_t next_age_stamp_ = 1;
+  uint64_t committed_ = 0;
+  uint64_t object_operations_ = 0;
+  uint64_t restarts_ = 0;
+  desp::Tally response_times_;
+  desp::LogHistogram response_histogram_;
+};
+
+}  // namespace voodb::core

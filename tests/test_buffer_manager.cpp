@@ -1,0 +1,173 @@
+/// \file test_buffer_manager.cpp
+/// \brief Tests for the Buffering Manager's page cache.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/buffer_manager.hpp"
+#include "util/check.hpp"
+
+namespace voodb::storage {
+namespace {
+
+uint64_t CountReads(const std::vector<PageIo>& ios) {
+  uint64_t n = 0;
+  for (const auto& io : ios) n += io.kind == PageIo::Kind::kRead ? 1 : 0;
+  return n;
+}
+
+uint64_t CountWrites(const std::vector<PageIo>& ios) {
+  uint64_t n = 0;
+  for (const auto& io : ios) n += io.kind == PageIo::Kind::kWrite ? 1 : 0;
+  return n;
+}
+
+TEST(BufferManager, MissThenHit) {
+  BufferManager buf(4, ReplacementPolicy::kLru);
+  const AccessOutcome miss = buf.Access(7, false);
+  EXPECT_FALSE(miss.hit);
+  ASSERT_EQ(miss.ios.size(), 1u);
+  EXPECT_EQ(miss.ios[0].kind, PageIo::Kind::kRead);
+  EXPECT_EQ(miss.ios[0].page, 7u);
+  const AccessOutcome hit = buf.Access(7, false);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_TRUE(hit.ios.empty());
+  EXPECT_EQ(buf.stats().hits, 1u);
+  EXPECT_EQ(buf.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(buf.stats().HitRate(), 0.5);
+}
+
+TEST(BufferManager, CapacityEnforced) {
+  BufferManager buf(3, ReplacementPolicy::kLru);
+  for (PageId p = 0; p < 10; ++p) buf.Access(p, false);
+  EXPECT_EQ(buf.resident_pages(), 3u);
+  EXPECT_EQ(buf.stats().evictions, 7u);
+}
+
+TEST(BufferManager, DirtyEvictionWritesBack) {
+  BufferManager buf(2, ReplacementPolicy::kLru);
+  buf.Access(1, true);  // dirty
+  buf.Access(2, false);
+  const AccessOutcome out = buf.Access(3, false);  // evicts 1 (LRU, dirty)
+  EXPECT_EQ(CountWrites(out.ios), 1u);
+  EXPECT_EQ(out.ios[0].page, 1u);
+  EXPECT_EQ(CountReads(out.ios), 1u);
+  EXPECT_EQ(buf.stats().writebacks, 1u);
+}
+
+TEST(BufferManager, CleanEvictionIsSilent) {
+  BufferManager buf(2, ReplacementPolicy::kLru);
+  buf.Access(1, false);
+  buf.Access(2, false);
+  const AccessOutcome out = buf.Access(3, false);
+  EXPECT_EQ(CountWrites(out.ios), 0u);
+}
+
+TEST(BufferManager, WriteHitDirtiesExistingPage) {
+  BufferManager buf(2, ReplacementPolicy::kLru);
+  buf.Access(1, false);
+  buf.Access(1, true);  // now dirty via hit
+  buf.Access(2, false);
+  const AccessOutcome out = buf.Access(3, false);  // evicts 1
+  EXPECT_EQ(CountWrites(out.ios), 1u);
+}
+
+TEST(BufferManager, FlushAllWritesDirtyOnly) {
+  BufferManager buf(4, ReplacementPolicy::kLru);
+  buf.Access(1, true);
+  buf.Access(2, false);
+  buf.Access(3, true);
+  const std::vector<PageIo> flushed = buf.FlushAll();
+  EXPECT_EQ(flushed.size(), 2u);
+  // Second flush: nothing dirty.
+  EXPECT_TRUE(buf.FlushAll().empty());
+  EXPECT_EQ(buf.resident_pages(), 3u);  // pages stay resident
+}
+
+TEST(BufferManager, DropAllDiscardsWithoutWrites) {
+  BufferManager buf(4, ReplacementPolicy::kLru);
+  buf.Access(1, true);
+  buf.DropAll();
+  EXPECT_EQ(buf.resident_pages(), 0u);
+  EXPECT_FALSE(buf.Contains(1));
+  // Re-admitting works fine.
+  EXPECT_FALSE(buf.Access(1, false).hit);
+}
+
+TEST(BufferManager, ResizeShrinkEvicts) {
+  BufferManager buf(4, ReplacementPolicy::kLru);
+  for (PageId p = 0; p < 4; ++p) buf.Access(p, true);
+  const std::vector<PageIo> evicted = buf.Resize(2);
+  EXPECT_EQ(buf.resident_pages(), 2u);
+  EXPECT_EQ(CountWrites(evicted), 2u);
+  EXPECT_EQ(buf.capacity(), 2u);
+}
+
+TEST(BufferManager, SequentialPrefetchLoadsAhead) {
+  BufferManager buf(10, ReplacementPolicy::kLru);
+  buf.SetPrefetcher(std::make_unique<SequentialPrefetcher>(2, 100));
+  const AccessOutcome out = buf.Access(5, false);
+  // Read of 5 plus prefetch of 6 and 7.
+  EXPECT_EQ(CountReads(out.ios), 3u);
+  EXPECT_TRUE(buf.Contains(6));
+  EXPECT_TRUE(buf.Contains(7));
+  EXPECT_EQ(buf.stats().prefetch_reads, 2u);
+  // Hitting a prefetched page is free.
+  EXPECT_TRUE(buf.Access(6, false).hit);
+}
+
+TEST(BufferManager, PrefetchRespectsMaxPage) {
+  BufferManager buf(10, ReplacementPolicy::kLru);
+  buf.SetPrefetcher(std::make_unique<SequentialPrefetcher>(3, 6));
+  const AccessOutcome out = buf.Access(5, false);
+  EXPECT_EQ(CountReads(out.ios), 2u);  // 5 and 6 only
+}
+
+TEST(BufferManager, PrefetchSkipsResidentPages) {
+  BufferManager buf(10, ReplacementPolicy::kLru);
+  buf.SetPrefetcher(std::make_unique<SequentialPrefetcher>(1, 100));
+  buf.Access(6, false);
+  const AccessOutcome out = buf.Access(5, false);
+  EXPECT_EQ(CountReads(out.ios), 1u);  // 6 already resident
+}
+
+TEST(BufferManager, AccountingIdentityHolds) {
+  BufferManager buf(8, ReplacementPolicy::kClock);
+  desp::RandomStream rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    buf.Access(static_cast<PageId>(rng.UniformInt(0, 40)), rng.Bernoulli(0.3));
+  }
+  const BufferStats& s = buf.stats();
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+  EXPECT_LE(buf.resident_pages(), buf.capacity());
+  EXPECT_EQ(s.misses - buf.resident_pages(), s.evictions);
+}
+
+TEST(BufferManager, RejectsZeroCapacity) {
+  EXPECT_THROW(BufferManager(0, ReplacementPolicy::kLru), util::Error);
+}
+
+/// Property sweep: cache effectiveness — a bigger buffer never yields
+/// more misses on the same trace (inclusion-ish property; holds for LRU).
+class BufferSizes : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BufferSizes, LruMissesMonotoneInCapacity) {
+  auto run = [](uint64_t capacity) {
+    BufferManager buf(capacity, ReplacementPolicy::kLru);
+    desp::RandomStream rng(17);
+    for (int i = 0; i < 8000; ++i) {
+      // Zipf-like reuse with locality.
+      const PageId p = static_cast<PageId>(rng.Zipf(60, 0.8));
+      buf.Access(p, false);
+    }
+    return buf.stats().misses;
+  };
+  const uint64_t capacity = GetParam();
+  EXPECT_GE(run(capacity), run(capacity * 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(CapacitySweep, BufferSizes,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace voodb::storage

@@ -1,0 +1,64 @@
+/// \file test_disk_model.cpp
+/// \brief Tests for the Fig. 5 disk service-time model.
+#include <gtest/gtest.h>
+
+#include "storage/disk_model.hpp"
+#include "util/check.hpp"
+
+namespace voodb::storage {
+namespace {
+
+TEST(DiskModel, FirstAccessPaysFullCost) {
+  DiskModel disk(DiskParameters{7.4, 4.3, 0.5});
+  EXPECT_DOUBLE_EQ(disk.AccessTime(10), 7.4 + 4.3 + 0.5);
+}
+
+TEST(DiskModel, ContiguousAccessSkipsSearch) {
+  DiskModel disk(DiskParameters{7.4, 4.3, 0.5});
+  disk.AccessTime(10);
+  // Fig. 5: "[Page contiguous to previously loaded page]" -> latency +
+  // transfer only.
+  EXPECT_DOUBLE_EQ(disk.AccessTime(11), 4.3 + 0.5);
+  EXPECT_DOUBLE_EQ(disk.AccessTime(11), 4.3 + 0.5);  // same page: no seek
+  EXPECT_EQ(disk.sequential_hits(), 2u);
+}
+
+TEST(DiskModel, NonContiguousPaysSearchAgain) {
+  DiskModel disk(DiskParameters{7.4, 4.3, 0.5});
+  disk.AccessTime(10);
+  EXPECT_DOUBLE_EQ(disk.AccessTime(50), 7.4 + 4.3 + 0.5);
+  EXPECT_DOUBLE_EQ(disk.AccessTime(49), 7.4 + 4.3 + 0.5);  // backwards seek
+}
+
+TEST(DiskModel, ResetHeadForgetsPosition) {
+  DiskModel disk(DiskParameters{7.4, 4.3, 0.5});
+  disk.AccessTime(10);
+  disk.ResetHead();
+  EXPECT_DOUBLE_EQ(disk.AccessTime(11), 7.4 + 4.3 + 0.5);
+}
+
+TEST(DiskModel, CountsReadsAndWrites) {
+  DiskModel disk;
+  disk.IoTime(PageIo{PageIo::Kind::kRead, 1});
+  disk.IoTime(PageIo{PageIo::Kind::kRead, 2});
+  disk.IoTime(PageIo{PageIo::Kind::kWrite, 3});
+  EXPECT_EQ(disk.reads(), 2u);
+  EXPECT_EQ(disk.writes(), 1u);
+  EXPECT_EQ(disk.total_ios(), 3u);
+}
+
+TEST(DiskModel, Table4Presets) {
+  // O2 host: 6.3 / 2.99 / 0.7 ms.
+  DiskModel o2(DiskParameters{6.3, 2.99, 0.7});
+  EXPECT_DOUBLE_EQ(o2.AccessTime(0), 9.99);
+  // Texas host: 7.4 / 4.3 / 0.5 ms (Table 3 defaults).
+  DiskModel texas;
+  EXPECT_DOUBLE_EQ(texas.AccessTime(0), 12.2);
+}
+
+TEST(DiskModel, RejectsNegativeTimings) {
+  EXPECT_THROW(DiskModel(DiskParameters{-1.0, 1.0, 1.0}), util::Error);
+}
+
+}  // namespace
+}  // namespace voodb::storage

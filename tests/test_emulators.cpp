@@ -1,0 +1,198 @@
+/// \file test_emulators.cpp
+/// \brief Tests for the O2 / Texas direct-execution emulators.
+#include <gtest/gtest.h>
+
+#include "cluster/dstc.hpp"
+#include "emu/o2_emulator.hpp"
+#include "emu/texas_emulator.hpp"
+#include "util/check.hpp"
+
+namespace voodb::emu {
+namespace {
+
+ocb::OcbParameters SmallWorkload() {
+  ocb::OcbParameters p;
+  p.num_classes = 8;
+  p.num_objects = 600;
+  p.max_refs_per_class = 3;
+  p.base_instance_size = 60;
+  p.seed = 81;
+  return p;
+}
+
+TEST(O2Emulator, ColdRunFloorsAtTouchedPages) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  O2Config cfg;
+  cfg.page_size = 1024;
+  cfg.cache_pages = 10000;  // everything fits
+  O2Emulator o2(cfg, &base, 1);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+  const core::PhaseMetrics m = o2.RunTransactions(gen, 200);
+  EXPECT_EQ(m.transactions, 200u);
+  EXPECT_GT(m.total_ios, 0u);
+  EXPECT_LE(m.total_ios, o2.NumPages());  // at most one read per page
+  EXPECT_EQ(m.writes, 0u);                // read-only workload, no pressure
+}
+
+TEST(O2Emulator, SmallerCacheNeverCostsLess) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  auto ios = [&](uint64_t cache_pages) {
+    O2Config cfg;
+    cfg.page_size = 1024;
+    cfg.cache_pages = cache_pages;
+    O2Emulator o2(cfg, &base, 1);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+    return o2.RunTransactions(gen, 200).total_ios;
+  };
+  EXPECT_GE(ios(8), ios(32));
+  EXPECT_GE(ios(32), ios(128));
+}
+
+TEST(O2Emulator, WarmRunHitsTheCache) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  O2Config cfg;
+  cfg.page_size = 1024;
+  cfg.cache_pages = 10000;
+  O2Emulator o2(cfg, &base, 1);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+  const core::PhaseMetrics cold = o2.RunTransactions(gen, 100);
+  const core::PhaseMetrics warm = o2.RunTransactions(gen, 100);
+  EXPECT_LT(warm.total_ios, cold.total_ios / 2);
+  EXPECT_GT(warm.HitRate(), cold.HitRate());
+}
+
+TEST(O2Emulator, StorageOverheadGrowsTheDatabase) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  O2Config lean;
+  lean.page_size = 1024;
+  lean.storage_overhead = 1.0;
+  O2Config fat = lean;
+  fat.storage_overhead = 1.33;
+  EXPECT_GT(O2Emulator(fat, &base, 1).NumPages(),
+            O2Emulator(lean, &base, 1).NumPages());
+}
+
+TEST(TexasEmulator, FitsInMemoryMeansColdFaultsOnly) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  TexasConfig cfg;
+  cfg.page_size = 1024;
+  cfg.memory_pages = 10000;
+  TexasEmulator texas(cfg, &base, 1);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+  const core::PhaseMetrics m = texas.RunTransactions(gen, 200);
+  EXPECT_LE(m.reads, texas.NumPages());
+  EXPECT_EQ(m.writes, 0u);  // no eviction, no swap
+}
+
+TEST(TexasEmulator, MemoryPressureCausesSwap) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  TexasConfig cfg;
+  cfg.page_size = 1024;
+  cfg.memory_pages = 24;  // far less than the base
+  TexasEmulator texas(cfg, &base, 1);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+  const core::PhaseMetrics m = texas.RunTransactions(gen, 200);
+  EXPECT_GT(m.writes, 0u);  // dirty-on-load pages swap out
+  EXPECT_GT(m.total_ios, texas.NumPages());
+}
+
+TEST(TexasEmulator, LessMemoryNeverCostsLess) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  auto ios = [&](uint64_t frames) {
+    TexasConfig cfg;
+    cfg.page_size = 1024;
+    cfg.memory_pages = frames;
+    TexasEmulator texas(cfg, &base, 1);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+    return texas.RunTransactions(gen, 150).total_ios;
+  };
+  EXPECT_GE(ios(16), ios(64));
+  EXPECT_GE(ios(64), ios(512));
+}
+
+TEST(TexasEmulator, ReservationsAmplifyThrashing) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  auto ios = [&](bool reserve) {
+    TexasConfig cfg;
+    cfg.page_size = 1024;
+    cfg.memory_pages = 48;
+    cfg.reserve_references = reserve;
+    TexasEmulator texas(cfg, &base, 1);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+    return texas.RunTransactions(gen, 150).total_ios;
+  };
+  EXPECT_GT(ios(true), ios(false));
+}
+
+TEST(TexasEmulator, FramesForMemoryScalesLinearly) {
+  EXPECT_NEAR(static_cast<double>(TexasConfig::FramesForMemory(64.0, 4096)) /
+                  static_cast<double>(TexasConfig::FramesForMemory(8.0, 4096)),
+              8.0, 0.01);
+  EXPECT_GE(TexasConfig::FramesForMemory(0.001, 4096), 16u);
+  EXPECT_THROW(TexasConfig::FramesForMemory(0.0, 4096), util::Error);
+}
+
+TEST(TexasEmulator, DstcLifecycle) {
+  ocb::OcbParameters wl = SmallWorkload();
+  wl.root_region = 6;
+  wl.hierarchy_depth = 3;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
+  TexasConfig cfg;
+  cfg.page_size = 1024;
+  cfg.memory_pages = 4000;  // base fits: isolate the clustering effect
+  TexasEmulator texas(cfg, &base, 1);
+  texas.SetClusteringPolicy(std::make_unique<cluster::DstcPolicy>());
+  ASSERT_NE(texas.policy(), nullptr);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+  const uint64_t pages_before = texas.NumPages();
+  const core::PhaseMetrics pre = texas.RunTransactionsOfKind(
+      gen, ocb::TransactionKind::kHierarchyTraversal, 120);
+  const TexasClusteringMetrics cm = texas.PerformClustering();
+  ASSERT_TRUE(cm.reorganized);
+  EXPECT_GT(cm.num_clusters, 0u);
+  EXPECT_GE(cm.mean_cluster_size, 2.0);
+  // Physical OIDs: the whole database is scanned...
+  EXPECT_EQ(cm.scan_reads, pages_before);
+  // ... and swizzle-dirty pages are written back, plus the new clusters.
+  EXPECT_EQ(cm.patch_writes, pages_before);
+  EXPECT_GT(cm.cluster_writes, 0u);
+  EXPECT_EQ(cm.overhead_ios,
+            cm.scan_reads + cm.patch_writes + cm.cluster_writes);
+  texas.DropMemory();
+  const core::PhaseMetrics post = texas.RunTransactionsOfKind(
+      gen, ocb::TransactionKind::kHierarchyTraversal, 120);
+  // Clustering wins: the hot set loads with fewer I/Os.
+  EXPECT_LT(post.total_ios, pre.total_ios);
+}
+
+TEST(TexasEmulator, PerformClusteringWithoutPolicyThrows) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  TexasConfig cfg;
+  cfg.page_size = 1024;
+  TexasEmulator texas(cfg, &base, 1);
+  EXPECT_THROW(texas.PerformClustering(), util::Error);
+}
+
+TEST(TexasEmulator, CleanScanPatchesOnlyAffectedPages) {
+  // Without dirty-on-load, the reference patch rewrites only pages that
+  // actually hold a reference to (or lose) a moved object.
+  ocb::OcbParameters wl = SmallWorkload();
+  wl.root_region = 6;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
+  TexasConfig cfg;
+  cfg.page_size = 1024;
+  cfg.memory_pages = 4000;
+  cfg.dirty_on_load = false;
+  TexasEmulator texas(cfg, &base, 1);
+  texas.SetClusteringPolicy(std::make_unique<cluster::DstcPolicy>());
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+  texas.RunTransactionsOfKind(gen, ocb::TransactionKind::kHierarchyTraversal,
+                              120);
+  const TexasClusteringMetrics cm = texas.PerformClustering();
+  ASSERT_TRUE(cm.reorganized);
+  EXPECT_LT(cm.patch_writes, cm.scan_reads);
+  EXPECT_GT(cm.patch_writes, 0u);
+}
+
+}  // namespace
+}  // namespace voodb::emu

@@ -1,0 +1,114 @@
+/// \file test_experiment.cpp
+/// \brief Tests for the replicated experiment runner.
+#include <gtest/gtest.h>
+
+#include "cluster/dstc.hpp"
+#include "util/check.hpp"
+#include "voodb/experiment.hpp"
+
+namespace voodb::core {
+namespace {
+
+ExperimentConfig SmallExperiment() {
+  ExperimentConfig ec;
+  ec.system.system_class = SystemClass::kCentralized;
+  ec.system.page_size = 1024;
+  ec.system.buffer_pages = 16;
+  ec.system.multiprogramming_level = 1;
+  ec.workload.num_classes = 8;
+  ec.workload.num_objects = 300;
+  ec.workload.max_refs_per_class = 3;
+  ec.workload.base_instance_size = 60;
+  ec.workload.hot_transactions = 40;
+  ec.workload.cold_transactions = 10;
+  ec.workload.seed = 71;
+  ec.replications = 5;
+  return ec;
+}
+
+TEST(Experiment, RunsAllReplicationsAndMetrics) {
+  const desp::ReplicationResult result = Experiment::Run(SmallExperiment());
+  EXPECT_EQ(result.replications(), 5u);
+  for (const char* metric :
+       {"total_ios", "reads", "writes", "hit_rate", "mean_response_ms",
+        "throughput_tps", "sim_time_ms", "object_accesses"}) {
+    EXPECT_TRUE(result.HasMetric(metric)) << metric;
+    EXPECT_EQ(result.Metric(metric).count(), 5u) << metric;
+  }
+  EXPECT_GT(result.Metric("total_ios").mean(), 0.0);
+  EXPECT_GT(result.Metric("hit_rate").mean(), 0.0);
+  EXPECT_LE(result.Metric("hit_rate").max(), 1.0);
+}
+
+TEST(Experiment, DeterministicInBaseSeed) {
+  const double a = Experiment::MeanTotalIos(SmallExperiment());
+  const double b = Experiment::MeanTotalIos(SmallExperiment());
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Experiment, DifferentBaseSeedsVary) {
+  ExperimentConfig ec = SmallExperiment();
+  const double a = Experiment::MeanTotalIos(ec);
+  ec.base_seed = ec.base_seed + 1;
+  const double b = Experiment::MeanTotalIos(ec);
+  EXPECT_NE(a, b);
+}
+
+TEST(Experiment, ReplicationsActuallyVary) {
+  // With nontrivial workload randomness, per-replication totals differ,
+  // so the CI has positive width.
+  const desp::ReplicationResult result = Experiment::Run(SmallExperiment());
+  EXPECT_GT(result.Metric("total_ios").stddev(), 0.0);
+  const desp::ConfidenceInterval ci = result.Interval("total_ios");
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.Contains(result.Metric("total_ios").mean()));
+}
+
+TEST(Experiment, RunOnBaseMatchesRun) {
+  const ExperimentConfig ec = SmallExperiment();
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(ec.workload);
+  const double via_run = Experiment::Run(ec).Metric("total_ios").mean();
+  const double via_base =
+      Experiment::RunOnBase(ec, base).Metric("total_ios").mean();
+  EXPECT_DOUBLE_EQ(via_run, via_base);
+}
+
+TEST(Experiment, ColdRunWarmsTheBuffer) {
+  ExperimentConfig cold = SmallExperiment();
+  cold.system.buffer_pages = 256;  // everything fits
+  ExperimentConfig no_cold = cold;
+  no_cold.workload.cold_transactions = 0;
+  // With a cold run first, the measured hot phase starts warm and pays
+  // fewer I/Os.
+  EXPECT_LT(Experiment::MeanTotalIos(cold),
+            Experiment::MeanTotalIos(no_cold));
+}
+
+TEST(Experiment, ClusteringFactoryIsUsed) {
+  ExperimentConfig ec = SmallExperiment();
+  ec.workload.root_region = 4;
+  ec.workload.p_set = 0.0;
+  ec.workload.p_simple = 0.0;
+  ec.workload.p_hierarchy = 1.0;
+  ec.workload.p_stochastic = 0.0;
+  ec.system.auto_clustering = true;
+  ec.system.clustering_stat_cpu_ms = 0.01;
+  int created = 0;
+  ec.make_policy = [&created]() -> std::unique_ptr<cluster::ClusteringPolicy> {
+    ++created;
+    cluster::DstcParameters dp;
+    dp.observation_period = 10;
+    return std::make_unique<cluster::DstcPolicy>(dp);
+  };
+  Experiment::Run(ec);
+  EXPECT_EQ(created, 5);  // one policy per replication
+}
+
+TEST(Experiment, RejectsZeroReplications) {
+  ExperimentConfig ec = SmallExperiment();
+  ec.replications = 0;
+  EXPECT_THROW(Experiment::Run(ec), util::Error);
+}
+
+}  // namespace
+}  // namespace voodb::core

@@ -1,0 +1,196 @@
+/// \file test_failures.cpp
+/// \brief Tests for the random-hazard extension (paper §5): transient
+/// disk faults and system crashes with recovery.
+#include <gtest/gtest.h>
+
+#include "desp/random.hpp"
+#include "ocb/workload.hpp"
+#include "util/check.hpp"
+#include "voodb/failure_injector.hpp"
+#include "voodb/system.hpp"
+
+namespace voodb::core {
+namespace {
+
+ocb::OcbParameters SmallWorkload() {
+  ocb::OcbParameters p;
+  p.num_classes = 8;
+  p.num_objects = 400;
+  p.max_refs_per_class = 3;
+  p.base_instance_size = 60;
+  p.p_update = 0.3;
+  p.seed = 91;
+  return p;
+}
+
+VoodbConfig SmallConfig() {
+  VoodbConfig cfg;
+  cfg.system_class = SystemClass::kCentralized;
+  cfg.page_size = 1024;
+  cfg.buffer_pages = 64;
+  cfg.multiprogramming_level = 1;
+  cfg.get_lock_ms = 0.0;
+  cfg.release_lock_ms = 0.0;
+  return cfg;
+}
+
+TEST(DiskFaults, RetriesAddTimeNotIos) {
+  desp::Scheduler sched;
+  IoSubsystemActor io(&sched, storage::DiskParameters{5.0, 0.0, 0.0});
+  io.SetFaultModel(/*fault_prob=*/0.5, /*retry_penalty_ms=*/100.0,
+                   /*max_retries=*/3, desp::RandomStream(3));
+  bool done = false;
+  std::vector<storage::PageIo> ios;
+  for (int i = 0; i < 50; ++i) {
+    ios.push_back(storage::PageIo{storage::PageIo::Kind::kRead,
+                                  static_cast<storage::PageId>(i * 10)});
+  }
+  io.Execute(std::move(ios), [&] { done = true; });
+  sched.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(io.total_ios(), 50u);  // faults retry, they do not re-count
+  EXPECT_GT(io.transient_faults(), 5u);
+  // Time = 50 * 5ms + faults * 100ms.
+  EXPECT_DOUBLE_EQ(sched.Now(),
+                   250.0 + 100.0 * static_cast<double>(io.transient_faults()));
+}
+
+TEST(DiskFaults, ZeroProbabilityIsFree) {
+  desp::Scheduler sched;
+  IoSubsystemActor io(&sched, storage::DiskParameters{5.0, 0.0, 0.0});
+  io.SetFaultModel(0.0, 100.0, 3, desp::RandomStream(3));
+  io.Execute({storage::PageIo{storage::PageIo::Kind::kRead, 1}}, [] {});
+  sched.Run();
+  EXPECT_EQ(io.transient_faults(), 0u);
+  EXPECT_DOUBLE_EQ(sched.Now(), 5.0);
+}
+
+TEST(DiskFaults, RejectsBadParameters) {
+  desp::Scheduler sched;
+  IoSubsystemActor io(&sched, {});
+  EXPECT_THROW(io.SetFaultModel(1.5, 1.0, 1, desp::RandomStream(1)),
+               util::Error);
+  EXPECT_THROW(io.SetFaultModel(0.1, -1.0, 1, desp::RandomStream(1)),
+               util::Error);
+}
+
+TEST(FailureInjector, CrashDropsBufferAndOccupiesDisk) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  desp::Scheduler sched;
+  VoodbConfig cfg = SmallConfig();
+  ObjectManagerActor om(&base, cfg.page_size,
+                        storage::PlacementPolicy::kSequential, 1.0);
+  IoSubsystemActor io(&sched, cfg.disk);
+  BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));
+  // Dirty a few pages.
+  int pending = 3;
+  for (storage::PageId p = 0; p < 3; ++p) {
+    buf.AccessPage(p, /*write=*/true, [&] { --pending; });
+  }
+  sched.Run();
+  ASSERT_EQ(pending, 0);
+  ASSERT_EQ(buf.DirtyPages(), 3u);
+
+  FailureParameters fp;
+  fp.mtbf_ms = 1000.0;
+  fp.recovery_base_ms = 200.0;
+  fp.recovery_per_dirty_page_ms = 10.0;
+  FailureInjectorActor injector(&sched, fp, &buf, &io,
+                                desp::RandomStream(5));
+  injector.Arm();
+  ASSERT_TRUE(injector.armed());
+  // Run until the first crash has happened and recovery completed.
+  while (injector.stats().crashes == 0 && sched.Step()) {
+  }
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_EQ(injector.stats().dirty_pages_lost, 3u);
+  EXPECT_DOUBLE_EQ(injector.stats().recovery_times.max(), 230.0);
+  EXPECT_EQ(buf.DirtyPages(), 0u);        // buffer lost
+  EXPECT_FALSE(buf.Contains(0));
+}
+
+TEST(FailureInjector, DisarmStopsTheHazardProcess) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  desp::Scheduler sched;
+  VoodbConfig cfg = SmallConfig();
+  ObjectManagerActor om(&base, cfg.page_size,
+                        storage::PlacementPolicy::kSequential, 1.0);
+  IoSubsystemActor io(&sched, cfg.disk);
+  BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));
+  FailureParameters fp;
+  fp.mtbf_ms = 100.0;
+  FailureInjectorActor injector(&sched, fp, &buf, &io,
+                                desp::RandomStream(5));
+  injector.Arm();
+  injector.Disarm();
+  EXPECT_FALSE(injector.armed());
+  sched.Run();  // drains with no crash
+  EXPECT_EQ(injector.stats().crashes, 0u);
+}
+
+TEST(FailureInjector, ZeroMtbfNeverArms) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  desp::Scheduler sched;
+  VoodbConfig cfg = SmallConfig();
+  ObjectManagerActor om(&base, cfg.page_size,
+                        storage::PlacementPolicy::kSequential, 1.0);
+  IoSubsystemActor io(&sched, cfg.disk);
+  BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));
+  FailureParameters fp;  // mtbf 0
+  FailureInjectorActor injector(&sched, fp, &buf, &io,
+                                desp::RandomStream(5));
+  injector.Arm();
+  EXPECT_FALSE(injector.armed());
+}
+
+TEST(FailureSystem, CrashesRaiseIosAndResponseTimes) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  auto run = [&](double mtbf) {
+    VoodbConfig cfg = SmallConfig();
+    cfg.failure_mtbf_ms = mtbf;
+    cfg.recovery_base_ms = 400.0;
+    VoodbSystem sys(cfg, &base, nullptr, 3);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+    return sys.RunTransactions(gen, 150);
+  };
+  const PhaseMetrics calm = run(0.0);
+  const PhaseMetrics stormy = run(3000.0);  // crashes every ~3 sim-seconds
+  EXPECT_EQ(calm.transactions, 150u);
+  EXPECT_EQ(stormy.transactions, 150u);  // all work still completes
+  // Re-reading dropped pages costs extra I/Os, and recovery stalls
+  // stretch both response times and the simulated clock.
+  EXPECT_GT(stormy.total_ios, calm.total_ios);
+  EXPECT_GT(stormy.sim_time_ms, calm.sim_time_ms);
+}
+
+TEST(FailureSystem, InjectorStatsExposed) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  VoodbConfig cfg = SmallConfig();
+  cfg.failure_mtbf_ms = 2000.0;
+  VoodbSystem sys(cfg, &base, nullptr, 3);
+  ASSERT_NE(sys.failure_injector(), nullptr);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+  sys.RunTransactions(gen, 200);
+  EXPECT_GE(sys.failure_injector()->stats().crashes, 1u);
+  EXPECT_GT(sys.failure_injector()->stats().total_recovery_ms, 0.0);
+}
+
+TEST(FailureSystem, TransientFaultsSlowTheDiskOnly) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  auto run = [&](double prob) {
+    VoodbConfig cfg = SmallConfig();
+    cfg.disk_fault_prob = prob;
+    cfg.disk_fault_retry_ms = 50.0;
+    VoodbSystem sys(cfg, &base, nullptr, 3);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(3));
+    const PhaseMetrics m = sys.RunTransactions(gen, 100);
+    return std::make_pair(m.total_ios, m.sim_time_ms);
+  };
+  const auto [ios_calm, time_calm] = run(0.0);
+  const auto [ios_faulty, time_faulty] = run(0.2);
+  EXPECT_EQ(ios_calm, ios_faulty);  // same logical I/O count
+  EXPECT_GT(time_faulty, time_calm);
+}
+
+}  // namespace
+}  // namespace voodb::core

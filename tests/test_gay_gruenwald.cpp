@@ -1,0 +1,130 @@
+/// \file test_gay_gruenwald.cpp
+/// \brief Tests for the Gay-Gruenwald-style structural clustering policy.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/gay_gruenwald.hpp"
+#include "util/check.hpp"
+
+namespace voodb::cluster {
+namespace {
+
+ocb::ObjectBase SmallBase() {
+  ocb::OcbParameters p;
+  p.num_classes = 6;
+  p.num_objects = 200;
+  p.max_refs_per_class = 3;
+  p.seed = 33;
+  return ocb::ObjectBase::Generate(p);
+}
+
+storage::Placement DefaultPlacement(const ocb::ObjectBase& base) {
+  return storage::Placement::Build(
+      base, 1024, storage::PlacementPolicy::kOptimizedSequential);
+}
+
+void Heat(GayGruenwaldPolicy& policy, ocb::Oid oid, int times) {
+  for (int i = 0; i < times; ++i) policy.OnObjectAccess(oid, false);
+}
+
+TEST(GayGruenwaldParameters, Validation) {
+  GayGruenwaldParameters p;
+  p.Validate();
+  GayGruenwaldParameters bad = p;
+  bad.min_heat = 0;
+  EXPECT_THROW(bad.Validate(), util::Error);
+  bad = p;
+  bad.max_cluster_size = 1;
+  EXPECT_THROW(bad.Validate(), util::Error);
+}
+
+TEST(GayGruenwald, TracksHeat) {
+  GayGruenwaldPolicy policy;
+  Heat(policy, 1, 3);
+  Heat(policy, 2, 1);
+  EXPECT_EQ(policy.TrackedObjects(), 2u);
+}
+
+TEST(GayGruenwald, TriggerNeedsPeriodAndHotObject) {
+  GayGruenwaldParameters params;
+  params.observation_period = 2;
+  params.min_heat = 3;
+  GayGruenwaldPolicy policy(params);
+  Heat(policy, 1, 2);
+  policy.OnTransactionEnd();
+  EXPECT_FALSE(policy.ShouldTrigger());  // period not reached
+  policy.OnTransactionEnd();
+  EXPECT_FALSE(policy.ShouldTrigger());  // nothing hot enough
+  Heat(policy, 1, 1);  // heat 3 now
+  EXPECT_TRUE(policy.ShouldTrigger());
+}
+
+TEST(GayGruenwald, ClustersFollowStructuralReferences) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  GayGruenwaldParameters params;
+  params.min_heat = 2;
+  GayGruenwaldPolicy policy(params);
+  // Heat a seed and its direct references.
+  const ocb::Oid seed = 10;
+  Heat(policy, seed, 5);
+  std::set<ocb::Oid> expected = {seed};
+  for (ocb::Oid ref : base.Object(seed).references) {
+    if (ref == ocb::kNullOid) continue;
+    Heat(policy, ref, 3);
+    expected.insert(ref);
+  }
+  const ClusteringOutcome outcome = policy.Recluster(base, pl);
+  ASSERT_TRUE(outcome.reorganized);
+  ASSERT_GE(outcome.NumClusters(), 1u);
+  // The seed's cluster contains only objects connected through references.
+  const auto& cluster = outcome.clusters[0];
+  EXPECT_EQ(cluster[0], seed);
+  for (ocb::Oid member : cluster) {
+    EXPECT_TRUE(expected.count(member))
+        << "member " << member << " is not in the heated neighbourhood";
+  }
+}
+
+TEST(GayGruenwald, ColdObjectsNeverClustered) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  GayGruenwaldParameters params;
+  params.min_heat = 5;
+  GayGruenwaldPolicy policy(params);
+  Heat(policy, 1, 2);  // below threshold
+  Heat(policy, 2, 2);
+  const ClusteringOutcome outcome = policy.Recluster(base, pl);
+  EXPECT_FALSE(outcome.reorganized);
+}
+
+TEST(GayGruenwald, ClustersAreDisjointAndCapped) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  GayGruenwaldParameters params;
+  params.min_heat = 1;
+  params.max_cluster_size = 5;
+  GayGruenwaldPolicy policy(params);
+  for (ocb::Oid oid = 0; oid < 100; ++oid) Heat(policy, oid, 2);
+  const ClusteringOutcome outcome = policy.Recluster(base, pl);
+  std::set<ocb::Oid> seen;
+  for (const auto& cluster : outcome.clusters) {
+    EXPECT_LE(cluster.size(), 5u);
+    for (ocb::Oid oid : cluster) {
+      EXPECT_TRUE(seen.insert(oid).second);
+    }
+  }
+}
+
+TEST(GayGruenwald, ReclusterConsumesHeat) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  GayGruenwaldPolicy policy;
+  Heat(policy, 1, 5);
+  policy.Recluster(base, pl);
+  EXPECT_EQ(policy.TrackedObjects(), 0u);
+}
+
+}  // namespace
+}  // namespace voodb::cluster

@@ -1,0 +1,166 @@
+/// \file test_graph_partitioning.cpp
+/// \brief Tests for the greedy graph-partitioning clustering policy.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/graph_partitioning.hpp"
+#include "util/check.hpp"
+
+namespace voodb::cluster {
+namespace {
+
+ocb::ObjectBase SmallBase() {
+  ocb::OcbParameters p;
+  p.num_classes = 6;
+  p.num_objects = 200;
+  p.max_refs_per_class = 3;
+  p.base_instance_size = 50;  // sizes 50..300
+  p.seed = 101;
+  return ocb::ObjectBase::Generate(p);
+}
+
+storage::Placement DefaultPlacement(const ocb::ObjectBase& base) {
+  return storage::Placement::Build(
+      base, 1024, storage::PlacementPolicy::kOptimizedSequential);
+}
+
+void Feed(GraphPartitioningPolicy& ggp, const std::vector<ocb::Oid>& seq) {
+  ggp.OnTransactionStart();
+  for (ocb::Oid oid : seq) ggp.OnObjectAccess(oid, false);
+  ggp.OnTransactionEnd();
+}
+
+TEST(GraphPartitioningParameters, Validation) {
+  GraphPartitioningParameters p;
+  p.Validate();
+  GraphPartitioningParameters bad = p;
+  bad.min_edge_weight = 0;
+  EXPECT_THROW(bad.Validate(), util::Error);
+}
+
+TEST(GraphPartitioning, EdgesAreUndirected) {
+  GraphPartitioningPolicy ggp;
+  Feed(ggp, {1, 2});
+  Feed(ggp, {2, 1});
+  EXPECT_EQ(ggp.TrackedEdges(), 1u);  // both directions, one edge
+}
+
+TEST(GraphPartitioning, RepeatedCoAccessFormsOnePartition) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  GraphPartitioningPolicy ggp;
+  for (int i = 0; i < 3; ++i) Feed(ggp, {5, 6, 7});
+  const ClusteringOutcome outcome = ggp.Recluster(base, pl);
+  ASSERT_TRUE(outcome.reorganized);
+  ASSERT_EQ(outcome.NumClusters(), 1u);
+  EXPECT_EQ(std::set<ocb::Oid>(outcome.clusters[0].begin(),
+                               outcome.clusters[0].end()),
+            (std::set<ocb::Oid>{5, 6, 7}));
+}
+
+TEST(GraphPartitioning, ByteBudgetBoundsPartitions) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  GraphPartitioningParameters params;
+  params.partition_byte_budget = 400;  // only a few small objects fit
+  GraphPartitioningPolicy ggp(params);
+  std::vector<ocb::Oid> chain;
+  for (ocb::Oid o = 0; o < 30; ++o) chain.push_back(o);
+  for (int i = 0; i < 3; ++i) Feed(ggp, chain);
+  const ClusteringOutcome outcome = ggp.Recluster(base, pl);
+  ASSERT_TRUE(outcome.reorganized);
+  for (const auto& cluster : outcome.clusters) {
+    uint64_t bytes = 0;
+    for (ocb::Oid oid : cluster) bytes += base.Object(oid).size;
+    EXPECT_LE(bytes, 400u);
+  }
+}
+
+TEST(GraphPartitioning, DefaultBudgetIsThePageSize) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  GraphPartitioningPolicy ggp;  // budget 0 -> page size (1024)
+  std::vector<ocb::Oid> chain;
+  for (ocb::Oid o = 0; o < 40; ++o) chain.push_back(o);
+  for (int i = 0; i < 3; ++i) Feed(ggp, chain);
+  const ClusteringOutcome outcome = ggp.Recluster(base, pl);
+  ASSERT_TRUE(outcome.reorganized);
+  for (const auto& cluster : outcome.clusters) {
+    uint64_t bytes = 0;
+    for (ocb::Oid oid : cluster) bytes += base.Object(oid).size;
+    EXPECT_LE(bytes, 1024u);
+  }
+}
+
+TEST(GraphPartitioning, HeavierEdgesMergeFirst) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  GraphPartitioningParameters params;
+  // Objects 0, 6, 12 are class-0 instances of 50 B each; a 120 B budget
+  // fits exactly two of them.
+  params.partition_byte_budget = 120;
+  GraphPartitioningPolicy ggp(params);
+  // Edge {0,6} much heavier than {6,12}: 0-6 must merge, 12 left out.
+  for (int i = 0; i < 10; ++i) Feed(ggp, {0, 6});
+  for (int i = 0; i < 2; ++i) Feed(ggp, {6, 12});
+  const ClusteringOutcome outcome = ggp.Recluster(base, pl);
+  ASSERT_TRUE(outcome.reorganized);
+  bool found = false;
+  for (const auto& cluster : outcome.clusters) {
+    const std::set<ocb::Oid> members(cluster.begin(), cluster.end());
+    if (members.count(0)) {
+      found = true;
+      EXPECT_TRUE(members.count(6));
+      EXPECT_FALSE(members.count(12));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GraphPartitioning, WeakEdgesFiltered) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  GraphPartitioningPolicy ggp;  // min edge weight 2
+  Feed(ggp, {10, 11, 12});      // all edges weight 1
+  const ClusteringOutcome outcome = ggp.Recluster(base, pl);
+  EXPECT_FALSE(outcome.reorganized);
+}
+
+TEST(GraphPartitioning, TriggerRespectsPeriod) {
+  GraphPartitioningParameters params;
+  params.observation_period = 3;
+  GraphPartitioningPolicy ggp(params);
+  Feed(ggp, {1, 2});
+  Feed(ggp, {1, 2});
+  EXPECT_FALSE(ggp.ShouldTrigger());
+  Feed(ggp, {1, 2});
+  EXPECT_TRUE(ggp.ShouldTrigger());
+}
+
+TEST(GraphPartitioning, ReclusterConsumesStatistics) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  GraphPartitioningPolicy ggp;
+  for (int i = 0; i < 3; ++i) Feed(ggp, {1, 2, 3});
+  ggp.Recluster(base, pl);
+  EXPECT_EQ(ggp.TrackedEdges(), 0u);
+  EXPECT_FALSE(ggp.Recluster(base, pl).reorganized);
+}
+
+TEST(GraphPartitioning, Deterministic) {
+  const ocb::ObjectBase base = SmallBase();
+  const storage::Placement pl = DefaultPlacement(base);
+  auto run = [&] {
+    GraphPartitioningPolicy ggp;
+    for (int i = 0; i < 3; ++i) {
+      Feed(ggp, {1, 2, 3});
+      Feed(ggp, {20, 21});
+    }
+    return ggp.Recluster(base, pl).clusters;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace voodb::cluster

@@ -1,0 +1,94 @@
+/// \file test_histogram.cpp
+/// \brief Tests for the log-scale histogram collector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "desp/histogram.hpp"
+#include "desp/random.hpp"
+#include "util/check.hpp"
+
+namespace voodb::desp {
+namespace {
+
+TEST(LogHistogram, EmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, TracksExactMoments) {
+  LogHistogram h;
+  for (double v : {1.0, 10.0, 100.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 37.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(LogHistogram, QuantileWithinBucketResolution) {
+  LogHistogram h(0.01, 1e6, 50);  // ~4.7% relative resolution
+  RandomStream rng(5);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.Uniform(10.0, 20.0));
+  // Uniform(10,20): p50 = 15, p95 = 19.5.
+  EXPECT_NEAR(h.Quantile(0.5), 15.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.95), 19.5, 1.2);
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+}
+
+TEST(LogHistogram, ExponentialTailQuantiles) {
+  LogHistogram h(0.001, 1e6, 40);
+  RandomStream rng(7);
+  for (int i = 0; i < 200000; ++i) h.Add(rng.Exponential(100.0));
+  // Exponential(mean 100): p50 = 69.3, p99 = 460.5.
+  EXPECT_NEAR(h.Quantile(0.5), 100.0 * std::log(2.0), 6.0);
+  EXPECT_NEAR(h.Quantile(0.99), 100.0 * std::log(100.0), 40.0);
+}
+
+TEST(LogHistogram, UnderflowAndOverflowCounted) {
+  LogHistogram h(1.0, 100.0, 10);
+  h.Add(0.5);
+  h.Add(-3.0);
+  h.Add(1e9);
+  h.Add(50.0);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 4u);   // moments still see everything
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(LogHistogram, MergeMatchesCombined) {
+  LogHistogram a(0.01, 1e6, 20);
+  LogHistogram b(0.01, 1e6, 20);
+  LogHistogram all(0.01, 1e6, 20);
+  RandomStream rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Exponential(5.0);
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Quantile(0.9), all.Quantile(0.9), 1e-12);
+  // Welford merging associates differently; only FP noise may differ.
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+}
+
+TEST(LogHistogram, MergeRejectsDifferentBucketing) {
+  LogHistogram a(0.01, 1e6, 20);
+  LogHistogram b(0.01, 1e6, 10);
+  EXPECT_THROW(a.Merge(b), util::Error);
+}
+
+TEST(LogHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 10), util::Error);
+  EXPECT_THROW(LogHistogram(10.0, 10.0, 10), util::Error);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), util::Error);
+  LogHistogram h;
+  EXPECT_THROW(h.Quantile(0.0), util::Error);
+  EXPECT_THROW(h.Quantile(1.0), util::Error);
+}
+
+}  // namespace
+}  // namespace voodb::desp

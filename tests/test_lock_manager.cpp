@@ -1,0 +1,213 @@
+/// \file test_lock_manager.cpp
+/// \brief Tests for the 2PL lock manager with wait-die (paper §5
+/// concurrency-control extension).
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "voodb/lock_manager.hpp"
+
+namespace voodb::core {
+namespace {
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  desp::Scheduler sched_;
+  LockManager lm_{&sched_};
+};
+
+TEST_F(LockManagerTest, SharedLocksAreCompatible) {
+  lm_.BeginTransaction(1, 1.0);
+  lm_.BeginTransaction(2, 2.0);
+  int grants = 0;
+  lm_.Acquire(1, 10, LockMode::kShared, [&] { ++grants; }, [] { FAIL(); });
+  lm_.Acquire(2, 10, LockMode::kShared, [&] { ++grants; }, [] { FAIL(); });
+  sched_.Run();
+  EXPECT_EQ(grants, 2);
+  EXPECT_TRUE(lm_.Holds(1, 10, LockMode::kShared));
+  EXPECT_TRUE(lm_.Holds(2, 10, LockMode::kShared));
+  EXPECT_EQ(lm_.stats().immediate_grants, 2u);
+}
+
+TEST_F(LockManagerTest, ExclusiveConflictsMakeOlderWait) {
+  lm_.BeginTransaction(1, 1.0);  // older
+  lm_.BeginTransaction(2, 2.0);  // younger
+  bool young_granted = false;
+  bool old_granted = false;
+  lm_.Acquire(2, 10, LockMode::kExclusive, [&] { young_granted = true; },
+              [] { FAIL(); });
+  sched_.Run();
+  ASSERT_TRUE(young_granted);
+  // The older transaction may wait for the younger holder.
+  lm_.Acquire(1, 10, LockMode::kExclusive, [&] { old_granted = true; },
+              [] { FAIL() << "older transaction must not die"; });
+  sched_.Run();
+  EXPECT_FALSE(old_granted);
+  EXPECT_EQ(lm_.stats().waits, 1u);
+  // Release wakes the waiter.
+  lm_.ReleaseAll(2);
+  sched_.Run();
+  EXPECT_TRUE(old_granted);
+  EXPECT_TRUE(lm_.Holds(1, 10, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, YoungerRequesterDies) {
+  lm_.BeginTransaction(1, 1.0);  // older
+  lm_.BeginTransaction(2, 2.0);  // younger
+  lm_.Acquire(1, 10, LockMode::kExclusive, [] {}, [] { FAIL(); });
+  sched_.Run();
+  bool died = false;
+  lm_.Acquire(2, 10, LockMode::kShared, [] { FAIL() << "must die"; },
+              [&] { died = true; });
+  sched_.Run();
+  EXPECT_TRUE(died);
+  EXPECT_EQ(lm_.stats().deadlock_aborts, 1u);
+}
+
+TEST_F(LockManagerTest, ReacquiringHeldLockIsImmediate) {
+  lm_.BeginTransaction(1, 1.0);
+  int grants = 0;
+  lm_.Acquire(1, 10, LockMode::kExclusive, [&] { ++grants; }, [] { FAIL(); });
+  lm_.Acquire(1, 10, LockMode::kShared, [&] { ++grants; }, [] { FAIL(); });
+  lm_.Acquire(1, 10, LockMode::kExclusive, [&] { ++grants; }, [] { FAIL(); });
+  sched_.Run();
+  EXPECT_EQ(grants, 3);
+  EXPECT_EQ(lm_.HeldLocks(1), 1u);
+}
+
+TEST_F(LockManagerTest, SharedToExclusiveUpgrade) {
+  lm_.BeginTransaction(1, 1.0);
+  lm_.Acquire(1, 10, LockMode::kShared, [] {}, [] { FAIL(); });
+  sched_.Run();
+  EXPECT_FALSE(lm_.Holds(1, 10, LockMode::kExclusive));
+  bool upgraded = false;
+  lm_.Acquire(1, 10, LockMode::kExclusive, [&] { upgraded = true; },
+              [] { FAIL(); });
+  sched_.Run();
+  EXPECT_TRUE(upgraded);
+  EXPECT_TRUE(lm_.Holds(1, 10, LockMode::kExclusive));
+  EXPECT_EQ(lm_.stats().upgrades, 1u);
+}
+
+TEST_F(LockManagerTest, UpgradeConflictFollowsWaitDie) {
+  lm_.BeginTransaction(1, 1.0);  // older
+  lm_.BeginTransaction(2, 2.0);  // younger
+  lm_.Acquire(1, 10, LockMode::kShared, [] {}, [] { FAIL(); });
+  lm_.Acquire(2, 10, LockMode::kShared, [] {}, [] { FAIL(); });
+  sched_.Run();
+  // The younger transaction upgrading against an older S-holder dies.
+  bool died = false;
+  lm_.Acquire(2, 10, LockMode::kExclusive, [] { FAIL(); },
+              [&] { died = true; });
+  sched_.Run();
+  EXPECT_TRUE(died);
+}
+
+TEST_F(LockManagerTest, ReleaseAllWakesQueueInFifoOrder) {
+  lm_.BeginTransaction(1, 1.0);
+  lm_.BeginTransaction(2, 2.0);
+  lm_.BeginTransaction(3, 3.0);
+  lm_.Acquire(3, 10, LockMode::kExclusive, [] {}, [] { FAIL(); });
+  sched_.Run();
+  std::vector<int> order;
+  // Both older transactions wait (3 is youngest).
+  lm_.Acquire(1, 10, LockMode::kShared, [&] { order.push_back(1); },
+              [] { FAIL(); });
+  lm_.Acquire(2, 10, LockMode::kShared, [&] { order.push_back(2); },
+              [] { FAIL(); });
+  sched_.Run();
+  EXPECT_TRUE(order.empty());
+  lm_.ReleaseAll(3);
+  sched_.Run();
+  // Both shared waiters wake together, FIFO.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(LockManagerTest, SharedWaitersDoNotStarveBehindExclusive) {
+  // Ages: the S requester (1) is older than the X waiter (2) it queues
+  // behind, so it may wait (a younger one would die — see below).
+  lm_.BeginTransaction(1, 1.0);
+  lm_.BeginTransaction(2, 2.0);
+  lm_.BeginTransaction(3, 3.0);
+  lm_.Acquire(3, 10, LockMode::kShared, [] {}, [] { FAIL(); });
+  sched_.Run();
+  bool x_granted = false;
+  bool s_granted = false;
+  lm_.Acquire(2, 10, LockMode::kExclusive, [&] { x_granted = true; },
+              [] { FAIL(); });
+  lm_.Acquire(1, 10, LockMode::kShared, [&] { s_granted = true; },
+              [] { FAIL(); });
+  sched_.Run();
+  // FIFO head is the X request; the S behind it must not jump the queue.
+  EXPECT_FALSE(x_granted);
+  EXPECT_FALSE(s_granted);
+  lm_.ReleaseAll(3);
+  sched_.Run();
+  EXPECT_TRUE(x_granted);
+  EXPECT_FALSE(s_granted);  // still behind the exclusive holder
+  lm_.ReleaseAll(2);
+  sched_.Run();
+  EXPECT_TRUE(s_granted);
+}
+
+TEST_F(LockManagerTest, YoungerRequesterDiesBehindOlderQueuedExclusive) {
+  // Queue positions are wait targets: a younger S request that would
+  // park behind an older conflicting X waiter dies immediately (this is
+  // what prevents cycles through FIFO ordering).
+  lm_.BeginTransaction(1, 1.0);
+  lm_.BeginTransaction(2, 2.0);
+  lm_.BeginTransaction(3, 3.0);
+  lm_.Acquire(3, 10, LockMode::kShared, [] {}, [] { FAIL(); });
+  sched_.Run();
+  lm_.Acquire(1, 10, LockMode::kExclusive, [] {}, [] { FAIL(); });
+  sched_.Run();
+  bool died = false;
+  lm_.Acquire(2, 10, LockMode::kShared, [] { FAIL(); },
+              [&] { died = true; });
+  sched_.Run();
+  EXPECT_TRUE(died);
+}
+
+TEST_F(LockManagerTest, WaitTimeMeasured) {
+  lm_.BeginTransaction(1, 1.0);
+  lm_.BeginTransaction(2, 2.0);
+  lm_.Acquire(2, 10, LockMode::kExclusive, [] {}, [] { FAIL(); });
+  sched_.Run();
+  lm_.Acquire(1, 10, LockMode::kExclusive, [] {}, [] { FAIL(); });
+  sched_.Schedule(25.0, [&] { lm_.ReleaseAll(2); });
+  sched_.Run();
+  EXPECT_DOUBLE_EQ(lm_.stats().wait_times.max(), 25.0);
+}
+
+TEST_F(LockManagerTest, ReleaseAllDropsQueuedRequests) {
+  lm_.BeginTransaction(1, 1.0);
+  lm_.BeginTransaction(2, 2.0);
+  lm_.Acquire(2, 10, LockMode::kExclusive, [] {}, [] { FAIL(); });
+  sched_.Run();
+  bool granted = false;
+  lm_.Acquire(1, 10, LockMode::kExclusive, [&] { granted = true; },
+              [] { FAIL(); });
+  sched_.Run();
+  // Transaction 1 gives up (external abort) while waiting.
+  lm_.ReleaseAll(1);
+  lm_.ReleaseAll(2);
+  sched_.Run();
+  EXPECT_FALSE(granted);  // the stale waiter was dropped
+  EXPECT_EQ(lm_.ActiveTransactions(), 0u);
+}
+
+TEST_F(LockManagerTest, UsageErrors) {
+  EXPECT_THROW(lm_.Acquire(9, 1, LockMode::kShared, [] {}, [] {}),
+               util::Error);
+  lm_.BeginTransaction(5, 1.0);
+  EXPECT_THROW(lm_.BeginTransaction(5, 2.0), util::Error);
+  EXPECT_THROW(lm_.ReleaseAll(6), util::Error);
+  EXPECT_EQ(lm_.HeldLocks(6), 0u);
+}
+
+TEST(LockModeNames, ToString) {
+  EXPECT_STREQ(ToString(LockMode::kShared), "S");
+  EXPECT_STREQ(ToString(LockMode::kExclusive), "X");
+}
+
+}  // namespace
+}  // namespace voodb::core

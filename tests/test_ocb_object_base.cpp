@@ -1,0 +1,141 @@
+/// \file test_ocb_object_base.cpp
+/// \brief Tests for the OCB object-base generator.
+#include <gtest/gtest.h>
+
+#include "ocb/object_base.hpp"
+#include "util/check.hpp"
+
+namespace voodb::ocb {
+namespace {
+
+OcbParameters SmallParams() {
+  OcbParameters p;
+  p.num_classes = 10;
+  p.max_refs_per_class = 4;
+  p.num_objects = 500;
+  p.object_locality = 50;
+  p.seed = 77;
+  return p;
+}
+
+TEST(ObjectBase, GeneratesRequestedObjectCount) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  EXPECT_EQ(base.NumObjects(), 500u);
+  for (Oid i = 0; i < 500; ++i) {
+    EXPECT_EQ(base.Object(i).id, i);
+  }
+}
+
+TEST(ObjectBase, RoundRobinClassAssignment) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  for (Oid i = 0; i < base.NumObjects(); ++i) {
+    EXPECT_EQ(base.Object(i).cls, static_cast<ClassId>(i % 10));
+  }
+  // Every class gets NO/NC instances.
+  for (ClassId c = 0; c < 10; ++c) {
+    EXPECT_EQ(base.InstancesOf(c), 50u);
+  }
+}
+
+TEST(ObjectBase, SizesMatchClassDefinition) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  uint64_t total = 0;
+  for (const ObjectDef& obj : base.objects()) {
+    EXPECT_EQ(obj.size, base.schema().Class(obj.cls).instance_size);
+    total += obj.size;
+  }
+  EXPECT_EQ(base.TotalBytes(), total);
+}
+
+TEST(ObjectBase, ReferencesPointToDemandedClass) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  for (const ObjectDef& obj : base.objects()) {
+    const auto& class_refs = base.schema().Class(obj.cls).references;
+    ASSERT_EQ(obj.references.size(), class_refs.size());
+    for (size_t slot = 0; slot < obj.references.size(); ++slot) {
+      const Oid target = obj.references[slot];
+      if (target == kNullOid) continue;
+      ASSERT_LT(target, base.NumObjects());
+      EXPECT_EQ(base.Object(target).cls, class_refs[slot].target_class);
+    }
+  }
+}
+
+TEST(ObjectBase, ReferenceSlotsAreMostlyLive) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  EXPECT_GT(base.MeanFanout(), 1.0);
+}
+
+TEST(ObjectBase, DeterministicInSeed) {
+  const ObjectBase a = ObjectBase::Generate(SmallParams());
+  const ObjectBase b = ObjectBase::Generate(SmallParams());
+  ASSERT_EQ(a.NumObjects(), b.NumObjects());
+  for (Oid i = 0; i < a.NumObjects(); ++i) {
+    EXPECT_EQ(a.Object(i).references, b.Object(i).references);
+  }
+}
+
+TEST(ObjectBase, DifferentSeedsShuffleReferences) {
+  OcbParameters p1 = SmallParams();
+  OcbParameters p2 = SmallParams();
+  p2.seed = p1.seed + 1;
+  const ObjectBase a = ObjectBase::Generate(p1);
+  const ObjectBase b = ObjectBase::Generate(p2);
+  int differing = 0;
+  for (Oid i = 0; i < a.NumObjects(); ++i) {
+    if (a.Object(i).references != b.Object(i).references) ++differing;
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(ObjectBase, GrowsWithParameters) {
+  OcbParameters small = SmallParams();
+  OcbParameters big = SmallParams();
+  big.num_objects = 1000;
+  EXPECT_GT(ObjectBase::Generate(big).TotalBytes(),
+            ObjectBase::Generate(small).TotalBytes());
+}
+
+TEST(ObjectBase, PaperReferenceBaseSizes) {
+  // §4.3: the NC=50 / NO=20000 base occupies ~20 MB in Texas and ~28 MB
+  // in O2.  Check the payload is in the right range (~16 MB payload
+  // packs to ~19 MB at 4 KB pages).
+  OcbParameters p;
+  p.num_classes = 50;
+  p.num_objects = 20000;
+  const ObjectBase base = ObjectBase::Generate(p);
+  const double mb = static_cast<double>(base.TotalBytes()) / (1024 * 1024);
+  EXPECT_GT(mb, 12.0);
+  EXPECT_LT(mb, 22.0);
+}
+
+TEST(ObjectBase, OutOfRangeAccessThrows) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  EXPECT_THROW(base.Object(500), util::Error);
+  EXPECT_THROW(base.InstancesOf(10), util::Error);
+}
+
+/// Property sweep over distributions: generated references stay valid.
+class ObjectBaseDistributions
+    : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(ObjectBaseDistributions, ReferencesAlwaysValid) {
+  OcbParameters p = SmallParams();
+  p.reference_distribution = GetParam();
+  const ObjectBase base = ObjectBase::Generate(p);
+  for (const ObjectDef& obj : base.objects()) {
+    for (Oid target : obj.references) {
+      if (target != kNullOid) {
+        EXPECT_LT(target, base.NumObjects());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, ObjectBaseDistributions,
+                         ::testing::Values(Distribution::kUniform,
+                                           Distribution::kZipf,
+                                           Distribution::kNormal));
+
+}  // namespace
+}  // namespace voodb::ocb

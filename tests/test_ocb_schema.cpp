@@ -1,0 +1,139 @@
+/// \file test_ocb_schema.cpp
+/// \brief Tests for the OCB schema generator.
+#include <gtest/gtest.h>
+
+#include "desp/random.hpp"
+#include "ocb/schema.hpp"
+#include "util/check.hpp"
+
+namespace voodb::ocb {
+namespace {
+
+OcbParameters SmallParams() {
+  OcbParameters p;
+  p.num_classes = 12;
+  p.max_refs_per_class = 5;
+  p.num_objects = 100;
+  return p;
+}
+
+TEST(Schema, GeneratesRequestedClassCount) {
+  const Schema s = Schema::Generate(SmallParams(), desp::RandomStream(1));
+  EXPECT_EQ(s.NumClasses(), 12u);
+  for (ClassId c = 0; c < 12; ++c) {
+    EXPECT_EQ(s.Class(c).id, c);
+  }
+}
+
+TEST(Schema, InheritanceForestIsAcyclicByConstruction) {
+  const Schema s = Schema::Generate(SmallParams(), desp::RandomStream(2));
+  for (const ClassDef& c : s.classes()) {
+    if (c.parent != ClassDef::kNoParent) {
+      EXPECT_LT(c.parent, c.id) << "parents precede children";
+    }
+  }
+  EXPECT_EQ(s.Class(0).parent, ClassDef::kNoParent);
+}
+
+TEST(Schema, ReferenceCountsWithinMaxnref) {
+  OcbParameters p = SmallParams();
+  p.max_refs_per_class = 7;
+  const Schema s = Schema::Generate(p, desp::RandomStream(3));
+  for (const ClassDef& c : s.classes()) {
+    EXPECT_GE(c.references.size(), 1u);
+    EXPECT_LE(c.references.size(), 7u);
+  }
+}
+
+TEST(Schema, ReferenceTargetsRespectClassLocality) {
+  OcbParameters p = SmallParams();
+  p.num_classes = 40;
+  p.class_locality = 5;
+  const Schema s = Schema::Generate(p, desp::RandomStream(4));
+  for (const ClassDef& c : s.classes()) {
+    for (const ReferenceAttribute& r : c.references) {
+      // Forward distance within the wrapping window [0, locality).
+      const uint32_t dist = (r.target_class + 40 - c.id) % 40;
+      EXPECT_LT(dist, 5u) << "class " << c.id << " -> " << r.target_class;
+    }
+  }
+}
+
+TEST(Schema, ReferenceTypesWithinNreft) {
+  OcbParameters p = SmallParams();
+  p.num_reference_types = 3;
+  const Schema s = Schema::Generate(p, desp::RandomStream(5));
+  for (const ClassDef& c : s.classes()) {
+    for (const ReferenceAttribute& r : c.references) {
+      EXPECT_LT(r.type, 3u);
+    }
+  }
+}
+
+TEST(Schema, InstanceSizeGrowsWithClassIndex) {
+  OcbParameters p = SmallParams();
+  p.base_instance_size = 10;
+  p.class_size_growth = true;
+  const Schema s = Schema::Generate(p, desp::RandomStream(6));
+  EXPECT_EQ(s.Class(0).instance_size, 10u);
+  EXPECT_EQ(s.Class(11).instance_size, 120u);
+  EXPECT_DOUBLE_EQ(s.MeanInstanceSize(), 10.0 * (1 + 12) / 2.0);
+}
+
+TEST(Schema, FlatSizesWithoutGrowth) {
+  OcbParameters p = SmallParams();
+  p.base_instance_size = 64;
+  p.class_size_growth = false;
+  const Schema s = Schema::Generate(p, desp::RandomStream(7));
+  for (const ClassDef& c : s.classes()) {
+    EXPECT_EQ(c.instance_size, 64u);
+  }
+}
+
+TEST(Schema, DeterministicInSeed) {
+  const Schema a = Schema::Generate(SmallParams(), desp::RandomStream(9));
+  const Schema b = Schema::Generate(SmallParams(), desp::RandomStream(9));
+  ASSERT_EQ(a.NumClasses(), b.NumClasses());
+  for (ClassId c = 0; c < a.NumClasses(); ++c) {
+    EXPECT_EQ(a.Class(c).parent, b.Class(c).parent);
+    ASSERT_EQ(a.Class(c).references.size(), b.Class(c).references.size());
+    for (size_t i = 0; i < a.Class(c).references.size(); ++i) {
+      EXPECT_EQ(a.Class(c).references[i].target_class,
+                b.Class(c).references[i].target_class);
+    }
+  }
+}
+
+TEST(Schema, OutOfRangeClassThrows) {
+  const Schema s = Schema::Generate(SmallParams(), desp::RandomStream(1));
+  EXPECT_THROW(s.Class(99), util::Error);
+}
+
+TEST(OcbParameters, ValidationCatchesBadValues) {
+  OcbParameters p;
+  p.Validate();  // defaults are valid
+  OcbParameters bad = p;
+  bad.num_classes = 0;
+  EXPECT_THROW(bad.Validate(), util::Error);
+  bad = p;
+  bad.p_set = 0.5;  // probabilities no longer sum to 1
+  EXPECT_THROW(bad.Validate(), util::Error);
+  bad = p;
+  bad.p_update = 1.5;
+  EXPECT_THROW(bad.Validate(), util::Error);
+  bad = p;
+  bad.hierarchy_depth = 0;
+  EXPECT_THROW(bad.Validate(), util::Error);
+  bad = p;
+  bad.think_time_ms = -1.0;
+  EXPECT_THROW(bad.Validate(), util::Error);
+}
+
+TEST(OcbParameters, DistributionNames) {
+  EXPECT_STREQ(ToString(Distribution::kUniform), "UNIFORM");
+  EXPECT_STREQ(ToString(Distribution::kZipf), "ZIPF");
+  EXPECT_STREQ(ToString(Distribution::kNormal), "NORMAL");
+}
+
+}  // namespace
+}  // namespace voodb::ocb

@@ -1,0 +1,358 @@
+/// \file test_ocb_workload.cpp
+/// \brief Tests for the OCB transaction generator (Table 5 semantics).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ocb/workload.hpp"
+#include "util/check.hpp"
+
+namespace voodb::ocb {
+namespace {
+
+OcbParameters SmallParams() {
+  OcbParameters p;
+  p.num_classes = 10;
+  p.max_refs_per_class = 4;
+  p.num_objects = 400;
+  p.object_locality = 40;
+  p.seed = 3;
+  return p;
+}
+
+/// True when `to` is one of `from`'s reference targets in `base`.
+bool IsReference(const ObjectBase& base, Oid from, Oid to) {
+  for (Oid r : base.Object(from).references) {
+    if (r == to) return true;
+  }
+  return false;
+}
+
+TEST(Workload, MixMatchesProbabilities) {
+  OcbParameters p = SmallParams();
+  p.p_set = 0.5;
+  p.p_simple = 0.3;
+  p.p_hierarchy = 0.1;
+  p.p_stochastic = 0.1;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(11));
+  std::map<TransactionKind, int> counts;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) ++counts[gen.Next().kind];
+  EXPECT_NEAR(counts[TransactionKind::kSetOriented] / double(kDraws), 0.5,
+              0.02);
+  EXPECT_NEAR(counts[TransactionKind::kSimpleTraversal] / double(kDraws), 0.3,
+              0.02);
+  EXPECT_NEAR(counts[TransactionKind::kHierarchyTraversal] / double(kDraws),
+              0.1, 0.02);
+  EXPECT_NEAR(counts[TransactionKind::kStochasticTraversal] / double(kDraws),
+              0.1, 0.02);
+}
+
+TEST(Workload, FirstAccessIsTheRoot) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  WorkloadGenerator gen(&base, desp::RandomStream(13));
+  for (int i = 0; i < 100; ++i) {
+    const Transaction txn = gen.Next();
+    ASSERT_FALSE(txn.accesses.empty());
+    EXPECT_EQ(txn.accesses.front().oid, txn.root);
+    EXPECT_LT(txn.root, base.NumObjects());
+  }
+}
+
+TEST(Workload, SetOrientedIsUniqueAndDepthBounded) {
+  OcbParameters p = SmallParams();
+  p.set_depth = 2;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(17));
+  for (int i = 0; i < 50; ++i) {
+    const Transaction txn = gen.NextOfKind(TransactionKind::kSetOriented);
+    std::set<Oid> seen;
+    for (const ObjectAccess& a : txn.accesses) {
+      EXPECT_TRUE(seen.insert(a.oid).second) << "duplicate in set access";
+    }
+    // Upper bound: 1 + f + f^2 objects with fanout f = 4.
+    EXPECT_LE(txn.accesses.size(), 1u + 4u + 16u);
+  }
+}
+
+TEST(Workload, SetOrientedReachesOnlyReachableObjects) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  WorkloadGenerator gen(&base, desp::RandomStream(19));
+  const Transaction txn = gen.NextOfKind(TransactionKind::kSetOriented);
+  // Every accessed object (but the root) must be referenced by some other
+  // accessed object.
+  std::set<Oid> accessed;
+  for (const ObjectAccess& a : txn.accesses) accessed.insert(a.oid);
+  for (const ObjectAccess& a : txn.accesses) {
+    if (a.oid == txn.root) continue;
+    bool referenced = false;
+    for (Oid from : accessed) {
+      if (from != a.oid && IsReference(base, from, a.oid)) {
+        referenced = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(referenced) << "object " << a.oid << " unreachable";
+  }
+}
+
+TEST(Workload, SimpleTraversalFollowsAReferencePath) {
+  OcbParameters p = SmallParams();
+  p.simple_depth = 5;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(23));
+  for (int i = 0; i < 50; ++i) {
+    const Transaction txn = gen.NextOfKind(TransactionKind::kSimpleTraversal);
+    EXPECT_LE(txn.accesses.size(), 6u);  // root + depth
+    for (size_t k = 1; k < txn.accesses.size(); ++k) {
+      EXPECT_TRUE(IsReference(base, txn.accesses[k - 1].oid,
+                              txn.accesses[k].oid))
+          << "step " << k << " does not follow a reference";
+    }
+  }
+}
+
+TEST(Workload, HierarchyTraversalVisitsOnceWhenConfigured) {
+  OcbParameters p = SmallParams();
+  p.hierarchy_depth = 3;
+  p.traversal_visits_once = true;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(29));
+  for (int i = 0; i < 30; ++i) {
+    const Transaction txn =
+        gen.NextOfKind(TransactionKind::kHierarchyTraversal);
+    std::set<Oid> seen;
+    for (const ObjectAccess& a : txn.accesses) {
+      EXPECT_TRUE(seen.insert(a.oid).second);
+    }
+  }
+}
+
+TEST(Workload, HierarchyTraversalIsDeterministicPerRoot) {
+  // Same root => identical access sequence (this is what makes DSTC's
+  // transition statistics accumulate).
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  WorkloadGenerator gen(&base, desp::RandomStream(31));
+  std::map<Oid, std::vector<Oid>> sequences;
+  for (int i = 0; i < 200; ++i) {
+    const Transaction txn =
+        gen.NextOfKind(TransactionKind::kHierarchyTraversal);
+    std::vector<Oid> seq;
+    for (const ObjectAccess& a : txn.accesses) seq.push_back(a.oid);
+    const auto it = sequences.find(txn.root);
+    if (it == sequences.end()) {
+      sequences.emplace(txn.root, std::move(seq));
+    } else {
+      EXPECT_EQ(it->second, seq) << "root " << txn.root;
+    }
+  }
+}
+
+TEST(Workload, StochasticTraversalStepsAreReferences) {
+  OcbParameters p = SmallParams();
+  p.stochastic_depth = 10;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(37));
+  for (int i = 0; i < 50; ++i) {
+    const Transaction txn =
+        gen.NextOfKind(TransactionKind::kStochasticTraversal);
+    EXPECT_LE(txn.accesses.size(), 11u);
+    for (size_t k = 1; k < txn.accesses.size(); ++k) {
+      EXPECT_TRUE(IsReference(base, txn.accesses[k - 1].oid,
+                              txn.accesses[k].oid));
+    }
+  }
+}
+
+TEST(Workload, UpdateProbabilityProducesWrites) {
+  OcbParameters p = SmallParams();
+  p.p_update = 0.4;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(41));
+  uint64_t writes = 0;
+  uint64_t total = 0;
+  for (int i = 0; i < 500; ++i) {
+    for (const ObjectAccess& a : gen.Next().accesses) {
+      ++total;
+      if (a.is_write) ++writes;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(total), 0.4,
+              0.05);
+}
+
+TEST(Workload, ReadOnlyByDefault) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  WorkloadGenerator gen(&base, desp::RandomStream(43));
+  for (int i = 0; i < 100; ++i) {
+    for (const ObjectAccess& a : gen.Next().accesses) {
+      EXPECT_FALSE(a.is_write);
+    }
+  }
+}
+
+TEST(Workload, HotRootRegionRestrictsAndStridesRoots) {
+  OcbParameters p = SmallParams();
+  p.root_region = 8;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(47));
+  const Oid stride = base.NumObjects() / 8;
+  std::set<Oid> roots;
+  for (int i = 0; i < 400; ++i) {
+    const Transaction txn = gen.Next();
+    EXPECT_EQ(txn.root % stride, 0u);
+    roots.insert(txn.root);
+  }
+  EXPECT_LE(roots.size(), 8u);
+  EXPECT_GE(roots.size(), 6u);  // nearly all hot roots drawn
+}
+
+TEST(Workload, DeterministicInStreamSeed) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  WorkloadGenerator a(&base, desp::RandomStream(53));
+  WorkloadGenerator b(&base, desp::RandomStream(53));
+  for (int i = 0; i < 100; ++i) {
+    const Transaction ta = a.Next();
+    const Transaction tb = b.Next();
+    EXPECT_EQ(ta.kind, tb.kind);
+    EXPECT_EQ(ta.root, tb.root);
+    ASSERT_EQ(ta.accesses.size(), tb.accesses.size());
+  }
+  EXPECT_EQ(a.GeneratedAccesses(), b.GeneratedAccesses());
+  EXPECT_GT(a.GeneratedAccesses(), 0u);
+}
+
+TEST(Workload, RandomAccessDrawsRequestedCount) {
+  OcbParameters p = SmallParams();
+  p.random_access_count = 12;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(61));
+  for (int i = 0; i < 30; ++i) {
+    const Transaction txn = gen.NextOfKind(TransactionKind::kRandomAccess);
+    EXPECT_EQ(txn.accesses.size(), 12u);
+    for (const ObjectAccess& a : txn.accesses) {
+      EXPECT_LT(a.oid, base.NumObjects());
+    }
+  }
+}
+
+TEST(Workload, RandomAccessIgnoresHotRegion) {
+  // Random accesses model dictionary lookups: they roam the whole base
+  // even when transaction roots come from a hot set.
+  OcbParameters p = SmallParams();
+  p.root_region = 4;
+  p.random_access_count = 50;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(61));
+  std::set<Oid> seen;
+  for (int i = 0; i < 40; ++i) {
+    for (const ObjectAccess& a :
+         gen.NextOfKind(TransactionKind::kRandomAccess).accesses) {
+      seen.insert(a.oid);
+    }
+  }
+  EXPECT_GT(seen.size(), 100u);  // far beyond the 4 hot roots
+}
+
+TEST(Workload, SequentialScanCoversTheRootsClass) {
+  const ObjectBase base = ObjectBase::Generate(SmallParams());
+  WorkloadGenerator gen(&base, desp::RandomStream(67));
+  for (int i = 0; i < 20; ++i) {
+    const Transaction txn = gen.NextOfKind(TransactionKind::kSequentialScan);
+    const ClassId cls = base.Object(txn.root).cls;
+    EXPECT_EQ(txn.accesses.size(), base.InstancesOf(cls));
+    Oid last = 0;
+    for (const ObjectAccess& a : txn.accesses) {
+      EXPECT_EQ(base.Object(a.oid).cls, cls);
+      EXPECT_GE(a.oid, last);  // OID order
+      last = a.oid;
+    }
+  }
+}
+
+TEST(Workload, SequentialScanRespectsCap) {
+  OcbParameters p = SmallParams();
+  p.scan_max_instances = 7;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(67));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(gen.NextOfKind(TransactionKind::kSequentialScan).accesses.size(),
+              7u);
+  }
+}
+
+TEST(Workload, SixKindMixMatchesProbabilities) {
+  OcbParameters p = SmallParams();
+  p.p_set = 0.2;
+  p.p_simple = 0.2;
+  p.p_hierarchy = 0.1;
+  p.p_stochastic = 0.1;
+  p.p_random_access = 0.2;
+  p.p_scan = 0.2;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(71));
+  std::map<TransactionKind, int> counts;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) ++counts[gen.Next().kind];
+  EXPECT_NEAR(counts[TransactionKind::kRandomAccess] / double(kDraws), 0.2,
+              0.02);
+  EXPECT_NEAR(counts[TransactionKind::kSequentialScan] / double(kDraws), 0.2,
+              0.02);
+}
+
+TEST(Workload, SixProbabilitiesMustSumToOne) {
+  OcbParameters p = SmallParams();
+  p.p_random_access = 0.1;  // sum now 1.1
+  EXPECT_THROW(p.Validate(), util::Error);
+  p.p_set = 0.15;  // back to 1.0
+  p.Validate();
+}
+
+TEST(Workload, KindNames) {
+  EXPECT_STREQ(ToString(TransactionKind::kSetOriented), "SET_ORIENTED");
+  EXPECT_STREQ(ToString(TransactionKind::kSimpleTraversal),
+               "SIMPLE_TRAVERSAL");
+  EXPECT_STREQ(ToString(TransactionKind::kHierarchyTraversal),
+               "HIERARCHY_TRAVERSAL");
+  EXPECT_STREQ(ToString(TransactionKind::kStochasticTraversal),
+               "STOCHASTIC_TRAVERSAL");
+  EXPECT_STREQ(ToString(TransactionKind::kRandomAccess), "RANDOM_ACCESS");
+  EXPECT_STREQ(ToString(TransactionKind::kSequentialScan),
+               "SEQUENTIAL_SCAN");
+}
+
+/// Property sweep: depths bound transaction sizes for every kind.
+class WorkloadDepths : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WorkloadDepths, TransactionSizesBoundedByDepth) {
+  OcbParameters p = SmallParams();
+  const uint32_t depth = GetParam();
+  p.set_depth = depth;
+  p.simple_depth = depth;
+  p.hierarchy_depth = depth;
+  p.stochastic_depth = depth;
+  const ObjectBase base = ObjectBase::Generate(p);
+  WorkloadGenerator gen(&base, desp::RandomStream(59));
+  // Simple & stochastic traversals: at most depth + 1 accesses.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_LE(gen.NextOfKind(TransactionKind::kSimpleTraversal).accesses.size(),
+              depth + 1);
+    EXPECT_LE(
+        gen.NextOfKind(TransactionKind::kStochasticTraversal).accesses.size(),
+        depth + 1);
+    // Set/hierarchy: bounded by the number of objects (visits-once).
+    EXPECT_LE(gen.NextOfKind(TransactionKind::kSetOriented).accesses.size(),
+              base.NumObjects());
+    EXPECT_LE(
+        gen.NextOfKind(TransactionKind::kHierarchyTraversal).accesses.size(),
+        base.NumObjects());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DepthSweep, WorkloadDepths,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace voodb::ocb

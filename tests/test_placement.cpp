@@ -1,0 +1,242 @@
+/// \file test_placement.cpp
+/// \brief Tests for object-to-page placement and relocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "ocb/object_base.hpp"
+#include "storage/placement.hpp"
+#include "util/check.hpp"
+
+namespace voodb::storage {
+namespace {
+
+ocb::OcbParameters SmallParams() {
+  ocb::OcbParameters p;
+  p.num_classes = 8;
+  p.num_objects = 300;
+  p.max_refs_per_class = 3;
+  p.base_instance_size = 100;
+  p.seed = 5;
+  return p;
+}
+
+/// Every object is placed exactly once and page contents match spans.
+void CheckConsistency(const ocb::ObjectBase& base, const Placement& pl) {
+  std::vector<int> seen(base.NumObjects(), 0);
+  for (PageId page = 0; page < pl.NumPages(); ++page) {
+    for (ocb::Oid oid : pl.ObjectsOn(page)) {
+      ++seen[oid];
+      EXPECT_EQ(pl.SpanOf(oid).first, page);
+    }
+  }
+  for (ocb::Oid oid = 0; oid < base.NumObjects(); ++oid) {
+    EXPECT_EQ(seen[oid], 1) << "object " << oid;
+    EXPECT_GE(pl.SpanOf(oid).count, 1u);
+  }
+}
+
+/// Bytes stored on each page never exceed the page size.
+void CheckPageCapacity(const ocb::ObjectBase& base, const Placement& pl,
+                       double overhead) {
+  for (PageId page = 0; page < pl.NumPages(); ++page) {
+    uint64_t used = 0;
+    for (ocb::Oid oid : pl.ObjectsOn(page)) {
+      if (pl.SpanOf(oid).count > 1) continue;  // large object, own span
+      used += static_cast<uint64_t>(
+          std::ceil(base.Object(oid).size * overhead));
+    }
+    EXPECT_LE(used, pl.page_size()) << "page " << page;
+  }
+}
+
+class PlacementPolicies : public ::testing::TestWithParam<PlacementPolicy> {};
+
+TEST_P(PlacementPolicies, AllObjectsPlacedOnce) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallParams());
+  const Placement pl = Placement::Build(base, 1024, GetParam());
+  CheckConsistency(base, pl);
+  CheckPageCapacity(base, pl, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PlacementPolicies,
+                         ::testing::Values(PlacementPolicy::kSequential,
+                                           PlacementPolicy::kOptimizedSequential,
+                                           PlacementPolicy::kReferenceDfs));
+
+TEST(Placement, SequentialKeepsOidOrder) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallParams());
+  const Placement pl =
+      Placement::Build(base, 1024, PlacementPolicy::kSequential);
+  ocb::Oid last = 0;
+  for (PageId page = 0; page < pl.NumPages(); ++page) {
+    for (ocb::Oid oid : pl.ObjectsOn(page)) {
+      EXPECT_GE(oid, last);
+      last = oid;
+    }
+  }
+}
+
+TEST(Placement, OptimizedSequentialGroupsByClass) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallParams());
+  const Placement pl =
+      Placement::Build(base, 1024, PlacementPolicy::kOptimizedSequential);
+  // Walking pages in order, the class id never decreases.
+  uint32_t last_class = 0;
+  for (PageId page = 0; page < pl.NumPages(); ++page) {
+    for (ocb::Oid oid : pl.ObjectsOn(page)) {
+      EXPECT_GE(base.Object(oid).cls, last_class);
+      last_class = base.Object(oid).cls;
+    }
+  }
+}
+
+TEST(Placement, ReferenceDfsKeepsNeighboursClose) {
+  // Under DFS packing, the mean page distance between an object and its
+  // first reference should beat sequential packing on a reference-heavy
+  // base.
+  ocb::OcbParameters p = SmallParams();
+  p.num_objects = 1000;
+  p.object_locality = 500;  // scattered references
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(p);
+  auto mean_ref_distance = [&](const Placement& pl) {
+    double total = 0.0;
+    uint64_t count = 0;
+    for (const auto& obj : base.objects()) {
+      for (ocb::Oid ref : obj.references) {
+        if (ref == ocb::kNullOid) continue;
+        const double d =
+            std::abs(static_cast<double>(pl.PageOf(obj.id)) -
+                     static_cast<double>(pl.PageOf(ref)));
+        total += d;
+        ++count;
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+  const Placement dfs =
+      Placement::Build(base, 1024, PlacementPolicy::kReferenceDfs);
+  const Placement cls =
+      Placement::Build(base, 1024, PlacementPolicy::kOptimizedSequential);
+  EXPECT_LT(mean_ref_distance(dfs), mean_ref_distance(cls));
+}
+
+TEST(Placement, OverheadFactorUsesMorePages) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallParams());
+  const Placement lean =
+      Placement::Build(base, 1024, PlacementPolicy::kSequential, 1.0);
+  const Placement fat =
+      Placement::Build(base, 1024, PlacementPolicy::kSequential, 1.33);
+  EXPECT_GT(fat.NumPages(), lean.NumPages());
+  CheckPageCapacity(base, fat, 1.33);
+}
+
+TEST(Placement, LargeObjectsGetContiguousSpans) {
+  ocb::OcbParameters p = SmallParams();
+  p.base_instance_size = 600;  // class 7 instances are 4800 B > 1024 B page
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(p);
+  const Placement pl =
+      Placement::Build(base, 1024, PlacementPolicy::kSequential);
+  bool saw_span = false;
+  for (const auto& obj : base.objects()) {
+    const PageSpan span = pl.SpanOf(obj.id);
+    const auto expected_pages =
+        static_cast<uint32_t>((obj.size + 1023) / 1024);
+    if (obj.size > 1024) {
+      saw_span = true;
+      EXPECT_EQ(span.count, expected_pages);
+      // Pages of the span beyond the first carry no other object.
+      for (uint32_t i = 1; i < span.count; ++i) {
+        EXPECT_TRUE(pl.ObjectsOn(span.first + i).empty());
+      }
+    } else {
+      EXPECT_EQ(span.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  CheckConsistency(base, pl);
+}
+
+TEST(Placement, BuildFromOrderRejectsBadPermutations) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallParams());
+  std::vector<ocb::Oid> too_short(10);
+  EXPECT_THROW(Placement::BuildFromOrder(base, 1024, too_short), util::Error);
+  std::vector<ocb::Oid> dup(base.NumObjects(), 0);  // all zeros
+  EXPECT_THROW(Placement::BuildFromOrder(base, 1024, dup), util::Error);
+}
+
+TEST(Placement, BuildFromOrderHonoursOrder) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallParams());
+  std::vector<ocb::Oid> order(base.NumObjects());
+  std::iota(order.begin(), order.end(), ocb::Oid{0});
+  std::reverse(order.begin(), order.end());
+  const Placement pl = Placement::BuildFromOrder(base, 1024, order);
+  // First page holds the highest OIDs.
+  EXPECT_EQ(pl.ObjectsOn(0).front(), base.NumObjects() - 1);
+  CheckConsistency(base, pl);
+}
+
+TEST(Placement, RelocateToTailMovesOnlyRequestedObjects) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallParams());
+  const Placement before =
+      Placement::Build(base, 1024, PlacementPolicy::kOptimizedSequential);
+  const std::vector<ocb::Oid> moved = {5, 17, 230, 42};
+  const Placement after =
+      Placement::RelocateToTail(before, base, moved);
+  EXPECT_GT(after.NumPages(), before.NumPages());
+  const std::set<ocb::Oid> moved_set(moved.begin(), moved.end());
+  for (ocb::Oid oid = 0; oid < base.NumObjects(); ++oid) {
+    if (moved_set.count(oid)) {
+      EXPECT_GE(after.SpanOf(oid).first, before.NumPages())
+          << "moved object must live in the tail";
+    } else {
+      EXPECT_EQ(after.SpanOf(oid).first, before.SpanOf(oid).first)
+          << "unmoved object must stay";
+    }
+  }
+  // Moved objects are contiguous in the requested order.
+  PageId last = 0;
+  for (ocb::Oid oid : moved) {
+    EXPECT_GE(after.SpanOf(oid).first, last);
+    last = after.SpanOf(oid).first;
+  }
+}
+
+TEST(Placement, RelocateToTailLeavesHoles) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallParams());
+  const Placement before =
+      Placement::Build(base, 1024, PlacementPolicy::kSequential);
+  const ocb::Oid victim = 0;
+  const PageId old_page = before.PageOf(victim);
+  const size_t before_count = before.ObjectsOn(old_page).size();
+  const Placement after = Placement::RelocateToTail(before, base, {victim, 1});
+  EXPECT_EQ(after.ObjectsOn(old_page).size(), before_count - 2);
+}
+
+TEST(Placement, RelocateToTailRejectsDuplicates) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallParams());
+  const Placement before =
+      Placement::Build(base, 1024, PlacementPolicy::kSequential);
+  EXPECT_THROW(Placement::RelocateToTail(before, base, {3, 3}), util::Error);
+}
+
+TEST(Placement, RejectsTinyPages) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallParams());
+  EXPECT_THROW(Placement::Build(base, 128, PlacementPolicy::kSequential),
+               util::Error);
+  EXPECT_THROW(
+      Placement::Build(base, 1024, PlacementPolicy::kSequential, 0.5),
+      util::Error);
+}
+
+TEST(Placement, PolicyNames) {
+  EXPECT_STREQ(ToString(PlacementPolicy::kSequential), "SEQUENTIAL");
+  EXPECT_STREQ(ToString(PlacementPolicy::kOptimizedSequential),
+               "OPTIMIZED_SEQUENTIAL");
+  EXPECT_STREQ(ToString(PlacementPolicy::kReferenceDfs), "REFERENCE_DFS");
+}
+
+}  // namespace
+}  // namespace voodb::storage

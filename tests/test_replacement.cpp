@@ -1,0 +1,229 @@
+/// \file test_replacement.cpp
+/// \brief Tests for the buffer replacement policies (PGREP).
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "desp/random.hpp"
+#include "storage/replacement.hpp"
+#include "util/check.hpp"
+
+namespace voodb::storage {
+namespace {
+
+std::unique_ptr<ReplacementAlgo> Make(ReplacementPolicy p, uint32_t k = 2) {
+  return MakeReplacementAlgo(p, desp::RandomStream(99), k);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  auto algo = Make(ReplacementPolicy::kLru);
+  algo->OnAdmit(1);
+  algo->OnAdmit(2);
+  algo->OnAdmit(3);
+  algo->OnAccess(1);  // order (MRU..LRU): 1 3 2
+  EXPECT_EQ(algo->PickVictim(), 2u);
+  algo->OnEvict(2);
+  EXPECT_EQ(algo->PickVictim(), 3u);
+}
+
+TEST(Lru, MatchesReferenceImplementationOnRandomTrace) {
+  auto algo = Make(ReplacementPolicy::kLru);
+  std::list<PageId> reference;  // MRU at front
+  desp::RandomStream rng(7);
+  std::set<PageId> resident;
+  constexpr size_t kCapacity = 8;
+  for (int step = 0; step < 5000; ++step) {
+    const PageId page = static_cast<PageId>(rng.UniformInt(0, 20));
+    if (resident.count(page)) {
+      algo->OnAccess(page);
+      reference.remove(page);
+      reference.push_front(page);
+    } else {
+      if (resident.size() == kCapacity) {
+        const PageId victim = algo->PickVictim();
+        ASSERT_EQ(victim, reference.back());
+        algo->OnEvict(victim);
+        resident.erase(victim);
+        reference.pop_back();
+      }
+      algo->OnAdmit(page);
+      resident.insert(page);
+      reference.push_front(page);
+    }
+  }
+}
+
+TEST(Fifo, EvictsOldestAdmissionRegardlessOfAccess) {
+  auto algo = Make(ReplacementPolicy::kFifo);
+  algo->OnAdmit(1);
+  algo->OnAdmit(2);
+  algo->OnAdmit(3);
+  algo->OnAccess(1);  // FIFO ignores accesses
+  EXPECT_EQ(algo->PickVictim(), 1u);
+  algo->OnEvict(1);
+  EXPECT_EQ(algo->PickVictim(), 2u);
+}
+
+TEST(Lfu, EvictsLeastFrequentlyUsed) {
+  auto algo = Make(ReplacementPolicy::kLfu);
+  algo->OnAdmit(1);
+  algo->OnAdmit(2);
+  algo->OnAdmit(3);
+  algo->OnAccess(1);
+  algo->OnAccess(1);
+  algo->OnAccess(3);
+  // Counts: 1->3, 2->1, 3->2.
+  EXPECT_EQ(algo->PickVictim(), 2u);
+  algo->OnEvict(2);
+  EXPECT_EQ(algo->PickVictim(), 3u);
+}
+
+TEST(Lfu, TiesBrokenByAdmissionOrder) {
+  auto algo = Make(ReplacementPolicy::kLfu);
+  algo->OnAdmit(5);
+  algo->OnAdmit(6);
+  EXPECT_EQ(algo->PickVictim(), 5u);
+}
+
+TEST(Lfu, ReadmissionResetsCount) {
+  auto algo = Make(ReplacementPolicy::kLfu);
+  algo->OnAdmit(1);
+  for (int i = 0; i < 10; ++i) algo->OnAccess(1);
+  algo->OnEvict(1);
+  algo->OnAdmit(2);
+  algo->OnAccess(2);
+  algo->OnAdmit(1);  // count restarts at 1
+  EXPECT_EQ(algo->PickVictim(), 1u);
+}
+
+TEST(LruK, PagesWithoutKAccessesEvictedFirst) {
+  auto algo = Make(ReplacementPolicy::kLruK, 2);
+  algo->OnAdmit(1);
+  algo->OnAccess(1);  // page 1 has 2 accesses -> finite distance
+  algo->OnAdmit(2);   // page 2 has 1 access -> infinite distance
+  EXPECT_EQ(algo->PickVictim(), 2u);
+}
+
+TEST(LruK, EvictsOldestKthAccess) {
+  auto algo = Make(ReplacementPolicy::kLruK, 2);
+  algo->OnAdmit(1);
+  algo->OnAccess(1);  // 1: stamps {1,2}
+  algo->OnAdmit(2);
+  algo->OnAccess(2);  // 2: stamps {3,4}
+  algo->OnAccess(1);  // 1: stamps {2,5} -> K-th stamp 2
+  // K-th most recent: page1 = 2, page2 = 3 -> evict page 1.
+  EXPECT_EQ(algo->PickVictim(), 1u);
+}
+
+TEST(LruK, KEqualsOneBehavesLikeLru) {
+  auto lruk = Make(ReplacementPolicy::kLruK, 1);
+  lruk->OnAdmit(1);
+  lruk->OnAdmit(2);
+  lruk->OnAccess(1);
+  EXPECT_EQ(lruk->PickVictim(), 2u);
+}
+
+TEST(Clock, GivesSecondChance) {
+  auto algo = Make(ReplacementPolicy::kClock);
+  algo->OnAdmit(1);
+  algo->OnAdmit(2);
+  algo->OnAdmit(3);
+  // All have their reference weight set; the first sweep clears them and
+  // the second finds page 1 (sweep order).
+  EXPECT_EQ(algo->PickVictim(), 1u);
+  algo->OnEvict(1);
+  algo->OnAccess(2);  // refresh 2
+  EXPECT_EQ(algo->PickVictim(), 3u);
+}
+
+TEST(Gclock, AccessesAccumulateWeight) {
+  auto algo = Make(ReplacementPolicy::kGclock);
+  algo->OnAdmit(1);
+  algo->OnAdmit(2);
+  for (int i = 0; i < 3; ++i) algo->OnAccess(1);  // weight 4
+  // Page 2 (weight 1) runs out of chances first.
+  EXPECT_EQ(algo->PickVictim(), 2u);
+}
+
+TEST(Random, VictimIsAlwaysResident) {
+  auto algo = Make(ReplacementPolicy::kRandom);
+  std::set<PageId> resident;
+  for (PageId p = 0; p < 10; ++p) {
+    algo->OnAdmit(p);
+    resident.insert(p);
+  }
+  for (int i = 0; i < 8; ++i) {
+    const PageId victim = algo->PickVictim();
+    EXPECT_TRUE(resident.count(victim));
+    algo->OnEvict(victim);
+    resident.erase(victim);
+  }
+}
+
+TEST(Random, IsDeterministicInSeed) {
+  auto a = MakeReplacementAlgo(ReplacementPolicy::kRandom,
+                               desp::RandomStream(5));
+  auto b = MakeReplacementAlgo(ReplacementPolicy::kRandom,
+                               desp::RandomStream(5));
+  for (PageId p = 0; p < 20; ++p) {
+    a->OnAdmit(p);
+    b->OnAdmit(p);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const PageId va = a->PickVictim();
+    const PageId vb = b->PickVictim();
+    EXPECT_EQ(va, vb);
+    a->OnEvict(va);
+    b->OnEvict(vb);
+  }
+}
+
+TEST(ReplacementNames, AllPoliciesNamed) {
+  EXPECT_STREQ(ToString(ReplacementPolicy::kRandom), "RANDOM");
+  EXPECT_STREQ(ToString(ReplacementPolicy::kFifo), "FIFO");
+  EXPECT_STREQ(ToString(ReplacementPolicy::kLfu), "LFU");
+  EXPECT_STREQ(ToString(ReplacementPolicy::kLru), "LRU");
+  EXPECT_STREQ(ToString(ReplacementPolicy::kLruK), "LRU-K");
+  EXPECT_STREQ(ToString(ReplacementPolicy::kClock), "CLOCK");
+  EXPECT_STREQ(ToString(ReplacementPolicy::kGclock), "GCLOCK");
+}
+
+/// Property sweep: every policy survives a random admit/access/evict
+/// workout and always nominates a resident victim.
+class AllPolicies : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(AllPolicies, RandomWorkoutMaintainsInvariants) {
+  auto algo = Make(GetParam());
+  desp::RandomStream rng(31);
+  std::set<PageId> resident;
+  constexpr size_t kCapacity = 16;
+  for (int step = 0; step < 20000; ++step) {
+    const PageId page = static_cast<PageId>(rng.UniformInt(0, 99));
+    if (resident.count(page)) {
+      algo->OnAccess(page);
+      continue;
+    }
+    if (resident.size() == kCapacity) {
+      const PageId victim = algo->PickVictim();
+      ASSERT_TRUE(resident.count(victim))
+          << ToString(GetParam()) << " nominated non-resident victim";
+      algo->OnEvict(victim);
+      resident.erase(victim);
+    }
+    algo->OnAdmit(page);
+    resident.insert(page);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySweep, AllPolicies,
+    ::testing::Values(ReplacementPolicy::kRandom, ReplacementPolicy::kFifo,
+                      ReplacementPolicy::kLfu, ReplacementPolicy::kLru,
+                      ReplacementPolicy::kLruK, ReplacementPolicy::kClock,
+                      ReplacementPolicy::kGclock));
+
+}  // namespace
+}  // namespace voodb::storage

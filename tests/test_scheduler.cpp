@@ -1,0 +1,172 @@
+/// \file test_scheduler.cpp
+/// \brief Tests for the discrete-event scheduler.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "desp/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace voodb::desp {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_DOUBLE_EQ(s.Now(), 0.0);
+  EXPECT_EQ(s.PendingEvents(), 0u);
+  EXPECT_FALSE(s.Step());
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.Schedule(3.0, [&] { order.push_back(3); });
+  s.Schedule(1.0, [&] { order.push_back(1); });
+  s.Schedule(2.0, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.Now(), 3.0);
+  EXPECT_EQ(s.ExecutedEvents(), 3u);
+}
+
+TEST(Scheduler, SimultaneousEventsByPriorityThenFifo) {
+  Scheduler s;
+  std::vector<std::string> order;
+  s.Schedule(1.0, [&] { order.push_back("low-first"); }, 0);
+  s.Schedule(1.0, [&] { order.push_back("high"); }, 5);
+  s.Schedule(1.0, [&] { order.push_back("low-second"); }, 0);
+  s.Run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"high", "low-first", "low-second"}));
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+  Scheduler s;
+  double seen = -1.0;
+  s.Schedule(2.5, [&] { seen = s.Now(); });
+  s.Run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(s.Now());
+    if (times.size() < 5) s.Schedule(1.0, chain);
+  };
+  s.Schedule(1.0, chain);
+  s.Run();
+  EXPECT_EQ(times, (std::vector<double>{1, 2, 3, 4, 5}));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  EventHandle h = s.Schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(s.Cancel(h));
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(s.Cancel(h));  // double cancel
+  s.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.ExecutedEvents(), 0u);
+}
+
+TEST(Scheduler, CancelUpdatesPendingCount) {
+  Scheduler s;
+  EventHandle h1 = s.Schedule(1.0, [] {});
+  s.Schedule(2.0, [] {});
+  EXPECT_EQ(s.PendingEvents(), 2u);
+  s.Cancel(h1);
+  EXPECT_EQ(s.PendingEvents(), 1u);
+  s.Run();
+  EXPECT_EQ(s.PendingEvents(), 0u);
+}
+
+TEST(Scheduler, CannotCancelFiredEvent) {
+  Scheduler s;
+  EventHandle h = s.Schedule(1.0, [] {});
+  s.Run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(s.Cancel(h));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    s.Schedule(t, [&, t] { times.push_back(t); });
+  }
+  s.RunUntil(2.5);
+  EXPECT_EQ(times, (std::vector<double>{1, 2}));
+  EXPECT_DOUBLE_EQ(s.Now(), 2.5);
+  EXPECT_EQ(s.PendingEvents(), 2u);
+  s.Run();
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(Scheduler, RunUntilExecutesEventsExactlyAtDeadline) {
+  Scheduler s;
+  bool ran = false;
+  s.Schedule(2.0, [&] { ran = true; });
+  s.RunUntil(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, StopHaltsRun) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.Schedule(i, [&] {
+      ++count;
+      if (count == 3) s.Stop();
+    });
+  }
+  s.Run();
+  EXPECT_EQ(count, 3);
+  s.Run();  // resumes
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Scheduler, RejectsSchedulingInThePast) {
+  Scheduler s;
+  s.Schedule(5.0, [] {});
+  s.Step();
+  EXPECT_THROW(s.ScheduleAt(4.0, [] {}), util::Error);
+  EXPECT_THROW(s.Schedule(-1.0, [] {}), util::Error);
+  EXPECT_THROW(s.Schedule(1.0, nullptr), util::Error);
+}
+
+TEST(Scheduler, ZeroDelayRunsAtCurrentTime) {
+  Scheduler s;
+  std::vector<int> order;
+  s.Schedule(1.0, [&] {
+    order.push_back(1);
+    s.Schedule(0.0, [&] { order.push_back(2); });
+  });
+  s.Schedule(1.0, [&] { order.push_back(3); });
+  s.Run();
+  // The zero-delay event is scheduled after event 3 at the same time.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_DOUBLE_EQ(s.Now(), 1.0);
+}
+
+TEST(Scheduler, ManyEventsStressDeterminism) {
+  auto run = [] {
+    Scheduler s;
+    std::vector<uint64_t> trace;
+    for (uint64_t i = 0; i < 1000; ++i) {
+      s.Schedule(static_cast<double>((i * 37) % 100),
+                 [&trace, i] { trace.push_back(i); },
+                 static_cast<int>(i % 3));
+    }
+    s.Run();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace voodb::desp

@@ -1,0 +1,134 @@
+/// \file test_special_functions.cpp
+/// \brief Tests for the statistical special functions against textbook
+/// values (the classic Student-t table is the ground truth here; the
+/// implementation itself is table-free).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/special_functions.hpp"
+
+namespace voodb::util {
+namespace {
+
+TEST(RegularizedIncompleteBeta, Endpoints) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(RegularizedIncompleteBeta, SymmetricCase) {
+  // I_x(a, a) at x = 0.5 is exactly 0.5.
+  EXPECT_NEAR(RegularizedIncompleteBeta(3.0, 3.0, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(RegularizedIncompleteBeta(0.5, 0.5, 0.5), 0.5, 1e-12);
+}
+
+TEST(RegularizedIncompleteBeta, KnownValues) {
+  // I_x(1, b) = 1 - (1-x)^b.
+  for (double x : {0.1, 0.3, 0.7}) {
+    for (double b : {1.0, 2.0, 5.0}) {
+      EXPECT_NEAR(RegularizedIncompleteBeta(1.0, b, x),
+                  1.0 - std::pow(1.0 - x, b), 1e-10)
+          << "x=" << x << " b=" << b;
+    }
+  }
+}
+
+TEST(RegularizedIncompleteBeta, ComplementIdentity) {
+  // I_x(a,b) + I_{1-x}(b,a) = 1.
+  for (double x : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, x) +
+                    RegularizedIncompleteBeta(4.0, 2.5, 1.0 - x),
+                1.0, 1e-10);
+  }
+}
+
+TEST(RegularizedIncompleteBeta, RejectsBadArguments) {
+  EXPECT_THROW(RegularizedIncompleteBeta(0.0, 1.0, 0.5), Error);
+  EXPECT_THROW(RegularizedIncompleteBeta(1.0, -1.0, 0.5), Error);
+  EXPECT_THROW(RegularizedIncompleteBeta(1.0, 1.0, 1.5), Error);
+}
+
+TEST(StudentTCdf, SymmetryAndCenter) {
+  EXPECT_DOUBLE_EQ(StudentTCdf(0.0, 5.0), 0.5);
+  for (double t : {0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(StudentTCdf(t, 7.0) + StudentTCdf(-t, 7.0), 1.0, 1e-12);
+  }
+}
+
+TEST(StudentTCdf, MatchesCauchyForOneDof) {
+  // t(1) is the Cauchy distribution: CDF = 1/2 + atan(t)/pi.
+  for (double t : {-2.0, -0.5, 0.3, 1.7, 10.0}) {
+    EXPECT_NEAR(StudentTCdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-9);
+  }
+}
+
+struct TQuantileCase {
+  double df;
+  double p;
+  double expected;
+};
+
+/// Classic two-sided 95 % / 90 % / 99 % table (Abramowitz & Stegun).
+class StudentTQuantileTable : public ::testing::TestWithParam<TQuantileCase> {};
+
+TEST_P(StudentTQuantileTable, MatchesTable) {
+  const TQuantileCase c = GetParam();
+  EXPECT_NEAR(StudentTQuantile(c.p, c.df), c.expected, 2e-3)
+      << "df=" << c.df << " p=" << c.p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TextbookTable, StudentTQuantileTable,
+    ::testing::Values(
+        TQuantileCase{1, 0.975, 12.706}, TQuantileCase{2, 0.975, 4.303},
+        TQuantileCase{3, 0.975, 3.182}, TQuantileCase{4, 0.975, 2.776},
+        TQuantileCase{5, 0.975, 2.571}, TQuantileCase{9, 0.975, 2.262},
+        TQuantileCase{10, 0.975, 2.228}, TQuantileCase{20, 0.975, 2.086},
+        TQuantileCase{30, 0.975, 2.042}, TQuantileCase{60, 0.975, 2.000},
+        TQuantileCase{99, 0.975, 1.984}, TQuantileCase{120, 0.975, 1.980},
+        TQuantileCase{1, 0.95, 6.314}, TQuantileCase{5, 0.95, 2.015},
+        TQuantileCase{10, 0.95, 1.812}, TQuantileCase{30, 0.95, 1.697},
+        TQuantileCase{1, 0.995, 63.657}, TQuantileCase{5, 0.995, 4.032},
+        TQuantileCase{10, 0.995, 3.169}, TQuantileCase{30, 0.995, 2.750}));
+
+TEST(StudentTQuantile, RoundTripsThroughCdf) {
+  for (double df : {1.0, 3.0, 9.0, 42.0}) {
+    for (double p : {0.05, 0.2, 0.5, 0.8, 0.99}) {
+      const double q = StudentTQuantile(p, df);
+      EXPECT_NEAR(StudentTCdf(q, df), p, 1e-9) << "df=" << df << " p=" << p;
+    }
+  }
+}
+
+TEST(StudentTQuantile, NegativeBranchIsSymmetric) {
+  EXPECT_NEAR(StudentTQuantile(0.025, 10.0), -StudentTQuantile(0.975, 10.0),
+              1e-9);
+}
+
+TEST(StudentTQuantile, RejectsBadArguments) {
+  EXPECT_THROW(StudentTQuantile(0.0, 5.0), Error);
+  EXPECT_THROW(StudentTQuantile(1.0, 5.0), Error);
+  EXPECT_THROW(StudentTQuantile(0.5, 0.0), Error);
+}
+
+TEST(NormalQuantile, MatchesKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.644854, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-5);
+}
+
+TEST(NormalQuantile, RoundTripsThroughCdf) {
+  for (double p : {0.001, 0.1, 0.4, 0.6, 0.9, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9);
+  }
+}
+
+TEST(NormalQuantile, LargeDofTApproachesNormal) {
+  EXPECT_NEAR(StudentTQuantile(0.975, 1e6), NormalQuantile(0.975), 1e-3);
+}
+
+}  // namespace
+}  // namespace voodb::util

@@ -1,0 +1,146 @@
+/// \file test_stats.cpp
+/// \brief Tests for the statistics collectors and the paper's §4.2.2
+/// confidence-interval / pilot-study machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "desp/stats.hpp"
+#include "util/check.hpp"
+
+namespace voodb::desp {
+namespace {
+
+TEST(Tally, EmptyIsZero) {
+  Tally t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+}
+
+TEST(Tally, HandComputedMoments) {
+  Tally t;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.Add(v);
+  EXPECT_EQ(t.count(), 8u);
+  EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(t.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.min(), 2.0);
+  EXPECT_DOUBLE_EQ(t.max(), 9.0);
+  EXPECT_DOUBLE_EQ(t.sum(), 40.0);
+}
+
+TEST(Tally, SingleObservation) {
+  Tally t;
+  t.Add(3.5);
+  EXPECT_DOUBLE_EQ(t.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(t.min(), 3.5);
+  EXPECT_DOUBLE_EQ(t.max(), 3.5);
+}
+
+TEST(Tally, MergeMatchesSequential) {
+  Tally all;
+  Tally a;
+  Tally b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10.0 + i;
+    all.Add(v);
+    (i % 3 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Tally, MergeWithEmpty) {
+  Tally a;
+  a.Add(1.0);
+  Tally empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeighted tw(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(tw.TimeAverage(10.0), 5.0);
+}
+
+TEST(TimeWeighted, StepSignal) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.Update(4.0, 10.0);  // 0 for [0,4), 10 from t=4
+  // Average over [0, 8] = (0*4 + 10*4) / 8 = 5.
+  EXPECT_DOUBLE_EQ(tw.TimeAverage(8.0), 5.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 10.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 10.0);
+}
+
+TEST(TimeWeighted, MultipleSteps) {
+  TimeWeighted tw(0.0, 1.0);
+  tw.Update(2.0, 3.0);
+  tw.Update(5.0, 0.0);
+  // [0,2):1, [2,5):3, [5,10):0 -> (2 + 9 + 0) / 10 = 1.1
+  EXPECT_NEAR(tw.TimeAverage(10.0), 1.1, 1e-12);
+}
+
+TEST(TimeWeighted, RejectsTimeTravel) {
+  TimeWeighted tw(5.0, 0.0);
+  tw.Update(6.0, 1.0);
+  EXPECT_THROW(tw.Update(5.5, 2.0), util::Error);
+}
+
+TEST(StudentConfidenceInterval, MatchesHandComputation) {
+  // 10 observations, sample sd sigma: h = t(9, 0.975) * sigma / sqrt(10).
+  Tally t;
+  for (double v : {10, 12, 9, 11, 10, 13, 8, 10, 11, 9}) t.Add(v);
+  const ConfidenceInterval ci = StudentConfidenceInterval(t, 0.95);
+  EXPECT_NEAR(ci.mean, 10.3, 1e-12);
+  const double expected_h = 2.262 * t.stddev() / std::sqrt(10.0);
+  EXPECT_NEAR(ci.half_width, expected_h, 1e-3);
+  EXPECT_TRUE(ci.Contains(10.3));
+  EXPECT_NEAR(ci.lower() + ci.upper(), 2 * ci.mean, 1e-12);
+}
+
+TEST(StudentConfidenceInterval, HigherLevelIsWider) {
+  Tally t;
+  for (int i = 0; i < 20; ++i) t.Add(i);
+  const auto ci95 = StudentConfidenceInterval(t, 0.95);
+  const auto ci99 = StudentConfidenceInterval(t, 0.99);
+  EXPECT_GT(ci99.half_width, ci95.half_width);
+}
+
+TEST(StudentConfidenceInterval, NeedsTwoObservations) {
+  Tally t;
+  t.Add(1.0);
+  EXPECT_THROW(StudentConfidenceInterval(t), util::Error);
+}
+
+TEST(AdditionalReplications, PaperFormula) {
+  // n* = n.(h/h*)^2 total; additional = total - n.
+  // Pilot n=10, h=4, target h*=2 -> total 40 -> 30 additional.
+  EXPECT_EQ(AdditionalReplications(10, 4.0, 2.0), 30u);
+  // Already precise enough: no additional replications.
+  EXPECT_EQ(AdditionalReplications(10, 1.0, 2.0), 0u);
+  // Equal: 0.
+  EXPECT_EQ(AdditionalReplications(10, 2.0, 2.0), 0u);
+}
+
+TEST(AdditionalReplications, RoundsUp) {
+  // 10 * (3/2)^2 = 22.5 -> 23 total -> 13 additional.
+  EXPECT_EQ(AdditionalReplications(10, 3.0, 2.0), 13u);
+}
+
+TEST(AdditionalReplications, RejectsBadInput) {
+  EXPECT_THROW(AdditionalReplications(1, 1.0, 1.0), util::Error);
+  EXPECT_THROW(AdditionalReplications(10, 1.0, 0.0), util::Error);
+}
+
+}  // namespace
+}  // namespace voodb::desp

@@ -1,0 +1,105 @@
+/// \file test_util.cpp
+/// \brief Tests for the utility layer (checks, tables, CLI parsing).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace voodb::util {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    VOODB_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  VOODB_CHECK(true);
+  VOODB_CHECK_MSG(2 + 2 == 4, "never shown");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, FormatsDoubles) {
+  TextTable t({"a", "b"});
+  t.AddNumericRow({1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1.23,2.00\n");
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), Error);
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(CliArgs, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4.5", "--flag"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(args.GetDouble("beta", 0.0), 4.5);
+  EXPECT_TRUE(args.GetBool("flag", false));
+  EXPECT_EQ(args.GetString("missing", "def"), "def");
+  args.RejectUnknown();
+}
+
+TEST(CliArgs, RejectsUnknownFlags) {
+  const char* argv[] = {"prog", "--oops=1"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.RejectUnknown(), Error);
+}
+
+TEST(CliArgs, RejectsMalformedValues) {
+  const char* argv[] = {"prog", "--n=abc"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.GetInt("n", 0), Error);
+  const char* argv2[] = {"prog", "--b=maybe"};
+  CliArgs args2(2, argv2);
+  EXPECT_THROW(args2.GetBool("b", false), Error);
+  const char* argv3[] = {"prog", "positional"};
+  EXPECT_THROW(CliArgs(2, argv3), Error);
+}
+
+TEST(CliArgs, HelpDetected) {
+  const char* argv[] = {"prog", "--help"};
+  CliArgs args(2, argv);
+  EXPECT_TRUE(args.help_requested());
+}
+
+TEST(CliArgs, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=yes", "--b=off", "--c=1", "--d=false"};
+  CliArgs args(5, argv);
+  EXPECT_TRUE(args.GetBool("a", false));
+  EXPECT_FALSE(args.GetBool("b", true));
+  EXPECT_TRUE(args.GetBool("c", false));
+  EXPECT_FALSE(args.GetBool("d", true));
+}
+
+}  // namespace
+}  // namespace voodb::util
