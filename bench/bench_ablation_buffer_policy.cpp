@@ -27,9 +27,8 @@ int main(int argc, char** argv) {
         storage::ReplacementPolicy::kLfu, storage::ReplacementPolicy::kLru,
         storage::ReplacementPolicy::kLruK, storage::ReplacementPolicy::kClock,
         storage::ReplacementPolicy::kGclock}) {
-    double hit_rate = 0.0;
-    const Estimate ios = Replicate(
-        options.replications, options.seed, [&](uint64_t seed) {
+    const auto metrics = ReplicateMetrics(
+        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
           core::VoodbConfig cfg;
           cfg.system_class = core::SystemClass::kCentralized;
           cfg.buffer_pages = 1200;  // ~1/4 of the base
@@ -40,11 +39,15 @@ int main(int argc, char** argv) {
                                      desp::RandomStream(seed).Derive(1));
           const core::PhaseMetrics m =
               sys.RunTransactions(gen, options.transactions);
-          hit_rate = m.HitRate();
-          return static_cast<double>(m.total_ios);
+          sink.Observe("total_ios", static_cast<double>(m.total_ios));
+          sink.Observe("hit_rate", m.HitRate());
         });
+    const Estimate ios = metrics.at("total_ios");
+    RecordEstimate("pgrep", ToString(policy), "total_ios", ios);
+    RecordEstimate("pgrep", ToString(policy), "hit_rate",
+                   metrics.at("hit_rate"));
     table.AddRow({ToString(policy), WithCi(ios),
-                  util::FormatDouble(hit_rate, 3)});
+                  util::FormatDouble(metrics.at("hit_rate").mean, 3)});
   }
   std::cout << "== Ablation: page replacement (PGREP) ==\n";
   if (options.csv) {

@@ -56,12 +56,8 @@ int main(int argc, char** argv) {
   util::TextTable table({"CLUSTP", "Pre I/Os", "Overhead I/Os", "Post I/Os",
                          "Gain", "Clusters"});
   for (const int which : {0, 1, 2}) {
-    double overhead = 0.0;
-    double post = 0.0;
-    double gain = 0.0;
-    double clusters = 0.0;
-    const Estimate pre = Replicate(
-        options.replications, options.seed, [&](uint64_t seed) {
+    const auto metrics = ReplicateMetrics(
+        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
           core::VoodbConfig cfg = core::SystemCatalog::Texas();
           core::VoodbSystem sys(cfg, &base, MakePolicy(which), seed);
           ocb::WorkloadGenerator gen(&base,
@@ -72,21 +68,27 @@ int main(int argc, char** argv) {
                      options.transactions)
                   .total_ios);
           const core::ClusteringMetrics cm = sys.TriggerClustering();
-          overhead = static_cast<double>(cm.overhead_ios);
-          clusters = static_cast<double>(cm.num_clusters);
           sys.DropBuffer();
-          post = static_cast<double>(
+          const double post_ios = static_cast<double>(
               sys.RunTransactionsOfKind(
                      gen, ocb::TransactionKind::kHierarchyTraversal,
                      options.transactions)
                   .total_ios);
-          gain = post > 0.0 ? pre_ios / post : 0.0;
-          return pre_ios;
+          sink.Observe("pre_ios", pre_ios);
+          sink.Observe("overhead", static_cast<double>(cm.overhead_ios));
+          sink.Observe("clusters", static_cast<double>(cm.num_clusters));
+          sink.Observe("post_ios", post_ios);
+          sink.Observe("gain", post_ios > 0.0 ? pre_ios / post_ios : 0.0);
         });
+    const Estimate pre = metrics.at("pre_ios");
+    for (const auto& [name, estimate] : metrics) {
+      RecordEstimate("clustp", PolicyName(which), name, estimate);
+    }
     table.AddRow({PolicyName(which), WithCi(pre),
-                  util::FormatDouble(overhead, 0),
-                  util::FormatDouble(post, 0), util::FormatDouble(gain, 2),
-                  util::FormatDouble(clusters, 0)});
+                  util::FormatDouble(metrics.at("overhead").mean, 0),
+                  util::FormatDouble(metrics.at("post_ios").mean, 0),
+                  util::FormatDouble(metrics.at("gain").mean, 2),
+                  util::FormatDouble(metrics.at("clusters").mean, 0)});
   }
   std::cout << "== Ablation: clustering policy (CLUSTP) ==\n";
   if (options.csv) {

@@ -25,11 +25,8 @@ int main(int argc, char** argv) {
                                "Recovery (s)", "Extra I/Os vs healthy"});
   double healthy_ios = 0.0;
   for (const double mtbf_s : {0.0, 60.0, 20.0, 5.0}) {
-    double crashes = 0.0;
-    double recovery_s = 0.0;
-    double ios = 0.0;
-    const Estimate sim_s = Replicate(
-        options.replications, options.seed, [&](uint64_t seed) {
+    const auto metrics = ReplicateMetrics(
+        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
           core::VoodbConfig cfg;
           cfg.system_class = core::SystemClass::kCentralized;
           cfg.buffer_pages = 512;
@@ -40,18 +37,27 @@ int main(int argc, char** argv) {
           const core::PhaseMetrics m =
               sys.RunTransactions(gen, options.transactions / 2);
           const auto* injector = sys.failure_injector();
-          crashes =
-              injector ? static_cast<double>(injector->stats().crashes) : 0.0;
-          recovery_s =
-              injector ? injector->stats().total_recovery_ms / 1000.0 : 0.0;
-          ios = static_cast<double>(m.total_ios);
-          return m.sim_time_ms / 1000.0;
+          sink.Observe("sim_s", m.sim_time_ms / 1000.0);
+          sink.Observe("crashes",
+                       injector
+                           ? static_cast<double>(injector->stats().crashes)
+                           : 0.0);
+          sink.Observe(
+              "recovery_s",
+              injector ? injector->stats().total_recovery_ms / 1000.0 : 0.0);
+          sink.Observe("total_ios", static_cast<double>(m.total_ios));
         });
+    const double ios = metrics.at("total_ios").mean;
     if (mtbf_s == 0.0) healthy_ios = ios;
+    const std::string x = mtbf_s == 0.0 ? "inf"
+                                        : util::FormatDouble(mtbf_s, 0);
+    for (const auto& [name, estimate] : metrics) {
+      RecordEstimate("crash_mtbf", x, name, estimate);
+    }
     crash_table.AddRow(
-        {mtbf_s == 0.0 ? "inf" : util::FormatDouble(mtbf_s, 0),
-         WithCi(sim_s, 2), util::FormatDouble(crashes, 1),
-         util::FormatDouble(recovery_s, 2),
+        {x, WithCi(metrics.at("sim_s"), 2),
+         util::FormatDouble(metrics.at("crashes").mean, 1),
+         util::FormatDouble(metrics.at("recovery_s").mean, 2),
          util::FormatDouble(ios - healthy_ios, 0)});
   }
   std::cout << "== Ablation: crash MTBF ==\n";
@@ -64,10 +70,8 @@ int main(int argc, char** argv) {
   util::TextTable fault_table({"Fault prob", "Sim time (s)", "Faults",
                                "I/Os"});
   for (const double prob : {0.0, 0.01, 0.05, 0.2}) {
-    double faults = 0.0;
-    double ios = 0.0;
-    const Estimate sim_s = Replicate(
-        options.replications, options.seed, [&](uint64_t seed) {
+    const auto metrics = ReplicateMetrics(
+        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
           core::VoodbConfig cfg;
           cfg.system_class = core::SystemClass::kCentralized;
           cfg.buffer_pages = 512;
@@ -77,13 +81,18 @@ int main(int argc, char** argv) {
                                      desp::RandomStream(seed).Derive(1));
           const core::PhaseMetrics m =
               sys.RunTransactions(gen, options.transactions / 2);
-          faults = static_cast<double>(sys.io_subsystem().transient_faults());
-          ios = static_cast<double>(m.total_ios);
-          return m.sim_time_ms / 1000.0;
+          sink.Observe("sim_s", m.sim_time_ms / 1000.0);
+          sink.Observe("faults", static_cast<double>(
+                                     sys.io_subsystem().transient_faults()));
+          sink.Observe("total_ios", static_cast<double>(m.total_ios));
         });
-    fault_table.AddRow({util::FormatDouble(prob, 2), WithCi(sim_s, 2),
-                        util::FormatDouble(faults, 0),
-                        util::FormatDouble(ios, 0)});
+    const std::string x = util::FormatDouble(prob, 2);
+    for (const auto& [name, estimate] : metrics) {
+      RecordEstimate("disk_faults", x, name, estimate);
+    }
+    fault_table.AddRow({x, WithCi(metrics.at("sim_s"), 2),
+                        util::FormatDouble(metrics.at("faults").mean, 0),
+                        util::FormatDouble(metrics.at("total_ios").mean, 0)});
   }
   std::cout << "\n== Ablation: transient disk faults ==\n";
   if (options.csv) {

@@ -26,11 +26,8 @@ int main(int argc, char** argv) {
     wl.root_region = 8;
     const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
     for (const bool real_locks : {false, true}) {
-      double restarts = 0.0;
-      double p50 = 0.0;
-      double p99 = 0.0;
-      const Estimate tps = Replicate(
-          options.replications, options.seed, [&](uint64_t seed) {
+      const auto metrics = ReplicateMetrics(
+          options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
             core::VoodbConfig cfg;
             cfg.system_class = core::SystemClass::kCentralized;
             cfg.buffer_pages = 256;
@@ -42,18 +39,25 @@ int main(int argc, char** argv) {
                                        desp::RandomStream(seed).Derive(1));
             const core::PhaseMetrics m =
                 sys.RunTransactions(gen, options.transactions / 2);
-            restarts = static_cast<double>(m.transaction_restarts);
             const auto& h =
                 sys.transaction_manager().response_histogram();
-            p50 = h.Quantile(0.5);
-            p99 = h.Quantile(0.99);
-            return m.ThroughputTps();
+            sink.Observe("throughput_tps", m.ThroughputTps());
+            sink.Observe("restarts",
+                         static_cast<double>(m.transaction_restarts));
+            sink.Observe("p50_ms", h.Quantile(0.5));
+            sink.Observe("p99_ms", h.Quantile(0.99));
           });
+      const std::string x = util::FormatDouble(p_update, 1) +
+                            (real_locks ? " 2PL" : " fixed");
+      for (const auto& [name, estimate] : metrics) {
+        RecordEstimate("lock_model", x, name, estimate);
+      }
       table.AddRow({util::FormatDouble(p_update, 1),
                     real_locks ? "2PL wait-die" : "fixed delay",
-                    WithCi(tps, 2), util::FormatDouble(restarts, 0),
-                    util::FormatDouble(p50, 1),
-                    util::FormatDouble(p99, 1)});
+                    WithCi(metrics.at("throughput_tps"), 2),
+                    util::FormatDouble(metrics.at("restarts").mean, 0),
+                    util::FormatDouble(metrics.at("p50_ms").mean, 1),
+                    util::FormatDouble(metrics.at("p99_ms").mean, 1)});
     }
   }
   std::cout << "== Ablation: lock model ==\n";

@@ -24,11 +24,8 @@ int main(int argc, char** argv) {
   util::TextTable table({"MULTILVL", "Throughput (tps)", "Resp (ms)",
                          "Disk util", "Mean I/Os"});
   for (const uint32_t multilvl : {1u, 2u, 4u, 8u, 16u}) {
-    double resp = 0.0;
-    double disk_util = 0.0;
-    double ios = 0.0;
-    const Estimate tps = Replicate(
-        options.replications, options.seed, [&](uint64_t seed) {
+    const auto metrics = ReplicateMetrics(
+        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
           core::VoodbConfig cfg;
           cfg.system_class = core::SystemClass::kCentralized;
           cfg.buffer_pages = 120;  // scarce memory: disk-bound regime
@@ -39,15 +36,19 @@ int main(int argc, char** argv) {
                                      desp::RandomStream(seed).Derive(1));
           const core::PhaseMetrics m =
               sys.RunTransactions(gen, options.transactions);
-          resp = m.mean_response_ms;
-          disk_util = sys.io_subsystem().DiskUtilization();
-          ios = static_cast<double>(m.total_ios);
-          return m.ThroughputTps();
+          sink.Observe("throughput_tps", m.ThroughputTps());
+          sink.Observe("mean_response_ms", m.mean_response_ms);
+          sink.Observe("disk_util", sys.io_subsystem().DiskUtilization());
+          sink.Observe("total_ios", static_cast<double>(m.total_ios));
         });
-    table.AddRow({std::to_string(multilvl), WithCi(tps, 2),
-                  util::FormatDouble(resp, 1),
-                  util::FormatDouble(disk_util, 3),
-                  util::FormatDouble(ios, 0)});
+    for (const auto& [name, estimate] : metrics) {
+      RecordEstimate("multilvl", std::to_string(multilvl), name, estimate);
+    }
+    table.AddRow({std::to_string(multilvl),
+                  WithCi(metrics.at("throughput_tps"), 2),
+                  util::FormatDouble(metrics.at("mean_response_ms").mean, 1),
+                  util::FormatDouble(metrics.at("disk_util").mean, 3),
+                  util::FormatDouble(metrics.at("total_ios").mean, 0)});
   }
   std::cout << "== Ablation: multiprogramming level (MULTILVL) ==\n";
   if (options.csv) {

@@ -27,9 +27,8 @@ int main(int argc, char** argv) {
          {storage::PlacementPolicy::kSequential,
           storage::PlacementPolicy::kOptimizedSequential,
           storage::PlacementPolicy::kReferenceDfs}) {
-      double hit_rate = 0.0;
-      const Estimate ios = Replicate(
-          options.replications, options.seed, [&](uint64_t seed) {
+      const auto metrics = ReplicateMetrics(
+          options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
             core::VoodbConfig cfg = o2 ? core::SystemCatalog::O2()
                                        : core::SystemCatalog::Texas();
             cfg.initial_placement = placement;
@@ -38,11 +37,16 @@ int main(int argc, char** argv) {
                                        desp::RandomStream(seed).Derive(1));
             const core::PhaseMetrics m =
                 sys.RunTransactions(gen, options.transactions);
-            hit_rate = m.HitRate();
-            return static_cast<double>(m.total_ios);
+            sink.Observe("total_ios", static_cast<double>(m.total_ios));
+            sink.Observe("hit_rate", m.HitRate());
           });
+      const Estimate ios = metrics.at("total_ios");
+      const std::string x =
+          std::string(o2 ? "O2 " : "Texas ") + ToString(placement);
+      RecordEstimate("initpl", x, "total_ios", ios);
+      RecordEstimate("initpl", x, "hit_rate", metrics.at("hit_rate"));
       table.AddRow({o2 ? "O2" : "Texas", ToString(placement), WithCi(ios),
-                    util::FormatDouble(hit_rate, 3)});
+                    util::FormatDouble(metrics.at("hit_rate").mean, 3)});
     }
   }
   std::cout << "== Ablation: initial placement (INITPL) ==\n";

@@ -25,11 +25,8 @@ int main(int argc, char** argv) {
   for (const core::SystemClass sc :
        {core::SystemClass::kCentralized, core::SystemClass::kObjectServer,
         core::SystemClass::kPageServer, core::SystemClass::kDbServer}) {
-    double net_mb = 0.0;
-    double resp = 0.0;
-    double tps = 0.0;
-    const Estimate ios = Replicate(
-        options.replications, options.seed, [&](uint64_t seed) {
+    const auto metrics = ReplicateMetrics(
+        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
           core::VoodbConfig cfg;
           cfg.system_class = sc;
           cfg.network_throughput_mbps = 1.0;  // Table 3 default
@@ -39,13 +36,20 @@ int main(int argc, char** argv) {
                                      desp::RandomStream(seed).Derive(1));
           const core::PhaseMetrics m =
               sys.RunTransactions(gen, options.transactions);
-          net_mb = static_cast<double>(m.network_bytes) / (1024.0 * 1024.0);
-          resp = m.mean_response_ms;
-          tps = m.ThroughputTps();
-          return static_cast<double>(m.total_ios);
+          sink.Observe("total_ios", static_cast<double>(m.total_ios));
+          sink.Observe("network_mb",
+                       static_cast<double>(m.network_bytes) /
+                           (1024.0 * 1024.0));
+          sink.Observe("mean_response_ms", m.mean_response_ms);
+          sink.Observe("throughput_tps", m.ThroughputTps());
         });
-    table.AddRow({ToString(sc), WithCi(ios), util::FormatDouble(net_mb, 2),
-                  util::FormatDouble(resp, 2), util::FormatDouble(tps, 2)});
+    for (const auto& [name, estimate] : metrics) {
+      RecordEstimate("sysclass", ToString(sc), name, estimate);
+    }
+    table.AddRow({ToString(sc), WithCi(metrics.at("total_ios")),
+                  util::FormatDouble(metrics.at("network_mb").mean, 2),
+                  util::FormatDouble(metrics.at("mean_response_ms").mean, 2),
+                  util::FormatDouble(metrics.at("throughput_tps").mean, 2)});
   }
   std::cout << "== Ablation: system class (SYSCLASS) ==\n";
   if (options.csv) {

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     const double memories[3] = {8.0, 16.0, 64.0};
     for (int i = 0; i < 3; ++i) {
       const Estimate e = Replicate(
-          options.replications, options.seed, [&](uint64_t seed) {
+          options, options.seed, [&](uint64_t seed) {
             emu::TexasConfig cfg;
             cfg.memory_pages =
                 emu::TexasConfig::FramesForMemory(memories[i], 4096);
@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
             return static_cast<double>(
                 texas.RunTransactions(gen, options.transactions).total_ios);
           });
+      RecordEstimate("vm_model", v.name,
+                     "ios_at_" + util::FormatDouble(memories[i], 0) + "mb",
+                     e);
       at[i] = e.mean;
     }
     table.AddRow({v.name, util::FormatDouble(at[0], 0),

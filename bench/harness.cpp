@@ -1,24 +1,159 @@
 #include "harness.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
-#include "desp/random.hpp"
+#include "exp/farm.hpp"
+#include "exp/report.hpp"
 #include "util/check.hpp"
 
 namespace voodb::bench {
+
+namespace {
+
+/// "path/to/bench_fig06_o2" -> "fig06_o2".
+std::string BenchNameFromArgv0(const char* argv0) {
+  std::string name = argv0 == nullptr ? "" : argv0;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name.empty() ? "unnamed" : name;
+}
+
+/// Accumulates every recorded estimate and writes BENCH_<name>.json once,
+/// at process exit (so a bench with several tables/figures lands in one
+/// file with one wall clock).
+class BenchRecorder {
+ public:
+  static BenchRecorder& Instance() {
+    static BenchRecorder recorder;
+    return recorder;
+  }
+
+  void Configure(const RunOptions& options) {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_ = options;
+    configured_ = true;
+    start_ = std::chrono::steady_clock::now();
+    if (!registered_) {
+      registered_ = true;
+      std::atexit([] { BenchRecorder::Instance().Flush(); });
+    }
+  }
+
+  void Record(const std::string& section, const std::string& x,
+              const std::string& series, const Estimate& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!configured_ || options_.json.empty()) return;
+    entries_.push_back({section, x, series, e});
+  }
+
+  void Flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!configured_ || flushed_ || options_.json.empty()) return;
+    flushed_ = true;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    exp::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").Value(options_.bench_name);
+    w.Key("base_seed").Value(options_.seed);
+    w.Key("replications").Value(options_.replications);
+    w.Key("transactions").Value(options_.transactions);
+    w.Key("threads").Value(static_cast<uint64_t>(options_.threads));
+    w.Key("ci_level").Value(0.95);
+    w.Key("wall_clock_ms").Value(wall_ms);
+    w.Key("sections").BeginArray();
+    // Group by section, then by x within the section, both in
+    // first-appearance order.  Grouping must tolerate non-contiguous
+    // entries: benches like the DSTC tables record a whole series at a
+    // time, revisiting each x once per series.
+    std::vector<std::string> sections;
+    for (const Entry& entry : entries_) {
+      if (std::find(sections.begin(), sections.end(), entry.section) ==
+          sections.end()) {
+        sections.push_back(entry.section);
+      }
+    }
+    for (const std::string& section : sections) {
+      w.BeginObject();
+      w.Key("name").Value(section);
+      w.Key("points").BeginArray();
+      std::vector<std::string> xs;
+      for (const Entry& entry : entries_) {
+        if (entry.section == section &&
+            std::find(xs.begin(), xs.end(), entry.x) == xs.end()) {
+          xs.push_back(entry.x);
+        }
+      }
+      for (const std::string& x : xs) {
+        w.BeginObject();
+        w.Key("x").Value(x);
+        w.Key("series").BeginObject();
+        for (const Entry& entry : entries_) {
+          if (entry.section == section && entry.x == x) {
+            w.Key(entry.series).BeginObject();
+            w.Key("mean").Value(entry.estimate.mean);
+            w.Key("ci_half_width").Value(entry.estimate.half_width);
+            w.EndObject();
+          }
+        }
+        w.EndObject();
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    try {
+      exp::WriteFile(options_.json, w.str());
+    } catch (const util::Error& e) {
+      std::fprintf(stderr, "warning: %s\n", e.what());
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string section;
+    std::string x;
+    std::string series;
+    Estimate estimate;
+  };
+
+  std::mutex mu_;
+  RunOptions options_;
+  bool configured_ = false;
+  bool flushed_ = false;
+  bool registered_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
 
 RunOptions ParseOptions(int argc, const char* const* argv,
                         const std::string& description) {
   util::CliArgs args(argc, argv);
   RunOptions options;
+  options.bench_name = BenchNameFromArgv0(argc > 0 ? argv[0] : nullptr);
   options.replications =
       static_cast<uint64_t>(args.GetInt("replications", 10));
   options.transactions =
       static_cast<uint64_t>(args.GetInt("transactions", 1000));
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  options.threads = static_cast<size_t>(args.GetInt("threads", 0));
   options.csv = args.GetBool("csv", false);
+  const std::string json =
+      args.GetString("json", "BENCH_" + options.bench_name + ".json");
+  options.json = (json == "off" || json == "none") ? "" : json;
   if (args.help_requested()) {
     std::cout << description << "\n\n"
               << "Flags:\n"
@@ -27,28 +162,56 @@ RunOptions ParseOptions(int argc, const char* const* argv,
                  "  --transactions=N  transactions per replication"
                  " (default 1000)\n"
                  "  --seed=N          base RNG seed (default 42)\n"
-                 "  --csv             CSV output\n";
+                 "  --threads=N       farm worker threads (default 0 ="
+                 " all cores)\n"
+                 "  --csv             CSV output\n"
+                 "  --json=PATH       result file (default BENCH_<name>"
+                 ".json; \"off\" disables)\n";
     std::exit(0);
   }
   args.RejectUnknown();
   VOODB_CHECK_MSG(options.replications >= 2,
                   "need at least 2 replications for confidence intervals");
+  BenchRecorder::Instance().Configure(options);
   return options;
 }
 
-Estimate Replicate(uint64_t n, uint64_t base_seed,
-                   const std::function<double(uint64_t)>& model) {
-  desp::Tally tally;
-  uint64_t sm = base_seed;
-  for (uint64_t i = 0; i < n; ++i) {
-    tally.Add(model(desp::SplitMix64(sm)));
-  }
+Estimate EstimateOf(const desp::Tally& tally) {
   Estimate e;
   e.mean = tally.mean();
   if (tally.count() >= 2 && tally.stddev() > 0.0) {
     e.half_width = desp::StudentConfidenceInterval(tally, 0.95).half_width;
   }
   return e;
+}
+
+Estimate Replicate(const RunOptions& options, uint64_t base_seed,
+                   const std::function<double(uint64_t)>& model) {
+  const auto metrics = ReplicateMetrics(
+      options, base_seed, [&model](uint64_t seed, desp::MetricSink& sink) {
+        sink.Observe("value", model(seed));
+      });
+  return metrics.at("value");
+}
+
+std::map<std::string, Estimate> ReplicateMetrics(
+    const RunOptions& options, uint64_t base_seed,
+    const desp::ReplicationRunner::Model& model) {
+  exp::FarmOptions farm_options;
+  farm_options.threads = options.threads;
+  farm_options.base_seed = base_seed;
+  const desp::ReplicationResult result =
+      exp::ReplicationFarm(model, farm_options).Run(options.replications);
+  std::map<std::string, Estimate> estimates;
+  for (const std::string& name : result.MetricNames()) {
+    estimates[name] = EstimateOf(result.Metric(name));
+  }
+  return estimates;
+}
+
+void RecordEstimate(const std::string& section, const std::string& x,
+                    const std::string& series, const Estimate& e) {
+  BenchRecorder::Instance().Record(section, x, series, e);
 }
 
 std::string WithCi(const Estimate& e, int precision) {
@@ -64,6 +227,8 @@ FigureReport::FigureReport(std::string title, std::string x_label)
 void FigureReport::AddPoint(const std::string& x, const Estimate& bench,
                             const Estimate& sim, double paper_bench,
                             double paper_sim) {
+  RecordEstimate(title_, x, "benchmark", bench);
+  RecordEstimate(title_, x, "simulation", sim);
   table_.AddRow({x, WithCi(bench), WithCi(sim),
                  util::FormatDouble(bench.mean > 0 ? sim.mean / bench.mean
                                                    : 0.0,

@@ -8,20 +8,32 @@
 /// embedded for side-by-side comparison (values read off the published
 /// figures are approximate and labelled as such).
 ///
+/// Replications run on the exp/ replication farm: all worker threads by
+/// default, bit-identical results at any thread count.  Unless disabled,
+/// every bench also drops a machine-readable `BENCH_<name>.json` (per
+/// point/metric mean, CI half-width, replication count, wall clock) so the
+/// performance trajectory can be tracked across PRs.
+///
 /// Common flags (every harness):
 ///   --replications=N   independent replications per point (default 10;
 ///                      the paper used 100 — pass --replications=100 to
 ///                      match, at ~10x the runtime)
 ///   --transactions=N   transactions per replication (default 1000, HOTN)
 ///   --seed=N           base RNG seed
+///   --threads=N        farm worker threads (default 0 = all cores;
+///                      results are identical at any value)
 ///   --csv              emit CSV instead of an aligned table
+///   --json=PATH        result file (default BENCH_<name>.json; "off"
+///                      disables)
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "desp/replication.hpp"
 #include "desp/stats.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -33,7 +45,10 @@ struct RunOptions {
   uint64_t replications = 10;
   uint64_t transactions = 1000;
   uint64_t seed = 42;
+  size_t threads = 0;  ///< farm workers; 0 = all hardware threads
   bool csv = false;
+  std::string bench_name;  ///< derived from argv[0] ("fig06_...")
+  std::string json;        ///< output path; empty = disabled
 };
 
 /// Parses the common flags; prints usage and exits on --help.
@@ -46,12 +61,31 @@ struct Estimate {
   double half_width = 0.0;
 };
 
-/// Runs `model` for `n` replications with derived seeds and aggregates.
-Estimate Replicate(uint64_t n, uint64_t base_seed,
+/// Runs `model` on the replication farm (options.threads workers, seeds
+/// derived from `base_seed`) and aggregates the returned scalar.
+Estimate Replicate(const RunOptions& options, uint64_t base_seed,
                    const std::function<double(uint64_t seed)>& model);
+
+/// Multi-metric variant: the model observes any number of named metrics
+/// into the sink; returns one Estimate per metric.  This replaces the old
+/// pattern of smuggling secondary metrics out of the model through
+/// captured locals, which would race on a parallel farm.
+std::map<std::string, Estimate> ReplicateMetrics(
+    const RunOptions& options, uint64_t base_seed,
+    const desp::ReplicationRunner::Model& model);
+
+/// mean + 95 % half-width of a tally (0 half-width below 2 observations).
+Estimate EstimateOf(const desp::Tally& tally);
 
 /// Formats "mean ±hw".
 std::string WithCi(const Estimate& e, int precision = 1);
+
+/// Records an estimate into this bench's BENCH_<name>.json (grouped as
+/// section -> point x -> series).  No-op before ParseOptions or when the
+/// JSON report is disabled.  FigureReport records its points itself;
+/// hand-rolled tables call this directly.
+void RecordEstimate(const std::string& section, const std::string& x,
+                    const std::string& series, const Estimate& e);
 
 /// Prints the standard five-column comparison row layout used by the
 /// figure harnesses and renders the table.

@@ -70,12 +70,12 @@ void RunInstanceSweep(const RunOptions& options, TargetSystem system,
     const ocb::ObjectBase base =
         ocb::ObjectBase::Generate(FigureWorkload(num_classes, no));
     const Estimate bench =
-        Replicate(options.replications, options.seed, [&](uint64_t seed) {
+        Replicate(options, options.seed, [&](uint64_t seed) {
           return RunEmulator(system, base, memory_mb, options.transactions,
                              seed);
         });
     const Estimate sim =
-        Replicate(options.replications, options.seed ^ 0x5151,
+        Replicate(options, options.seed ^ 0x5151,
                   [&](uint64_t seed) {
                     return RunSimulation(system, base, memory_mb,
                                          options.transactions, seed);
@@ -100,11 +100,11 @@ void RunMemorySweep(const RunOptions& options, TargetSystem system,
   for (size_t i = 0; i < kMemoryPoints.size(); ++i) {
     const double mb = kMemoryPoints[i];
     const Estimate bench =
-        Replicate(options.replications, options.seed, [&](uint64_t seed) {
+        Replicate(options, options.seed, [&](uint64_t seed) {
           return RunEmulator(system, base, mb, options.transactions, seed);
         });
     const Estimate sim =
-        Replicate(options.replications, options.seed ^ 0x5151,
+        Replicate(options, options.seed ^ 0x5151,
                   [&](uint64_t seed) {
                     return RunSimulation(system, base, mb,
                                          options.transactions, seed);
@@ -188,37 +188,34 @@ DstcRun DstcOnSimulation(const ocb::ObjectBase& base, double memory_mb,
   return run;
 }
 
-DstcAggregate Aggregate(const std::vector<DstcRun>& runs) {
-  desp::Tally pre;
-  desp::Tally overhead;
-  desp::Tally post;
-  desp::Tally gain;
-  desp::Tally clusters;
-  desp::Tally size;
-  for (const DstcRun& r : runs) {
-    pre.Add(r.pre);
-    overhead.Add(r.overhead);
-    post.Add(r.post);
-    gain.Add(r.Gain());
-    clusters.Add(r.clusters);
-    size.Add(r.cluster_size);
-  }
-  auto estimate = [](const desp::Tally& t) {
-    Estimate e;
-    e.mean = t.mean();
-    if (t.count() >= 2 && t.stddev() > 0.0) {
-      e.half_width = desp::StudentConfidenceInterval(t, 0.95).half_width;
-    }
-    return e;
-  };
+void ObserveDstcRun(const DstcRun& run, desp::MetricSink& sink) {
+  sink.Observe("pre", run.pre);
+  sink.Observe("overhead", run.overhead);
+  sink.Observe("post", run.post);
+  sink.Observe("gain", run.Gain());
+  sink.Observe("clusters", run.clusters);
+  sink.Observe("cluster_size", run.cluster_size);
+}
+
+DstcAggregate Aggregate(const std::map<std::string, Estimate>& metrics) {
   DstcAggregate agg;
-  agg.pre = estimate(pre);
-  agg.overhead = estimate(overhead);
-  agg.post = estimate(post);
-  agg.gain = estimate(gain);
-  agg.clusters = estimate(clusters);
-  agg.cluster_size = estimate(size);
+  agg.pre = metrics.at("pre");
+  agg.overhead = metrics.at("overhead");
+  agg.post = metrics.at("post");
+  agg.gain = metrics.at("gain");
+  agg.clusters = metrics.at("clusters");
+  agg.cluster_size = metrics.at("cluster_size");
   return agg;
+}
+
+void RecordDstcAggregate(const std::string& series, const DstcAggregate& a) {
+  const std::string section = "dstc";
+  RecordEstimate(section, "pre_clustering_ios", series, a.pre);
+  RecordEstimate(section, "clustering_overhead_ios", series, a.overhead);
+  RecordEstimate(section, "post_clustering_ios", series, a.post);
+  RecordEstimate(section, "gain", series, a.gain);
+  RecordEstimate(section, "clusters", series, a.clusters);
+  RecordEstimate(section, "mean_cluster_size", series, a.cluster_size);
 }
 
 }  // namespace
@@ -226,19 +223,24 @@ DstcAggregate Aggregate(const std::vector<DstcRun>& runs) {
 DstcComparison RunDstcExperiment(const RunOptions& options,
                                  double memory_mb) {
   const ocb::ObjectBase base = ocb::ObjectBase::Generate(DstcWorkload());
-  std::vector<DstcRun> bench_runs;
-  std::vector<DstcRun> sim_runs;
-  uint64_t sm = options.seed;
-  for (uint64_t i = 0; i < options.replications; ++i) {
-    const uint64_t seed = desp::SplitMix64(sm);
-    bench_runs.push_back(
-        DstcOnEmulator(base, memory_mb, options.transactions, seed));
-    sim_runs.push_back(
-        DstcOnSimulation(base, memory_mb, options.transactions, seed));
-  }
+  // Two farm runs over the same seed chain: replication i exercises the
+  // emulator and the simulation with the same seed, exactly as the old
+  // serial pairing did.
   DstcComparison cmp;
-  cmp.bench = Aggregate(bench_runs);
-  cmp.sim = Aggregate(sim_runs);
+  cmp.bench = Aggregate(ReplicateMetrics(
+      options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
+        ObserveDstcRun(
+            DstcOnEmulator(base, memory_mb, options.transactions, seed),
+            sink);
+      }));
+  cmp.sim = Aggregate(ReplicateMetrics(
+      options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
+        ObserveDstcRun(
+            DstcOnSimulation(base, memory_mb, options.transactions, seed),
+            sink);
+      }));
+  RecordDstcAggregate("benchmark", cmp.bench);
+  RecordDstcAggregate("simulation", cmp.sim);
   return cmp;
 }
 

@@ -1,10 +1,8 @@
 #include "desp/replication.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <utility>
 
-#include "desp/random.hpp"
+#include "exp/farm.hpp"
 #include "util/check.hpp"
 
 namespace voodb::desp {
@@ -42,19 +40,10 @@ ReplicationRunner::ReplicationRunner(Model model, uint64_t base_seed)
 }
 
 ReplicationResult ReplicationRunner::Run(uint64_t n) const {
-  VOODB_CHECK_MSG(n >= 1, "need at least one replication");
-  ReplicationResult result;
-  uint64_t sm = base_seed_;
-  for (uint64_t i = 0; i < n; ++i) {
-    const uint64_t seed = SplitMix64(sm);
-    MetricSink sink;
-    model_(seed, sink);
-    for (const auto& [name, value] : sink.values()) {
-      result.tallies_[name].Add(value);
-    }
-    ++result.replications_;
-  }
-  return result;
+  exp::FarmOptions options;
+  options.threads = 1;  // serial semantics on the calling thread
+  options.base_seed = base_seed_;
+  return exp::ReplicationFarm(model_, options).Run(n);
 }
 
 ReplicationResult ReplicationRunner::RunToPrecision(const std::string& metric,
@@ -62,21 +51,11 @@ ReplicationResult ReplicationRunner::RunToPrecision(const std::string& metric,
                                                     uint64_t pilot_n,
                                                     uint64_t max_n,
                                                     double level) const {
-  VOODB_CHECK_MSG(relative_precision > 0.0,
-                  "relative precision must be positive");
-  VOODB_CHECK_MSG(pilot_n >= 2 && pilot_n <= max_n,
-                  "need 2 <= pilot_n <= max_n");
-  const ReplicationResult pilot = Run(pilot_n);
-  const ConfidenceInterval ci = pilot.Interval(metric, level);
-  const double target = relative_precision * std::abs(ci.mean);
-  uint64_t n = pilot_n;
-  if (target > 0.0 && ci.half_width > target) {
-    n = pilot_n + AdditionalReplications(pilot_n, ci.half_width, target);
-  }
-  n = std::min(n, max_n);
-  // Re-run from scratch so the final estimate uses independent seeds in a
-  // single pass (the paper likewise reports the full-run statistics).
-  return Run(n);
+  exp::FarmOptions options;
+  options.threads = 1;
+  options.base_seed = base_seed_;
+  return exp::ReplicationFarm(model_, options)
+      .RunToPrecision(metric, relative_precision, pilot_n, max_n, level);
 }
 
 }  // namespace voodb::desp

@@ -16,6 +16,10 @@
 
 #include "desp/stats.hpp"
 
+namespace voodb::exp {
+class ReplicationFarm;
+}  // namespace voodb::exp
+
 namespace voodb::desp {
 
 /// Collects named scalar observations from one replication.
@@ -46,11 +50,17 @@ class ReplicationResult {
 
  private:
   friend class ReplicationRunner;
+  friend class exp::ReplicationFarm;
   std::map<std::string, Tally> tallies_;
   uint64_t replications_ = 0;
 };
 
 /// Runs a model for n independent replications with derived seeds.
+///
+/// This is the serial adapter over `exp::ReplicationFarm`: it executes the
+/// same seed-derivation and ordered reduction on the calling thread.  Use
+/// the farm directly to run replications concurrently — results are
+/// bit-identical at any thread count.
 class ReplicationRunner {
  public:
   /// A model maps (seed, sink) to observations; it must be deterministic

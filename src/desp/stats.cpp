@@ -65,10 +65,20 @@ double TimeWeighted::TimeAverage(double now) const {
 
 ConfidenceInterval StudentConfidenceInterval(const Tally& tally,
                                              double level) {
-  VOODB_CHECK_MSG(tally.count() >= 2,
-                  "confidence interval needs at least 2 observations");
+  VOODB_CHECK_MSG(tally.count() >= 1,
+                  "confidence interval needs at least 1 observation");
   VOODB_CHECK_MSG(level > 0.0 && level < 1.0,
                   "confidence level must lie in (0, 1)");
+  if (tally.count() == 1) {
+    // A single observation carries no precision information: the Student-t
+    // quantile has zero degrees of freedom, so the honest interval is the
+    // whole real line.
+    ConfidenceInterval ci;
+    ci.mean = tally.mean();
+    ci.half_width = std::numeric_limits<double>::infinity();
+    ci.level = level;
+    return ci;
+  }
   const double n = static_cast<double>(tally.count());
   const double alpha = 1.0 - level;
   const double t =
@@ -83,11 +93,21 @@ ConfidenceInterval StudentConfidenceInterval(const Tally& tally,
 uint64_t AdditionalReplications(uint64_t pilot_n, double pilot_half_width,
                                 double target_half_width) {
   VOODB_CHECK_MSG(pilot_n >= 2, "pilot study needs at least 2 replications");
-  VOODB_CHECK_MSG(target_half_width > 0.0,
-                  "target half-width must be positive");
-  if (pilot_half_width <= target_half_width) return 0;
+  VOODB_CHECK_MSG(target_half_width > 0.0 && std::isfinite(target_half_width),
+                  "target half-width must be positive and finite");
+  VOODB_CHECK_MSG(pilot_half_width >= 0.0 && std::isfinite(pilot_half_width),
+                  "pilot half-width must be non-negative and finite");
+  // A hair above the target is measurement noise, not a mandate for an
+  // extra replication.
+  if (pilot_half_width <= target_half_width * (1.0 + 1e-12)) return 0;
   const double ratio = pilot_half_width / target_half_width;
   const double total = static_cast<double>(pilot_n) * ratio * ratio;
+  // Clamp before the integer cast: a tiny target makes `total` overflow
+  // uint64_t, and casting an out-of-range double is undefined behaviour.
+  constexpr double kMaxTotal = 9.0e15;  // far past any feasible run
+  if (!(total < kMaxTotal)) {
+    return static_cast<uint64_t>(kMaxTotal) - pilot_n;
+  }
   const double extra = std::ceil(total - static_cast<double>(pilot_n));
   return extra <= 0.0 ? 0 : static_cast<uint64_t>(extra);
 }

@@ -81,14 +81,17 @@ struct ConfidenceInterval {
 };
 
 /// Student-t confidence interval for the mean of `tally` (paper §4.2.2).
-/// Requires at least two observations.
+/// Requires at least one observation; a single observation yields an
+/// interval with infinite half-width (zero degrees of freedom).
 ConfidenceInterval StudentConfidenceInterval(const Tally& tally,
                                              double level = 0.95);
 
 /// The paper's pilot-study rule: given a pilot of `pilot_n` replications
 /// with half-width `pilot_half_width`, returns the number of *additional*
 /// replications n* = n.(h/h*)^2 - n needed to reach `target_half_width`
-/// (rounded up, never negative).
+/// (rounded up, never negative, clamped so huge h/h* ratios cannot
+/// overflow; half-widths within relative 1e-12 of the target count as
+/// already precise).
 uint64_t AdditionalReplications(uint64_t pilot_n, double pilot_half_width,
                                 double target_half_width);
 

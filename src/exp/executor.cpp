@@ -1,0 +1,90 @@
+#include "exp/executor.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace voodb::exp {
+
+size_t ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(ExecutorOptions options)
+    : queue_capacity_(options.queue_capacity) {
+  VOODB_CHECK_MSG(queue_capacity_ >= 1, "queue capacity must be >= 1");
+  const size_t n = options.threads == 0 ? HardwareThreads() : options.threads;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  VOODB_CHECK_MSG(static_cast<bool>(task), "task must be callable");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return cancelled_ || stop_ || queue_.size() < queue_capacity_;
+    });
+    if (cancelled_ || stop_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    queue_.clear();
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  idle_.notify_all();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+bool ThreadPool::cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    not_full_.notify_one();
+    task();  // tasks handle their own exceptions (see ReplicationFarm)
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace voodb::exp

@@ -1,0 +1,77 @@
+/// \file farm.hpp
+/// \brief Parallel, bit-deterministic replication engine.
+///
+/// `ReplicationFarm` is the concurrent counterpart of
+/// `desp::ReplicationRunner` (which is now a thin serial adapter over this
+/// class).  Determinism contract:
+///
+///  1. Replication seeds are derived exactly as the serial runner always
+///     did — a SplitMix64 chain from the base seed — *before* any task is
+///     scheduled, so replication i sees the same seed at any thread count.
+///  2. Each replication records its `desp::MetricSink` observations into a
+///     slot indexed by its replication number.
+///  3. After all replications finish, per-metric results are reduced in
+///     replication order via the parallel-combinable `Tally::Merge`.
+///
+/// Scheduling order therefore never influences the result: a run with one
+/// thread and a run with N threads produce bit-identical
+/// `desp::ReplicationResult`s (every metric's count, mean, variance,
+/// min and max).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "desp/replication.hpp"
+
+namespace voodb::exp {
+
+/// Configuration of a farm run.
+struct FarmOptions {
+  /// Worker threads; 0 means "all hardware threads", 1 runs inline on the
+  /// calling thread (no pool is created).
+  size_t threads = 0;
+  /// Base seed of the SplitMix64 replication-seed chain.
+  uint64_t base_seed = 42;
+};
+
+/// Runs a replication model concurrently with deterministic results.
+class ReplicationFarm {
+ public:
+  using Model = desp::ReplicationRunner::Model;
+
+  explicit ReplicationFarm(Model model, FarmOptions options = {});
+
+  /// Runs `n` replications on the pool and reduces deterministically.
+  /// Exceptions thrown by the model are rethrown here (first one wins;
+  /// outstanding replications are cancelled).
+  desp::ReplicationResult Run(uint64_t n) const;
+
+  /// The paper's pilot-study protocol (§4.2.2), identical to
+  /// `desp::ReplicationRunner::RunToPrecision` but with the pilot and the
+  /// final pass both farmed out.
+  desp::ReplicationResult RunToPrecision(const std::string& metric,
+                                         double relative_precision,
+                                         uint64_t pilot_n = 10,
+                                         uint64_t max_n = 100,
+                                         double level = 0.95) const;
+
+  /// The per-replication seed chain (SplitMix64 from `base_seed`); exposed
+  /// so callers and tests can cross-check the serial derivation.
+  static std::vector<uint64_t> DeriveSeeds(uint64_t base_seed, uint64_t n);
+
+  /// Order-deterministic reduction: merges per-replication observations
+  /// (slot i = replication i) into a result, in replication order.
+  static desp::ReplicationResult Reduce(
+      const std::vector<std::map<std::string, double>>& per_replication);
+
+  const FarmOptions& options() const { return options_; }
+
+ private:
+  Model model_;
+  FarmOptions options_;
+};
+
+}  // namespace voodb::exp

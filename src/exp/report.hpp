@@ -1,0 +1,90 @@
+/// \file report.hpp
+/// \brief Machine-readable experiment results: run manifests, JSON, CSV.
+///
+/// Darmont's benchmark-methodology line of work stresses reproducible
+/// protocols: a result is only comparable when the parameters that
+/// produced it travel with it.  `RunManifest` carries those parameters
+/// (name, seed, replication count, thread count, wall clock, free-form
+/// notes); the emitters below serialize a manifest plus per-metric
+/// statistics so the bench harnesses can drop `BENCH_<name>.json` files
+/// that downstream tooling diffs across PRs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "desp/replication.hpp"
+#include "exp/grid.hpp"
+
+namespace voodb::exp {
+
+/// A minimal JSON emitter (objects, arrays, scalars; string escaping;
+/// NaN/Inf serialize as null).  No external dependencies.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Object key; must be followed by a value or Begin*.
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(const std::string& s);
+
+ private:
+  void Separate();
+  std::string out_;
+  // true = a value was already emitted at this nesting depth.
+  std::vector<bool> comma_stack_{false};
+  bool after_key_ = false;
+};
+
+/// Identifies one run for the record.
+struct RunManifest {
+  std::string name;           ///< experiment / bench identifier
+  uint64_t base_seed = 0;
+  uint64_t replications = 0;  ///< requested replications per point
+  size_t threads = 0;         ///< 0 = all hardware threads
+  double wall_clock_ms = 0.0;
+  double ci_level = 0.95;
+  /// Free-form (key, value) pairs, e.g. {"transactions", "1000"}.
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/// Serializes a replicated result: manifest + one entry per metric with
+/// count, mean, ci_half_width (null when undefined), stddev, min, max.
+std::string ResultToJson(const RunManifest& manifest,
+                         const desp::ReplicationResult& result);
+
+/// Serializes a sweep-grid run: manifest + one entry per cell (axis
+/// coordinates, label, per-metric statistics).
+std::string GridToJson(const RunManifest& manifest,
+                       const std::vector<GridCell>& cells);
+
+/// CSV flattening of a grid: one row per (cell, metric) with columns
+/// <axis...>, metric, count, mean, ci_half_width, stddev, min, max.
+std::string GridToCsv(const std::vector<GridCell>& cells, double ci_level);
+
+/// Writes `content` to `path` (throws voodb::util::Error on failure).
+void WriteFile(const std::string& path, const std::string& content);
+
+namespace detail {
+/// Appends the per-metric statistics object for `result` to `w` (callers
+/// bracket it with Key/Begin as needed).
+void MetricsJson(JsonWriter& w, const desp::ReplicationResult& result,
+                 double ci_level);
+}  // namespace detail
+
+}  // namespace voodb::exp

@@ -33,9 +33,15 @@ using ClusteringFactory =
 struct ExperimentConfig {
   VoodbConfig system;
   ocb::OcbParameters workload;
-  ClusteringFactory make_policy;  ///< optional
+  ClusteringFactory make_policy;  ///< optional; must be thread-safe when
+                                  ///< threads > 1 (called once per
+                                  ///< replication, possibly concurrently)
   uint64_t replications = 10;     ///< the paper uses 100
   uint64_t base_seed = 42;
+  /// Worker threads for the replication farm: 1 runs serially on the
+  /// calling thread, 0 uses all hardware threads.  Results are
+  /// bit-identical at any setting (see exp/farm.hpp).
+  size_t threads = 1;
 };
 
 /// Runs replicated experiments over a shared object base.
@@ -55,6 +61,14 @@ class Experiment {
   /// Convenience: the mean of "total_ios" from Run (the paper's headline
   /// "mean number of I/Os" metric).
   static double MeanTotalIos(const ExperimentConfig& config);
+
+  /// The per-replication model behind Run/RunOnBase: builds a VoodbSystem
+  /// for the seed, runs COLDN + HOTN transactions, observes the metrics
+  /// listed on Run.  `config` is captured by value; `base` must outlive
+  /// the returned model.  Exposed so the exp layer (farm / sweep grids)
+  /// can schedule experiment replications itself.
+  static desp::ReplicationRunner::Model MakeModel(ExperimentConfig config,
+                                                  const ocb::ObjectBase* base);
 };
 
 }  // namespace voodb::core

@@ -1,0 +1,91 @@
+/// \file test_exp_executor.cpp
+/// \brief Tests for the experiment-farm thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "exp/executor.hpp"
+#include "util/check.hpp"
+
+namespace voodb::exp {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool({4, 16});
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Submit([&ran] { ++ran; }));
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool({0, 4});
+  EXPECT_EQ(pool.thread_count(), ThreadPool::HardwareThreads());
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, BoundedQueueBlocksInsteadOfGrowing) {
+  // One worker, capacity 2: 50 submissions must all run even though the
+  // producer outpaces the consumer (Submit blocks at the bound).
+  ThreadPool pool({1, 2});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.Submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++ran;
+    }));
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, CancelDropsQueuedTasksAndRejectsNewOnes) {
+  ThreadPool pool({1, 64});
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  // Occupy the single worker so everything else stays queued.
+  ASSERT_TRUE(pool.Submit([&release] {
+    while (!release) std::this_thread::yield();
+  }));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ++ran; }));
+  }
+  pool.Cancel();
+  release = true;
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 0);  // queued tasks were dropped
+  EXPECT_TRUE(pool.cancelled());
+  EXPECT_FALSE(pool.Submit([&ran] { ++ran; }));
+}
+
+TEST(ThreadPool, WaitReturnsImmediatelyWhenIdle) {
+  ThreadPool pool({2, 4});
+  pool.Wait();  // must not hang on an empty pool
+  SUCCEED();
+}
+
+TEST(ThreadPool, RejectsBadConfiguration) {
+  EXPECT_THROW(ThreadPool({2, 0}), util::Error);
+  ThreadPool pool({1, 1});
+  EXPECT_THROW(pool.Submit(nullptr), util::Error);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool({2, 32});
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&ran] { ++ran; });
+    }
+    // No Wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+}  // namespace
+}  // namespace voodb::exp

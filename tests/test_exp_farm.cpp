@@ -1,0 +1,244 @@
+/// \file test_exp_farm.cpp
+/// \brief Determinism and correctness tests for the parallel replication
+/// farm: same base seed ⇒ bit-identical results at any thread count, on
+/// both synthetic models and full VOODB experiments.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "desp/random.hpp"
+#include "exp/farm.hpp"
+#include "util/check.hpp"
+#include "voodb/experiment.hpp"
+
+namespace voodb::exp {
+namespace {
+
+/// Asserts every metric of `a` and `b` is bitwise identical (count, mean,
+/// variance, min, max) — no tolerance anywhere.
+void ExpectBitIdentical(const desp::ReplicationResult& a,
+                        const desp::ReplicationResult& b) {
+  ASSERT_EQ(a.replications(), b.replications());
+  const std::vector<std::string> names = a.MetricNames();
+  ASSERT_EQ(names, b.MetricNames());
+  for (const std::string& name : names) {
+    const desp::Tally& ta = a.Metric(name);
+    const desp::Tally& tb = b.Metric(name);
+    EXPECT_EQ(ta.count(), tb.count()) << name;
+    EXPECT_EQ(ta.mean(), tb.mean()) << name;
+    EXPECT_EQ(ta.variance(), tb.variance()) << name;
+    EXPECT_EQ(ta.min(), tb.min()) << name;
+    EXPECT_EQ(ta.max(), tb.max()) << name;
+  }
+}
+
+/// A model with real floating-point work and several metrics; the value
+/// depends only on the seed, as the farm contract requires.
+void NoisyModel(uint64_t seed, desp::MetricSink& sink) {
+  desp::RandomStream rng(seed);
+  double acc = 0.0;
+  for (int i = 0; i < 200; ++i) acc += rng.Exponential(3.0);
+  sink.Observe("sum", acc);
+  sink.Observe("normal", rng.Normal(10.0, 2.0));
+  sink.Observe("uniform", rng.Uniform(-1.0, 1.0));
+}
+
+TEST(ReplicationFarm, SeedChainMatchesSerialDerivation) {
+  uint64_t sm = 1234;
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 10; ++i) expected.push_back(desp::SplitMix64(sm));
+  EXPECT_EQ(ReplicationFarm::DeriveSeeds(1234, 10), expected);
+}
+
+TEST(ReplicationFarm, BitIdenticalAcrossThreadCounts) {
+  FarmOptions serial_options;
+  serial_options.threads = 1;
+  serial_options.base_seed = 99;
+  const desp::ReplicationResult serial =
+      ReplicationFarm(NoisyModel, serial_options).Run(100);
+  for (const size_t threads : {2u, 3u, 7u, 16u}) {
+    FarmOptions options;
+    options.threads = threads;
+    options.base_seed = 99;
+    const desp::ReplicationResult parallel =
+        ReplicationFarm(NoisyModel, options).Run(100);
+    ExpectBitIdentical(serial, parallel);
+  }
+}
+
+TEST(ReplicationFarm, MatchesSerialReplicationRunner) {
+  // The acceptance bar of the subsystem: a 100-replication parallel run
+  // reports exactly what the (serial) desp::ReplicationRunner reports.
+  const desp::ReplicationResult serial =
+      desp::ReplicationRunner(NoisyModel, 4242).Run(100);
+  FarmOptions options;
+  options.threads = 8;
+  options.base_seed = 4242;
+  const desp::ReplicationResult parallel =
+      ReplicationFarm(NoisyModel, options).Run(100);
+  ExpectBitIdentical(serial, parallel);
+}
+
+TEST(ReplicationFarm, FullVoodbExperimentIsThreadCountInvariant) {
+  // Cross-layer determinism: an actual discrete-event simulation (buffer
+  // manager, transactions, disk model) replicated serially and on the
+  // farm must agree on every metric, bit for bit.
+  core::ExperimentConfig ec;
+  ec.system.system_class = core::SystemClass::kCentralized;
+  ec.system.page_size = 1024;
+  ec.system.buffer_pages = 16;
+  ec.system.multiprogramming_level = 1;
+  ec.workload.num_classes = 8;
+  ec.workload.num_objects = 300;
+  ec.workload.max_refs_per_class = 3;
+  ec.workload.base_instance_size = 60;
+  ec.workload.hot_transactions = 30;
+  ec.workload.seed = 71;
+  ec.replications = 12;
+  ec.threads = 1;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(ec.workload);
+  const desp::ReplicationResult serial = core::Experiment::RunOnBase(ec, base);
+  ec.threads = 6;
+  const desp::ReplicationResult parallel =
+      core::Experiment::RunOnBase(ec, base);
+  ExpectBitIdentical(serial, parallel);
+  EXPECT_GT(serial.Metric("total_ios").mean(), 0.0);
+}
+
+TEST(ReplicationFarm, RunToPrecisionMatchesSerialRunner) {
+  auto model = [](uint64_t seed, desp::MetricSink& sink) {
+    desp::RandomStream rng(seed);
+    sink.Observe("x", rng.Uniform(9.0, 11.0));
+  };
+  const desp::ReplicationResult serial =
+      desp::ReplicationRunner(model, 7).RunToPrecision("x", 0.05, 10, 200);
+  FarmOptions options;
+  options.threads = 4;
+  options.base_seed = 7;
+  const desp::ReplicationResult parallel =
+      ReplicationFarm(model, options).RunToPrecision("x", 0.05, 10, 200);
+  ExpectBitIdentical(serial, parallel);
+}
+
+TEST(ReplicationFarm, PropagatesModelExceptions) {
+  FarmOptions options;
+  options.threads = 4;
+  ReplicationFarm farm(
+      [](uint64_t seed, desp::MetricSink& sink) {
+        if (seed % 3 == 0) throw util::Error("boom");
+        sink.Observe("v", 1.0);
+      },
+      options);
+  EXPECT_THROW(farm.Run(64), util::Error);
+}
+
+TEST(ReplicationFarm, RunsEachReplicationExactlyOnce) {
+  std::atomic<int> calls{0};
+  FarmOptions options;
+  options.threads = 8;
+  const desp::ReplicationResult result =
+      ReplicationFarm(
+          [&calls](uint64_t, desp::MetricSink& sink) {
+            ++calls;
+            sink.Observe("v", 1.0);
+          },
+          options)
+          .Run(50);
+  EXPECT_EQ(calls.load(), 50);
+  EXPECT_EQ(result.replications(), 50u);
+  EXPECT_EQ(result.Metric("v").count(), 50u);
+}
+
+TEST(ReplicationFarm, RejectsBadUsage) {
+  EXPECT_THROW(ReplicationFarm(nullptr), util::Error);
+  FarmOptions options;
+  options.threads = 2;
+  ReplicationFarm farm(NoisyModel, options);
+  EXPECT_THROW(farm.Run(0), util::Error);
+  EXPECT_THROW(farm.RunToPrecision("sum", 0.0), util::Error);
+}
+
+// --- Tally::Merge as a parallel reduction operator -------------------------
+
+desp::Tally TallyOf(const std::vector<double>& values) {
+  desp::Tally t;
+  for (const double v : values) t.Add(v);
+  return t;
+}
+
+desp::Tally Merged(const desp::Tally& a, const desp::Tally& b) {
+  desp::Tally out = a;
+  out.Merge(b);
+  return out;
+}
+
+void ExpectTallyNear(const desp::Tally& a, const desp::Tally& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.min(), b.min());  // min/max/count are exact under any order
+  EXPECT_EQ(a.max(), b.max());
+  const double scale = std::abs(a.mean()) + 1.0;
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-12 * scale);
+  const double vscale = a.variance() + 1.0;
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-9 * vscale);
+}
+
+TEST(TallyMerge, CommutativeAndAssociativeProperty) {
+  // Property test over random partitions: Merge must behave as a
+  // commutative, associative combiner (exactly for count/min/max, to
+  // floating-point accuracy for mean/variance) and agree with adding all
+  // observations into one tally.
+  desp::RandomStream rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto draw = [&rng](int n) {
+      std::vector<double> v;
+      for (int i = 0; i < n; ++i) v.push_back(rng.Normal(50.0, 30.0));
+      return v;
+    };
+    const std::vector<double> va = draw(1 + trial % 7);
+    const std::vector<double> vb = draw(1 + (trial * 3) % 11);
+    const std::vector<double> vc = draw(1 + (trial * 5) % 5);
+    const desp::Tally a = TallyOf(va), b = TallyOf(vb), c = TallyOf(vc);
+
+    ExpectTallyNear(Merged(a, b), Merged(b, a));
+    ExpectTallyNear(Merged(Merged(a, b), c), Merged(a, Merged(b, c)));
+
+    std::vector<double> all = va;
+    all.insert(all.end(), vb.begin(), vb.end());
+    all.insert(all.end(), vc.begin(), vc.end());
+    ExpectTallyNear(Merged(Merged(a, b), c), TallyOf(all));
+  }
+}
+
+TEST(TallyMerge, EmptySidesAreIdentity) {
+  const desp::Tally some = TallyOf({1.0, 2.0, 3.0});
+  const desp::Tally empty;
+  const desp::Tally left = Merged(empty, some);
+  const desp::Tally right = Merged(some, empty);
+  EXPECT_EQ(left.count(), 3u);
+  EXPECT_DOUBLE_EQ(left.mean(), some.mean());
+  EXPECT_DOUBLE_EQ(left.variance(), some.variance());
+  EXPECT_EQ(right.count(), 3u);
+  EXPECT_DOUBLE_EQ(right.mean(), some.mean());
+  EXPECT_DOUBLE_EQ(right.variance(), some.variance());
+}
+
+TEST(ReplicationFarmReduce, OrderedReductionIsExact) {
+  // Reduce() consumes per-replication observation maps in index order —
+  // the very property that makes thread count irrelevant.
+  std::vector<std::map<std::string, double>> obs(3);
+  obs[0] = {{"m", 1.0}};
+  obs[1] = {{"m", 2.0}};
+  obs[2] = {{"m", 6.0}};
+  const desp::ReplicationResult result = ReplicationFarm::Reduce(obs);
+  EXPECT_EQ(result.replications(), 3u);
+  EXPECT_EQ(result.Metric("m").count(), 3u);
+  EXPECT_DOUBLE_EQ(result.Metric("m").mean(), 3.0);
+  EXPECT_DOUBLE_EQ(result.Metric("m").min(), 1.0);
+  EXPECT_DOUBLE_EQ(result.Metric("m").max(), 6.0);
+}
+
+}  // namespace
+}  // namespace voodb::exp

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "desp/stats.hpp"
 #include "util/check.hpp"
@@ -116,10 +117,30 @@ TEST(StudentConfidenceInterval, HigherLevelIsWider) {
   EXPECT_GT(ci99.half_width, ci95.half_width);
 }
 
-TEST(StudentConfidenceInterval, NeedsTwoObservations) {
+TEST(StudentConfidenceInterval, NeedsOneObservation) {
+  const Tally empty;
+  EXPECT_THROW(StudentConfidenceInterval(empty), util::Error);
+}
+
+TEST(StudentConfidenceInterval, SingleObservationHasInfiniteHalfWidth) {
+  // One observation leaves zero degrees of freedom: the mean is known but
+  // the interval must be the whole real line, not an exception (callers
+  // like the JSON reporter render it as "unknown precision").
+  Tally t;
+  t.Add(7.5);
+  const ConfidenceInterval ci = StudentConfidenceInterval(t, 0.99);
+  EXPECT_DOUBLE_EQ(ci.mean, 7.5);
+  EXPECT_TRUE(std::isinf(ci.half_width));
+  EXPECT_DOUBLE_EQ(ci.level, 0.99);
+  EXPECT_TRUE(ci.Contains(1e300));
+}
+
+TEST(StudentConfidenceInterval, RejectsBadLevel) {
   Tally t;
   t.Add(1.0);
-  EXPECT_THROW(StudentConfidenceInterval(t), util::Error);
+  t.Add(2.0);
+  EXPECT_THROW(StudentConfidenceInterval(t, 0.0), util::Error);
+  EXPECT_THROW(StudentConfidenceInterval(t, 1.0), util::Error);
 }
 
 TEST(AdditionalReplications, PaperFormula) {
@@ -140,6 +161,36 @@ TEST(AdditionalReplications, RoundsUp) {
 TEST(AdditionalReplications, RejectsBadInput) {
   EXPECT_THROW(AdditionalReplications(1, 1.0, 1.0), util::Error);
   EXPECT_THROW(AdditionalReplications(10, 1.0, 0.0), util::Error);
+  EXPECT_THROW(AdditionalReplications(10, -1.0, 1.0), util::Error);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(AdditionalReplications(10, inf, 1.0), util::Error);
+  EXPECT_THROW(AdditionalReplications(10, 1.0, inf), util::Error);
+  EXPECT_THROW(AdditionalReplications(10, std::nan(""), 1.0), util::Error);
+}
+
+TEST(AdditionalReplications, ZeroPilotHalfWidthNeedsNothing) {
+  // A zero-variance pilot is already infinitely precise.
+  EXPECT_EQ(AdditionalReplications(10, 0.0, 1.0), 0u);
+}
+
+TEST(AdditionalReplications, IgnoresFloatingPointNoiseAboveTarget) {
+  // A half-width one ulp above the target must not demand an extra
+  // replication (regression: ceil() used to round the noise up to 1).
+  const double target = 2.0;
+  const double noisy = std::nextafter(target, 3.0);
+  EXPECT_EQ(AdditionalReplications(10, noisy, target), 0u);
+}
+
+TEST(AdditionalReplications, ClampsHugeRatiosWithoutOverflow) {
+  // pilot_h / target_h can overflow n.(h/h*)^2 past uint64_t; the cast
+  // used to be undefined behaviour.  The result must be a huge but sane
+  // count that callers can min() against their max_n.
+  const uint64_t extra = AdditionalReplications(10, 1.0, 1e-200);
+  EXPECT_GT(extra, 1u << 30);
+  EXPECT_LE(extra, static_cast<uint64_t>(9.0e15));
+  // Still monotone near the clamp boundary.
+  EXPECT_GE(AdditionalReplications(10, 1.0, 1e-9),
+            AdditionalReplications(10, 1.0, 1e-6));
 }
 
 }  // namespace
