@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_comparison.dir/examples/architecture_comparison.cpp.o"
+  "CMakeFiles/architecture_comparison.dir/examples/architecture_comparison.cpp.o.d"
+  "architecture_comparison"
+  "architecture_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

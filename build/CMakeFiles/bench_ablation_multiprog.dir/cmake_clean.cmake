@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiprog.dir/bench/bench_ablation_multiprog.cpp.o"
+  "CMakeFiles/bench_ablation_multiprog.dir/bench/bench_ablation_multiprog.cpp.o.d"
+  "bench_ablation_multiprog"
+  "bench_ablation_multiprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

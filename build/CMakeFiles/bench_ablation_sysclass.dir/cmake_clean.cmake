@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sysclass.dir/bench/bench_ablation_sysclass.cpp.o"
+  "CMakeFiles/bench_ablation_sysclass.dir/bench/bench_ablation_sysclass.cpp.o.d"
+  "bench_ablation_sysclass"
+  "bench_ablation_sysclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sysclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_farm_speedup.dir/bench/bench_farm_speedup.cpp.o"
+  "CMakeFiles/bench_farm_speedup.dir/bench/bench_farm_speedup.cpp.o.d"
+  "bench_farm_speedup"
+  "bench_farm_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_farm_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_o2_instances_nc50.dir/bench/bench_fig07_o2_instances_nc50.cpp.o"
+  "CMakeFiles/bench_fig07_o2_instances_nc50.dir/bench/bench_fig07_o2_instances_nc50.cpp.o.d"
+  "bench_fig07_o2_instances_nc50"
+  "bench_fig07_o2_instances_nc50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_o2_instances_nc50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_o2_instances_nc50.
+# This may be replaced when dependencies are built.

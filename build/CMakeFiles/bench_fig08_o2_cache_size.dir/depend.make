@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_o2_cache_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_texas_instances_nc20.dir/bench/bench_fig09_texas_instances_nc20.cpp.o"
+  "CMakeFiles/bench_fig09_texas_instances_nc20.dir/bench/bench_fig09_texas_instances_nc20.cpp.o.d"
+  "bench_fig09_texas_instances_nc20"
+  "bench_fig09_texas_instances_nc20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_texas_instances_nc20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

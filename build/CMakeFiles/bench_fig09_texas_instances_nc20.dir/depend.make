@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09_texas_instances_nc20.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_texas_instances_nc50.dir/bench/bench_fig10_texas_instances_nc50.cpp.o"
+  "CMakeFiles/bench_fig10_texas_instances_nc50.dir/bench/bench_fig10_texas_instances_nc50.cpp.o.d"
+  "bench_fig10_texas_instances_nc50"
+  "bench_fig10_texas_instances_nc50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_texas_instances_nc50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

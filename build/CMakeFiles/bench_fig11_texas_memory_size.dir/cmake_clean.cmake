@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_texas_memory_size.dir/bench/bench_fig11_texas_memory_size.cpp.o"
+  "CMakeFiles/bench_fig11_texas_memory_size.dir/bench/bench_fig11_texas_memory_size.cpp.o.d"
+  "bench_fig11_texas_memory_size"
+  "bench_fig11_texas_memory_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_texas_memory_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_buffer.dir/bench/bench_micro_buffer.cpp.o"
+  "CMakeFiles/bench_micro_buffer.dir/bench/bench_micro_buffer.cpp.o.d"
+  "bench_micro_buffer"
+  "bench_micro_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_desp.dir/bench/bench_micro_desp.cpp.o"
+  "CMakeFiles/bench_micro_desp.dir/bench/bench_micro_desp.cpp.o.d"
+  "bench_micro_desp"
+  "bench_micro_desp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_desp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_dstc_midsize.dir/bench/bench_table6_dstc_midsize.cpp.o"
+  "CMakeFiles/bench_table6_dstc_midsize.dir/bench/bench_table6_dstc_midsize.cpp.o.d"
+  "bench_table6_dstc_midsize"
+  "bench_table6_dstc_midsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_dstc_midsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table6_dstc_midsize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_dstc_clusters.dir/bench/bench_table7_dstc_clusters.cpp.o"
+  "CMakeFiles/bench_table7_dstc_clusters.dir/bench/bench_table7_dstc_clusters.cpp.o.d"
+  "bench_table7_dstc_clusters"
+  "bench_table7_dstc_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_dstc_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_policies.dir/examples/buffer_policies.cpp.o"
+  "CMakeFiles/buffer_policies.dir/examples/buffer_policies.cpp.o.d"
+  "buffer_policies"
+  "buffer_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_clustering.dir/examples/compare_clustering.cpp.o"
+  "CMakeFiles/compare_clustering.dir/examples/compare_clustering.cpp.o.d"
+  "compare_clustering"
+  "compare_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

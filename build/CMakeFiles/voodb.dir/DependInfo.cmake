@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/dstc.cpp" "CMakeFiles/voodb.dir/src/cluster/dstc.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/cluster/dstc.cpp.o.d"
+  "/root/repo/src/cluster/gay_gruenwald.cpp" "CMakeFiles/voodb.dir/src/cluster/gay_gruenwald.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/cluster/gay_gruenwald.cpp.o.d"
+  "/root/repo/src/cluster/graph_partitioning.cpp" "CMakeFiles/voodb.dir/src/cluster/graph_partitioning.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/cluster/graph_partitioning.cpp.o.d"
+  "/root/repo/src/cluster/policy.cpp" "CMakeFiles/voodb.dir/src/cluster/policy.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/cluster/policy.cpp.o.d"
+  "/root/repo/src/desp/histogram.cpp" "CMakeFiles/voodb.dir/src/desp/histogram.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/desp/histogram.cpp.o.d"
+  "/root/repo/src/desp/random.cpp" "CMakeFiles/voodb.dir/src/desp/random.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/desp/random.cpp.o.d"
+  "/root/repo/src/desp/replication.cpp" "CMakeFiles/voodb.dir/src/desp/replication.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/desp/replication.cpp.o.d"
+  "/root/repo/src/desp/resource.cpp" "CMakeFiles/voodb.dir/src/desp/resource.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/desp/resource.cpp.o.d"
+  "/root/repo/src/desp/scheduler.cpp" "CMakeFiles/voodb.dir/src/desp/scheduler.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/desp/scheduler.cpp.o.d"
+  "/root/repo/src/desp/stats.cpp" "CMakeFiles/voodb.dir/src/desp/stats.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/desp/stats.cpp.o.d"
+  "/root/repo/src/emu/o2_emulator.cpp" "CMakeFiles/voodb.dir/src/emu/o2_emulator.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/emu/o2_emulator.cpp.o.d"
+  "/root/repo/src/emu/texas_emulator.cpp" "CMakeFiles/voodb.dir/src/emu/texas_emulator.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/emu/texas_emulator.cpp.o.d"
+  "/root/repo/src/exp/executor.cpp" "CMakeFiles/voodb.dir/src/exp/executor.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/exp/executor.cpp.o.d"
+  "/root/repo/src/exp/farm.cpp" "CMakeFiles/voodb.dir/src/exp/farm.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/exp/farm.cpp.o.d"
+  "/root/repo/src/exp/grid.cpp" "CMakeFiles/voodb.dir/src/exp/grid.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/exp/grid.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "CMakeFiles/voodb.dir/src/exp/report.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/exp/report.cpp.o.d"
+  "/root/repo/src/ocb/object_base.cpp" "CMakeFiles/voodb.dir/src/ocb/object_base.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/ocb/object_base.cpp.o.d"
+  "/root/repo/src/ocb/parameters.cpp" "CMakeFiles/voodb.dir/src/ocb/parameters.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/ocb/parameters.cpp.o.d"
+  "/root/repo/src/ocb/schema.cpp" "CMakeFiles/voodb.dir/src/ocb/schema.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/ocb/schema.cpp.o.d"
+  "/root/repo/src/ocb/workload.cpp" "CMakeFiles/voodb.dir/src/ocb/workload.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/ocb/workload.cpp.o.d"
+  "/root/repo/src/storage/buffer_manager.cpp" "CMakeFiles/voodb.dir/src/storage/buffer_manager.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/storage/buffer_manager.cpp.o.d"
+  "/root/repo/src/storage/disk_model.cpp" "CMakeFiles/voodb.dir/src/storage/disk_model.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/storage/disk_model.cpp.o.d"
+  "/root/repo/src/storage/placement.cpp" "CMakeFiles/voodb.dir/src/storage/placement.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/storage/placement.cpp.o.d"
+  "/root/repo/src/storage/prefetch.cpp" "CMakeFiles/voodb.dir/src/storage/prefetch.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/storage/prefetch.cpp.o.d"
+  "/root/repo/src/storage/replacement.cpp" "CMakeFiles/voodb.dir/src/storage/replacement.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/storage/replacement.cpp.o.d"
+  "/root/repo/src/storage/virtual_memory.cpp" "CMakeFiles/voodb.dir/src/storage/virtual_memory.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/storage/virtual_memory.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/voodb.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/special_functions.cpp" "CMakeFiles/voodb.dir/src/util/special_functions.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/util/special_functions.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/voodb.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/voodb/buffering_manager.cpp" "CMakeFiles/voodb.dir/src/voodb/buffering_manager.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/buffering_manager.cpp.o.d"
+  "/root/repo/src/voodb/catalog.cpp" "CMakeFiles/voodb.dir/src/voodb/catalog.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/catalog.cpp.o.d"
+  "/root/repo/src/voodb/clustering_manager.cpp" "CMakeFiles/voodb.dir/src/voodb/clustering_manager.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/clustering_manager.cpp.o.d"
+  "/root/repo/src/voodb/config.cpp" "CMakeFiles/voodb.dir/src/voodb/config.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/config.cpp.o.d"
+  "/root/repo/src/voodb/experiment.cpp" "CMakeFiles/voodb.dir/src/voodb/experiment.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/experiment.cpp.o.d"
+  "/root/repo/src/voodb/failure_injector.cpp" "CMakeFiles/voodb.dir/src/voodb/failure_injector.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/failure_injector.cpp.o.d"
+  "/root/repo/src/voodb/io_subsystem.cpp" "CMakeFiles/voodb.dir/src/voodb/io_subsystem.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/io_subsystem.cpp.o.d"
+  "/root/repo/src/voodb/lock_manager.cpp" "CMakeFiles/voodb.dir/src/voodb/lock_manager.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/lock_manager.cpp.o.d"
+  "/root/repo/src/voodb/network.cpp" "CMakeFiles/voodb.dir/src/voodb/network.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/network.cpp.o.d"
+  "/root/repo/src/voodb/object_manager.cpp" "CMakeFiles/voodb.dir/src/voodb/object_manager.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/object_manager.cpp.o.d"
+  "/root/repo/src/voodb/system.cpp" "CMakeFiles/voodb.dir/src/voodb/system.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/system.cpp.o.d"
+  "/root/repo/src/voodb/transaction_manager.cpp" "CMakeFiles/voodb.dir/src/voodb/transaction_manager.cpp.o" "gcc" "CMakeFiles/voodb.dir/src/voodb/transaction_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voodb_bench.dir/bench/harness.cpp.o"
+  "CMakeFiles/voodb_bench.dir/bench/harness.cpp.o.d"
+  "CMakeFiles/voodb_bench.dir/bench/sweeps.cpp.o"
+  "CMakeFiles/voodb_bench.dir/bench/sweeps.cpp.o.d"
+  "libvoodb_bench.a"
+  "libvoodb_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voodb_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_buffer_manager.cpp" "CMakeFiles/voodb_tests.dir/tests/test_buffer_manager.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_buffer_manager.cpp.o.d"
+  "/root/repo/tests/test_cluster_policy.cpp" "CMakeFiles/voodb_tests.dir/tests/test_cluster_policy.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_cluster_policy.cpp.o.d"
+  "/root/repo/tests/test_concurrency.cpp" "CMakeFiles/voodb_tests.dir/tests/test_concurrency.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_concurrency.cpp.o.d"
+  "/root/repo/tests/test_cross_validation.cpp" "CMakeFiles/voodb_tests.dir/tests/test_cross_validation.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_disk_model.cpp" "CMakeFiles/voodb_tests.dir/tests/test_disk_model.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_disk_model.cpp.o.d"
+  "/root/repo/tests/test_dstc.cpp" "CMakeFiles/voodb_tests.dir/tests/test_dstc.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_dstc.cpp.o.d"
+  "/root/repo/tests/test_emulators.cpp" "CMakeFiles/voodb_tests.dir/tests/test_emulators.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_emulators.cpp.o.d"
+  "/root/repo/tests/test_exp_executor.cpp" "CMakeFiles/voodb_tests.dir/tests/test_exp_executor.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_exp_executor.cpp.o.d"
+  "/root/repo/tests/test_exp_farm.cpp" "CMakeFiles/voodb_tests.dir/tests/test_exp_farm.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_exp_farm.cpp.o.d"
+  "/root/repo/tests/test_exp_grid.cpp" "CMakeFiles/voodb_tests.dir/tests/test_exp_grid.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_exp_grid.cpp.o.d"
+  "/root/repo/tests/test_exp_report.cpp" "CMakeFiles/voodb_tests.dir/tests/test_exp_report.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_exp_report.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "CMakeFiles/voodb_tests.dir/tests/test_experiment.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_failures.cpp" "CMakeFiles/voodb_tests.dir/tests/test_failures.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_failures.cpp.o.d"
+  "/root/repo/tests/test_gay_gruenwald.cpp" "CMakeFiles/voodb_tests.dir/tests/test_gay_gruenwald.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_gay_gruenwald.cpp.o.d"
+  "/root/repo/tests/test_graph_partitioning.cpp" "CMakeFiles/voodb_tests.dir/tests/test_graph_partitioning.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_graph_partitioning.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "CMakeFiles/voodb_tests.dir/tests/test_histogram.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_lock_manager.cpp" "CMakeFiles/voodb_tests.dir/tests/test_lock_manager.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_lock_manager.cpp.o.d"
+  "/root/repo/tests/test_ocb_object_base.cpp" "CMakeFiles/voodb_tests.dir/tests/test_ocb_object_base.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_ocb_object_base.cpp.o.d"
+  "/root/repo/tests/test_ocb_schema.cpp" "CMakeFiles/voodb_tests.dir/tests/test_ocb_schema.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_ocb_schema.cpp.o.d"
+  "/root/repo/tests/test_ocb_workload.cpp" "CMakeFiles/voodb_tests.dir/tests/test_ocb_workload.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_ocb_workload.cpp.o.d"
+  "/root/repo/tests/test_paper_validation.cpp" "CMakeFiles/voodb_tests.dir/tests/test_paper_validation.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_paper_validation.cpp.o.d"
+  "/root/repo/tests/test_placement.cpp" "CMakeFiles/voodb_tests.dir/tests/test_placement.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_placement.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "CMakeFiles/voodb_tests.dir/tests/test_random.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_random.cpp.o.d"
+  "/root/repo/tests/test_replacement.cpp" "CMakeFiles/voodb_tests.dir/tests/test_replacement.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_replacement.cpp.o.d"
+  "/root/repo/tests/test_replication.cpp" "CMakeFiles/voodb_tests.dir/tests/test_replication.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_replication.cpp.o.d"
+  "/root/repo/tests/test_resource.cpp" "CMakeFiles/voodb_tests.dir/tests/test_resource.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_resource.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "CMakeFiles/voodb_tests.dir/tests/test_scheduler.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_special_functions.cpp" "CMakeFiles/voodb_tests.dir/tests/test_special_functions.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_special_functions.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "CMakeFiles/voodb_tests.dir/tests/test_stats.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_stats.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "CMakeFiles/voodb_tests.dir/tests/test_util.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_util.cpp.o.d"
+  "/root/repo/tests/test_virtual_memory.cpp" "CMakeFiles/voodb_tests.dir/tests/test_virtual_memory.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_virtual_memory.cpp.o.d"
+  "/root/repo/tests/test_voodb_actors.cpp" "CMakeFiles/voodb_tests.dir/tests/test_voodb_actors.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_voodb_actors.cpp.o.d"
+  "/root/repo/tests/test_voodb_config.cpp" "CMakeFiles/voodb_tests.dir/tests/test_voodb_config.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_voodb_config.cpp.o.d"
+  "/root/repo/tests/test_voodb_system.cpp" "CMakeFiles/voodb_tests.dir/tests/test_voodb_system.cpp.o" "gcc" "CMakeFiles/voodb_tests.dir/tests/test_voodb_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/voodb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
