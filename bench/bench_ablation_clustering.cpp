@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
     const auto metrics = ReplicateMetrics(
         options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
           core::VoodbConfig cfg = core::SystemCatalog::Texas();
+          cfg.event_queue = options.event_queue;
           core::VoodbSystem sys(cfg, &base, MakePolicy(which), seed);
           ocb::WorkloadGenerator gen(&base,
                                      desp::RandomStream(seed).Derive(1));

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     const auto metrics = ReplicateMetrics(
         options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
           core::VoodbConfig cfg;
+          cfg.event_queue = options.event_queue;
           cfg.system_class = core::SystemClass::kCentralized;
           cfg.buffer_pages = 512;
           cfg.failure_mtbf_ms = mtbf_s * 1000.0;
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
     const auto metrics = ReplicateMetrics(
         options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
           core::VoodbConfig cfg;
+          cfg.event_queue = options.event_queue;
           cfg.system_class = core::SystemClass::kCentralized;
           cfg.buffer_pages = 512;
           cfg.disk_fault_prob = prob;

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
       const auto metrics = ReplicateMetrics(
           options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
             core::VoodbConfig cfg;
+            cfg.event_queue = options.event_queue;
             cfg.system_class = core::SystemClass::kCentralized;
             cfg.buffer_pages = 256;
             cfg.num_users = 8;

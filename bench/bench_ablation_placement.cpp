@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
           options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
             core::VoodbConfig cfg = o2 ? core::SystemCatalog::O2()
                                        : core::SystemCatalog::Texas();
+            cfg.event_queue = options.event_queue;
             cfg.initial_placement = placement;
             core::VoodbSystem sys(cfg, &base, nullptr, seed);
             ocb::WorkloadGenerator gen(&base,

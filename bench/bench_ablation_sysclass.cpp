@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     const auto metrics = ReplicateMetrics(
         options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
           core::VoodbConfig cfg;
+          cfg.event_queue = options.event_queue;
           cfg.system_class = sc;
           cfg.network_throughput_mbps = 1.0;  // Table 3 default
           cfg.buffer_pages = 1500;

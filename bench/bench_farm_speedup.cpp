@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
 
   core::ExperimentConfig ec;
   ec.system.system_class = core::SystemClass::kCentralized;
+  ec.system.event_queue = options.event_queue;
   ec.system.buffer_pages = 600;
   ec.workload.num_classes = 20;
   ec.workload.num_objects = 5000;

@@ -150,6 +150,8 @@ RunOptions ParseOptions(int argc, const char* const* argv,
       static_cast<uint64_t>(args.GetInt("transactions", 1000));
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   options.threads = static_cast<size_t>(args.GetInt("threads", 0));
+  options.event_queue =
+      desp::ParseEventQueueKind(args.GetString("event-queue", "binary"));
   options.csv = args.GetBool("csv", false);
   const std::string json =
       args.GetString("json", "BENCH_" + options.bench_name + ".json");
@@ -164,6 +166,8 @@ RunOptions ParseOptions(int argc, const char* const* argv,
                  "  --seed=N          base RNG seed (default 42)\n"
                  "  --threads=N       farm worker threads (default 0 ="
                  " all cores)\n"
+                 "  --event-queue=K   kernel event list (binary |"
+                 " quaternary | calendar)\n"
                  "  --csv             CSV output\n"
                  "  --json=PATH       result file (default BENCH_<name>"
                  ".json; \"off\" disables)\n";

@@ -22,6 +22,8 @@
 ///   --seed=N           base RNG seed
 ///   --threads=N        farm worker threads (default 0 = all cores;
 ///                      results are identical at any value)
+///   --event-queue=K    kernel event-list backend (binary | quaternary |
+///                      calendar; results are identical at any value)
 ///   --csv              emit CSV instead of an aligned table
 ///   --json=PATH        result file (default BENCH_<name>.json; "off"
 ///                      disables)
@@ -33,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "desp/event_queue.hpp"
 #include "desp/replication.hpp"
 #include "desp/stats.hpp"
 #include "util/cli.hpp"
@@ -46,6 +49,9 @@ struct RunOptions {
   uint64_t transactions = 1000;
   uint64_t seed = 42;
   size_t threads = 0;  ///< farm workers; 0 = all hardware threads
+  /// Kernel event-list backend for the simulation runs; results are
+  /// bit-identical across backends, only wall clock changes.
+  desp::EventQueueKind event_queue = desp::EventQueueKind::kBinaryHeap;
   bool csv = false;
   std::string bench_name;  ///< derived from argv[0] ("fig06_...")
   std::string json;        ///< output path; empty = disabled

@@ -43,10 +43,12 @@ double RunEmulator(TargetSystem system, const ocb::ObjectBase& base,
 }
 
 double RunSimulation(TargetSystem system, const ocb::ObjectBase& base,
-                     double memory_mb, uint64_t transactions, uint64_t seed) {
+                     double memory_mb, uint64_t transactions, uint64_t seed,
+                     desp::EventQueueKind event_queue) {
   core::VoodbConfig cfg = system == TargetSystem::kO2
                               ? core::SystemCatalog::O2WithCache(memory_mb)
                               : core::SystemCatalog::TexasWithMemory(memory_mb);
+  cfg.event_queue = event_queue;
   core::VoodbSystem sys(cfg, &base, nullptr, seed);
   ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed).Derive(1));
   return static_cast<double>(
@@ -78,7 +80,8 @@ void RunInstanceSweep(const RunOptions& options, TargetSystem system,
         Replicate(options, options.seed ^ 0x5151,
                   [&](uint64_t seed) {
                     return RunSimulation(system, base, memory_mb,
-                                         options.transactions, seed);
+                                         options.transactions, seed,
+                                         options.event_queue);
                   });
     report.AddPoint(std::to_string(no), bench, sim, paper_bench[i],
                     paper_sim[i]);
@@ -107,7 +110,8 @@ void RunMemorySweep(const RunOptions& options, TargetSystem system,
         Replicate(options, options.seed ^ 0x5151,
                   [&](uint64_t seed) {
                     return RunSimulation(system, base, mb,
-                                         options.transactions, seed);
+                                         options.transactions, seed,
+                                         options.event_queue);
                   });
     report.AddPoint(util::FormatDouble(mb, 0), bench, sim, paper_bench[i],
                     paper_sim[i]);
@@ -166,8 +170,10 @@ DstcRun DstcOnEmulator(const ocb::ObjectBase& base, double memory_mb,
 }
 
 DstcRun DstcOnSimulation(const ocb::ObjectBase& base, double memory_mb,
-                         uint64_t transactions, uint64_t seed) {
+                         uint64_t transactions, uint64_t seed,
+                         desp::EventQueueKind event_queue) {
   core::VoodbConfig cfg = core::SystemCatalog::TexasWithMemory(memory_mb);
+  cfg.event_queue = event_queue;
   core::VoodbSystem sys(cfg, &base, std::make_unique<cluster::DstcPolicy>(),
                         seed);
   ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed).Derive(1));
@@ -235,9 +241,9 @@ DstcComparison RunDstcExperiment(const RunOptions& options,
       }));
   cmp.sim = Aggregate(ReplicateMetrics(
       options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-        ObserveDstcRun(
-            DstcOnSimulation(base, memory_mb, options.transactions, seed),
-            sink);
+        ObserveDstcRun(DstcOnSimulation(base, memory_mb, options.transactions,
+                                        seed, options.event_queue),
+                       sink);
       }));
   RecordDstcAggregate("benchmark", cmp.bench);
   RecordDstcAggregate("simulation", cmp.sim);

@@ -1,0 +1,272 @@
+#include "desp/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace voodb::desp {
+
+const char* ToString(EventQueueKind kind) {
+  switch (kind) {
+    case EventQueueKind::kBinaryHeap:
+      return "binary";
+    case EventQueueKind::kQuaternaryHeap:
+      return "quaternary";
+    case EventQueueKind::kCalendar:
+      return "calendar";
+  }
+  return "?";
+}
+
+EventQueueKind ParseEventQueueKind(const std::string& name) {
+  if (name == "binary" || name == "heap") return EventQueueKind::kBinaryHeap;
+  if (name == "quaternary" || name == "4ary") {
+    return EventQueueKind::kQuaternaryHeap;
+  }
+  if (name == "calendar" || name == "bucket") return EventQueueKind::kCalendar;
+  VOODB_CHECK_MSG(false, "unknown event queue '"
+                             << name
+                             << "' (binary | quaternary | calendar)");
+  return EventQueueKind::kBinaryHeap;
+}
+
+namespace {
+
+/// An implicit D-ary heap of QueuedEvents.  D=2 is the reference binary
+/// heap; D=4 trades one extra comparison per level for half the depth,
+/// which wins once the heap outgrows L1.
+template <unsigned D>
+class DaryHeapQueue final : public EventQueue {
+  static_assert(D >= 2, "heap arity must be >= 2");
+
+ public:
+  const char* name() const override {
+    return D == 2 ? "binary" : "quaternary";
+  }
+
+  void Push(const QueuedEvent& event) override {
+    heap_.push_back(event);
+    SiftUp(heap_.size() - 1);
+  }
+
+  QueuedEvent PopMin() override {
+    QueuedEvent min = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    return min;
+  }
+
+  QueuedEvent Min() const override { return heap_.front(); }
+
+  size_t Size() const override { return heap_.size(); }
+
+  void Clear() override { heap_.clear(); }
+
+ private:
+  void SiftUp(size_t i) {
+    QueuedEvent moving = heap_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / D;
+      if (!FiresBefore(moving.key, heap_[parent].key)) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = moving;
+  }
+
+  void SiftDown(size_t i) {
+    QueuedEvent moving = heap_[i];
+    const size_t n = heap_.size();
+    for (;;) {
+      const size_t first_child = i * D + 1;
+      if (first_child >= n) break;
+      const size_t last_child = std::min(first_child + D, n);
+      size_t best = first_child;
+      for (size_t c = first_child + 1; c < last_child; ++c) {
+        if (FiresBefore(heap_[c].key, heap_[best].key)) best = c;
+      }
+      if (!FiresBefore(heap_[best].key, moving.key)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = moving;
+  }
+
+  std::vector<QueuedEvent> heap_;
+};
+
+/// Brown's calendar queue: an array of day buckets covering one "year"
+/// of simulated time.  Push hashes an event to the bucket of its day
+/// (= floor(time / width)); PopMin sweeps the calendar one day at a time
+/// and only takes events whose day has arrived.  Amortized O(1) per
+/// operation when the bucket count and day width track the population,
+/// which Resize maintains.
+///
+/// Determinism: the sweep compares integer *day indices*, never
+/// accumulated time thresholds, so bucket assignment and the due test
+/// are computed from the same rounded quotient and can never disagree at
+/// a bucket boundary.  The day index is a monotone function of time,
+/// events with equal times share a bucket, and buckets are kept sorted
+/// by the full key — so the (time, priority, seq) total order is
+/// preserved exactly.
+class CalendarQueue final : public EventQueue {
+ public:
+  CalendarQueue() { Reset(kMinBuckets, 1.0, 0.0); }
+
+  const char* name() const override { return "calendar"; }
+
+  void Push(const QueuedEvent& event) override {
+    const double day = DayOf(event.key.time);
+    Bucket& bucket = buckets_[IndexOf(day)];
+    bucket.insert(std::upper_bound(bucket.begin(), bucket.end(), event,
+                                   [](const QueuedEvent& a,
+                                      const QueuedEvent& b) {
+                                     return FiresBefore(a.key, b.key);
+                                   }),
+                  event);
+    ++size_;
+    // Earlier than the sweep's current day (possible right after a pop
+    // advanced past an emptied day): rewind so the sweep cannot miss it.
+    if (day < day_) RewindTo(day);
+    if (size_ > 2 * buckets_.size()) Resize(2 * buckets_.size());
+  }
+
+  QueuedEvent PopMin() override {
+    // Sweep at most one full year from the current day; a day only
+    // yields events that are due (their day has arrived).
+    for (size_t steps = 0; steps < buckets_.size(); ++steps) {
+      Bucket& bucket = buckets_[cur_bucket_];
+      if (!bucket.empty() && DayOf(bucket.front().key.time) <= day_) {
+        return TakeFront(bucket);
+      }
+      cur_bucket_ = (cur_bucket_ + 1) % buckets_.size();
+      day_ += 1.0;
+    }
+    // A year went by with nothing due (sparse far-future events): find
+    // the global minimum directly and jump the calendar to its day.
+    RewindTo(DayOf(FindMin()->key.time));
+    return TakeFront(buckets_[cur_bucket_]);
+  }
+
+  QueuedEvent Min() const override {
+    // Non-mutating replica of PopMin's sweep.
+    size_t b = cur_bucket_;
+    double day = day_;
+    for (size_t steps = 0; steps < buckets_.size(); ++steps) {
+      const Bucket& bucket = buckets_[b];
+      if (!bucket.empty() && DayOf(bucket.front().key.time) <= day) {
+        return bucket.front();
+      }
+      b = (b + 1) % buckets_.size();
+      day += 1.0;
+    }
+    return *FindMin();
+  }
+
+  size_t Size() const override { return size_; }
+
+  void Clear() override { Reset(kMinBuckets, 1.0, 0.0); }
+
+ private:
+  using Bucket = std::vector<QueuedEvent>;
+  static constexpr size_t kMinBuckets = 4;
+
+  double DayOf(SimTime time) const { return std::floor(time / width_); }
+
+  size_t IndexOf(double day) const {
+    return static_cast<size_t>(
+        std::fmod(day, static_cast<double>(buckets_.size())));
+  }
+
+  /// The earliest event across all buckets (by full key).  Precondition:
+  /// !Empty().
+  const QueuedEvent* FindMin() const {
+    const QueuedEvent* min = nullptr;
+    for (const Bucket& bucket : buckets_) {
+      if (!bucket.empty() &&
+          (min == nullptr || FiresBefore(bucket.front().key, min->key))) {
+        min = &bucket.front();
+      }
+    }
+    return min;
+  }
+
+  QueuedEvent TakeFront(Bucket& bucket) {
+    QueuedEvent event = bucket.front();
+    bucket.erase(bucket.begin());
+    --size_;
+    if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
+      Resize(buckets_.size() / 2);
+    }
+    return event;
+  }
+
+  /// Points the sweep at `day`.
+  void RewindTo(double day) {
+    day_ = day;
+    cur_bucket_ = IndexOf(day);
+  }
+
+  void Reset(size_t num_buckets, double width, double start_day) {
+    buckets_.assign(num_buckets, {});
+    width_ = width;
+    size_ = 0;
+    RewindTo(start_day);
+  }
+
+  void Resize(size_t num_buckets) {
+    std::vector<QueuedEvent> events;
+    events.reserve(size_);
+    for (Bucket& bucket : buckets_) {
+      events.insert(events.end(), bucket.begin(), bucket.end());
+      bucket.clear();
+    }
+    if (events.empty()) {  // popping the last event can shrink an empty queue
+      Reset(num_buckets, width_, day_);
+      return;
+    }
+    // Width such that a day holds a handful of events: the occupied time
+    // span spread over the population, tripled (Brown's rule of thumb).
+    SimTime lo = events.front().key.time;
+    SimTime hi = lo;
+    for (const QueuedEvent& event : events) {
+      lo = std::min(lo, event.key.time);
+      hi = std::max(hi, event.key.time);
+    }
+    double width = events.size() > 1
+                       ? 3.0 * (hi - lo) / static_cast<double>(events.size())
+                       : 1.0;
+    if (!(width > 0.0)) width = 1.0;
+    Reset(num_buckets, width, std::floor(lo / width));
+    // Re-pushing cannot re-trigger Resize: a grow doubles the bucket
+    // count past size/2 and a shrink halves it to above size.
+    for (const QueuedEvent& event : events) Push(event);
+  }
+
+  std::vector<Bucket> buckets_;
+  double width_ = 1.0;
+  size_t size_ = 0;
+  size_t cur_bucket_ = 0;  ///< bucket of the sweep's current day
+  double day_ = 0.0;       ///< the sweep's current day index (integral)
+};
+
+}  // namespace
+
+std::unique_ptr<EventQueue> MakeEventQueue(EventQueueKind kind) {
+  switch (kind) {
+    case EventQueueKind::kBinaryHeap:
+      return std::make_unique<DaryHeapQueue<2>>();
+    case EventQueueKind::kQuaternaryHeap:
+      return std::make_unique<DaryHeapQueue<4>>();
+    case EventQueueKind::kCalendar:
+      return std::make_unique<CalendarQueue>();
+  }
+  VOODB_CHECK_MSG(false, "unknown EventQueueKind");
+  return nullptr;
+}
+
+}  // namespace voodb::desp

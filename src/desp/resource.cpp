@@ -19,65 +19,74 @@ const char* ToString(QueueDiscipline d) {
 
 Resource::Resource(Scheduler* scheduler, std::string name, uint64_t capacity,
                    QueueDiscipline discipline)
-    : scheduler_(scheduler),
-      name_(std::move(name)),
+    : Actor(scheduler, std::move(name)),
       capacity_(capacity),
       discipline_(discipline),
-      busy_stat_(scheduler->Now(), 0.0),
-      queue_stat_(scheduler->Now(), 0.0) {
-  VOODB_CHECK_MSG(capacity_ >= 1, "resource '" << name_
+      busy_stat_(Now(), 0.0),
+      queue_stat_(Now(), 0.0) {
+  VOODB_CHECK_MSG(capacity_ >= 1, "resource '" << this->name()
                                                << "' needs capacity >= 1");
 }
 
 void Resource::Acquire(Grant on_grant, double priority) {
+  // AcquireAction validates; SmallFunction preserves emptiness of a
+  // wrapped std::function, so no separate check is needed here.
+  AcquireAction(std::move(on_grant), priority);
+}
+
+void Resource::AcquireAction(Scheduler::Action on_grant, double priority) {
   VOODB_CHECK_MSG(static_cast<bool>(on_grant),
                   "Acquire needs a grant continuation");
-  Waiter w{std::move(on_grant), priority, scheduler_->Now(), next_seq_++};
+  Waiter w{std::move(on_grant), priority, Now(), next_seq_++};
   if (busy_ < capacity_) {
     GrantTo(std::move(w));
     return;
   }
   queue_.push_back(std::move(w));
-  queue_stat_.Update(scheduler_->Now(), static_cast<double>(queue_.size()));
+  queue_stat_.Update(Now(), static_cast<double>(queue_.size()));
 }
 
 void Resource::Release() {
-  VOODB_CHECK_MSG(busy_ > 0, "Release on idle resource '" << name_ << "'");
+  VOODB_CHECK_MSG(busy_ > 0, "Release on idle resource '" << name() << "'");
   --busy_;
-  busy_stat_.Update(scheduler_->Now(), static_cast<double>(busy_));
+  busy_stat_.Update(Now(), static_cast<double>(busy_));
   if (!queue_.empty()) PopAndGrant();
 }
 
 void Resource::AcquireFor(SimTime service_time, Grant on_done,
                           double priority) {
   VOODB_CHECK_MSG(service_time >= 0.0, "service time must be non-negative");
-  Acquire(
+  AcquireAction(
       [this, service_time, on_done = std::move(on_done)]() mutable {
-        scheduler_->Schedule(service_time,
-                             [this, on_done = std::move(on_done)]() {
-                               Release();
-                               if (on_done) on_done();
-                             });
+        Serve(service_time, std::move(on_done));
       },
       priority);
 }
 
+void Resource::Serve(SimTime service_time, Grant on_done) {
+  CallIn(service_time, &Resource::FinishService, std::move(on_done));
+}
+
+void Resource::FinishService(Grant on_done) {
+  Release();
+  if (on_done) on_done();
+}
+
 double Resource::Utilization() const {
-  return busy_stat_.TimeAverage(scheduler_->Now()) /
-         static_cast<double>(capacity_);
+  return busy_stat_.TimeAverage(Now()) / static_cast<double>(capacity_);
 }
 
 double Resource::MeanQueueLength() const {
-  return queue_stat_.TimeAverage(scheduler_->Now());
+  return queue_stat_.TimeAverage(Now());
 }
 
 void Resource::GrantTo(Waiter waiter) {
   ++busy_;
   ++grants_;
-  busy_stat_.Update(scheduler_->Now(), static_cast<double>(busy_));
-  wait_times_.Add(scheduler_->Now() - waiter.enqueued_at);
+  busy_stat_.Update(Now(), static_cast<double>(busy_));
+  wait_times_.Add(Now() - waiter.enqueued_at);
   // Run the continuation as an event so grants never grow the call stack.
-  scheduler_->Schedule(0.0, std::move(waiter.on_grant));
+  After(0.0, std::move(waiter.on_grant));
 }
 
 void Resource::PopAndGrant() {
@@ -100,7 +109,7 @@ void Resource::PopAndGrant() {
   }
   Waiter w = std::move(*it);
   queue_.erase(it);
-  queue_stat_.Update(scheduler_->Now(), static_cast<double>(queue_.size()));
+  queue_stat_.Update(Now(), static_cast<double>(queue_.size()));
   GrantTo(std::move(w));
 }
 

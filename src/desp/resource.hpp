@@ -14,6 +14,7 @@
 #include <functional>
 #include <string>
 
+#include "desp/actor.hpp"
 #include "desp/scheduler.hpp"
 #include "desp/stats.hpp"
 
@@ -30,7 +31,7 @@ enum class QueueDiscipline {
 const char* ToString(QueueDiscipline d);
 
 /// A capacity-limited passive resource with a waiting queue.
-class Resource {
+class Resource : public Actor {
  public:
   using Grant = std::function<void()>;
 
@@ -40,13 +41,15 @@ class Resource {
   Resource(Scheduler* scheduler, std::string name, uint64_t capacity = 1,
            QueueDiscipline discipline = QueueDiscipline::kFifo);
 
-  Resource(const Resource&) = delete;
-  Resource& operator=(const Resource&) = delete;
-
   /// Requests one unit.  `on_grant` runs (as a scheduled event at the
   /// current time) once a unit is available; requests queue per the
   /// discipline.  `priority` is only meaningful for kPriority.
   void Acquire(Grant on_grant, double priority = 0.0);
+
+  /// As Acquire, but takes the scheduler's small-buffer callable
+  /// directly — the allocation-free variant for actor hot paths (a Grant
+  /// with more than two words of capture heap-allocates on creation).
+  void AcquireAction(Scheduler::Action on_grant, double priority = 0.0);
 
   /// Releases one unit previously granted.
   void Release();
@@ -55,7 +58,7 @@ class Resource {
   /// `on_done`.  This is the common "serve one request" pattern.
   void AcquireFor(SimTime service_time, Grant on_done, double priority = 0.0);
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const { return actor_name(); }
   uint64_t capacity() const { return capacity_; }
   uint64_t busy() const { return busy_; }
   size_t QueueLength() const { return queue_.size(); }
@@ -70,8 +73,11 @@ class Resource {
   uint64_t Grants() const { return grants_; }
 
  private:
+  /// Queued continuations use the scheduler's small-buffer callable so
+  /// the grant path stays allocation-free; the public Grant type remains
+  /// std::function for composability in the actors.
   struct Waiter {
-    Grant on_grant;
+    Scheduler::Action on_grant;
     double priority;
     SimTime enqueued_at;
     uint64_t seq;
@@ -79,9 +85,10 @@ class Resource {
 
   void GrantTo(Waiter waiter);
   void PopAndGrant();
+  /// Holds the unit for the service time, releases, runs `on_done`.
+  void Serve(SimTime service_time, Grant on_done);
+  void FinishService(Grant on_done);
 
-  Scheduler* scheduler_;
-  std::string name_;
   uint64_t capacity_;
   QueueDiscipline discipline_;
   uint64_t busy_ = 0;

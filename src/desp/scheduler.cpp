@@ -5,18 +5,14 @@
 namespace voodb::desp {
 
 bool EventHandle::pending() const {
-  return state_ != nullptr && !state_->cancelled && !state_->fired;
+  return scheduler_ != nullptr && scheduler_->IsPending(slot_, generation_);
 }
 
-bool Scheduler::Compare::operator()(const QueueEntry& a,
-                                    const QueueEntry& b) const {
-  // std::priority_queue is a max-heap; we want the *smallest* time first,
-  // then the highest priority, then the lowest sequence number.
-  if (a.state->time != b.state->time) return a.state->time > b.state->time;
-  if (a.state->priority != b.state->priority) {
-    return a.state->priority < b.state->priority;
-  }
-  return a.state->seq > b.state->seq;
+Scheduler::Scheduler(EventQueueKind kind) : queue_(MakeEventQueue(kind)) {}
+
+Scheduler::Scheduler(std::unique_ptr<EventQueue> queue)
+    : queue_(std::move(queue)) {
+  VOODB_CHECK_MSG(queue_ != nullptr, "scheduler needs an event queue");
 }
 
 EventHandle Scheduler::Schedule(SimTime delay, Action action, int priority) {
@@ -29,41 +25,110 @@ EventHandle Scheduler::ScheduleAt(SimTime when, Action action, int priority) {
   VOODB_CHECK_MSG(when >= now_, "cannot schedule into the past (when="
                                     << when << ", now=" << now_ << ")");
   VOODB_CHECK_MSG(static_cast<bool>(action), "event action must be callable");
-  auto state = std::make_shared<EventHandle::State>();
-  state->time = when;
-  state->priority = priority;
-  state->seq = next_seq_++;
-  state->action = std::move(action);
-  queue_.push(QueueEntry{state});
+  const uint32_t slot = AllocSlot();
+  EventRecord& record = arena_[slot];
+  record.key = EventKey{when, priority, next_seq_++};
+  record.action = std::move(action);
+  record.cancelled = false;
+  record.in_queue = true;
+  queue_->Push(QueuedEvent{record.key, slot});
   ++pending_;
   EventHandle handle;
-  handle.state_ = std::move(state);
+  handle.scheduler_ = this;
+  handle.slot_ = slot;
+  handle.generation_ = record.generation;
   return handle;
 }
 
+bool Scheduler::IsPending(uint32_t slot, uint32_t generation) const {
+  if (slot >= arena_.size()) return false;
+  const EventRecord& record = arena_[slot];
+  return record.in_queue && record.generation == generation &&
+         !record.cancelled;
+}
+
 bool Scheduler::Cancel(EventHandle& handle) {
-  if (!handle.pending()) return false;
-  handle.state_->cancelled = true;
-  handle.state_->action = nullptr;  // release captured resources eagerly
+  if (handle.scheduler_ != this || !IsPending(handle.slot_,
+                                              handle.generation_)) {
+    return false;  // empty, fired, cancelled or moved-from: safe no-op
+  }
+  EventRecord& record = arena_[handle.slot_];
+  record.cancelled = true;
+  record.action.Reset();  // release captured resources eagerly
   --pending_;
+  ++cancelled_in_queue_;
+  // Lazily-deleted entries are only skimmed when they reach the front of
+  // the queue; without a bound, cancel-heavy workloads (re-armed
+  // timeouts) bloat the event list forever.  Rebuild it once the dead
+  // entries outnumber the live ones.
+  if (cancelled_in_queue_ * 2 > queue_->Size()) Compact();
   return true;
 }
 
+uint32_t Scheduler::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = arena_[slot].next_free;
+    return slot;
+  }
+  VOODB_CHECK_MSG(arena_.size() < kNoSlot, "event arena exhausted");
+  arena_.emplace_back();
+  return static_cast<uint32_t>(arena_.size() - 1);
+}
+
+void Scheduler::FreeSlot(uint32_t slot) {
+  EventRecord& record = arena_[slot];
+  record.action.Reset();
+  record.in_queue = false;
+  ++record.generation;  // invalidates every outstanding handle
+  record.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Scheduler::Compact() {
+  std::vector<QueuedEvent> live;
+  live.reserve(pending_);
+  while (!queue_->Empty()) {
+    const QueuedEvent event = queue_->PopMin();
+    if (arena_[event.slot].cancelled) {
+      FreeSlot(event.slot);
+    } else {
+      live.push_back(event);
+    }
+  }
+  cancelled_in_queue_ = 0;
+  for (const QueuedEvent& event : live) queue_->Push(event);
+}
+
+void Scheduler::SkimCancelled() {
+  while (!queue_->Empty()) {
+    const QueuedEvent min = queue_->Min();
+    if (!arena_[min.slot].cancelled) return;
+    queue_->PopMin();
+    FreeSlot(min.slot);
+    --cancelled_in_queue_;
+  }
+}
+
 bool Scheduler::Step() {
-  while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    queue_.pop();
-    if (entry.state->cancelled) continue;
+  for (;;) {
+    if (queue_->Empty()) return false;
+    const QueuedEvent event = queue_->PopMin();
+    EventRecord& record = arena_[event.slot];
+    if (record.cancelled) {
+      FreeSlot(event.slot);
+      --cancelled_in_queue_;
+      continue;
+    }
     --pending_;
-    now_ = entry.state->time;
-    entry.state->fired = true;
-    Action action = std::move(entry.state->action);
-    entry.state->action = nullptr;
+    now_ = event.key.time;
+    Action action = std::move(record.action);
+    FreeSlot(event.slot);  // the action may recycle the slot immediately
+    if (trace_ != nullptr) trace_(trace_ctx_, event.key);
     ++executed_;
     action();
     return true;
   }
-  return false;
 }
 
 void Scheduler::Run() {
@@ -74,13 +139,10 @@ void Scheduler::Run() {
 
 void Scheduler::RunUntil(SimTime deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    // Peek past cancelled entries.
-    while (!queue_.empty() && queue_.top().state->cancelled) {
-      queue_.pop();
-    }
-    if (queue_.empty()) break;
-    if (queue_.top().state->time > deadline) {
+  while (!stopped_) {
+    SkimCancelled();
+    if (queue_->Empty()) return;
+    if (queue_->Min().key.time > deadline) {
       now_ = deadline;
       return;
     }

@@ -4,46 +4,75 @@
 /// The kernel follows the "resource view" of Table 2 in the VOODB paper:
 /// active resources are classes whose functioning rules are methods; the
 /// scheduler merely orders their activations on the simulated time axis.
-/// Events are closures; ties are broken by (priority desc, insertion seq),
-/// which makes runs fully deterministic.
+/// Events are callables; ties are broken by (priority desc, insertion
+/// seq), which makes runs fully deterministic.
+///
+/// The schedule/fire hot path is allocation-free: event records live in a
+/// pooled slab arena and are referenced by intrusive, generation-counted
+/// `EventHandle`s (no per-event `shared_ptr`), the action is a
+/// small-buffer-optimized callable (no `std::function` heap spill for
+/// actor-sized captures), and the event list itself is a pluggable
+/// `EventQueue` moving 32-byte (key, slot) entries.  All queue backends
+/// produce bit-identical simulations; pick one with the `kind`
+/// constructor argument (`VoodbConfig::event_queue` at the system level,
+/// `--event-queue=` on the benches).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <string>
 #include <vector>
 
+#include "desp/event_queue.hpp"
+#include "desp/small_function.hpp"
 #include "util/check.hpp"
 
 namespace voodb::desp {
 
-/// Simulated time.  The unit is milliseconds throughout VOODB (disk and
-/// lock parameters of Table 3 are given in ms).
-using SimTime = double;
+class Scheduler;
 
 /// A scheduled activation.  Obtained from Scheduler::Schedule*; can be
-/// cancelled as long as it has not fired.
+/// cancelled as long as it has not fired.  A handle is a weak intrusive
+/// reference (arena slot + generation): it never owns the event, copying
+/// is free, and Cancel / pending() on a fired, cancelled, moved-from or
+/// default-constructed handle are safe no-ops.  Handles must not outlive
+/// their scheduler.
 class EventHandle {
  public:
   EventHandle() = default;
+  EventHandle(const EventHandle&) = default;
+  EventHandle& operator=(const EventHandle&) = default;
+  /// Moving transfers the reference and resets the source to "no event".
+  EventHandle(EventHandle&& other) noexcept
+      : scheduler_(other.scheduler_),
+        slot_(other.slot_),
+        generation_(other.generation_) {
+    other.scheduler_ = nullptr;
+  }
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    scheduler_ = other.scheduler_;
+    slot_ = other.slot_;
+    generation_ = other.generation_;
+    if (&other != this) other.scheduler_ = nullptr;
+    return *this;
+  }
 
   /// True if the event is still pending (not fired, not cancelled).
   bool pending() const;
 
  private:
   friend class Scheduler;
-  struct State;
-  std::shared_ptr<State> state_;
+  Scheduler* scheduler_ = nullptr;
+  uint32_t slot_ = 0;
+  uint32_t generation_ = 0;
 };
 
-/// Discrete-event scheduler: event list + simulation clock.
+/// Discrete-event scheduler: pluggable event list + slab arena + clock.
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallFunction;
 
-  Scheduler() = default;
+  explicit Scheduler(EventQueueKind kind = EventQueueKind::kBinaryHeap);
+  explicit Scheduler(std::unique_ptr<EventQueue> queue);
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -54,8 +83,8 @@ class Scheduler {
   /// Schedules `action` at absolute time `when` (>= Now()).
   EventHandle ScheduleAt(SimTime when, Action action, int priority = 0);
 
-  /// Cancels a pending event; returns false if it already fired or was
-  /// already cancelled.
+  /// Cancels a pending event; returns false (a safe no-op) if it already
+  /// fired, was already cancelled, or the handle is empty/moved-from.
   bool Cancel(EventHandle& handle);
 
   /// Current simulated time.
@@ -80,31 +109,57 @@ class Scheduler {
   /// Total number of events executed since construction.
   uint64_t ExecutedEvents() const { return executed_; }
 
+  /// Event-list entries including lazily-deleted cancelled ones.  The
+  /// scheduler compacts the list whenever cancelled entries outnumber
+  /// live ones, so QueueEntries() < 2 * PendingEvents() + 1 always holds
+  /// after a Cancel.  Exposed for tests and diagnostics.
+  size_t QueueEntries() const { return queue_->Size(); }
+
+  /// The active event-list backend's name ("binary", ...).
+  const char* queue_name() const { return queue_->name(); }
+
+  /// Observes every fired event's key, in execution order, before its
+  /// action runs.  Used by the kernel bit-identity tests to diff event
+  /// traces across queue backends; null (the default) disables tracing.
+  using TraceFn = void (*)(void* ctx, const EventKey& key);
+  void SetTraceHook(TraceFn fn, void* ctx) {
+    trace_ = fn;
+    trace_ctx_ = ctx;
+  }
+
  private:
-  struct QueueEntry;
-  struct Compare {
-    bool operator()(const QueueEntry& a, const QueueEntry& b) const;
+  struct EventRecord {
+    EventKey key;
+    Action action;
+    uint32_t generation = 0;
+    bool cancelled = false;
+    bool in_queue = false;   ///< queued (live or lazily-deleted)
+    uint32_t next_free = 0;  ///< free-list link when not allocated
   };
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
+  bool IsPending(uint32_t slot, uint32_t generation) const;
+  /// Rebuilds the event list keeping only live entries.
+  void Compact();
+  /// Pops lazily-deleted entries off the front of the queue.
+  void SkimCancelled();
+
+  friend class EventHandle;
+
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   size_t pending_ = 0;
+  size_t cancelled_in_queue_ = 0;
   bool stopped_ = false;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Compare> queue_;
-};
-
-struct EventHandle::State {
-  SimTime time = 0.0;
-  int priority = 0;
-  uint64_t seq = 0;
-  Scheduler::Action action;
-  bool cancelled = false;
-  bool fired = false;
-};
-
-struct Scheduler::QueueEntry {
-  std::shared_ptr<EventHandle::State> state;
+  std::unique_ptr<EventQueue> queue_;
+  std::vector<EventRecord> arena_;
+  uint32_t free_head_ = kNoSlot;
+  TraceFn trace_ = nullptr;
+  void* trace_ctx_ = nullptr;
 };
 
 }  // namespace voodb::desp

@@ -89,7 +89,9 @@ std::vector<GridCell> RunGrid(const SweepGrid& grid,
 /// system — "buffer_pages", "page_size", "multiprogramming_level",
 /// "num_users", "network_throughput_mbps", "object_cpu_ms", "get_lock_ms",
 /// "release_lock_ms", "failure_mtbf_ms", "disk_fault_prob",
-/// "storage_overhead"; workload — "num_classes", "num_objects",
+/// "storage_overhead", "event_queue" (kernel event-list backend,
+/// 0 = binary / 1 = quaternary / 2 = calendar — bit-identical metrics,
+/// sweeps kernel speed only); workload — "num_classes", "num_objects",
 /// "max_refs_per_class", "base_instance_size", "hot_transactions",
 /// "cold_transactions", "think_time_ms", "root_region".
 /// Throws voodb::util::Error on an unknown axis name.

@@ -11,7 +11,9 @@ BufferingManagerActor::BufferingManagerActor(desp::Scheduler* scheduler,
                                              ObjectManagerActor* object_manager,
                                              IoSubsystemActor* io,
                                              desp::RandomStream rng)
-    : scheduler_(scheduler), object_manager_(object_manager), io_(io) {
+    : Actor(scheduler, "buffering-manager"),
+      object_manager_(object_manager),
+      io_(io) {
   VOODB_CHECK_MSG(object_manager_ != nullptr && io_ != nullptr,
                   "buffering manager needs its peers");
   if (config.use_virtual_memory) {

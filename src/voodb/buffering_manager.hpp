@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 
+#include "desp/actor.hpp"
 #include "desp/random.hpp"
 #include "desp/scheduler.hpp"
 #include "ocb/types.hpp"
@@ -23,7 +24,7 @@
 namespace voodb::core {
 
 /// The Buffering Manager actor.
-class BufferingManagerActor {
+class BufferingManagerActor : public desp::Actor {
  public:
   BufferingManagerActor(desp::Scheduler* scheduler, const VoodbConfig& config,
                         ObjectManagerActor* object_manager,
@@ -69,7 +70,6 @@ class BufferingManagerActor {
   void AccessSpanStep(storage::PageSpan span, uint32_t index, bool write,
                       std::function<void()> done);
 
-  desp::Scheduler* scheduler_;
   ObjectManagerActor* object_manager_;
   IoSubsystemActor* io_;
   std::unique_ptr<storage::BufferManager> buffer_;

@@ -12,7 +12,7 @@ ClusteringManagerActor::ClusteringManagerActor(
     std::unique_ptr<cluster::ClusteringPolicy> policy,
     ObjectManagerActor* object_manager, BufferingManagerActor* buffering,
     IoSubsystemActor* io)
-    : scheduler_(scheduler),
+    : Actor(scheduler, "clustering-manager"),
       policy_(std::move(policy)),
       object_manager_(object_manager),
       buffering_(buffering),
@@ -43,7 +43,7 @@ bool ClusteringManagerActor::ShouldTrigger() const {
 void ClusteringManagerActor::PerformClustering(
     std::function<void(ClusteringMetrics)> done) {
   VOODB_CHECK_MSG(static_cast<bool>(done), "needs a continuation");
-  const double started = scheduler_->Now();
+  const double started = Now();
   cluster::ClusteringOutcome outcome = policy_->Recluster(
       object_manager_->base(), object_manager_->placement());
   ClusteringMetrics metrics;
@@ -79,7 +79,7 @@ void ClusteringManagerActor::PerformClustering(
   ++reorganizations_;
   io_->Execute(std::move(ios),
                [this, metrics, started, done = std::move(done)]() mutable {
-                 metrics.duration_ms = scheduler_->Now() - started;
+                 metrics.duration_ms = Now() - started;
                  done(metrics);
                });
 }

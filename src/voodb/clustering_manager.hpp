@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "cluster/policy.hpp"
+#include "desp/actor.hpp"
 #include "desp/scheduler.hpp"
 #include "voodb/buffering_manager.hpp"
 #include "voodb/io_subsystem.hpp"
@@ -26,7 +27,7 @@
 namespace voodb::core {
 
 /// The Clustering Manager actor.
-class ClusteringManagerActor {
+class ClusteringManagerActor : public desp::Actor {
  public:
   ClusteringManagerActor(desp::Scheduler* scheduler,
                          std::unique_ptr<cluster::ClusteringPolicy> policy,
@@ -54,7 +55,6 @@ class ClusteringManagerActor {
   uint64_t reorganizations() const { return reorganizations_; }
 
  private:
-  desp::Scheduler* scheduler_;
   std::unique_ptr<cluster::ClusteringPolicy> policy_;
   ObjectManagerActor* object_manager_;
   BufferingManagerActor* buffering_;

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "desp/event_queue.hpp"
 #include "storage/disk_model.hpp"
 #include "storage/placement.hpp"
 #include "storage/replacement.hpp"
@@ -35,6 +36,10 @@ struct VoodbConfig {
   SystemClass system_class = SystemClass::kPageServer;  ///< SYSCLASS
   /// NETTHRU in MB/s; <= 0 means infinite throughput (no network delay).
   double network_throughput_mbps = 1.0;
+  /// Event-list backend of the simulation kernel.  A pure performance
+  /// knob: results are bit-identical under every backend (sweep it with
+  /// bench_micro_scheduler or the "event_queue" grid axis).
+  desp::EventQueueKind event_queue = desp::EventQueueKind::kBinaryHeap;
 
   // --- Buffering Manager ---------------------------------------------------
   uint32_t page_size = 4096;       ///< PGSIZE

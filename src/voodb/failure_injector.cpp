@@ -15,14 +15,13 @@ FailureInjectorActor::FailureInjectorActor(desp::Scheduler* scheduler,
                                            BufferingManagerActor* buffering,
                                            IoSubsystemActor* io,
                                            desp::RandomStream rng)
-    : scheduler_(scheduler),
+    : Actor(scheduler, "failure-injector"),
       params_(params),
       buffering_(buffering),
       io_(io),
       rng_(rng) {
   params_.Validate();
-  VOODB_CHECK_MSG(scheduler_ && buffering_ && io_,
-                  "failure injector needs its peers");
+  VOODB_CHECK_MSG(buffering_ && io_, "failure injector needs its peers");
 }
 
 void FailureInjectorActor::Arm() {
@@ -30,16 +29,13 @@ void FailureInjectorActor::Arm() {
   ScheduleNext();
 }
 
-void FailureInjectorActor::Disarm() {
-  if (pending_.pending()) scheduler_->Cancel(pending_);
-}
+void FailureInjectorActor::Disarm() { scheduler().Cancel(pending_); }
 
 bool FailureInjectorActor::armed() const { return pending_.pending(); }
 
 void FailureInjectorActor::ScheduleNext() {
-  pending_ =
-      scheduler_->Schedule(rng_.Exponential(params_.mtbf_ms),
-                           [this] { Crash(); });
+  pending_ = CallIn(rng_.Exponential(params_.mtbf_ms),
+                    &FailureInjectorActor::Crash);
 }
 
 void FailureInjectorActor::Crash() {

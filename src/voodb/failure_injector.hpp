@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "desp/actor.hpp"
 #include "desp/random.hpp"
 #include "desp/scheduler.hpp"
 #include "desp/stats.hpp"
@@ -49,7 +50,7 @@ struct FailureStats {
 };
 
 /// Schedules crashes and performs the recovery protocol.
-class FailureInjectorActor {
+class FailureInjectorActor : public desp::Actor {
  public:
   FailureInjectorActor(desp::Scheduler* scheduler, FailureParameters params,
                        BufferingManagerActor* buffering, IoSubsystemActor* io,
@@ -71,7 +72,6 @@ class FailureInjectorActor {
   void ScheduleNext();
   void Crash();
 
-  desp::Scheduler* scheduler_;
   FailureParameters params_;
   BufferingManagerActor* buffering_;
   IoSubsystemActor* io_;

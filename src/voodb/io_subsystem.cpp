@@ -8,7 +8,7 @@ namespace voodb::core {
 
 IoSubsystemActor::IoSubsystemActor(desp::Scheduler* scheduler,
                                    storage::DiskParameters disk_params)
-    : scheduler_(scheduler),
+    : Actor(scheduler, "io-subsystem"),
       disk_(scheduler, "disk", /*capacity=*/1),
       disk_model_(disk_params) {}
 
@@ -30,17 +30,21 @@ void IoSubsystemActor::ExecuteNext(
     done();
     return;
   }
-  disk_.Acquire([this, ios = std::move(ios), index,
-                 done = std::move(done)]() mutable {
+  disk_.AcquireAction([this, ios = std::move(ios), index,
+                       done = std::move(done)]() mutable {
     // Service time is computed at grant time so the head position
     // reflects the actual execution order under contention.
     const double service = disk_model_.IoTime((*ios)[index]) + FaultPenalty();
-    scheduler_->Schedule(service, [this, ios = std::move(ios), index,
-                                   done = std::move(done)]() mutable {
-      disk_.Release();
-      ExecuteNext(std::move(ios), index + 1, std::move(done));
-    });
+    CallIn(service, &IoSubsystemActor::FinishIo, std::move(ios), index,
+           std::move(done));
   });
+}
+
+void IoSubsystemActor::FinishIo(
+    std::shared_ptr<std::vector<storage::PageIo>> ios, size_t index,
+    std::function<void()> done) {
+  disk_.Release();
+  ExecuteNext(std::move(ios), index + 1, std::move(done));
 }
 
 void IoSubsystemActor::Seize(double duration_ms, std::function<void()> done) {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "desp/actor.hpp"
 #include "desp/random.hpp"
 #include "desp/resource.hpp"
 #include "desp/scheduler.hpp"
@@ -22,7 +23,7 @@
 namespace voodb::core {
 
 /// The I/O Subsystem actor.
-class IoSubsystemActor {
+class IoSubsystemActor : public desp::Actor {
  public:
   IoSubsystemActor(desp::Scheduler* scheduler,
                    storage::DiskParameters disk_params);
@@ -54,9 +55,11 @@ class IoSubsystemActor {
  private:
   void ExecuteNext(std::shared_ptr<std::vector<storage::PageIo>> ios,
                    size_t index, std::function<void()> done);
+  /// Completion of one physical I/O: release the disk, run the next.
+  void FinishIo(std::shared_ptr<std::vector<storage::PageIo>> ios,
+                size_t index, std::function<void()> done);
   double FaultPenalty();
 
-  desp::Scheduler* scheduler_;
   desp::Resource disk_;
   storage::DiskModel disk_model_;
   bool faults_enabled_ = false;

@@ -7,8 +7,8 @@
 namespace voodb::core {
 
 NetworkActor::NetworkActor(desp::Scheduler* scheduler, double throughput_mbps)
-    : scheduler_(scheduler),
-      link_(scheduler, "network", /*capacity=*/1),
+    : Actor(scheduler, "network"),
+      link_(scheduler, "network-link", /*capacity=*/1),
       throughput_mbps_(throughput_mbps) {}
 
 double NetworkActor::TransferTime(uint64_t bytes) const {

@@ -10,13 +10,14 @@
 #include <cstdint>
 #include <functional>
 
+#include "desp/actor.hpp"
 #include "desp/resource.hpp"
 #include "desp/scheduler.hpp"
 
 namespace voodb::core {
 
 /// The network actor.
-class NetworkActor {
+class NetworkActor : public desp::Actor {
  public:
   /// \param throughput_mbps NETTHRU in MB/s; <= 0 => infinite.
   NetworkActor(desp::Scheduler* scheduler, double throughput_mbps);
@@ -31,7 +32,6 @@ class NetworkActor {
   bool infinite() const { return throughput_mbps_ <= 0.0; }
 
  private:
-  desp::Scheduler* scheduler_;
   desp::Resource link_;
   double throughput_mbps_;
   uint64_t bytes_transferred_ = 0;

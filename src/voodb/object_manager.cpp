@@ -7,9 +7,13 @@
 namespace voodb::core {
 
 ObjectManagerActor::ObjectManagerActor(
-    const ocb::ObjectBase* base, uint32_t page_size,
-    storage::PlacementPolicy initial_placement, double overhead_factor)
-    : base_(base), page_size_(page_size), overhead_factor_(overhead_factor) {
+    desp::Scheduler* scheduler, const ocb::ObjectBase* base,
+    uint32_t page_size, storage::PlacementPolicy initial_placement,
+    double overhead_factor)
+    : Actor(scheduler, "object-manager"),
+      base_(base),
+      page_size_(page_size),
+      overhead_factor_(overhead_factor) {
   VOODB_CHECK_MSG(base_ != nullptr, "object manager needs an object base");
   placement_ = std::make_unique<storage::Placement>(storage::Placement::Build(
       *base_, page_size_, initial_placement, overhead_factor_));

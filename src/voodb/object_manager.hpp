@@ -13,15 +13,20 @@
 #include <memory>
 #include <vector>
 
+#include "desp/actor.hpp"
 #include "ocb/object_base.hpp"
 #include "storage/placement.hpp"
 
 namespace voodb::core {
 
-/// The Object Manager actor.
-class ObjectManagerActor {
+/// The Object Manager actor.  It resolves OIDs synchronously (placement
+/// lookups cost no simulated time), so it never schedules events itself —
+/// but as an active resource of the knowledge model it sits on the same
+/// Actor base as its peers.
+class ObjectManagerActor : public desp::Actor {
  public:
-  ObjectManagerActor(const ocb::ObjectBase* base, uint32_t page_size,
+  ObjectManagerActor(desp::Scheduler* scheduler, const ocb::ObjectBase* base,
+                     uint32_t page_size,
                      storage::PlacementPolicy initial_placement,
                      double overhead_factor);
 

@@ -10,11 +10,14 @@ namespace voodb::core {
 VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
                          std::unique_ptr<cluster::ClusteringPolicy> policy,
                          uint64_t seed)
-    : config_(config), base_(base), rng_(seed) {
+    : config_(config),
+      base_(base),
+      scheduler_(config.event_queue),
+      rng_(seed) {
   config_.Validate();
   VOODB_CHECK_MSG(base_ != nullptr, "system needs an object base");
   object_manager_ = std::make_unique<ObjectManagerActor>(
-      base_, config_.page_size, config_.initial_placement,
+      &scheduler_, base_, config_.page_size, config_.initial_placement,
       config_.storage_overhead);
   io_ = std::make_unique<IoSubsystemActor>(&scheduler_, config_.disk);
   network_ = std::make_unique<NetworkActor>(&scheduler_,

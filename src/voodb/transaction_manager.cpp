@@ -15,7 +15,7 @@ TransactionManagerActor::TransactionManagerActor(
     desp::Scheduler* scheduler, const VoodbConfig& config,
     ObjectManagerActor* object_manager, BufferingManagerActor* buffering,
     ClusteringManagerActor* clustering, NetworkActor* network)
-    : scheduler_(scheduler),
+    : Actor(scheduler, "transaction-manager"),
       config_(config),
       object_manager_(object_manager),
       buffering_(buffering),
@@ -27,7 +27,7 @@ TransactionManagerActor::TransactionManagerActor(
   VOODB_CHECK_MSG(object_manager_ && buffering_ && clustering_ && network_,
                   "transaction manager needs its peers");
   if (config_.use_lock_manager) {
-    lock_manager_ = std::make_unique<LockManager>(scheduler_);
+    lock_manager_ = std::make_unique<LockManager>(scheduler);
   }
 }
 
@@ -37,8 +37,8 @@ void TransactionManagerActor::Submit(ocb::Transaction txn,
   auto state = std::make_shared<InFlight>();
   state->txn = std::move(txn);
   state->done = std::move(done);
-  const double submitted_at = scheduler_->Now();
-  db_scheduler_.Acquire([this, state, submitted_at]() {
+  const double submitted_at = Now();
+  db_scheduler_.AcquireAction([this, state, submitted_at]() {
     state->admitted_at = submitted_at;  // response time includes queueing
     if (lock_manager_ != nullptr) {
       state->txn_id = next_txn_id_++;
@@ -104,12 +104,14 @@ void TransactionManagerActor::Restart(std::shared_ptr<InFlight> state) {
                              ? backoff_rng_.Exponential(
                                    config_.restart_backoff_ms)
                              : 0.0;
-  scheduler_->Schedule(backoff, [this, state = std::move(state)]() mutable {
-    state->txn_id = next_txn_id_++;
-    lock_manager_->BeginTransaction(state->txn_id,
-                                    static_cast<double>(state->age_stamp));
-    ProcessNext(std::move(state));
-  });
+  CallIn(backoff, &TransactionManagerActor::Reattempt, std::move(state));
+}
+
+void TransactionManagerActor::Reattempt(std::shared_ptr<InFlight> state) {
+  state->txn_id = next_txn_id_++;
+  lock_manager_->BeginTransaction(state->txn_id,
+                                  static_cast<double>(state->age_stamp));
+  ProcessNext(std::move(state));
 }
 
 void TransactionManagerActor::PerformAccess(std::shared_ptr<InFlight> state,
@@ -164,7 +166,7 @@ void TransactionManagerActor::Commit(std::shared_ptr<InFlight> state) {
         clustering_->OnTransactionEnd();
         db_scheduler_.Release();
         ++committed_;
-        const double response = scheduler_->Now() - state->admitted_at;
+        const double response = Now() - state->admitted_at;
         response_times_.Add(response);
         response_histogram_.Add(response);
         auto done = std::move(state->done);

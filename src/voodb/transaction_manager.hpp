@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 
+#include "desp/actor.hpp"
 #include "desp/histogram.hpp"
 #include "desp/random.hpp"
 #include "desp/resource.hpp"
@@ -30,7 +31,7 @@
 namespace voodb::core {
 
 /// The Transaction Manager actor.
-class TransactionManagerActor {
+class TransactionManagerActor : public desp::Actor {
  public:
   TransactionManagerActor(desp::Scheduler* scheduler,
                           const VoodbConfig& config,
@@ -73,10 +74,11 @@ class TransactionManagerActor {
   void PerformAccess(std::shared_ptr<InFlight> state,
                      ocb::ObjectAccess access);
   void Restart(std::shared_ptr<InFlight> state);
+  /// Backoff elapsed: re-register with the lock manager and retry.
+  void Reattempt(std::shared_ptr<InFlight> state);
   void ShipAndContinue(std::shared_ptr<InFlight> state, uint64_t bytes);
   void Commit(std::shared_ptr<InFlight> state);
 
-  desp::Scheduler* scheduler_;
   const VoodbConfig config_;
   ObjectManagerActor* object_manager_;
   BufferingManagerActor* buffering_;

@@ -78,7 +78,7 @@ TEST(FailureInjector, CrashDropsBufferAndOccupiesDisk) {
   const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
   desp::Scheduler sched;
   VoodbConfig cfg = SmallConfig();
-  ObjectManagerActor om(&base, cfg.page_size,
+  ObjectManagerActor om(&sched, &base, cfg.page_size,
                         storage::PlacementPolicy::kSequential, 1.0);
   IoSubsystemActor io(&sched, cfg.disk);
   BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));
@@ -113,7 +113,7 @@ TEST(FailureInjector, DisarmStopsTheHazardProcess) {
   const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
   desp::Scheduler sched;
   VoodbConfig cfg = SmallConfig();
-  ObjectManagerActor om(&base, cfg.page_size,
+  ObjectManagerActor om(&sched, &base, cfg.page_size,
                         storage::PlacementPolicy::kSequential, 1.0);
   IoSubsystemActor io(&sched, cfg.disk);
   BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));
@@ -132,7 +132,7 @@ TEST(FailureInjector, ZeroMtbfNeverArms) {
   const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
   desp::Scheduler sched;
   VoodbConfig cfg = SmallConfig();
-  ObjectManagerActor om(&base, cfg.page_size,
+  ObjectManagerActor om(&sched, &base, cfg.page_size,
                         storage::PlacementPolicy::kSequential, 1.0);
   IoSubsystemActor io(&sched, cfg.disk);
   BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));

@@ -1,0 +1,152 @@
+/// \file test_kernel_determinism.cpp
+/// \brief Bit-identity of full VOODB experiments across event-queue
+/// backends and farm thread counts.
+///
+/// The kernel refactor's contract: the event-list backend is a pure
+/// performance knob.  These tests pin it down two ways —
+///
+///  1. the event *trace* (first 10k fired (time, priority, seq) keys) of
+///     a full VOODB experiment replication is identical under every
+///     backend, i.e. the kernels execute the very same event sequence
+///     (this is the old-vs-new regression: the binary heap is the
+///     reference semantics of the pre-refactor `std::priority_queue`
+///     kernel, whose tie-breaking contract test_scheduler.cpp pins);
+///  2. the reduced `PhaseMetrics`/replication statistics are bit-equal
+///     across every (backend × thread count) combination.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "desp/event_queue.hpp"
+#include "desp/scheduler.hpp"
+#include "ocb/workload.hpp"
+#include "voodb/experiment.hpp"
+#include "voodb/system.hpp"
+
+namespace voodb::core {
+namespace {
+
+const desp::EventQueueKind kAllKinds[] = {
+    desp::EventQueueKind::kBinaryHeap,
+    desp::EventQueueKind::kQuaternaryHeap,
+    desp::EventQueueKind::kCalendar,
+};
+
+ExperimentConfig SmallExperiment() {
+  ExperimentConfig ec;
+  ec.system.system_class = SystemClass::kPageServer;
+  ec.system.page_size = 1024;
+  ec.system.buffer_pages = 24;
+  ec.system.multiprogramming_level = 4;
+  ec.system.num_users = 4;
+  ec.system.failure_mtbf_ms = 40000.0;  // exercise Cancel/re-arm paths
+  ec.workload.num_classes = 8;
+  ec.workload.num_objects = 400;
+  ec.workload.max_refs_per_class = 3;
+  ec.workload.base_instance_size = 60;
+  ec.workload.hot_transactions = 60;
+  ec.workload.cold_transactions = 10;
+  ec.workload.seed = 71;
+  ec.replications = 4;
+  return ec;
+}
+
+struct Trace {
+  std::vector<desp::EventKey> keys;
+  static constexpr size_t kLimit = 10000;
+  static void Record(void* ctx, const desp::EventKey& key) {
+    auto* self = static_cast<Trace*>(ctx);
+    if (self->keys.size() < kLimit) self->keys.push_back(key);
+  }
+};
+
+/// Runs one replication of the experiment with `kind`, capturing the
+/// fired-event trace and the hot-phase metrics.
+PhaseMetrics TracedRun(desp::EventQueueKind kind, const ocb::ObjectBase& base,
+                       Trace* trace) {
+  ExperimentConfig ec = SmallExperiment();
+  ec.system.event_queue = kind;
+  VoodbSystem system(ec.system, &base, nullptr, /*seed=*/1234);
+  system.scheduler().SetTraceHook(&Trace::Record, trace);
+  ocb::WorkloadGenerator workload(&base, desp::RandomStream(1234).Derive(1));
+  system.RunTransactions(workload, ec.workload.cold_transactions);
+  return system.RunTransactions(workload, ec.workload.hot_transactions);
+}
+
+bool BitEqual(const PhaseMetrics& a, const PhaseMetrics& b) {
+  // PhaseMetrics is trivially copyable POD of counters and doubles;
+  // bit-compare to catch even sign/NaN differences.
+  static_assert(std::is_trivially_copyable_v<PhaseMetrics>,
+                "memcmp comparison requires trivial copyability");
+  return std::memcmp(&a, &b, sizeof(PhaseMetrics)) == 0;
+}
+
+TEST(KernelDeterminism, EventTraceIsIdenticalAcrossBackends) {
+  const ocb::ObjectBase base =
+      ocb::ObjectBase::Generate(SmallExperiment().workload);
+
+  Trace reference;
+  const PhaseMetrics reference_metrics =
+      TracedRun(desp::EventQueueKind::kBinaryHeap, base, &reference);
+  ASSERT_GE(reference.keys.size(), 1000u)
+      << "experiment too small to exercise the kernel";
+
+  for (desp::EventQueueKind kind : kAllKinds) {
+    Trace trace;
+    const PhaseMetrics metrics = TracedRun(kind, base, &trace);
+    ASSERT_EQ(trace.keys.size(), reference.keys.size())
+        << desp::ToString(kind);
+    for (size_t i = 0; i < trace.keys.size(); ++i) {
+      ASSERT_EQ(trace.keys[i].time, reference.keys[i].time)
+          << desp::ToString(kind) << " event " << i;
+      ASSERT_EQ(trace.keys[i].priority, reference.keys[i].priority)
+          << desp::ToString(kind) << " event " << i;
+      ASSERT_EQ(trace.keys[i].seq, reference.keys[i].seq)
+          << desp::ToString(kind) << " event " << i;
+    }
+    EXPECT_TRUE(BitEqual(metrics, reference_metrics)) << desp::ToString(kind);
+  }
+}
+
+TEST(KernelDeterminism, ExperimentBitIdenticalAcrossBackendsAndThreads) {
+  const ExperimentConfig base_config = SmallExperiment();
+  const ocb::ObjectBase base =
+      ocb::ObjectBase::Generate(base_config.workload);
+
+  // Reference: binary heap, serial farm.
+  ExperimentConfig ref = base_config;
+  ref.threads = 1;
+  const desp::ReplicationResult reference =
+      Experiment::RunOnBase(ref, base);
+
+  for (desp::EventQueueKind kind : kAllKinds) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      ExperimentConfig ec = base_config;
+      ec.system.event_queue = kind;
+      ec.threads = threads;
+      const desp::ReplicationResult result = Experiment::RunOnBase(ec, base);
+      for (const std::string& metric : reference.MetricNames()) {
+        const desp::Tally& want = reference.Metric(metric);
+        const desp::Tally& got = result.Metric(metric);
+        // Exact equality on every reduced statistic: scheduling order
+        // (threads) and event-list backend must not leak into results.
+        EXPECT_EQ(got.count(), want.count())
+            << metric << " " << desp::ToString(kind) << " t" << threads;
+        EXPECT_EQ(got.mean(), want.mean())
+            << metric << " " << desp::ToString(kind) << " t" << threads;
+        EXPECT_EQ(got.variance(), want.variance())
+            << metric << " " << desp::ToString(kind) << " t" << threads;
+        EXPECT_EQ(got.min(), want.min())
+            << metric << " " << desp::ToString(kind) << " t" << threads;
+        EXPECT_EQ(got.max(), want.max())
+            << metric << " " << desp::ToString(kind) << " t" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace voodb::core

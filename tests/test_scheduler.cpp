@@ -2,6 +2,9 @@
 /// \brief Tests for the discrete-event scheduler.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,15 +14,20 @@
 namespace voodb::desp {
 namespace {
 
-TEST(Scheduler, StartsAtTimeZero) {
-  Scheduler s;
+/// The whole suite runs once per event-queue backend: the scheduler's
+/// semantics (ordering, cancellation, RunUntil, Stop) are backend-
+/// independent by contract.
+class SchedulerTest : public ::testing::TestWithParam<EventQueueKind> {};
+
+TEST_P(SchedulerTest, StartsAtTimeZero) {
+  Scheduler s(GetParam());
   EXPECT_DOUBLE_EQ(s.Now(), 0.0);
   EXPECT_EQ(s.PendingEvents(), 0u);
   EXPECT_FALSE(s.Step());
 }
 
-TEST(Scheduler, ExecutesInTimeOrder) {
-  Scheduler s;
+TEST_P(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler s(GetParam());
   std::vector<int> order;
   s.Schedule(3.0, [&] { order.push_back(3); });
   s.Schedule(1.0, [&] { order.push_back(1); });
@@ -30,8 +38,8 @@ TEST(Scheduler, ExecutesInTimeOrder) {
   EXPECT_EQ(s.ExecutedEvents(), 3u);
 }
 
-TEST(Scheduler, SimultaneousEventsByPriorityThenFifo) {
-  Scheduler s;
+TEST_P(SchedulerTest, SimultaneousEventsByPriorityThenFifo) {
+  Scheduler s(GetParam());
   std::vector<std::string> order;
   s.Schedule(1.0, [&] { order.push_back("low-first"); }, 0);
   s.Schedule(1.0, [&] { order.push_back("high"); }, 5);
@@ -41,16 +49,16 @@ TEST(Scheduler, SimultaneousEventsByPriorityThenFifo) {
             (std::vector<std::string>{"high", "low-first", "low-second"}));
 }
 
-TEST(Scheduler, ClockAdvancesToEventTime) {
-  Scheduler s;
+TEST_P(SchedulerTest, ClockAdvancesToEventTime) {
+  Scheduler s(GetParam());
   double seen = -1.0;
   s.Schedule(2.5, [&] { seen = s.Now(); });
   s.Run();
   EXPECT_DOUBLE_EQ(seen, 2.5);
 }
 
-TEST(Scheduler, EventsCanScheduleMoreEvents) {
-  Scheduler s;
+TEST_P(SchedulerTest, EventsCanScheduleMoreEvents) {
+  Scheduler s(GetParam());
   std::vector<double> times;
   std::function<void()> chain = [&] {
     times.push_back(s.Now());
@@ -61,8 +69,8 @@ TEST(Scheduler, EventsCanScheduleMoreEvents) {
   EXPECT_EQ(times, (std::vector<double>{1, 2, 3, 4, 5}));
 }
 
-TEST(Scheduler, CancelPreventsExecution) {
-  Scheduler s;
+TEST_P(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s(GetParam());
   bool ran = false;
   EventHandle h = s.Schedule(1.0, [&] { ran = true; });
   EXPECT_TRUE(h.pending());
@@ -74,8 +82,8 @@ TEST(Scheduler, CancelPreventsExecution) {
   EXPECT_EQ(s.ExecutedEvents(), 0u);
 }
 
-TEST(Scheduler, CancelUpdatesPendingCount) {
-  Scheduler s;
+TEST_P(SchedulerTest, CancelUpdatesPendingCount) {
+  Scheduler s(GetParam());
   EventHandle h1 = s.Schedule(1.0, [] {});
   s.Schedule(2.0, [] {});
   EXPECT_EQ(s.PendingEvents(), 2u);
@@ -85,16 +93,16 @@ TEST(Scheduler, CancelUpdatesPendingCount) {
   EXPECT_EQ(s.PendingEvents(), 0u);
 }
 
-TEST(Scheduler, CannotCancelFiredEvent) {
-  Scheduler s;
+TEST_P(SchedulerTest, CannotCancelFiredEvent) {
+  Scheduler s(GetParam());
   EventHandle h = s.Schedule(1.0, [] {});
   s.Run();
   EXPECT_FALSE(h.pending());
   EXPECT_FALSE(s.Cancel(h));
 }
 
-TEST(Scheduler, RunUntilStopsAtDeadline) {
-  Scheduler s;
+TEST_P(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler s(GetParam());
   std::vector<double> times;
   for (double t : {1.0, 2.0, 3.0, 4.0}) {
     s.Schedule(t, [&, t] { times.push_back(t); });
@@ -107,16 +115,16 @@ TEST(Scheduler, RunUntilStopsAtDeadline) {
   EXPECT_EQ(times.size(), 4u);
 }
 
-TEST(Scheduler, RunUntilExecutesEventsExactlyAtDeadline) {
-  Scheduler s;
+TEST_P(SchedulerTest, RunUntilExecutesEventsExactlyAtDeadline) {
+  Scheduler s(GetParam());
   bool ran = false;
   s.Schedule(2.0, [&] { ran = true; });
   s.RunUntil(2.0);
   EXPECT_TRUE(ran);
 }
 
-TEST(Scheduler, StopHaltsRun) {
-  Scheduler s;
+TEST_P(SchedulerTest, StopHaltsRun) {
+  Scheduler s(GetParam());
   int count = 0;
   for (int i = 1; i <= 10; ++i) {
     s.Schedule(i, [&] {
@@ -130,17 +138,22 @@ TEST(Scheduler, StopHaltsRun) {
   EXPECT_EQ(count, 10);
 }
 
-TEST(Scheduler, RejectsSchedulingInThePast) {
-  Scheduler s;
+TEST_P(SchedulerTest, RejectsSchedulingInThePast) {
+  Scheduler s(GetParam());
   s.Schedule(5.0, [] {});
   s.Step();
   EXPECT_THROW(s.ScheduleAt(4.0, [] {}), util::Error);
   EXPECT_THROW(s.Schedule(-1.0, [] {}), util::Error);
   EXPECT_THROW(s.Schedule(1.0, nullptr), util::Error);
+  // An empty std::function is rejected at schedule time, not at fire
+  // time (the SmallFunction wrapper preserves its emptiness).
+  EXPECT_THROW(s.Schedule(1.0, std::function<void()>{}), util::Error);
+  EXPECT_THROW(s.Schedule(1.0, static_cast<void (*)()>(nullptr)),
+               util::Error);
 }
 
-TEST(Scheduler, ZeroDelayRunsAtCurrentTime) {
-  Scheduler s;
+TEST_P(SchedulerTest, ZeroDelayRunsAtCurrentTime) {
+  Scheduler s(GetParam());
   std::vector<int> order;
   s.Schedule(1.0, [&] {
     order.push_back(1);
@@ -153,9 +166,29 @@ TEST(Scheduler, ZeroDelayRunsAtCurrentTime) {
   EXPECT_DOUBLE_EQ(s.Now(), 1.0);
 }
 
-TEST(Scheduler, ManyEventsStressDeterminism) {
-  auto run = [] {
-    Scheduler s;
+TEST_P(SchedulerTest, OversizedCapturesSpillToHeapAndStillFire) {
+  // Captures beyond SmallFunction's inline budget take the heap path;
+  // behaviour (firing, cancellation, eager destruction) must not differ.
+  Scheduler s(GetParam());
+  std::array<uint64_t, 32> big{};  // 256 bytes > kInlineBytes
+  for (size_t i = 0; i < big.size(); ++i) big[i] = i;
+  uint64_t sum = 0;
+  s.Schedule(1.0, [big, &sum] {
+    for (uint64_t v : big) sum += v;
+  });
+  auto shared = std::make_shared<int>(7);
+  EventHandle cancelled = s.Schedule(2.0, [big, shared, &sum] { sum += 1; });
+  EXPECT_EQ(shared.use_count(), 2);
+  s.Cancel(cancelled);
+  // Cancel releases the oversized capture (and its shared_ptr) eagerly.
+  EXPECT_EQ(shared.use_count(), 1);
+  s.Run();
+  EXPECT_EQ(sum, 32u * 31u / 2u);
+}
+
+TEST_P(SchedulerTest, ManyEventsStressDeterminism) {
+  auto run = [kind = GetParam()] {
+    Scheduler s(kind);
     std::vector<uint64_t> trace;
     for (uint64_t i = 0; i < 1000; ++i) {
       s.Schedule(static_cast<double>((i * 37) % 100),
@@ -167,6 +200,15 @@ TEST(Scheduler, ManyEventsStressDeterminism) {
   };
   EXPECT_EQ(run(), run());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, SchedulerTest,
+    ::testing::Values(EventQueueKind::kBinaryHeap,
+                      EventQueueKind::kQuaternaryHeap,
+                      EventQueueKind::kCalendar),
+    [](const ::testing::TestParamInfo<EventQueueKind>& info) {
+      return std::string(ToString(info.param));
+    });
 
 }  // namespace
 }  // namespace voodb::desp

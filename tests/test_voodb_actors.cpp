@@ -99,7 +99,8 @@ TEST(NetworkActor, TransfersSerializeOnTheLink) {
 
 TEST(ObjectManagerActor, ResolvesSpans) {
   const ocb::ObjectBase base = SmallBase();
-  ObjectManagerActor om(&base, 1024,
+  desp::Scheduler sched;
+  ObjectManagerActor om(&sched, &base, 1024,
                         storage::PlacementPolicy::kOptimizedSequential, 1.0);
   for (ocb::Oid oid = 0; oid < base.NumObjects(); ++oid) {
     const storage::PageSpan span = om.SpanOf(oid);
@@ -111,7 +112,8 @@ TEST(ObjectManagerActor, ResolvesSpans) {
 
 TEST(ObjectManagerActor, RelocationMovesToFreshTailPages) {
   const ocb::ObjectBase base = SmallBase();
-  ObjectManagerActor om(&base, 1024,
+  desp::Scheduler sched;
+  ObjectManagerActor om(&sched, &base, 1024,
                         storage::PlacementPolicy::kOptimizedSequential, 1.0);
   const uint64_t pages_before = om.NumPages();
   const std::vector<ocb::Oid> moved = {3, 77, 12};
@@ -127,7 +129,8 @@ TEST(ObjectManagerActor, RelocationMovesToFreshTailPages) {
 
 TEST(ObjectManagerActor, AdjacencyListsReferencedPages) {
   const ocb::ObjectBase base = SmallBase();
-  ObjectManagerActor om(&base, 1024,
+  desp::Scheduler sched;
+  ObjectManagerActor om(&sched, &base, 1024,
                         storage::PlacementPolicy::kOptimizedSequential, 1.0);
   // For a page holding object X with reference to Y, Y's page must appear.
   const ocb::Oid x = 0;
@@ -164,7 +167,7 @@ TEST(BufferingManagerActor, HitAvoidsDisk) {
   const ocb::ObjectBase base = SmallBase();
   desp::Scheduler sched;
   const VoodbConfig cfg = TinyConfig(false);
-  ObjectManagerActor om(&base, cfg.page_size,
+  ObjectManagerActor om(&sched, &base, cfg.page_size,
                         storage::PlacementPolicy::kSequential, 1.0);
   IoSubsystemActor io(&sched, cfg.disk);
   BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));
@@ -187,7 +190,7 @@ TEST(BufferingManagerActor, SpansAccessEveryPage) {
   const ocb::ObjectBase base = SmallBase();
   desp::Scheduler sched;
   const VoodbConfig cfg = TinyConfig(false);
-  ObjectManagerActor om(&base, cfg.page_size,
+  ObjectManagerActor om(&sched, &base, cfg.page_size,
                         storage::PlacementPolicy::kSequential, 1.0);
   IoSubsystemActor io(&sched, cfg.disk);
   BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));
@@ -206,7 +209,7 @@ TEST(BufferingManagerActor, VmModeReservesReferencedPages) {
   desp::Scheduler sched;
   VoodbConfig cfg = TinyConfig(true);
   cfg.buffer_pages = 64;
-  ObjectManagerActor om(&base, cfg.page_size,
+  ObjectManagerActor om(&sched, &base, cfg.page_size,
                         storage::PlacementPolicy::kSequential, 1.0);
   IoSubsystemActor io(&sched, cfg.disk);
   BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));
@@ -229,7 +232,7 @@ TEST(ClusteringManagerActor, NoPolicyMeansDisabled) {
   const ocb::ObjectBase base = SmallBase();
   desp::Scheduler sched;
   const VoodbConfig cfg = TinyConfig(false);
-  ObjectManagerActor om(&base, cfg.page_size,
+  ObjectManagerActor om(&sched, &base, cfg.page_size,
                         storage::PlacementPolicy::kSequential, 1.0);
   IoSubsystemActor io(&sched, cfg.disk);
   BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));
@@ -247,7 +250,7 @@ TEST(ClusteringManagerActor, DstcReorganizationChargesIo) {
   const ocb::ObjectBase base = SmallBase();
   desp::Scheduler sched;
   const VoodbConfig cfg = TinyConfig(false);
-  ObjectManagerActor om(&base, cfg.page_size,
+  ObjectManagerActor om(&sched, &base, cfg.page_size,
                         storage::PlacementPolicy::kOptimizedSequential, 1.0);
   IoSubsystemActor io(&sched, cfg.disk);
   BufferingManagerActor buf(&sched, cfg, &om, &io, desp::RandomStream(1));
