@@ -1,62 +1,8 @@
 /// \file bench_ablation_buffer_policy.cpp
-/// \brief Ablation of Table 3's PGREP: buffer page replacement strategies
-/// under the OCB workload with a buffer smaller than the base — the
-/// paper's §5 notes buffering strategies "influence the performances of
-/// OODBs a lot".
-#include <iostream>
-
-#include "desp/random.hpp"
+/// \brief Thin wrapper over the "ablation_buffer_policy" catalog scenario (PGREP page-replacement ablation);
+/// equivalent to `voodb run ablation_buffer_policy` with the same flags.
 #include "harness.hpp"
-#include "ocb/workload.hpp"
-#include "voodb/system.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb;
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv, "Ablation — buffer page replacement strategy (PGREP)");
-
-  ocb::OcbParameters wl;
-  wl.num_classes = 50;
-  wl.num_objects = 20000;
-  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
-
-  util::TextTable table({"PGREP", "Mean I/Os", "Hit rate"});
-  for (const storage::ReplacementPolicy policy :
-       {storage::ReplacementPolicy::kRandom, storage::ReplacementPolicy::kFifo,
-        storage::ReplacementPolicy::kLfu, storage::ReplacementPolicy::kLru,
-        storage::ReplacementPolicy::kLruK, storage::ReplacementPolicy::kClock,
-        storage::ReplacementPolicy::kGclock}) {
-    const auto metrics = ReplicateMetrics(
-        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-          core::VoodbConfig cfg;
-          cfg.event_queue = options.event_queue;
-          cfg.system_class = core::SystemClass::kCentralized;
-          cfg.buffer_pages = 1200;  // ~1/4 of the base
-          cfg.page_replacement = policy;
-          cfg.lru_k = 2;
-          core::VoodbSystem sys(cfg, &base, nullptr, seed);
-          ocb::WorkloadGenerator gen(&base,
-                                     desp::RandomStream(seed).Derive(1));
-          const core::PhaseMetrics m =
-              sys.RunTransactions(gen, options.transactions);
-          sink.Observe("total_ios", static_cast<double>(m.total_ios));
-          sink.Observe("hit_rate", m.HitRate());
-        });
-    const Estimate ios = metrics.at("total_ios");
-    RecordEstimate("pgrep", ToString(policy), "total_ios", ios);
-    RecordEstimate("pgrep", ToString(policy), "hit_rate",
-                   metrics.at("hit_rate"));
-    table.AddRow({ToString(policy), WithCi(ios),
-                  util::FormatDouble(metrics.at("hit_rate").mean, 3)});
-  }
-  std::cout << "== Ablation: page replacement (PGREP) ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Expectation: recency-aware policies (LRU, LRU-K, CLOCK, "
-               "GCLOCK) beat RANDOM/FIFO on the traversal-heavy OCB mix.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("ablation_buffer_policy", argc, argv);
 }

@@ -1,104 +1,8 @@
 /// \file bench_ablation_clustering.cpp
-/// \brief Ablation of Table 3's CLUSTP: interchangeable clustering
-/// modules (None / DSTC / Gay-Gruenwald) on the DSTC workload — the
-/// paper's stated end-goal ("the ultimate goal is to compare different
-/// clustering strategies").
-#include <iostream>
-#include <memory>
-
-#include "cluster/dstc.hpp"
-#include "cluster/gay_gruenwald.hpp"
-#include "desp/random.hpp"
+/// \brief Thin wrapper over the "ablation_clustering" catalog scenario (CLUSTP clustering-policy ablation);
+/// equivalent to `voodb run ablation_clustering` with the same flags.
 #include "harness.hpp"
-#include "ocb/workload.hpp"
-#include "voodb/catalog.hpp"
-#include "voodb/system.hpp"
-
-namespace {
-
-std::unique_ptr<voodb::cluster::ClusteringPolicy> MakePolicy(int which) {
-  switch (which) {
-    case 1:
-      return std::make_unique<voodb::cluster::DstcPolicy>();
-    case 2:
-      return std::make_unique<voodb::cluster::GayGruenwaldPolicy>();
-    default:
-      return nullptr;  // None
-  }
-}
-
-const char* PolicyName(int which) {
-  switch (which) {
-    case 1:
-      return "DSTC";
-    case 2:
-      return "GAY_GRUENWALD";
-    default:
-      return "NONE";
-  }
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace voodb;
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv, "Ablation — clustering policy (CLUSTP) comparison");
-
-  ocb::OcbParameters wl;
-  wl.num_classes = 50;
-  wl.num_objects = 20000;
-  wl.hierarchy_depth = 3;
-  wl.root_region = 30;
-  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
-
-  util::TextTable table({"CLUSTP", "Pre I/Os", "Overhead I/Os", "Post I/Os",
-                         "Gain", "Clusters"});
-  for (const int which : {0, 1, 2}) {
-    const auto metrics = ReplicateMetrics(
-        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-          core::VoodbConfig cfg = core::SystemCatalog::Texas();
-          cfg.event_queue = options.event_queue;
-          core::VoodbSystem sys(cfg, &base, MakePolicy(which), seed);
-          ocb::WorkloadGenerator gen(&base,
-                                     desp::RandomStream(seed).Derive(1));
-          const double pre_ios = static_cast<double>(
-              sys.RunTransactionsOfKind(
-                     gen, ocb::TransactionKind::kHierarchyTraversal,
-                     options.transactions)
-                  .total_ios);
-          const core::ClusteringMetrics cm = sys.TriggerClustering();
-          sys.DropBuffer();
-          const double post_ios = static_cast<double>(
-              sys.RunTransactionsOfKind(
-                     gen, ocb::TransactionKind::kHierarchyTraversal,
-                     options.transactions)
-                  .total_ios);
-          sink.Observe("pre_ios", pre_ios);
-          sink.Observe("overhead", static_cast<double>(cm.overhead_ios));
-          sink.Observe("clusters", static_cast<double>(cm.num_clusters));
-          sink.Observe("post_ios", post_ios);
-          sink.Observe("gain", post_ios > 0.0 ? pre_ios / post_ios : 0.0);
-        });
-    const Estimate pre = metrics.at("pre_ios");
-    for (const auto& [name, estimate] : metrics) {
-      RecordEstimate("clustp", PolicyName(which), name, estimate);
-    }
-    table.AddRow({PolicyName(which), WithCi(pre),
-                  util::FormatDouble(metrics.at("overhead").mean, 0),
-                  util::FormatDouble(metrics.at("post_ios").mean, 0),
-                  util::FormatDouble(metrics.at("gain").mean, 2),
-                  util::FormatDouble(metrics.at("clusters").mean, 0)});
-  }
-  std::cout << "== Ablation: clustering policy (CLUSTP) ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Expectation: NONE shows gain ~1 and zero overhead; both "
-               "dynamic policies pay a reorganization but repay it with "
-               "post-clustering usage well below pre-clustering usage.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("ablation_clustering", argc, argv);
 }

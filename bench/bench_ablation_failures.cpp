@@ -1,109 +1,8 @@
 /// \file bench_ablation_failures.cpp
-/// \brief Ablation of the random-hazards extension: availability cost of
-/// crashes as a function of MTBF, and of transient disk faults as a
-/// function of the fault probability.
-#include <iostream>
-
-#include "desp/random.hpp"
+/// \brief Thin wrapper over the "ablation_failures" catalog scenario (random-hazards ablation);
+/// equivalent to `voodb run ablation_failures` with the same flags.
 #include "harness.hpp"
-#include "ocb/workload.hpp"
-#include "voodb/system.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb;
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv, "Ablation — random hazards (crash MTBF, disk faults)");
-
-  ocb::OcbParameters wl;
-  wl.num_classes = 10;
-  wl.num_objects = 2000;
-  wl.p_update = 0.2;
-  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
-
-  util::TextTable crash_table({"MTBF (s)", "Sim time (s)", "Crashes",
-                               "Recovery (s)", "Extra I/Os vs healthy"});
-  double healthy_ios = 0.0;
-  for (const double mtbf_s : {0.0, 60.0, 20.0, 5.0}) {
-    const auto metrics = ReplicateMetrics(
-        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-          core::VoodbConfig cfg;
-          cfg.event_queue = options.event_queue;
-          cfg.system_class = core::SystemClass::kCentralized;
-          cfg.buffer_pages = 512;
-          cfg.failure_mtbf_ms = mtbf_s * 1000.0;
-          core::VoodbSystem sys(cfg, &base, nullptr, seed);
-          ocb::WorkloadGenerator gen(&base,
-                                     desp::RandomStream(seed).Derive(1));
-          const core::PhaseMetrics m =
-              sys.RunTransactions(gen, options.transactions / 2);
-          const auto* injector = sys.failure_injector();
-          sink.Observe("sim_s", m.sim_time_ms / 1000.0);
-          sink.Observe("crashes",
-                       injector
-                           ? static_cast<double>(injector->stats().crashes)
-                           : 0.0);
-          sink.Observe(
-              "recovery_s",
-              injector ? injector->stats().total_recovery_ms / 1000.0 : 0.0);
-          sink.Observe("total_ios", static_cast<double>(m.total_ios));
-        });
-    const double ios = metrics.at("total_ios").mean;
-    if (mtbf_s == 0.0) healthy_ios = ios;
-    const std::string x = mtbf_s == 0.0 ? "inf"
-                                        : util::FormatDouble(mtbf_s, 0);
-    for (const auto& [name, estimate] : metrics) {
-      RecordEstimate("crash_mtbf", x, name, estimate);
-    }
-    crash_table.AddRow(
-        {x, WithCi(metrics.at("sim_s"), 2),
-         util::FormatDouble(metrics.at("crashes").mean, 1),
-         util::FormatDouble(metrics.at("recovery_s").mean, 2),
-         util::FormatDouble(ios - healthy_ios, 0)});
-  }
-  std::cout << "== Ablation: crash MTBF ==\n";
-  if (options.csv) {
-    crash_table.PrintCsv(std::cout);
-  } else {
-    crash_table.Print(std::cout);
-  }
-
-  util::TextTable fault_table({"Fault prob", "Sim time (s)", "Faults",
-                               "I/Os"});
-  for (const double prob : {0.0, 0.01, 0.05, 0.2}) {
-    const auto metrics = ReplicateMetrics(
-        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-          core::VoodbConfig cfg;
-          cfg.event_queue = options.event_queue;
-          cfg.system_class = core::SystemClass::kCentralized;
-          cfg.buffer_pages = 512;
-          cfg.disk_fault_prob = prob;
-          core::VoodbSystem sys(cfg, &base, nullptr, seed);
-          ocb::WorkloadGenerator gen(&base,
-                                     desp::RandomStream(seed).Derive(1));
-          const core::PhaseMetrics m =
-              sys.RunTransactions(gen, options.transactions / 2);
-          sink.Observe("sim_s", m.sim_time_ms / 1000.0);
-          sink.Observe("faults", static_cast<double>(
-                                     sys.io_subsystem().transient_faults()));
-          sink.Observe("total_ios", static_cast<double>(m.total_ios));
-        });
-    const std::string x = util::FormatDouble(prob, 2);
-    for (const auto& [name, estimate] : metrics) {
-      RecordEstimate("disk_faults", x, name, estimate);
-    }
-    fault_table.AddRow({x, WithCi(metrics.at("sim_s"), 2),
-                        util::FormatDouble(metrics.at("faults").mean, 0),
-                        util::FormatDouble(metrics.at("total_ios").mean, 0)});
-  }
-  std::cout << "\n== Ablation: transient disk faults ==\n";
-  if (options.csv) {
-    fault_table.PrintCsv(std::cout);
-  } else {
-    fault_table.Print(std::cout);
-  }
-  std::cout << "Expectation: crashes add I/Os (lost buffer re-reads) and "
-               "downtime; transient faults stretch time while the I/O "
-               "count stays constant.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("ablation_failures", argc, argv);
 }

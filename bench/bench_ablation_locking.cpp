@@ -1,75 +1,8 @@
 /// \file bench_ablation_locking.cpp
-/// \brief Ablation of the concurrency-control extension: the fixed
-/// GETLOCK-delay model of the paper vs the real 2PL lock manager with
-/// wait-die, across update ratios.  Quantifies what the simpler model
-/// misses (blocking, restarts, tail latency).
-#include <iostream>
-
-#include "desp/random.hpp"
+/// \brief Thin wrapper over the "ablation_locking" catalog scenario (lock-model ablation);
+/// equivalent to `voodb run ablation_locking` with the same flags.
 #include "harness.hpp"
-#include "ocb/workload.hpp"
-#include "voodb/system.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb;
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv, "Ablation — fixed-delay locks vs real 2PL (wait-die)");
-
-  util::TextTable table({"PUPDATE", "Lock model", "Throughput (tps)",
-                         "Restarts", "p50 (ms)", "p99 (ms)"});
-  for (const double p_update : {0.0, 0.2, 0.5}) {
-    ocb::OcbParameters wl;
-    wl.num_classes = 10;
-    wl.num_objects = 1000;
-    wl.p_update = p_update;
-    wl.root_region = 8;
-    const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
-    for (const bool real_locks : {false, true}) {
-      const auto metrics = ReplicateMetrics(
-          options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-            core::VoodbConfig cfg;
-            cfg.event_queue = options.event_queue;
-            cfg.system_class = core::SystemClass::kCentralized;
-            cfg.buffer_pages = 256;
-            cfg.num_users = 8;
-            cfg.multiprogramming_level = 8;
-            cfg.use_lock_manager = real_locks;
-            core::VoodbSystem sys(cfg, &base, nullptr, seed);
-            ocb::WorkloadGenerator gen(&base,
-                                       desp::RandomStream(seed).Derive(1));
-            const core::PhaseMetrics m =
-                sys.RunTransactions(gen, options.transactions / 2);
-            const auto& h =
-                sys.transaction_manager().response_histogram();
-            sink.Observe("throughput_tps", m.ThroughputTps());
-            sink.Observe("restarts",
-                         static_cast<double>(m.transaction_restarts));
-            sink.Observe("p50_ms", h.Quantile(0.5));
-            sink.Observe("p99_ms", h.Quantile(0.99));
-          });
-      const std::string x = util::FormatDouble(p_update, 1) +
-                            (real_locks ? " 2PL" : " fixed");
-      for (const auto& [name, estimate] : metrics) {
-        RecordEstimate("lock_model", x, name, estimate);
-      }
-      table.AddRow({util::FormatDouble(p_update, 1),
-                    real_locks ? "2PL wait-die" : "fixed delay",
-                    WithCi(metrics.at("throughput_tps"), 2),
-                    util::FormatDouble(metrics.at("restarts").mean, 0),
-                    util::FormatDouble(metrics.at("p50_ms").mean, 1),
-                    util::FormatDouble(metrics.at("p99_ms").mean, 1)});
-    }
-  }
-  std::cout << "== Ablation: lock model ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Expectation: the models agree on read-only workloads; as "
-               "PUPDATE grows, real locking shows restarts, lower "
-               "throughput and a stretched p99 that the fixed-delay model "
-               "cannot see.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("ablation_locking", argc, argv);
 }

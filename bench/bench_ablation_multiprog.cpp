@@ -1,66 +1,8 @@
 /// \file bench_ablation_multiprog.cpp
-/// \brief Ablation of Table 3's MULTILVL: multiprogramming level under a
-/// multi-user workload — throughput rises with admitted concurrency until
-/// the disk saturates.
-#include <iostream>
-
-#include "desp/random.hpp"
+/// \brief Thin wrapper over the "ablation_multiprog" catalog scenario (MULTILVL ablation);
+/// equivalent to `voodb run ablation_multiprog` with the same flags.
 #include "harness.hpp"
-#include "ocb/workload.hpp"
-#include "voodb/system.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb;
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv, "Ablation — multiprogramming level (MULTILVL)");
-
-  ocb::OcbParameters wl;
-  wl.num_classes = 20;
-  wl.num_objects = 5000;
-  wl.think_time_ms = 5.0;
-  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
-
-  util::TextTable table({"MULTILVL", "Throughput (tps)", "Resp (ms)",
-                         "Disk util", "Mean I/Os"});
-  for (const uint32_t multilvl : {1u, 2u, 4u, 8u, 16u}) {
-    const auto metrics = ReplicateMetrics(
-        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-          core::VoodbConfig cfg;
-          cfg.event_queue = options.event_queue;
-          cfg.system_class = core::SystemClass::kCentralized;
-          cfg.buffer_pages = 120;  // scarce memory: disk-bound regime
-          cfg.multiprogramming_level = multilvl;
-          cfg.num_users = 32;
-          core::VoodbSystem sys(cfg, &base, nullptr, seed);
-          ocb::WorkloadGenerator gen(&base,
-                                     desp::RandomStream(seed).Derive(1));
-          const core::PhaseMetrics m =
-              sys.RunTransactions(gen, options.transactions);
-          sink.Observe("throughput_tps", m.ThroughputTps());
-          sink.Observe("mean_response_ms", m.mean_response_ms);
-          sink.Observe("disk_util", sys.io_subsystem().DiskUtilization());
-          sink.Observe("total_ios", static_cast<double>(m.total_ios));
-        });
-    for (const auto& [name, estimate] : metrics) {
-      RecordEstimate("multilvl", std::to_string(multilvl), name, estimate);
-    }
-    table.AddRow({std::to_string(multilvl),
-                  WithCi(metrics.at("throughput_tps"), 2),
-                  util::FormatDouble(metrics.at("mean_response_ms").mean, 1),
-                  util::FormatDouble(metrics.at("disk_util").mean, 3),
-                  util::FormatDouble(metrics.at("total_ios").mean, 0)});
-  }
-  std::cout << "== Ablation: multiprogramming level (MULTILVL) ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Expectation: throughput grows with MULTILVL while the disk "
-               "has headroom, peaks, then *degrades* under over-admission "
-               "as concurrent transactions' working sets thrash the shared "
-               "buffer (watch Mean I/Os rise) — the classic reason the "
-               "database scheduler caps the multiprogramming level.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("ablation_multiprog", argc, argv);
 }

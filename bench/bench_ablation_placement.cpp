@@ -1,66 +1,8 @@
 /// \file bench_ablation_placement.cpp
-/// \brief Ablation of Table 3's INITPL: initial placement policy
-/// (Sequential vs OptimizedSequential vs ReferenceDfs) under the OCB
-/// mixed workload on both validated configurations.
-#include <iostream>
-
-#include "desp/random.hpp"
+/// \brief Thin wrapper over the "ablation_placement" catalog scenario (INITPL placement ablation);
+/// equivalent to `voodb run ablation_placement` with the same flags.
 #include "harness.hpp"
-#include "ocb/workload.hpp"
-#include "voodb/catalog.hpp"
-#include "voodb/system.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb;
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv, "Ablation — initial object placement policy (INITPL)");
-
-  ocb::OcbParameters wl;
-  wl.num_classes = 50;
-  wl.num_objects = 20000;
-  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
-
-  util::TextTable table({"System", "INITPL", "Mean I/Os", "Hit rate"});
-  for (const bool o2 : {true, false}) {
-    for (const storage::PlacementPolicy placement :
-         {storage::PlacementPolicy::kSequential,
-          storage::PlacementPolicy::kOptimizedSequential,
-          storage::PlacementPolicy::kReferenceDfs}) {
-      const auto metrics = ReplicateMetrics(
-          options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-            core::VoodbConfig cfg = o2 ? core::SystemCatalog::O2()
-                                       : core::SystemCatalog::Texas();
-            cfg.event_queue = options.event_queue;
-            cfg.initial_placement = placement;
-            core::VoodbSystem sys(cfg, &base, nullptr, seed);
-            ocb::WorkloadGenerator gen(&base,
-                                       desp::RandomStream(seed).Derive(1));
-            const core::PhaseMetrics m =
-                sys.RunTransactions(gen, options.transactions);
-            sink.Observe("total_ios", static_cast<double>(m.total_ios));
-            sink.Observe("hit_rate", m.HitRate());
-          });
-      const Estimate ios = metrics.at("total_ios");
-      const std::string x =
-          std::string(o2 ? "O2 " : "Texas ") + ToString(placement);
-      RecordEstimate("initpl", x, "total_ios", ios);
-      RecordEstimate("initpl", x, "hit_rate", metrics.at("hit_rate"));
-      table.AddRow({o2 ? "O2" : "Texas", ToString(placement), WithCi(ios),
-                    util::FormatDouble(metrics.at("hit_rate").mean, 3)});
-    }
-  }
-  std::cout << "== Ablation: initial placement (INITPL) ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Expectation: when the base fits in memory (Texas), "
-               "ReferenceDfs — an idealized static clustering — beats "
-               "OptimizedSequential, which is what leaves room for dynamic "
-               "clustering to win in Tables 6-8; under heavy thrashing "
-               "(O2's 16 MB cache vs a ~26 MB base) placement differences "
-               "compress because most accesses miss regardless.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("ablation_placement", argc, argv);
 }

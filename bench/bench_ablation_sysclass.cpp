@@ -1,65 +1,8 @@
 /// \file bench_ablation_sysclass.cpp
-/// \brief Ablation of Table 3's SYSCLASS: the four Client-Server
-/// architectures of the generic model under identical workload and a
-/// finite network, reporting I/Os, network traffic and response time.
-#include <iostream>
-
-#include "desp/random.hpp"
+/// \brief Thin wrapper over the "ablation_sysclass" catalog scenario (SYSCLASS architecture ablation);
+/// equivalent to `voodb run ablation_sysclass` with the same flags.
 #include "harness.hpp"
-#include "ocb/workload.hpp"
-#include "voodb/system.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb;
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv, "Ablation — system class (SYSCLASS) comparison");
-
-  ocb::OcbParameters wl;
-  wl.num_classes = 20;
-  wl.num_objects = 5000;
-  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
-
-  util::TextTable table({"SYSCLASS", "Mean I/Os", "Net MB", "Resp (ms)",
-                         "Throughput (tps)"});
-  for (const core::SystemClass sc :
-       {core::SystemClass::kCentralized, core::SystemClass::kObjectServer,
-        core::SystemClass::kPageServer, core::SystemClass::kDbServer}) {
-    const auto metrics = ReplicateMetrics(
-        options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-          core::VoodbConfig cfg;
-          cfg.event_queue = options.event_queue;
-          cfg.system_class = sc;
-          cfg.network_throughput_mbps = 1.0;  // Table 3 default
-          cfg.buffer_pages = 1500;
-          core::VoodbSystem sys(cfg, &base, nullptr, seed);
-          ocb::WorkloadGenerator gen(&base,
-                                     desp::RandomStream(seed).Derive(1));
-          const core::PhaseMetrics m =
-              sys.RunTransactions(gen, options.transactions);
-          sink.Observe("total_ios", static_cast<double>(m.total_ios));
-          sink.Observe("network_mb",
-                       static_cast<double>(m.network_bytes) /
-                           (1024.0 * 1024.0));
-          sink.Observe("mean_response_ms", m.mean_response_ms);
-          sink.Observe("throughput_tps", m.ThroughputTps());
-        });
-    for (const auto& [name, estimate] : metrics) {
-      RecordEstimate("sysclass", ToString(sc), name, estimate);
-    }
-    table.AddRow({ToString(sc), WithCi(metrics.at("total_ios")),
-                  util::FormatDouble(metrics.at("network_mb").mean, 2),
-                  util::FormatDouble(metrics.at("mean_response_ms").mean, 2),
-                  util::FormatDouble(metrics.at("throughput_tps").mean, 2)});
-  }
-  std::cout << "== Ablation: system class (SYSCLASS) ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Expectation: identical server I/Os (same buffer and "
-               "placement) but network traffic PageServer > ObjectServer > "
-               "DbServer > Centralized, reflected in response times.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("ablation_sysclass", argc, argv);
 }

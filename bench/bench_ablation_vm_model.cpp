@@ -1,77 +1,8 @@
 /// \file bench_ablation_vm_model.cpp
-/// \brief Ablation of the Texas virtual-memory model's behavioural knobs:
-/// reserve-on-swizzle on/off, reservation LRU insertion hot/cold, and
-/// dirty-on-load on/off.  Justifies the modelling choices documented in
-/// DESIGN.md (the hot/reserving/dirtying combination is what produces
-/// Figure 11's exponential degradation).
-#include <iostream>
-
-#include "desp/random.hpp"
-#include "emu/texas_emulator.hpp"
+/// \brief Thin wrapper over the "ablation_vm_model" catalog scenario (Texas VM-model-knob ablation);
+/// equivalent to `voodb run ablation_vm_model` with the same flags.
 #include "harness.hpp"
-#include "ocb/workload.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb;
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv, "Ablation — Texas virtual-memory model knobs");
-
-  ocb::OcbParameters wl;
-  wl.num_classes = 50;
-  wl.num_objects = 20000;
-  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
-
-  struct Variant {
-    const char* name;
-    bool reserve;
-    bool hot;
-    bool dirty;
-  };
-  const Variant variants[] = {
-      {"full model (reserve, hot, dirty)", true, true, true},
-      {"cold reservations", true, false, true},
-      {"no reservations", false, false, true},
-      {"clean loads (no swizzle dirty)", true, true, false},
-      {"plain demand paging", false, false, false},
-  };
-
-  util::TextTable table({"Variant", "I/Os @8MB", "I/Os @16MB", "I/Os @64MB",
-                         "8MB/64MB"});
-  for (const Variant& v : variants) {
-    double at[3] = {0, 0, 0};
-    const double memories[3] = {8.0, 16.0, 64.0};
-    for (int i = 0; i < 3; ++i) {
-      const Estimate e = Replicate(
-          options, options.seed, [&](uint64_t seed) {
-            emu::TexasConfig cfg;
-            cfg.memory_pages =
-                emu::TexasConfig::FramesForMemory(memories[i], 4096);
-            cfg.reserve_references = v.reserve;
-            cfg.reservations_enter_hot = v.hot;
-            cfg.dirty_on_load = v.dirty;
-            emu::TexasEmulator texas(cfg, &base, seed);
-            ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed));
-            return static_cast<double>(
-                texas.RunTransactions(gen, options.transactions).total_ios);
-          });
-      RecordEstimate("vm_model", v.name,
-                     "ios_at_" + util::FormatDouble(memories[i], 0) + "mb",
-                     e);
-      at[i] = e.mean;
-    }
-    table.AddRow({v.name, util::FormatDouble(at[0], 0),
-                  util::FormatDouble(at[1], 0), util::FormatDouble(at[2], 0),
-                  util::FormatDouble(at[2] > 0 ? at[0] / at[2] : 0, 1)});
-  }
-  std::cout << "== Ablation: Texas VM model knobs (Figure 11 mechanism) ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Expectation: the degradation factor under memory pressure "
-               "collapses as each Texas behaviour is removed; plain demand "
-               "paging is the O2-like linear baseline.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("ablation_vm_model", argc, argv);
 }

@@ -1,17 +1,8 @@
 /// \file bench_fig06_o2_instances_nc20.cpp
-/// \brief Reproduces Figure 6: O2, mean number of I/Os vs number of
-/// instances (500..20000), 20-class schema, 16 MB server cache.
-#include "sweeps.hpp"
+/// \brief Thin wrapper over the "fig06" catalog scenario (Figure 6: O2, I/Os vs instances, NC=20);
+/// equivalent to `voodb run fig06` with the same flags.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv,
-      "Figure 6 — mean number of I/Os depending on number of instances "
-      "(O2, 20 classes)");
-  RunInstanceSweep(options, TargetSystem::kO2, 20,
-                   "Figure 6: O2, NC=20, I/Os vs NO",
-                   /*paper_bench=*/{260, 480, 840, 1600, 2700, 4300},
-                   /*paper_sim=*/{230, 450, 800, 1500, 2500, 4000});
-  return 0;
+  return voodb::bench::RunScenarioMain("fig06", argc, argv);
 }

@@ -1,17 +1,8 @@
 /// \file bench_fig07_o2_instances_nc50.cpp
-/// \brief Reproduces Figure 7: O2, mean number of I/Os vs number of
-/// instances (500..20000), 50-class schema, 16 MB server cache.
-#include "sweeps.hpp"
+/// \brief Thin wrapper over the "fig07" catalog scenario (Figure 7: O2, I/Os vs instances, NC=50);
+/// equivalent to `voodb run fig07` with the same flags.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv,
-      "Figure 7 — mean number of I/Os depending on number of instances "
-      "(O2, 50 classes)");
-  RunInstanceSweep(options, TargetSystem::kO2, 50,
-                   "Figure 7: O2, NC=50, I/Os vs NO",
-                   /*paper_bench=*/{420, 800, 1450, 2700, 4200, 6400},
-                   /*paper_sim=*/{380, 740, 1350, 2500, 3900, 6000});
-  return 0;
+  return voodb::bench::RunScenarioMain("fig07", argc, argv);
 }

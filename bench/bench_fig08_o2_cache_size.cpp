@@ -1,17 +1,8 @@
 /// \file bench_fig08_o2_cache_size.cpp
-/// \brief Reproduces Figure 8: O2, mean number of I/Os vs server cache
-/// size (8..64 MB) on the NC=50 / NO=20000 base (~28 MB in O2): linear
-/// degradation once the base outgrows the cache.
-#include "sweeps.hpp"
+/// \brief Thin wrapper over the "fig08" catalog scenario (Figure 8: O2, I/Os vs server cache size);
+/// equivalent to `voodb run fig08` with the same flags.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv,
-      "Figure 8 — mean number of I/Os depending on cache size (O2)");
-  RunMemorySweep(options, TargetSystem::kO2,
-                 "Figure 8: O2, I/Os vs cache size (MB)",
-                 /*paper_bench=*/{52000, 45000, 38000, 26000, 15000, 7000},
-                 /*paper_sim=*/{50000, 43000, 36000, 24000, 14000, 6500});
-  return 0;
+  return voodb::bench::RunScenarioMain("fig08", argc, argv);
 }

@@ -1,17 +1,8 @@
 /// \file bench_fig09_texas_instances_nc20.cpp
-/// \brief Reproduces Figure 9: Texas, mean number of I/Os vs number of
-/// instances (500..20000), 20-class schema, 64 MB host.
-#include "sweeps.hpp"
+/// \brief Thin wrapper over the "fig09" catalog scenario (Figure 9: Texas, I/Os vs instances, NC=20);
+/// equivalent to `voodb run fig09` with the same flags.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv,
-      "Figure 9 — mean number of I/Os depending on number of instances "
-      "(Texas, 20 classes)");
-  RunInstanceSweep(options, TargetSystem::kTexas, 20,
-                   "Figure 9: Texas, NC=20, I/Os vs NO",
-                   /*paper_bench=*/{150, 280, 500, 950, 1600, 2400},
-                   /*paper_sim=*/{140, 260, 470, 900, 1500, 2300});
-  return 0;
+  return voodb::bench::RunScenarioMain("fig09", argc, argv);
 }

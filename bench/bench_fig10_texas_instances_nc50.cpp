@@ -1,17 +1,8 @@
 /// \file bench_fig10_texas_instances_nc50.cpp
-/// \brief Reproduces Figure 10: Texas, mean number of I/Os vs number of
-/// instances (500..20000), 50-class schema, 64 MB host.
-#include "sweeps.hpp"
+/// \brief Thin wrapper over the "fig10" catalog scenario (Figure 10: Texas, I/Os vs instances, NC=50);
+/// equivalent to `voodb run fig10` with the same flags.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv,
-      "Figure 10 — mean number of I/Os depending on number of instances "
-      "(Texas, 50 classes)");
-  RunInstanceSweep(options, TargetSystem::kTexas, 50,
-                   "Figure 10: Texas, NC=50, I/Os vs NO",
-                   /*paper_bench=*/{280, 520, 950, 1900, 3100, 4700},
-                   /*paper_sim=*/{260, 490, 900, 1800, 2900, 4500});
-  return 0;
+  return voodb::bench::RunScenarioMain("fig10", argc, argv);
 }

@@ -1,18 +1,8 @@
 /// \file bench_fig11_texas_memory_size.cpp
-/// \brief Reproduces Figure 11: Texas, mean number of I/Os vs available
-/// main memory (8..64 MB) on the NC=50 / NO=20000 base (~21 MB):
-/// *exponential* degradation caused by Texas' reserve-on-swizzle object
-/// loading policy, unlike the linear O2 curve of Figure 8.
-#include "sweeps.hpp"
+/// \brief Thin wrapper over the "fig11" catalog scenario (Figure 11: Texas, I/Os vs main memory);
+/// equivalent to `voodb run fig11` with the same flags.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv,
-      "Figure 11 — mean number of I/Os depending on memory size (Texas)");
-  RunMemorySweep(options, TargetSystem::kTexas,
-                 "Figure 11: Texas, I/Os vs main memory (MB)",
-                 /*paper_bench=*/{103000, 55000, 30000, 13000, 7000, 5000},
-                 /*paper_sim=*/{100000, 52000, 28000, 12000, 6500, 5000});
-  return 0;
+  return voodb::bench::RunScenarioMain("fig11", argc, argv);
 }

@@ -228,21 +228,19 @@ struct Row {
 
 int main(int argc, char** argv) {
   voodb::util::CliArgs args(argc, argv);
-  const auto events = static_cast<uint64_t>(args.GetInt("events", 200000));
-  const auto chains = static_cast<uint64_t>(args.GetInt("chains", 1000));
-  const auto trials = static_cast<uint64_t>(args.GetInt("trials", 7));
-  const bool csv = args.GetBool("csv", false);
-  std::string json = args.GetString("json", "BENCH_scheduler.json");
+  const auto events = static_cast<uint64_t>(
+      args.GetInt("events", 200000, "events per trial"));
+  const auto chains =
+      static_cast<uint64_t>(args.GetInt("chains", 1000, "concurrent chains"));
+  const auto trials =
+      static_cast<uint64_t>(args.GetInt("trials", 7, "timed trials per cell"));
+  const bool csv = args.GetBool("csv", false, "CSV output");
+  std::string json = args.GetString("json", "BENCH_scheduler.json",
+                                    "result file; \"off\" disables");
   if (args.help_requested()) {
     std::cout << "Event-kernel throughput across EventQueue backends vs the "
                  "pre-refactor kernel.\n\n"
-                 "Flags:\n"
-                 "  --events=N   events per trial (default 200000)\n"
-                 "  --chains=N   concurrent chains (default 1000)\n"
-                 "  --trials=N   timed trials per cell (default 7)\n"
-                 "  --csv        CSV output\n"
-                 "  --json=PATH  result file (default BENCH_scheduler.json;"
-                 " \"off\" disables)\n";
+              << args.Help();
     return 0;
   }
   args.RejectUnknown();

@@ -1,60 +1,8 @@
 /// \file bench_table6_dstc_midsize.cpp
-/// \brief Reproduces Table 6: effects of DSTC on the performances of
-/// Texas (mean number of I/Os), mid-sized base (NC=50, NO=20000, 64 MB).
-///
-/// The "Benchmark" column runs the Texas emulator, whose *physical OIDs*
-/// force a full database scan plus reference patching during the
-/// reorganization; the "Simulation" column runs VOODB with logical OIDs.
-/// The paper analyses exactly this asymmetry: usage numbers agree, while
-/// the clustering overhead differs by a factor ~36 (ours: see the
-/// printed ratio and EXPERIMENTS.md).
-#include <iostream>
-
-#include "sweeps.hpp"
-#include "util/table.hpp"
+/// \brief Thin wrapper over the "table6" catalog scenario (Table 6: DSTC effects, mid-sized base);
+/// equivalent to `voodb run table6` with the same flags.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv,
-      "Table 6 — effects of DSTC on the performances (mean number of "
-      "I/Os), mid-sized base");
-  const DstcComparison cmp = RunDstcExperiment(options, /*memory_mb=*/64.0);
-
-  voodb::util::TextTable table(
-      {"Row", "Bench.", "Sim.", "Ratio", "Paper bench", "Paper sim",
-       "Paper ratio"});
-  auto ratio = [](const Estimate& a, const Estimate& b) {
-    return b.mean > 0.0 ? a.mean / b.mean : 0.0;
-  };
-  table.AddRow({"Pre-clustering usage", WithCi(cmp.bench.pre),
-                WithCi(cmp.sim.pre),
-                voodb::util::FormatDouble(ratio(cmp.bench.pre, cmp.sim.pre), 4),
-                "1890.70", "1878.80", "1.0063"});
-  table.AddRow({"Clustering overhead", WithCi(cmp.bench.overhead),
-                WithCi(cmp.sim.overhead),
-                voodb::util::FormatDouble(
-                    ratio(cmp.bench.overhead, cmp.sim.overhead), 4),
-                "12799.60", "354.50", "36.1060"});
-  table.AddRow({"Post-clustering usage", WithCi(cmp.bench.post),
-                WithCi(cmp.sim.post),
-                voodb::util::FormatDouble(ratio(cmp.bench.post, cmp.sim.post),
-                                          4),
-                "330.60", "350.50", "0.9432"});
-  table.AddRow({"Gain", WithCi(cmp.bench.gain),
-                WithCi(cmp.sim.gain),
-                voodb::util::FormatDouble(ratio(cmp.bench.gain, cmp.sim.gain),
-                                          4),
-                "5.71", "5.36", "1.0652"});
-  std::cout << "== Table 6: Effects of DSTC on the performances (mean "
-               "number of I/Os) - mid-sized base ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Reproduction targets: usage rows bench~sim (ratio ~1); "
-               "overhead bench >> sim (physical vs logical OIDs); gain "
-               "substantially > 1.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("table6", argc, argv);
 }

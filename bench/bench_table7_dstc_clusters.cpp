@@ -1,42 +1,8 @@
 /// \file bench_table7_dstc_clusters.cpp
-/// \brief Reproduces Table 7: DSTC clustering statistics — number of
-/// clusters built and mean objects per cluster, real system (emulator)
-/// vs simulation.
-#include <iostream>
-
-#include "sweeps.hpp"
-#include "util/table.hpp"
+/// \brief Thin wrapper over the "table7" catalog scenario (Table 7: DSTC clustering statistics);
+/// equivalent to `voodb run table7` with the same flags.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb::bench;
-  const RunOptions options =
-      ParseOptions(argc, argv, "Table 7 — DSTC clustering statistics");
-  const DstcComparison cmp = RunDstcExperiment(options, /*memory_mb=*/64.0);
-
-  voodb::util::TextTable table({"Row", "Bench.", "Sim.", "Ratio",
-                                "Paper bench", "Paper sim", "Paper ratio"});
-  auto ratio = [](const Estimate& a, const Estimate& b) {
-    return b.mean > 0.0 ? a.mean / b.mean : 0.0;
-  };
-  table.AddRow({"Mean number of clusters", WithCi(cmp.bench.clusters),
-                WithCi(cmp.sim.clusters),
-                voodb::util::FormatDouble(
-                    ratio(cmp.bench.clusters, cmp.sim.clusters), 4),
-                "82.23", "84.01", "0.9788"});
-  table.AddRow({"Mean number of obj./clust.",
-                WithCi(cmp.bench.cluster_size),
-                WithCi(cmp.sim.cluster_size),
-                voodb::util::FormatDouble(
-                    ratio(cmp.bench.cluster_size, cmp.sim.cluster_size), 4),
-                "12.83", "13.73", "0.9344"});
-  std::cout << "== Table 7: DSTC clustering ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Reproduction target: benchmark and simulation agree "
-               "(ratio ~1), demonstrating the simulated Clustering "
-               "Manager behaves like the real module.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("table7", argc, argv);
 }

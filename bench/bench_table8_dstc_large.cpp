@@ -1,48 +1,8 @@
 /// \file bench_table8_dstc_large.cpp
-/// \brief Reproduces Table 8: effects of DSTC on the performances of
-/// Texas, "large" base — the mid-sized base with main memory reduced
-/// from 64 MB to 8 MB so the base no longer fits.  The clustering gain
-/// rises dramatically (paper: from ~5.7 to ~29.5) because under memory
-/// pressure unclustered pages are evicted almost immediately.
-#include <iostream>
-
-#include "sweeps.hpp"
-#include "util/table.hpp"
+/// \brief Thin wrapper over the "table8" catalog scenario (Table 8: DSTC effects, 'large' base);
+/// equivalent to `voodb run table8` with the same flags.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv,
-      "Table 8 — effects of DSTC on the performances, 'large' base "
-      "(8 MB memory)");
-  const DstcComparison cmp = RunDstcExperiment(options, /*memory_mb=*/8.0);
-
-  voodb::util::TextTable table({"Row", "Bench.", "Sim.", "Ratio",
-                                "Paper bench", "Paper sim", "Paper ratio"});
-  auto ratio = [](const Estimate& a, const Estimate& b) {
-    return b.mean > 0.0 ? a.mean / b.mean : 0.0;
-  };
-  table.AddRow({"Pre-clustering usage", WithCi(cmp.bench.pre),
-                WithCi(cmp.sim.pre),
-                voodb::util::FormatDouble(ratio(cmp.bench.pre, cmp.sim.pre), 4),
-                "12504.60", "12547.80", "0.9965"});
-  table.AddRow({"Post-clustering usage", WithCi(cmp.bench.post),
-                WithCi(cmp.sim.post),
-                voodb::util::FormatDouble(ratio(cmp.bench.post, cmp.sim.post),
-                                          4),
-                "424.30", "441.50", "0.9610"});
-  table.AddRow({"Gain", WithCi(cmp.bench.gain), WithCi(cmp.sim.gain),
-                voodb::util::FormatDouble(ratio(cmp.bench.gain, cmp.sim.gain),
-                                          4),
-                "29.47", "28.42", "1.0369"});
-  std::cout << "== Table 8: Effects of DSTC on the performances (mean "
-               "number of I/Os) - 'large' base ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Reproduction targets: bench~sim on every row; gain far "
-               "larger than the mid-sized case of Table 6.\n";
-  return 0;
+  return voodb::bench::RunScenarioMain("table8", argc, argv);
 }

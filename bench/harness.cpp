@@ -10,6 +10,7 @@
 
 #include "exp/farm.hpp"
 #include "exp/report.hpp"
+#include "scenarios.hpp"
 #include "util/check.hpp"
 
 namespace voodb::bench {
@@ -139,38 +140,48 @@ class BenchRecorder {
 
 }  // namespace
 
+namespace {
+
+/// Declares the common harness flags on `args` (their declarations feed
+/// the generated --help text) and fills a RunOptions.  `event_queue_set`
+/// reports whether --event-queue was passed explicitly (the scenario
+/// path only overrides the config when it was).
+RunOptions DeclareRunFlags(util::CliArgs& args, const std::string& bench_name,
+                           bool* event_queue_set = nullptr) {
+  RunOptions options;
+  options.bench_name = bench_name;
+  options.replications = static_cast<uint64_t>(args.GetInt(
+      "replications", 10, "replications per point; paper used 100"));
+  options.transactions = static_cast<uint64_t>(
+      args.GetInt("transactions", 1000, "transactions per replication"));
+  options.seed =
+      static_cast<uint64_t>(args.GetInt("seed", 42, "base RNG seed"));
+  options.threads = static_cast<size_t>(
+      args.GetInt("threads", 0, "farm worker threads; 0 = all cores"));
+  const std::string queue = args.GetString(
+      "event-queue", "binary_heap",
+      "kernel event list (binary_heap | quaternary_heap | calendar_queue)");
+  options.event_queue = desp::ParseEventQueueKind(queue);
+  if (event_queue_set != nullptr) {
+    *event_queue_set = args.Provided("event-queue");
+  }
+  options.csv = args.GetBool("csv", false, "CSV output");
+  const std::string json = args.GetString(
+      "json", "BENCH_" + bench_name + ".json",
+      "result file; \"off\" disables");
+  options.json = (json == "off" || json == "none") ? "" : json;
+  return options;
+}
+
+}  // namespace
+
 RunOptions ParseOptions(int argc, const char* const* argv,
                         const std::string& description) {
   util::CliArgs args(argc, argv);
-  RunOptions options;
-  options.bench_name = BenchNameFromArgv0(argc > 0 ? argv[0] : nullptr);
-  options.replications =
-      static_cast<uint64_t>(args.GetInt("replications", 10));
-  options.transactions =
-      static_cast<uint64_t>(args.GetInt("transactions", 1000));
-  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
-  options.threads = static_cast<size_t>(args.GetInt("threads", 0));
-  options.event_queue =
-      desp::ParseEventQueueKind(args.GetString("event-queue", "binary"));
-  options.csv = args.GetBool("csv", false);
-  const std::string json =
-      args.GetString("json", "BENCH_" + options.bench_name + ".json");
-  options.json = (json == "off" || json == "none") ? "" : json;
+  RunOptions options = DeclareRunFlags(
+      args, BenchNameFromArgv0(argc > 0 ? argv[0] : nullptr));
   if (args.help_requested()) {
-    std::cout << description << "\n\n"
-              << "Flags:\n"
-                 "  --replications=N  replications per point (default 10;"
-                 " paper used 100)\n"
-                 "  --transactions=N  transactions per replication"
-                 " (default 1000)\n"
-                 "  --seed=N          base RNG seed (default 42)\n"
-                 "  --threads=N       farm worker threads (default 0 ="
-                 " all cores)\n"
-                 "  --event-queue=K   kernel event list (binary |"
-                 " quaternary | calendar)\n"
-                 "  --csv             CSV output\n"
-                 "  --json=PATH       result file (default BENCH_<name>"
-                 ".json; \"off\" disables)\n";
+    std::cout << description << "\n\n" << args.Help();
     std::exit(0);
   }
   args.RejectUnknown();
@@ -178,6 +189,79 @@ RunOptions ParseOptions(int argc, const char* const* argv,
                   "need at least 2 replications for confidence intervals");
   BenchRecorder::Instance().Configure(options);
   return options;
+}
+
+RunOptions ToRunOptions(const exp::ScenarioContext& ctx) {
+  RunOptions options;
+  options.replications = ctx.options.replications;
+  options.transactions = ctx.options.transactions;
+  options.seed = ctx.options.seed;
+  options.threads = ctx.options.threads;
+  options.event_queue = ctx.config.system.event_queue;
+  options.csv = ctx.options.csv;
+  if (ctx.scenario != nullptr) options.bench_name = ctx.scenario->name;
+  return options;
+}
+
+int RunScenarioMain(const std::string& scenario_name, int argc,
+                    const char* const* argv, const char* bench_name) {
+  try {
+    RegisterBenchScenarios();
+    const exp::Scenario& scenario =
+        exp::ScenarioRegistry::Instance().At(scenario_name);
+    util::CliArgs args(argc, argv);
+    bool event_queue_set = false;
+    RunOptions options = DeclareRunFlags(
+        args,
+        bench_name != nullptr ? std::string(bench_name)
+                              : BenchNameFromArgv0(argc > 0 ? argv[0]
+                                                            : nullptr),
+        &event_queue_set);
+    const std::vector<std::string> sets = args.GetList(
+        "set",
+        "override a model parameter (name=value, repeatable; enum values "
+        "by name; see `voodb params`)");
+    if (args.help_requested()) {
+      std::cout << scenario.title << "\n" << scenario.description << "\n\n"
+                << args.Help();
+      return 0;
+    }
+    args.RejectUnknown();
+    VOODB_CHECK_MSG(options.replications >= 2,
+                    "need at least 2 replications for confidence intervals");
+
+    std::vector<exp::ParamOverride> overrides;
+    if (event_queue_set && scenario.system_config_used) {
+      // An emulator-only scenario has no simulation kernel: accept the
+      // shared --event-queue flag as the legacy binaries did (results
+      // are identical at any value) instead of rejecting it as a
+      // discarded system override.
+      overrides.emplace_back(
+          "event_queue",
+          ToString(desp::ParseEventQueueKind(
+              args.GetString("event-queue", "binary_heap"))));
+    }
+    for (const std::string& assignment : sets) {
+      const size_t eq = assignment.find('=');
+      VOODB_CHECK_MSG(eq != std::string::npos && eq > 0,
+                      "--set expects name=value, got '" << assignment << "'");
+      overrides.emplace_back(assignment.substr(0, eq),
+                             assignment.substr(eq + 1));
+    }
+
+    BenchRecorder::Instance().Configure(options);
+    exp::ScenarioOptions scenario_options;
+    scenario_options.replications = options.replications;
+    scenario_options.transactions = options.transactions;
+    scenario_options.seed = options.seed;
+    scenario_options.threads = options.threads;
+    scenario_options.csv = options.csv;
+    RunScenario(scenario, scenario_options, overrides);
+    return 0;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
 
 Estimate EstimateOf(const desp::Tally& tally) {

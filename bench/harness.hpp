@@ -38,6 +38,7 @@
 #include "desp/event_queue.hpp"
 #include "desp/replication.hpp"
 #include "desp/stats.hpp"
+#include "exp/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -57,9 +58,26 @@ struct RunOptions {
   std::string json;        ///< output path; empty = disabled
 };
 
-/// Parses the common flags; prints usage and exits on --help.
+/// Parses the common flags; prints usage (generated from the flag
+/// declarations) and exits on --help.
 RunOptions ParseOptions(int argc, const char* const* argv,
                         const std::string& description);
+
+/// The harness view of a resolved scenario context (replication /
+/// protocol knobs from the options, event queue from the config).
+RunOptions ToRunOptions(const exp::ScenarioContext& ctx);
+
+/// The shared entry point behind every per-figure wrapper binary and
+/// `voodb run <scenario>`: parses the common flags plus repeatable
+/// `--set name=value` parameter overrides, configures the
+/// BENCH_<name>.json recorder, and runs the named catalog scenario.
+/// `bench_name` overrides the json/bench identity (the driver passes the
+/// scenario name; wrappers pass nullptr to keep their argv[0]-derived
+/// legacy name).  Returns a process exit code; configuration errors are
+/// reported on stderr rather than thrown.
+int RunScenarioMain(const std::string& scenario_name, int argc,
+                    const char* const* argv,
+                    const char* bench_name = nullptr);
 
 /// A replicated estimate: sample mean and 95 % CI half-width.
 struct Estimate {

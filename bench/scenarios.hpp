@@ -1,0 +1,19 @@
+/// \file scenarios.hpp
+/// \brief Registration of every paper figure/table/ablation as a named
+/// scenario in the `exp::ScenarioRegistry`.
+///
+/// The catalog covers the paper's whole evaluation section: the O2 and
+/// Texas validation figures (fig06..fig11), the DSTC clustering tables
+/// (table6..table8), and the Table 3 / §5 ablations.  Each scenario's
+/// base `ExperimentConfig` carries the exact parameter values the old
+/// hand-wired bench binaries froze in code, so `voodb run <name>` is
+/// bit-identical to the legacy binaries under identical seeds — and
+/// `--set` can now steer every registered parameter.
+#pragma once
+
+namespace voodb::bench {
+
+/// Registers the full catalog (idempotent; cheap after the first call).
+void RegisterBenchScenarios();
+
+}  // namespace voodb::bench

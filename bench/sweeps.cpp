@@ -12,20 +12,18 @@
 
 namespace voodb::bench {
 
-namespace {
-
-/// The six NO points of Figures 6/7/9/10.
-const std::vector<uint64_t> kInstancePoints = {500,  1000,  2000,
-                                               5000, 10000, 20000};
-/// The six memory points (MB) of Figures 8/11.
-const std::vector<double> kMemoryPoints = {8, 12, 16, 24, 32, 64};
-
-ocb::OcbParameters FigureWorkload(uint32_t num_classes, uint64_t num_objects) {
-  ocb::OcbParameters p;  // Table 5 defaults (PSET..STODEPTH = OCB values)
-  p.num_classes = num_classes;
-  p.num_objects = num_objects;
-  return p;
+const std::vector<double>& InstancePoints() {
+  static const std::vector<double> points = {500,  1000,  2000,
+                                             5000, 10000, 20000};
+  return points;
 }
+
+const std::vector<double>& MemoryPoints() {
+  static const std::vector<double> points = {8, 12, 16, 24, 32, 64};
+  return points;
+}
+
+namespace {
 
 double RunEmulator(TargetSystem system, const ocb::ObjectBase& base,
                    double memory_mb, uint64_t transactions, uint64_t seed) {
@@ -42,12 +40,10 @@ double RunEmulator(TargetSystem system, const ocb::ObjectBase& base,
   return static_cast<double>(texas.RunTransactions(gen, transactions).total_ios);
 }
 
-double RunSimulation(TargetSystem system, const ocb::ObjectBase& base,
-                     double memory_mb, uint64_t transactions, uint64_t seed,
-                     desp::EventQueueKind event_queue) {
-  core::VoodbConfig cfg = system == TargetSystem::kO2
-                              ? core::SystemCatalog::O2WithCache(memory_mb)
-                              : core::SystemCatalog::TexasWithMemory(memory_mb);
+double RunSimulation(const core::VoodbConfig& sim_config,
+                     const ocb::ObjectBase& base, uint64_t transactions,
+                     uint64_t seed, desp::EventQueueKind event_queue) {
+  core::VoodbConfig cfg = sim_config;
   cfg.event_queue = event_queue;
   core::VoodbSystem sys(cfg, &base, nullptr, seed);
   ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed).Derive(1));
@@ -57,20 +53,23 @@ double RunSimulation(TargetSystem system, const ocb::ObjectBase& base,
 
 }  // namespace
 
-void RunInstanceSweep(const RunOptions& options, TargetSystem system,
-                      uint32_t num_classes, const char* title,
-                      const std::vector<double>& paper_bench,
-                      const std::vector<double>& paper_sim) {
-  VOODB_CHECK(paper_bench.size() == kInstancePoints.size());
-  VOODB_CHECK(paper_sim.size() == kInstancePoints.size());
-  // Default memory budgets of §4.2.1: O2's 16 MB server cache, Texas' 64 MB
-  // host.
-  const double memory_mb = system == TargetSystem::kO2 ? 16.0 : 64.0;
+std::vector<FigurePoint> RunInstanceSweep(
+    const RunOptions& options, TargetSystem system,
+    const ocb::OcbParameters& workload, double memory_mb,
+    const core::VoodbConfig& sim_config,
+    const std::vector<double>& instance_points, const char* title,
+    const std::vector<double>& paper_bench,
+    const std::vector<double>& paper_sim) {
+  VOODB_CHECK(paper_bench.size() == instance_points.size());
+  VOODB_CHECK(paper_sim.size() == instance_points.size());
   FigureReport report(title, "Instances");
-  for (size_t i = 0; i < kInstancePoints.size(); ++i) {
-    const uint64_t no = kInstancePoints[i];
-    const ocb::ObjectBase base =
-        ocb::ObjectBase::Generate(FigureWorkload(num_classes, no));
+  std::vector<FigurePoint> points;
+  points.reserve(instance_points.size());
+  for (size_t i = 0; i < instance_points.size(); ++i) {
+    const auto no = static_cast<uint64_t>(instance_points[i]);
+    ocb::OcbParameters point_workload = workload;
+    point_workload.num_objects = no;
+    const ocb::ObjectBase base = ocb::ObjectBase::Generate(point_workload);
     const Estimate bench =
         Replicate(options, options.seed, [&](uint64_t seed) {
           return RunEmulator(system, base, memory_mb, options.transactions,
@@ -79,29 +78,40 @@ void RunInstanceSweep(const RunOptions& options, TargetSystem system,
     const Estimate sim =
         Replicate(options, options.seed ^ 0x5151,
                   [&](uint64_t seed) {
-                    return RunSimulation(system, base, memory_mb,
+                    return RunSimulation(sim_config, base,
                                          options.transactions, seed,
                                          options.event_queue);
                   });
     report.AddPoint(std::to_string(no), bench, sim, paper_bench[i],
                     paper_sim[i]);
+    points.push_back({std::to_string(no), bench, sim});
   }
   report.Print(options);
+  return points;
 }
 
-void RunMemorySweep(const RunOptions& options, TargetSystem system,
-                    const char* title,
-                    const std::vector<double>& paper_bench,
-                    const std::vector<double>& paper_sim) {
-  VOODB_CHECK(paper_bench.size() == kMemoryPoints.size());
-  VOODB_CHECK(paper_sim.size() == kMemoryPoints.size());
-  const ocb::ObjectBase base =
-      ocb::ObjectBase::Generate(FigureWorkload(50, 20000));
+std::vector<FigurePoint> RunMemorySweep(
+    const RunOptions& options, TargetSystem system,
+    const ocb::OcbParameters& workload, const core::VoodbConfig& sim_base,
+    const std::vector<double>& memory_points, const char* title,
+    const std::vector<double>& paper_bench,
+    const std::vector<double>& paper_sim) {
+  VOODB_CHECK(paper_bench.size() == memory_points.size());
+  VOODB_CHECK(paper_sim.size() == memory_points.size());
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(workload);
   FigureReport report(title, system == TargetSystem::kO2
                                  ? "Cache (MB)"
                                  : "Memory (MB)");
-  for (size_t i = 0; i < kMemoryPoints.size(); ++i) {
-    const double mb = kMemoryPoints[i];
+  std::vector<FigurePoint> points;
+  points.reserve(memory_points.size());
+  for (size_t i = 0; i < memory_points.size(); ++i) {
+    const double mb = memory_points[i];
+    core::VoodbConfig sim_config = sim_base;
+    if (system == TargetSystem::kO2) {
+      core::SystemCatalog::SetO2Cache(sim_config, mb);
+    } else {
+      core::SystemCatalog::SetTexasMemory(sim_config, mb);
+    }
     const Estimate bench =
         Replicate(options, options.seed, [&](uint64_t seed) {
           return RunEmulator(system, base, mb, options.transactions, seed);
@@ -109,14 +119,16 @@ void RunMemorySweep(const RunOptions& options, TargetSystem system,
     const Estimate sim =
         Replicate(options, options.seed ^ 0x5151,
                   [&](uint64_t seed) {
-                    return RunSimulation(system, base, mb,
+                    return RunSimulation(sim_config, base,
                                          options.transactions, seed,
                                          options.event_queue);
                   });
     report.AddPoint(util::FormatDouble(mb, 0), bench, sim, paper_bench[i],
                     paper_sim[i]);
+    points.push_back({util::FormatDouble(mb, 0), bench, sim});
   }
   report.Print(options);
+  return points;
 }
 
 namespace {
@@ -130,18 +142,6 @@ struct DstcRun {
   double cluster_size = 0.0;
   double Gain() const { return post > 0.0 ? pre / post : 0.0; }
 };
-
-ocb::OcbParameters DstcWorkload() {
-  // §4.4: "very characteristic transactions (namely, depth-3 hierarchy
-  // traversals)" in favorable conditions — a hot set of repeatedly
-  // traversed roots over the mid-sized NC=50 / NO=20000 base.
-  ocb::OcbParameters p;
-  p.num_classes = 50;
-  p.num_objects = 20000;
-  p.hierarchy_depth = 3;
-  p.root_region = 30;
-  return p;
-}
 
 DstcRun DstcOnEmulator(const ocb::ObjectBase& base, double memory_mb,
                        uint64_t transactions, uint64_t seed) {
@@ -169,10 +169,11 @@ DstcRun DstcOnEmulator(const ocb::ObjectBase& base, double memory_mb,
   return run;
 }
 
-DstcRun DstcOnSimulation(const ocb::ObjectBase& base, double memory_mb,
+DstcRun DstcOnSimulation(const ocb::ObjectBase& base,
+                         const core::VoodbConfig& sim_base,
                          uint64_t transactions, uint64_t seed,
                          desp::EventQueueKind event_queue) {
-  core::VoodbConfig cfg = core::SystemCatalog::TexasWithMemory(memory_mb);
+  core::VoodbConfig cfg = sim_base;
   cfg.event_queue = event_queue;
   core::VoodbSystem sys(cfg, &base, std::make_unique<cluster::DstcPolicy>(),
                         seed);
@@ -226,9 +227,10 @@ void RecordDstcAggregate(const std::string& series, const DstcAggregate& a) {
 
 }  // namespace
 
-DstcComparison RunDstcExperiment(const RunOptions& options,
-                                 double memory_mb) {
-  const ocb::ObjectBase base = ocb::ObjectBase::Generate(DstcWorkload());
+DstcComparison RunDstcExperiment(const RunOptions& options, double memory_mb,
+                                 const ocb::OcbParameters& workload,
+                                 const core::VoodbConfig& sim_base) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(workload);
   // Two farm runs over the same seed chain: replication i exercises the
   // emulator and the simulation with the same seed, exactly as the old
   // serial pairing did.
@@ -241,7 +243,7 @@ DstcComparison RunDstcExperiment(const RunOptions& options,
       }));
   cmp.sim = Aggregate(ReplicateMetrics(
       options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-        ObserveDstcRun(DstcOnSimulation(base, memory_mb, options.transactions,
+        ObserveDstcRun(DstcOnSimulation(base, sim_base, options.transactions,
                                         seed, options.event_queue),
                        sink);
       }));

@@ -1,0 +1,191 @@
+/// \file voodb_main.cpp
+/// \brief The single `voodb` driver over the scenario catalog and the
+/// parameter registry.
+///
+///   voodb list                      scenario catalog (name + title)
+///   voodb describe <scenario>       base parameters, grid axes, protocol
+///   voodb params [--markdown|--csv] the full parameter table
+///   voodb run <scenario> [flags]    run a scenario; `--set name=value`
+///                                   overrides any registered parameter
+///                                   (enum values by name), repeatable
+///
+/// `voodb run fig08` is bit-identical to the legacy bench_fig08_* binary
+/// under identical seeds: both resolve through the same catalog entry.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "harness.hpp"
+#include "scenarios.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "voodb/param_registry.hpp"
+
+namespace {
+
+using voodb::core::ConstParamTarget;
+using voodb::core::ParamDescriptor;
+using voodb::core::ParamRegistry;
+
+int Usage(std::ostream& os, int code) {
+  os << "VOODB scenario driver — one binary for every paper figure, "
+        "table and ablation.\n\n"
+        "Usage:\n"
+        "  voodb list                     list the scenario catalog\n"
+        "  voodb describe <scenario>      show a scenario's parameters\n"
+        "  voodb params [--markdown|--csv]\n"
+        "                                 print the parameter registry\n"
+        "  voodb run <scenario> [--set name=value ...] [--replications=N]\n"
+        "            [--transactions=N] [--seed=N] [--threads=N]\n"
+        "            [--event-queue=K] [--csv] [--json=PATH]\n\n"
+        "Run `voodb run <scenario> --help` for the run flags.\n";
+  return code;
+}
+
+int ListScenarios() {
+  voodb::util::TextTable table({"Scenario", "Title"});
+  for (const voodb::exp::Scenario& s :
+       voodb::exp::ScenarioRegistry::Instance().scenarios()) {
+    table.AddRow({s.name, s.title});
+  }
+  table.Print(std::cout);
+  std::cout << "\nRun `voodb describe <scenario>` for parameters, "
+               "`voodb run <scenario>` to execute.\n";
+  return 0;
+}
+
+int DescribeScenario(const std::string& name) {
+  const voodb::exp::Scenario& s =
+      voodb::exp::ScenarioRegistry::Instance().At(name);
+  std::cout << s.name << " — " << s.title << "\n\n" << s.description
+            << "\n\n";
+  if (s.grid.NumAxes() > 0) {
+    std::cout << "Sweep axes:\n";
+    for (const auto& [axis, values] : s.grid.axes()) {
+      std::cout << "  " << axis << " =";
+      for (const double v : values) std::cout << " " << v;
+      std::cout << "\n";
+    }
+    std::cout << "\n";
+  }
+  if (!s.swept.empty()) {
+    std::cout << "Swept by the scenario itself (not --set-overridable):";
+    for (const std::string& name : s.swept) std::cout << " " << name;
+    std::cout << "\n\n";
+  }
+  if (!s.system_config_used) {
+    std::cout << "Runs the direct-execution emulator only: system "
+                 "parameters cannot be overridden.\n\n";
+  }
+  // Base parameters that differ from the model defaults: the scenario's
+  // whole identity, and exactly what `--set` can override.
+  const ParamRegistry& registry = ParamRegistry::Instance();
+  const ConstParamTarget target{&s.base.system, &s.base.workload};
+  voodb::util::TextTable table({"Parameter", "Value", "Default"});
+  for (const ParamDescriptor& d : registry.descriptors()) {
+    const double value = d.getter(target);
+    if (value == d.default_value) continue;
+    table.AddRow({d.name, registry.FormatValue(d.name, value),
+                  registry.FormatValue(d.name, d.default_value)});
+  }
+  std::cout << "Base parameters differing from model defaults (override "
+               "any registered parameter with --set):\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+int PrintParams(int argc, const char* const* argv) {
+  voodb::util::CliArgs args(argc, argv);
+  const bool markdown =
+      args.GetBool("markdown", false, "emit a Markdown table (README)");
+  const bool csv = args.GetBool("csv", false, "emit CSV");
+  if (args.help_requested()) {
+    std::cout << "Print every registered parameter (name, domain, type, "
+                 "default, range, doc).\n\n"
+              << args.Help();
+    return 0;
+  }
+  args.RejectUnknown();
+  const ParamRegistry& registry = ParamRegistry::Instance();
+  if (markdown) {
+    // '|' inside a cell (enum choice lists, "true | false") must be
+    // escaped or it splits the Markdown table column.
+    auto escape = [](const std::string& cell) {
+      std::string out;
+      for (const char ch : cell) {
+        if (ch == '|') out += '\\';
+        out += ch;
+      }
+      return out;
+    };
+    std::cout << "| Parameter | Domain | Type | Default | Range | "
+                 "Description |\n";
+    std::cout << "|---|---|---|---|---|---|\n";
+    for (const ParamDescriptor& d : registry.descriptors()) {
+      std::cout << "| `" << d.name << "` | " << ToString(d.domain) << " | "
+                << ToString(d.type) << " | `"
+                << registry.FormatValue(d.name, d.default_value) << "` | "
+                << escape(d.RangeText()) << " | " << escape(d.doc) << " |\n";
+    }
+    return 0;
+  }
+  voodb::util::TextTable table(
+      {"Parameter", "Domain", "Type", "Default", "Range", "Description"});
+  for (const ParamDescriptor& d : registry.descriptors()) {
+    table.AddRow({d.name, ToString(d.domain), ToString(d.type),
+                  registry.FormatValue(d.name, d.default_value),
+                  d.RangeText(), d.doc});
+  }
+  if (csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  voodb::bench::RegisterBenchScenarios();
+  if (argc < 2) return Usage(std::cerr, 2);
+  const std::string command = argv[1];
+  try {
+    if (command == "--help" || command == "-h" || command == "help") {
+      return Usage(std::cout, 0);
+    }
+    if (command == "list") return ListScenarios();
+    if (command == "describe") {
+      if (argc < 3) {
+        std::cerr << "usage: voodb describe <scenario>\n";
+        return 2;
+      }
+      return DescribeScenario(argv[2]);
+    }
+    if (command == "params") return PrintParams(argc - 1, argv + 1);
+    if (command == "run") {
+      if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+        std::cerr << "usage: voodb run <scenario> [flags]  (see `voodb "
+                     "list`)\n";
+        return 2;
+      }
+      const std::string scenario = argv[2];
+      // Re-point argv at the remaining flags for the shared harness path;
+      // the json default becomes BENCH_<scenario>.json.
+      std::vector<const char*> rest;
+      rest.push_back(argv[0]);
+      for (int i = 3; i < argc; ++i) rest.push_back(argv[i]);
+      return voodb::bench::RunScenarioMain(
+          scenario, static_cast<int>(rest.size()), rest.data(),
+          scenario.c_str());
+    }
+    std::cerr << "unknown command '" << command << "'\n\n";
+    return Usage(std::cerr, 2);
+  } catch (const voodb::util::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -22,14 +22,24 @@ const char* ToString(EventQueueKind kind) {
 }
 
 EventQueueKind ParseEventQueueKind(const std::string& name) {
-  if (name == "binary" || name == "heap") return EventQueueKind::kBinaryHeap;
-  if (name == "quaternary" || name == "4ary") {
+  if (name == "binary_heap" || name == "binary" || name == "heap" ||
+      name == "0") {
+    return EventQueueKind::kBinaryHeap;
+  }
+  if (name == "quaternary_heap" || name == "quaternary" || name == "4ary" ||
+      name == "1") {
     return EventQueueKind::kQuaternaryHeap;
   }
-  if (name == "calendar" || name == "bucket") return EventQueueKind::kCalendar;
-  VOODB_CHECK_MSG(false, "unknown event queue '"
-                             << name
-                             << "' (binary | quaternary | calendar)");
+  if (name == "calendar_queue" || name == "calendar" || name == "bucket" ||
+      name == "2") {
+    return EventQueueKind::kCalendar;
+  }
+  VOODB_CHECK_MSG(false,
+                  "unknown event queue '"
+                      << name
+                      << "'; valid choices: binary_heap | quaternary_heap | "
+                         "calendar_queue (short: binary | quaternary | "
+                         "calendar; numeric: 0 | 1 | 2)");
   return EventQueueKind::kBinaryHeap;
 }
 

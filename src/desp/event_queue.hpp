@@ -64,8 +64,11 @@ enum class EventQueueKind {
 /// "binary" / "quaternary" / "calendar".
 const char* ToString(EventQueueKind kind);
 
-/// Parses a backend name ("binary", "quaternary"/"4ary", "calendar");
-/// throws voodb::util::Error on anything else.
+/// Parses a backend name — canonical "binary_heap" / "quaternary_heap" /
+/// "calendar_queue", short "binary" / "quaternary" ("4ary") / "calendar"
+/// ("bucket"), or the numeric ordinals "0" / "1" / "2" kept for
+/// back-compat with old sweep grids — and throws voodb::util::Error
+/// listing the valid choices on anything else.
 EventQueueKind ParseEventQueueKind(const std::string& name);
 
 /// A priority queue of QueuedEvents ordered by FiresBefore.

@@ -11,6 +11,7 @@
 #include "exp/executor.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
+#include "voodb/param_registry.hpp"
 
 namespace voodb::exp {
 
@@ -170,117 +171,19 @@ std::vector<GridCell> RunGrid(const SweepGrid& grid,
   return cells;
 }
 
-namespace {
-
-/// Casts an axis value to an unsigned integral field, rejecting negatives
-/// and fractional values (silent truncation would skew a sweep).
-template <typename T>
-T AxisUInt(const std::string& axis, double value) {
-  VOODB_CHECK_MSG(value >= 0.0 && value == std::floor(value),
-                  "axis '" << axis << "' needs a non-negative integer, got "
-                           << value);
-  return static_cast<T>(value);
-}
-
-}  // namespace
-
 bool IsWorkloadAxis(const std::string& axis) {
-  return axis == "num_classes" || axis == "num_objects" ||
-         axis == "max_refs_per_class" || axis == "base_instance_size" ||
-         axis == "hot_transactions" || axis == "cold_transactions" ||
-         axis == "think_time_ms" || axis == "root_region";
+  return core::ParamRegistry::Instance().At(axis).domain ==
+         core::ParamDomain::kWorkload;
 }
 
 void ApplyAxis(core::ExperimentConfig& config, const std::string& axis,
                double value) {
-  // --- System (VoodbConfig / Table 3) ---------------------------------------
-  if (axis == "buffer_pages") {
-    config.system.buffer_pages = AxisUInt<uint64_t>(axis, value);
-    return;
-  }
-  if (axis == "page_size") {
-    config.system.page_size = AxisUInt<uint32_t>(axis, value);
-    return;
-  }
-  if (axis == "multiprogramming_level") {
-    config.system.multiprogramming_level = AxisUInt<uint32_t>(axis, value);
-    return;
-  }
-  if (axis == "num_users") {
-    config.system.num_users = AxisUInt<uint32_t>(axis, value);
-    return;
-  }
-  if (axis == "network_throughput_mbps") {
-    config.system.network_throughput_mbps = value;
-    return;
-  }
-  if (axis == "object_cpu_ms") {
-    config.system.object_cpu_ms = value;
-    return;
-  }
-  if (axis == "get_lock_ms") {
-    config.system.get_lock_ms = value;
-    return;
-  }
-  if (axis == "release_lock_ms") {
-    config.system.release_lock_ms = value;
-    return;
-  }
-  if (axis == "failure_mtbf_ms") {
-    config.system.failure_mtbf_ms = value;
-    return;
-  }
-  if (axis == "disk_fault_prob") {
-    config.system.disk_fault_prob = value;
-    return;
-  }
-  if (axis == "storage_overhead") {
-    config.system.storage_overhead = value;
-    return;
-  }
-  if (axis == "event_queue") {
-    // Kernel event-list backend (0 = binary, 1 = quaternary, 2 =
-    // calendar).  A pure perf knob: metrics are bit-identical across its
-    // values, so sweeping it measures the kernel, not the model.
-    const auto kind = AxisUInt<uint32_t>(axis, value);
-    VOODB_CHECK_MSG(kind <= 2, "axis 'event_queue' needs 0..2, got " << value);
-    config.system.event_queue = static_cast<desp::EventQueueKind>(kind);
-    return;
-  }
-  // --- Workload (OcbParameters / Table 5); keep IsWorkloadAxis in sync ------
-  if (axis == "num_classes") {
-    config.workload.num_classes = AxisUInt<uint32_t>(axis, value);
-    return;
-  }
-  if (axis == "num_objects") {
-    config.workload.num_objects = AxisUInt<uint64_t>(axis, value);
-    return;
-  }
-  if (axis == "max_refs_per_class") {
-    config.workload.max_refs_per_class = AxisUInt<uint32_t>(axis, value);
-    return;
-  }
-  if (axis == "base_instance_size") {
-    config.workload.base_instance_size = AxisUInt<uint32_t>(axis, value);
-    return;
-  }
-  if (axis == "hot_transactions") {
-    config.workload.hot_transactions = AxisUInt<uint32_t>(axis, value);
-    return;
-  }
-  if (axis == "cold_transactions") {
-    config.workload.cold_transactions = AxisUInt<uint32_t>(axis, value);
-    return;
-  }
-  if (axis == "think_time_ms") {
-    config.workload.think_time_ms = value;
-    return;
-  }
-  if (axis == "root_region") {
-    config.workload.root_region = AxisUInt<uint64_t>(axis, value);
-    return;
-  }
-  VOODB_CHECK_MSG(false, "unknown sweep axis '" << axis << "'");
+  // Thin wrapper over the parameter registry: every registered parameter
+  // — numeric, boolean or enum — is a sweepable axis, with range and
+  // integrality checks (silent truncation would skew a sweep) and errors
+  // that name the parameter.
+  core::ParamRegistry::Instance().Set(
+      core::ParamTarget{&config.system, &config.workload}, axis, value);
 }
 
 std::vector<GridCell> RunExperimentGrid(

@@ -85,21 +85,19 @@ std::vector<GridCell> RunGrid(const SweepGrid& grid,
                               uint64_t replications,
                               const FarmOptions& options);
 
-/// Applies a named axis value to an experiment config.  Known axes:
-/// system — "buffer_pages", "page_size", "multiprogramming_level",
-/// "num_users", "network_throughput_mbps", "object_cpu_ms", "get_lock_ms",
-/// "release_lock_ms", "failure_mtbf_ms", "disk_fault_prob",
-/// "storage_overhead", "event_queue" (kernel event-list backend,
-/// 0 = binary / 1 = quaternary / 2 = calendar — bit-identical metrics,
-/// sweeps kernel speed only); workload — "num_classes", "num_objects",
-/// "max_refs_per_class", "base_instance_size", "hot_transactions",
-/// "cold_transactions", "think_time_ms", "root_region".
-/// Throws voodb::util::Error on an unknown axis name.
+/// Applies a named axis value to an experiment config.  Axes resolve
+/// through `core::ParamRegistry`, so *every* registered parameter of
+/// `VoodbConfig` (including its disk timings) and `OcbParameters` is a
+/// valid axis — numeric fields take their value directly, booleans take
+/// 0/1, and enums (e.g. "system_class", "page_replacement",
+/// "event_queue") take their enumerator ordinal.  Values are range- and
+/// integrality-checked; errors name the parameter and suggest the
+/// nearest name.  Run `voodb params` for the full axis list.
 void ApplyAxis(core::ExperimentConfig& config, const std::string& axis,
                double value);
 
-/// True when `axis` changes the object base (workload axes above), i.e.
-/// the base must be regenerated for cells along it.
+/// True when `axis` is a workload (OCB) parameter, i.e. the object base
+/// must be regenerated for cells along it.  Throws on unknown axes.
 bool IsWorkloadAxis(const std::string& axis);
 
 /// Farms a full VOODB experiment per grid cell.  `base_config` provides

@@ -1,0 +1,127 @@
+/// \file scenario.hpp
+/// \brief Named, declarative experiment scenarios.
+///
+/// Darmont's benchmark-methodology line of work insists that an
+/// experiment's value is its parameterization surface: every figure,
+/// table and ablation is just the generic model steered by a different
+/// parameter set.  A `Scenario` captures one such experiment as a value —
+/// name, description, base `ExperimentConfig`, sweep grid, and a run
+/// hook — and the `ScenarioRegistry` makes the whole catalog addressable
+/// by name from one driver (`voodb list | describe | run`).
+///
+/// `RunScenario` resolves `--set key=value` overrides through the
+/// parameter registry before invoking the scenario, so *every*
+/// `VoodbConfig` / `OcbParameters` field can be overridden per run
+/// without a bespoke flag.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/grid.hpp"
+#include "voodb/experiment.hpp"
+
+namespace voodb::exp {
+
+/// Per-invocation knobs of the experiment protocol (how long / how wide
+/// to run), as opposed to model parameters (which live in the scenario's
+/// `ExperimentConfig` and are overridden via `--set`).
+struct ScenarioOptions {
+  uint64_t replications = 10;   ///< the paper used 100
+  uint64_t transactions = 1000; ///< measured transactions per replication
+  uint64_t seed = 42;           ///< base RNG seed
+  size_t threads = 0;           ///< farm workers; 0 = all hardware threads
+  bool csv = false;             ///< CSV instead of aligned tables
+};
+
+struct Scenario;
+
+/// What a scenario run hands back: a flat "section/x/series/stat" ->
+/// value map mirroring the BENCH_<name>.json structure, so callers (the
+/// driver, parity tests) can compare runs without scraping stdout.
+using ScenarioResult = std::map<std::string, double>;
+
+/// A `--set` style override, e.g. {"buffer_pages", "2048"} or
+/// {"system_class", "page_server"}.
+using ParamOverride = std::pair<std::string, std::string>;
+
+/// The resolved inputs a scenario runs with.
+struct ScenarioContext {
+  const Scenario* scenario = nullptr;
+  /// Scenario base config after `--set` overrides; `replications`,
+  /// `base_seed` and `threads` mirror `options`.
+  core::ExperimentConfig config;
+  ScenarioOptions options;
+  /// The raw overrides, already applied to `config`.  Run hooks that
+  /// build additional configs beyond `config` (e.g. a preset per table
+  /// row) re-apply these so `--set` reaches every leg of the scenario.
+  std::vector<ParamOverride> overrides;
+};
+
+using ScenarioRunner = std::function<ScenarioResult(const ScenarioContext&)>;
+
+/// One named experiment: a paper figure/table, an ablation, or any
+/// user-defined parameter study.
+struct Scenario {
+  std::string name;         ///< catalog key ("fig08", "ablation_sysclass")
+  std::string title;        ///< one-line heading for `voodb list`
+  std::string description;  ///< paragraph for `voodb describe`
+  /// Defaults for every model parameter; `--set` overrides resolve into
+  /// a copy of this through the parameter registry.
+  core::ExperimentConfig base;
+  /// The scenario's sweep axes (empty for single-point experiments).
+  /// Axis names are scenario-defined labels interpreted by the run hook
+  /// — usually registry parameter names ("num_objects"), but a scenario
+  /// spanning surfaces beyond the registry may use its own (fig08's
+  /// "memory_mb" drives both the emulator's cache in MB and the
+  /// catalog-rescaled simulation buffer).  Do not feed this grid to
+  /// `RunExperimentGrid` unless every axis is a registry parameter.
+  SweepGrid grid;
+  /// Registry parameters the run hook itself varies (its compared /
+  /// swept knobs, e.g. `system_class` for the SYSCLASS ablation, or
+  /// `buffer_pages` for a memory sweep).  `--set` of one of these is
+  /// rejected up-front instead of being silently overwritten.
+  std::vector<std::string> swept;
+  /// False for scenarios that run only the direct-execution emulator:
+  /// system-domain `--set` overrides would be silently ignored, so they
+  /// are rejected (workload overrides still apply).
+  bool system_config_used = true;
+  ScenarioRunner run;
+};
+
+/// Name -> Scenario catalog.  Registration order is preserved (the paper
+/// figures read in order); lookups by name throw with a nearest-name
+/// suggestion.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& Instance();
+
+  /// Registers a scenario; throws voodb::util::Error on a duplicate or
+  /// empty name or a missing run hook.
+  void Register(Scenario scenario);
+
+  bool Contains(const std::string& name) const;
+  const Scenario* Find(const std::string& name) const;
+  /// Throws voodb::util::Error with a nearest-name suggestion.
+  const Scenario& At(const std::string& name) const;
+  /// Scenario names in registration order.
+  std::vector<std::string> Names() const;
+  const std::vector<Scenario>& scenarios() const { return scenarios_; }
+
+ private:
+  std::vector<Scenario> scenarios_;
+  std::map<std::string, size_t> index_;
+};
+
+/// Runs `scenario`: copies its base config, applies `overrides` through
+/// the parameter registry (values may be enum names), mirrors `options`
+/// into the config, validates, and invokes the run hook.
+ScenarioResult RunScenario(const Scenario& scenario,
+                           const ScenarioOptions& options,
+                           const std::vector<ParamOverride>& overrides = {});
+
+}  // namespace voodb::exp

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "voodb/param_registry.hpp"
 
 namespace voodb::ocb {
 
@@ -19,29 +20,14 @@ const char* ToString(Distribution d) {
 }
 
 void OcbParameters::Validate() const {
-  VOODB_CHECK_MSG(num_classes >= 1, "NC must be >= 1");
-  VOODB_CHECK_MSG(max_refs_per_class >= 1, "MAXNREF must be >= 1");
-  VOODB_CHECK_MSG(base_instance_size >= 1, "BASESIZE must be >= 1");
-  VOODB_CHECK_MSG(num_objects >= 1, "NO must be >= 1");
-  VOODB_CHECK_MSG(num_reference_types >= 1, "NREFT must be >= 1");
-  VOODB_CHECK_MSG(class_locality >= 1, "CLOCREF must be >= 1");
-  VOODB_CHECK_MSG(object_locality >= 1, "OLOCREF must be >= 1");
-  VOODB_CHECK_MSG(zipf_skew >= 0.0, "Zipf skew must be >= 0");
-  auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
-  VOODB_CHECK_MSG(probability(p_set) && probability(p_simple) &&
-                      probability(p_hierarchy) && probability(p_stochastic) &&
-                      probability(p_random_access) && probability(p_scan),
-                  "transaction probabilities must lie in [0, 1]");
+  // Per-field ranges come from the parameter registry, so every error
+  // names the offending parameter; only the cross-field constraint (the
+  // transaction mix must be a probability distribution) lives here.
+  core::ParamRegistry::Instance().ValidateWorkload(*this);
   const double total = p_set + p_simple + p_hierarchy + p_stochastic +
                        p_random_access + p_scan;
   VOODB_CHECK_MSG(std::fabs(total - 1.0) < 1e-9,
                   "transaction probabilities must sum to 1, got " << total);
-  VOODB_CHECK_MSG(probability(p_update), "PUPDATE must lie in [0, 1]");
-  VOODB_CHECK_MSG(think_time_ms >= 0.0, "think time must be >= 0");
-  VOODB_CHECK_MSG(set_depth >= 1 && simple_depth >= 1 &&
-                      hierarchy_depth >= 1 && stochastic_depth >= 1,
-                  "traversal depths must be >= 1");
-  VOODB_CHECK_MSG(random_access_count >= 1, "RANDOMN must be >= 1");
 }
 
 }  // namespace voodb::ocb

@@ -1,68 +1,130 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <sstream>
 
 #include "util/check.hpp"
 
 namespace voodb::util {
 
-CliArgs::CliArgs(int argc, const char* const* argv) {
+namespace {
+
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t previous = row[j];
+      const size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+      diagonal = previous;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string NearestMatch(const std::string& name,
+                         const std::vector<std::string>& candidates) {
+  const size_t budget = std::max<size_t>(2, name.size() / 2);
+  std::string best;
+  size_t best_distance = budget + 1;
+  for (const std::string& candidate : candidates) {
+    const size_t distance = EditDistance(name, candidate);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+CliArgs::CliArgs(int argc, const char* const* argv, bool allow_positional) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       help_ = true;
       continue;
     }
-    VOODB_CHECK_MSG(arg.rfind("--", 0) == 0,
-                    "expected --name=value argument, got '" << arg << "'");
+    if (arg.rfind("--", 0) != 0) {
+      if (allow_positional) {
+        positional_.push_back(arg);
+        continue;
+      }
+      VOODB_CHECK_MSG(false,
+                      "expected --name=value argument, got '" << arg << "'");
+    }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      values_[arg.substr(0, eq)].push_back(arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      values_[arg].push_back(argv[++i]);
     } else {
-      values_[arg] = "true";  // bare flag => boolean
+      values_[arg].push_back("true");  // bare flag => boolean
     }
   }
 }
 
-std::string CliArgs::GetString(const std::string& name,
-                               const std::string& def) {
-  seen_[name] = true;
-  const auto it = values_.find(name);
-  return it == values_.end() ? def : it->second;
+void CliArgs::Declare(const std::string& name, const std::string& placeholder,
+                      const std::string& doc, const std::string& def) {
+  for (const Declared& flag : declared_) {
+    if (flag.name == name) return;  // re-reads keep the first declaration
+  }
+  declared_.push_back({name, placeholder, doc, def});
 }
 
-int64_t CliArgs::GetInt(const std::string& name, int64_t def) {
-  seen_[name] = true;
+const std::vector<std::string>* CliArgs::FindValues(
+    const std::string& name) const {
   const auto it = values_.find(name);
-  if (it == values_.end()) return def;
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+std::string CliArgs::GetString(const std::string& name, const std::string& def,
+                               const std::string& doc) {
+  Declare(name, "S", doc, def);
+  const auto* values = FindValues(name);
+  return values == nullptr ? def : values->back();
+}
+
+int64_t CliArgs::GetInt(const std::string& name, int64_t def,
+                        const std::string& doc) {
+  Declare(name, "N", doc, std::to_string(def));
+  const auto* values = FindValues(name);
+  if (values == nullptr) return def;
   char* end = nullptr;
-  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  VOODB_CHECK_MSG(end != nullptr && *end == '\0',
+  const int64_t v = std::strtoll(values->back().c_str(), &end, 10);
+  VOODB_CHECK_MSG(end != nullptr && *end == '\0' && !values->back().empty(),
                   "flag --" << name << " expects an integer, got '"
-                            << it->second << "'");
+                            << values->back() << "'");
   return v;
 }
 
-double CliArgs::GetDouble(const std::string& name, double def) {
-  seen_[name] = true;
-  const auto it = values_.find(name);
-  if (it == values_.end()) return def;
+double CliArgs::GetDouble(const std::string& name, double def,
+                          const std::string& doc) {
+  std::ostringstream rendered;
+  rendered << def;
+  Declare(name, "X", doc, rendered.str());
+  const auto* values = FindValues(name);
+  if (values == nullptr) return def;
   char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  VOODB_CHECK_MSG(end != nullptr && *end == '\0',
-                  "flag --" << name << " expects a number, got '" << it->second
-                            << "'");
+  const double v = std::strtod(values->back().c_str(), &end);
+  VOODB_CHECK_MSG(end != nullptr && *end == '\0' && !values->back().empty(),
+                  "flag --" << name << " expects a number, got '"
+                            << values->back() << "'");
   return v;
 }
 
-bool CliArgs::GetBool(const std::string& name, bool def) {
-  seen_[name] = true;
-  const auto it = values_.find(name);
-  if (it == values_.end()) return def;
-  const std::string& v = it->second;
+bool CliArgs::GetBool(const std::string& name, bool def,
+                      const std::string& doc) {
+  Declare(name, "", doc, def ? "true" : "");
+  const auto* values = FindValues(name);
+  if (values == nullptr) return def;
+  const std::string& v = values->back();
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   VOODB_CHECK_MSG(false, "flag --" << name << " expects a boolean, got '" << v
@@ -70,10 +132,49 @@ bool CliArgs::GetBool(const std::string& name, bool def) {
   return def;
 }
 
+std::vector<std::string> CliArgs::GetList(const std::string& name,
+                                          const std::string& doc) {
+  Declare(name, "S...", doc, "");
+  const auto* values = FindValues(name);
+  return values == nullptr ? std::vector<std::string>{} : *values;
+}
+
 void CliArgs::RejectUnknown() const {
-  for (const auto& [name, value] : values_) {
-    VOODB_CHECK_MSG(seen_.count(name) != 0, "unknown flag --" << name);
+  std::vector<std::string> known;
+  known.reserve(declared_.size());
+  for (const Declared& flag : declared_) known.push_back(flag.name);
+  for (const auto& [name, values] : values_) {
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+    const std::string nearest = NearestMatch(name, known);
+    VOODB_CHECK_MSG(false, "unknown flag --"
+                               << name
+                               << (nearest.empty()
+                                       ? ""
+                                       : " (did you mean --" + nearest + "?)"));
   }
+}
+
+std::string CliArgs::Help() const {
+  std::ostringstream os;
+  os << "Flags:\n";
+  std::vector<std::string> lefts;
+  size_t width = 0;
+  for (const Declared& flag : declared_) {
+    std::string left = "  --" + flag.name;
+    if (!flag.placeholder.empty()) left += "=" + flag.placeholder;
+    width = std::max(width, left.size());
+    lefts.push_back(std::move(left));
+  }
+  for (size_t i = 0; i < declared_.size(); ++i) {
+    const Declared& flag = declared_[i];
+    os << lefts[i] << std::string(width - lefts[i].size() + 2, ' ')
+       << flag.doc;
+    if (!flag.def.empty()) {
+      os << (flag.doc.empty() ? "" : " ") << "(default " << flag.def << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace voodb::util

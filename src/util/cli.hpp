@@ -1,40 +1,89 @@
 /// \file cli.hpp
-/// \brief Minimal command-line flag parsing for examples and bench harnesses.
+/// \brief Declarative command-line flag parsing for examples, bench
+/// harnesses and the `voodb` driver.
 ///
-/// Flags use the form `--name=value` or `--name value`.  Unknown flags are
-/// rejected so typos do not silently fall back to defaults.
+/// Flags use the form `--name=value` or `--name value`.  Each `Get*` call
+/// *declares* a flag (name, type, default, doc string); the declarations
+/// drive two features no binary has to hand-roll:
+///   * `Help()` renders the flag table for `--help`, and
+///   * `RejectUnknown()` rejects undeclared flags, suggesting the nearest
+///     declared name ("unknown flag --replication (did you mean
+///     --replications?)") so typos do not silently fall back to defaults.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
 namespace voodb::util {
 
+/// The candidate within edit distance <= max(2, |name|/2) of `name` that
+/// is closest to it, or "" when no candidate is that close.  Shared by
+/// CliArgs, the parameter registry and the scenario registry for
+/// "did you mean" diagnostics.
+std::string NearestMatch(const std::string& name,
+                         const std::vector<std::string>& candidates);
+
 /// Parses `--key=value` style arguments.
 class CliArgs {
  public:
-  /// Parses argv; throws voodb::util::Error on malformed input.
-  CliArgs(int argc, const char* const* argv);
+  /// Parses argv; throws voodb::util::Error on malformed input.  With
+  /// `allow_positional`, bare words before/between flags are collected
+  /// into positional() instead of being rejected (subcommand drivers);
+  /// note a bare word directly after a valueless `--flag` still binds to
+  /// that flag as its value.
+  CliArgs(int argc, const char* const* argv, bool allow_positional = false);
 
   /// Declares a flag so it is accepted; returns its value or `def`.
-  std::string GetString(const std::string& name, const std::string& def);
-  int64_t GetInt(const std::string& name, int64_t def);
-  double GetDouble(const std::string& name, double def);
-  bool GetBool(const std::string& name, bool def);
+  /// `doc` feeds the generated --help text.
+  std::string GetString(const std::string& name, const std::string& def,
+                        const std::string& doc = "");
+  int64_t GetInt(const std::string& name, int64_t def,
+                 const std::string& doc = "");
+  double GetDouble(const std::string& name, double def,
+                   const std::string& doc = "");
+  bool GetBool(const std::string& name, bool def, const std::string& doc = "");
 
-  /// Throws if any provided flag was never declared via a Get* call.
-  /// Call after all Get* calls.
+  /// Declares a repeatable flag and returns every occurrence in argv
+  /// order (e.g. `--set a=1 --set b=2`).  Empty when absent.
+  std::vector<std::string> GetList(const std::string& name,
+                                   const std::string& doc = "");
+
+  /// Bare-word arguments, in order (only with allow_positional).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True when `--name` appeared in argv (with any value, any spelling).
+  bool Provided(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  /// Throws if any provided flag was never declared via a Get* call,
+  /// naming the nearest declared flag.  Call after all Get* calls.
   void RejectUnknown() const;
 
   /// True when `--help` / `-h` was passed.
   bool help_requested() const { return help_; }
 
+  /// "Flags:" table generated from the declarations so far (name,
+  /// value placeholder, doc, default).  Call after all Get* calls.
+  std::string Help() const;
+
  private:
-  std::map<std::string, std::string> values_;
-  mutable std::map<std::string, bool> seen_;
+  struct Declared {
+    std::string name;
+    std::string placeholder;  ///< "N", "X", "S", "" (bare boolean), "S..."
+    std::string doc;
+    std::string def;  ///< default rendered as text; "" = none shown
+  };
+
+  void Declare(const std::string& name, const std::string& placeholder,
+               const std::string& doc, const std::string& def);
+  const std::vector<std::string>* FindValues(const std::string& name) const;
+
+  std::map<std::string, std::vector<std::string>> values_;
+  std::vector<Declared> declared_;
+  std::vector<std::string> positional_;
   bool help_ = false;
 };
 

@@ -59,9 +59,24 @@ void TextTable::Print(std::ostream& os) const {
 }
 
 void TextTable::PrintCsv(std::ostream& os) const {
+  // RFC-4180-style quoting: cells containing a comma, quote or newline
+  // are wrapped in double quotes with embedded quotes doubled.
+  auto print_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
   auto print_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
-      os << (c == 0 ? "" : ",") << row[c];
+      if (c != 0) os << ',';
+      print_cell(row[c]);
     }
     os << '\n';
   };

@@ -49,24 +49,32 @@ VoodbConfig SystemCatalog::Texas() {
 }
 
 VoodbConfig SystemCatalog::TexasWithMemory(double memory_mb) {
-  VOODB_CHECK_MSG(memory_mb > 0.0, "memory must be positive");
   VoodbConfig cfg = Texas();
-  // Linux 2.0 on the paper's PC leaves roughly 80 % of physical memory to
-  // the store's mapping (kernel + daemons take the rest).
-  const double frames = memory_mb * 1024.0 * 1024.0 * 0.8 /
-                        static_cast<double>(cfg.page_size);
-  cfg.buffer_pages = static_cast<uint64_t>(frames);
-  if (cfg.buffer_pages < 16) cfg.buffer_pages = 16;
+  SetTexasMemory(cfg, memory_mb);
   return cfg;
 }
 
 VoodbConfig SystemCatalog::O2WithCache(double cache_mb) {
-  VOODB_CHECK_MSG(cache_mb > 0.0, "cache must be positive");
   VoodbConfig cfg = O2();
-  cfg.buffer_pages = static_cast<uint64_t>(
-      cache_mb * 1024.0 * 1024.0 / static_cast<double>(cfg.page_size));
-  if (cfg.buffer_pages < 16) cfg.buffer_pages = 16;
+  SetO2Cache(cfg, cache_mb);
   return cfg;
+}
+
+void SystemCatalog::SetTexasMemory(VoodbConfig& config, double memory_mb) {
+  VOODB_CHECK_MSG(memory_mb > 0.0, "memory must be positive");
+  // Linux 2.0 on the paper's PC leaves roughly 80 % of physical memory to
+  // the store's mapping (kernel + daemons take the rest).
+  const double frames = memory_mb * 1024.0 * 1024.0 * 0.8 /
+                        static_cast<double>(config.page_size);
+  config.buffer_pages = static_cast<uint64_t>(frames);
+  if (config.buffer_pages < 16) config.buffer_pages = 16;
+}
+
+void SystemCatalog::SetO2Cache(VoodbConfig& config, double cache_mb) {
+  VOODB_CHECK_MSG(cache_mb > 0.0, "cache must be positive");
+  config.buffer_pages = static_cast<uint64_t>(
+      cache_mb * 1024.0 * 1024.0 / static_cast<double>(config.page_size));
+  if (config.buffer_pages < 16) config.buffer_pages = 16;
 }
 
 }  // namespace voodb::core

@@ -31,6 +31,16 @@ class SystemCatalog {
 
   /// O2 with `cache_mb` of server cache (Figure 8's sweep).
   static VoodbConfig O2WithCache(double cache_mb);
+
+  /// Rewrites `config.buffer_pages` for a Texas host with `memory_mb`
+  /// of physical memory (~80 % of it available to the store's mapping).
+  /// `TexasWithMemory(m)` == `Texas()` + `SetTexasMemory(cfg, m)`;
+  /// exposed so memory sweeps can rescale an arbitrary base config.
+  static void SetTexasMemory(VoodbConfig& config, double memory_mb);
+
+  /// Rewrites `config.buffer_pages` for an O2 server cache of
+  /// `cache_mb`.  `O2WithCache(m)` == `O2()` + `SetO2Cache(cfg, m)`.
+  static void SetO2Cache(VoodbConfig& config, double cache_mb);
 };
 
 }  // namespace voodb::core

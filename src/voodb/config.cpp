@@ -1,6 +1,7 @@
 #include "voodb/config.hpp"
 
 #include "util/check.hpp"
+#include "voodb/param_registry.hpp"
 
 namespace voodb::core {
 
@@ -29,25 +30,13 @@ const char* ToString(PrefetchPolicy p) {
 }
 
 void VoodbConfig::Validate() const {
-  VOODB_CHECK_MSG(page_size >= 512, "PGSIZE must be >= 512");
-  VOODB_CHECK_MSG(buffer_pages >= 1, "BUFFSIZE must be >= 1");
-  VOODB_CHECK_MSG(multiprogramming_level >= 1, "MULTILVL must be >= 1");
-  VOODB_CHECK_MSG(num_users >= 1, "NUSERS must be >= 1");
-  VOODB_CHECK_MSG(get_lock_ms >= 0.0 && release_lock_ms >= 0.0,
-                  "lock times must be >= 0");
-  VOODB_CHECK_MSG(storage_overhead >= 1.0, "storage overhead must be >= 1");
-  VOODB_CHECK_MSG(clustering_stat_cpu_ms >= 0.0 && object_cpu_ms >= 0.0,
-                  "CPU costs must be >= 0");
+  // Per-field ranges come from the parameter registry, so every error
+  // names the offending parameter; only cross-field constraints live
+  // here.
+  ParamRegistry::Instance().ValidateSystem(*this);
   VOODB_CHECK_MSG(prefetch == PrefetchPolicy::kNone || prefetch_depth >= 1,
-                  "prefetch depth must be >= 1");
-  VOODB_CHECK_MSG(restart_backoff_ms >= 0.0,
-                  "restart backoff must be >= 0");
-  VOODB_CHECK_MSG(failure_mtbf_ms >= 0.0, "MTBF must be >= 0");
-  VOODB_CHECK_MSG(recovery_base_ms >= 0.0 && recovery_per_dirty_page_ms >= 0.0,
-                  "recovery costs must be >= 0");
-  VOODB_CHECK_MSG(disk_fault_prob >= 0.0 && disk_fault_prob < 1.0,
-                  "disk fault probability must lie in [0, 1)");
-  VOODB_CHECK_MSG(disk_fault_retry_ms >= 0.0, "retry penalty must be >= 0");
+                  "parameter 'prefetch_depth' must be >= 1 when prefetch "
+                  "is enabled");
   disk.Validate();
 }
 

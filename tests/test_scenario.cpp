@@ -1,0 +1,226 @@
+/// \file test_scenario.cpp
+/// \brief Tests for the scenario catalog and the single-driver run path:
+/// catalog completeness, override resolution through the parameter
+/// registry, and bit-identical parity between `voodb run` scenarios and
+/// the legacy bench code path under identical seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "scenarios.hpp"
+#include "sweeps.hpp"
+#include "util/check.hpp"
+#include "voodb/catalog.hpp"
+
+namespace voodb::bench {
+namespace {
+
+exp::ScenarioOptions SmallOptions(uint64_t transactions) {
+  exp::ScenarioOptions options;
+  options.replications = 2;
+  options.transactions = transactions;
+  options.seed = 42;
+  options.threads = 1;
+  return options;
+}
+
+RunOptions SmallRunOptions(uint64_t transactions) {
+  RunOptions options;
+  options.replications = 2;
+  options.transactions = transactions;
+  options.seed = 42;
+  options.threads = 1;
+  options.event_queue = desp::EventQueueKind::kBinaryHeap;
+  return options;
+}
+
+TEST(ScenarioCatalog, RegistersEveryPaperFigureTableAndAblation) {
+  RegisterBenchScenarios();
+  const std::vector<std::string> expected = {
+      "fig06",          "fig07",
+      "fig08",          "fig09",
+      "fig10",          "fig11",
+      "table6",         "table7",
+      "table8",         "ablation_buffer_policy",
+      "ablation_clustering", "ablation_failures",
+      "ablation_locking",    "ablation_multiprog",
+      "ablation_placement",  "ablation_sysclass",
+      "ablation_vm_model"};
+  EXPECT_EQ(exp::ScenarioRegistry::Instance().Names(), expected);
+}
+
+TEST(ScenarioCatalog, EveryScenarioIsDescribedAndValid) {
+  RegisterBenchScenarios();
+  for (const exp::Scenario& s :
+       exp::ScenarioRegistry::Instance().scenarios()) {
+    EXPECT_FALSE(s.title.empty()) << s.name;
+    EXPECT_FALSE(s.description.empty()) << s.name;
+    EXPECT_TRUE(static_cast<bool>(s.run)) << s.name;
+    // Every base must survive the registry-backed validation the run
+    // path applies.
+    EXPECT_NO_THROW(s.base.system.Validate()) << s.name;
+    EXPECT_NO_THROW(s.base.workload.Validate()) << s.name;
+  }
+}
+
+TEST(ScenarioCatalog, UnknownNameSuggestsNearest) {
+  RegisterBenchScenarios();
+  try {
+    exp::ScenarioRegistry::Instance().At("fig8");
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fig08"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RunScenario, ResolvesOverridesThroughTheRegistry) {
+  exp::Scenario s;
+  s.name = "override_probe";
+  s.title = "probe";
+  s.description = "probe";
+  core::ExperimentConfig seen;
+  s.run = [&seen](const exp::ScenarioContext& ctx) {
+    seen = ctx.config;
+    return exp::ScenarioResult{};
+  };
+  exp::ScenarioOptions options = SmallOptions(10);
+  options.seed = 7;
+  RunScenario(s, options,
+              {{"system_class", "db_server"},
+               {"use_lock_manager", "true"},
+               {"page_replacement", "gclock"},
+               {"event_queue", "calendar_queue"},
+               {"num_objects", "1234"},
+               {"p_update", "0.25"},
+               {"p_set", "0.0"},
+               {"p_scan", "0.25"}});
+  EXPECT_EQ(seen.system.system_class, core::SystemClass::kDbServer);
+  EXPECT_TRUE(seen.system.use_lock_manager);
+  EXPECT_EQ(seen.system.page_replacement,
+            storage::ReplacementPolicy::kGclock);
+  EXPECT_EQ(seen.system.event_queue, desp::EventQueueKind::kCalendar);
+  EXPECT_EQ(seen.workload.num_objects, 1234u);
+  EXPECT_DOUBLE_EQ(seen.workload.p_update, 0.25);
+  EXPECT_EQ(seen.replications, options.replications);
+  EXPECT_EQ(seen.base_seed, 7u);
+}
+
+TEST(RunScenario, RejectsUnknownAndOutOfRangeOverrides) {
+  exp::Scenario s;
+  s.name = "override_probe";
+  s.title = "probe";
+  s.description = "probe";
+  s.run = [](const exp::ScenarioContext&) { return exp::ScenarioResult{}; };
+  EXPECT_THROW(RunScenario(s, SmallOptions(10), {{"buffer_page", "10"}}),
+               util::Error);
+  EXPECT_THROW(RunScenario(s, SmallOptions(10), {{"page_size", "100"}}),
+               util::Error);
+  // The run path validates the resolved config, so an override that
+  // breaks a cross-field constraint (probabilities summing to 1) fails
+  // before any simulation runs.
+  EXPECT_THROW(RunScenario(s, SmallOptions(10), {{"p_set", "0.5"}}),
+               util::Error);
+}
+
+TEST(RunScenario, RejectsOverridesTheScenarioWouldDiscard) {
+  RegisterBenchScenarios();
+  const auto& registry = exp::ScenarioRegistry::Instance();
+  // fig08 sweeps the cache itself: overriding buffer_pages would be
+  // silently overwritten per memory point, so it is rejected up-front.
+  EXPECT_THROW(RunScenario(registry.At("fig08"), SmallOptions(5),
+                           {{"buffer_pages", "1000"}}),
+               util::Error);
+  // The SYSCLASS ablation compares the four architectures.
+  EXPECT_THROW(RunScenario(registry.At("ablation_sysclass"), SmallOptions(5),
+                           {{"system_class", "db_server"}}),
+               util::Error);
+  // The VM-model ablation runs only the emulator: system-domain
+  // overrides would be ignored, workload ones still apply.
+  EXPECT_THROW(RunScenario(registry.At("ablation_vm_model"), SmallOptions(5),
+                           {{"page_size", "8192"}}),
+               util::Error);
+}
+
+// --- Parity: `voodb run` vs the legacy bench code path ----------------------
+//
+// The legacy binaries froze their workload and system configuration in
+// code and called the sweep directly.  The catalog path must reproduce
+// their metrics bit-identically under identical seeds.
+
+TEST(ScenarioParity, Fig08MatchesLegacyBenchPath) {
+  RegisterBenchScenarios();
+  const exp::Scenario& s = exp::ScenarioRegistry::Instance().At("fig08");
+  const uint64_t transactions = 20;
+  const exp::ScenarioResult via_catalog =
+      RunScenario(s, SmallOptions(transactions));
+
+  // Exactly what bench_fig08_o2_cache_size hard-wired before the
+  // redesign: the NC=50 / NO=20000 OCB base, the O2 preset rescaled per
+  // memory point, paper's six points.
+  ocb::OcbParameters workload;  // Table 5 defaults
+  workload.num_classes = 50;
+  workload.num_objects = 20000;
+  const std::vector<FigurePoint> legacy = RunMemorySweep(
+      SmallRunOptions(transactions), TargetSystem::kO2, workload,
+      core::SystemCatalog::O2WithCache(16.0), MemoryPoints(),
+      "fig08 legacy parity", std::vector<double>(6, 0.0),
+      std::vector<double>(6, 0.0));
+
+  ASSERT_EQ(legacy.size(), 6u);
+  for (const FigurePoint& point : legacy) {
+    const std::string key = "figure/" + point.x;
+    ASSERT_EQ(via_catalog.count(key + "/benchmark/mean"), 1u) << point.x;
+    EXPECT_EQ(via_catalog.at(key + "/benchmark/mean"), point.bench.mean)
+        << point.x;
+    EXPECT_EQ(via_catalog.at(key + "/benchmark/hw"), point.bench.half_width)
+        << point.x;
+    EXPECT_EQ(via_catalog.at(key + "/simulation/mean"), point.sim.mean)
+        << point.x;
+    EXPECT_EQ(via_catalog.at(key + "/simulation/hw"), point.sim.half_width)
+        << point.x;
+    EXPECT_GT(point.bench.mean, 0.0) << point.x;
+    EXPECT_GT(point.sim.mean, 0.0) << point.x;
+  }
+}
+
+TEST(ScenarioParity, Table6MatchesLegacyBenchPath) {
+  RegisterBenchScenarios();
+  const exp::Scenario& s = exp::ScenarioRegistry::Instance().At("table6");
+  const uint64_t transactions = 10;
+  const exp::ScenarioResult via_catalog =
+      RunScenario(s, SmallOptions(transactions));
+
+  // Exactly what bench_table6_dstc_midsize hard-wired: the DSTC hot-set
+  // workload on the mid-sized base, Texas with 64 MB.
+  ocb::OcbParameters workload;
+  workload.num_classes = 50;
+  workload.num_objects = 20000;
+  workload.hierarchy_depth = 3;
+  workload.root_region = 30;
+  const DstcComparison legacy = RunDstcExperiment(
+      SmallRunOptions(transactions), 64.0, workload,
+      core::SystemCatalog::TexasWithMemory(64.0));
+
+  const std::pair<const char*, const DstcAggregate*> sides[] = {
+      {"benchmark", &legacy.bench}, {"simulation", &legacy.sim}};
+  for (const auto& [series, agg] : sides) {
+    const std::string key = std::string("/") + series + "/mean";
+    EXPECT_EQ(via_catalog.at("dstc/pre_clustering_ios" + key),
+              agg->pre.mean);
+    EXPECT_EQ(via_catalog.at("dstc/clustering_overhead_ios" + key),
+              agg->overhead.mean);
+    EXPECT_EQ(via_catalog.at("dstc/post_clustering_ios" + key),
+              agg->post.mean);
+    EXPECT_EQ(via_catalog.at("dstc/gain" + key), agg->gain.mean);
+    EXPECT_EQ(via_catalog.at("dstc/clusters" + key), agg->clusters.mean);
+    EXPECT_EQ(via_catalog.at("dstc/mean_cluster_size" + key),
+              agg->cluster_size.mean);
+    EXPECT_GT(agg->pre.mean, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace voodb::bench

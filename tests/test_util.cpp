@@ -101,5 +101,61 @@ TEST(CliArgs, BoolSpellings) {
   EXPECT_FALSE(args.GetBool("d", true));
 }
 
+TEST(CliArgs, HelpGeneratedFromDeclarations) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  args.GetInt("replications", 10, "replications per point");
+  args.GetBool("csv", false, "CSV output");
+  args.GetString("json", "out.json", "result file");
+  const std::string help = args.Help();
+  EXPECT_NE(help.find("--replications=N"), std::string::npos) << help;
+  EXPECT_NE(help.find("replications per point (default 10)"),
+            std::string::npos)
+      << help;
+  EXPECT_NE(help.find("--csv"), std::string::npos) << help;
+  EXPECT_NE(help.find("--json=S"), std::string::npos) << help;
+  EXPECT_NE(help.find("(default out.json)"), std::string::npos) << help;
+}
+
+TEST(CliArgs, UnknownFlagSuggestsNearestDeclaredName) {
+  const char* argv[] = {"prog", "--replication=5"};
+  CliArgs args(2, argv);
+  args.GetInt("replications", 10);
+  args.GetInt("transactions", 1000);
+  try {
+    args.RejectUnknown();
+    FAIL() << "expected util::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--replications"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CliArgs, GetListCollectsRepeatedFlags) {
+  const char* argv[] = {"prog", "--set=a=1", "--set", "b=2", "--set=c=3"};
+  CliArgs args(5, argv);
+  const std::vector<std::string> sets = args.GetList("set");
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], "a=1");
+  EXPECT_EQ(sets[1], "b=2");
+  EXPECT_EQ(sets[2], "c=3");
+  args.RejectUnknown();
+  // Scalar reads of a repeated flag keep the last occurrence.
+  const char* argv2[] = {"prog", "--n=1", "--n=2"};
+  CliArgs args2(3, argv2);
+  EXPECT_EQ(args2.GetInt("n", 0), 2);
+}
+
+TEST(CliArgs, PositionalArgumentsAreOptIn) {
+  const char* argv[] = {"prog", "run", "fig08", "--csv"};
+  CliArgs args(4, argv, /*allow_positional=*/true);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "run");
+  EXPECT_EQ(args.positional()[1], "fig08");
+  EXPECT_TRUE(args.GetBool("csv", false));
+  args.RejectUnknown();
+}
+
 }  // namespace
 }  // namespace voodb::util
