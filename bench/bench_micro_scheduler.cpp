@@ -1,341 +1,10 @@
 /// \file bench_micro_scheduler.cpp
-/// \brief Event-kernel throughput: EventQueue backends vs the old kernel.
-///
-/// The paper's motivation for DESP-C++ was raw kernel speed; this bench
-/// tracks it per event-list backend so the perf trajectory of the kernel
-/// lands in BENCH_scheduler.json across PRs.  As the "before" baseline it
-/// embeds a faithful copy of the pre-refactor kernel (one heap-allocated
-/// `shared_ptr<State>` plus a type-erased `std::function` per event on a
-/// `std::priority_queue`), so the speedup column is measured, not
-/// remembered.  Unlike the bench_micro_* Google-Benchmark targets this is
-/// a plain binary and always builds.
-///
-/// Workloads:
-///   schedule_drain   N one-shot events with scattered times (the
-///                    schedule-heavy pattern: every event is a fresh
-///                    Schedule + fire)
-///   event_chain      C concurrent self-rescheduling chains (the actor
-///                    hold pattern)
-///   schedule_cancel  N events, two thirds cancelled before firing
-///                    (timeout pattern; exercises lazy deletion and the
-///                    cancelled > live compaction threshold)
-///
-/// Flags: --events=N --chains=N --trials=N --csv --json=PATH ("off"
-/// disables; default BENCH_scheduler.json).
-#include <algorithm>
-#include <chrono>
-#include <cstdint>
-#include <functional>
-#include <iostream>
-#include <memory>
-#include <queue>
-#include <string>
-#include <vector>
-
-#include "desp/event_queue.hpp"
-#include "desp/scheduler.hpp"
-#include "desp/stats.hpp"
-#include "exp/report.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-using voodb::desp::EventQueueKind;
-using voodb::desp::Scheduler;
-using voodb::desp::SimTime;
-using voodb::desp::Tally;
-
-// --- The pre-refactor kernel, verbatim modulo naming -----------------------
-
-class LegacyScheduler {
- public:
-  using Action = std::function<void()>;
-
-  struct State {
-    SimTime time = 0.0;
-    int priority = 0;
-    uint64_t seq = 0;
-    Action action;
-    bool cancelled = false;
-    bool fired = false;
-  };
-
-  struct Handle {
-    std::shared_ptr<State> state;
-    bool pending() const {
-      return state != nullptr && !state->cancelled && !state->fired;
-    }
-  };
-
-  Handle Schedule(SimTime delay, Action action, int priority = 0) {
-    auto state = std::make_shared<State>();
-    state->time = now_ + delay;
-    state->priority = priority;
-    state->seq = next_seq_++;
-    state->action = std::move(action);
-    queue_.push(Entry{state});
-    return Handle{std::move(state)};
-  }
-
-  bool Cancel(Handle& handle) {
-    if (!handle.pending()) return false;
-    handle.state->cancelled = true;
-    handle.state->action = nullptr;
-    return true;
-  }
-
-  bool Step() {
-    while (!queue_.empty()) {
-      Entry entry = queue_.top();
-      queue_.pop();
-      if (entry.state->cancelled) continue;
-      now_ = entry.state->time;
-      entry.state->fired = true;
-      Action action = std::move(entry.state->action);
-      ++executed_;
-      action();
-      return true;
-    }
-    return false;
-  }
-
-  void Run() {
-    while (Step()) {
-    }
-  }
-
-  SimTime Now() const { return now_; }
-  uint64_t ExecutedEvents() const { return executed_; }
-
- private:
-  struct Entry {
-    std::shared_ptr<State> state;
-  };
-  struct Compare {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.state->time != b.state->time) return a.state->time > b.state->time;
-      if (a.state->priority != b.state->priority) {
-        return a.state->priority < b.state->priority;
-      }
-      return a.state->seq > b.state->seq;
-    }
-  };
-
-  SimTime now_ = 0.0;
-  uint64_t next_seq_ = 0;
-  uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Compare> queue_;
-};
-
-// --- Workloads --------------------------------------------------------------
-
-/// Actor-sized event payload: the typical hot-path capture is an object
-/// pointer plus a continuation-sized state block, which overflows
-/// std::function's two-word inline buffer (the old kernel allocated for
-/// it) but fits the new kernel's small-buffer callable.
-struct Payload {
-  uint64_t a, b, c, d;
-};
-
-/// N independent events with scattered times, drained in one Run().
-template <typename Kernel>
-uint64_t ScheduleDrain(Kernel& kernel, uint64_t events) {
-  uint64_t sum = 0;
-  for (uint64_t i = 0; i < events; ++i) {
-    Payload p{i, i ^ 0x9E3779B9u, i * 3, i * 7};
-    kernel.Schedule(static_cast<double>((i * 37) % 997),
-                    [&sum, p] { sum += p.a + p.b + p.c + p.d; },
-                    static_cast<int>(i % 3));
-  }
-  kernel.Run();
-  return sum;
-}
-
-/// `chains` concurrent self-rescheduling chains of `depth` events each.
-template <typename Kernel>
-uint64_t EventChains(Kernel& kernel, uint64_t chains, uint64_t depth) {
-  uint64_t fired = 0;
-  std::vector<uint64_t> remaining(chains, depth);
-  std::vector<std::function<void()>> steps(chains);
-  for (uint64_t c = 0; c < chains; ++c) {
-    steps[c] = [&kernel, &fired, &remaining, &steps, c] {
-      ++fired;
-      if (--remaining[c] > 0) {
-        kernel.Schedule(1.0 + static_cast<double>(c % 7), steps[c]);
-      }
-    };
-    kernel.Schedule(1.0 + static_cast<double>(c % 7), steps[c]);
-  }
-  kernel.Run();
-  return fired;
-}
-
-/// N events, two of every three cancelled before they can fire (past
-/// the cancelled > live threshold, so the new kernel's compaction runs).
-template <typename Kernel, typename Handle>
-uint64_t ScheduleCancel(Kernel& kernel, uint64_t events) {
-  uint64_t fired = 0;
-  std::vector<Handle> handles;
-  handles.reserve(events);
-  for (uint64_t i = 0; i < events; ++i) {
-    Handle h = kernel.Schedule(static_cast<double>((i * 131) % 1009),
-                               [&fired] { ++fired; });
-    if (i % 3 != 0) handles.push_back(std::move(h));
-  }
-  for (Handle& h : handles) kernel.Cancel(h);
-  kernel.Run();
-  return fired;
-}
-
-// --- Harness ----------------------------------------------------------------
-
-struct Measurement {
-  double mean_meps = 0.0;  ///< mean million events (scheduled) per second
-  double half_width = 0.0;
-};
-
-/// Runs `body` (which returns the number of *scheduled* events) `trials`
-/// times and reports throughput in million schedule+fire operations/s.
-template <typename Body>
-Measurement Measure(uint64_t trials, uint64_t events_per_trial, Body body) {
-  Tally rates;
-  for (uint64_t t = 0; t < trials; ++t) {
-    const auto start = std::chrono::steady_clock::now();
-    body();
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    rates.Add(static_cast<double>(events_per_trial) / secs / 1e6);
-  }
-  Measurement m;
-  m.mean_meps = rates.mean();
-  if (rates.count() >= 2 && rates.stddev() > 0.0) {
-    m.half_width =
-        voodb::desp::StudentConfidenceInterval(rates, 0.95).half_width;
-  }
-  return m;
-}
-
-struct Row {
-  std::string workload;
-  std::string kernel;
-  Measurement result;
-  double speedup_vs_legacy = 0.0;
-};
-
-}  // namespace
+/// \brief Thin wrapper over the `micro_scheduler` catalog scenario (see
+/// bench/micro_scheduler.hpp).  Keeps the legacy BENCH_scheduler.json
+/// identity so the kernel's perf trajectory stays comparable across PRs.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  voodb::util::CliArgs args(argc, argv);
-  const auto events = static_cast<uint64_t>(
-      args.GetInt("events", 200000, "events per trial"));
-  const auto chains =
-      static_cast<uint64_t>(args.GetInt("chains", 1000, "concurrent chains"));
-  const auto trials =
-      static_cast<uint64_t>(args.GetInt("trials", 7, "timed trials per cell"));
-  const bool csv = args.GetBool("csv", false, "CSV output");
-  std::string json = args.GetString("json", "BENCH_scheduler.json",
-                                    "result file; \"off\" disables");
-  if (args.help_requested()) {
-    std::cout << "Event-kernel throughput across EventQueue backends vs the "
-                 "pre-refactor kernel.\n\n"
-              << args.Help();
-    return 0;
-  }
-  args.RejectUnknown();
-  if (json == "off" || json == "none") json.clear();
-
-  const std::vector<EventQueueKind> kinds = {EventQueueKind::kBinaryHeap,
-                                             EventQueueKind::kQuaternaryHeap,
-                                             EventQueueKind::kCalendar};
-  const uint64_t depth =
-      std::max<uint64_t>(1, events / (chains == 0 ? 1 : chains));
-  std::vector<Row> rows;
-
-  const auto run_workload = [&](const std::string& workload,
-                                uint64_t per_trial, auto legacy_body,
-                                auto modern_body) {
-    const Measurement legacy = Measure(trials, per_trial, legacy_body);
-    rows.push_back({workload, "legacy", legacy, 1.0});
-    for (EventQueueKind kind : kinds) {
-      const Measurement m =
-          Measure(trials, per_trial, [&] { modern_body(kind); });
-      rows.push_back({workload, voodb::desp::ToString(kind), m,
-                      legacy.mean_meps > 0.0 ? m.mean_meps / legacy.mean_meps
-                                             : 0.0});
-    }
-  };
-
-  run_workload(
-      "schedule_drain", events,
-      [&] {
-        LegacyScheduler kernel;
-        ScheduleDrain(kernel, events);
-      },
-      [&](EventQueueKind kind) {
-        Scheduler kernel(kind);
-        ScheduleDrain(kernel, events);
-      });
-  run_workload(
-      "event_chain", chains * depth,
-      [&] {
-        LegacyScheduler kernel;
-        EventChains(kernel, chains, depth);
-      },
-      [&](EventQueueKind kind) {
-        Scheduler kernel(kind);
-        EventChains(kernel, chains, depth);
-      });
-  run_workload(
-      "schedule_cancel", events,
-      [&] {
-        LegacyScheduler kernel;
-        ScheduleCancel<LegacyScheduler, LegacyScheduler::Handle>(kernel,
-                                                                 events);
-      },
-      [&](EventQueueKind kind) {
-        Scheduler kernel(kind);
-        ScheduleCancel<Scheduler, voodb::desp::EventHandle>(kernel, events);
-      });
-
-  voodb::util::TextTable table(
-      {"Workload", "Kernel", "Mevents/s", "±95%", "vs legacy"});
-  for (const Row& row : rows) {
-    table.AddRow({row.workload, row.kernel,
-                  voodb::util::FormatDouble(row.result.mean_meps, 2),
-                  voodb::util::FormatDouble(row.result.half_width, 2),
-                  voodb::util::FormatDouble(row.speedup_vs_legacy, 2) + "x"});
-  }
-  std::cout << "== DESP kernel event throughput ==\n";
-  if (csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-
-  if (!json.empty()) {
-    voodb::exp::JsonWriter w;
-    w.BeginObject();
-    w.Key("bench").Value("scheduler");
-    w.Key("events").Value(events);
-    w.Key("chains").Value(chains);
-    w.Key("trials").Value(trials);
-    w.Key("unit").Value("Mevents/s");
-    w.Key("rows").BeginArray();
-    for (const Row& row : rows) {
-      w.BeginObject();
-      w.Key("workload").Value(row.workload);
-      w.Key("kernel").Value(row.kernel);
-      w.Key("mean").Value(row.result.mean_meps);
-      w.Key("ci_half_width").Value(row.result.half_width);
-      w.Key("speedup_vs_legacy").Value(row.speedup_vs_legacy);
-      w.EndObject();
-    }
-    w.EndArray();
-    w.EndObject();
-    voodb::exp::WriteFile(json, w.str());
-    std::cout << "(results in " << json << ")\n";
-  }
-  return 0;
+  return voodb::bench::RunScenarioMain("micro_scheduler", argc, argv,
+                                       "scheduler");
 }

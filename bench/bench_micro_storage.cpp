@@ -1,0 +1,11 @@
+/// \file bench_micro_storage.cpp
+/// \brief Thin wrapper over the `micro_storage` catalog scenario (see
+/// bench/micro_storage.hpp).  Writes BENCH_storage.json; exits non-zero
+/// when the flat-frame cache's counters diverge from the embedded legacy
+/// baseline (the CI regression gate).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return voodb::bench::RunScenarioMain("micro_storage", argc, argv,
+                                       "storage");
+}

@@ -1,0 +1,298 @@
+#include "micro_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "desp/event_queue.hpp"
+#include "desp/scheduler.hpp"
+#include "desp/stats.hpp"
+#include "harness.hpp"
+#include "util/table.hpp"
+
+namespace voodb::bench {
+
+namespace {
+
+using desp::EventQueueKind;
+using desp::Scheduler;
+using desp::SimTime;
+using desp::Tally;
+
+// --- The pre-refactor kernel, verbatim modulo naming -----------------------
+
+class LegacyScheduler {
+ public:
+  using Action = std::function<void()>;
+
+  struct State {
+    SimTime time = 0.0;
+    int priority = 0;
+    uint64_t seq = 0;
+    Action action;
+    bool cancelled = false;
+    bool fired = false;
+  };
+
+  struct Handle {
+    std::shared_ptr<State> state;
+    bool pending() const {
+      return state != nullptr && !state->cancelled && !state->fired;
+    }
+  };
+
+  Handle Schedule(SimTime delay, Action action, int priority = 0) {
+    auto state = std::make_shared<State>();
+    state->time = now_ + delay;
+    state->priority = priority;
+    state->seq = next_seq_++;
+    state->action = std::move(action);
+    queue_.push(Entry{state});
+    return Handle{std::move(state)};
+  }
+
+  bool Cancel(Handle& handle) {
+    if (!handle.pending()) return false;
+    handle.state->cancelled = true;
+    handle.state->action = nullptr;
+    return true;
+  }
+
+  bool Step() {
+    while (!queue_.empty()) {
+      Entry entry = queue_.top();
+      queue_.pop();
+      if (entry.state->cancelled) continue;
+      now_ = entry.state->time;
+      entry.state->fired = true;
+      Action action = std::move(entry.state->action);
+      ++executed_;
+      action();
+      return true;
+    }
+    return false;
+  }
+
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  SimTime Now() const { return now_; }
+  uint64_t ExecutedEvents() const { return executed_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<State> state;
+  };
+  struct Compare {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.state->time != b.state->time) return a.state->time > b.state->time;
+      if (a.state->priority != b.state->priority) {
+        return a.state->priority < b.state->priority;
+      }
+      return a.state->seq > b.state->seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Compare> queue_;
+};
+
+// --- Workloads --------------------------------------------------------------
+
+/// Actor-sized event payload: the typical hot-path capture is an object
+/// pointer plus a continuation-sized state block, which overflows
+/// std::function's two-word inline buffer (the old kernel allocated for
+/// it) but fits the new kernel's small-buffer callable.
+struct Payload {
+  uint64_t a, b, c, d;
+};
+
+/// N independent events with scattered times, drained in one Run().
+template <typename Kernel>
+uint64_t ScheduleDrain(Kernel& kernel, uint64_t events) {
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < events; ++i) {
+    Payload p{i, i ^ 0x9E3779B9u, i * 3, i * 7};
+    kernel.Schedule(static_cast<double>((i * 37) % 997),
+                    [&sum, p] { sum += p.a + p.b + p.c + p.d; },
+                    static_cast<int>(i % 3));
+  }
+  kernel.Run();
+  return sum;
+}
+
+/// `chains` concurrent self-rescheduling chains of `depth` events each.
+template <typename Kernel>
+uint64_t EventChains(Kernel& kernel, uint64_t chains, uint64_t depth) {
+  uint64_t fired = 0;
+  std::vector<uint64_t> remaining(chains, depth);
+  std::vector<std::function<void()>> steps(chains);
+  for (uint64_t c = 0; c < chains; ++c) {
+    steps[c] = [&kernel, &fired, &remaining, &steps, c] {
+      ++fired;
+      if (--remaining[c] > 0) {
+        kernel.Schedule(1.0 + static_cast<double>(c % 7), steps[c]);
+      }
+    };
+    kernel.Schedule(1.0 + static_cast<double>(c % 7), steps[c]);
+  }
+  kernel.Run();
+  return fired;
+}
+
+/// N events, two of every three cancelled before they can fire (past
+/// the cancelled > live threshold, so the new kernel's compaction runs).
+template <typename Kernel, typename Handle>
+uint64_t ScheduleCancel(Kernel& kernel, uint64_t events) {
+  uint64_t fired = 0;
+  std::vector<Handle> handles;
+  handles.reserve(events);
+  for (uint64_t i = 0; i < events; ++i) {
+    Handle h = kernel.Schedule(static_cast<double>((i * 131) % 1009),
+                               [&fired] { ++fired; });
+    if (i % 3 != 0) handles.push_back(std::move(h));
+  }
+  for (Handle& h : handles) kernel.Cancel(h);
+  kernel.Run();
+  return fired;
+}
+
+// --- Harness ----------------------------------------------------------------
+
+struct Measurement {
+  double mean_meps = 0.0;  ///< mean million events (scheduled) per second
+  double half_width = 0.0;
+};
+
+/// Runs `body` `trials` times and reports throughput in million
+/// schedule+fire operations/s.
+template <typename Body>
+Measurement Measure(uint64_t trials, uint64_t events_per_trial, Body body) {
+  Tally rates;
+  for (uint64_t t = 0; t < trials; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    rates.Add(static_cast<double>(events_per_trial) / secs / 1e6);
+  }
+  Measurement m;
+  m.mean_meps = rates.mean();
+  if (rates.count() >= 2 && rates.stddev() > 0.0) {
+    m.half_width =
+        desp::StudentConfidenceInterval(rates, 0.95).half_width;
+  }
+  return m;
+}
+
+}  // namespace
+
+exp::ScenarioResult RunMicroSchedulerScenario(
+    const exp::ScenarioContext& ctx) {
+  // Protocol mapping: one "transaction" is one chain of 200 events, so
+  // the default (1000 transactions) reproduces the legacy bench's
+  // 200k-event / 1000-chain workload.
+  const uint64_t chains = std::max<uint64_t>(1, ctx.options.transactions);
+  constexpr uint64_t kDepth = 200;
+  const uint64_t events = chains * kDepth;
+  const uint64_t trials = std::max<uint64_t>(2, ctx.options.replications);
+
+  const std::vector<EventQueueKind> kinds = {EventQueueKind::kBinaryHeap,
+                                             EventQueueKind::kQuaternaryHeap,
+                                             EventQueueKind::kCalendar};
+  struct Row {
+    std::string workload;
+    std::string kernel;
+    Measurement result;
+    double speedup_vs_legacy = 0.0;
+  };
+  std::vector<Row> rows;
+
+  const auto run_workload = [&](const std::string& workload,
+                                uint64_t per_trial, auto legacy_body,
+                                auto modern_body) {
+    const Measurement legacy = Measure(trials, per_trial, legacy_body);
+    rows.push_back({workload, "legacy", legacy, 1.0});
+    for (EventQueueKind kind : kinds) {
+      const Measurement m =
+          Measure(trials, per_trial, [&] { modern_body(kind); });
+      rows.push_back({workload, desp::ToString(kind), m,
+                      legacy.mean_meps > 0.0 ? m.mean_meps / legacy.mean_meps
+                                             : 0.0});
+    }
+  };
+
+  run_workload(
+      "schedule_drain", events,
+      [&] {
+        LegacyScheduler kernel;
+        ScheduleDrain(kernel, events);
+      },
+      [&](EventQueueKind kind) {
+        Scheduler kernel(kind);
+        ScheduleDrain(kernel, events);
+      });
+  run_workload(
+      "event_chain", chains * kDepth,
+      [&] {
+        LegacyScheduler kernel;
+        EventChains(kernel, chains, kDepth);
+      },
+      [&](EventQueueKind kind) {
+        Scheduler kernel(kind);
+        EventChains(kernel, chains, kDepth);
+      });
+  run_workload(
+      "schedule_cancel", events,
+      [&] {
+        LegacyScheduler kernel;
+        ScheduleCancel<LegacyScheduler, LegacyScheduler::Handle>(kernel,
+                                                                 events);
+      },
+      [&](EventQueueKind kind) {
+        Scheduler kernel(kind);
+        ScheduleCancel<Scheduler, desp::EventHandle>(kernel, events);
+      });
+
+  util::TextTable table(
+      {"Workload", "Kernel", "Mevents/s", "±95%", "vs legacy"});
+  exp::ScenarioResult result;
+  for (const Row& row : rows) {
+    table.AddRow({row.workload, row.kernel,
+                  util::FormatDouble(row.result.mean_meps, 2),
+                  util::FormatDouble(row.result.half_width, 2),
+                  util::FormatDouble(row.speedup_vs_legacy, 2) + "x"});
+    const Estimate throughput{row.result.mean_meps, row.result.half_width};
+    const Estimate speedup{row.speedup_vs_legacy, 0.0};
+    RecordEstimate("micro_scheduler", row.workload, row.kernel, throughput);
+    result["micro_scheduler/" + row.workload + "/" + row.kernel + "/mean"] =
+        throughput.mean;
+    if (row.kernel != "legacy") {
+      RecordEstimate("micro_scheduler", row.workload,
+                     row.kernel + "_speedup", speedup);
+      result["micro_scheduler/" + row.workload + "/" + row.kernel +
+             "_speedup/mean"] = speedup.mean;
+    }
+  }
+  std::cout << "== DESP kernel event throughput (" << events
+            << " events/trial, " << trials << " trials) ==\n";
+  if (ctx.options.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  return result;
+}
+
+}  // namespace voodb::bench

@@ -1,0 +1,25 @@
+/// \file micro_scheduler.hpp
+/// \brief The event-kernel throughput micro bench as a catalog scenario.
+///
+/// Measures schedule+fire throughput of every EventQueue backend against
+/// an embedded copy of the pre-refactor kernel (heap-allocated
+/// shared_ptr/std::function events on a std::priority_queue), so the
+/// speedup column is measured, not remembered.  Runs through the PR 3
+/// scenario path: `voodb run micro_scheduler` and the thin
+/// `bench_micro_scheduler` wrapper both resolve here, and the results
+/// land in BENCH_*.json through the shared recorder.
+///
+/// Protocol-knob mapping (micro benches have no model config):
+///   --transactions=N   N chains, N*200 events per trial (default 1000
+///                      transactions = the legacy 200k-event default)
+///   --replications=N   timed trials per cell
+#pragma once
+
+#include "exp/scenario.hpp"
+
+namespace voodb::bench {
+
+/// Run hook of the `micro_scheduler` scenario.
+exp::ScenarioResult RunMicroSchedulerScenario(const exp::ScenarioContext& ctx);
+
+}  // namespace voodb::bench

@@ -11,6 +11,8 @@
 #include "desp/random.hpp"
 #include "emu/texas_emulator.hpp"
 #include "harness.hpp"
+#include "micro_scheduler.hpp"
+#include "micro_storage.hpp"
 #include "ocb/workload.hpp"
 #include "sweeps.hpp"
 #include "util/check.hpp"
@@ -785,6 +787,45 @@ void RegisterAblationVmModel() {
   Register(std::move(s));
 }
 
+// --- Micro benches -----------------------------------------------------------
+
+void RegisterMicroBenches() {
+  {
+    Scenario s;
+    s.name = "micro_scheduler";
+    s.title = "Micro: DES kernel event throughput vs legacy kernel";
+    s.description =
+        "Schedule+fire throughput of every EventQueue backend against an "
+        "embedded copy of the pre-refactor shared_ptr/std::function "
+        "kernel.  Protocol knobs: --transactions=N chains of 200 events "
+        "per trial (default 1000 = the legacy 200k-event workload), "
+        "--replications=N timed trials.  Model parameters are not used.";
+    s.system_config_used = false;
+    s.run = RunMicroSchedulerScenario;
+    Register(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "micro_storage";
+    s.title =
+        "Micro: data-oriented storage engine vs legacy map-based baseline";
+    s.description =
+        "Throughput of the CSR object graph + flat-frame buffer cache "
+        "against an embedded copy of the pre-refactor structures "
+        "(per-object std::vector<Oid> graph, unordered_map page cache) on "
+        "identical traces; fails if the caches' hit/miss/eviction "
+        "counters diverge.  Workload parameters shape the base "
+        "(--set num_objects=..., hierarchy_depth=...); protocol knobs: "
+        "--transactions=N traversals per trial, --replications=N trials.";
+    // A 100k-object base: the graph outgrows the caches so the memory
+    // layout (CSR vs pointer-chasing vectors) is what gets measured.
+    s.base.workload.num_objects = 100000;
+    s.system_config_used = false;
+    s.run = RunMicroStorageScenario;
+    Register(std::move(s));
+  }
+}
+
 void RegisterAll() {
   RegisterInstanceFigure(
       "fig06", TargetSystem::kO2, 20, "Figure 6: O2, NC=20, I/Os vs NO",
@@ -881,6 +922,7 @@ void RegisterAll() {
   RegisterAblationPlacement();
   RegisterAblationSysclass();
   RegisterAblationVmModel();
+  RegisterMicroBenches();
 }
 
 }  // namespace

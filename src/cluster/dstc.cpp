@@ -7,14 +7,6 @@
 
 namespace voodb::cluster {
 
-namespace {
-inline uint64_t LinkKey(ocb::Oid from, ocb::Oid to) {
-  return (from << 32) | (to & 0xFFFFFFFFULL);
-}
-inline ocb::Oid LinkFrom(uint64_t key) { return key >> 32; }
-inline ocb::Oid LinkTo(uint64_t key) { return key & 0xFFFFFFFFULL; }
-}  // namespace
-
 void DstcParameters::Validate() const {
   VOODB_CHECK_MSG(observation_period >= 1, "observation period must be >= 1");
   VOODB_CHECK_MSG(min_object_frequency >= 1, "Tfa must be >= 1");
@@ -34,12 +26,11 @@ void DstcPolicy::OnTransactionStart() {
 }
 
 void DstcPolicy::OnObjectAccess(ocb::Oid oid, bool /*is_write*/) {
-  VOODB_CHECK_MSG(oid < (1ULL << 32), "DSTC packs OIDs into 32 bits");
   ++observed_accesses_;
-  ++frequency_[oid];
+  stats_.AddAccess(oid);
   if (in_transaction_ && previous_in_txn_ != ocb::kNullOid &&
       previous_in_txn_ != oid) {
-    ++links_[LinkKey(previous_in_txn_, oid)];
+    stats_.AddLink(previous_in_txn_, oid);
   }
   previous_in_txn_ = oid;
 }
@@ -54,51 +45,48 @@ void DstcPolicy::OnTransactionEnd() {
 bool DstcPolicy::ShouldTrigger() const {
   if (transactions_since_eval_ < params_.observation_period) return false;
   // Cheap test: enough strong links collected to justify a reorganization.
-  uint64_t strong = 0;
-  for (const auto& [key, weight] : links_) {
-    if (weight >= params_.min_link_weight) {
-      if (++strong >= params_.trigger_min_links) return true;
-    }
-  }
-  return false;
+  return stats_.CountLinksAtLeast(params_.min_link_weight) >=
+         params_.trigger_min_links;
 }
 
-std::unordered_map<ocb::Oid, std::vector<DstcPolicy::Candidate>>
-DstcPolicy::SelectLinks() const {
-  std::unordered_map<ocb::Oid, std::vector<Candidate>> by_source;
-  for (const auto& [key, weight] : links_) {
-    if (weight < params_.min_link_weight) continue;
-    const ocb::Oid from = LinkFrom(key);
-    const ocb::Oid to = LinkTo(key);
-    const auto f_from = frequency_.find(from);
-    const auto f_to = frequency_.find(to);
-    if (f_from == frequency_.end() ||
-        f_from->second < params_.min_object_frequency ||
-        f_to == frequency_.end() ||
-        f_to->second < params_.min_object_frequency) {
-      continue;
+DstcPolicy::SelectedLinks DstcPolicy::SelectLinks(uint64_t num_objects) const {
+  SelectedLinks selected;
+  selected.row_of.assign(num_objects, SelectedLinks::kNoRow);
+  stats_.ForEachLink([&](ocb::Oid from, ocb::Oid to, uint32_t weight) {
+    if (weight < params_.min_link_weight) return;
+    if (stats_.Frequency(from) < params_.min_object_frequency ||
+        stats_.Frequency(to) < params_.min_object_frequency) {
+      return;
     }
-    by_source[from].push_back(Candidate{to, weight});
-  }
+    uint32_t row = selected.row_of[from];
+    if (row == SelectedLinks::kNoRow) {
+      row = static_cast<uint32_t>(selected.rows.size());
+      selected.row_of[from] = row;
+      selected.sources.push_back(from);
+      selected.rows.emplace_back();
+    }
+    selected.rows[row].push_back(Candidate{to, weight});
+  });
   // Deterministic strongest-first order (ties by OID).
-  for (auto& [from, candidates] : by_source) {
-    std::sort(candidates.begin(), candidates.end(),
+  for (std::vector<Candidate>& row : selected.rows) {
+    std::sort(row.begin(), row.end(),
               [](const Candidate& a, const Candidate& b) {
                 if (a.weight != b.weight) return a.weight > b.weight;
                 return a.target < b.target;
               });
   }
-  return by_source;
+  return selected;
 }
 
 ClusteringOutcome DstcPolicy::Recluster(const ocb::ObjectBase& base,
                                         const storage::Placement& current) {
-  auto by_source = SelectLinks();
+  const SelectedLinks selected = SelectLinks(base.NumObjects());
 
   // Seed order: hottest objects first (deterministic; ties by OID).
   std::vector<std::pair<ocb::Oid, uint32_t>> seeds;
-  seeds.reserve(frequency_.size());
-  for (const auto& [oid, freq] : frequency_) {
+  seeds.reserve(stats_.TrackedObjects());
+  for (ocb::Oid oid : stats_.TouchedObjects()) {
+    const uint32_t freq = stats_.Frequency(oid);
     if (freq >= params_.min_object_frequency) seeds.emplace_back(oid, freq);
   }
   std::sort(seeds.begin(), seeds.end(), [](const auto& a, const auto& b) {
@@ -129,9 +117,9 @@ ClusteringOutcome DstcPolicy::Recluster(const ocb::ObjectBase& base,
     std::priority_queue<Frontier> frontier;
     uint64_t seq = 0;
     auto push_links = [&](ocb::Oid from) {
-      const auto it = by_source.find(from);
-      if (it == by_source.end()) return;
-      for (const Candidate& c : it->second) {
+      const std::vector<Candidate>* row = selected.RowOf(from);
+      if (row == nullptr) return;
+      for (const Candidate& c : *row) {
         if (c.weight < params_.extension_threshold) break;  // sorted desc
         if (!clustered[c.target]) {
           frontier.push(Frontier{c.weight, seq++, c.target});
@@ -162,8 +150,7 @@ ClusteringOutcome DstcPolicy::Recluster(const ocb::ObjectBase& base,
 }
 
 void DstcPolicy::Reset() {
-  frequency_.clear();
-  links_.clear();
+  stats_.Clear();
   previous_in_txn_ = ocb::kNullOid;
   in_transaction_ = false;
   transactions_since_eval_ = 0;

@@ -33,9 +33,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "cluster/dense_stats.hpp"
 #include "cluster/policy.hpp"
 
 namespace voodb::cluster {
@@ -81,8 +81,8 @@ class DstcPolicy final : public ClusteringPolicy {
   // --- Introspection (tests / ablation benches) ---------------------------
   uint64_t ObservedTransactions() const { return observed_transactions_; }
   uint64_t ObservedAccesses() const { return observed_accesses_; }
-  uint64_t TrackedObjects() const { return frequency_.size(); }
-  uint64_t TrackedLinks() const { return links_.size(); }
+  uint64_t TrackedObjects() const { return stats_.TrackedObjects(); }
+  uint64_t TrackedLinks() const { return stats_.TrackedLinks(); }
   const DstcParameters& params() const { return params_; }
 
  private:
@@ -91,12 +91,26 @@ class DstcPolicy final : public ClusteringPolicy {
     ocb::Oid target;
     uint32_t weight;
   };
-  std::unordered_map<ocb::Oid, std::vector<Candidate>> SelectLinks() const;
+  /// Surviving candidates per source, strongest first.  `rows` is
+  /// parallel to `sources`; `row_of` is a dense Oid-indexed lookup
+  /// (one O(base) assign per selection — selection runs once per
+  /// reorganization, not per access).
+  struct SelectedLinks {
+    std::vector<ocb::Oid> sources;  ///< sources with >= 1 candidate
+    std::vector<std::vector<Candidate>> rows;  ///< parallel to sources
+    std::vector<uint32_t> row_of;  ///< dense Oid -> row index (or kNoRow)
+    static constexpr uint32_t kNoRow = static_cast<uint32_t>(-1);
+
+    const std::vector<Candidate>* RowOf(ocb::Oid oid) const {
+      if (oid >= row_of.size() || row_of[oid] == kNoRow) return nullptr;
+      return &rows[row_of[oid]];
+    }
+  };
+  SelectedLinks SelectLinks(uint64_t num_objects) const;
 
   DstcParameters params_;
-  std::unordered_map<ocb::Oid, uint32_t> frequency_;
-  /// Directed transition counts keyed by (source << 32 | kLinkShift target).
-  std::unordered_map<uint64_t, uint32_t> links_;
+  /// Dense access-frequency and directed-transition statistics.
+  DenseStats stats_;
   ocb::Oid previous_in_txn_ = ocb::kNullOid;
   bool in_transaction_ = false;
   uint64_t observed_transactions_ = 0;

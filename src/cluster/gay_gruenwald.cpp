@@ -19,15 +19,15 @@ GayGruenwaldPolicy::GayGruenwaldPolicy(GayGruenwaldParameters params)
 }
 
 void GayGruenwaldPolicy::OnObjectAccess(ocb::Oid oid, bool /*is_write*/) {
-  ++heat_[oid];
+  heat_.AddAccess(oid);
 }
 
 void GayGruenwaldPolicy::OnTransactionEnd() { ++transactions_since_eval_; }
 
 bool GayGruenwaldPolicy::ShouldTrigger() const {
   if (transactions_since_eval_ < params_.observation_period) return false;
-  for (const auto& [oid, h] : heat_) {
-    if (h >= params_.min_heat) return true;
+  for (ocb::Oid oid : heat_.TouchedObjects()) {
+    if (heat_.Frequency(oid) >= params_.min_heat) return true;
   }
   return false;
 }
@@ -35,19 +35,15 @@ bool GayGruenwaldPolicy::ShouldTrigger() const {
 ClusteringOutcome GayGruenwaldPolicy::Recluster(
     const ocb::ObjectBase& base, const storage::Placement& current) {
   std::vector<std::pair<ocb::Oid, uint32_t>> seeds;
-  seeds.reserve(heat_.size());
-  for (const auto& [oid, h] : heat_) {
+  seeds.reserve(heat_.TrackedObjects());
+  for (ocb::Oid oid : heat_.TouchedObjects()) {
+    const uint32_t h = heat_.Frequency(oid);
     if (h >= params_.min_heat) seeds.emplace_back(oid, h);
   }
   std::sort(seeds.begin(), seeds.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;
   });
-
-  auto heat_of = [this](ocb::Oid oid) -> uint32_t {
-    const auto it = heat_.find(oid);
-    return it == heat_.end() ? 0 : it->second;
-  };
 
   std::vector<char> clustered(base.NumObjects(), 0);
   std::vector<std::vector<ocb::Oid>> clusters;
@@ -62,9 +58,11 @@ ClusteringOutcome GayGruenwaldPolicy::Recluster(
            fragment.size() < params_.max_cluster_size) {
       const ocb::Oid cursor = frontier.front();
       frontier.pop_front();
-      for (ocb::Oid ref : base.Object(cursor).references) {
+      // Dangling slots are skipped exactly like the workload traversals
+      // skip them: a kNullOid slot simply does not exist.
+      for (ocb::Oid ref : base.References(cursor)) {
         if (ref == ocb::kNullOid || clustered[ref]) continue;
-        if (heat_of(ref) < params_.min_heat) continue;
+        if (heat_.Frequency(ref) < params_.min_heat) continue;
         fragment.push_back(ref);
         clustered[ref] = 1;
         frontier.push_back(ref);
@@ -85,7 +83,7 @@ ClusteringOutcome GayGruenwaldPolicy::Recluster(
 }
 
 void GayGruenwaldPolicy::Reset() {
-  heat_.clear();
+  heat_.Clear();
   transactions_since_eval_ = 0;
 }
 

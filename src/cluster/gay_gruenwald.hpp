@@ -18,8 +18,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "cluster/dense_stats.hpp"
 #include "cluster/policy.hpp"
 
 namespace voodb::cluster {
@@ -53,12 +53,13 @@ class GayGruenwaldPolicy final : public ClusteringPolicy {
 
   void Reset() override;
 
-  uint64_t TrackedObjects() const { return heat_.size(); }
+  uint64_t TrackedObjects() const { return heat_.TrackedObjects(); }
   const GayGruenwaldParameters& params() const { return params_; }
 
  private:
   GayGruenwaldParameters params_;
-  std::unordered_map<ocb::Oid, uint32_t> heat_;
+  /// Dense per-object heat (access counts); links are unused here.
+  DenseStats heat_;
   uint64_t transactions_since_eval_ = 0;
 };
 

@@ -2,19 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <unordered_map>
 
 #include "util/check.hpp"
 
 namespace voodb::cluster {
 
 namespace {
-
-inline uint64_t EdgeKey(ocb::Oid a, ocb::Oid b) {
-  if (a > b) std::swap(a, b);
-  return (a << 32) | (b & 0xFFFFFFFFULL);
-}
-inline ocb::Oid EdgeA(uint64_t key) { return key >> 32; }
-inline ocb::Oid EdgeB(uint64_t key) { return key & 0xFFFFFFFFULL; }
 
 /// Union-find with per-root byte accounting.
 class UnionFind {
@@ -64,10 +58,9 @@ void GraphPartitioningPolicy::OnTransactionStart() {
 }
 
 void GraphPartitioningPolicy::OnObjectAccess(ocb::Oid oid, bool /*is_write*/) {
-  VOODB_CHECK_MSG(oid < (1ULL << 32), "GGP packs OIDs into 32 bits");
-  ++frequency_[oid];
+  stats_.AddAccess(oid);
   if (previous_in_txn_ != ocb::kNullOid && previous_in_txn_ != oid) {
-    ++edges_[EdgeKey(previous_in_txn_, oid)];
+    stats_.AddEdge(previous_in_txn_, oid);
   }
   previous_in_txn_ = oid;
 }
@@ -79,10 +72,7 @@ void GraphPartitioningPolicy::OnTransactionEnd() {
 
 bool GraphPartitioningPolicy::ShouldTrigger() const {
   if (transactions_since_eval_ < params_.observation_period) return false;
-  for (const auto& [key, weight] : edges_) {
-    if (weight >= params_.min_edge_weight) return true;
-  }
-  return false;
+  return stats_.AnyLinkAtLeast(params_.min_edge_weight);
 }
 
 ClusteringOutcome GraphPartitioningPolicy::Recluster(
@@ -91,32 +81,35 @@ ClusteringOutcome GraphPartitioningPolicy::Recluster(
                               ? params_.partition_byte_budget
                               : current.page_size();
 
-  // Surviving edges, heaviest first (ties by key for determinism).
+  // Surviving edges, heaviest first (ties by the (a, b) endpoint pair for
+  // determinism; DenseStats stores undirected edges smaller-first).
   struct Edge {
     uint32_t weight;
-    uint64_t key;
+    ocb::Oid a;
+    ocb::Oid b;
   };
   std::vector<Edge> sorted;
-  sorted.reserve(edges_.size());
-  for (const auto& [key, weight] : edges_) {
-    if (weight >= params_.min_edge_weight) sorted.push_back(Edge{weight, key});
-  }
-  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
-    if (a.weight != b.weight) return a.weight > b.weight;
-    return a.key < b.key;
+  sorted.reserve(stats_.TrackedLinks());
+  stats_.ForEachLink([&](ocb::Oid a, ocb::Oid b, uint32_t weight) {
+    if (weight >= params_.min_edge_weight) sorted.push_back(Edge{weight, a, b});
+  });
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& x, const Edge& y) {
+    if (x.weight != y.weight) return x.weight > y.weight;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
   });
 
   // Greedy edge merge under the byte budget.
   UnionFind uf(base.NumObjects());
   for (ocb::Oid oid = 0; oid < base.NumObjects(); ++oid) {
-    uf.SetBytes(oid, base.Object(oid).size);
+    uf.SetBytes(oid, base.SizeOf(oid));
   }
-  std::unordered_map<uint64_t, std::vector<ocb::Oid>> groups;
   for (const Edge& e : sorted) {
-    uf.TryUnion(EdgeA(e.key), EdgeB(e.key), budget);
+    uf.TryUnion(e.a, e.b, budget);
   }
-  // Collect multi-member partitions (touched objects only).
-  for (const auto& [oid, freq] : frequency_) {
+  // Collect partitions over the touched objects only.
+  std::unordered_map<uint64_t, std::vector<ocb::Oid>> groups;
+  for (ocb::Oid oid : stats_.TouchedObjects()) {
     groups[uf.Find(oid)].push_back(oid);
   }
 
@@ -127,18 +120,16 @@ ClusteringOutcome GraphPartitioningPolicy::Recluster(
     if (members.size() < 2) continue;
     std::sort(members.begin(), members.end(),
               [this](ocb::Oid a, ocb::Oid b) {
-                const uint32_t fa = frequency_.at(a);
-                const uint32_t fb = frequency_.at(b);
+                const uint32_t fa = stats_.Frequency(a);
+                const uint32_t fb = stats_.Frequency(b);
                 if (fa != fb) return fa > fb;
                 return a < b;
               });
     std::unordered_map<ocb::Oid, std::vector<ocb::Oid>> adjacency;
     for (const Edge& e : sorted) {
-      const ocb::Oid a = EdgeA(e.key);
-      const ocb::Oid b = EdgeB(e.key);
-      if (uf.Find(a) != root || uf.Find(b) != root) continue;
-      adjacency[a].push_back(b);
-      adjacency[b].push_back(a);
+      if (uf.Find(e.a) != root || uf.Find(e.b) != root) continue;
+      adjacency[e.a].push_back(e.b);
+      adjacency[e.b].push_back(e.a);
     }
     std::vector<ocb::Oid> ordered;
     std::unordered_map<ocb::Oid, bool> visited;
@@ -174,8 +165,7 @@ ClusteringOutcome GraphPartitioningPolicy::Recluster(
 }
 
 void GraphPartitioningPolicy::Reset() {
-  edges_.clear();
-  frequency_.clear();
+  stats_.Clear();
   previous_in_txn_ = ocb::kNullOid;
   transactions_since_eval_ = 0;
 }

@@ -20,9 +20,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "cluster/dense_stats.hpp"
 #include "cluster/policy.hpp"
 
 namespace voodb::cluster {
@@ -58,14 +58,14 @@ class GraphPartitioningPolicy final : public ClusteringPolicy {
 
   void Reset() override;
 
-  uint64_t TrackedEdges() const { return edges_.size(); }
+  uint64_t TrackedEdges() const { return stats_.TrackedLinks(); }
   const GraphPartitioningParameters& params() const { return params_; }
 
  private:
   GraphPartitioningParameters params_;
-  /// Undirected edge keyed by (min << 32 | max).
-  std::unordered_map<uint64_t, uint32_t> edges_;
-  std::unordered_map<ocb::Oid, uint32_t> frequency_;
+  /// Dense per-object frequencies plus the undirected co-access edges
+  /// (stored smaller-endpoint-first in the pooled adjacency).
+  DenseStats stats_;
   ocb::Oid previous_in_txn_ = ocb::kNullOid;
   uint64_t transactions_since_eval_ = 0;
 };

@@ -55,11 +55,13 @@ core::PhaseMetrics O2Emulator::Drive(ocb::WorkloadGenerator& workload,
 
 void O2Emulator::AccessObject(ocb::Oid oid, bool write) {
   ++accesses_;
-  const storage::PageSpan span = placement_.SpanOf(oid);
+  // Flat span-array lookup + allocation-free cache probe: the emulator
+  // hot path touches only dense arrays.
+  const storage::PageSpan span = placement_.spans()[oid];
   for (uint32_t i = 0; i < span.count; ++i) {
-    const storage::AccessOutcome outcome =
-        cache_->Access(span.first + i, write);
-    for (const storage::PageIo& io : outcome.ios) {
+    scratch_ios_.clear();
+    cache_->AccessInto(span.first + i, write, scratch_ios_);
+    for (const storage::PageIo& io : scratch_ios_) {
       if (io.kind == storage::PageIo::Kind::kRead) {
         ++reads_;
       } else {

@@ -61,6 +61,8 @@ class O2Emulator {
   const ocb::ObjectBase* base_;
   storage::Placement placement_;
   std::unique_ptr<storage::BufferManager> cache_;
+  /// Reused I/O scratch buffer (the access path never allocates).
+  std::vector<storage::PageIo> scratch_ios_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   uint64_t accesses_ = 0;

@@ -85,7 +85,8 @@ void TexasEmulator::CountIos(const std::vector<storage::PageIo>& ios) {
 
 void TexasEmulator::AccessObject(ocb::Oid oid, bool write) {
   ++accesses_;
-  const storage::PageSpan span = placement_->SpanOf(oid);
+  // Flat span-array lookup (Oid -> pages without the checked accessor).
+  const storage::PageSpan span = placement_->spans()[oid];
   for (uint32_t i = 0; i < span.count; ++i) {
     const storage::PageId page = span.first + i;
     const storage::AccessOutcome outcome = vm_->Touch(page, write);
@@ -93,7 +94,7 @@ void TexasEmulator::AccessObject(ocb::Oid oid, bool write) {
     if (!outcome.hit && config_.reserve_references) {
       // The fault swizzled every pointer in the page: frames are
       // reserved for all pages referenced from it.
-      for (storage::PageId ref : adjacency_[page]) {
+      for (storage::PageId ref : adjacency_.RowOf(page)) {
         CountIos(vm_->Reserve(ref));
       }
     }
@@ -131,7 +132,7 @@ TexasClusteringMetrics TexasEmulator::PerformClustering() {
         must_patch = true;  // the page loses an object: slot map rewritten
         break;
       }
-      for (ocb::Oid ref : base_->Object(oid).references) {
+      for (ocb::Oid ref : base_->References(oid)) {
         if (ref != ocb::kNullOid && moved[ref]) {
           must_patch = true;
           break;
@@ -159,20 +160,7 @@ TexasClusteringMetrics TexasEmulator::PerformClustering() {
 }
 
 void TexasEmulator::RebuildAdjacency() {
-  adjacency_.assign(placement_->NumPages(), {});
-  for (storage::PageId page = 0; page < placement_->NumPages(); ++page) {
-    auto& out = adjacency_[page];
-    for (ocb::Oid oid : placement_->ObjectsOn(page)) {
-      for (ocb::Oid ref : base_->Object(oid).references) {
-        if (ref == ocb::kNullOid) continue;
-        const storage::PageSpan span = placement_->SpanOf(ref);
-        for (uint32_t i = 0; i < span.count; ++i) out.push_back(span.first + i);
-      }
-    }
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-    out.erase(std::remove(out.begin(), out.end(), page), out.end());
-  }
+  adjacency_.Rebuild(*base_, *placement_);
 }
 
 }  // namespace voodb::emu

@@ -25,6 +25,7 @@
 #include "desp/random.hpp"
 #include "ocb/object_base.hpp"
 #include "ocb/workload.hpp"
+#include "storage/page_adjacency.hpp"
 #include "storage/placement.hpp"
 #include "storage/virtual_memory.hpp"
 #include "voodb/metrics.hpp"
@@ -99,7 +100,7 @@ class TexasEmulator {
   TexasConfig config_;
   const ocb::ObjectBase* base_;
   std::unique_ptr<storage::Placement> placement_;
-  std::vector<std::vector<storage::PageId>> adjacency_;
+  storage::PageAdjacency adjacency_;
   std::unique_ptr<storage::VirtualMemoryModel> vm_;
   std::unique_ptr<cluster::ClusteringPolicy> policy_;
   uint64_t reads_ = 0;

@@ -16,30 +16,38 @@ ObjectBase ObjectBase::Generate(const OcbParameters& params) {
 
   const uint64_t no = params.num_objects;
   const uint32_t nc = params.num_classes;
-  base.objects_.resize(no);
+  base.num_objects_ = no;
+  base.num_classes_ = nc;
   base.instances_per_class_.assign(nc, 0);
+  base.class_sizes_.resize(nc);
+  for (ClassId c = 0; c < nc; ++c) {
+    base.class_sizes_[c] = base.schema_.Class(c).instance_size;
+  }
 
   // Instances are assigned to classes round-robin: object i belongs to
   // class (i mod NC).  This populates every class evenly and — because a
   // class's instances all share one residue — lets reference generation
   // snap a locality-window candidate to the demanded target class in O(1).
+  // The round-robin rule also makes class and size pure functions of the
+  // OID, so the SoA layout needs no per-object class/size arrays at all.
+  base.ref_offsets_.resize(no + 1);
+  uint64_t total_slots = 0;
   for (Oid i = 0; i < no; ++i) {
-    ObjectDef& obj = base.objects_[i];
-    obj.id = i;
-    obj.cls = static_cast<ClassId>(i % nc);
-    const ClassDef& cls = base.schema_.Class(obj.cls);
-    obj.size = cls.instance_size;
-    base.total_bytes_ += obj.size;
-    ++base.instances_per_class_[obj.cls];
-    obj.references.assign(cls.references.size(), kNullOid);
+    const ClassId cls = static_cast<ClassId>(i % nc);
+    base.ref_offsets_[i] = total_slots;
+    total_slots += base.schema_.Class(cls).references.size();
+    base.total_bytes_ += base.class_sizes_[cls];
+    ++base.instances_per_class_[cls];
   }
+  base.ref_offsets_[no] = total_slots;
+  base.ref_targets_.assign(total_slots, kNullOid);
 
   const auto window_limit = static_cast<int64_t>(
       std::min<uint64_t>(params.object_locality, no));
   for (Oid i = 0; i < no; ++i) {
-    ObjectDef& obj = base.objects_[i];
-    const ClassDef& cls = base.schema_.Class(obj.cls);
-    for (size_t slot = 0; slot < obj.references.size(); ++slot) {
+    const ClassDef& cls = base.schema_.Class(base.ClassOf(i));
+    Oid* row = base.ref_targets_.data() + base.ref_offsets_[i];
+    for (size_t slot = 0; slot < cls.references.size(); ++slot) {
       const ClassId target_class = cls.references[slot].target_class;
       if (base.instances_per_class_[target_class] == 0) continue;  // dangling
       int64_t offset = 0;
@@ -66,15 +74,20 @@ ObjectBase ObjectBase::Generate(const OcbParameters& params) {
       if (snapped >= no) {
         snapped = target_class;  // wrap to the first instance of the class
       }
-      obj.references[slot] = snapped;
+      row[slot] = snapped;
     }
   }
   return base;
 }
 
-const ObjectDef& ObjectBase::Object(Oid oid) const {
-  VOODB_CHECK_MSG(oid < objects_.size(), "oid " << oid << " out of range");
-  return objects_[oid];
+ObjectDef ObjectBase::Object(Oid oid) const {
+  VOODB_CHECK_MSG(oid < num_objects_, "oid " << oid << " out of range");
+  ObjectDef view;
+  view.id = oid;
+  view.cls = ClassOf(oid);
+  view.size = class_sizes_[view.cls];
+  view.references = References(oid);
+  return view;
 }
 
 uint64_t ObjectBase::InstancesOf(ClassId c) const {
@@ -84,14 +97,12 @@ uint64_t ObjectBase::InstancesOf(ClassId c) const {
 }
 
 double ObjectBase::MeanFanout() const {
-  if (objects_.empty()) return 0.0;
+  if (num_objects_ == 0) return 0.0;
   uint64_t refs = 0;
-  for (const auto& obj : objects_) {
-    for (Oid r : obj.references) {
-      if (r != kNullOid) ++refs;
-    }
+  for (Oid target : ref_targets_) {
+    if (target != kNullOid) ++refs;
   }
-  return static_cast<double>(refs) / static_cast<double>(objects_.size());
+  return static_cast<double>(refs) / static_cast<double>(num_objects_);
 }
 
 }  // namespace voodb::ocb

@@ -9,9 +9,12 @@
 /// simple / hierarchical / stochastic traversals).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/span.hpp"
 
 namespace voodb::ocb {
 
@@ -24,6 +27,10 @@ using Oid = uint64_t;
 
 /// Sentinel for "no object" (dangling reference slot).
 inline constexpr Oid kNullOid = static_cast<Oid>(-1);
+
+/// A non-owning view over a contiguous run of OIDs (one CSR row of the
+/// object-base reference graph, or the objects stored on one page).
+using OidSpan = util::IdSpan<Oid>;
 
 /// The OCB transaction kinds.  The four traversal kinds are the paper's
 /// Table 5 mix; random accesses and sequential class scans complete the

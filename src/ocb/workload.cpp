@@ -139,7 +139,7 @@ void WorkloadGenerator::GenerateSetOriented(Transaction& txn, uint32_t depth) {
     const auto [oid, level] = frontier.front();
     frontier.pop_front();
     if (level >= depth) continue;
-    for (Oid ref : base_->Object(oid).references) {
+    for (Oid ref : base_->References(oid)) {
       if (ref == kNullOid || !MarkVisited(ref)) continue;
       AppendAccess(txn, ref);
       frontier.emplace_back(ref, level + 1);
@@ -147,20 +147,33 @@ void WorkloadGenerator::GenerateSetOriented(Transaction& txn, uint32_t depth) {
   }
 }
 
+Oid WorkloadGenerator::PickLiveReference(Oid from) {
+  // Uniform draw over the non-null slots of `from`'s CSR row, without
+  // materializing them.  This is the single dangling-reference filter all
+  // random traversals share: a kNullOid slot is skipped exactly as if the
+  // slot did not exist (same rule the deterministic traversals apply
+  // inline), so every traversal kind treats sparse bases identically.
+  const OidSpan refs = base_->References(from);
+  size_t live = 0;
+  for (Oid r : refs) {
+    if (r != kNullOid) ++live;
+  }
+  if (live == 0) return kNullOid;
+  int64_t index = stream_.UniformInt(0, static_cast<int64_t>(live) - 1);
+  for (Oid r : refs) {
+    if (r == kNullOid) continue;
+    if (index-- == 0) return r;
+  }
+  return kNullOid;  // unreachable
+}
+
 void WorkloadGenerator::GenerateSimple(Transaction& txn, uint32_t depth) {
   Oid current = txn.root;
   AppendAccess(txn, current);
   for (uint32_t level = 0; level < depth; ++level) {
-    const auto& refs = base_->Object(current).references;
-    // Collect non-null slots; stop at a leaf.
-    std::vector<Oid> live;
-    live.reserve(refs.size());
-    for (Oid r : refs) {
-      if (r != kNullOid) live.push_back(r);
-    }
-    if (live.empty()) break;
-    current = live[static_cast<size_t>(
-        stream_.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+    const Oid next = PickLiveReference(current);
+    if (next == kNullOid) break;  // leaf
+    current = next;
     AppendAccess(txn, current);
   }
 }
@@ -175,7 +188,7 @@ void WorkloadGenerator::HierarchyVisit(Transaction& txn, Oid oid,
                                        uint32_t remaining) {
   if (remaining == 0) return;
   const bool visit_once = base_->params().traversal_visits_once;
-  for (Oid ref : base_->Object(oid).references) {
+  for (Oid ref : base_->References(oid)) {
     if (ref == kNullOid) continue;
     if (visit_once) {
       if (!MarkVisited(ref)) continue;
@@ -202,7 +215,7 @@ void WorkloadGenerator::GenerateSequentialScan(Transaction& txn,
                                                uint64_t max_instances) {
   // Scan every instance of the root's class in OID order (instances of
   // class c are the OIDs congruent to c modulo NC, by construction).
-  const ClassId cls = base_->Object(txn.root).cls;
+  const ClassId cls = base_->ClassOf(txn.root);
   const uint64_t nc = base_->schema().NumClasses();
   uint64_t scanned = 0;
   for (Oid oid = cls; oid < base_->NumObjects(); oid += nc) {
@@ -216,15 +229,9 @@ void WorkloadGenerator::GenerateStochastic(Transaction& txn, uint32_t steps) {
   Oid current = txn.root;
   AppendAccess(txn, current);
   for (uint32_t step = 0; step < steps; ++step) {
-    const auto& refs = base_->Object(current).references;
-    std::vector<Oid> live;
-    live.reserve(refs.size());
-    for (Oid r : refs) {
-      if (r != kNullOid) live.push_back(r);
-    }
-    if (live.empty()) break;
-    current = live[static_cast<size_t>(
-        stream_.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+    const Oid next = PickLiveReference(current);
+    if (next == kNullOid) break;
+    current = next;
     AppendAccess(txn, current);
   }
 }

@@ -44,6 +44,10 @@ class WorkloadGenerator {
 
  private:
   Oid PickRoot();
+  /// Uniform draw among the non-null reference slots of `from`
+  /// (kNullOid when every slot dangles).  The shared dangling-slot
+  /// filter of the random traversals.
+  Oid PickLiveReference(Oid from);
   bool MaybeWrite();
   void AppendAccess(Transaction& txn, Oid oid);
   void GenerateSetOriented(Transaction& txn, uint32_t depth);

@@ -1,5 +1,6 @@
 #include "storage/buffer_manager.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.hpp"
@@ -9,9 +10,10 @@ namespace voodb::storage {
 BufferManager::BufferManager(uint64_t capacity_pages, ReplacementPolicy policy,
                              desp::RandomStream rng, uint32_t lru_k)
     : capacity_(capacity_pages),
-      policy_(policy),
-      algo_(MakeReplacementAlgo(policy, rng, lru_k)) {
+      engine_(policy, rng, lru_k),
+      index_(capacity_pages) {
   VOODB_CHECK_MSG(capacity_ >= 1, "buffer capacity must be >= 1 page");
+  frames_.reserve(capacity_);
 }
 
 void BufferManager::SetPrefetcher(std::unique_ptr<Prefetcher> prefetcher) {
@@ -20,73 +22,104 @@ void BufferManager::SetPrefetcher(std::unique_ptr<Prefetcher> prefetcher) {
 
 AccessOutcome BufferManager::Access(PageId page, bool write) {
   AccessOutcome outcome;
+  outcome.hit = AccessInto(page, write, outcome.ios);
+  return outcome;
+}
+
+bool BufferManager::AccessInto(PageId page, bool write,
+                               std::vector<PageIo>& ios) {
   ++stats_.accesses;
-  const auto it = resident_.find(page);
-  if (it != resident_.end()) {
+  const uint32_t frame = index_.Find(page);
+  if (frame != kNoFrame) {
     ++stats_.hits;
-    outcome.hit = true;
-    it->second = it->second || write;
-    algo_->OnAccess(page);
-    return outcome;
+    Frame& f = frames_[frame];
+    f.dirty = f.dirty || write;
+    engine_.OnAccess(frames_, frame);
+    return true;
   }
   ++stats_.misses;
-  Admit(page, write, outcome.ios);
-  outcome.ios.push_back(PageIo{PageIo::Kind::kRead, page});
+  Admit(page, write, ios);
+  ios.push_back(PageIo{PageIo::Kind::kRead, page});
   if (prefetcher_ != nullptr) {
     for (PageId extra : prefetcher_->OnMiss(page)) {
-      if (resident_.count(extra) != 0 || extra == page) continue;
-      Admit(extra, /*dirty=*/false, outcome.ios);
-      outcome.ios.push_back(PageIo{PageIo::Kind::kRead, extra});
+      if (extra == page || index_.Find(extra) != kNoFrame) continue;
+      Admit(extra, /*dirty=*/false, ios);
+      ios.push_back(PageIo{PageIo::Kind::kRead, extra});
       ++stats_.prefetch_reads;
     }
   }
-  return outcome;
+  return false;
 }
 
 std::vector<PageIo> BufferManager::FlushAll() {
   std::vector<PageIo> ios;
-  for (auto& [page, dirty] : resident_) {
-    if (dirty) {
-      ios.push_back(PageIo{PageIo::Kind::kWrite, page});
+  for (Frame& f : frames_) {
+    if (f.page != kNullPage && f.dirty) {
+      ios.push_back(PageIo{PageIo::Kind::kWrite, f.page});
       ++stats_.writebacks;
-      dirty = false;
+      f.dirty = false;
     }
   }
+  // Ascending page order: deterministic, and sequential on the disk
+  // model (contiguous writes skip the seek).
+  std::sort(ios.begin(), ios.end(),
+            [](const PageIo& a, const PageIo& b) { return a.page < b.page; });
   return ios;
 }
 
 void BufferManager::DropAll() {
-  for (const auto& [page, dirty] : resident_) {
-    algo_->OnEvict(page);
-  }
-  resident_.clear();
+  frames_.clear();
+  free_frames_.clear();
+  index_.Clear();
+  engine_.Reset();
 }
 
 std::vector<PageIo> BufferManager::Resize(uint64_t capacity_pages) {
   VOODB_CHECK_MSG(capacity_pages >= 1, "buffer capacity must be >= 1 page");
   std::vector<PageIo> ios;
   capacity_ = capacity_pages;
-  while (resident_.size() > capacity_) EvictOne(ios);
+  frames_.reserve(capacity_);
+  while (index_.size() > capacity_) EvictOne(ios);
   return ios;
 }
 
+uint64_t BufferManager::DirtyPages() const {
+  uint64_t n = 0;
+  for (const Frame& f : frames_) n += (f.page != kNullPage && f.dirty) ? 1 : 0;
+  return n;
+}
+
 void BufferManager::EvictOne(std::vector<PageIo>& ios) {
-  const PageId victim = algo_->PickVictim();
-  const auto it = resident_.find(victim);
-  VOODB_CHECK_MSG(it != resident_.end(), "victim not resident");
-  if (it->second) {
-    ios.push_back(PageIo{PageIo::Kind::kWrite, victim});
+  const uint32_t victim = engine_.PickVictim(frames_, index_);
+  Frame& f = frames_[victim];
+  VOODB_CHECK_MSG(f.page != kNullPage, "victim frame not resident");
+  if (f.dirty) {
+    ios.push_back(PageIo{PageIo::Kind::kWrite, f.page});
     ++stats_.writebacks;
   }
-  algo_->OnEvict(victim);
-  resident_.erase(it);
+  engine_.OnEvict(frames_, victim);
+  index_.Erase(f.page);
+  f.page = kNullPage;
+  f.dirty = false;
+  free_frames_.push_back(victim);
   ++stats_.evictions;
 }
 
 void BufferManager::Admit(PageId page, bool dirty, std::vector<PageIo>& ios) {
-  while (resident_.size() >= capacity_) EvictOne(ios);
-  resident_.emplace(page, dirty);
-  algo_->OnAdmit(page);
+  while (index_.size() >= capacity_) EvictOne(ios);
+  uint32_t frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    frame = static_cast<uint32_t>(frames_.size());
+    frames_.emplace_back();
+  }
+  Frame& f = frames_[frame];
+  f.page = page;
+  f.dirty = dirty;
+  index_.Insert(page, frame);
+  engine_.OnAdmit(frames_, frame);
 }
 
 }  // namespace voodb::storage

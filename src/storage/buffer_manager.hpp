@@ -8,11 +8,17 @@
 /// pure cache logic — timing is applied by whoever executes the returned
 /// `PageIo` operations (the DES I/O subsystem actor, or the emulators'
 /// simple counters).
+///
+/// The cache is data-oriented: resident pages live in one flat `Frame`
+/// array that holds the page id, the dirty bit and the replacement-policy
+/// state intrusively, found through an open-addressing `FrameTable`
+/// (PageId -> frame index).  A hit is one hash probe plus one cache-line
+/// update; evictions recycle frames through a free list and never
+/// allocate.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "desp/random.hpp"
@@ -57,30 +63,33 @@ class BufferManager {
   /// missed, and prefetch reads.
   AccessOutcome Access(PageId page, bool write);
 
-  /// True when `page` is resident.
-  bool Contains(PageId page) const { return resident_.count(page) != 0; }
+  /// Allocation-free variant of Access: appends the implied physical
+  /// operations to `ios` (not cleared) and returns whether the access
+  /// hit.  With a reused caller buffer the whole access path — hit,
+  /// miss, eviction, write-back — performs no heap allocation.
+  bool AccessInto(PageId page, bool write, std::vector<PageIo>& ios);
 
-  /// Writes back all dirty pages (returned as write IOs) and keeps the
-  /// pages resident but clean.
+  /// True when `page` is resident.
+  bool Contains(PageId page) const { return index_.Find(page) != kNoFrame; }
+
+  /// Writes back all dirty pages (returned as write IOs, in ascending
+  /// page order) and keeps the pages resident but clean.
   std::vector<PageIo> FlushAll();
 
   /// Discards all resident pages without write-back (used when a
-  /// reorganization rebuilds the page space from scratch).
+  /// reorganization rebuilds the page space from scratch).  Replacement
+  /// history is dropped with them.
   void DropAll();
 
   /// Changes the capacity; evicts (with write-back IOs) when shrinking.
   std::vector<PageIo> Resize(uint64_t capacity_pages);
 
   uint64_t capacity() const { return capacity_; }
-  uint64_t resident_pages() const { return resident_.size(); }
+  uint64_t resident_pages() const { return index_.size(); }
   /// Number of resident dirty pages (O(resident)).
-  uint64_t DirtyPages() const {
-    uint64_t n = 0;
-    for (const auto& [page, dirty] : resident_) n += dirty ? 1 : 0;
-    return n;
-  }
+  uint64_t DirtyPages() const;
   const BufferStats& stats() const { return stats_; }
-  ReplacementPolicy policy() const { return policy_; }
+  ReplacementPolicy policy() const { return engine_.policy(); }
 
  private:
   /// Evicts one victim, appending its write-back to `ios` when dirty.
@@ -89,10 +98,13 @@ class BufferManager {
   void Admit(PageId page, bool dirty, std::vector<PageIo>& ios);
 
   uint64_t capacity_;
-  ReplacementPolicy policy_;
-  std::unique_ptr<ReplacementAlgo> algo_;
+  ReplacementEngine engine_;
   std::unique_ptr<Prefetcher> prefetcher_;
-  std::unordered_map<PageId, bool> resident_;  // page -> dirty
+  std::vector<Frame> frames_;
+  /// Free frame indices, reused LIFO (so frame numbers stay dense and
+  /// the CLOCK sweep order matches the classic frame-table formulation).
+  std::vector<uint32_t> free_frames_;
+  FrameTable index_;
   BufferStats stats_;
 };
 

@@ -1,0 +1,33 @@
+#include "storage/page_adjacency.hpp"
+
+#include <algorithm>
+
+namespace voodb::storage {
+
+void PageAdjacency::Rebuild(const ocb::ObjectBase& base,
+                            const Placement& placement) {
+  // One CSR row per page, built append-only through a scratch row.
+  const uint64_t num_pages = placement.NumPages();
+  offsets_.clear();
+  offsets_.reserve(num_pages + 1);
+  pages_.clear();
+  std::vector<PageId> row;
+  for (PageId page = 0; page < num_pages; ++page) {
+    offsets_.push_back(pages_.size());
+    row.clear();
+    for (ocb::Oid oid : placement.ObjectsOn(page)) {
+      for (ocb::Oid ref : base.References(oid)) {
+        if (ref == ocb::kNullOid) continue;
+        const PageSpan span = placement.spans()[ref];
+        for (uint32_t i = 0; i < span.count; ++i) row.push_back(span.first + i);
+      }
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    row.erase(std::remove(row.begin(), row.end(), page), row.end());
+    pages_.insert(pages_.end(), row.begin(), row.end());
+  }
+  offsets_.push_back(pages_.size());
+}
+
+}  // namespace voodb::storage

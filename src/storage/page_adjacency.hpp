@@ -1,0 +1,42 @@
+/// \file page_adjacency.hpp
+/// \brief CSR page-adjacency index: pages referenced from each page.
+///
+/// For every page, the deduplicated sorted set of pages holding the
+/// objects referenced by the page's objects (excluding the page
+/// itself).  Drives the Texas reserve-on-swizzle behaviour in both the
+/// DES Object Manager and the Texas emulator; one flat offsets[] +
+/// pages[] pair, rebuilt after a relocation changes the page space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ocb/object_base.hpp"
+#include "storage/page.hpp"
+#include "storage/placement.hpp"
+
+namespace voodb::storage {
+
+class PageAdjacency {
+ public:
+  /// Rebuilds the index for `placement` over `base`'s reference graph.
+  void Rebuild(const ocb::ObjectBase& base, const Placement& placement);
+
+  /// Pages referenced from `page` (unchecked; `page` must be within the
+  /// placement the index was built for).
+  PageIdSpan RowOf(PageId page) const {
+    const uint64_t begin = offsets_[page];
+    return PageIdSpan(pages_.data() + begin,
+                      static_cast<size_t>(offsets_[page + 1] - begin));
+  }
+
+  /// Number of pages indexed.
+  uint64_t NumPages() const { return offsets_.size() - 1; }
+
+ private:
+  /// CSR: row `p` is pages_[offsets_[p] .. offsets_[p+1]).
+  std::vector<uint64_t> offsets_{0};
+  std::vector<PageId> pages_;
+};
+
+}  // namespace voodb::storage

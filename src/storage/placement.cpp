@@ -51,33 +51,33 @@ Placement Placement::RelocateToTail(const Placement& current,
                                     const std::vector<ocb::Oid>& moved_order,
                                     double overhead_factor) {
   VOODB_CHECK_MSG(overhead_factor >= 1.0, "overhead factor must be >= 1");
-  Placement placement = current;
+  Placement placement;
+  placement.page_size_ = current.page_size_;
+  placement.spans_ = current.spans_;
   std::vector<char> moved(base.NumObjects(), 0);
   for (ocb::Oid oid : moved_order) {
     VOODB_CHECK_MSG(oid < base.NumObjects(), "oid out of range");
     VOODB_CHECK_MSG(!moved[oid], "oid " << oid << " moved twice");
     moved[oid] = 1;
   }
-  // Remove moved objects from their old pages (holes are not reclaimed).
-  for (ocb::Oid oid : moved_order) {
-    const PageSpan span = placement.spans_[oid];
-    if (span.first == kNullPage) continue;
-    auto& page_objects = placement.pages_[span.first];
-    for (size_t i = 0; i < page_objects.size(); ++i) {
-      if (page_objects[i] == oid) {
-        page_objects.erase(page_objects.begin() +
-                           static_cast<std::ptrdiff_t>(i));
-        break;
-      }
+  // Rebuild the page rows: every existing page keeps its objects minus
+  // the moved ones (holes are not reclaimed), preserving their order.
+  placement.page_offsets_.clear();
+  placement.page_objects_.reserve(current.page_objects_.size());
+  const uint64_t old_num_pages = current.NumPages();
+  for (PageId page = 0; page < old_num_pages; ++page) {
+    placement.OpenPageRow();
+    for (ocb::Oid oid : current.ObjectsOn(page)) {
+      if (!moved[oid]) placement.page_objects_.push_back(oid);
     }
   }
   // Repack moved objects into fresh pages at the tail.
   const uint32_t page_size = placement.page_size_;
-  uint64_t current_page = placement.pages_.size();
+  uint64_t current_page = old_num_pages;
   uint32_t used_in_page = 0;
   bool page_open = false;
   for (ocb::Oid oid : moved_order) {
-    const auto raw = static_cast<double>(base.Object(oid).size);
+    const auto raw = static_cast<double>(base.SizeOf(oid));
     const auto stored =
         static_cast<uint64_t>(std::ceil(raw * overhead_factor));
     if (stored > page_size) {
@@ -88,28 +88,29 @@ Placement Placement::RelocateToTail(const Placement& current,
       const auto span_pages =
           static_cast<uint32_t>((stored + page_size - 1) / page_size);
       placement.spans_[oid] = PageSpan{current_page, span_pages};
-      placement.pages_.emplace_back();
-      placement.pages_.back().push_back(oid);
+      placement.OpenPageRow();
+      placement.page_objects_.push_back(oid);
       for (uint32_t extra = 1; extra < span_pages; ++extra) {
-        placement.pages_.emplace_back();
+        placement.OpenPageRow();
       }
       current_page += span_pages;
       continue;
     }
     if (!page_open) {
-      placement.pages_.emplace_back();
+      placement.OpenPageRow();
       page_open = true;
       used_in_page = 0;
     }
     if (used_in_page + stored > page_size) {
       ++current_page;
-      placement.pages_.emplace_back();
+      placement.OpenPageRow();
       used_in_page = 0;
     }
     placement.spans_[oid] = PageSpan{current_page, 1};
-    placement.pages_.back().push_back(oid);
+    placement.page_objects_.push_back(oid);
     used_in_page += static_cast<uint32_t>(stored);
   }
+  placement.page_offsets_.push_back(placement.page_objects_.size());
   return placement;
 }
 
@@ -121,6 +122,8 @@ Placement Placement::Pack(const ocb::ObjectBase& base, uint32_t page_size,
   Placement placement;
   placement.page_size_ = page_size;
   placement.spans_.assign(base.NumObjects(), PageSpan{});
+  placement.page_offsets_.clear();
+  placement.page_objects_.reserve(base.NumObjects());
   std::vector<char> placed(base.NumObjects(), 0);
 
   uint64_t current_page = 0;
@@ -128,7 +131,7 @@ Placement Placement::Pack(const ocb::ObjectBase& base, uint32_t page_size,
   bool page_open = false;
   auto open_page = [&]() {
     if (!page_open) {
-      placement.pages_.emplace_back();
+      placement.OpenPageRow();
       page_open = true;
       used_in_page = 0;
     }
@@ -144,7 +147,7 @@ Placement Placement::Pack(const ocb::ObjectBase& base, uint32_t page_size,
     VOODB_CHECK_MSG(oid < base.NumObjects(), "oid " << oid << " out of range");
     VOODB_CHECK_MSG(!placed[oid], "oid " << oid << " appears twice in order");
     placed[oid] = 1;
-    const auto raw = static_cast<double>(base.Object(oid).size);
+    const auto raw = static_cast<double>(base.SizeOf(oid));
     const auto stored =
         static_cast<uint64_t>(std::ceil(raw * overhead_factor));
     if (stored > page_size) {
@@ -153,10 +156,10 @@ Placement Placement::Pack(const ocb::ObjectBase& base, uint32_t page_size,
       const auto span_pages =
           static_cast<uint32_t>((stored + page_size - 1) / page_size);
       placement.spans_[oid] = PageSpan{current_page, span_pages};
-      placement.pages_.emplace_back();
-      placement.pages_.back().push_back(oid);
+      placement.OpenPageRow();
+      placement.page_objects_.push_back(oid);
       for (uint32_t extra = 1; extra < span_pages; ++extra) {
-        placement.pages_.emplace_back();
+        placement.OpenPageRow();
       }
       current_page += span_pages;
       continue;
@@ -167,10 +170,11 @@ Placement Placement::Pack(const ocb::ObjectBase& base, uint32_t page_size,
       open_page();
     }
     placement.spans_[oid] = PageSpan{current_page, 1};
-    placement.pages_.back().push_back(oid);
+    placement.page_objects_.push_back(oid);
     used_in_page += static_cast<uint32_t>(stored);
   }
   close_page();
+  placement.page_offsets_.push_back(placement.page_objects_.size());
   return placement;
 }
 
@@ -188,10 +192,10 @@ std::vector<ocb::Oid> Placement::DepthFirstOrder(const ocb::ObjectBase& base) {
       const ocb::Oid oid = stack.back();
       stack.pop_back();
       order.push_back(oid);
-      const auto& refs = base.Object(oid).references;
+      const ocb::OidSpan refs = base.References(oid);
       // Push in reverse so the first reference is visited first.
-      for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
-        const ocb::Oid ref = *it;
+      for (size_t i = refs.size(); i > 0; --i) {
+        const ocb::Oid ref = refs[i - 1];
         if (ref == ocb::kNullOid || visited[ref]) continue;
         visited[ref] = 1;
         stack.push_back(ref);
@@ -205,14 +209,14 @@ std::vector<ocb::Oid> Placement::ClassMajorOrder(const ocb::ObjectBase& base) {
   const uint64_t no = base.NumObjects();
   std::vector<ocb::Oid> order;
   order.reserve(no);
-  // Bucket by class, preserving OID order within each class.
+  // Class-major, instances in OID order within each class.  Round-robin
+  // assignment makes this a strided walk over the dense OID space — no
+  // bucketing pass needed.
   const uint32_t nc = base.schema().NumClasses();
-  std::vector<std::vector<ocb::Oid>> buckets(nc);
-  for (ocb::Oid oid = 0; oid < no; ++oid) {
-    buckets[base.Object(oid).cls].push_back(oid);
-  }
-  for (auto& bucket : buckets) {
-    order.insert(order.end(), bucket.begin(), bucket.end());
+  for (ocb::ClassId c = 0; c < nc; ++c) {
+    for (ocb::Oid oid = c; oid < no; oid += nc) {
+      order.push_back(oid);
+    }
   }
   return order;
 }
@@ -222,9 +226,11 @@ PageSpan Placement::SpanOf(ocb::Oid oid) const {
   return spans_[oid];
 }
 
-const std::vector<ocb::Oid>& Placement::ObjectsOn(PageId page) const {
-  VOODB_CHECK_MSG(page < pages_.size(), "page " << page << " out of range");
-  return pages_[page];
+ocb::OidSpan Placement::ObjectsOn(PageId page) const {
+  VOODB_CHECK_MSG(page < NumPages(), "page " << page << " out of range");
+  const uint64_t begin = page_offsets_[page];
+  return ocb::OidSpan(page_objects_.data() + begin,
+                      static_cast<size_t>(page_offsets_[page + 1] - begin));
 }
 
 }  // namespace voodb::storage

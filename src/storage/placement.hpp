@@ -71,13 +71,18 @@ class Placement {
 
   /// Pages occupied by `oid`.
   PageSpan SpanOf(ocb::Oid oid) const;
-  /// First page of `oid` (the page its header lives on).
+  /// First page of `oid` (the page its header lives on).  Backed by the
+  /// flat Oid-indexed span array — one load, no hashing.
   PageId PageOf(ocb::Oid oid) const { return SpanOf(oid).first; }
 
-  /// Objects whose span starts on `page`.
-  const std::vector<ocb::Oid>& ObjectsOn(PageId page) const;
+  /// Objects whose span starts on `page`, as a CSR row view.
+  ocb::OidSpan ObjectsOn(PageId page) const;
 
-  uint64_t NumPages() const { return pages_.size(); }
+  /// The flat Oid -> page-span array (indexed by Oid); `spans()[oid].first`
+  /// is the page holding the object's header.
+  const std::vector<PageSpan>& spans() const { return spans_; }
+
+  uint64_t NumPages() const { return page_offsets_.size() - 1; }
   uint32_t page_size() const { return page_size_; }
   uint64_t NumObjects() const { return spans_.size(); }
 
@@ -93,9 +98,19 @@ class Placement {
   /// Class-major order: all instances of class 0, then class 1, ...
   static std::vector<ocb::Oid> ClassMajorOrder(const ocb::ObjectBase& base);
 
+  /// Build-side: records the start of a fresh page row.  Builders call
+  /// this once per page and push the final sentinel when done, restoring
+  /// the `size == NumPages()+1` invariant.
+  void OpenPageRow() { page_offsets_.push_back(page_objects_.size()); }
+
   uint32_t page_size_ = 4096;
-  std::vector<PageSpan> spans_;               // indexed by Oid
-  std::vector<std::vector<ocb::Oid>> pages_;  // indexed by PageId
+  std::vector<PageSpan> spans_;  // indexed by Oid
+  /// CSR page -> objects index: page `p` holds
+  /// page_objects_[page_offsets_[p] .. page_offsets_[p+1]).  Objects are
+  /// only ever appended to the *last open* page during packing, so the
+  /// rows stay contiguous without a build-side scratch structure.
+  std::vector<uint64_t> page_offsets_{0};  // size NumPages()+1
+  std::vector<ocb::Oid> page_objects_;
 };
 
 }  // namespace voodb::storage

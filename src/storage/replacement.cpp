@@ -26,324 +26,290 @@ const char* ToString(ReplacementPolicy p) {
   return "?";
 }
 
+// --- FrameTable --------------------------------------------------------------
+
 namespace {
 
-/// RANDOM: victim drawn uniformly among resident pages.
-class RandomAlgo final : public ReplacementAlgo {
- public:
-  explicit RandomAlgo(desp::RandomStream rng) : rng_(rng) {}
-
-  void OnAdmit(PageId page) override {
-    index_[page] = pages_.size();
-    pages_.push_back(page);
-  }
-  void OnAccess(PageId) override {}
-  PageId PickVictim() override {
-    VOODB_CHECK_MSG(!pages_.empty(), "no resident pages");
-    const auto i = static_cast<size_t>(
-        rng_.UniformInt(0, static_cast<int64_t>(pages_.size()) - 1));
-    return pages_[i];
-  }
-  void OnEvict(PageId page) override {
-    const auto it = index_.find(page);
-    VOODB_CHECK_MSG(it != index_.end(), "evicting non-resident page");
-    const size_t i = it->second;
-    index_.erase(it);
-    if (i + 1 != pages_.size()) {
-      pages_[i] = pages_.back();
-      index_[pages_[i]] = i;
-    }
-    pages_.pop_back();
-  }
-
- private:
-  desp::RandomStream rng_;
-  std::vector<PageId> pages_;
-  std::unordered_map<PageId, size_t> index_;
-};
-
-/// FIFO: victim is the oldest admitted page; accesses do not refresh.
-class FifoAlgo final : public ReplacementAlgo {
- public:
-  void OnAdmit(PageId page) override {
-    queue_.push_back(page);
-    resident_.insert({page, true});
-  }
-  void OnAccess(PageId) override {}
-  PageId PickVictim() override {
-    while (!queue_.empty()) {
-      const PageId front = queue_.front();
-      const auto it = resident_.find(front);
-      if (it != resident_.end() && it->second) return front;
-      queue_.pop_front();  // stale entry
-    }
-    VOODB_CHECK_MSG(false, "no resident pages");
-    return kNullPage;
-  }
-  void OnEvict(PageId page) override {
-    const auto it = resident_.find(page);
-    VOODB_CHECK_MSG(it != resident_.end() && it->second,
-                    "evicting non-resident page");
-    resident_.erase(it);
-  }
-
- private:
-  std::deque<PageId> queue_;
-  std::unordered_map<PageId, bool> resident_;
-};
-
-/// LFU: victim has the smallest access count (FIFO among ties).
-/// Lazily-invalidated min-heap keyed by (count, admission seq).
-class LfuAlgo final : public ReplacementAlgo {
- public:
-  void OnAdmit(PageId page) override {
-    Meta& m = meta_[page];
-    m.count = 1;
-    m.resident = true;
-    m.seq = next_seq_++;
-    heap_.push(Entry{m.count, m.seq, page});
-  }
-  void OnAccess(PageId page) override {
-    Meta& m = meta_.at(page);
-    ++m.count;
-    heap_.push(Entry{m.count, m.seq, page});
-  }
-  PageId PickVictim() override {
-    while (!heap_.empty()) {
-      const Entry top = heap_.top();
-      const auto it = meta_.find(top.page);
-      if (it != meta_.end() && it->second.resident &&
-          it->second.count == top.count) {
-        return top.page;
-      }
-      heap_.pop();  // stale
-    }
-    VOODB_CHECK_MSG(false, "no resident pages");
-    return kNullPage;
-  }
-  void OnEvict(PageId page) override {
-    const auto it = meta_.find(page);
-    VOODB_CHECK_MSG(it != meta_.end() && it->second.resident,
-                    "evicting non-resident page");
-    meta_.erase(it);  // forget history; re-admission restarts the count
-  }
-
- private:
-  struct Meta {
-    uint64_t count = 0;
-    uint64_t seq = 0;
-    bool resident = false;
-  };
-  struct Entry {
-    uint64_t count;
-    uint64_t seq;
-    PageId page;
-    bool operator>(const Entry& o) const {
-      if (count != o.count) return count > o.count;
-      return seq > o.seq;
-    }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_map<PageId, Meta> meta_;
-  uint64_t next_seq_ = 0;
-};
-
-/// LRU-1: classic least-recently-used via an intrusive list.
-class LruAlgo final : public ReplacementAlgo {
- public:
-  void OnAdmit(PageId page) override {
-    order_.push_front(page);
-    where_[page] = order_.begin();
-  }
-  void OnAccess(PageId page) override {
-    const auto it = where_.find(page);
-    VOODB_CHECK_MSG(it != where_.end(), "access to non-resident page");
-    order_.splice(order_.begin(), order_, it->second);
-  }
-  PageId PickVictim() override {
-    VOODB_CHECK_MSG(!order_.empty(), "no resident pages");
-    return order_.back();
-  }
-  void OnEvict(PageId page) override {
-    const auto it = where_.find(page);
-    VOODB_CHECK_MSG(it != where_.end(), "evicting non-resident page");
-    order_.erase(it->second);
-    where_.erase(it);
-  }
-
- private:
-  std::list<PageId> order_;
-  std::unordered_map<PageId, std::list<PageId>::iterator> where_;
-};
-
-/// LRU-K (O'Neil et al.): victim has the largest backward-K distance,
-/// i.e. the smallest K-th most recent access stamp; pages with fewer than
-/// K accesses have infinite distance and are evicted first (oldest last
-/// access breaking ties).  Lazily-invalidated min-heap.
-class LruKAlgo final : public ReplacementAlgo {
- public:
-  explicit LruKAlgo(uint32_t k) : k_(k) {
-    VOODB_CHECK_MSG(k_ >= 1, "LRU-K needs K >= 1");
-  }
-
-  void OnAdmit(PageId page) override {
-    Meta& m = meta_[page];
-    m.resident = true;
-    m.history.clear();
-    Touch(page, m);
-  }
-  void OnAccess(PageId page) override { Touch(page, meta_.at(page)); }
-  PageId PickVictim() override {
-    while (!heap_.empty()) {
-      const Entry top = heap_.top();
-      const auto it = meta_.find(top.page);
-      if (it != meta_.end() && it->second.resident &&
-          it->second.version == top.version) {
-        return top.page;
-      }
-      heap_.pop();  // stale
-    }
-    VOODB_CHECK_MSG(false, "no resident pages");
-    return kNullPage;
-  }
-  void OnEvict(PageId page) override {
-    const auto it = meta_.find(page);
-    VOODB_CHECK_MSG(it != meta_.end() && it->second.resident,
-                    "evicting non-resident page");
-    meta_.erase(it);
-  }
-
- private:
-  struct Meta {
-    std::deque<uint64_t> history;  // most recent first, at most K stamps
-    uint64_t version = 0;
-    bool resident = false;
-  };
-  struct Entry {
-    bool has_k;          // false sorts first (infinite distance)
-    uint64_t key;        // K-th stamp when has_k, else last stamp
-    uint64_t version;
-    PageId page;
-    bool operator>(const Entry& o) const {
-      if (has_k != o.has_k) return has_k && !o.has_k;
-      return key > o.key;
-    }
-  };
-
-  void Touch(PageId page, Meta& m) {
-    m.history.push_front(++clock_);
-    if (m.history.size() > k_) m.history.pop_back();
-    ++m.version;
-    const bool has_k = m.history.size() >= k_;
-    heap_.push(Entry{has_k, has_k ? m.history.back() : m.history.front(),
-                     m.version, page});
-  }
-
-  uint32_t k_;
-  uint64_t clock_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_map<PageId, Meta> meta_;
-};
-
-/// CLOCK: second-chance sweep over a circular frame table.  With
-/// `increment_on_access`, behaves as GCLOCK (reference counters instead of
-/// a single reference bit).
-class ClockAlgo : public ReplacementAlgo {
- public:
-  explicit ClockAlgo(uint32_t initial_weight = 1,
-                     bool increment_on_access = false,
-                     uint32_t max_weight = 8)
-      : initial_weight_(initial_weight),
-        increment_on_access_(increment_on_access),
-        max_weight_(max_weight) {}
-
-  void OnAdmit(PageId page) override {
-    size_t slot;
-    if (!free_slots_.empty()) {
-      slot = free_slots_.back();
-      free_slots_.pop_back();
-      frames_[slot] = Frame{page, initial_weight_, true};
-    } else {
-      slot = frames_.size();
-      frames_.push_back(Frame{page, initial_weight_, true});
-    }
-    where_[page] = slot;
-  }
-  void OnAccess(PageId page) override {
-    Frame& f = frames_[where_.at(page)];
-    if (increment_on_access_) {
-      f.weight = std::min(f.weight + 1, max_weight_);
-    } else {
-      f.weight = initial_weight_;
-    }
-  }
-  PageId PickVictim() override {
-    VOODB_CHECK_MSG(frames_.size() > free_slots_.size(), "no resident pages");
-    while (true) {
-      if (hand_ >= frames_.size()) hand_ = 0;
-      Frame& f = frames_[hand_];
-      if (!f.occupied) {
-        ++hand_;
-        continue;
-      }
-      if (f.weight == 0) return f.page;
-      --f.weight;
-      ++hand_;
-    }
-  }
-  void OnEvict(PageId page) override {
-    const auto it = where_.find(page);
-    VOODB_CHECK_MSG(it != where_.end(), "evicting non-resident page");
-    frames_[it->second].occupied = false;
-    free_slots_.push_back(it->second);
-    where_.erase(it);
-  }
-
- private:
-  struct Frame {
-    PageId page = kNullPage;
-    uint32_t weight = 0;
-    bool occupied = false;
-  };
-  uint32_t initial_weight_;
-  bool increment_on_access_ = false;
-  uint32_t max_weight_ = 8;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_slots_;
-  std::unordered_map<PageId, size_t> where_;
-  size_t hand_ = 0;
-};
-
-/// GCLOCK: generalized CLOCK with a reference counter per frame (the
-/// sweep decrements counters; hits increment them).
-class GclockAlgo final : public ClockAlgo {
- public:
-  GclockAlgo() : ClockAlgo(/*initial_weight=*/1, /*increment_on_access=*/true) {}
-};
+uint64_t NextPowerOfTwo(uint64_t v) {
+  uint64_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
 
 }  // namespace
 
-std::unique_ptr<ReplacementAlgo> MakeReplacementAlgo(ReplacementPolicy policy,
-                                                     desp::RandomStream rng,
-                                                     uint32_t lru_k) {
-  switch (policy) {
+FrameTable::FrameTable(uint64_t expected_entries) {
+  // Cap the load factor at ~1/2 so probe chains stay short.
+  const uint64_t capacity = NextPowerOfTwo(expected_entries * 2);
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+}
+
+void FrameTable::Insert(PageId page, uint32_t frame) {
+  if ((size_ + 1) * 2 > slots_.size()) Rehash(slots_.size() * 2);
+  uint64_t i = Hash(page) & mask_;
+  while (slots_[i].frame != kNoFrame) {
+    VOODB_CHECK_MSG(slots_[i].page != page, "page already indexed");
+    i = (i + 1) & mask_;
+  }
+  slots_[i] = Slot{page, frame};
+  ++size_;
+}
+
+void FrameTable::Erase(PageId page) {
+  uint64_t i = Hash(page) & mask_;
+  while (slots_[i].page != page) {
+    VOODB_CHECK_MSG(slots_[i].frame != kNoFrame, "erasing unindexed page");
+    i = (i + 1) & mask_;
+  }
+  // Backward-shift deletion: keep every remaining entry reachable from
+  // its home slot without tombstones.
+  uint64_t hole = i;
+  uint64_t j = (i + 1) & mask_;
+  while (slots_[j].frame != kNoFrame) {
+    const uint64_t home = Hash(slots_[j].page) & mask_;
+    // Move slot j into the hole when its home position lies at or
+    // before the hole (cyclically), i.e. the probe for it would pass
+    // through the hole.
+    const bool between = ((j - home) & mask_) >= ((j - hole) & mask_);
+    if (between) {
+      slots_[hole] = slots_[j];
+      hole = j;
+    }
+    j = (j + 1) & mask_;
+  }
+  slots_[hole] = Slot{};
+  --size_;
+}
+
+void FrameTable::Clear() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  size_ = 0;
+}
+
+void FrameTable::Rehash(uint64_t capacity) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+  size_ = 0;
+  for (const Slot& slot : old) {
+    if (slot.frame != kNoFrame) Insert(slot.page, slot.frame);
+  }
+}
+
+// --- ReplacementEngine -------------------------------------------------------
+
+ReplacementEngine::ReplacementEngine(ReplacementPolicy policy,
+                                     desp::RandomStream rng, uint32_t lru_k)
+    : policy_(policy), rng_(rng), lru_k_(lru_k) {
+  VOODB_CHECK_MSG(lru_k_ >= 1, "LRU-K needs K >= 1");
+  clock_increment_on_access_ = policy == ReplacementPolicy::kGclock;
+}
+
+uint64_t* ReplacementEngine::LruKHistory(uint32_t frame) {
+  const size_t need = static_cast<size_t>(frame + 1) * lru_k_;
+  if (lruk_history_.size() < need) lruk_history_.resize(need, 0);
+  return lruk_history_.data() + static_cast<size_t>(frame) * lru_k_;
+}
+
+void ReplacementEngine::TouchLruK(std::vector<Frame>& frames,
+                                  uint32_t frame) {
+  Frame& f = frames[frame];
+  uint64_t* hist = LruKHistory(frame);
+  // Shift the (at most K) stamps one slot toward the old end and record
+  // the new one in front — "most recent first", the K-th falls off.
+  const uint32_t keep = std::min(f.hist_size, lru_k_ - 1);
+  for (uint32_t i = keep; i > 0; --i) hist[i] = hist[i - 1];
+  hist[0] = ++lruk_clock_;
+  f.hist_size = std::min(f.hist_size + 1, lru_k_);
+  ++f.version;
+  const bool has_k = f.hist_size >= lru_k_;
+  lruk_heap_.push(HeapEntry{has_k ? 1u : 0u,
+                            has_k ? hist[lru_k_ - 1] : hist[0], f.version,
+                            f.page});
+}
+
+void ReplacementEngine::OnAdmit(std::vector<Frame>& frames, uint32_t frame) {
+  Frame& f = frames[frame];
+  switch (policy_) {
     case ReplacementPolicy::kRandom:
-      return std::make_unique<RandomAlgo>(rng);
+      f.slot = static_cast<uint32_t>(random_frames_.size());
+      random_frames_.push_back(frame);
+      break;
     case ReplacementPolicy::kFifo:
-      return std::make_unique<FifoAlgo>();
+      fifo_queue_.push_back(f.page);
+      break;
     case ReplacementPolicy::kLfu:
-      return std::make_unique<LfuAlgo>();
+      f.count = 1;
+      f.seq = lfu_next_seq_++;
+      lfu_heap_.push(HeapEntry{f.count, f.seq, 0, f.page});
+      break;
     case ReplacementPolicy::kLru:
-      return std::make_unique<LruAlgo>();
+      f.prev = kNoFrame;
+      f.next = lru_head_;
+      if (lru_head_ != kNoFrame) frames[lru_head_].prev = frame;
+      lru_head_ = frame;
+      if (lru_tail_ == kNoFrame) lru_tail_ = frame;
+      break;
     case ReplacementPolicy::kLruK:
-      return std::make_unique<LruKAlgo>(lru_k);
+      f.hist_size = 0;
+      f.version = 0;
+      TouchLruK(frames, frame);
+      break;
     case ReplacementPolicy::kClock:
-      return std::make_unique<ClockAlgo>();
     case ReplacementPolicy::kGclock:
-      return std::make_unique<GclockAlgo>();
+      f.weight = clock_initial_weight_;
+      break;
+  }
+}
+
+void ReplacementEngine::OnAccess(std::vector<Frame>& frames, uint32_t frame) {
+  Frame& f = frames[frame];
+  switch (policy_) {
+    case ReplacementPolicy::kRandom:
+    case ReplacementPolicy::kFifo:
+      break;
+    case ReplacementPolicy::kLfu:
+      ++f.count;
+      lfu_heap_.push(HeapEntry{f.count, f.seq, 0, f.page});
+      break;
+    case ReplacementPolicy::kLru:
+      if (lru_head_ == frame) break;
+      // Unlink, then relink at the MRU end.
+      frames[f.prev].next = f.next;
+      if (f.next != kNoFrame) {
+        frames[f.next].prev = f.prev;
+      } else {
+        lru_tail_ = f.prev;
+      }
+      f.prev = kNoFrame;
+      f.next = lru_head_;
+      frames[lru_head_].prev = frame;
+      lru_head_ = frame;
+      break;
+    case ReplacementPolicy::kLruK:
+      TouchLruK(frames, frame);
+      break;
+    case ReplacementPolicy::kClock:
+    case ReplacementPolicy::kGclock:
+      f.weight = clock_increment_on_access_
+                     ? std::min(f.weight + 1, clock_max_weight_)
+                     : clock_initial_weight_;
+      break;
+  }
+}
+
+uint32_t ReplacementEngine::PickVictim(std::vector<Frame>& frames,
+                                       const FrameTable& table) {
+  switch (policy_) {
+    case ReplacementPolicy::kRandom: {
+      VOODB_CHECK_MSG(!random_frames_.empty(), "no resident pages");
+      const auto i = static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(random_frames_.size()) - 1));
+      return random_frames_[i];
+    }
+    case ReplacementPolicy::kFifo:
+      while (!fifo_queue_.empty()) {
+        const uint32_t frame = table.Find(fifo_queue_.front());
+        if (frame != kNoFrame) return frame;
+        fifo_queue_.pop_front();  // stale entry: page left the buffer
+      }
+      VOODB_CHECK_MSG(false, "no resident pages");
+      return kNoFrame;
+    case ReplacementPolicy::kLfu:
+      while (!lfu_heap_.empty()) {
+        const HeapEntry top = lfu_heap_.top();
+        const uint32_t frame = table.Find(top.page);
+        if (frame != kNoFrame && frames[frame].count == top.key1) {
+          return frame;
+        }
+        lfu_heap_.pop();  // stale
+      }
+      VOODB_CHECK_MSG(false, "no resident pages");
+      return kNoFrame;
+    case ReplacementPolicy::kLru:
+      VOODB_CHECK_MSG(lru_tail_ != kNoFrame, "no resident pages");
+      return lru_tail_;
+    case ReplacementPolicy::kLruK:
+      while (!lruk_heap_.empty()) {
+        const HeapEntry top = lruk_heap_.top();
+        const uint32_t frame = table.Find(top.page);
+        if (frame != kNoFrame && frames[frame].version == top.version) {
+          return frame;
+        }
+        lruk_heap_.pop();  // stale
+      }
+      VOODB_CHECK_MSG(false, "no resident pages");
+      return kNoFrame;
+    case ReplacementPolicy::kClock:
+    case ReplacementPolicy::kGclock:
+      VOODB_CHECK_MSG(table.size() > 0, "no resident pages");
+      while (true) {
+        if (clock_hand_ >= frames.size()) clock_hand_ = 0;
+        Frame& f = frames[clock_hand_];
+        if (f.page == kNullPage) {  // free frame: sweep past
+          ++clock_hand_;
+          continue;
+        }
+        if (f.weight == 0) return static_cast<uint32_t>(clock_hand_);
+        --f.weight;
+        ++clock_hand_;
+      }
   }
   VOODB_CHECK_MSG(false, "unknown replacement policy");
-  return nullptr;
+  return kNoFrame;
+}
+
+void ReplacementEngine::OnEvict(std::vector<Frame>& frames, uint32_t frame) {
+  Frame& f = frames[frame];
+  switch (policy_) {
+    case ReplacementPolicy::kRandom: {
+      const uint32_t last = random_frames_.back();
+      random_frames_[f.slot] = last;
+      frames[last].slot = f.slot;
+      random_frames_.pop_back();
+      break;
+    }
+    case ReplacementPolicy::kFifo:
+    case ReplacementPolicy::kLfu:
+    case ReplacementPolicy::kLruK:
+      // Lazy structures: entries for the evicted page are recognized as
+      // stale at victim time (the page no longer resolves to a frame).
+      break;
+    case ReplacementPolicy::kLru:
+      if (f.prev != kNoFrame) {
+        frames[f.prev].next = f.next;
+      } else {
+        lru_head_ = f.next;
+      }
+      if (f.next != kNoFrame) {
+        frames[f.next].prev = f.prev;
+      } else {
+        lru_tail_ = f.prev;
+      }
+      f.prev = f.next = kNoFrame;
+      break;
+    case ReplacementPolicy::kClock:
+    case ReplacementPolicy::kGclock:
+      break;  // the cache unbinds the frame; the sweep skips free frames
+  }
+}
+
+void ReplacementEngine::Reset() {
+  // Restarts the policy from a clean slate (CLOCK hand at 0, lazy
+  // queues/heaps emptied).  The node-based predecessors instead carried
+  // stale heap entries and a hash-map-ordered free list across a drop —
+  // an unreproducible iteration-order artifact, replaced here by the
+  // deterministic dense restart (verified output-identical on the
+  // registered scenarios that drop mid-run).
+  lru_head_ = lru_tail_ = kNoFrame;
+  random_frames_.clear();
+  fifo_queue_.clear();
+  lfu_heap_ = {};
+  lruk_heap_ = {};
+  clock_hand_ = 0;
+  // The monotone stamps (lfu_next_seq_, lruk_clock_) survive a reset so
+  // later admissions keep globally unique sequence numbers.
 }
 
 }  // namespace voodb::storage

@@ -1,20 +1,28 @@
 /// \file replacement.hpp
-/// \brief Buffer page replacement policies (Table 3's PGREP parameter).
+/// \brief Buffer frames, the resident-page index and the replacement
+/// policies (Table 3's PGREP parameter).
 ///
 /// The paper lists RANDOM, FIFO, LFU, LRU-K, CLOCK and GCLOCK as the
 /// interchangeable policies of the Buffering Manager; LRU-1 is the
-/// default.  Each policy tracks the set of resident pages and nominates a
-/// victim on demand.  Policies that would need an O(capacity) victim scan
-/// (LFU, LRU-K) use lazily-invalidated heaps so all operations stay
-/// O(log capacity) amortized.
+/// default.  The buffer is data-oriented: all per-page state — the page
+/// id, the dirty bit and the replacement-policy bookkeeping — lives in
+/// one `Frame` record of a single flat array, and residency is resolved
+/// through an open-addressing `FrameTable` that maps PageId to a frame
+/// index.  A hit therefore costs one hash probe plus one cache-line
+/// update (LRU relinks its intrusive chain, CLOCK bumps a weight, LFU
+/// bumps a counter) and evictions recycle frames through a free list
+/// without allocating.
+///
+/// Policies that need an ordered victim scan (LFU, LRU-K) keep
+/// lazily-invalidated heaps on the side so all operations stay
+/// O(log capacity) amortized; their per-page state still lives in the
+/// frame record, and stale heap entries are recognized by comparing the
+/// entry against the frame the page currently occupies.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <list>
-#include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "desp/random.hpp"
@@ -35,22 +43,146 @@ enum class ReplacementPolicy {
 
 const char* ToString(ReplacementPolicy p);
 
-/// Interface every replacement algorithm implements.  The BufferManager
-/// guarantees: OnAdmit for non-resident pages only, OnAccess for resident
-/// pages only, PickVictim only when at least one page is resident, and
-/// OnEvict exactly once per evicted page.
-class ReplacementAlgo {
- public:
-  virtual ~ReplacementAlgo() = default;
-  virtual void OnAdmit(PageId page) = 0;
-  virtual void OnAccess(PageId page) = 0;
-  virtual PageId PickVictim() = 0;
-  virtual void OnEvict(PageId page) = 0;
+/// Sentinel frame index ("no frame").
+inline constexpr uint32_t kNoFrame = static_cast<uint32_t>(-1);
+
+/// One buffer frame: the unit of the flat frame array.  Exactly the
+/// state the hot path touches — identity, dirty bit and the intrusive
+/// replacement-policy fields — packed into one record so an access
+/// updates a single cache line.
+struct Frame {
+  PageId page = kNullPage;   ///< resident page; kNullPage = free frame
+  uint64_t count = 0;        ///< LFU: access count
+  uint64_t seq = 0;          ///< LFU: admission sequence (tie-break)
+  uint64_t version = 0;      ///< LRU-K: touch version (heap staleness)
+  uint32_t prev = kNoFrame;  ///< LRU chain toward the MRU end
+  uint32_t next = kNoFrame;  ///< LRU chain toward the LRU end
+  uint32_t slot = 0;         ///< RANDOM: index into the admission vector
+  uint32_t weight = 0;       ///< CLOCK/GCLOCK: second-chance weight
+  uint32_t hist_size = 0;    ///< LRU-K: stamps recorded (<= K)
+  bool dirty = false;        ///< page modified since load
 };
 
-/// Factory.  `rng` is used by kRandom; `lru_k` by kLruK.
-std::unique_ptr<ReplacementAlgo> MakeReplacementAlgo(ReplacementPolicy policy,
-                                                     desp::RandomStream rng,
-                                                     uint32_t lru_k = 2);
+/// Open-addressing hash index PageId -> frame index (linear probing,
+/// power-of-two capacity, backward-shift deletion).  The buffer's only
+/// per-access lookup structure; probes touch one small flat array.
+class FrameTable {
+ public:
+  explicit FrameTable(uint64_t expected_entries = 16);
+
+  /// Frame holding `page`, or kNoFrame.
+  uint32_t Find(PageId page) const {
+    uint64_t i = Hash(page) & mask_;
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.page == page) return slot.frame;
+      if (slot.frame == kNoFrame) return kNoFrame;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Inserts `page -> frame`; `page` must not be present.
+  void Insert(PageId page, uint32_t frame);
+  /// Removes `page`; must be present.
+  void Erase(PageId page);
+  void Clear();
+
+  uint64_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    PageId page = kNullPage;
+    uint32_t frame = kNoFrame;  ///< kNoFrame = empty slot
+  };
+
+  static uint64_t Hash(PageId page) {
+    // 64-bit finalizer (splitmix64): cheap and well-distributed for the
+    // dense page ids placements produce.
+    uint64_t x = page + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  void Rehash(uint64_t capacity);
+
+  std::vector<Slot> slots_;
+  uint64_t mask_ = 0;
+  uint64_t size_ = 0;
+};
+
+/// The replacement policies, operating intrusively on the shared frame
+/// array.  The owning cache guarantees: OnAdmit for frames just bound to
+/// a page, OnAccess for resident frames only, PickVictim only when at
+/// least one frame is resident, and OnEvict exactly once per eviction
+/// (before the frame is unbound).
+class ReplacementEngine {
+ public:
+  /// `rng` is used by kRandom; `lru_k` by kLruK.
+  ReplacementEngine(ReplacementPolicy policy, desp::RandomStream rng,
+                    uint32_t lru_k = 2);
+
+  void OnAdmit(std::vector<Frame>& frames, uint32_t frame);
+  void OnAccess(std::vector<Frame>& frames, uint32_t frame);
+  /// Nominates a victim frame (may rotate CLOCK weights).
+  uint32_t PickVictim(std::vector<Frame>& frames, const FrameTable& table);
+  void OnEvict(std::vector<Frame>& frames, uint32_t frame);
+
+  /// Drops all policy history (buffer drop; frame array restarts empty).
+  void Reset();
+
+  ReplacementPolicy policy() const { return policy_; }
+
+ private:
+  /// Lazily-invalidated heap entry shared by LFU (key1 = count,
+  /// key2 = admission seq) and LRU-K (key1 = has-K flag, key2 = stamp,
+  /// validated against the frame's touch version).
+  struct HeapEntry {
+    uint64_t key1;
+    uint64_t key2;
+    uint64_t version;
+    PageId page;
+  };
+  struct HeapGreater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.key1 != b.key1) return a.key1 > b.key1;
+      return a.key2 > b.key2;
+    }
+  };
+
+  void TouchLruK(std::vector<Frame>& frames, uint32_t frame);
+  uint64_t* LruKHistory(uint32_t frame);
+
+  ReplacementPolicy policy_;
+  desp::RandomStream rng_;
+  uint32_t lru_k_;
+
+  // LRU: intrusive chain endpoints (frame indices).
+  uint32_t lru_head_ = kNoFrame;  ///< MRU end
+  uint32_t lru_tail_ = kNoFrame;  ///< LRU end (victim)
+
+  // RANDOM: resident frames in admission order (swap-remove on evict).
+  std::vector<uint32_t> random_frames_;
+
+  // FIFO: admission queue; entries for pages no longer resident are
+  // skipped lazily at victim time.
+  std::deque<PageId> fifo_queue_;
+
+  // LFU / LRU-K: lazily-invalidated min-heaps.
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater>
+      lfu_heap_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater>
+      lruk_heap_;
+  /// LRU-K stamp history, K stamps per frame, most recent first.
+  std::vector<uint64_t> lruk_history_;
+  uint64_t lfu_next_seq_ = 0;
+  uint64_t lruk_clock_ = 0;
+
+  // CLOCK / GCLOCK sweep hand (frame index).
+  size_t clock_hand_ = 0;
+  uint32_t clock_initial_weight_ = 1;
+  uint32_t clock_max_weight_ = 8;
+  bool clock_increment_on_access_ = false;
+};
 
 }  // namespace voodb::storage

@@ -1,0 +1,46 @@
+/// \file span.hpp
+/// \brief A minimal non-owning view over a contiguous run of ids.
+///
+/// The CSR structures of the storage engine (object reference rows,
+/// page->objects rows, page-adjacency rows) all hand out views into
+/// their flat arrays; this is the one view type they share (pre-C++20,
+/// so no std::span).  Valid as long as the owning structure is alive
+/// and unmodified.
+#pragma once
+
+#include <cstddef>
+
+namespace voodb::util {
+
+template <typename T>
+class IdSpan {
+ public:
+  IdSpan() = default;
+  IdSpan(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T operator[](size_t i) const { return data_[i]; }
+  T front() const { return data_[0]; }
+  T back() const { return data_[size_ - 1]; }
+
+  friend bool operator==(const IdSpan& a, const IdSpan& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const IdSpan& a, const IdSpan& b) {
+    return !(a == b);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace voodb::util

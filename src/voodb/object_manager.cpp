@@ -45,31 +45,14 @@ ObjectManagerActor::RelocationIo ObjectManagerActor::ApplyRelocation(
   return io;
 }
 
-const std::vector<storage::PageId>& ObjectManagerActor::ReferencedPages(
+storage::PageIdSpan ObjectManagerActor::ReferencedPages(
     storage::PageId page) {
-  if (!adjacency_valid_) RebuildAdjacency();
-  VOODB_CHECK_MSG(page < adjacency_.size(), "page out of range");
-  return adjacency_[page];
-}
-
-void ObjectManagerActor::RebuildAdjacency() {
-  adjacency_.assign(placement_->NumPages(), {});
-  for (storage::PageId page = 0; page < placement_->NumPages(); ++page) {
-    auto& out = adjacency_[page];
-    for (ocb::Oid oid : placement_->ObjectsOn(page)) {
-      for (ocb::Oid ref : base_->Object(oid).references) {
-        if (ref == ocb::kNullOid) continue;
-        const storage::PageSpan span = placement_->SpanOf(ref);
-        for (uint32_t i = 0; i < span.count; ++i) {
-          out.push_back(span.first + i);
-        }
-      }
-    }
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-    out.erase(std::remove(out.begin(), out.end(), page), out.end());
+  if (!adjacency_valid_) {
+    adjacency_.Rebuild(*base_, *placement_);
+    adjacency_valid_ = true;
   }
-  adjacency_valid_ = true;
+  VOODB_CHECK_MSG(page < adjacency_.NumPages(), "page out of range");
+  return adjacency_.RowOf(page);
 }
 
 }  // namespace voodb::core

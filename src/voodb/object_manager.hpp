@@ -15,6 +15,7 @@
 
 #include "desp/actor.hpp"
 #include "ocb/object_base.hpp"
+#include "storage/page_adjacency.hpp"
 #include "storage/placement.hpp"
 
 namespace voodb::core {
@@ -30,9 +31,11 @@ class ObjectManagerActor : public desp::Actor {
                      storage::PlacementPolicy initial_placement,
                      double overhead_factor);
 
-  /// Pages holding `oid`.
+  /// Pages holding `oid` — one load from the placement's flat
+  /// Oid-indexed span array (OIDs from generated transactions are dense
+  /// and always in range).
   storage::PageSpan SpanOf(ocb::Oid oid) const {
-    return placement_->SpanOf(oid);
+    return placement_->spans()[oid];
   }
 
   const storage::Placement& placement() const { return *placement_; }
@@ -51,17 +54,16 @@ class ObjectManagerActor : public desp::Actor {
   /// Pages holding the objects referenced from any object on `page`
   /// (deduplicated, excluding `page` itself).  Drives the VM model's
   /// page-granular reserve-on-swizzle behaviour; lazily rebuilt after a
-  /// relocation changes the page space.
-  const std::vector<storage::PageId>& ReferencedPages(storage::PageId page);
+  /// relocation changes the page space.  Returned as a CSR row view into
+  /// the flat adjacency index (valid until the next relocation).
+  storage::PageIdSpan ReferencedPages(storage::PageId page);
 
  private:
-  void RebuildAdjacency();
-
   const ocb::ObjectBase* base_;
   uint32_t page_size_;
   double overhead_factor_;
   std::unique_ptr<storage::Placement> placement_;
-  std::vector<std::vector<storage::PageId>> adjacency_;
+  storage::PageAdjacency adjacency_;
   bool adjacency_valid_ = false;
 };
 

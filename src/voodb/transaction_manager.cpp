@@ -119,7 +119,7 @@ void TransactionManagerActor::PerformAccess(std::shared_ptr<InFlight> state,
   ++object_operations_;
   clustering_->OnObjectAccess(access.oid, access.is_write);
   const storage::PageSpan span = object_manager_->SpanOf(access.oid);
-  const uint64_t object_bytes = object_manager_->base().Object(access.oid).size;
+  const uint64_t object_bytes = object_manager_->base().SizeOf(access.oid);
   buffering_->AccessObject(
       access.oid, access.is_write,
       [this, state = std::move(state), span, object_bytes]() mutable {

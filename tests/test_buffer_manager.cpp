@@ -103,6 +103,97 @@ TEST(BufferManager, ResizeShrinkEvicts) {
   EXPECT_EQ(buf.capacity(), 2u);
 }
 
+TEST(BufferManager, ResizeShrinkWritesBackInEvictionOrder) {
+  // LRU makes the victim sequence deterministic: the least recently used
+  // dirty pages are written back oldest-first.
+  BufferManager buf(8, ReplacementPolicy::kLru);
+  for (PageId p = 0; p < 8; ++p) buf.Access(p, true);
+  const std::vector<PageIo> ios = buf.Resize(3);
+  ASSERT_EQ(ios.size(), 5u);
+  for (size_t i = 0; i < ios.size(); ++i) {
+    EXPECT_EQ(ios[i].kind, PageIo::Kind::kWrite);
+    EXPECT_EQ(ios[i].page, static_cast<PageId>(i));
+  }
+  for (PageId p = 0; p < 5; ++p) EXPECT_FALSE(buf.Contains(p));
+  for (PageId p = 5; p < 8; ++p) EXPECT_TRUE(buf.Contains(p));
+}
+
+TEST(BufferManager, ResizeGrowKeepsResidentsAndExtendsCapacity) {
+  BufferManager buf(2, ReplacementPolicy::kLru);
+  buf.Access(1, true);
+  buf.Access(2, false);
+  const std::vector<PageIo> ios = buf.Resize(6);
+  EXPECT_TRUE(ios.empty());  // growing never evicts
+  EXPECT_EQ(buf.capacity(), 6u);
+  EXPECT_TRUE(buf.Contains(1));
+  EXPECT_TRUE(buf.Contains(2));
+  EXPECT_EQ(buf.DirtyPages(), 1u);
+  // The widened buffer actually holds 6 pages before evicting again.
+  for (PageId p = 3; p <= 6; ++p) buf.Access(p, false);
+  EXPECT_EQ(buf.resident_pages(), 6u);
+  EXPECT_EQ(buf.stats().evictions, 0u);
+  buf.Access(7, false);
+  EXPECT_EQ(buf.resident_pages(), 6u);
+  EXPECT_EQ(buf.stats().evictions, 1u);
+}
+
+TEST(BufferManager, ResizeRejectsZeroCapacity) {
+  BufferManager buf(4, ReplacementPolicy::kLru);
+  EXPECT_THROW(buf.Resize(0), util::Error);
+}
+
+/// Shrink/grow across every policy: stats invariants hold, clean pages
+/// evict silently, dirty pages write back exactly once, and the buffer
+/// keeps working at the new capacity.
+class ResizePolicies : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(ResizePolicies, ShrinkGrowCycleKeepsInvariants) {
+  BufferManager buf(16, GetParam());
+  desp::RandomStream rng(23);
+  for (int i = 0; i < 600; ++i) {
+    buf.Access(static_cast<PageId>(rng.UniformInt(0, 59)),
+               rng.Bernoulli(0.4));
+  }
+  // Shrink: every eviction of a dirty page produces exactly one write.
+  const uint64_t dirty_before = buf.DirtyPages();
+  const uint64_t resident_before = buf.resident_pages();
+  uint64_t expected_writebacks = buf.stats().writebacks;
+  const std::vector<PageIo> shrink_ios = buf.Resize(5);
+  EXPECT_EQ(buf.capacity(), 5u);
+  EXPECT_EQ(buf.resident_pages(), 5u);
+  EXPECT_EQ(CountReads(shrink_ios), 0u);
+  const uint64_t evicted = resident_before - 5;
+  EXPECT_LE(CountWrites(shrink_ios), evicted);
+  EXPECT_GE(dirty_before, CountWrites(shrink_ios));
+  EXPECT_EQ(dirty_before - CountWrites(shrink_ios), buf.DirtyPages());
+  expected_writebacks += CountWrites(shrink_ios);
+  EXPECT_EQ(buf.stats().writebacks, expected_writebacks);
+  // No page is written back twice: each write targets a distinct page.
+  std::set<PageId> written;
+  for (const PageIo& io : shrink_ios) {
+    EXPECT_TRUE(written.insert(io.page).second)
+        << "page " << io.page << " written back twice";
+    EXPECT_FALSE(buf.Contains(io.page));
+  }
+  // Grow back and keep running: the accounting identity still holds.
+  EXPECT_TRUE(buf.Resize(32).empty());
+  for (int i = 0; i < 600; ++i) {
+    buf.Access(static_cast<PageId>(rng.UniformInt(0, 59)),
+               rng.Bernoulli(0.4));
+  }
+  const BufferStats& s = buf.stats();
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+  EXPECT_LE(buf.resident_pages(), 32u);
+  EXPECT_EQ(s.misses - buf.resident_pages(), s.evictions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ResizePolicies,
+    ::testing::Values(ReplacementPolicy::kRandom, ReplacementPolicy::kFifo,
+                      ReplacementPolicy::kLfu, ReplacementPolicy::kLru,
+                      ReplacementPolicy::kLruK, ReplacementPolicy::kClock,
+                      ReplacementPolicy::kGclock));
+
 TEST(BufferManager, SequentialPrefetchLoadsAhead) {
   BufferManager buf(10, ReplacementPolicy::kLru);
   buf.SetPrefetcher(std::make_unique<SequentialPrefetcher>(2, 100));

@@ -40,8 +40,10 @@ TEST(ObjectBase, RoundRobinClassAssignment) {
 TEST(ObjectBase, SizesMatchClassDefinition) {
   const ObjectBase base = ObjectBase::Generate(SmallParams());
   uint64_t total = 0;
-  for (const ObjectDef& obj : base.objects()) {
+  for (Oid oid = 0; oid < base.NumObjects(); ++oid) {
+    const ObjectDef obj = base.Object(oid);
     EXPECT_EQ(obj.size, base.schema().Class(obj.cls).instance_size);
+    EXPECT_EQ(obj.size, base.SizeOf(oid));
     total += obj.size;
   }
   EXPECT_EQ(base.TotalBytes(), total);
@@ -49,7 +51,8 @@ TEST(ObjectBase, SizesMatchClassDefinition) {
 
 TEST(ObjectBase, ReferencesPointToDemandedClass) {
   const ObjectBase base = ObjectBase::Generate(SmallParams());
-  for (const ObjectDef& obj : base.objects()) {
+  for (Oid oid = 0; oid < base.NumObjects(); ++oid) {
+    const ObjectDef obj = base.Object(oid);
     const auto& class_refs = base.schema().Class(obj.cls).references;
     ASSERT_EQ(obj.references.size(), class_refs.size());
     for (size_t slot = 0; slot < obj.references.size(); ++slot) {
@@ -123,8 +126,8 @@ TEST_P(ObjectBaseDistributions, ReferencesAlwaysValid) {
   OcbParameters p = SmallParams();
   p.reference_distribution = GetParam();
   const ObjectBase base = ObjectBase::Generate(p);
-  for (const ObjectDef& obj : base.objects()) {
-    for (Oid target : obj.references) {
+  for (Oid oid = 0; oid < base.NumObjects(); ++oid) {
+    for (Oid target : base.References(oid)) {
       if (target != kNullOid) {
         EXPECT_LT(target, base.NumObjects());
       }

@@ -104,11 +104,11 @@ TEST(Placement, ReferenceDfsKeepsNeighboursClose) {
   auto mean_ref_distance = [&](const Placement& pl) {
     double total = 0.0;
     uint64_t count = 0;
-    for (const auto& obj : base.objects()) {
-      for (ocb::Oid ref : obj.references) {
+    for (ocb::Oid oid = 0; oid < base.NumObjects(); ++oid) {
+      for (ocb::Oid ref : base.References(oid)) {
         if (ref == ocb::kNullOid) continue;
         const double d =
-            std::abs(static_cast<double>(pl.PageOf(obj.id)) -
+            std::abs(static_cast<double>(pl.PageOf(oid)) -
                      static_cast<double>(pl.PageOf(ref)));
         total += d;
         ++count;
@@ -140,7 +140,8 @@ TEST(Placement, LargeObjectsGetContiguousSpans) {
   const Placement pl =
       Placement::Build(base, 1024, PlacementPolicy::kSequential);
   bool saw_span = false;
-  for (const auto& obj : base.objects()) {
+  for (ocb::Oid oid = 0; oid < base.NumObjects(); ++oid) {
+    const ocb::ObjectDef obj = base.Object(oid);
     const PageSpan span = pl.SpanOf(obj.id);
     const auto expected_pages =
         static_cast<uint32_t>((obj.size + 1023) / 1024);

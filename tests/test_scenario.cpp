@@ -47,7 +47,8 @@ TEST(ScenarioCatalog, RegistersEveryPaperFigureTableAndAblation) {
       "ablation_clustering", "ablation_failures",
       "ablation_locking",    "ablation_multiprog",
       "ablation_placement",  "ablation_sysclass",
-      "ablation_vm_model"};
+      "ablation_vm_model",   "micro_scheduler",
+      "micro_storage"};
   EXPECT_EQ(exp::ScenarioRegistry::Instance().Names(), expected);
 }
 
