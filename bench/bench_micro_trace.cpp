@@ -1,0 +1,10 @@
+/// \file bench_micro_trace.cpp
+/// \brief The trace-subsystem micro bench: record overhead, replay
+/// throughput and the single-pass-MRC speedup over per-size runs.
+/// Thin wrapper over the `micro_trace` catalog scenario; writes
+/// BENCH_trace.json.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return voodb::bench::RunScenarioMain("micro_trace", argc, argv, "trace");
+}

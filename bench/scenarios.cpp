@@ -13,6 +13,7 @@
 #include "harness.hpp"
 #include "micro_scheduler.hpp"
 #include "micro_storage.hpp"
+#include "micro_trace.hpp"
 #include "ocb/workload.hpp"
 #include "sweeps.hpp"
 #include "util/check.hpp"
@@ -826,6 +827,65 @@ void RegisterMicroBenches() {
   }
 }
 
+// --- Trace subsystem ---------------------------------------------------------
+
+void RegisterTraceScenarios() {
+  {
+    Scenario s;
+    s.name = "trace_mrc";
+    s.title = "Trace: record once, exact LRU MRC in one pass";
+    s.description =
+        "Records one fixed-seed VOODB simulation run as an access trace, "
+        "verifies a replay reproduces the recorded "
+        "hit/miss/eviction/write-back counters bit-exactly, then runs the "
+        "one-pass Mattson stack-distance analysis: the exact LRU "
+        "hit-ratio curve for every cache size, the working-set size, "
+        "reuse distances and per-class access skew.  --set trace_path=... "
+        "chooses the trace file (default trace_mrc.vtrc).";
+    s.base.workload = FigureWorkload(50, 20000);
+    s.base.system.system_class = core::SystemClass::kCentralized;
+    s.base.system.buffer_pages = 1200;
+    s.run = RunTraceMrcScenario;
+    Register(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "fig08_mrc";
+    s.title = "Figure 8's cache-size curve from one trace pass";
+    s.description =
+        "Computes Figure 8's entire hit curve from ONE recorded O2 run: "
+        "a single Mattson pass yields the exact LRU hit count at every "
+        "swept cache size, cross-checked for exact equality against a "
+        "full buffer-manager replay AND a fresh emulator simulation per "
+        "size (the scenario fails on any divergence), and reports the "
+        "MRC-vs-N-simulations speedup.";
+    s.base.workload = FigureWorkload(50, 20000);
+    s.base.system = core::SystemCatalog::O2WithCache(16.0);
+    s.grid.Axis("memory_mb", MemoryPoints());
+    s.swept = {"buffer_pages"};
+    s.system_config_used = false;  // runs the O2 emulator only
+    s.run = RunFig08MrcScenario;
+    Register(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "micro_trace";
+    s.title = "Micro: trace record overhead, replay throughput, MRC speedup";
+    s.description =
+        "The trace subsystem's micro bench (BENCH_trace.json): recording "
+        "overhead against an untraced emulator run, page-stream replay "
+        "throughput, and the speedup of one Mattson MRC pass over "
+        "per-cache-size replays and per-cache-size simulations.  "
+        "Protocol knobs: --transactions=N per trial, --replications=N "
+        "timed trials; workload parameters shape the base "
+        "(--set num_objects=...).";
+    s.base.workload = FigureWorkload(50, 20000);
+    s.system_config_used = false;
+    s.run = RunMicroTraceScenario;
+    Register(std::move(s));
+  }
+}
+
 void RegisterAll() {
   RegisterInstanceFigure(
       "fig06", TargetSystem::kO2, 20, "Figure 6: O2, NC=20, I/Os vs NO",
@@ -923,6 +983,7 @@ void RegisterAll() {
   RegisterAblationSysclass();
   RegisterAblationVmModel();
   RegisterMicroBenches();
+  RegisterTraceScenarios();
 }
 
 }  // namespace

@@ -1,0 +1,406 @@
+#include "trace_tools.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "desp/random.hpp"
+#include "emu/texas_emulator.hpp"
+#include "exp/scenario.hpp"
+#include "ocb/workload.hpp"
+#include "scenarios.hpp"
+#include "trace/counters.hpp"
+#include "trace/mrc.hpp"
+#include "trace/reader.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replayer.hpp"
+#include "trace/writer.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "voodb/param_registry.hpp"
+#include "voodb/system.hpp"
+
+namespace voodb::bench {
+
+namespace {
+
+using core::ParamRegistry;
+using core::ParamTarget;
+
+/// Applies repeated `--set name=value` assignments onto a config pair.
+void ApplySets(const std::vector<std::string>& sets,
+               core::VoodbConfig* system, ocb::OcbParameters* workload) {
+  const ParamRegistry& registry = ParamRegistry::Instance();
+  for (const std::string& assignment : sets) {
+    const size_t eq = assignment.find('=');
+    VOODB_CHECK_MSG(eq != std::string::npos && eq > 0,
+                    "--set expects name=value, got '" << assignment << "'");
+    registry.Set(ParamTarget{system, workload}, assignment.substr(0, eq),
+                 assignment.substr(eq + 1));
+  }
+}
+
+trace::Header EmulatorHeader(uint32_t page_size, uint64_t buffer_pages,
+                             storage::ReplacementPolicy policy,
+                             const ocb::ObjectBase& base, uint64_t num_pages,
+                             uint64_t seed) {
+  trace::Header h;
+  h.page_size = page_size;
+  h.buffer_pages = buffer_pages;
+  h.replacement_policy = static_cast<uint8_t>(policy);
+  h.lru_k = 2;
+  h.num_classes = base.params().num_classes;
+  h.num_objects = base.NumObjects();
+  h.num_pages = num_pages;
+  h.seed = seed;
+  return h;
+}
+
+void PrintCounters(const char* label, const trace::TraceCounters& c) {
+  util::TextTable table({"Counter", "Value"});
+  table.AddRow({"accesses", std::to_string(c.accesses)});
+  table.AddRow({"hits", std::to_string(c.hits)});
+  table.AddRow({"misses", std::to_string(c.misses)});
+  table.AddRow({"evictions", std::to_string(c.evictions)});
+  table.AddRow({"writebacks", std::to_string(c.writebacks)});
+  std::cout << label << "\n";
+  table.Print(std::cout);
+}
+
+int TraceRecord(int argc, const char* const* argv) {
+  util::CliArgs args(argc, argv);
+  const std::string out =
+      args.GetString("out", "", "output trace file (required)");
+  const std::string scenario_name = args.GetString(
+      "scenario", "",
+      "take base parameters from this catalog scenario (default: model "
+      "defaults)");
+  const std::string system_kind = args.GetString(
+      "system", "sim",
+      "what executes the workload: sim (VOODB simulation) | o2 | texas");
+  const auto transactions = static_cast<uint64_t>(
+      args.GetInt("transactions", 1000, "transactions to record"));
+  const auto seed =
+      static_cast<uint64_t>(args.GetInt("seed", 42, "RNG seed"));
+  const double memory_mb = args.GetDouble(
+      "memory-mb", 0.0,
+      "emulator memory budget in MB (default: 16 for o2, 64 for texas)");
+  const std::vector<std::string> sets = args.GetList(
+      "set", "override a model parameter (name=value, repeatable)");
+  if (args.help_requested()) {
+    std::cout << "Record one fixed-seed run as an access trace.\n\n"
+              << args.Help();
+    return 0;
+  }
+  args.RejectUnknown();
+  VOODB_CHECK_MSG(!out.empty(), "trace record needs --out=PATH");
+
+  core::ExperimentConfig base_config;
+  if (!scenario_name.empty()) {
+    base_config = exp::ScenarioRegistry::Instance().At(scenario_name).base;
+  }
+  ApplySets(sets, &base_config.system, &base_config.workload);
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(base_config.workload);
+
+  if (system_kind == "sim") {
+    // Serial recording (one user) keeps the transaction markers nested,
+    // so the trace replays as a workload, not just a page stream.
+    core::VoodbConfig cfg = base_config.system;
+    if (cfg.num_users > 1) {
+      std::cout << "note: recording with num_users=1 so transaction "
+                   "markers nest (was "
+                << cfg.num_users << ")\n";
+      cfg.num_users = 1;
+    }
+    const trace::TraceCounters counters =
+        RecordSimulationTrace(cfg, base, transactions, seed, out);
+    std::cout << "recorded " << transactions << " simulated transactions to "
+              << out << "\n";
+    PrintCounters("buffer counters of the recorded run:", counters);
+    return 0;
+  }
+  if (system_kind == "o2") {
+    emu::O2Config cfg;
+    if (memory_mb > 0.0) {
+      cfg.cache_pages =
+          static_cast<uint64_t>(memory_mb * 1024 * 1024 / cfg.page_size);
+    }
+    std::ofstream os(out, std::ios::binary | std::ios::trunc);
+    VOODB_CHECK_MSG(os.is_open(), "cannot open '" << out << "'");
+    RecordO2Trace(cfg, base, transactions, seed, os);
+    std::cout << "recorded " << transactions << " O2-emulator transactions "
+              << "to " << out << "\n";
+    return 0;
+  }
+  if (system_kind == "texas") {
+    emu::TexasConfig cfg;
+    if (memory_mb > 0.0) {
+      cfg.memory_pages =
+          emu::TexasConfig::FramesForMemory(memory_mb, cfg.page_size);
+    }
+    emu::TexasEmulator texas(cfg, &base, seed);
+    trace::Header header = EmulatorHeader(
+        cfg.page_size, cfg.memory_pages, storage::ReplacementPolicy::kLru,
+        base, texas.NumPages(), seed);
+    header.flags |= trace::kFlagVirtualMemory;
+    trace::Writer writer(out, header);
+    trace::Recorder recorder(&writer);
+    texas.SetRecorder(&recorder);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed));
+    texas.RunTransactions(gen, transactions);
+    recorder.Flush();
+    writer.Finish(trace::CountersFrom(texas.vm().stats()));
+    std::cout << "recorded " << transactions
+              << " Texas-emulator transactions to " << out
+              << " (VM model: page stream + locality analytics; replay "
+                 "verification applies to database-buffer traces)\n";
+    return 0;
+  }
+  VOODB_CHECK_MSG(false, "unknown --system '" << system_kind
+                                              << "'; valid: sim | o2 | "
+                                                 "texas");
+  return 2;
+}
+
+int TraceReplay(int argc, const char* const* argv) {
+  util::CliArgs args(argc, argv);
+  const std::string in =
+      args.GetString("in", "", "input trace file (required)");
+  const auto buffer_pages = static_cast<uint64_t>(args.GetInt(
+      "buffer-pages", 0, "buffer capacity override (0 = recorded value)"));
+  const std::string policy_name = args.GetString(
+      "policy", "", "replacement policy override (see `voodb params`)");
+  const auto lru_k = static_cast<uint32_t>(
+      args.GetInt("lru-k", 0, "LRU-K depth override (0 = recorded value)"));
+  const bool verify = args.GetBool(
+      "verify", false,
+      "fail unless the recorded counters are reproduced bit-exactly");
+  if (args.help_requested()) {
+    std::cout << "Replay a recorded page stream through a fresh buffer "
+                 "manager.\n\n"
+              << args.Help();
+    return 0;
+  }
+  args.RejectUnknown();
+  VOODB_CHECK_MSG(!in.empty(), "trace replay needs --in=PATH");
+
+  trace::Reader reader(in);
+  trace::ReplayConfig config;
+  config.buffer_pages = buffer_pages;
+  config.lru_k = lru_k;
+  if (!policy_name.empty()) {
+    config.policy = static_cast<int>(ParamRegistry::Instance().ParseValue(
+        "page_replacement", policy_name));
+  }
+  const trace::ReplayStats stats = trace::ReplayPages(reader, config);
+
+  util::TextTable table({"Counter", "Replayed", "Recorded"});
+  const trace::TraceCounters& rec = reader.header().counters;
+  table.AddRow({"accesses", std::to_string(stats.accesses),
+                std::to_string(rec.accesses)});
+  table.AddRow({"hits", std::to_string(stats.hits),
+                std::to_string(rec.hits)});
+  table.AddRow({"misses", std::to_string(stats.misses),
+                std::to_string(rec.misses)});
+  table.AddRow({"evictions", std::to_string(stats.evictions),
+                std::to_string(rec.evictions)});
+  table.AddRow({"writebacks", std::to_string(stats.writebacks),
+                std::to_string(rec.writebacks)});
+  table.Print(std::cout);
+  std::cout << "replayed I/Os: " << stats.reads << " reads, " << stats.writes
+            << " writes; hit rate " << stats.HitRate() << "\n";
+  if (verify) {
+    VOODB_CHECK_MSG(trace::ReplayVerifiable(reader.header().flags),
+                    "--verify applies to plain database-buffer traces; "
+                    "this one was recorded under the VM model, with "
+                    "flush_on_commit, or with the crash hazard armed, so "
+                    "its counters include buffer events outside the page "
+                    "stream");
+    if (!stats.Matches(rec)) {
+      std::cerr << "error: replay diverged from the recorded counters\n";
+      return 1;
+    }
+    std::cout << "verify: replay reproduced the recorded counters "
+                 "bit-exactly\n";
+  }
+  return 0;
+}
+
+int TraceAnalyze(int argc, const char* const* argv) {
+  util::CliArgs args(argc, argv);
+  const std::string in =
+      args.GetString("in", "", "input trace file (required)");
+  const std::string sizes_arg = args.GetString(
+      "sizes", "",
+      "comma-separated cache sizes in pages for the hit-ratio curve "
+      "(default: a sweep up to the working set)");
+  const bool csv = args.GetBool("csv", false, "CSV output");
+  if (args.help_requested()) {
+    std::cout << "One-pass Mattson miss-ratio-curve analytics over a "
+                 "recorded trace.\n\n"
+              << args.Help();
+    return 0;
+  }
+  args.RejectUnknown();
+  VOODB_CHECK_MSG(!in.empty(), "trace analyze needs --in=PATH");
+
+  trace::Reader reader(in);
+  trace::MrcAnalyzer analyzer(reader.header().num_classes);
+  analyzer.Consume(reader);
+  const trace::MrcResult mrc = analyzer.Finish();
+
+  std::cout << "trace: " << mrc.transactions << " transactions, "
+            << mrc.object_accesses << " object accesses, "
+            << mrc.page_accesses << " page accesses\n"
+            << "working set: " << mrc.working_set_pages << " pages ("
+            << (mrc.working_set_pages * reader.header().page_size) /
+                   (1024 * 1024)
+            << " MB); mean reuse distance "
+            << util::FormatDouble(mrc.MeanReuseDistance(), 1) << " pages\n";
+
+  std::vector<uint64_t> sizes;
+  if (!sizes_arg.empty()) {
+    std::stringstream ss(sizes_arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long value = std::strtoull(item.c_str(), &end, 10);
+      // A leading digit is required explicitly: strtoull would accept
+      // "-5" by wrapping it to a huge unsigned value.
+      VOODB_CHECK_MSG(!item.empty() && std::isdigit(
+                          static_cast<unsigned char>(item[0])) &&
+                          end != nullptr && *end == '\0' && errno == 0,
+                      "--sizes expects comma-separated page counts, got '"
+                          << item << "'");
+      sizes.push_back(static_cast<uint64_t>(value));
+    }
+  } else {
+    for (const double fraction : {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+      const auto pages = static_cast<uint64_t>(
+          fraction * static_cast<double>(mrc.working_set_pages));
+      if (pages >= 1) sizes.push_back(pages);
+    }
+  }
+  util::TextTable curve({"Cache (pages)", "Hits", "Misses", "Hit ratio"});
+  for (const uint64_t pages : sizes) {
+    curve.AddRow({std::to_string(pages), std::to_string(mrc.HitsAt(pages)),
+                  std::to_string(mrc.MissesAt(pages)),
+                  util::FormatDouble(mrc.HitRatioAt(pages), 4)});
+  }
+  std::cout << "exact LRU hit-ratio curve (one Mattson pass):\n";
+  if (csv) {
+    curve.PrintCsv(std::cout);
+  } else {
+    curve.Print(std::cout);
+  }
+
+  if (!mrc.class_accesses.empty() && mrc.object_accesses > 0) {
+    // Access skew: the few hottest classes against the schema size.
+    std::vector<std::pair<uint64_t, size_t>> ranked;
+    for (size_t c = 0; c < mrc.class_accesses.size(); ++c) {
+      ranked.emplace_back(mrc.class_accesses[c], c);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    util::TextTable skew({"Class", "Accesses", "Share"});
+    const size_t top = std::min<size_t>(8, ranked.size());
+    for (size_t i = 0; i < top; ++i) {
+      skew.AddRow({std::to_string(ranked[i].second),
+                   std::to_string(ranked[i].first),
+                   util::FormatDouble(
+                       static_cast<double>(ranked[i].first) /
+                           static_cast<double>(mrc.object_accesses),
+                       4)});
+    }
+    std::cout << "hottest classes (of " << mrc.class_accesses.size()
+              << "):\n";
+    if (csv) {
+      skew.PrintCsv(std::cout);
+    } else {
+      skew.Print(std::cout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+trace::Header O2TraceHeader(const emu::O2Config& config,
+                            const ocb::ObjectBase& base, uint64_t num_pages,
+                            uint64_t seed) {
+  return EmulatorHeader(config.page_size, config.cache_pages,
+                        config.replacement, base, num_pages, seed);
+}
+
+void RecordO2Trace(const emu::O2Config& config, const ocb::ObjectBase& base,
+                   uint64_t transactions, uint64_t seed, std::ostream& os) {
+  emu::O2Emulator o2(config, &base, seed);
+  trace::Writer writer(&os,
+                       O2TraceHeader(config, base, o2.NumPages(), seed));
+  trace::Recorder recorder(&writer);
+  o2.SetRecorder(&recorder);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed));
+  o2.RunTransactions(gen, transactions);
+  recorder.Flush();
+  writer.Finish(o2.TraceCountersNow());
+}
+
+trace::TraceCounters RecordSimulationTrace(core::VoodbConfig system,
+                                           const ocb::ObjectBase& base,
+                                           uint64_t transactions,
+                                           uint64_t seed,
+                                           const std::string& path) {
+  system.trace_record = true;
+  system.trace_path = path;
+  core::VoodbSystem sys(system, &base, nullptr, seed);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed).Derive(1));
+  sys.RunTransactions(gen, transactions);
+  const trace::TraceCounters counters =
+      sys.buffering_manager().TraceCountersNow();
+  sys.FinishTrace();
+  return counters;
+}
+
+int RunTraceCommand(int argc, const char* const* argv) {
+  const auto usage = [](std::ostream& os) {
+    os << "usage:\n"
+          "  voodb trace record  --out=PATH [--scenario=NAME] [--system="
+          "sim|o2|texas]\n"
+          "                      [--transactions=N] [--seed=N] "
+          "[--memory-mb=X] [--set k=v ...]\n"
+          "  voodb trace replay  --in=PATH [--buffer-pages=N] "
+          "[--policy=P] [--lru-k=K] [--verify]\n"
+          "  voodb trace analyze --in=PATH [--sizes=a,b,c] [--csv]\n";
+  };
+  if (argc < 2) {
+    usage(std::cerr);
+    return 2;
+  }
+  const std::string sub = argv[1];
+  const int rest_argc = argc - 1;
+  const char* const* rest_argv = argv + 1;
+  try {
+    if (sub == "record") return TraceRecord(rest_argc, rest_argv);
+    if (sub == "replay") return TraceReplay(rest_argc, rest_argv);
+    if (sub == "analyze") return TraceAnalyze(rest_argc, rest_argv);
+    if (sub == "--help" || sub == "-h" || sub == "help") {
+      usage(std::cout);
+      return 0;
+    }
+  } catch (const util::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown trace subcommand '" << sub << "'\n";
+  usage(std::cerr);
+  return 2;
+}
+
+}  // namespace voodb::bench

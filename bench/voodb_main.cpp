@@ -19,6 +19,7 @@
 #include "exp/scenario.hpp"
 #include "harness.hpp"
 #include "scenarios.hpp"
+#include "trace_tools.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -40,8 +41,14 @@ int Usage(std::ostream& os, int code) {
         "                                 print the parameter registry\n"
         "  voodb run <scenario> [--set name=value ...] [--replications=N]\n"
         "            [--transactions=N] [--seed=N] [--threads=N]\n"
-        "            [--event-queue=K] [--csv] [--json=PATH]\n\n"
-        "Run `voodb run <scenario> --help` for the run flags.\n";
+        "            [--event-queue=K] [--csv] [--json=PATH]\n"
+        "  voodb trace record|replay|analyze [flags]\n"
+        "                                 access traces: record a run,\n"
+        "                                 replay it under any buffer, or\n"
+        "                                 compute its exact LRU hit-ratio\n"
+        "                                 curve in one pass\n\n"
+        "Run `voodb run <scenario> --help` for the run flags, `voodb "
+        "trace --help` for the trace workflow.\n";
   return code;
 }
 
@@ -86,10 +93,9 @@ int DescribeScenario(const std::string& name) {
   const ConstParamTarget target{&s.base.system, &s.base.workload};
   voodb::util::TextTable table({"Parameter", "Value", "Default"});
   for (const ParamDescriptor& d : registry.descriptors()) {
-    const double value = d.getter(target);
-    if (value == d.default_value) continue;
-    table.AddRow({d.name, registry.FormatValue(d.name, value),
-                  registry.FormatValue(d.name, d.default_value)});
+    if (registry.IsDefault(target, d)) continue;
+    table.AddRow({d.name, registry.GetText(target, d.name),
+                  registry.DefaultText(d)});
   }
   std::cout << "Base parameters differing from model defaults (override "
                "any registered parameter with --set):\n";
@@ -126,9 +132,9 @@ int PrintParams(int argc, const char* const* argv) {
     std::cout << "|---|---|---|---|---|---|\n";
     for (const ParamDescriptor& d : registry.descriptors()) {
       std::cout << "| `" << d.name << "` | " << ToString(d.domain) << " | "
-                << ToString(d.type) << " | `"
-                << registry.FormatValue(d.name, d.default_value) << "` | "
-                << escape(d.RangeText()) << " | " << escape(d.doc) << " |\n";
+                << ToString(d.type) << " | `" << registry.DefaultText(d)
+                << "` | " << escape(d.RangeText()) << " | " << escape(d.doc)
+                << " |\n";
     }
     return 0;
   }
@@ -136,8 +142,7 @@ int PrintParams(int argc, const char* const* argv) {
       {"Parameter", "Domain", "Type", "Default", "Range", "Description"});
   for (const ParamDescriptor& d : registry.descriptors()) {
     table.AddRow({d.name, ToString(d.domain), ToString(d.type),
-                  registry.FormatValue(d.name, d.default_value),
-                  d.RangeText(), d.doc});
+                  registry.DefaultText(d), d.RangeText(), d.doc});
   }
   if (csv) {
     table.PrintCsv(std::cout);
@@ -166,6 +171,9 @@ int main(int argc, char** argv) {
       return DescribeScenario(argv[2]);
     }
     if (command == "params") return PrintParams(argc - 1, argv + 1);
+    if (command == "trace") {
+      return voodb::bench::RunTraceCommand(argc - 1, argv + 1);
+    }
     if (command == "run") {
       if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
         std::cerr << "usage: voodb run <scenario> [flags]  (see `voodb "

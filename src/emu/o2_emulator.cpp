@@ -1,5 +1,6 @@
 #include "emu/o2_emulator.hpp"
 
+#include "trace/counters.hpp"
 #include "util/check.hpp"
 
 namespace voodb::emu {
@@ -16,17 +17,26 @@ O2Emulator::O2Emulator(O2Config config, const ocb::ObjectBase* base,
       config_.cache_pages, config_.replacement, desp::RandomStream(seed));
 }
 
-core::PhaseMetrics O2Emulator::RunTransactions(ocb::WorkloadGenerator& workload,
+core::PhaseMetrics O2Emulator::RunTransactions(ocb::WorkloadSource& workload,
                                                uint64_t n) {
   return Drive(workload, nullptr, n);
 }
 
 core::PhaseMetrics O2Emulator::RunTransactionsOfKind(
-    ocb::WorkloadGenerator& workload, ocb::TransactionKind kind, uint64_t n) {
+    ocb::WorkloadSource& workload, ocb::TransactionKind kind, uint64_t n) {
   return Drive(workload, &kind, n);
 }
 
-core::PhaseMetrics O2Emulator::Drive(ocb::WorkloadGenerator& workload,
+void O2Emulator::SetRecorder(trace::Recorder* recorder) {
+  recorder_ = recorder;
+  cache_->SetRecorder(recorder);
+}
+
+trace::TraceCounters O2Emulator::TraceCountersNow() const {
+  return trace::CountersFrom(cache_->stats());
+}
+
+core::PhaseMetrics O2Emulator::Drive(ocb::WorkloadSource& workload,
                                      const ocb::TransactionKind* forced,
                                      uint64_t n) {
   const storage::BufferStats before = cache_->stats();
@@ -38,9 +48,13 @@ core::PhaseMetrics O2Emulator::Drive(ocb::WorkloadGenerator& workload,
     const ocb::Transaction txn = forced != nullptr
                                      ? workload.NextOfKind(*forced)
                                      : workload.Next();
+    if (recorder_ != nullptr) {
+      recorder_->OnTxnBegin(static_cast<uint64_t>(txn.kind));
+    }
     for (const ocb::ObjectAccess& access : txn.accesses) {
       AccessObject(access.oid, access.is_write);
     }
+    if (recorder_ != nullptr) recorder_->OnTxnEnd();
     ++m.transactions;
   }
   const storage::BufferStats after = cache_->stats();
@@ -55,6 +69,7 @@ core::PhaseMetrics O2Emulator::Drive(ocb::WorkloadGenerator& workload,
 
 void O2Emulator::AccessObject(ocb::Oid oid, bool write) {
   ++accesses_;
+  if (recorder_ != nullptr) recorder_->OnObject(oid, write);
   // Flat span-array lookup + allocation-free cache probe: the emulator
   // hot path touches only dense arrays.
   const storage::PageSpan span = placement_.spans()[oid];

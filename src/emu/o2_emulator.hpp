@@ -19,6 +19,7 @@
 #include "ocb/workload.hpp"
 #include "storage/buffer_manager.hpp"
 #include "storage/placement.hpp"
+#include "trace/recorder.hpp"
 #include "voodb/metrics.hpp"
 
 namespace voodb::emu {
@@ -42,18 +43,26 @@ class O2Emulator {
   /// Executes `n` transactions from `workload`; returns the phase's
   /// counters (sim_time_ms is always 0 — the emulator does not model
   /// time).
-  core::PhaseMetrics RunTransactions(ocb::WorkloadGenerator& workload,
+  core::PhaseMetrics RunTransactions(ocb::WorkloadSource& workload,
                                      uint64_t n);
-  core::PhaseMetrics RunTransactionsOfKind(ocb::WorkloadGenerator& workload,
+  core::PhaseMetrics RunTransactionsOfKind(ocb::WorkloadSource& workload,
                                            ocb::TransactionKind kind,
                                            uint64_t n);
+
+  /// Installs an access-trace recorder (not owned; nullptr detaches):
+  /// transaction markers and object accesses from the drive loop, page
+  /// accesses from the server cache's AccessInto.
+  void SetRecorder(trace::Recorder* recorder);
+
+  /// The recording run's cache counters for the trace header.
+  trace::TraceCounters TraceCountersNow() const;
 
   /// Database size on disk.
   uint64_t NumPages() const { return placement_.NumPages(); }
   const storage::BufferManager& cache() const { return *cache_; }
 
  private:
-  core::PhaseMetrics Drive(ocb::WorkloadGenerator& workload,
+  core::PhaseMetrics Drive(ocb::WorkloadSource& workload,
                            const ocb::TransactionKind* forced, uint64_t n);
   void AccessObject(ocb::Oid oid, bool write);
 
@@ -61,6 +70,7 @@ class O2Emulator {
   const ocb::ObjectBase* base_;
   storage::Placement placement_;
   std::unique_ptr<storage::BufferManager> cache_;
+  trace::Recorder* recorder_ = nullptr;
   /// Reused I/O scratch buffer (the access path never allocates).
   std::vector<storage::PageIo> scratch_ios_;
   uint64_t reads_ = 0;

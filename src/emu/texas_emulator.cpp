@@ -33,16 +33,16 @@ void TexasEmulator::SetClusteringPolicy(
 }
 
 core::PhaseMetrics TexasEmulator::RunTransactions(
-    ocb::WorkloadGenerator& workload, uint64_t n) {
+    ocb::WorkloadSource& workload, uint64_t n) {
   return Drive(workload, nullptr, n);
 }
 
 core::PhaseMetrics TexasEmulator::RunTransactionsOfKind(
-    ocb::WorkloadGenerator& workload, ocb::TransactionKind kind, uint64_t n) {
+    ocb::WorkloadSource& workload, ocb::TransactionKind kind, uint64_t n) {
   return Drive(workload, &kind, n);
 }
 
-core::PhaseMetrics TexasEmulator::Drive(ocb::WorkloadGenerator& workload,
+core::PhaseMetrics TexasEmulator::Drive(ocb::WorkloadSource& workload,
                                         const ocb::TransactionKind* forced,
                                         uint64_t n) {
   const storage::VmStats before = vm_->stats();
@@ -54,6 +54,9 @@ core::PhaseMetrics TexasEmulator::Drive(ocb::WorkloadGenerator& workload,
     const ocb::Transaction txn = forced != nullptr
                                      ? workload.NextOfKind(*forced)
                                      : workload.Next();
+    if (recorder_ != nullptr) {
+      recorder_->OnTxnBegin(static_cast<uint64_t>(txn.kind));
+    }
     if (policy_ != nullptr) policy_->OnTransactionStart();
     for (const ocb::ObjectAccess& access : txn.accesses) {
       if (policy_ != nullptr) policy_->OnObjectAccess(access.oid,
@@ -61,6 +64,7 @@ core::PhaseMetrics TexasEmulator::Drive(ocb::WorkloadGenerator& workload,
       AccessObject(access.oid, access.is_write);
     }
     if (policy_ != nullptr) policy_->OnTransactionEnd();
+    if (recorder_ != nullptr) recorder_->OnTxnEnd();
     ++m.transactions;
   }
   const storage::VmStats after = vm_->stats();
@@ -85,10 +89,12 @@ void TexasEmulator::CountIos(const std::vector<storage::PageIo>& ios) {
 
 void TexasEmulator::AccessObject(ocb::Oid oid, bool write) {
   ++accesses_;
+  if (recorder_ != nullptr) recorder_->OnObject(oid, write);
   // Flat span-array lookup (Oid -> pages without the checked accessor).
   const storage::PageSpan span = placement_->spans()[oid];
   for (uint32_t i = 0; i < span.count; ++i) {
     const storage::PageId page = span.first + i;
+    if (recorder_ != nullptr) recorder_->OnPage(page, write);
     const storage::AccessOutcome outcome = vm_->Touch(page, write);
     CountIos(outcome.ios);
     if (!outcome.hit && config_.reserve_references) {

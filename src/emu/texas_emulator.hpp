@@ -28,6 +28,7 @@
 #include "storage/page_adjacency.hpp"
 #include "storage/placement.hpp"
 #include "storage/virtual_memory.hpp"
+#include "trace/recorder.hpp"
 #include "voodb/metrics.hpp"
 
 namespace voodb::emu {
@@ -73,11 +74,16 @@ class TexasEmulator {
   /// (DSTC is "integrated in Texas as a collection of new modules").
   void SetClusteringPolicy(std::unique_ptr<cluster::ClusteringPolicy> policy);
 
-  core::PhaseMetrics RunTransactions(ocb::WorkloadGenerator& workload,
+  core::PhaseMetrics RunTransactions(ocb::WorkloadSource& workload,
                                      uint64_t n);
-  core::PhaseMetrics RunTransactionsOfKind(ocb::WorkloadGenerator& workload,
+  core::PhaseMetrics RunTransactionsOfKind(ocb::WorkloadSource& workload,
                                            ocb::TransactionKind kind,
                                            uint64_t n);
+
+  /// Installs an access-trace recorder (not owned; nullptr detaches):
+  /// transaction markers and object accesses from the drive loop, page
+  /// accesses from the VM touch loop.
+  void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
   /// Runs the installed policy's reorganization with physical-OID cost
   /// accounting (full scan + reference patching).
@@ -91,7 +97,7 @@ class TexasEmulator {
   const cluster::ClusteringPolicy* policy() const { return policy_.get(); }
 
  private:
-  core::PhaseMetrics Drive(ocb::WorkloadGenerator& workload,
+  core::PhaseMetrics Drive(ocb::WorkloadSource& workload,
                            const ocb::TransactionKind* forced, uint64_t n);
   void AccessObject(ocb::Oid oid, bool write);
   void CountIos(const std::vector<storage::PageIo>& ios);
@@ -103,6 +109,7 @@ class TexasEmulator {
   storage::PageAdjacency adjacency_;
   std::unique_ptr<storage::VirtualMemoryModel> vm_;
   std::unique_ptr<cluster::ClusteringPolicy> policy_;
+  trace::Recorder* recorder_ = nullptr;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   uint64_t accesses_ = 0;

@@ -84,6 +84,13 @@ ScenarioResult RunScenario(const Scenario& scenario,
   ctx.config.replications = options.replications;
   ctx.config.base_seed = options.seed;
   ctx.config.threads = options.threads;
+  // Replicated runs build one system per replication — possibly
+  // concurrently on the farm — and every one of them would truncate the
+  // same trace_path.  Recording is a single-run affair.
+  VOODB_CHECK_MSG(!ctx.config.system.trace_record || options.replications <= 1,
+                  "parameter 'trace_record' records one system per "
+                  "replication into the same trace_path; record a single "
+                  "fixed-seed run with `voodb trace record` instead");
   ctx.config.system.Validate();
   ctx.config.workload.Validate();
   return scenario.run(ctx);

@@ -11,6 +11,24 @@
 
 namespace voodb::ocb {
 
+/// Anything that can supply the transaction stream of a run.  The
+/// synthetic OCB generator below is the default implementation; the
+/// trace subsystem provides a deterministic replay source
+/// (`trace::TraceWorkload`) so one recorded run can be re-executed under
+/// any system configuration.  The drivers (VoodbSystem, both emulators)
+/// consume this interface.
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  /// Supplies the next transaction.
+  virtual Transaction Next() = 0;
+
+  /// Supplies a transaction of a forced kind (sources that replay a
+  /// fixed stream may ignore the request and document doing so).
+  virtual Transaction NextOfKind(TransactionKind kind) = 0;
+};
+
 /// Generates the OCB transaction stream over a given object base.
 ///
 /// Each call to Next() draws a transaction kind from the PSET / PSIMPLE /
@@ -28,16 +46,16 @@ namespace voodb::ocb {
 ///
 /// The generator is deterministic in its RandomStream seed and never
 /// mutates the object base.
-class WorkloadGenerator {
+class WorkloadGenerator : public WorkloadSource {
  public:
   WorkloadGenerator(const ObjectBase* base, desp::RandomStream stream);
 
   /// Generates the next transaction.
-  Transaction Next();
+  Transaction Next() override;
 
   /// Generates a transaction of a forced kind (used by the DSTC
   /// experiments, which run pure depth-3 hierarchy traversals).
-  Transaction NextOfKind(TransactionKind kind);
+  Transaction NextOfKind(TransactionKind kind) override;
 
   /// Total object accesses generated so far (all transactions).
   uint64_t GeneratedAccesses() const { return generated_accesses_; }

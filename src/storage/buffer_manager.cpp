@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "trace/recorder.hpp"
 #include "util/check.hpp"
 
 namespace voodb::storage {
@@ -28,6 +29,7 @@ AccessOutcome BufferManager::Access(PageId page, bool write) {
 
 bool BufferManager::AccessInto(PageId page, bool write,
                                std::vector<PageIo>& ios) {
+  if (recorder_ != nullptr) recorder_->OnPage(page, write);
   ++stats_.accesses;
   const uint32_t frame = index_.Find(page);
   if (frame != kNoFrame) {

@@ -26,6 +26,10 @@
 #include "storage/prefetch.hpp"
 #include "storage/replacement.hpp"
 
+namespace voodb::trace {
+class Recorder;
+}  // namespace voodb::trace
+
 namespace voodb::storage {
 
 /// Counters exposed by the buffer manager.
@@ -57,6 +61,12 @@ class BufferManager {
 
   /// Installs a prefetcher (nullptr = PREFETCH None).
   void SetPrefetcher(std::unique_ptr<Prefetcher> prefetcher);
+
+  /// Installs an access-trace recorder (not owned; nullptr detaches).
+  /// Every logical access through Access/AccessInto is reported as one
+  /// page record; the recorder's append path does not allocate, so the
+  /// hot path stays allocation-free while recording.
+  void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
   /// Performs one logical page access.  The outcome lists the physical
   /// operations implied: dirty write-backs, the read of `page` when it
@@ -100,6 +110,7 @@ class BufferManager {
   uint64_t capacity_;
   ReplacementEngine engine_;
   std::unique_ptr<Prefetcher> prefetcher_;
+  trace::Recorder* recorder_ = nullptr;
   std::vector<Frame> frames_;
   /// Free frame indices, reused LIFO (so frame numbers stay dense and
   /// the CLOCK sweep order matches the classic frame-table formulation).

@@ -14,6 +14,7 @@
 #include "ocb/object_base.hpp"
 #include "storage/page.hpp"
 #include "storage/placement.hpp"
+#include "util/check.hpp"
 
 namespace voodb::storage {
 
@@ -22,9 +23,14 @@ class PageAdjacency {
   /// Rebuilds the index for `placement` over `base`'s reference graph.
   void Rebuild(const ocb::ObjectBase& base, const Placement& placement);
 
-  /// Pages referenced from `page` (unchecked; `page` must be within the
-  /// placement the index was built for).
+  /// Pages referenced from `page`.  Throws util::Error for a row outside
+  /// the placement the index was built for (one compare on a path that
+  /// runs per miss, not per access).
   PageIdSpan RowOf(PageId page) const {
+    VOODB_CHECK_MSG(page < NumPages(),
+                    "page adjacency row " << page << " out of range (index "
+                                          << "covers " << NumPages()
+                                          << " pages)");
     const uint64_t begin = offsets_[page];
     return PageIdSpan(pages_.data() + begin,
                       static_cast<size_t>(offsets_[page + 1] - begin));

@@ -1,0 +1,39 @@
+/// \file counters.hpp
+/// \brief The one place buffering-layer statistics become trace
+/// counters.
+///
+/// Every recording surface (the DES Buffering Manager, the O2 emulator,
+/// the Texas emulator) finishes its trace with the same conversion;
+/// keeping it here means extending the verified counter set — and
+/// `ReplayStats::Matches` — touches one site, not three.
+#pragma once
+
+#include "storage/buffer_manager.hpp"
+#include "storage/virtual_memory.hpp"
+#include "trace/format.hpp"
+
+namespace voodb::trace {
+
+inline TraceCounters CountersFrom(const storage::BufferStats& s) {
+  TraceCounters c;
+  c.accesses = s.accesses;
+  c.hits = s.hits;
+  c.misses = s.misses;
+  c.evictions = s.evictions;
+  c.writebacks = s.writebacks;
+  return c;
+}
+
+/// VM-model runs report touches/faults as accesses/misses; write-backs
+/// are swap writes.
+inline TraceCounters CountersFrom(const storage::VmStats& s) {
+  TraceCounters c;
+  c.accesses = s.touches;
+  c.hits = s.soft_hits;
+  c.misses = s.faults;
+  c.evictions = s.reserved_evictions;
+  c.writebacks = s.swap_writes;
+  return c;
+}
+
+}  // namespace voodb::trace

@@ -1,0 +1,157 @@
+#include "trace/mrc.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace voodb::trace {
+
+uint64_t MrcResult::HitsAt(uint64_t pages) const {
+  if (hits_prefix_.empty() || pages == 0) return 0;
+  const uint64_t d = std::min<uint64_t>(pages, hits_prefix_.size() - 1);
+  return hits_prefix_[d];
+}
+
+double MrcResult::HitRatioAt(uint64_t pages) const {
+  return page_accesses == 0 ? 0.0
+                            : static_cast<double>(HitsAt(pages)) /
+                                  static_cast<double>(page_accesses);
+}
+
+double MrcResult::MeanReuseDistance() const {
+  uint64_t reuses = 0;
+  uint64_t sum = 0;
+  for (size_t d = 1; d < reuse_histogram.size(); ++d) {
+    reuses += reuse_histogram[d];
+    sum += reuse_histogram[d] * d;
+  }
+  return reuses == 0 ? 0.0
+                     : static_cast<double>(sum) / static_cast<double>(reuses);
+}
+
+uint64_t MrcResult::CacheForHitRatio(double ratio) const {
+  const double target = ratio * static_cast<double>(page_accesses);
+  for (size_t d = 1; d < hits_prefix_.size(); ++d) {
+    if (static_cast<double>(hits_prefix_[d]) >= target) return d;
+  }
+  return working_set_pages;
+}
+
+MrcAnalyzer::MrcAnalyzer(uint32_t num_classes)
+    : num_classes_(num_classes), class_accesses_(num_classes, 0) {
+  constexpr uint64_t kInitialCapacity = 1024;
+  fenwick_.assign(kInitialCapacity + 1, 0);
+  live_page_.assign(kInitialCapacity, 0);
+  histogram_.assign(1, 0);
+}
+
+void MrcAnalyzer::FenwickAdd(uint64_t pos, int64_t delta) {
+  for (uint64_t i = pos + 1; i < fenwick_.size(); i += i & (~i + 1)) {
+    fenwick_[i] += delta;
+  }
+}
+
+uint64_t MrcAnalyzer::RangeCount(uint64_t from, uint64_t to) const {
+  if (from > to) return 0;
+  auto prefix = [this](uint64_t pos_inclusive) {
+    int64_t sum = 0;
+    for (uint64_t i = pos_inclusive + 1; i > 0; i -= i & (~i + 1)) {
+      sum += fenwick_[i];
+    }
+    return sum;
+  };
+  const int64_t upper = prefix(to);
+  const int64_t lower = from == 0 ? 0 : prefix(from - 1);
+  return static_cast<uint64_t>(upper - lower);
+}
+
+void MrcAnalyzer::Compact() {
+  // Live positions (one per distinct page) are remapped onto 0..W-1 in
+  // access order; the tree only ever holds W ones, so its size stays
+  // proportional to the working set, not the trace length.
+  uint64_t capacity = live_page_.size();
+  while (distinct_ * 2 > capacity) capacity *= 2;
+  std::vector<uint64_t> new_live(capacity, 0);
+  fenwick_.assign(capacity + 1, 0);
+  uint64_t next = 0;
+  for (uint64_t pos = 0; pos < live_page_.size(); ++pos) {
+    const uint64_t page = live_page_[pos];
+    if (page < last_pos_.size() && last_pos_[page] == pos) {
+      last_pos_[page] = next;
+      new_live[next] = page;
+      FenwickAdd(next, 1);
+      ++next;
+    }
+  }
+  VOODB_CHECK_MSG(next == distinct_, "MRC compaction lost a live page");
+  live_page_ = std::move(new_live);
+  next_pos_ = next;
+}
+
+void MrcAnalyzer::OnPage(uint64_t page) {
+  ++page_accesses_;
+  if (page >= last_pos_.size()) {
+    last_pos_.resize(std::max<uint64_t>(page + 1, last_pos_.size() * 2),
+                     kNoPos);
+  }
+  if (next_pos_ == live_page_.size()) Compact();
+  const uint64_t pos = next_pos_++;
+  const uint64_t lp = last_pos_[page];
+  if (lp != kNoPos) {
+    // Stack distance: distinct pages whose most recent access lies
+    // strictly between the two accesses to `page`, plus `page` itself.
+    const uint64_t d = RangeCount(lp + 1, pos - 1) + 1;
+    if (d >= histogram_.size()) histogram_.resize(d + 1, 0);
+    ++histogram_[d];
+    FenwickAdd(lp, -1);
+  } else {
+    ++distinct_;
+  }
+  FenwickAdd(pos, 1);
+  last_pos_[page] = pos;
+  live_page_[pos] = page;
+}
+
+void MrcAnalyzer::OnObject(uint64_t oid) {
+  ++object_accesses_;
+  if (num_classes_ > 0) ++class_accesses_[oid % num_classes_];
+}
+
+void MrcAnalyzer::Consume(Reader& reader) {
+  Record record;
+  while (reader.Next(record)) {
+    switch (record.kind) {
+      case RecordKind::kPage:
+        OnPage(record.id);
+        break;
+      case RecordKind::kObject:
+        OnObject(record.id);
+        break;
+      case RecordKind::kTxnBegin:
+        OnTxnBegin();
+        break;
+      case RecordKind::kTxnEnd:
+        break;
+    }
+  }
+}
+
+MrcResult MrcAnalyzer::Finish() {
+  MrcResult result;
+  result.page_accesses = page_accesses_;
+  result.object_accesses = object_accesses_;
+  result.transactions = transactions_;
+  result.working_set_pages = distinct_;
+  histogram_.resize(distinct_ + 1, 0);
+  result.reuse_histogram = histogram_;
+  result.class_accesses = class_accesses_;
+  result.hits_prefix_.assign(result.reuse_histogram.size(), 0);
+  uint64_t running = 0;
+  for (size_t d = 1; d < result.reuse_histogram.size(); ++d) {
+    running += result.reuse_histogram[d];
+    result.hits_prefix_[d] = running;
+  }
+  return result;
+}
+
+}  // namespace voodb::trace

@@ -1,0 +1,111 @@
+/// \file mrc.hpp
+/// \brief One-pass miss-ratio-curve analytics (Mattson stack distances).
+///
+/// For the LRU family of stack algorithms, whether an access hits in a
+/// cache of c pages depends only on its *stack distance* — the number of
+/// distinct pages touched since the previous access to the same page,
+/// plus one.  An access with stack distance d hits every LRU cache of
+/// capacity >= d and misses every smaller one (Mattson et al., 1970), so
+/// a single pass that histograms stack distances yields the exact LRU
+/// hit count for *every* cache size at once: hits(c) = Σ_{d<=c} hist[d].
+/// A cache-size sweep like the paper's Figure 8 therefore costs one
+/// trace pass instead of one full simulation per buffer size.
+///
+/// Stack distances are computed with a Fenwick (binary indexed) tree
+/// over access positions holding a 1 at each page's *last* access
+/// position.  Only W distinct pages can have a 1 simultaneously, so the
+/// tree is periodically compacted onto dense positions and never grows
+/// beyond O(W); the whole analysis is O(N log W) time and O(W) space for
+/// N accesses over a working set of W pages.
+///
+/// Alongside the curve the analyzer collects the locality statistics a
+/// workload study wants: the reuse-distance histogram itself, the
+/// working-set size, and the per-class access skew of the object stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/reader.hpp"
+
+namespace voodb::trace {
+
+/// The result of one analysis pass.
+struct MrcResult {
+  uint64_t page_accesses = 0;
+  uint64_t object_accesses = 0;
+  uint64_t transactions = 0;
+  /// Distinct pages touched (the working-set size; also the cold-miss
+  /// count at every cache size).
+  uint64_t working_set_pages = 0;
+  /// reuse_histogram[d] = accesses with stack distance d (d >= 1;
+  /// index 0 is unused).  Size working_set_pages + 1.
+  std::vector<uint64_t> reuse_histogram;
+  /// Per-class object access counts (empty when the trace carries no
+  /// object records or the header no class count).
+  std::vector<uint64_t> class_accesses;
+
+  /// Exact LRU hit count for a cache of `pages` frames.
+  uint64_t HitsAt(uint64_t pages) const;
+  /// Exact LRU hit ratio for a cache of `pages` frames.
+  double HitRatioAt(uint64_t pages) const;
+  /// Misses = cold misses (working set) + reuses beyond the cache.
+  uint64_t MissesAt(uint64_t pages) const {
+    return page_accesses - HitsAt(pages);
+  }
+  /// Mean finite stack distance (reused accesses only; 0 when none).
+  double MeanReuseDistance() const;
+  /// Smallest cache size whose hit ratio reaches `ratio` (in [0, 1]);
+  /// returns working_set_pages when even a full-size cache stays below.
+  uint64_t CacheForHitRatio(double ratio) const;
+
+ private:
+  friend class MrcAnalyzer;
+  /// hits_prefix_[d] = Σ_{k<=d} reuse_histogram[k]; size of
+  /// reuse_histogram.
+  std::vector<uint64_t> hits_prefix_;
+};
+
+/// Incremental one-pass analyzer.  Feed accesses (directly or from a
+/// Reader) and call Finish once.
+class MrcAnalyzer {
+ public:
+  /// \param num_classes class count for the access-skew histogram
+  ///   (0 disables per-class counting)
+  explicit MrcAnalyzer(uint32_t num_classes = 0);
+
+  void OnPage(uint64_t page);
+  void OnObject(uint64_t oid);
+  void OnTxnBegin() { ++transactions_; }
+
+  /// Consumes every record of `reader` (positioned at the stream start).
+  void Consume(Reader& reader);
+
+  /// Finalizes the histogram prefix sums and returns the result.
+  MrcResult Finish();
+
+ private:
+  uint64_t RangeCount(uint64_t from, uint64_t to) const;
+  void FenwickAdd(uint64_t pos, int64_t delta);
+  /// Remaps live last-access positions onto 0..W-1 and rebuilds the
+  /// Fenwick tree so its size stays O(working set).
+  void Compact();
+
+  uint64_t num_classes_ = 0;
+  uint64_t transactions_ = 0;
+  uint64_t object_accesses_ = 0;
+  uint64_t page_accesses_ = 0;
+
+  /// Position of each page's most recent access; kNoPos = never seen.
+  static constexpr uint64_t kNoPos = static_cast<uint64_t>(-1);
+  std::vector<uint64_t> last_pos_;   ///< indexed by page id (dense)
+  std::vector<uint64_t> live_page_;  ///< position -> page (for Compact)
+  std::vector<int64_t> fenwick_;     ///< 1-based Fenwick tree
+  uint64_t next_pos_ = 0;            ///< next access position
+  uint64_t distinct_ = 0;
+
+  std::vector<uint64_t> histogram_;  ///< histogram_[d], d >= 1
+  std::vector<uint64_t> class_accesses_;
+};
+
+}  // namespace voodb::trace

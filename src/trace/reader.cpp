@@ -1,0 +1,126 @@
+#include "trace/reader.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace voodb::trace {
+
+namespace {
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+Reader::Reader(std::istream* is) : is_(is) {
+  VOODB_CHECK_MSG(is_ != nullptr && is_->good(), "trace reader needs a stream");
+  Validate();
+}
+
+Reader::Reader(const std::string& path)
+    : owned_file_(std::make_unique<std::ifstream>(path, std::ios::binary)),
+      is_(owned_file_.get()) {
+  VOODB_CHECK_MSG(owned_file_->is_open(),
+                  "cannot open trace file '" << path << "'");
+  Validate();
+}
+
+void Reader::Validate() {
+  is_->read(reinterpret_cast<char*>(&header_), sizeof(header_));
+  VOODB_CHECK_MSG(is_->gcount() == static_cast<std::streamsize>(sizeof(header_)),
+                  "trace header truncated (" << is_->gcount() << " of "
+                                             << sizeof(header_) << " bytes)");
+  VOODB_CHECK_MSG(header_.magic == kMagic,
+                  "not a VOODB trace (bad magic 0x" << std::hex
+                                                    << header_.magic << ")");
+  VOODB_CHECK_MSG(header_.version == kFormatVersion,
+                  "unsupported trace version " << header_.version
+                                               << " (expected "
+                                               << kFormatVersion << ")");
+  VOODB_CHECK_MSG(header_.flags & kFlagFinished,
+                  "trace is unfinished (recording was interrupted before "
+                  "Writer::Finish)");
+}
+
+bool Reader::LoadChunk() {
+  if (chunks_read_ == header_.num_chunks) {
+    // Clean end: every declared chunk was decoded.
+    return false;
+  }
+  uint32_t count = 0;
+  uint32_t payload = 0;
+  is_->read(reinterpret_cast<char*>(&count), sizeof(count));
+  VOODB_CHECK_MSG(is_->gcount() == static_cast<std::streamsize>(sizeof(count)),
+                  "trace truncated at chunk " << chunks_read_ << " of "
+                                              << header_.num_chunks);
+  is_->read(reinterpret_cast<char*>(&payload), sizeof(payload));
+  // 64-bit arithmetic: a crafted count near 2^32 must fail this check,
+  // not wrap it past the payload bound.
+  const uint64_t min_payload = static_cast<uint64_t>(count) +
+                               (static_cast<uint64_t>(count) + 7) / 8;
+  VOODB_CHECK_MSG(
+      is_->gcount() == static_cast<std::streamsize>(sizeof(payload)) &&
+          count >= 1 && static_cast<uint64_t>(payload) >= min_payload,
+      "corrupt chunk header at chunk " << chunks_read_);
+  payload_.resize(payload);
+  is_->read(reinterpret_cast<char*>(payload_.data()), payload);
+  VOODB_CHECK_MSG(static_cast<uint32_t>(is_->gcount()) == payload,
+                  "trace truncated inside chunk " << chunks_read_);
+
+  kinds_.assign(payload_.begin(), payload_.begin() + count);
+  const size_t flag_bytes = (count + 7) / 8;
+  const uint8_t* p = payload_.data() + count;
+  const uint8_t* id_end = payload_.data() + payload - flag_bytes;
+  ids_.resize(count);
+  uint64_t prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      VOODB_CHECK_MSG(p < id_end && shift < 64,
+                      "corrupt id column in chunk " << chunks_read_);
+      const uint8_t byte = *p++;
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    prev += static_cast<uint64_t>(UnZigZag(v));
+    ids_[i] = prev;
+  }
+  VOODB_CHECK_MSG(p == id_end,
+                  "id column length mismatch in chunk " << chunks_read_);
+  flags_.assign(id_end, id_end + flag_bytes);
+  chunk_size_ = count;
+  cursor_ = 0;
+  ++chunks_read_;
+  return true;
+}
+
+bool Reader::Next(Record& record) {
+  if (cursor_ >= chunk_size_) {
+    if (!LoadChunk()) return false;
+  }
+  const uint32_t i = cursor_++;
+  VOODB_CHECK_MSG(kinds_[i] <= static_cast<uint8_t>(RecordKind::kPage),
+                  "corrupt record kind " << static_cast<int>(kinds_[i]));
+  record.kind = static_cast<RecordKind>(kinds_[i]);
+  record.id = ids_[i];
+  record.write = (flags_[i / 8] >> (i % 8)) & 1u;
+  ++records_read_;
+  return true;
+}
+
+void Reader::Rewind() {
+  is_->clear();
+  is_->seekg(static_cast<std::istream::off_type>(sizeof(Header)),
+             std::ios::beg);
+  VOODB_CHECK_MSG(is_->good(), "trace rewind failed");
+  records_read_ = 0;
+  chunks_read_ = 0;
+  chunk_size_ = 0;
+  cursor_ = 0;
+}
+
+}  // namespace voodb::trace

@@ -1,0 +1,63 @@
+/// \file reader.hpp
+/// \brief Streaming trace reader with header and integrity validation.
+///
+/// Rejects wrong-magic / wrong-version / truncated headers up front and
+/// unfinished or truncated chunk streams as they are encountered, so a
+/// half-written trace can never silently replay as a shorter run.
+/// Decoding buffers are reused across chunks; `Next` hands out records
+/// one at a time without allocating.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+
+namespace voodb::trace {
+
+class Reader {
+ public:
+  /// Reads and validates the header from `is` (not owned).  Throws
+  /// util::Error on a malformed or unfinished trace.
+  explicit Reader(std::istream* is);
+
+  /// Convenience: opens `path` as a binary file.
+  explicit Reader(const std::string& path);
+
+  const Header& header() const { return header_; }
+
+  /// Decodes the next record into `record`; false at end of stream.
+  /// Throws util::Error when the stream ends inside a chunk.
+  bool Next(Record& record);
+
+  /// Rewinds to the first chunk (used by looping workload replay).
+  void Rewind();
+
+  /// Records decoded so far.
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  void Validate();
+  /// Loads and decodes the next chunk; false at a clean end of stream.
+  bool LoadChunk();
+
+  std::unique_ptr<std::ifstream> owned_file_;
+  std::istream* is_ = nullptr;
+  Header header_;
+  uint64_t records_read_ = 0;
+  uint64_t chunks_read_ = 0;
+
+  // Decoded current chunk (SoA, reused).
+  std::vector<uint8_t> kinds_;
+  std::vector<uint64_t> ids_;
+  std::vector<uint8_t> flags_;  ///< packed bits
+  std::vector<uint8_t> payload_;
+  uint32_t chunk_size_ = 0;
+  uint32_t cursor_ = 0;
+};
+
+}  // namespace voodb::trace

@@ -1,0 +1,21 @@
+#include "trace/recorder.hpp"
+
+#include "util/check.hpp"
+
+namespace voodb::trace {
+
+Recorder::Recorder(Writer* writer)
+    : writer_(writer),
+      kinds_(kChunkRecords),
+      ids_(kChunkRecords),
+      flags_(kChunkRecords) {
+  VOODB_CHECK_MSG(writer_ != nullptr, "recorder needs a writer");
+}
+
+void Recorder::Flush() {
+  if (fill_ == 0) return;
+  writer_->WriteChunk(kinds_.data(), ids_.data(), flags_.data(), fill_);
+  fill_ = 0;
+}
+
+}  // namespace voodb::trace

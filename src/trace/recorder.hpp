@@ -1,0 +1,62 @@
+/// \file recorder.hpp
+/// \brief Zero-allocation access-trace recorder.
+///
+/// The recorder is the hook the hot paths call: the buffer manager's
+/// `AccessInto` reports page accesses, the Object Manager reports object
+/// resolutions, and the workload drivers report transaction boundaries.
+/// Records accumulate in fixed, pre-reserved SoA buffers (one kind byte,
+/// one id, one flag byte per record) and are handed to the writer a
+/// chunk at a time — the per-record cost is three array stores and a
+/// counter bump, with no heap allocation anywhere on the recording path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/format.hpp"
+#include "trace/writer.hpp"
+
+namespace voodb::trace {
+
+class Recorder {
+ public:
+  /// `writer` is not owned and must outlive the recorder.
+  explicit Recorder(Writer* writer);
+
+  void OnTxnBegin(uint64_t kind) {
+    Append(RecordKind::kTxnBegin, kind, false);
+  }
+  void OnTxnEnd() { Append(RecordKind::kTxnEnd, 0, false); }
+  void OnObject(uint64_t oid, bool write) {
+    Append(RecordKind::kObject, oid, write);
+  }
+  void OnPage(uint64_t page, bool write) {
+    Append(RecordKind::kPage, page, write);
+  }
+
+  /// Flushes the partial chunk to the writer (called before
+  /// Writer::Finish; safe to call repeatedly).
+  void Flush();
+
+  /// Records appended so far (flushed or not).
+  uint64_t records() const { return total_records_; }
+
+ private:
+  void Append(RecordKind kind, uint64_t id, bool flag) {
+    const uint32_t i = fill_++;
+    kinds_[i] = static_cast<uint8_t>(kind);
+    ids_[i] = id;
+    flags_[i] = flag ? 1 : 0;
+    ++total_records_;
+    if (fill_ == kChunkRecords) Flush();
+  }
+
+  Writer* writer_;
+  uint32_t fill_ = 0;
+  uint64_t total_records_ = 0;
+  std::vector<uint8_t> kinds_;
+  std::vector<uint64_t> ids_;
+  std::vector<uint8_t> flags_;
+};
+
+}  // namespace voodb::trace

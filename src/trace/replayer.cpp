@@ -1,0 +1,57 @@
+#include "trace/replayer.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "storage/buffer_manager.hpp"
+#include "storage/prefetch.hpp"
+#include "util/check.hpp"
+
+namespace voodb::trace {
+
+ReplayStats ReplayPages(Reader& reader, const ReplayConfig& config) {
+  const Header& h = reader.header();
+  const uint64_t capacity =
+      config.buffer_pages != 0 ? config.buffer_pages : h.buffer_pages;
+  VOODB_CHECK_MSG(capacity >= 1, "replay needs a buffer of >= 1 page");
+  const auto policy =
+      config.policy >= 0
+          ? static_cast<storage::ReplacementPolicy>(config.policy)
+          : static_cast<storage::ReplacementPolicy>(h.replacement_policy);
+  const uint32_t lru_k = config.lru_k != 0 ? config.lru_k : h.lru_k;
+  // The recorded run seeded the RANDOM policy (and nothing else) from
+  // the buffering manager's derived stream; the header stores that seed
+  // so the default-config replay is bit-exact.
+  storage::BufferManager buffer(capacity, policy, desp::RandomStream(h.seed),
+                                lru_k);
+  if (config.match_prefetch && h.prefetch_policy != 0 && h.num_pages > 0) {
+    buffer.SetPrefetcher(std::make_unique<storage::SequentialPrefetcher>(
+        h.prefetch_depth, h.num_pages - 1));
+  }
+
+  ReplayStats stats;
+  std::vector<storage::PageIo> ios;
+  ios.reserve(64);
+  Record record;
+  while (reader.Next(record)) {
+    if (record.kind != RecordKind::kPage) continue;
+    ios.clear();
+    buffer.AccessInto(record.id, record.write, ios);
+    for (const storage::PageIo& io : ios) {
+      if (io.kind == storage::PageIo::Kind::kRead) {
+        ++stats.reads;
+      } else {
+        ++stats.writes;
+      }
+    }
+  }
+  const storage::BufferStats& bs = buffer.stats();
+  stats.accesses = bs.accesses;
+  stats.hits = bs.hits;
+  stats.misses = bs.misses;
+  stats.evictions = bs.evictions;
+  stats.writebacks = bs.writebacks;
+  return stats;
+}
+
+}  // namespace voodb::trace

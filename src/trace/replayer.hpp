@@ -1,0 +1,72 @@
+/// \file replayer.hpp
+/// \brief Deterministic replay of a recorded page stream through the
+/// storage engine.
+///
+/// The logical page-access stream of a run is independent of the buffer
+/// configuration — which pages a transaction touches never depends on
+/// whether they hit — so one recorded stream can be replayed through a
+/// `storage::BufferManager` under *any* replacement policy and *any*
+/// capacity.  Replay is bit-deterministic: replaying under the recorded
+/// configuration reproduces the recording run's hit/miss/eviction/
+/// write-back counters exactly (the RANDOM policy reseeds from the
+/// header's stored seed), and a sweep over policies or sizes costs one
+/// cache probe per record instead of one full simulation per point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/replacement.hpp"
+#include "trace/reader.hpp"
+
+namespace voodb::trace {
+
+/// Overrides for a replay; zero/default members mean "use the recorded
+/// configuration from the trace header".
+struct ReplayConfig {
+  uint64_t buffer_pages = 0;  ///< 0 = header.buffer_pages
+  /// -1 = header.replacement_policy, else a
+  /// storage::ReplacementPolicy ordinal.
+  int policy = -1;
+  uint32_t lru_k = 0;  ///< 0 = header.lru_k
+  /// Install the recorded sequential prefetcher when the header says one
+  /// was active (required for counter verification of such runs).
+  bool match_prefetch = true;
+};
+
+/// Counters of one replay (mirrors storage::BufferStats plus the I/O
+/// split).
+struct ReplayStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  double HitRate() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+
+  /// True when this replay reproduced `c` (the recorded run's counters).
+  bool Matches(const TraceCounters& c) const {
+    return accesses == c.accesses && hits == c.hits && misses == c.misses &&
+           evictions == c.evictions && writebacks == c.writebacks;
+  }
+};
+
+/// Replays every page record of `reader` (which must be positioned at
+/// the stream start) through a fresh BufferManager built from the header
+/// plus `config` overrides.  Counter verification via
+/// `ReplayStats::Matches(header.counters)` is meaningful only when
+/// `ReplayVerifiable(header.flags)` holds (a plain database-buffer
+/// recording — no VM model, commit-time flushes, or crash drops, whose
+/// buffer events are outside the page stream) and the replay uses the
+/// recorded configuration; the page stream itself is a valid workload
+/// for any buffer.
+ReplayStats ReplayPages(Reader& reader, const ReplayConfig& config = {});
+
+}  // namespace voodb::trace

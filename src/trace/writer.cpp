@@ -1,0 +1,122 @@
+#include "trace/writer.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace voodb::trace {
+
+namespace {
+
+/// Appends the LEB128 varint of `value` to `out`.
+void AppendVarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+}  // namespace
+
+Writer::Writer(std::ostream* os, const Header& header)
+    : os_(os), header_(header) {
+  VOODB_CHECK_MSG(os_ != nullptr && os_->good(), "trace writer needs a stream");
+  Init();
+}
+
+Writer::Writer(const std::string& path, const Header& header)
+    : owned_file_(std::make_unique<std::ofstream>(
+          path, std::ios::binary | std::ios::trunc)),
+      os_(owned_file_.get()),
+      header_(header) {
+  VOODB_CHECK_MSG(owned_file_->is_open(),
+                  "cannot open trace file '" << path << "' for writing");
+  Init();
+}
+
+void Writer::Init() {
+  header_.magic = kMagic;
+  header_.version = kFormatVersion;
+  header_.flags &= ~static_cast<uint32_t>(kFlagFinished);
+  header_.num_chunks = 0;
+  header_.num_records = 0;
+  header_.txn_records = 0;
+  header_.object_records = 0;
+  header_.page_records = 0;
+  header_.counters = TraceCounters{};
+  os_->write(reinterpret_cast<const char*>(&header_), sizeof(header_));
+  VOODB_CHECK_MSG(os_->good(), "trace header write failed");
+  scratch_.reserve(kChunkRecords * 10 + kChunkRecords / 8 + 16);
+}
+
+void Writer::WriteChunk(const uint8_t* kinds, const uint64_t* ids,
+                        const uint8_t* flags, uint32_t count) {
+  VOODB_CHECK_MSG(!finished_, "trace writer already finished");
+  if (count == 0) return;
+  scratch_.clear();
+  // Id column: zigzag varint deltas, previous id starting at 0 per chunk.
+  uint64_t prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    AppendVarint(scratch_, ZigZag(static_cast<int64_t>(ids[i] - prev)));
+    prev = ids[i];
+  }
+  const size_t id_bytes = scratch_.size();
+  // Flag column: one bit per record, LSB-first.
+  const size_t flag_bytes = (count + 7) / 8;
+  const size_t flag_begin = scratch_.size();
+  scratch_.resize(flag_begin + flag_bytes, 0);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (flags[i] != 0) scratch_[flag_begin + i / 8] |= 1u << (i % 8);
+  }
+  const uint32_t payload =
+      static_cast<uint32_t>(count + id_bytes + flag_bytes);
+  os_->write(reinterpret_cast<const char*>(&count), sizeof(count));
+  os_->write(reinterpret_cast<const char*>(&payload), sizeof(payload));
+  os_->write(reinterpret_cast<const char*>(kinds), count);
+  os_->write(reinterpret_cast<const char*>(scratch_.data()),
+             static_cast<std::streamsize>(scratch_.size()));
+  VOODB_CHECK_MSG(os_->good(), "trace chunk write failed");
+  ++header_.num_chunks;
+  header_.num_records += count;
+  for (uint32_t i = 0; i < count; ++i) {
+    switch (static_cast<RecordKind>(kinds[i])) {
+      case RecordKind::kTxnBegin:
+        ++header_.txn_records;
+        break;
+      case RecordKind::kObject:
+        ++header_.object_records;
+        break;
+      case RecordKind::kPage:
+        ++header_.page_records;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Writer::AddFlags(uint32_t flags) {
+  VOODB_CHECK_MSG(!finished_, "trace writer already finished");
+  header_.flags |= flags;
+}
+
+void Writer::Finish(const TraceCounters& counters) {
+  if (finished_) return;
+  finished_ = true;
+  header_.counters = counters;
+  header_.flags |= kFlagFinished;
+  const std::ostream::pos_type end = os_->tellp();
+  os_->seekp(0);
+  os_->write(reinterpret_cast<const char*>(&header_), sizeof(header_));
+  os_->seekp(end);
+  os_->flush();
+  VOODB_CHECK_MSG(os_->good(), "trace header patch failed");
+}
+
+}  // namespace voodb::trace

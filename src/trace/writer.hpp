@@ -1,0 +1,65 @@
+/// \file writer.hpp
+/// \brief Streaming columnar trace writer.
+///
+/// The writer emits the version-1 format of format.hpp onto any
+/// *seekable* std::ostream (a binary file, a stringstream): header
+/// first, then one chunk per `WriteChunk` call; `Finish` patches the
+/// header in place with the stream summary and the recorded run's
+/// buffer counters.  Encoding scratch buffers are reserved once, so
+/// writing a chunk performs no allocation in steady state.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+
+namespace voodb::trace {
+
+class Writer {
+ public:
+  /// Writes the header onto `os` (not owned; must be seekable and
+  /// outlive the writer).  `header` carries the recorded configuration;
+  /// its summary fields are ignored and rewritten by Finish.
+  Writer(std::ostream* os, const Header& header);
+
+  /// Convenience: opens `path` as a binary file (throws util::Error on
+  /// failure) and writes the header.
+  Writer(const std::string& path, const Header& header);
+
+  /// Encodes one columnar chunk from parallel record arrays.
+  /// `kinds`/`ids`/`flags` are parallel, `count` records long.
+  void WriteChunk(const uint8_t* kinds, const uint64_t* ids,
+                  const uint8_t* flags, uint32_t count);
+
+  /// Sets additional header flag bits discovered during recording
+  /// (e.g. kFlagBufferDrop); must precede Finish.
+  void AddFlags(uint32_t flags);
+
+  /// Patches the header with the stream summary and `counters`, then
+  /// flushes.  Idempotent; no chunks may be written afterwards.
+  void Finish(const TraceCounters& counters);
+
+  /// True once Finish has run.
+  bool finished() const { return finished_; }
+
+  const Header& header() const { return header_; }
+
+ private:
+  /// Shared constructor body: normalizes the header, writes it, reserves
+  /// the encoding scratch.
+  void Init();
+
+  std::unique_ptr<std::ofstream> owned_file_;
+  std::ostream* os_ = nullptr;
+  Header header_;
+  bool finished_ = false;
+  /// Reused chunk encoding buffer (id varints + flag bits).
+  std::vector<uint8_t> scratch_;
+};
+
+}  // namespace voodb::trace

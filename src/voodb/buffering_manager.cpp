@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "trace/counters.hpp"
 #include "util/check.hpp"
 
 namespace voodb::core {
@@ -37,7 +38,7 @@ BufferingManagerActor::BufferingManagerActor(desp::Scheduler* scheduler,
 
 void BufferingManagerActor::AccessObject(ocb::Oid oid, bool write,
                                          std::function<void()> done) {
-  AccessSpan(object_manager_->SpanOf(oid), write, std::move(done));
+  AccessSpan(object_manager_->Resolve(oid, write), write, std::move(done));
 }
 
 void BufferingManagerActor::AccessSpan(storage::PageSpan span, bool write,
@@ -59,9 +60,24 @@ void BufferingManagerActor::AccessSpanStep(storage::PageSpan span,
              });
 }
 
+void BufferingManagerActor::SetRecorder(trace::Recorder* recorder) {
+  recorder_ = recorder;
+  if (buffer_ != nullptr) buffer_->SetRecorder(recorder);
+}
+
+trace::TraceCounters BufferingManagerActor::TraceCountersNow() const {
+  return vm_ != nullptr ? trace::CountersFrom(vm_->stats())
+                        : trace::CountersFrom(buffer_->stats());
+}
+
 void BufferingManagerActor::AccessPage(storage::PageId page, bool write,
                                        std::function<void()> done) {
   ++requests_;
+  // The database buffer records inside AccessInto; the VM model has no
+  // recorder hook of its own, so the actor reports its page stream.
+  if (vm_ != nullptr && recorder_ != nullptr) {
+    recorder_->OnPage(page, write);
+  }
   storage::AccessOutcome outcome = vm_ != nullptr
                                        ? vm_->Touch(page, write)
                                        : buffer_->Access(page, write);
@@ -100,6 +116,7 @@ uint64_t BufferingManagerActor::DirtyPages() const {
 }
 
 void BufferingManagerActor::Drop() {
+  if (recorder_ != nullptr) dropped_while_recording_ = true;
   if (vm_ != nullptr) {
     vm_->DropAll();
   } else {

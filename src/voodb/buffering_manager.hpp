@@ -16,6 +16,7 @@
 #include "desp/scheduler.hpp"
 #include "ocb/types.hpp"
 #include "storage/buffer_manager.hpp"
+#include "trace/recorder.hpp"
 #include "storage/virtual_memory.hpp"
 #include "voodb/config.hpp"
 #include "voodb/io_subsystem.hpp"
@@ -42,6 +43,22 @@ class BufferingManagerActor : public desp::Actor {
   /// Accesses a single page, then calls `done`.
   void AccessPage(storage::PageId page, bool write,
                   std::function<void()> done);
+
+  /// Installs an access-trace recorder (not owned; nullptr detaches).
+  /// Database-buffer configurations record inside
+  /// BufferManager::AccessInto; the VM model records here in AccessPage
+  /// (its Touch path is the same logical page stream).
+  void SetRecorder(trace::Recorder* recorder);
+
+  /// The recording run's buffer counters for the trace header (VM runs
+  /// report touches/faults as accesses/misses; write-backs are swap
+  /// writes).
+  trace::TraceCounters TraceCountersNow() const;
+
+  /// True when Drop() ran while a recorder was attached — a buffer
+  /// event the page stream does not carry, which disqualifies the trace
+  /// from bit-exact replay verification (trace::kFlagBufferDrop).
+  bool DroppedWhileRecording() const { return dropped_while_recording_; }
 
   /// Forgets all buffered pages (no write-back).
   void Drop();
@@ -74,6 +91,8 @@ class BufferingManagerActor : public desp::Actor {
   IoSubsystemActor* io_;
   std::unique_ptr<storage::BufferManager> buffer_;
   std::unique_ptr<storage::VirtualMemoryModel> vm_;
+  trace::Recorder* recorder_ = nullptr;  ///< VM-model page recording
+  bool dropped_while_recording_ = false;
   bool vm_reserve_references_ = false;
   uint64_t requests_ = 0;
   uint64_t hits_ = 0;

@@ -29,6 +29,16 @@ const char* ToString(PrefetchPolicy p) {
   return "?";
 }
 
+const char* ToString(WorkloadSourceKind s) {
+  switch (s) {
+    case WorkloadSourceKind::kSynthetic:
+      return "SYNTHETIC";
+    case WorkloadSourceKind::kTrace:
+      return "TRACE";
+  }
+  return "?";
+}
+
 void VoodbConfig::Validate() const {
   // Per-field ranges come from the parameter registry, so every error
   // names the offending parameter; only cross-field constraints live
@@ -37,6 +47,20 @@ void VoodbConfig::Validate() const {
   VOODB_CHECK_MSG(prefetch == PrefetchPolicy::kNone || prefetch_depth >= 1,
                   "parameter 'prefetch_depth' must be >= 1 when prefetch "
                   "is enabled");
+  VOODB_CHECK_MSG(!trace_record || !trace_path.empty(),
+                  "parameter 'trace_path' must be set when trace_record "
+                  "is enabled");
+  VOODB_CHECK_MSG(workload_source == WorkloadSourceKind::kSynthetic ||
+                      !trace_path.empty(),
+                  "parameter 'trace_path' must name a recorded trace when "
+                  "workload_source is trace");
+  // Both directions share the one trace_path field, so recording while
+  // replaying would truncate the very trace being read.
+  VOODB_CHECK_MSG(!(trace_record &&
+                    workload_source == WorkloadSourceKind::kTrace),
+                  "parameter 'trace_record' cannot be combined with "
+                  "workload_source=trace: trace_path would be both the "
+                  "replay input and the recording output");
   disk.Validate();
 }
 

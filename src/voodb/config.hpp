@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "desp/event_queue.hpp"
 #include "storage/disk_model.hpp"
@@ -28,6 +29,14 @@ enum class PrefetchPolicy {
 };
 
 const char* ToString(PrefetchPolicy p);
+
+/// Where the transaction stream of a run comes from.
+enum class WorkloadSourceKind {
+  kSynthetic,  ///< the stochastic OCB generator (the paper's protocol)
+  kTrace,      ///< deterministic replay of a recorded trace (trace_path)
+};
+
+const char* ToString(WorkloadSourceKind s);
 
 /// All Table 3 parameters plus the system-level extras the validation
 /// experiments need (storage overhead factor, Texas' VM behaviour).
@@ -118,6 +127,20 @@ struct VoodbConfig {
   bool vm_dirty_on_load = true;
   /// CPU time per in-memory object operation (ms).
   double object_cpu_ms = 0.005;
+
+  // --- Access tracing (trace subsystem) -------------------------------------
+  /// Record the run's access trace — transaction markers, object
+  /// resolutions and buffer page accesses — to `trace_path`.  Recording
+  /// is per system instance: replicated runs sharing one path would
+  /// clobber each other, so record single runs (`voodb trace record`).
+  bool trace_record = false;
+  /// Transaction stream source; kTrace replays the trace at `trace_path`
+  /// instead of the synthetic OCB generator (wrapping around when the
+  /// run outlives the recording).
+  WorkloadSourceKind workload_source = WorkloadSourceKind::kSynthetic;
+  /// Trace file path: output for `trace_record`, input for
+  /// `workload_source = trace`.
+  std::string trace_path;
 
   void Validate() const;
 };

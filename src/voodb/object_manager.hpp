@@ -17,6 +17,7 @@
 #include "ocb/object_base.hpp"
 #include "storage/page_adjacency.hpp"
 #include "storage/placement.hpp"
+#include "trace/recorder.hpp"
 
 namespace voodb::core {
 
@@ -37,6 +38,17 @@ class ObjectManagerActor : public desp::Actor {
   storage::PageSpan SpanOf(ocb::Oid oid) const {
     return placement_->spans()[oid];
   }
+
+  /// SpanOf plus access-trace recording: the Buffering Manager resolves
+  /// every object access through here, so an attached recorder sees the
+  /// object stream in execution order.
+  storage::PageSpan Resolve(ocb::Oid oid, bool write) {
+    if (recorder_ != nullptr) recorder_->OnObject(oid, write);
+    return placement_->spans()[oid];
+  }
+
+  /// Installs an access-trace recorder (not owned; nullptr detaches).
+  void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
   const storage::Placement& placement() const { return *placement_; }
   const ocb::ObjectBase& base() const { return *base_; }
@@ -62,6 +74,7 @@ class ObjectManagerActor : public desp::Actor {
   const ocb::ObjectBase* base_;
   uint32_t page_size_;
   double overhead_factor_;
+  trace::Recorder* recorder_ = nullptr;
   std::unique_ptr<storage::Placement> placement_;
   storage::PageAdjacency adjacency_;
   bool adjacency_valid_ = false;

@@ -69,6 +69,8 @@ const char* ToString(ParamType t) {
       return "real";
     case ParamType::kEnum:
       return "enum";
+    case ParamType::kString:
+      return "string";
   }
   return "?";
 }
@@ -93,6 +95,7 @@ const std::string& ParamDescriptor::EnumName(size_t ordinal) const {
 
 std::string ParamDescriptor::RangeText() const {
   std::ostringstream os;
+  if (type == ParamType::kString) return "any string";
   if (type == ParamType::kBool) return "true | false";
   if (type == ParamType::kEnum) {
     for (size_t i = 0; i < enum_values.size(); ++i) {
@@ -117,6 +120,9 @@ std::string ParamDescriptor::RangeText() const {
 }
 
 void ParamDescriptor::CheckValue(double value) const {
+  VOODB_CHECK_MSG(type != ParamType::kString,
+                  "parameter '" << name
+                                << "' is a string; it has no numeric value");
   VOODB_CHECK_MSG(std::isfinite(value),
                   "parameter '" << name << "' needs a finite value");
   if (integral()) {
@@ -178,7 +184,11 @@ const ParamDescriptor& ParamRegistry::At(const std::string& name) const {
 
 double ParamRegistry::Get(const ConstParamTarget& target,
                           const std::string& name) const {
-  return At(name).getter(target);
+  const ParamDescriptor& d = At(name);
+  VOODB_CHECK_MSG(d.type != ParamType::kString,
+                  "parameter '" << name
+                                << "' is a string; use GetText instead");
+  return d.getter(target);
 }
 
 void ParamRegistry::Set(const ParamTarget& target, const std::string& name,
@@ -190,12 +200,40 @@ void ParamRegistry::Set(const ParamTarget& target, const std::string& name,
 
 void ParamRegistry::Set(const ParamTarget& target, const std::string& name,
                         const std::string& value) const {
+  const ParamDescriptor& d = At(name);
+  if (d.type == ParamType::kString) {
+    d.text_setter(target, value);
+    return;
+  }
   Set(target, name, ParseValue(name, value));
+}
+
+std::string ParamRegistry::GetText(const ConstParamTarget& target,
+                                   const std::string& name) const {
+  const ParamDescriptor& d = At(name);
+  if (d.type == ParamType::kString) return d.text_getter(target);
+  return FormatValue(name, d.getter(target));
+}
+
+std::string ParamRegistry::DefaultText(const ParamDescriptor& d) const {
+  if (d.type == ParamType::kString) return d.default_text;
+  return FormatValue(d.name, d.default_value);
+}
+
+bool ParamRegistry::IsDefault(const ConstParamTarget& target,
+                              const ParamDescriptor& d) const {
+  if (d.type == ParamType::kString) {
+    return d.text_getter(target) == d.default_text;
+  }
+  return d.getter(target) == d.default_value;
 }
 
 double ParamRegistry::ParseValue(const std::string& name,
                                  const std::string& text) const {
   const ParamDescriptor& d = At(name);
+  VOODB_CHECK_MSG(d.type != ParamType::kString,
+                  "parameter '" << name
+                                << "' is a string; it has no numeric value");
   const std::string lower = Lower(text);
   if (d.type == ParamType::kEnum) {
     for (size_t ordinal = 0; ordinal < d.enum_values.size(); ++ordinal) {
@@ -235,6 +273,9 @@ std::string ParamRegistry::FormatValue(const std::string& name,
       os << value;
       return os.str();
     }
+    case ParamType::kString:
+      VOODB_CHECK_MSG(false, "parameter '" << name
+                                           << "' is a string; use GetText");
   }
   return "?";
 }
@@ -242,7 +283,9 @@ std::string ParamRegistry::FormatValue(const std::string& name,
 void ParamRegistry::ValidateSystem(const VoodbConfig& config) const {
   const ConstParamTarget target{&config, nullptr};
   for (const ParamDescriptor& d : descriptors_) {
-    if (d.domain == ParamDomain::kWorkload) continue;
+    if (d.domain == ParamDomain::kWorkload || d.type == ParamType::kString) {
+      continue;  // strings carry no range
+    }
     d.CheckValue(d.getter(target));
   }
 }
@@ -250,7 +293,9 @@ void ParamRegistry::ValidateSystem(const VoodbConfig& config) const {
 void ParamRegistry::ValidateWorkload(const ocb::OcbParameters& workload) const {
   const ConstParamTarget target{nullptr, &workload};
   for (const ParamDescriptor& d : descriptors_) {
-    if (d.domain != ParamDomain::kWorkload) continue;
+    if (d.domain != ParamDomain::kWorkload || d.type == ParamType::kString) {
+      continue;
+    }
     d.CheckValue(d.getter(target));
   }
 }
@@ -274,6 +319,27 @@ class Builder {
       FieldFromDouble(t.system->*field, v);
     };
     d.default_value = FieldToDouble(VoodbConfig{}.*field);
+    return Push(std::move(d));
+  }
+
+  /// String-typed VoodbConfig field; travels through the text accessors.
+  Builder& SystemString(const char* name, std::string VoodbConfig::*field,
+                        const char* doc) {
+    ParamDescriptor d;
+    d.name = name;
+    d.type = ParamType::kString;
+    d.domain = ParamDomain::kSystem;
+    d.doc = doc;
+    d.text_getter = [name, field](const ConstParamTarget& t) {
+      RequireSystem(t.system, name);
+      return t.system->*field;
+    };
+    d.text_setter = [name, field](const ParamTarget& t,
+                                  const std::string& v) {
+      RequireSystem(t.system, name);
+      t.system->*field = v;
+    };
+    d.default_text = VoodbConfig{}.*field;
     return Push(std::move(d));
   }
 
@@ -408,7 +474,7 @@ class Builder {
 #if defined(__x86_64__) && defined(__linux__)
 static_assert(sizeof(storage::DiskParameters) == 24,
               "DiskParameters changed: update the parameter registry");
-static_assert(sizeof(VoodbConfig) == 200,
+static_assert(sizeof(VoodbConfig) == 240,
               "VoodbConfig changed: update the parameter registry");
 static_assert(sizeof(ocb::OcbParameters) == 208,
               "OcbParameters changed: update the parameter registry");
@@ -522,6 +588,16 @@ ParamRegistry::ParamRegistry() {
   b.System("object_cpu_ms", &VoodbConfig::object_cpu_ms,
            "CPU ms per in-memory object operation")
       .Range(0.0);
+  b.System("trace_record", &VoodbConfig::trace_record,
+           "record the run's access trace (txn markers, object and page "
+           "accesses) to trace_path");
+  b.System("workload_source", &VoodbConfig::workload_source,
+           "transaction stream source: the synthetic OCB generator or a "
+           "recorded trace replayed from trace_path")
+      .Enum({{"synthetic"}, {"trace"}});
+  b.SystemString("trace_path", &VoodbConfig::trace_path,
+                 "trace file path: output for trace_record, input for "
+                 "workload_source=trace");
 
   // --- Disk (storage::DiskParameters) ---------------------------------------
   b.Disk("disk_search_ms", &storage::DiskParameters::search_ms,
@@ -625,7 +701,9 @@ ParamRegistry::ParamRegistry() {
     const auto [it, inserted] = index_.emplace(descriptors_[i].name, i);
     VOODB_CHECK_MSG(inserted,
                     "duplicate parameter '" << descriptors_[i].name << "'");
-    descriptors_[i].CheckValue(descriptors_[i].default_value);
+    if (descriptors_[i].type != ParamType::kString) {
+      descriptors_[i].CheckValue(descriptors_[i].default_value);
+    }
   }
 }
 

@@ -33,6 +33,10 @@ enum class ParamType {
   kInt,
   kReal,
   kEnum,
+  /// Free-form text (e.g. a trace file path).  String parameters travel
+  /// through the dedicated text accessors — they have no numeric value,
+  /// cannot be sweep axes, and carry no range.
+  kString,
 };
 
 const char* ToString(ParamType t);
@@ -82,8 +86,15 @@ struct ParamDescriptor {
 
   std::function<double(const ConstParamTarget&)> getter;
   std::function<void(const ParamTarget&, double)> setter;
+  /// kString only: text accessors (the numeric pair above stays null).
+  std::function<std::string(const ConstParamTarget&)> text_getter;
+  std::function<void(const ParamTarget&, const std::string&)> text_setter;
+  /// kString only: value in a default-constructed struct.
+  std::string default_text;
 
-  bool integral() const { return type != ParamType::kReal; }
+  bool integral() const {
+    return type != ParamType::kReal && type != ParamType::kString;
+  }
   /// Canonical spelling of enumerator `ordinal`.
   const std::string& EnumName(size_t ordinal) const;
   /// "512 <= value", "[0, 1]", "0..2", ... for tables and errors.
@@ -109,12 +120,25 @@ class ParamRegistry {
   const ParamDescriptor& At(const std::string& name) const;
 
   double Get(const ConstParamTarget& target, const std::string& name) const;
-  /// Range-checks then writes; errors name the parameter.
+  /// Range-checks then writes; errors name the parameter.  Rejects
+  /// string parameters (they have no numeric value — this is also what
+  /// keeps them out of sweep grids).
   void Set(const ParamTarget& target, const std::string& name,
            double value) const;
-  /// String-aware Set: `value` may be an enum/bool spelling or a number.
+  /// String-aware Set: `value` may be an enum/bool spelling, a number,
+  /// or — for string parameters — the text itself.
   void Set(const ParamTarget& target, const std::string& name,
            const std::string& value) const;
+
+  /// Current value rendered as text: FormatValue for numeric
+  /// parameters, the raw text for string ones.
+  std::string GetText(const ConstParamTarget& target,
+                      const std::string& name) const;
+  /// Default value rendered as text.
+  std::string DefaultText(const ParamDescriptor& d) const;
+  /// True when `d`'s value in `target` equals its default.
+  bool IsDefault(const ConstParamTarget& target,
+                 const ParamDescriptor& d) const;
 
   /// Parses `text` as a value for `name` (enum names, true/false/on/off,
   /// plain numbers); throws listing the valid choices.

@@ -16,6 +16,10 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
       rng_(seed) {
   config_.Validate();
   VOODB_CHECK_MSG(base_ != nullptr, "system needs an object base");
+  // Derived once: seeds the Buffering Manager's stream AND, when
+  // recording, the trace header — bit-exact replay of the RANDOM policy
+  // depends on the two staying the same stream.
+  const desp::RandomStream buffer_rng = rng_.Derive(0xB0FF);
   object_manager_ = std::make_unique<ObjectManagerActor>(
       &scheduler_, base_, config_.page_size, config_.initial_placement,
       config_.storage_overhead);
@@ -23,8 +27,7 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
   network_ = std::make_unique<NetworkActor>(&scheduler_,
                                             config_.network_throughput_mbps);
   buffering_ = std::make_unique<BufferingManagerActor>(
-      &scheduler_, config_, object_manager_.get(), io_.get(),
-      rng_.Derive(0xB0FF));
+      &scheduler_, config_, object_manager_.get(), io_.get(), buffer_rng);
   clustering_ = std::make_unique<ClusteringManagerActor>(
       &scheduler_, std::move(policy), object_manager_.get(), buffering_.get(),
       io_.get());
@@ -44,22 +47,74 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
         &scheduler_, fp, buffering_.get(), io_.get(), rng_.Derive(0xC7A5));
     failures_->Arm();
   }
+  if (config_.workload_source == WorkloadSourceKind::kTrace) {
+    trace_workload_ =
+        std::make_unique<trace::TraceWorkload>(config_.trace_path);
+  }
+  if (config_.trace_record) {
+    trace::Header header;
+    header.page_size = config_.page_size;
+    header.buffer_pages = config_.buffer_pages;
+    header.replacement_policy =
+        static_cast<uint8_t>(config_.page_replacement);
+    header.prefetch_policy = static_cast<uint8_t>(config_.prefetch);
+    header.lru_k = config_.lru_k;
+    header.prefetch_depth = config_.prefetch_depth;
+    header.num_classes = base_->params().num_classes;
+    header.num_objects = base_->NumObjects();
+    header.num_pages = object_manager_->NumPages();
+    // The exact stream the buffer manager's RANDOM policy was seeded
+    // with, so replays are bit-exact.
+    header.seed = buffer_rng.seed();
+    if (config_.use_virtual_memory) header.flags |= trace::kFlagVirtualMemory;
+    if (config_.flush_on_commit) header.flags |= trace::kFlagCommitFlush;
+    if (config_.failure_mtbf_ms > 0.0) {
+      header.flags |= trace::kFlagCrashHazard;
+    }
+    trace_writer_ =
+        std::make_unique<trace::Writer>(config_.trace_path, header);
+    trace_recorder_ = std::make_unique<trace::Recorder>(trace_writer_.get());
+    buffering_->SetRecorder(trace_recorder_.get());
+    object_manager_->SetRecorder(trace_recorder_.get());
+  }
 }
 
-PhaseMetrics VoodbSystem::RunTransactions(ocb::WorkloadGenerator& workload,
+VoodbSystem::~VoodbSystem() { FinishTrace(); }
+
+void VoodbSystem::FinishTrace() {
+  if (trace_writer_ == nullptr || trace_writer_->finished()) return;
+  // Detach first: the system stays usable after the trace is finalized,
+  // and a dangling recorder would throw (and overrun its chunk buffer)
+  // on the next flush.
+  buffering_->SetRecorder(nullptr);
+  object_manager_->SetRecorder(nullptr);
+  trace_recorder_->Flush();
+  if (buffering_->DroppedWhileRecording()) {
+    trace_writer_->AddFlags(trace::kFlagBufferDrop);
+  }
+  trace_writer_->Finish(buffering_->TraceCountersNow());
+}
+
+PhaseMetrics VoodbSystem::RunTransactions(ocb::WorkloadSource& workload,
                                           uint64_t n) {
   return Drive(workload, nullptr, n);
 }
 
-PhaseMetrics VoodbSystem::RunTransactionsOfKind(ocb::WorkloadGenerator& workload,
+PhaseMetrics VoodbSystem::RunTransactionsOfKind(ocb::WorkloadSource& workload,
                                                 ocb::TransactionKind kind,
                                                 uint64_t n) {
   return Drive(workload, &kind, n);
 }
 
-PhaseMetrics VoodbSystem::Drive(ocb::WorkloadGenerator& workload,
+PhaseMetrics VoodbSystem::Drive(ocb::WorkloadSource& external_workload,
                                 const ocb::TransactionKind* forced_kind,
                                 uint64_t n) {
+  // workload_source = trace substitutes the recorded stream for whatever
+  // generator the caller handed in; every scenario gains trace replay
+  // without touching its run hook.
+  ocb::WorkloadSource& workload = trace_workload_ != nullptr
+                                      ? *trace_workload_
+                                      : external_workload;
   const Snapshot before = Take();
   if (n == 0) return Delta(before);
 
@@ -68,7 +123,7 @@ PhaseMetrics VoodbSystem::Drive(ocb::WorkloadGenerator& workload,
   // n transactions have been issued.
   struct UsersDriver {
     VoodbSystem* sys;
-    ocb::WorkloadGenerator* workload;
+    ocb::WorkloadSource* workload;
     const ocb::TransactionKind* forced_kind;
     uint64_t to_issue;
     uint64_t outstanding = 0;
@@ -88,6 +143,13 @@ PhaseMetrics VoodbSystem::Drive(ocb::WorkloadGenerator& workload,
       ocb::Transaction txn = forced_kind != nullptr
                                  ? workload->NextOfKind(*forced_kind)
                                  : workload->Next();
+      // Transaction markers frame the object stream the Object Manager
+      // records.  With one user the markers nest exactly around the
+      // transaction's accesses; concurrent users interleave them (such
+      // traces replay as page streams but not as workloads).
+      if (sys->trace_recorder_ != nullptr) {
+        sys->trace_recorder_->OnTxnBegin(static_cast<uint64_t>(txn.kind));
+      }
       auto submit = [this, txn = std::move(txn)]() mutable {
         sys->tm_->Submit(std::move(txn), [this]() { AfterCommit(); });
       };
@@ -101,6 +163,7 @@ PhaseMetrics VoodbSystem::Drive(ocb::WorkloadGenerator& workload,
 
     void AfterCommit() {
       --outstanding;
+      if (sys->trace_recorder_ != nullptr) sys->trace_recorder_->OnTxnEnd();
       // Automatic triggering happens at transaction boundaries.
       if (sys->config_.auto_clustering &&
           sys->clustering_->ShouldTrigger()) {

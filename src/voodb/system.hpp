@@ -22,6 +22,9 @@
 #include "desp/scheduler.hpp"
 #include "ocb/object_base.hpp"
 #include "ocb/workload.hpp"
+#include "trace/recorder.hpp"
+#include "trace/workload.hpp"
+#include "trace/writer.hpp"
 #include "voodb/buffering_manager.hpp"
 #include "voodb/clustering_manager.hpp"
 #include "voodb/config.hpp"
@@ -46,15 +49,26 @@ class VoodbSystem {
               std::unique_ptr<cluster::ClusteringPolicy> policy,
               uint64_t seed);
 
+  /// Finalizes an in-progress access trace (see FinishTrace).
+  ~VoodbSystem();
+
   /// Runs `n` transactions drawn from `workload` across NUSERS users and
   /// returns this phase's metrics.  Reusable: state (buffer contents,
   /// clustering statistics, placement) carries over between calls.
-  PhaseMetrics RunTransactions(ocb::WorkloadGenerator& workload, uint64_t n);
+  /// With `workload_source = trace` the system replays its recorded
+  /// trace instead and `workload` is ignored.
+  PhaseMetrics RunTransactions(ocb::WorkloadSource& workload, uint64_t n);
 
   /// Same, but every transaction is of the forced kind (the DSTC
   /// experiments run pure depth-3 hierarchy traversals).
-  PhaseMetrics RunTransactionsOfKind(ocb::WorkloadGenerator& workload,
+  PhaseMetrics RunTransactionsOfKind(ocb::WorkloadSource& workload,
                                      ocb::TransactionKind kind, uint64_t n);
+
+  /// Flushes and finalizes the access trace (no-op unless trace_record);
+  /// called automatically on destruction.  The trace header receives the
+  /// buffering layer's counters so replays can verify bit-exact
+  /// reproduction.
+  void FinishTrace();
 
   /// External clustering trigger (knowledge model: "Clustering Demand"
   /// from the Users).  Blocks until the reorganization I/O completes.
@@ -92,7 +106,7 @@ class VoodbSystem {
   };
   Snapshot Take() const;
   PhaseMetrics Delta(const Snapshot& before) const;
-  PhaseMetrics Drive(ocb::WorkloadGenerator& workload,
+  PhaseMetrics Drive(ocb::WorkloadSource& workload,
                      const ocb::TransactionKind* forced_kind, uint64_t n);
 
   VoodbConfig config_;
@@ -106,6 +120,11 @@ class VoodbSystem {
   std::unique_ptr<ClusteringManagerActor> clustering_;
   std::unique_ptr<TransactionManagerActor> tm_;
   std::unique_ptr<FailureInjectorActor> failures_;
+
+  // --- access tracing (trace subsystem) -------------------------------------
+  std::unique_ptr<trace::Writer> trace_writer_;      ///< trace_record
+  std::unique_ptr<trace::Recorder> trace_recorder_;  ///< trace_record
+  std::unique_ptr<trace::TraceWorkload> trace_workload_;  ///< source=trace
 };
 
 }  // namespace voodb::core

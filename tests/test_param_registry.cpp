@@ -33,7 +33,7 @@ void ExpectErrorMentions(Fn&& fn, const std::string& needle) {
 // a field was added or removed: update the descriptor table in
 // param_registry.cpp (its sizeof static_asserts fire first on x86-64
 // Linux) and then these counts.
-constexpr size_t kSystemFields = 31;
+constexpr size_t kSystemFields = 34;
 constexpr size_t kDiskFields = 3;
 constexpr size_t kWorkloadFields = 30;
 
@@ -67,7 +67,12 @@ TEST(ParamRegistry, DefaultsMatchDefaultConstructedConfigs) {
   ocb::OcbParameters workload;
   const ConstParamTarget target{&system, &workload};
   for (const ParamDescriptor& d : Registry().descriptors()) {
+    if (d.type == ParamType::kString) {
+      EXPECT_EQ(d.text_getter(target), d.default_text) << d.name;
+      continue;
+    }
     EXPECT_EQ(d.getter(target), d.default_value) << d.name;
+    EXPECT_TRUE(Registry().IsDefault(target, d)) << d.name;
   }
 }
 
@@ -93,6 +98,8 @@ double PerturbedValue(const ParamDescriptor& d) {
                                             : candidate <= d.max_value;
       return in_range ? candidate : d.min_value;
     }
+    case ParamType::kString:
+      break;  // string parameters have no numeric value (skipped above)
   }
   return d.default_value;
 }
@@ -103,6 +110,7 @@ TEST(ParamRegistry, SetGetFormatParseRoundTripOverAllDescriptors) {
   const ParamTarget target{&system, &workload};
   const ConstParamTarget const_target{&system, &workload};
   for (const ParamDescriptor& d : Registry().descriptors()) {
+    if (d.type == ParamType::kString) continue;  // covered below
     const double value = PerturbedValue(d);
     Registry().Set(target, d.name, value);
     EXPECT_EQ(Registry().Get(const_target, d.name), value) << d.name;
@@ -115,6 +123,49 @@ TEST(ParamRegistry, SetGetFormatParseRoundTripOverAllDescriptors) {
     Registry().Set(target, d.name, text);
     EXPECT_EQ(Registry().Get(const_target, d.name), value) << d.name;
   }
+}
+
+TEST(ParamRegistry, StringParametersTravelThroughTextAccessors) {
+  VoodbConfig system;
+  const ParamTarget target{&system, nullptr};
+  const ConstParamTarget const_target{&system, nullptr};
+  // The string-based Set writes the raw text; GetText reads it back.
+  Registry().Set(target, "trace_path", std::string("runs/ocb.vtrc"));
+  EXPECT_EQ(system.trace_path, "runs/ocb.vtrc");
+  EXPECT_EQ(Registry().GetText(const_target, "trace_path"), "runs/ocb.vtrc");
+  EXPECT_FALSE(Registry().IsDefault(const_target,
+                                    Registry().At("trace_path")));
+  // Numeric access paths reject string parameters — which is also what
+  // keeps them out of sweep grids.
+  ExpectErrorMentions([&] { Registry().Set(target, "trace_path", 1.0); },
+                      "trace_path");
+  ExpectErrorMentions([&] { Registry().Get(const_target, "trace_path"); },
+                      "trace_path");
+  ExpectErrorMentions([&] { Registry().FormatValue("trace_path", 0.0); },
+                      "trace_path");
+  ExpectErrorMentions([&] { Registry().ParseValue("trace_path", "x"); },
+                      "trace_path");
+  ExperimentConfig config;
+  EXPECT_THROW(exp::ApplyAxis(config, "trace_path", 1.0), util::Error);
+  // The numeric-typed trace knobs behave like every other parameter.
+  Registry().Set(target, "trace_record", std::string("true"));
+  EXPECT_TRUE(system.trace_record);
+  Registry().Set(target, "workload_source", std::string("trace"));
+  EXPECT_EQ(system.workload_source, WorkloadSourceKind::kTrace);
+  // Cross-field validation: tracing without a path is rejected.
+  system = VoodbConfig{};
+  system.trace_record = true;
+  ExpectErrorMentions([&] { system.Validate(); }, "trace_path");
+  system = VoodbConfig{};
+  system.workload_source = WorkloadSourceKind::kTrace;
+  ExpectErrorMentions([&] { system.Validate(); }, "trace_path");
+  // Recording while replaying shares the one trace_path field: the
+  // writer would truncate the trace being read.
+  system = VoodbConfig{};
+  system.trace_record = true;
+  system.workload_source = WorkloadSourceKind::kTrace;
+  system.trace_path = "run.vtrc";
+  ExpectErrorMentions([&] { system.Validate(); }, "trace_record");
 }
 
 TEST(ParamRegistry, EnumOrdinalsMatchEnumerators) {

@@ -48,8 +48,48 @@ TEST(ScenarioCatalog, RegistersEveryPaperFigureTableAndAblation) {
       "ablation_locking",    "ablation_multiprog",
       "ablation_placement",  "ablation_sysclass",
       "ablation_vm_model",   "micro_scheduler",
-      "micro_storage"};
+      "micro_storage",       "trace_mrc",
+      "fig08_mrc",           "micro_trace"};
   EXPECT_EQ(exp::ScenarioRegistry::Instance().Names(), expected);
+}
+
+TEST(ScenarioCatalog, UnknownScenarioFailsWithNearestNameSuggestion) {
+  RegisterBenchScenarios();
+  // The registry lookup carries the "did you mean" diagnostic (the same
+  // UX as unknown flags)...
+  try {
+    exp::ScenarioRegistry::Instance().At("fig8");
+    FAIL() << "expected util::Error for unknown scenario";
+  } catch (const util::Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown scenario 'fig8'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("did you mean 'fig08'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("voodb list"), std::string::npos) << message;
+  }
+  // ... and the driver path behind `voodb run <scenario>` turns it into
+  // a non-zero exit instead of leaking the exception.
+  const char* argv[] = {"voodb"};
+  EXPECT_EQ(RunScenarioMain("fig8", 1, argv), 1);
+  EXPECT_EQ(RunScenarioMain("ablation_lockin", 1, argv), 1);
+}
+
+TEST(ScenarioCatalog, ReplicatedRunsRejectTraceRecording) {
+  // Every replication would truncate the same trace_path; `voodb trace
+  // record` is the single-run surface for recording.
+  RegisterBenchScenarios();
+  const exp::Scenario& scenario =
+      exp::ScenarioRegistry::Instance().At("fig06");
+  try {
+    RunScenario(scenario, SmallOptions(10),
+                {{"trace_record", "true"}, {"trace_path", "t.vtrc"}});
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("voodb trace record"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ScenarioCatalog, EveryScenarioIsDescribedAndValid) {

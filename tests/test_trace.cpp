@@ -1,0 +1,423 @@
+/// \file test_trace.cpp
+/// \brief Tests for the access-trace subsystem: format round-trips,
+/// corrupt/truncated input rejection, deterministic replay, Mattson MRC
+/// exactness against real buffer simulations, and trace-as-workload
+/// replay through the DES.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "desp/random.hpp"
+#include "emu/o2_emulator.hpp"
+#include "ocb/object_base.hpp"
+#include "ocb/workload.hpp"
+#include "storage/buffer_manager.hpp"
+#include "trace/mrc.hpp"
+#include "trace/reader.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replayer.hpp"
+#include "trace/workload.hpp"
+#include "trace/writer.hpp"
+#include "util/check.hpp"
+#include "voodb/system.hpp"
+
+namespace voodb::trace {
+namespace {
+
+std::stringstream BinaryStream() {
+  return std::stringstream(std::ios::in | std::ios::out | std::ios::binary);
+}
+
+Header SmallHeader() {
+  Header h;
+  h.page_size = 4096;
+  h.buffer_pages = 64;
+  h.replacement_policy =
+      static_cast<uint8_t>(storage::ReplacementPolicy::kLru);
+  h.num_classes = 10;
+  h.num_objects = 1000;
+  h.num_pages = 400;
+  h.seed = 7;
+  return h;
+}
+
+TEST(TraceFormat, WriterReaderRoundTripIsBitIdentical) {
+  // A stream exercising every record kind, multi-chunk lengths, and ids
+  // that stress the zigzag delta coding (big jumps in both directions).
+  std::vector<Record> original;
+  desp::RandomStream rng(99);
+  for (int t = 0; t < 40; ++t) {
+    original.push_back({RecordKind::kTxnBegin,
+                        static_cast<uint64_t>(t % 6), false});
+    const int accesses = 1 + static_cast<int>(rng.UniformInt(0, 400));
+    for (int a = 0; a < accesses; ++a) {
+      const auto oid = static_cast<uint64_t>(rng.UniformInt(0, 999));
+      const bool write = rng.Bernoulli(0.3);
+      original.push_back({RecordKind::kObject, oid, write});
+      original.push_back({RecordKind::kPage, oid * 37 % 4001, write});
+    }
+    original.push_back({RecordKind::kTxnEnd, 0, false});
+  }
+  ASSERT_GT(original.size(), kChunkRecords)  // forces multiple chunks
+      << "test stream too short to cover chunk boundaries";
+
+  std::stringstream ss = BinaryStream();
+  Writer writer(&ss, SmallHeader());
+  Recorder recorder(&writer);
+  for (const Record& r : original) {
+    switch (r.kind) {
+      case RecordKind::kTxnBegin:
+        recorder.OnTxnBegin(r.id);
+        break;
+      case RecordKind::kTxnEnd:
+        recorder.OnTxnEnd();
+        break;
+      case RecordKind::kObject:
+        recorder.OnObject(r.id, r.write);
+        break;
+      case RecordKind::kPage:
+        recorder.OnPage(r.id, r.write);
+        break;
+    }
+  }
+  recorder.Flush();
+  TraceCounters counters;
+  counters.accesses = 123;
+  counters.hits = 45;
+  writer.Finish(counters);
+
+  Reader reader(&ss);
+  EXPECT_EQ(reader.header().num_records, original.size());
+  EXPECT_EQ(reader.header().counters.accesses, 123u);
+  EXPECT_EQ(reader.header().counters.hits, 45u);
+  EXPECT_EQ(reader.header().page_size, 4096u);
+  std::vector<Record> decoded;
+  Record r;
+  while (reader.Next(r)) decoded.push_back(r);
+  ASSERT_EQ(decoded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(decoded[i].kind),
+              static_cast<int>(original[i].kind))
+        << i;
+    EXPECT_EQ(decoded[i].id, original[i].id) << i;
+    EXPECT_EQ(decoded[i].write, original[i].write) << i;
+  }
+
+  // Rewind replays the identical stream.
+  reader.Rewind();
+  size_t again = 0;
+  while (reader.Next(r)) {
+    EXPECT_EQ(r.id, decoded[again].id);
+    ++again;
+  }
+  EXPECT_EQ(again, original.size());
+}
+
+TEST(TraceFormat, RejectsCorruptAndTruncatedInput) {
+  // A valid finished trace to mutate.
+  std::stringstream ss = BinaryStream();
+  Writer writer(&ss, SmallHeader());
+  Recorder recorder(&writer);
+  for (int i = 0; i < 100; ++i) {
+    recorder.OnPage(static_cast<uint64_t>(i % 17), false);
+  }
+  recorder.Flush();
+  writer.Finish(TraceCounters{});
+  const std::string good = ss.str();
+
+  {  // Truncated header.
+    std::stringstream s = BinaryStream();
+    s.str(good.substr(0, sizeof(Header) / 2));
+    EXPECT_THROW(Reader r(&s), util::Error);
+  }
+  {  // Bad magic.
+    std::string bytes = good;
+    bytes[0] = 'X';
+    std::stringstream s = BinaryStream();
+    s.str(bytes);
+    EXPECT_THROW(Reader r(&s), util::Error);
+  }
+  {  // Unsupported version.
+    std::string bytes = good;
+    bytes[4] = static_cast<char>(99);
+    std::stringstream s = BinaryStream();
+    s.str(bytes);
+    EXPECT_THROW(Reader r(&s), util::Error);
+  }
+  {  // Unfinished recording (flags bit cleared).
+    std::string bytes = good;
+    bytes[8] = 0;
+    std::stringstream s = BinaryStream();
+    s.str(bytes);
+    EXPECT_THROW(Reader r(&s), util::Error);
+  }
+  {  // Truncated mid-chunk: header is intact, payload is cut short.
+    std::stringstream s = BinaryStream();
+    s.str(good.substr(0, good.size() - 20));
+    Reader reader(&s);
+    Record r;
+    EXPECT_THROW(
+        while (reader.Next(r)) {
+        },
+        util::Error);
+  }
+}
+
+TEST(TraceReplay, ReproducesRecordedEmulatorCountersBitExactly) {
+  ocb::OcbParameters params;
+  params.num_classes = 10;
+  params.num_objects = 2000;
+  params.p_update = 0.2;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(params);
+
+  for (const auto policy : {storage::ReplacementPolicy::kLru,
+                            storage::ReplacementPolicy::kClock,
+                            storage::ReplacementPolicy::kRandom}) {
+    emu::O2Config cfg;
+    cfg.cache_pages = 128;
+    cfg.replacement = policy;
+    std::stringstream ss = BinaryStream();
+    emu::O2Emulator o2(cfg, &base, /*seed=*/11);
+    {
+      Writer writer(&ss, [&] {
+        Header h = SmallHeader();
+        h.buffer_pages = cfg.cache_pages;
+        h.replacement_policy = static_cast<uint8_t>(policy);
+        h.num_pages = o2.NumPages();
+        h.seed = 11;
+        return h;
+      }());
+      Recorder recorder(&writer);
+      o2.SetRecorder(&recorder);
+      ocb::WorkloadGenerator gen(&base, desp::RandomStream(11));
+      o2.RunTransactions(gen, 300);
+      recorder.Flush();
+      writer.Finish(o2.TraceCountersNow());
+    }
+    Reader reader(&ss);
+    const ReplayStats stats = ReplayPages(reader);
+    EXPECT_TRUE(stats.Matches(reader.header().counters))
+        << "policy " << ToString(policy) << ": replayed " << stats.hits
+        << " hits vs recorded " << reader.header().counters.hits;
+  }
+}
+
+TEST(TraceReplay, ReproducesRecordedSimulationCountersBitExactly) {
+  ocb::OcbParameters params;
+  params.num_classes = 10;
+  params.num_objects = 1500;
+  params.p_update = 0.3;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(params);
+
+  const std::string path = "test_trace_sim.vtrc";
+  core::VoodbConfig cfg;
+  cfg.system_class = core::SystemClass::kCentralized;
+  cfg.buffer_pages = 150;
+  cfg.trace_record = true;
+  cfg.trace_path = path;
+  trace::TraceCounters recorded;
+  {
+    core::VoodbSystem sys(cfg, &base, nullptr, /*seed=*/5);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(5).Derive(1));
+    sys.RunTransactions(gen, 200);
+    recorded = sys.buffering_manager().TraceCountersNow();
+    sys.FinishTrace();
+    // The system stays usable after finalizing the trace: FinishTrace
+    // detaches the recorder, so further phases neither throw nor append.
+    sys.RunTransactions(gen, 200);
+  }
+  Reader reader(path);
+  EXPECT_TRUE(reader.header().counters.accesses > 0);
+  EXPECT_EQ(reader.header().counters.accesses, recorded.accesses);
+  const ReplayStats stats = ReplayPages(reader);
+  EXPECT_TRUE(stats.Matches(recorded))
+      << "replayed " << stats.hits << "/" << stats.misses
+      << " vs recorded " << recorded.hits << "/" << recorded.misses;
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplay, FlushOnCommitRecordingsAreMarkedNotVerifiable) {
+  // flush_on_commit writes dirty pages back at commit — buffer events a
+  // bare page-stream replay cannot see — so such recordings carry a
+  // header flag that verification surfaces refuse.
+  ocb::OcbParameters params;
+  params.num_classes = 5;
+  params.num_objects = 500;
+  params.p_update = 0.5;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(params);
+  const std::string path = "test_trace_flush.vtrc";
+  core::VoodbConfig cfg;
+  cfg.system_class = core::SystemClass::kCentralized;
+  cfg.buffer_pages = 64;
+  cfg.flush_on_commit = true;
+  cfg.trace_record = true;
+  cfg.trace_path = path;
+  {
+    core::VoodbSystem sys(cfg, &base, nullptr, /*seed=*/3);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(3).Derive(1));
+    sys.RunTransactions(gen, 50);
+  }
+  Reader reader(path);
+  EXPECT_NE(reader.header().flags & kFlagCommitFlush, 0u);
+  EXPECT_FALSE(ReplayVerifiable(reader.header().flags));
+  // A plain recording stays verifiable.
+  EXPECT_TRUE(ReplayVerifiable(kFlagFinished));
+  EXPECT_FALSE(ReplayVerifiable(kFlagFinished | kFlagVirtualMemory));
+  EXPECT_FALSE(ReplayVerifiable(kFlagFinished | kFlagCrashHazard));
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplay, BufferDropDuringRecordingDisqualifiesVerification) {
+  // A mid-recording buffer drop (clustering reorganization, an explicit
+  // cold restart between phases) empties the cache outside the page
+  // stream; the finished header must say so.
+  ocb::OcbParameters params;
+  params.num_classes = 5;
+  params.num_objects = 500;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(params);
+  const std::string path = "test_trace_drop.vtrc";
+  core::VoodbConfig cfg;
+  cfg.system_class = core::SystemClass::kCentralized;
+  cfg.buffer_pages = 64;
+  cfg.trace_record = true;
+  cfg.trace_path = path;
+  {
+    core::VoodbSystem sys(cfg, &base, nullptr, /*seed=*/4);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(4).Derive(1));
+    sys.RunTransactions(gen, 30);
+    sys.DropBuffer();
+    sys.RunTransactions(gen, 30);
+  }
+  Reader reader(path);
+  EXPECT_NE(reader.header().flags & kFlagBufferDrop, 0u);
+  EXPECT_FALSE(ReplayVerifiable(reader.header().flags));
+  std::remove(path.c_str());
+}
+
+TEST(TraceMrc, MatchesBufferManagerLruSimulationAtEverySize) {
+  // A Zipf-skewed synthetic page stream with enough reuse structure to
+  // exercise the Fenwick compaction, checked against real LRU buffers.
+  desp::RandomStream rng(3);
+  std::vector<uint64_t> pages;
+  for (int i = 0; i < 30000; ++i) {
+    pages.push_back(static_cast<uint64_t>(rng.Zipf(1200, 0.8)));
+  }
+
+  MrcAnalyzer analyzer;
+  for (const uint64_t p : pages) analyzer.OnPage(p);
+  const MrcResult mrc = analyzer.Finish();
+  EXPECT_EQ(mrc.page_accesses, pages.size());
+
+  for (const uint64_t capacity : {1ull, 2ull, 7ull, 32ull, 100ull, 375ull,
+                                  1199ull, 1200ull, 5000ull}) {
+    storage::BufferManager buffer(capacity,
+                                  storage::ReplacementPolicy::kLru);
+    std::vector<storage::PageIo> ios;
+    for (const uint64_t p : pages) {
+      ios.clear();
+      buffer.AccessInto(p, false, ios);
+    }
+    EXPECT_EQ(mrc.HitsAt(capacity), buffer.stats().hits)
+        << "capacity " << capacity;
+    EXPECT_EQ(mrc.MissesAt(capacity), buffer.stats().misses)
+        << "capacity " << capacity;
+  }
+  // The histogram accounts for every access: reuses + cold misses.
+  uint64_t reuses = 0;
+  for (size_t d = 1; d < mrc.reuse_histogram.size(); ++d) {
+    reuses += mrc.reuse_histogram[d];
+  }
+  EXPECT_EQ(reuses + mrc.working_set_pages, mrc.page_accesses);
+}
+
+TEST(TraceWorkload, ReplaysRecordedTransactionsThroughTheSimulation) {
+  ocb::OcbParameters params;
+  params.num_classes = 8;
+  params.num_objects = 1000;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(params);
+  const std::string path = "test_trace_workload.vtrc";
+
+  core::VoodbConfig record_cfg;
+  record_cfg.system_class = core::SystemClass::kCentralized;
+  record_cfg.buffer_pages = 100;
+  record_cfg.trace_record = true;
+  record_cfg.trace_path = path;
+  core::PhaseMetrics recorded;
+  {
+    core::VoodbSystem sys(record_cfg, &base, nullptr, /*seed=*/9);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(9).Derive(1));
+    recorded = sys.RunTransactions(gen, 120);
+  }
+
+  // Re-run the DES with workload_source=trace: the replay draws the
+  // recorded transactions, so the phase metrics reproduce bit-exactly.
+  core::VoodbConfig replay_cfg;
+  replay_cfg.system_class = core::SystemClass::kCentralized;
+  replay_cfg.buffer_pages = 100;
+  replay_cfg.workload_source = core::WorkloadSourceKind::kTrace;
+  replay_cfg.trace_path = path;
+  {
+    core::VoodbSystem sys(replay_cfg, &base, nullptr, /*seed=*/9);
+    ocb::WorkloadGenerator unused(&base, desp::RandomStream(1234));
+    const core::PhaseMetrics replayed = sys.RunTransactions(unused, 120);
+    EXPECT_EQ(replayed.transactions, recorded.transactions);
+    EXPECT_EQ(replayed.object_accesses, recorded.object_accesses);
+    EXPECT_EQ(replayed.total_ios, recorded.total_ios);
+    EXPECT_EQ(replayed.buffer_hits, recorded.buffer_hits);
+    EXPECT_EQ(replayed.buffer_requests, recorded.buffer_requests);
+  }
+
+  // A different buffer size replays the same logical workload with a
+  // different hit pattern — record once, sweep anywhere.
+  replay_cfg.buffer_pages = 10;
+  {
+    core::VoodbSystem sys(replay_cfg, &base, nullptr, /*seed=*/9);
+    ocb::WorkloadGenerator unused(&base, desp::RandomStream(1234));
+    const core::PhaseMetrics replayed = sys.RunTransactions(unused, 120);
+    EXPECT_EQ(replayed.object_accesses, recorded.object_accesses);
+    EXPECT_LT(replayed.buffer_hits, recorded.buffer_hits);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorkload, WrapsAroundWhenReplayOutlivesTheRecording) {
+  std::stringstream ss = BinaryStream();
+  {
+    Writer writer(&ss, SmallHeader());
+    Recorder recorder(&writer);
+    for (int t = 0; t < 3; ++t) {
+      recorder.OnTxnBegin(
+          static_cast<uint64_t>(ocb::TransactionKind::kSimpleTraversal));
+      recorder.OnObject(static_cast<uint64_t>(t), false);
+      recorder.OnTxnEnd();
+    }
+    recorder.Flush();
+    writer.Finish(TraceCounters{});
+  }
+  TraceWorkload workload(&ss);
+  for (int i = 0; i < 8; ++i) {
+    const ocb::Transaction txn = workload.Next();
+    ASSERT_EQ(txn.accesses.size(), 1u);
+    EXPECT_EQ(txn.accesses[0].oid, static_cast<ocb::Oid>(i % 3));
+    EXPECT_EQ(txn.root, static_cast<ocb::Oid>(i % 3));
+  }
+  EXPECT_EQ(workload.transactions_replayed(), 8u);
+}
+
+TEST(TraceWorkload, RejectsTracesWithoutTransactionRecords) {
+  std::stringstream ss = BinaryStream();
+  {
+    Writer writer(&ss, SmallHeader());
+    Recorder recorder(&writer);
+    recorder.OnPage(1, false);
+    recorder.Flush();
+    writer.Finish(TraceCounters{});
+  }
+  EXPECT_THROW(TraceWorkload workload(&ss), util::Error);
+}
+
+}  // namespace
+}  // namespace voodb::trace
