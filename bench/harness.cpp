@@ -282,19 +282,28 @@ Estimate Replicate(const RunOptions& options, uint64_t base_seed,
   return metrics.at("value");
 }
 
-std::map<std::string, Estimate> ReplicateMetrics(
+desp::ReplicationResult ReplicateResult(
     const RunOptions& options, uint64_t base_seed,
     const desp::ReplicationRunner::Model& model) {
   exp::FarmOptions farm_options;
   farm_options.threads = options.threads;
   farm_options.base_seed = base_seed;
-  const desp::ReplicationResult result =
-      exp::ReplicationFarm(model, farm_options).Run(options.replications);
+  return exp::ReplicationFarm(model, farm_options).Run(options.replications);
+}
+
+std::map<std::string, Estimate> EstimatesOf(
+    const desp::ReplicationResult& result) {
   std::map<std::string, Estimate> estimates;
   for (const std::string& name : result.MetricNames()) {
     estimates[name] = EstimateOf(result.Metric(name));
   }
   return estimates;
+}
+
+std::map<std::string, Estimate> ReplicateMetrics(
+    const RunOptions& options, uint64_t base_seed,
+    const desp::ReplicationRunner::Model& model) {
+  return EstimatesOf(ReplicateResult(options, base_seed, model));
 }
 
 void RecordEstimate(const std::string& section, const std::string& x,
@@ -323,6 +332,38 @@ void FigureReport::AddPoint(const std::string& x, const Estimate& bench,
                                     3),
                  util::FormatDouble(paper_bench, 0),
                  util::FormatDouble(paper_sim, 0)});
+}
+
+LatencyReport::LatencyReport(std::string title, std::string x_label)
+    : title_(std::move(title)),
+      table_({std::move(x_label), "Count", "p50", "p95", "p99", "p999",
+              "Max"}) {}
+
+void LatencyReport::AddPoint(const std::string& x,
+                             const desp::LogHistogram& histogram) {
+  const double p50 = histogram.Quantile(0.50);
+  const double p95 = histogram.Quantile(0.95);
+  const double p99 = histogram.Quantile(0.99);
+  const double p999 = histogram.Quantile(0.999);
+  RecordEstimate(title_, x, "p50", {p50, 0.0});
+  RecordEstimate(title_, x, "p95", {p95, 0.0});
+  RecordEstimate(title_, x, "p99", {p99, 0.0});
+  RecordEstimate(title_, x, "p999", {p999, 0.0});
+  RecordEstimate(title_, x, "max", {histogram.max(), 0.0});
+  table_.AddRow({x, std::to_string(histogram.count()),
+                 util::FormatDouble(p50, 2), util::FormatDouble(p95, 2),
+                 util::FormatDouble(p99, 2), util::FormatDouble(p999, 2),
+                 util::FormatDouble(histogram.max(), 2)});
+}
+
+void LatencyReport::Print(const RunOptions& options) const {
+  std::cout << "== " << title_ << " ==\n";
+  if (options.csv) {
+    table_.PrintCsv(std::cout);
+  } else {
+    table_.Print(std::cout);
+  }
+  std::cout << "\n";
 }
 
 void FigureReport::Print(const RunOptions& options) const {

@@ -98,6 +98,18 @@ std::map<std::string, Estimate> ReplicateMetrics(
     const RunOptions& options, uint64_t base_seed,
     const desp::ReplicationRunner::Model& model);
 
+/// Full-result variant: returns the reduced ReplicationResult itself so
+/// callers can also read farm-merged LogHistograms (observed via
+/// `sink.ObserveHistogram`).  The reduction runs in replication order, so
+/// scalars *and* histograms are bit-identical at any thread count.
+desp::ReplicationResult ReplicateResult(
+    const RunOptions& options, uint64_t base_seed,
+    const desp::ReplicationRunner::Model& model);
+
+/// One Estimate per scalar metric of a reduced result.
+std::map<std::string, Estimate> EstimatesOf(
+    const desp::ReplicationResult& result);
+
 /// mean + 95 % half-width of a tally (0 half-width below 2 observations).
 Estimate EstimateOf(const desp::Tally& tally);
 
@@ -120,6 +132,28 @@ class FigureReport {
 
   void AddPoint(const std::string& x, const Estimate& bench,
                 const Estimate& sim, double paper_bench, double paper_sim);
+
+  /// Renders to stdout (aligned text or CSV per options).
+  void Print(const RunOptions& options) const;
+
+ private:
+  std::string title_;
+  util::TextTable table_;
+};
+
+/// Tail-latency table: one row per point with the end-to-end p50 / p95 /
+/// p99 / p999 (and max) of a farm-merged LogHistogram.  Every row's
+/// percentiles are also recorded into BENCH_<name>.json under `title` as
+/// series p50/p95/p99/p999/max, so the latency trajectory is tracked
+/// alongside the mean-I/O one.  Percentiles come from the merged
+/// distribution (bucket-exact reduction), not from averaging
+/// per-replication percentiles — and are therefore bit-identical at any
+/// farm thread count.
+class LatencyReport {
+ public:
+  LatencyReport(std::string title, std::string x_label);
+
+  void AddPoint(const std::string& x, const desp::LogHistogram& histogram);
 
   /// Renders to stdout (aligned text or CSV per options).
   void Print(const RunOptions& options) const;

@@ -1,0 +1,22 @@
+/// \file profile_tool.hpp
+/// \brief The `voodb profile <scenario>` subcommand.
+///
+///   voodb profile fig08 [--transactions=N] [--seed=N] [--set k=v ...]
+///       runs one fixed-seed simulation of the scenario's base
+///       configuration with the observability layer attached and prints
+///       the per-actor simulated-time breakdown (where does simulated
+///       time go: transaction manager, I/O subsystem, lock waits, ...),
+///       the end-to-end response-time percentiles, and the full metric
+///       snapshot.  It also writes
+///         * a Chrome-trace timeline (load in chrome://tracing or Perfetto)
+///         * the metric snapshot as JSON
+///       unless the respective --trace/--metrics flag is "off".
+#pragma once
+
+namespace voodb::bench {
+
+/// Entry point for `voodb profile ...`; `argv` starts after the
+/// "profile" word.  Returns a process exit code.
+int RunProfileCommand(int argc, const char* const* argv);
+
+}  // namespace voodb::bench

@@ -40,15 +40,32 @@ double RunEmulator(TargetSystem system, const ocb::ObjectBase& base,
   return static_cast<double>(texas.RunTransactions(gen, transactions).total_ios);
 }
 
-double RunSimulation(const core::VoodbConfig& sim_config,
-                     const ocb::ObjectBase& base, uint64_t transactions,
-                     uint64_t seed, desp::EventQueueKind event_queue) {
+core::PhaseMetrics RunSimulation(const core::VoodbConfig& sim_config,
+                                 const ocb::ObjectBase& base,
+                                 uint64_t transactions, uint64_t seed,
+                                 desp::EventQueueKind event_queue) {
   core::VoodbConfig cfg = sim_config;
   cfg.event_queue = event_queue;
   core::VoodbSystem sys(cfg, &base, nullptr, seed);
   ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed).Derive(1));
-  return static_cast<double>(
-      sys.RunTransactions(gen, transactions).total_ios);
+  return sys.RunTransactions(gen, transactions);
+}
+
+/// One replicated simulation series: the headline scalar (total I/Os)
+/// plus the end-to-end latency distributions, farm-merged.
+desp::ReplicationResult ReplicateSimulation(
+    const RunOptions& options, const core::VoodbConfig& sim_config,
+    const ocb::ObjectBase& base) {
+  return ReplicateResult(
+      options, options.seed ^ 0x5151,
+      [&](uint64_t seed, desp::MetricSink& sink) {
+        const core::PhaseMetrics m = RunSimulation(
+            sim_config, base, options.transactions, seed,
+            options.event_queue);
+        sink.Observe("value", static_cast<double>(m.total_ios));
+        sink.ObserveHistogram("response_ms", m.response_histogram);
+        sink.ObserveHistogram("disk_service_ms", m.disk_service_histogram);
+      });
 }
 
 }  // namespace
@@ -63,6 +80,8 @@ std::vector<FigurePoint> RunInstanceSweep(
   VOODB_CHECK(paper_bench.size() == instance_points.size());
   VOODB_CHECK(paper_sim.size() == instance_points.size());
   FigureReport report(title, "Instances");
+  LatencyReport latency(std::string(title) + " — response time (ms, sim)",
+                        "Instances");
   std::vector<FigurePoint> points;
   points.reserve(instance_points.size());
   for (size_t i = 0; i < instance_points.size(); ++i) {
@@ -75,18 +94,16 @@ std::vector<FigurePoint> RunInstanceSweep(
           return RunEmulator(system, base, memory_mb, options.transactions,
                              seed);
         });
-    const Estimate sim =
-        Replicate(options, options.seed ^ 0x5151,
-                  [&](uint64_t seed) {
-                    return RunSimulation(sim_config, base,
-                                         options.transactions, seed,
-                                         options.event_queue);
-                  });
+    const desp::ReplicationResult sim_result =
+        ReplicateSimulation(options, sim_config, base);
+    const Estimate sim = EstimateOf(sim_result.Metric("value"));
     report.AddPoint(std::to_string(no), bench, sim, paper_bench[i],
                     paper_sim[i]);
+    latency.AddPoint(std::to_string(no), sim_result.Histogram("response_ms"));
     points.push_back({std::to_string(no), bench, sim});
   }
   report.Print(options);
+  latency.Print(options);
   return points;
 }
 
@@ -99,9 +116,11 @@ std::vector<FigurePoint> RunMemorySweep(
   VOODB_CHECK(paper_bench.size() == memory_points.size());
   VOODB_CHECK(paper_sim.size() == memory_points.size());
   const ocb::ObjectBase base = ocb::ObjectBase::Generate(workload);
-  FigureReport report(title, system == TargetSystem::kO2
-                                 ? "Cache (MB)"
-                                 : "Memory (MB)");
+  const char* x_label =
+      system == TargetSystem::kO2 ? "Cache (MB)" : "Memory (MB)";
+  FigureReport report(title, x_label);
+  LatencyReport latency(std::string(title) + " — response time (ms, sim)",
+                        x_label);
   std::vector<FigurePoint> points;
   points.reserve(memory_points.size());
   for (size_t i = 0; i < memory_points.size(); ++i) {
@@ -116,18 +135,17 @@ std::vector<FigurePoint> RunMemorySweep(
         Replicate(options, options.seed, [&](uint64_t seed) {
           return RunEmulator(system, base, mb, options.transactions, seed);
         });
-    const Estimate sim =
-        Replicate(options, options.seed ^ 0x5151,
-                  [&](uint64_t seed) {
-                    return RunSimulation(sim_config, base,
-                                         options.transactions, seed,
-                                         options.event_queue);
-                  });
+    const desp::ReplicationResult sim_result =
+        ReplicateSimulation(options, sim_config, base);
+    const Estimate sim = EstimateOf(sim_result.Metric("value"));
     report.AddPoint(util::FormatDouble(mb, 0), bench, sim, paper_bench[i],
                     paper_sim[i]);
+    latency.AddPoint(util::FormatDouble(mb, 0),
+                     sim_result.Histogram("response_ms"));
     points.push_back({util::FormatDouble(mb, 0), bench, sim});
   }
   report.Print(options);
+  latency.Print(options);
   return points;
 }
 
@@ -140,6 +158,11 @@ struct DstcRun {
   double post = 0.0;
   double clusters = 0.0;
   double cluster_size = 0.0;
+  /// Transaction response-time distributions of the two usage phases
+  /// (simulation path only; the direct-execution emulator has no
+  /// simulated clock).
+  desp::LogHistogram response_pre;
+  desp::LogHistogram response_post;
   double Gain() const { return post > 0.0 ? pre / post : 0.0; }
 };
 
@@ -179,19 +202,19 @@ DstcRun DstcOnSimulation(const ocb::ObjectBase& base,
                         seed);
   ocb::WorkloadGenerator gen(&base, desp::RandomStream(seed).Derive(1));
   DstcRun run;
-  run.pre = static_cast<double>(
-      sys.RunTransactionsOfKind(gen, ocb::TransactionKind::kHierarchyTraversal,
-                                transactions)
-          .total_ios);
+  const core::PhaseMetrics pre = sys.RunTransactionsOfKind(
+      gen, ocb::TransactionKind::kHierarchyTraversal, transactions);
+  run.pre = static_cast<double>(pre.total_ios);
+  run.response_pre = pre.response_histogram;
   const core::ClusteringMetrics cm = sys.TriggerClustering();
   run.overhead = static_cast<double>(cm.overhead_ios);
   run.clusters = static_cast<double>(cm.num_clusters);
   run.cluster_size = cm.mean_cluster_size;
   sys.DropBuffer();
-  run.post = static_cast<double>(
-      sys.RunTransactionsOfKind(gen, ocb::TransactionKind::kHierarchyTraversal,
-                                transactions)
-          .total_ios);
+  const core::PhaseMetrics post = sys.RunTransactionsOfKind(
+      gen, ocb::TransactionKind::kHierarchyTraversal, transactions);
+  run.post = static_cast<double>(post.total_ios);
+  run.response_post = post.response_histogram;
   return run;
 }
 
@@ -241,14 +264,22 @@ DstcComparison RunDstcExperiment(const RunOptions& options, double memory_mb,
             DstcOnEmulator(base, memory_mb, options.transactions, seed),
             sink);
       }));
-  cmp.sim = Aggregate(ReplicateMetrics(
+  const desp::ReplicationResult sim_result = ReplicateResult(
       options, options.seed, [&](uint64_t seed, desp::MetricSink& sink) {
-        ObserveDstcRun(DstcOnSimulation(base, sim_base, options.transactions,
-                                        seed, options.event_queue),
-                       sink);
-      }));
+        const DstcRun run = DstcOnSimulation(
+            base, sim_base, options.transactions, seed, options.event_queue);
+        ObserveDstcRun(run, sink);
+        sink.ObserveHistogram("response_pre_ms", run.response_pre);
+        sink.ObserveHistogram("response_post_ms", run.response_post);
+      });
+  cmp.sim = Aggregate(EstimatesOf(sim_result));
   RecordDstcAggregate("benchmark", cmp.bench);
   RecordDstcAggregate("simulation", cmp.sim);
+  LatencyReport latency("dstc — response time (ms, sim)", "Phase");
+  latency.AddPoint("pre_clustering", sim_result.Histogram("response_pre_ms"));
+  latency.AddPoint("post_clustering",
+                   sim_result.Histogram("response_post_ms"));
+  latency.Print(options);
   return cmp;
 }
 

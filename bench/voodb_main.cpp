@@ -18,6 +18,7 @@
 
 #include "exp/scenario.hpp"
 #include "harness.hpp"
+#include "profile_tool.hpp"
 #include "scenarios.hpp"
 #include "trace_tools.hpp"
 #include "util/check.hpp"
@@ -46,9 +47,16 @@ int Usage(std::ostream& os, int code) {
         "                                 access traces: record a run,\n"
         "                                 replay it under any buffer, or\n"
         "                                 compute its exact LRU hit-ratio\n"
-        "                                 curve in one pass\n\n"
+        "                                 curve in one pass\n"
+        "  voodb profile <scenario> [--set name=value ...] [flags]\n"
+        "                                 profile one fixed-seed run:\n"
+        "                                 per-actor simulated-time\n"
+        "                                 breakdown, latency percentiles,\n"
+        "                                 chrome://tracing timeline and\n"
+        "                                 metric-snapshot JSON\n\n"
         "Run `voodb run <scenario> --help` for the run flags, `voodb "
-        "trace --help` for the trace workflow.\n";
+        "trace --help` for the trace workflow, `voodb profile --help` "
+        "for the profiler.\n";
   return code;
 }
 
@@ -173,6 +181,9 @@ int main(int argc, char** argv) {
     if (command == "params") return PrintParams(argc - 1, argv + 1);
     if (command == "trace") {
       return voodb::bench::RunTraceCommand(argc - 1, argv + 1);
+    }
+    if (command == "profile") {
+      return voodb::bench::RunProfileCommand(argc - 1, argv + 1);
     }
     if (command == "run") {
       if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {

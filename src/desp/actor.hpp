@@ -28,6 +28,7 @@ class Actor {
       : scheduler_(scheduler), name_(std::move(name)) {
     VOODB_CHECK_MSG(scheduler_ != nullptr,
                     "actor '" << name_ << "' needs a scheduler");
+    tag_ = scheduler_->RegisterProfileTag(name_);
   }
 
   Actor(const Actor&) = delete;
@@ -39,17 +40,23 @@ class Actor {
   /// Current simulated time.
   SimTime Now() const { return scheduler_->Now(); }
 
+  /// This actor's profiling tag (interned from its name at construction);
+  /// events scheduled through the Actor helpers are attributed to it.
+  uint16_t profile_tag() const { return tag_; }
+
  protected:
   ~Actor() = default;  // not intended for polymorphic ownership
 
   /// Schedules `action` to run `delay` time units from now.
   EventHandle After(SimTime delay, Scheduler::Action action,
                     int priority = 0) {
+    TagScope scope(scheduler_, tag_);
     return scheduler_->Schedule(delay, std::move(action), priority);
   }
 
   /// Schedules `action` at absolute time `when`.
   EventHandle At(SimTime when, Scheduler::Action action, int priority = 0) {
+    TagScope scope(scheduler_, tag_);
     return scheduler_->ScheduleAt(when, std::move(action), priority);
   }
 
@@ -62,6 +69,7 @@ class Actor {
                      Bound&&... bound) {
     static_assert(std::is_base_of_v<Actor, Self>,
                   "CallIn schedules methods of Actor subclasses");
+    TagScope scope(scheduler_, tag_);
     return scheduler_->Schedule(
         delay, BindMethod(static_cast<Self*>(this), method,
                           std::forward<Bound>(bound)...));
@@ -74,6 +82,7 @@ class Actor {
                                  Bound&&... bound) {
     static_assert(std::is_base_of_v<Actor, Self>,
                   "CallIn schedules methods of Actor subclasses");
+    TagScope scope(scheduler_, tag_);
     return scheduler_->Schedule(
         delay,
         BindMethod(static_cast<Self*>(this), method,
@@ -97,6 +106,7 @@ class Actor {
 
   Scheduler* scheduler_;
   std::string name_;
+  uint16_t tag_ = 0;
 };
 
 }  // namespace voodb::desp

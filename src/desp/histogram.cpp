@@ -1,5 +1,6 @@
 #include "desp/histogram.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -51,27 +52,59 @@ double LogHistogram::Quantile(double q) const {
   for (size_t i = 0; i < buckets_.size(); ++i) {
     const double next = cumulative + static_cast<double>(buckets_[i]);
     if (next >= target && buckets_[i] > 0) {
-      // Linear interpolation inside the bucket.
+      // Linear interpolation inside the bucket, clamped to the exact
+      // tracked extrema (interpolation alone can overshoot them inside
+      // the first/last occupied bucket, reporting e.g. p999 > max).
       const double fraction =
           (target - cumulative) / static_cast<double>(buckets_[i]);
       const double lo = BucketLower(i);
       const double hi = BucketUpper(i);
-      return lo + fraction * (hi - lo);
+      return std::min(std::max(lo + fraction * (hi - lo), tally_.min()),
+                      tally_.max());
     }
     cumulative = next;
   }
   return tally_.max();  // overflow region
 }
 
+bool LogHistogram::SameBucketing(const LogHistogram& other) const {
+  return buckets_.size() == other.buckets_.size() &&
+         log_min_ == other.log_min_ && log_max_ == other.log_max_ &&
+         buckets_per_decade_ == other.buckets_per_decade_;
+}
+
 void LogHistogram::Merge(const LogHistogram& other) {
-  VOODB_CHECK_MSG(buckets_.size() == other.buckets_.size() &&
-                      log_min_ == other.log_min_ &&
-                      buckets_per_decade_ == other.buckets_per_decade_,
-                  "histograms must share bucketing to merge");
+  VOODB_CHECK_MSG(
+      SameBucketing(other),
+      "cannot merge histograms with different bucketing: this has "
+          << buckets_.size() << " buckets over [10^" << log_min_ << ", 10^"
+          << log_max_ << "] at " << buckets_per_decade_
+          << "/decade, other has " << other.buckets_.size()
+          << " buckets over [10^" << other.log_min_ << ", 10^"
+          << other.log_max_ << "] at " << other.buckets_per_decade_
+          << "/decade");
   for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
   underflow_ += other.underflow_;
   overflow_ += other.overflow_;
   tally_.Merge(other.tally_);
+}
+
+LogHistogram LogHistogram::DeltaSince(const LogHistogram& start) const {
+  VOODB_CHECK_MSG(SameBucketing(start),
+                  "DeltaSince needs a snapshot of this same histogram");
+  LogHistogram delta = *this;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    VOODB_CHECK_MSG(buckets_[i] >= start.buckets_[i],
+                    "DeltaSince start must be an earlier snapshot");
+    delta.buckets_[i] = buckets_[i] - start.buckets_[i];
+  }
+  VOODB_CHECK_MSG(
+      underflow_ >= start.underflow_ && overflow_ >= start.overflow_,
+      "DeltaSince start must be an earlier snapshot");
+  delta.underflow_ = underflow_ - start.underflow_;
+  delta.overflow_ = overflow_ - start.overflow_;
+  delta.tally_ = tally_.DeltaSince(start.tally_);
+  return delta;
 }
 
 }  // namespace voodb::desp

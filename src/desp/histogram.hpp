@@ -37,11 +37,25 @@ class LogHistogram {
   double min() const { return tally_.min(); }
   double max() const { return tally_.max(); }
   double stddev() const { return tally_.stddev(); }
+  double sum() const { return tally_.sum(); }
   uint64_t underflow() const { return underflow_; }
   uint64_t overflow() const { return overflow_; }
+  const Tally& tally() const { return tally_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
 
-  /// Merges another histogram with identical bucketing.
+  /// True when `other` uses the same bucket edges (mergeable/subtractable).
+  bool SameBucketing(const LogHistogram& other) const;
+
+  /// Merges another histogram with identical bucketing: buckets,
+  /// underflow/overflow, and the exact moments (`Tally`) all combine, so
+  /// merging is usable as a deterministic parallel reduction.
   void Merge(const LogHistogram& other);
+
+  /// Observations recorded since `start` was snapshotted from this same
+  /// histogram: bucket counts, underflow/overflow, count, mean, and
+  /// variance are exact; min/max report run-cumulative extrema (see
+  /// `Tally::DeltaSince`).
+  LogHistogram DeltaSince(const LogHistogram& start) const;
 
  private:
   double BucketLower(size_t index) const;

@@ -31,6 +31,7 @@ EventHandle Scheduler::ScheduleAt(SimTime when, Action action, int priority) {
   record.action = std::move(action);
   record.cancelled = false;
   record.in_queue = true;
+  record.tag = current_tag_;
   queue_->Push(QueuedEvent{record.key, slot});
   ++pending_;
   EventHandle handle;
@@ -38,6 +39,15 @@ EventHandle Scheduler::ScheduleAt(SimTime when, Action action, int priority) {
   handle.slot_ = slot;
   handle.generation_ = record.generation;
   return handle;
+}
+
+uint16_t Scheduler::RegisterProfileTag(const std::string& name) {
+  for (size_t i = 0; i < tag_names_.size(); ++i) {
+    if (tag_names_[i] == name) return static_cast<uint16_t>(i);
+  }
+  VOODB_CHECK_MSG(tag_names_.size() < UINT16_MAX, "profile tag space exhausted");
+  tag_names_.push_back(name);
+  return static_cast<uint16_t>(tag_names_.size() - 1);
 }
 
 bool Scheduler::IsPending(uint32_t slot, uint32_t generation) const {
@@ -121,10 +131,14 @@ bool Scheduler::Step() {
       continue;
     }
     --pending_;
+    const SimTime advance = event.key.time - now_;
     now_ = event.key.time;
+    const uint16_t tag = record.tag;
+    current_tag_ = tag;  // events scheduled by the action inherit it
     Action action = std::move(record.action);
     FreeSlot(event.slot);  // the action may recycle the slot immediately
     if (trace_ != nullptr) trace_(trace_ctx_, event.key);
+    if (profile_ != nullptr) profile_(profile_ctx_, tag, now_, advance);
     ++executed_;
     action();
     return true;

@@ -34,6 +34,26 @@ void Tally::Merge(const Tally& other) {
   max_ = std::max(max_, other.max_);
 }
 
+Tally Tally::DeltaSince(const Tally& start) const {
+  VOODB_CHECK_MSG(count_ >= start.count_,
+                  "DeltaSince start must be an earlier snapshot (start count "
+                      << start.count_ << " > current " << count_ << ")");
+  if (start.count_ == 0) return *this;
+  Tally delta;
+  delta.count_ = count_ - start.count_;
+  if (delta.count_ == 0) return delta;
+  const double na = static_cast<double>(start.count_);
+  const double nb = static_cast<double>(delta.count_);
+  const double n = static_cast<double>(count_);
+  delta.mean_ = (mean_ * n - start.mean_ * na) / nb;
+  const double shift = delta.mean_ - start.mean_;
+  delta.m2_ = m2_ - start.m2_ - shift * shift * na * nb / n;
+  if (delta.m2_ < 0.0) delta.m2_ = 0.0;  // FP cancellation guard
+  delta.min_ = min_;
+  delta.max_ = max_;
+  return delta;
+}
+
 double Tally::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

@@ -24,6 +24,12 @@ class Tally {
   /// Merges another tally into this one (parallel-combinable Welford).
   void Merge(const Tally& other);
 
+  /// Observations recorded since `start` was snapshotted from this same
+  /// tally (inverse of Merge on Chan's combining formula): count, sum, and
+  /// variance are exact up to floating-point noise.  Phase extrema are not
+  /// recoverable from moments, so min/max report the run-cumulative values.
+  Tally DeltaSince(const Tally& start) const;
+
   uint64_t count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : mean_; }
   /// Sample variance (n-1 denominator); 0 when fewer than two observations.

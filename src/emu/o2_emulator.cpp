@@ -1,5 +1,6 @@
 #include "emu/o2_emulator.hpp"
 
+#include "obs/metrics.hpp"
 #include "trace/counters.hpp"
 #include "util/check.hpp"
 
@@ -84,6 +85,13 @@ void O2Emulator::AccessObject(ocb::Oid oid, bool write) {
       }
     }
   }
+}
+
+
+void O2Emulator::RegisterMetrics(obs::MetricRegistry& registry) const {
+  registry.RegisterCounter("emu.reads", &reads_);
+  registry.RegisterCounter("emu.writes", &writes_);
+  registry.RegisterCounter("emu.accesses", &accesses_);
 }
 
 }  // namespace voodb::emu

@@ -22,6 +22,10 @@
 #include "trace/recorder.hpp"
 #include "voodb/metrics.hpp"
 
+namespace voodb::obs {
+class MetricRegistry;
+}  // namespace voodb::obs
+
 namespace voodb::emu {
 
 /// Configuration of the emulated O2 server.
@@ -60,6 +64,9 @@ class O2Emulator {
   /// Database size on disk.
   uint64_t NumPages() const { return placement_.NumPages(); }
   const storage::BufferManager& cache() const { return *cache_; }
+
+  /// Registers the emulator counters with `registry` (obs subsystem).
+  void RegisterMetrics(obs::MetricRegistry& registry) const;
 
  private:
   core::PhaseMetrics Drive(ocb::WorkloadSource& workload,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace voodb::emu {
@@ -167,6 +168,13 @@ TexasClusteringMetrics TexasEmulator::PerformClustering() {
 
 void TexasEmulator::RebuildAdjacency() {
   adjacency_.Rebuild(*base_, *placement_);
+}
+
+
+void TexasEmulator::RegisterMetrics(obs::MetricRegistry& registry) const {
+  registry.RegisterCounter("emu.reads", &reads_);
+  registry.RegisterCounter("emu.writes", &writes_);
+  registry.RegisterCounter("emu.accesses", &accesses_);
 }
 
 }  // namespace voodb::emu

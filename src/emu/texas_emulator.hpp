@@ -31,6 +31,10 @@
 #include "trace/recorder.hpp"
 #include "voodb/metrics.hpp"
 
+namespace voodb::obs {
+class MetricRegistry;
+}  // namespace voodb::obs
+
 namespace voodb::emu {
 
 /// Configuration of the emulated Texas store.
@@ -95,6 +99,9 @@ class TexasEmulator {
   uint64_t NumPages() const { return placement_->NumPages(); }
   const storage::VirtualMemoryModel& vm() const { return *vm_; }
   const cluster::ClusteringPolicy* policy() const { return policy_.get(); }
+
+  /// Registers the emulator counters with `registry` (obs subsystem).
+  void RegisterMetrics(obs::MetricRegistry& registry) const;
 
  private:
   core::PhaseMetrics Drive(ocb::WorkloadSource& workload,

@@ -67,6 +67,12 @@ class ReplicationFarm {
   static desp::ReplicationResult Reduce(
       const std::vector<std::map<std::string, double>>& per_replication);
 
+  /// As above, but reduces full sinks: scalar observations into tallies and
+  /// histogram observations into merged histograms, both in replication
+  /// order (slot i = replication i), so thread count never matters.
+  static desp::ReplicationResult Reduce(
+      const std::vector<desp::MetricSink>& per_replication);
+
   const FarmOptions& options() const { return options_; }
 
  private:

@@ -91,6 +91,11 @@ ScenarioResult RunScenario(const Scenario& scenario,
                   "parameter 'trace_record' records one system per "
                   "replication into the same trace_path; record a single "
                   "fixed-seed run with `voodb trace record` instead");
+  VOODB_CHECK_MSG(
+      ctx.config.system.profile_path.empty() || options.replications <= 1,
+      "parameter 'profile_path' writes one Chrome trace per replication "
+      "into the same file; profile a single fixed-seed run with "
+      "`voodb profile` instead");
   ctx.config.system.Validate();
   ctx.config.workload.Validate();
   return scenario.run(ctx);

@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+#include <utility>
+
+#include "exp/report.hpp"
+#include "util/check.hpp"
+
+namespace voodb::obs {
+
+void MetricSnapshot::Merge(const MetricSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, tally] : other.gauges) gauges[name].Merge(tally);
+  for (const auto& [name, histogram] : other.histograms) {
+    const auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, histogram);
+    } else {
+      it->second.Merge(histogram);
+    }
+  }
+}
+
+std::string MetricSnapshot::ToJson() const {
+  exp::JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) w.Key(name).Value(value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, tally] : gauges) {
+    w.Key(name).BeginObject();
+    w.Key("mean").Value(tally.mean());
+    w.Key("min").Value(tally.min());
+    w.Key("max").Value(tally.max());
+    w.Key("count").Value(tally.count());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").Value(histogram.count());
+    w.Key("mean").Value(histogram.mean());
+    w.Key("min").Value(histogram.min());
+    w.Key("max").Value(histogram.max());
+    if (histogram.count() > 0) {
+      w.Key("p50").Value(histogram.Quantile(0.5));
+      w.Key("p95").Value(histogram.Quantile(0.95));
+      w.Key("p99").Value(histogram.Quantile(0.99));
+      w.Key("p999").Value(histogram.Quantile(0.999));
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+void MetricRegistry::RegisterCounter(const std::string& name,
+                                     const uint64_t* cell) {
+  VOODB_CHECK_MSG(cell != nullptr, "counter '" << name << "' needs a cell");
+  VOODB_CHECK_MSG(counters_.emplace(name, cell).second,
+                  "metric '" << name << "' registered twice");
+  VOODB_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+                  "metric '" << name << "' registered with two kinds");
+}
+
+void MetricRegistry::RegisterGauge(const std::string& name,
+                                   std::function<double()> probe) {
+  VOODB_CHECK_MSG(static_cast<bool>(probe),
+                  "gauge '" << name << "' needs a probe");
+  VOODB_CHECK_MSG(gauges_.emplace(name, std::move(probe)).second,
+                  "metric '" << name << "' registered twice");
+  VOODB_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+                  "metric '" << name << "' registered with two kinds");
+}
+
+void MetricRegistry::RegisterHistogram(const std::string& name,
+                                       const desp::LogHistogram* histogram) {
+  VOODB_CHECK_MSG(histogram != nullptr,
+                  "histogram '" << name << "' needs a cell");
+  VOODB_CHECK_MSG(histograms_.emplace(name, histogram).second,
+                  "metric '" << name << "' registered twice");
+  VOODB_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+                  "metric '" << name << "' registered with two kinds");
+}
+
+MetricSnapshot MetricRegistry::Snapshot() const {
+  MetricSnapshot snapshot;
+  for (const auto& [name, cell] : counters_) snapshot.counters[name] = *cell;
+  for (const auto& [name, probe] : gauges_) snapshot.gauges[name].Add(probe());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, *histogram);
+  }
+  return snapshot;
+}
+
+}  // namespace voodb::obs

@@ -1,0 +1,76 @@
+/// \file metrics.hpp
+/// \brief Run-wide metric registry: named counters, gauges, and histograms.
+///
+/// Observability without touching the hot path: actors keep updating their
+/// own plain member counters and `desp::LogHistogram`s exactly as before
+/// (an inline `++member` — no hashing, no indirection, no allocation), and
+/// merely *register* pointers to those cells here at construction time.
+/// A `Snapshot()` then reads every registered cell at once, producing a
+/// deterministic, name-sorted view that can be merged across replications
+/// bit-identically (counters add exactly, gauges combine through
+/// `desp::Tally::Merge`, histograms through `desp::LogHistogram::Merge`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "desp/histogram.hpp"
+#include "desp/stats.hpp"
+
+namespace voodb::obs {
+
+/// A deterministic point-in-time view of every registered metric.
+///
+/// Merging snapshots from independent replications is order-deterministic:
+/// the maps iterate in name order and each value type has an exact (or
+/// parallel-combinable) merge, so reducing N snapshots in replication order
+/// yields bit-identical results at any thread count.
+struct MetricSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, desp::Tally> gauges;  ///< one observation per snapshot
+  std::map<std::string, desp::LogHistogram> histograms;
+
+  /// Folds `other` into this snapshot (counters add, gauges and histograms
+  /// merge).  Metric sets need not match; missing entries are inserted.
+  void Merge(const MetricSnapshot& other);
+
+  /// Serializes the snapshot as a JSON object: counters as integers,
+  /// gauges as {mean, min, max, count}, histograms as
+  /// {count, mean, min, max, p50, p95, p99, p999}.
+  std::string ToJson() const;
+};
+
+/// Registry of named metric handles.
+///
+/// Registration stores *pointers* into the owning actor; the actor's update
+/// path is untouched (zero overhead).  Cells must outlive the registry use:
+/// actors and the registry share the owning system's lifetime.
+class MetricRegistry {
+ public:
+  /// Registers a monotonic counter read through `cell`.
+  void RegisterCounter(const std::string& name, const uint64_t* cell);
+
+  /// Registers a gauge sampled by calling `probe` at snapshot time (for
+  /// derived or non-integer values: utilizations, ratios, clock readings).
+  void RegisterGauge(const std::string& name, std::function<double()> probe);
+
+  /// Registers a full distribution read through `histogram`.
+  void RegisterHistogram(const std::string& name,
+                         const desp::LogHistogram* histogram);
+
+  /// Reads every registered cell; deterministic (name-sorted) contents.
+  MetricSnapshot Snapshot() const;
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, const uint64_t*> counters_;
+  std::map<std::string, std::function<double()>> gauges_;
+  std::map<std::string, const desp::LogHistogram*> histograms_;
+};
+
+}  // namespace voodb::obs

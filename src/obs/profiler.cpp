@@ -1,0 +1,131 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+
+#include "exp/report.hpp"
+#include "util/check.hpp"
+
+namespace voodb::obs {
+
+SimProfiler::SimProfiler(bool capture_spans, size_t max_spans)
+    : capture_spans_(capture_spans), max_spans_(max_spans) {}
+
+void SimProfiler::Attach(desp::Scheduler* scheduler) {
+  VOODB_CHECK_MSG(scheduler != nullptr, "profiler needs a scheduler");
+  scheduler_ = scheduler;
+  scheduler_->SetProfileHook(&SimProfiler::Hook, this);
+}
+
+void SimProfiler::Detach() {
+  if (scheduler_ != nullptr) scheduler_->SetProfileHook(nullptr, nullptr);
+}
+
+void SimProfiler::Hook(void* ctx, uint16_t tag, desp::SimTime now,
+                       desp::SimTime advance) {
+  static_cast<SimProfiler*>(ctx)->Record(tag, now, advance);
+}
+
+void SimProfiler::Record(uint16_t tag, desp::SimTime now,
+                         desp::SimTime advance) {
+  if (tag >= events_.size()) {
+    events_.resize(tag + 1, 0);
+    sim_time_.resize(tag + 1, 0.0);
+  }
+  ++events_[tag];
+  sim_time_[tag] += advance;
+  ++total_events_;
+  total_sim_time_ += advance;
+  if (capture_spans_) {
+    if (spans_.size() < max_spans_) {
+      spans_.push_back(Span{now - advance, advance, tag});
+    } else {
+      ++dropped_spans_;
+    }
+  }
+}
+
+std::vector<SimProfiler::TagStat> SimProfiler::Stats() const {
+  VOODB_CHECK_MSG(scheduler_ != nullptr, "profiler was never attached");
+  const std::vector<std::string>& names = scheduler_->profile_tag_names();
+  std::vector<TagStat> stats;
+  for (size_t tag = 0; tag < events_.size(); ++tag) {
+    if (events_[tag] == 0) continue;
+    TagStat stat;
+    stat.name = tag < names.size() ? names[tag] : "unknown";
+    stat.events = events_[tag];
+    stat.sim_time = sim_time_[tag];
+    stats.push_back(std::move(stat));
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const TagStat& a, const TagStat& b) {
+              if (a.sim_time != b.sim_time) return a.sim_time > b.sim_time;
+              return a.name < b.name;
+            });
+  return stats;
+}
+
+util::TextTable SimProfiler::Table() const {
+  util::TextTable table(
+      {"Actor", "Events", "Events %", "Sim time (ms)", "Time %"});
+  for (const TagStat& stat : Stats()) {
+    const double event_share =
+        total_events_ == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(stat.events) /
+                  static_cast<double>(total_events_);
+    const double time_share =
+        total_sim_time_ <= 0.0 ? 0.0 : 100.0 * stat.sim_time / total_sim_time_;
+    table.AddRow({stat.name, std::to_string(stat.events),
+                  util::FormatDouble(event_share, 1),
+                  util::FormatDouble(stat.sim_time, 3),
+                  util::FormatDouble(time_share, 1)});
+  }
+  return table;
+}
+
+std::string SimProfiler::ChromeTraceJson() const {
+  VOODB_CHECK_MSG(scheduler_ != nullptr, "profiler was never attached");
+  const std::vector<std::string>& names = scheduler_->profile_tag_names();
+  exp::JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+  for (size_t tag = 0; tag < events_.size(); ++tag) {
+    if (events_[tag] == 0) continue;
+    w.BeginObject();
+    w.Key("ph").Value("M");
+    w.Key("name").Value("thread_name");
+    w.Key("pid").Value(1);
+    w.Key("tid").Value(static_cast<uint64_t>(tag));
+    w.Key("args").BeginObject();
+    w.Key("name").Value(tag < names.size() ? names[tag] : "unknown");
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const Span& span : spans_) {
+    w.BeginObject();
+    w.Key("ph").Value("X");
+    w.Key("name").Value(span.tag < names.size() ? names[span.tag]
+                                                : "unknown");
+    w.Key("pid").Value(1);
+    w.Key("tid").Value(static_cast<uint64_t>(span.tag));
+    // Simulated milliseconds emitted as trace microseconds.
+    w.Key("ts").Value(span.start * 1000.0);
+    w.Key("dur").Value(span.duration * 1000.0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("otherData").BeginObject();
+  w.Key("total_events").Value(total_events_);
+  w.Key("total_sim_time_ms").Value(total_sim_time_);
+  w.Key("dropped_spans").Value(dropped_spans_);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+void SimProfiler::WriteChromeTrace(const std::string& path) const {
+  exp::WriteFile(path, ChromeTraceJson());
+}
+
+}  // namespace voodb::obs

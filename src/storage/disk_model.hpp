@@ -48,6 +48,12 @@ class DiskModel {
   /// Accesses that were contiguous and skipped the search time.
   uint64_t sequential_hits() const { return sequential_hits_; }
 
+  /// Stable counter addresses for metric registration (obs subsystem);
+  /// valid for the model's lifetime.
+  const uint64_t* reads_cell() const { return &reads_; }
+  const uint64_t* writes_cell() const { return &writes_; }
+  const uint64_t* sequential_hits_cell() const { return &sequential_hits_; }
+
   const DiskParameters& params() const { return params_; }
 
  private:

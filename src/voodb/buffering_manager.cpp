@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "trace/counters.hpp"
 #include "util/check.hpp"
 
@@ -122,6 +123,17 @@ void BufferingManagerActor::Drop() {
   } else {
     buffer_->DropAll();
   }
+}
+
+
+void BufferingManagerActor::RegisterMetrics(
+    obs::MetricRegistry& registry) const {
+  registry.RegisterCounter("buffer.requests", &requests_);
+  registry.RegisterCounter("buffer.hits", &hits_);
+  registry.RegisterGauge("buffer.hit_rate", [this] { return HitRate(); });
+  registry.RegisterGauge("buffer.dirty_pages", [this] {
+    return static_cast<double>(DirtyPages());
+  });
 }
 
 }  // namespace voodb::core

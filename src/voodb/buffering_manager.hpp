@@ -22,6 +22,10 @@
 #include "voodb/io_subsystem.hpp"
 #include "voodb/object_manager.hpp"
 
+namespace voodb::obs {
+class MetricRegistry;
+}  // namespace voodb::obs
+
 namespace voodb::core {
 
 /// The Buffering Manager actor.
@@ -82,6 +86,9 @@ class BufferingManagerActor : public desp::Actor {
                : static_cast<double>(hits_) / static_cast<double>(requests_);
   }
   bool uses_virtual_memory() const { return vm_ != nullptr; }
+
+  /// Registers the buffer counters and derived gauges with `registry`.
+  void RegisterMetrics(obs::MetricRegistry& registry) const;
 
  private:
   void AccessSpanStep(storage::PageSpan span, uint32_t index, bool write,

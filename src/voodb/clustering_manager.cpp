@@ -3,6 +3,7 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace voodb::core {
@@ -82,6 +83,13 @@ void ClusteringManagerActor::PerformClustering(
                  metrics.duration_ms = Now() - started;
                  done(metrics);
                });
+}
+
+
+void ClusteringManagerActor::RegisterMetrics(
+    obs::MetricRegistry& registry) const {
+  registry.RegisterCounter("cluster.overhead_ios", &total_overhead_ios_);
+  registry.RegisterCounter("cluster.reorganizations", &reorganizations_);
 }
 
 }  // namespace voodb::core

@@ -24,6 +24,10 @@
 #include "voodb/metrics.hpp"
 #include "voodb/object_manager.hpp"
 
+namespace voodb::obs {
+class MetricRegistry;
+}  // namespace voodb::obs
+
 namespace voodb::core {
 
 /// The Clustering Manager actor.
@@ -53,6 +57,9 @@ class ClusteringManagerActor : public desp::Actor {
   /// Totals across all reorganizations so far.
   uint64_t total_overhead_ios() const { return total_overhead_ios_; }
   uint64_t reorganizations() const { return reorganizations_; }
+
+  /// Registers the reorganization counters with `registry`.
+  void RegisterMetrics(obs::MetricRegistry& registry) const;
 
  private:
   std::unique_ptr<cluster::ClusteringPolicy> policy_;

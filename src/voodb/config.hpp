@@ -142,6 +142,16 @@ struct VoodbConfig {
   /// `workload_source = trace`.
   std::string trace_path;
 
+  // --- Observability (obs subsystem) ----------------------------------------
+  /// Attach the simulation-time profiler: per-actor attribution of
+  /// simulated time and event counts (`voodb profile` sets this).  Off by
+  /// default — the disabled scheduler hook costs one branch per event.
+  bool observe = false;
+  /// Chrome-trace (chrome://tracing) JSON output path; non-empty implies
+  /// `observe` and enables span capture.  Per system instance like
+  /// trace_path, so profile single fixed-seed runs (`voodb profile`).
+  std::string profile_path;
+
   void Validate() const;
 };
 

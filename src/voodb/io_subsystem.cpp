@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace voodb::core {
@@ -35,6 +36,7 @@ void IoSubsystemActor::ExecuteNext(
     // Service time is computed at grant time so the head position
     // reflects the actual execution order under contention.
     const double service = disk_model_.IoTime((*ios)[index]) + FaultPenalty();
+    service_histogram_.Add(service);
     CallIn(service, &IoSubsystemActor::FinishIo, std::move(ios), index,
            std::move(done));
   });
@@ -75,6 +77,17 @@ double IoSubsystemActor::FaultPenalty() {
     penalty += retry_penalty_ms_;
   }
   return penalty;
+}
+
+void IoSubsystemActor::RegisterMetrics(obs::MetricRegistry& registry) const {
+  registry.RegisterCounter("io.reads", disk_model_.reads_cell());
+  registry.RegisterCounter("io.writes", disk_model_.writes_cell());
+  registry.RegisterCounter("io.sequential_hits",
+                           disk_model_.sequential_hits_cell());
+  registry.RegisterCounter("io.transient_faults", &transient_faults_);
+  registry.RegisterHistogram("io.service_ms", &service_histogram_);
+  registry.RegisterGauge("io.disk_utilization",
+                         [this] { return DiskUtilization(); });
 }
 
 }  // namespace voodb::core

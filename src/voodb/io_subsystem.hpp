@@ -14,11 +14,16 @@
 #include <vector>
 
 #include "desp/actor.hpp"
+#include "desp/histogram.hpp"
 #include "desp/random.hpp"
 #include "desp/resource.hpp"
 #include "desp/scheduler.hpp"
 #include "storage/disk_model.hpp"
 #include "storage/page.hpp"
+
+namespace voodb::obs {
+class MetricRegistry;
+}  // namespace voodb::obs
 
 namespace voodb::core {
 
@@ -51,6 +56,15 @@ class IoSubsystemActor : public desp::Actor {
   uint64_t transient_faults() const { return transient_faults_; }
   double DiskUtilization() const { return disk_.Utilization(); }
   const storage::DiskModel& disk_model() const { return disk_model_; }
+  /// Full per-I/O service-time distribution (ms, fault penalties
+  /// included) since construction.
+  const desp::LogHistogram& service_histogram() const {
+    return service_histogram_;
+  }
+
+  /// Registers the disk counters and service-time histogram with
+  /// `registry`.
+  void RegisterMetrics(obs::MetricRegistry& registry) const;
 
  private:
   void ExecuteNext(std::shared_ptr<std::vector<storage::PageIo>> ios,
@@ -68,6 +82,7 @@ class IoSubsystemActor : public desp::Actor {
   uint32_t max_retries_ = 0;
   uint64_t transient_faults_ = 0;
   desp::RandomStream fault_rng_{0};
+  desp::LogHistogram service_histogram_;
 };
 
 }  // namespace voodb::core

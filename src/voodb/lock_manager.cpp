@@ -4,6 +4,7 @@
 #include <ostream>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace voodb::core {
@@ -117,6 +118,7 @@ void LockManager::Acquire(uint64_t txn, ocb::Oid oid, LockMode mode,
     txn_it->second.held.push_back(oid);
     ++stats_.immediate_grants;
     stats_.wait_times.Add(0.0);
+    stats_.wait_histogram.Add(0.0);
     scheduler_->Schedule(0.0, std::move(granted));
     if (strengthened) EnforceWaitDie(oid);  // S->X may newly conflict
     return;
@@ -198,6 +200,7 @@ void LockManager::WakeWaiters(ocb::Oid oid) {
     Grant(entry, head.txn, head.mode);
     txn_it->second.held.push_back(oid);
     stats_.wait_times.Add(scheduler_->Now() - head.enqueued_at);
+    stats_.wait_histogram.Add(scheduler_->Now() - head.enqueued_at);
     scheduler_->Schedule(0.0, std::move(head.granted));
     entry.waiters.pop_front();
     granted_any = true;
@@ -269,6 +272,16 @@ bool LockManager::Holds(uint64_t txn, ocb::Oid oid, LockMode mode) const {
     return mode == LockMode::kShared || h.mode == LockMode::kExclusive;
   }
   return false;
+}
+
+
+void LockManager::RegisterMetrics(obs::MetricRegistry& registry) const {
+  registry.RegisterCounter("lock.requests", &stats_.requests);
+  registry.RegisterCounter("lock.immediate_grants", &stats_.immediate_grants);
+  registry.RegisterCounter("lock.waits", &stats_.waits);
+  registry.RegisterCounter("lock.deadlock_aborts", &stats_.deadlock_aborts);
+  registry.RegisterCounter("lock.upgrades", &stats_.upgrades);
+  registry.RegisterHistogram("lock.wait_ms", &stats_.wait_histogram);
 }
 
 }  // namespace voodb::core

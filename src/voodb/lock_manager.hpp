@@ -22,9 +22,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "desp/histogram.hpp"
 #include "desp/scheduler.hpp"
 #include "desp/stats.hpp"
 #include "ocb/types.hpp"
+
+namespace voodb::obs {
+class MetricRegistry;
+}  // namespace voodb::obs
 
 namespace voodb::core {
 
@@ -41,6 +46,9 @@ struct LockStats {
   uint64_t deadlock_aborts = 0;  ///< wait-die "die" decisions
   uint64_t upgrades = 0;       ///< S -> X upgrades
   desp::Tally wait_times;      ///< queueing time per granted request
+  /// Full wait-time distribution (ms) per granted request — immediate
+  /// grants count as 0 waits, so percentiles cover every acquisition.
+  desp::LogHistogram wait_histogram;
 };
 
 /// An object-granularity 2PL lock table.
@@ -75,6 +83,9 @@ class LockManager {
 
   const LockStats& stats() const { return stats_; }
   size_t ActiveTransactions() const { return transactions_.size(); }
+
+  /// Registers the lock counters and wait-time histogram with `registry`.
+  void RegisterMetrics(obs::MetricRegistry& registry) const;
 
   /// Writes the lock table (entries with waiters, plus every active
   /// transaction's age and held-lock count) to `os` — diagnostic aid.

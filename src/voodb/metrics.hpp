@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "desp/histogram.hpp"
+
 namespace voodb::core {
 
 /// Counters accumulated during one phase (a cold run, a hot run, or a
@@ -23,7 +25,20 @@ struct PhaseMetrics {
   uint64_t network_bytes = 0;
   double sim_time_ms = 0.0;        ///< simulated wall-clock of the phase
   double mean_response_ms = 0.0;   ///< mean transaction response time
+  /// Largest response observed (sourced from the response histogram's
+  /// tracked maximum; run-cumulative when the phase is a delta).
   double max_response_ms = 0.0;
+
+  /// Full distributions for this phase (bucket-exact deltas between the
+  /// phase-end and phase-start snapshots); mergeable across replications.
+  desp::LogHistogram response_histogram;      ///< per-transaction (ms)
+  desp::LogHistogram lock_wait_histogram;     ///< per lock grant (ms)
+  desp::LogHistogram disk_service_histogram;  ///< per physical I/O (ms)
+
+  /// Response-time percentile (ms); 0 when no transaction committed.
+  double ResponseQuantileMs(double q) const {
+    return response_histogram.Quantile(q);
+  }
 
   double HitRate() const {
     return buffer_requests == 0 ? 0.0

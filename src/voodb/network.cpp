@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace voodb::core {
@@ -25,6 +26,13 @@ void NetworkActor::Transfer(uint64_t bytes, std::function<void()> done) {
     return;
   }
   link_.AcquireFor(TransferTime(bytes), std::move(done));
+}
+
+
+void NetworkActor::RegisterMetrics(obs::MetricRegistry& registry) const {
+  registry.RegisterCounter("net.bytes", &bytes_transferred_);
+  registry.RegisterGauge("net.utilization",
+                         [this] { return link_.Utilization(); });
 }
 
 }  // namespace voodb::core

@@ -14,6 +14,10 @@
 #include "desp/resource.hpp"
 #include "desp/scheduler.hpp"
 
+namespace voodb::obs {
+class MetricRegistry;
+}  // namespace voodb::obs
+
 namespace voodb::core {
 
 /// The network actor.
@@ -30,6 +34,9 @@ class NetworkActor : public desp::Actor {
 
   uint64_t bytes_transferred() const { return bytes_transferred_; }
   bool infinite() const { return throughput_mbps_ <= 0.0; }
+
+  /// Registers the link counter and utilization gauge with `registry`.
+  void RegisterMetrics(obs::MetricRegistry& registry) const;
 
  private:
   desp::Resource link_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace voodb::core {
@@ -53,6 +54,13 @@ storage::PageIdSpan ObjectManagerActor::ReferencedPages(
   }
   VOODB_CHECK_MSG(page < adjacency_.NumPages(), "page out of range");
   return adjacency_.RowOf(page);
+}
+
+
+void ObjectManagerActor::RegisterMetrics(obs::MetricRegistry& registry) const {
+  registry.RegisterGauge("om.num_pages", [this] {
+    return static_cast<double>(NumPages());
+  });
 }
 
 }  // namespace voodb::core

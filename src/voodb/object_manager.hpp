@@ -19,6 +19,10 @@
 #include "storage/placement.hpp"
 #include "trace/recorder.hpp"
 
+namespace voodb::obs {
+class MetricRegistry;
+}  // namespace voodb::obs
+
 namespace voodb::core {
 
 /// The Object Manager actor.  It resolves OIDs synchronously (placement
@@ -69,6 +73,9 @@ class ObjectManagerActor : public desp::Actor {
   /// relocation changes the page space.  Returned as a CSR row view into
   /// the flat adjacency index (valid until the next relocation).
   storage::PageIdSpan ReferencedPages(storage::PageId page);
+
+  /// Registers the placement gauges with `registry`.
+  void RegisterMetrics(obs::MetricRegistry& registry) const;
 
  private:
   const ocb::ObjectBase* base_;

@@ -474,7 +474,7 @@ class Builder {
 #if defined(__x86_64__) && defined(__linux__)
 static_assert(sizeof(storage::DiskParameters) == 24,
               "DiskParameters changed: update the parameter registry");
-static_assert(sizeof(VoodbConfig) == 240,
+static_assert(sizeof(VoodbConfig) == 280,
               "VoodbConfig changed: update the parameter registry");
 static_assert(sizeof(ocb::OcbParameters) == 208,
               "OcbParameters changed: update the parameter registry");
@@ -598,6 +598,12 @@ ParamRegistry::ParamRegistry() {
   b.SystemString("trace_path", &VoodbConfig::trace_path,
                  "trace file path: output for trace_record, input for "
                  "workload_source=trace");
+  b.System("observe", &VoodbConfig::observe,
+           "attach the simulation-time profiler (per-actor sim-time and "
+           "event attribution)");
+  b.SystemString("profile_path", &VoodbConfig::profile_path,
+                 "Chrome-trace (chrome://tracing) output path; non-empty "
+                 "implies observe and enables span capture");
 
   // --- Disk (storage::DiskParameters) ---------------------------------------
   b.Disk("disk_search_ms", &storage::DiskParameters::search_ms,

@@ -77,9 +77,40 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
     buffering_->SetRecorder(trace_recorder_.get());
     object_manager_->SetRecorder(trace_recorder_.get());
   }
+  RegisterMetrics();
+  if (config_.observe || !config_.profile_path.empty()) {
+    // Span capture (for the Chrome trace) only when a path asks for it:
+    // the aggregate per-actor totals alone need no per-event storage.
+    profiler_ = std::make_unique<obs::SimProfiler>(
+        /*capture_spans=*/!config_.profile_path.empty());
+    profiler_->Attach(&scheduler_);
+  }
 }
 
-VoodbSystem::~VoodbSystem() { FinishTrace(); }
+VoodbSystem::~VoodbSystem() {
+  FinishTrace();
+  FinishProfile();
+}
+
+void VoodbSystem::FinishProfile() {
+  if (profiler_ == nullptr || config_.profile_path.empty()) return;
+  if (profile_written_) return;
+  profile_written_ = true;
+  profiler_->WriteChromeTrace(config_.profile_path);
+}
+
+void VoodbSystem::RegisterMetrics() {
+  tm_->RegisterMetrics(metrics_);  // also registers the lock manager
+  buffering_->RegisterMetrics(metrics_);
+  object_manager_->RegisterMetrics(metrics_);
+  clustering_->RegisterMetrics(metrics_);
+  io_->RegisterMetrics(metrics_);
+  network_->RegisterMetrics(metrics_);
+  metrics_.RegisterGauge("sim.now_ms", [this] { return scheduler_.Now(); });
+  metrics_.RegisterGauge("sim.executed_events", [this] {
+    return static_cast<double>(scheduler_.ExecutedEvents());
+  });
+}
 
 void VoodbSystem::FinishTrace() {
   if (trace_writer_ == nullptr || trace_writer_->finished()) return;
@@ -220,6 +251,11 @@ VoodbSystem::Snapshot VoodbSystem::Take() const {
   s.response_count = tm_->response_times().count();
   s.response_sum = tm_->response_times().sum();
   s.time = scheduler_.Now();
+  s.response_histogram = tm_->response_histogram();
+  if (tm_->lock_manager() != nullptr) {
+    s.lock_wait_histogram = tm_->lock_manager()->stats().wait_histogram;
+  }
+  s.disk_service_histogram = io_->service_histogram();
   return s;
 }
 
@@ -242,7 +278,16 @@ PhaseMetrics VoodbSystem::Delta(const Snapshot& before) const {
           ? 0.0
           : (after.response_sum - before.response_sum) /
                 static_cast<double>(responses);
-  m.max_response_ms = tm_->response_times().max();
+  m.response_histogram =
+      after.response_histogram.DeltaSince(before.response_histogram);
+  m.lock_wait_histogram =
+      after.lock_wait_histogram.DeltaSince(before.lock_wait_histogram);
+  m.disk_service_histogram =
+      after.disk_service_histogram.DeltaSince(before.disk_service_histogram);
+  // The histogram's tracked max is authoritative (run-cumulative: the
+  // per-bucket counts are exact deltas, min/max carry over — see
+  // desp::LogHistogram::DeltaSince).
+  m.max_response_ms = m.response_histogram.max();
   return m;
 }
 

@@ -20,6 +20,8 @@
 #include "cluster/policy.hpp"
 #include "desp/random.hpp"
 #include "desp/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "ocb/object_base.hpp"
 #include "ocb/workload.hpp"
 #include "trace/recorder.hpp"
@@ -77,6 +79,10 @@ class VoodbSystem {
   /// Empties the page buffer (cold restart between phases).
   void DropBuffer() { buffering_->Drop(); }
 
+  /// Writes the Chrome-trace timeline to `profile_path` (no-op unless a
+  /// profile path is configured); called automatically on destruction.
+  void FinishProfile();
+
   // --- component access (benches, tests) -----------------------------------
   const VoodbConfig& config() const { return config_; }
   desp::Scheduler& scheduler() { return scheduler_; }
@@ -88,6 +94,14 @@ class VoodbSystem {
   NetworkActor& network() { return *network_; }
   /// The hazard process (nullptr unless failure_mtbf_ms > 0).
   FailureInjectorActor* failure_injector() { return failures_.get(); }
+
+  // --- observability --------------------------------------------------------
+  /// Every actor's counters/gauges/histograms, registered at construction
+  /// (zero overhead on the actors' update paths — see obs::MetricRegistry).
+  const obs::MetricRegistry& metric_registry() const { return metrics_; }
+  /// The simulation-time profiler (nullptr unless `observe` or a
+  /// `profile_path` is configured).
+  obs::SimProfiler* profiler() { return profiler_.get(); }
 
  private:
   struct Snapshot {
@@ -103,11 +117,16 @@ class VoodbSystem {
     uint64_t response_count = 0;
     double response_sum = 0.0;
     double time = 0.0;
+    desp::LogHistogram response_histogram;
+    desp::LogHistogram lock_wait_histogram;
+    desp::LogHistogram disk_service_histogram;
   };
   Snapshot Take() const;
   PhaseMetrics Delta(const Snapshot& before) const;
   PhaseMetrics Drive(ocb::WorkloadSource& workload,
                      const ocb::TransactionKind* forced_kind, uint64_t n);
+  /// Builds the metric registry from every actor's cells.
+  void RegisterMetrics();
 
   VoodbConfig config_;
   const ocb::ObjectBase* base_;
@@ -120,6 +139,11 @@ class VoodbSystem {
   std::unique_ptr<ClusteringManagerActor> clustering_;
   std::unique_ptr<TransactionManagerActor> tm_;
   std::unique_ptr<FailureInjectorActor> failures_;
+
+  // --- observability (obs subsystem) ----------------------------------------
+  obs::MetricRegistry metrics_;
+  std::unique_ptr<obs::SimProfiler> profiler_;
+  bool profile_written_ = false;
 
   // --- access tracing (trace subsystem) -------------------------------------
   std::unique_ptr<trace::Writer> trace_writer_;      ///< trace_record

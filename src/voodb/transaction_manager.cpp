@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace voodb::core {
@@ -191,6 +192,18 @@ void TransactionManagerActor::Commit(std::shared_ptr<InFlight> state) {
   } else {
     finish();
   }
+}
+
+
+void TransactionManagerActor::RegisterMetrics(
+    obs::MetricRegistry& registry) const {
+  registry.RegisterCounter("txn.committed", &committed_);
+  registry.RegisterCounter("txn.object_operations", &object_operations_);
+  registry.RegisterCounter("txn.restarts", &restarts_);
+  registry.RegisterHistogram("txn.response_ms", &response_histogram_);
+  registry.RegisterGauge("txn.scheduler_utilization",
+                         [this] { return SchedulerUtilization(); });
+  if (lock_manager_ != nullptr) lock_manager_->RegisterMetrics(registry);
 }
 
 }  // namespace voodb::core

@@ -28,6 +28,10 @@
 #include "voodb/network.hpp"
 #include "voodb/object_manager.hpp"
 
+namespace voodb::obs {
+class MetricRegistry;
+}  // namespace voodb::obs
+
 namespace voodb::core {
 
 /// The Transaction Manager actor.
@@ -57,6 +61,10 @@ class TransactionManagerActor : public desp::Actor {
   double SchedulerUtilization() const { return db_scheduler_.Utilization(); }
   /// The lock manager (nullptr unless use_lock_manager).
   const LockManager* lock_manager() const { return lock_manager_.get(); }
+
+  /// Registers this actor's counters/histograms (and the lock manager's,
+  /// when enabled) with `registry` — pointer handles, no update overhead.
+  void RegisterMetrics(obs::MetricRegistry& registry) const;
 
  private:
   struct InFlight {

@@ -81,6 +81,103 @@ TEST(LogHistogram, MergeRejectsDifferentBucketing) {
   EXPECT_THROW(a.Merge(b), util::Error);
 }
 
+TEST(LogHistogram, MergeRejectsDifferentRange) {
+  // Same bucket count can arise from different ranges; the check must
+  // compare the edges, not just the vector size — and say what differed.
+  LogHistogram a(0.01, 1e6, 20);
+  LogHistogram upper(0.01, 1e8, 20);  // different log_max
+  LogHistogram lower(0.001, 1e5, 20);  // different log_min
+  try {
+    a.Merge(upper);
+    FAIL() << "expected util::Error on mismatched bucketing";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("different bucketing"),
+              std::string::npos)
+        << "message: " << e.what();
+  }
+  EXPECT_THROW(a.Merge(lower), util::Error);
+}
+
+TEST(LogHistogram, QuantileMonotoneInQ) {
+  // Property: Quantile must be non-decreasing in q on arbitrary data,
+  // including data with underflow and overflow mass.
+  RandomStream rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    LogHistogram h(0.1, 1e4, 10);
+    const int n = 10 + static_cast<int>(rng.Uniform(0.0, 500.0));
+    for (int i = 0; i < n; ++i) {
+      h.Add(rng.Exponential(std::pow(10.0, rng.Uniform(-2.0, 5.0))));
+    }
+    double previous = 0.0;
+    for (double q = 0.01; q < 1.0; q += 0.01) {
+      const double value = h.Quantile(q);
+      EXPECT_GE(value, previous) << "trial " << trial << " q " << q;
+      EXPECT_GE(value, h.min());
+      EXPECT_LE(value, h.max());
+      previous = value;
+    }
+  }
+}
+
+TEST(LogHistogram, QuantileExactAtBucketEdges) {
+  // One bucket per decade over [1, 1000]: edges at 1, 10, 100, 1000.
+  // Ten observations in [1,10) and ten in [10,100): the median falls
+  // exactly on the shared bucket edge.
+  LogHistogram h(1.0, 1000.0, 1);
+  for (int i = 0; i < 10; ++i) h.Add(5.0);
+  for (int i = 0; i < 10; ++i) h.Add(50.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  // Within the first bucket, interpolation is linear from its lower edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 5.5);
+  // A value exactly on an edge lands in the bucket it opens.
+  LogHistogram edge(1.0, 1000.0, 1);
+  edge.Add(10.0);
+  EXPECT_EQ(edge.buckets()[1], 1u);
+  EXPECT_EQ(edge.buckets()[0], 0u);
+}
+
+TEST(LogHistogram, QuantileClampedToTrackedExtrema) {
+  // Interpolation inside the last occupied bucket can overshoot the
+  // largest observation; the exact tracked max must cap it.
+  LogHistogram h(0.01, 1e8, 20);
+  RandomStream rng(13);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.Exponential(100.0));
+  EXPECT_LE(h.Quantile(0.999), h.max());
+  EXPECT_GE(h.Quantile(0.001), h.min());
+}
+
+TEST(LogHistogram, DeltaSinceIsExactOnBuckets) {
+  LogHistogram h(0.01, 1e6, 20);
+  RandomStream rng(17);
+  for (int i = 0; i < 500; ++i) h.Add(rng.Exponential(10.0));
+  const LogHistogram snapshot = h;
+  LogHistogram expected(0.01, 1e6, 20);
+  for (int i = 0; i < 700; ++i) {
+    const double v = rng.Exponential(10.0);
+    h.Add(v);
+    expected.Add(v);
+  }
+  const LogHistogram delta = h.DeltaSince(snapshot);
+  EXPECT_EQ(delta.count(), 700u);
+  EXPECT_EQ(delta.buckets(), expected.buckets());
+  EXPECT_EQ(delta.underflow(), expected.underflow());
+  EXPECT_EQ(delta.overflow(), expected.overflow());
+  EXPECT_NEAR(delta.mean(), expected.mean(), 1e-9 * expected.mean());
+  // min/max are run-cumulative by contract.
+  EXPECT_DOUBLE_EQ(delta.min(), h.min());
+  EXPECT_DOUBLE_EQ(delta.max(), h.max());
+}
+
+TEST(LogHistogram, DeltaSinceRejectsNonSnapshot) {
+  LogHistogram h(0.01, 1e6, 20);
+  h.Add(1.0);
+  LogHistogram later = h;
+  later.Add(2.0);
+  EXPECT_THROW(h.DeltaSince(later), util::Error);  // reversed order
+  LogHistogram other_bucketing(0.01, 1e6, 10);
+  EXPECT_THROW(h.DeltaSince(other_bucketing), util::Error);
+}
+
 TEST(LogHistogram, RejectsBadConstruction) {
   EXPECT_THROW(LogHistogram(0.0, 10.0, 10), util::Error);
   EXPECT_THROW(LogHistogram(10.0, 10.0, 10), util::Error);

@@ -76,12 +76,32 @@ PhaseMetrics TracedRun(desp::EventQueueKind kind, const ocb::ObjectBase& base,
   return system.RunTransactions(workload, ec.workload.hot_transactions);
 }
 
+// Bit-compare doubles (catches even sign/NaN differences).
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool BitEqual(const desp::LogHistogram& a, const desp::LogHistogram& b) {
+  return a.buckets() == b.buckets() && a.underflow() == b.underflow() &&
+         a.overflow() == b.overflow() && a.count() == b.count() &&
+         BitEqual(a.mean(), b.mean()) && BitEqual(a.stddev(), b.stddev()) &&
+         BitEqual(a.min(), b.min()) && BitEqual(a.max(), b.max());
+}
+
 bool BitEqual(const PhaseMetrics& a, const PhaseMetrics& b) {
-  // PhaseMetrics is trivially copyable POD of counters and doubles;
-  // bit-compare to catch even sign/NaN differences.
-  static_assert(std::is_trivially_copyable_v<PhaseMetrics>,
-                "memcmp comparison requires trivial copyability");
-  return std::memcmp(&a, &b, sizeof(PhaseMetrics)) == 0;
+  return a.transactions == b.transactions &&
+         a.object_accesses == b.object_accesses &&
+         a.transaction_restarts == b.transaction_restarts &&
+         a.total_ios == b.total_ios && a.reads == b.reads &&
+         a.writes == b.writes && a.buffer_hits == b.buffer_hits &&
+         a.buffer_requests == b.buffer_requests &&
+         a.network_bytes == b.network_bytes &&
+         BitEqual(a.sim_time_ms, b.sim_time_ms) &&
+         BitEqual(a.mean_response_ms, b.mean_response_ms) &&
+         BitEqual(a.max_response_ms, b.max_response_ms) &&
+         BitEqual(a.response_histogram, b.response_histogram) &&
+         BitEqual(a.lock_wait_histogram, b.lock_wait_histogram) &&
+         BitEqual(a.disk_service_histogram, b.disk_service_histogram);
 }
 
 TEST(KernelDeterminism, EventTraceIsIdenticalAcrossBackends) {

@@ -1,0 +1,330 @@
+/// \file test_obs.cpp
+/// \brief Tests for the observability layer: metric registry, snapshot
+/// merging, and the simulation-time profiler.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "desp/histogram.hpp"
+#include "desp/random.hpp"
+#include "desp/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "ocb/object_base.hpp"
+#include "ocb/workload.hpp"
+#include "util/check.hpp"
+#include "voodb/config.hpp"
+#include "voodb/experiment.hpp"
+#include "voodb/system.hpp"
+
+namespace voodb {
+namespace {
+
+// --- MetricRegistry ---------------------------------------------------------
+
+TEST(MetricRegistry, SnapshotReadsLiveCells) {
+  obs::MetricRegistry registry;
+  uint64_t counter = 0;
+  double gauge_value = 0.0;
+  desp::LogHistogram histogram;
+  registry.RegisterCounter("c", &counter);
+  registry.RegisterGauge("g", [&gauge_value] { return gauge_value; });
+  registry.RegisterHistogram("h", &histogram);
+  EXPECT_EQ(registry.size(), 3u);
+
+  counter = 42;
+  gauge_value = 2.5;
+  histogram.Add(7.0);
+  const obs::MetricSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 42u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g").mean(), 2.5);
+  EXPECT_EQ(snap.gauges.at("g").count(), 1u);
+  EXPECT_EQ(snap.histograms.at("h").count(), 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("h").max(), 7.0);
+
+  // The registry holds handles, not copies: later snapshots see updates.
+  counter = 43;
+  EXPECT_EQ(registry.Snapshot().counters.at("c"), 43u);
+}
+
+TEST(MetricRegistry, RejectsDuplicateAndNullRegistration) {
+  obs::MetricRegistry registry;
+  uint64_t cell = 0;
+  desp::LogHistogram histogram;
+  registry.RegisterCounter("name", &cell);
+  EXPECT_THROW(registry.RegisterCounter("name", &cell), util::Error);
+  // Cross-kind collisions are rejected too: one namespace for all metrics.
+  EXPECT_THROW(registry.RegisterGauge("name", [] { return 0.0; }),
+               util::Error);
+  EXPECT_THROW(registry.RegisterHistogram("name", &histogram), util::Error);
+  EXPECT_THROW(registry.RegisterCounter("null", nullptr), util::Error);
+}
+
+TEST(MetricSnapshot, MergeCombinesExactly) {
+  obs::MetricSnapshot a;
+  a.counters["c"] = 10;
+  a.gauges["g"].Add(1.0);
+  a.histograms["h"].Add(5.0);
+  obs::MetricSnapshot b;
+  b.counters["c"] = 32;
+  b.counters["only_b"] = 7;
+  b.gauges["g"].Add(3.0);
+  b.histograms["h"].Add(500.0);
+  a.Merge(b);
+  EXPECT_EQ(a.counters.at("c"), 42u);
+  EXPECT_EQ(a.counters.at("only_b"), 7u);
+  EXPECT_EQ(a.gauges.at("g").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.gauges.at("g").mean(), 2.0);
+  EXPECT_EQ(a.histograms.at("h").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histograms.at("h").min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.histograms.at("h").max(), 500.0);
+}
+
+/// Checks JSON structural sanity without a parser: non-empty, object
+/// framing, balanced braces/brackets outside string literals.
+void ExpectBalancedJson(const std::string& json) {
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (const char ch : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (ch == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (ch == '"') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) continue;
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(MetricSnapshot, ToJsonCarriesPercentiles) {
+  obs::MetricSnapshot snap;
+  snap.counters["io.reads"] = 9;
+  snap.gauges["buffer.hit_rate"].Add(0.75);
+  desp::RandomStream rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    snap.histograms["txn.response_ms"].Add(rng.Exponential(20.0));
+  }
+  const std::string json = snap.ToJson();
+  ExpectBalancedJson(json);
+  for (const char* needle :
+       {"io.reads", "buffer.hit_rate", "txn.response_ms", "\"p50\"",
+        "\"p95\"", "\"p99\"", "\"p999\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+// --- SimProfiler ------------------------------------------------------------
+
+TEST(SimProfiler, AttributesEveryDispatchAndAdvance) {
+  desp::Scheduler scheduler;
+  const uint16_t tag_a = scheduler.RegisterProfileTag("actor-a");
+  const uint16_t tag_b = scheduler.RegisterProfileTag("actor-b");
+  obs::SimProfiler profiler;
+  profiler.Attach(&scheduler);
+  {
+    desp::TagScope scope(&scheduler, tag_a);
+    scheduler.Schedule(10.0, [] {});
+    scheduler.Schedule(20.0, [] {});
+  }
+  {
+    desp::TagScope scope(&scheduler, tag_b);
+    scheduler.Schedule(25.0, [] {});
+  }
+  scheduler.Run();
+  EXPECT_EQ(profiler.total_events(), scheduler.ExecutedEvents());
+  EXPECT_DOUBLE_EQ(profiler.total_sim_time(), scheduler.Now());
+  const std::vector<obs::SimProfiler::TagStat> stats = profiler.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  // Sorted by descending sim time: a advanced 0->10->20, b 20->25.
+  EXPECT_EQ(stats[0].name, "actor-a");
+  EXPECT_EQ(stats[0].events, 2u);
+  EXPECT_DOUBLE_EQ(stats[0].sim_time, 20.0);
+  EXPECT_EQ(stats[1].name, "actor-b");
+  EXPECT_EQ(stats[1].events, 1u);
+  EXPECT_DOUBLE_EQ(stats[1].sim_time, 5.0);
+}
+
+TEST(SimProfiler, TagsInheritAcrossContinuationChains) {
+  // An event scheduled from inside a tagged action (no explicit TagScope)
+  // inherits the firing event's tag, so a continuation chain stays
+  // attributed to its originating actor.
+  desp::Scheduler scheduler;
+  const uint16_t tag = scheduler.RegisterProfileTag("originator");
+  obs::SimProfiler profiler;
+  profiler.Attach(&scheduler);
+  {
+    desp::TagScope scope(&scheduler, tag);
+    scheduler.Schedule(1.0, [&scheduler] {
+      scheduler.Schedule(2.0, [&scheduler] {
+        scheduler.Schedule(3.0, [] {});
+      });
+    });
+  }
+  scheduler.Run();
+  const std::vector<obs::SimProfiler::TagStat> stats = profiler.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "originator");
+  EXPECT_EQ(stats[0].events, 3u);
+  EXPECT_DOUBLE_EQ(stats[0].sim_time, 6.0);
+}
+
+TEST(SimProfiler, DetachStopsRecording) {
+  desp::Scheduler scheduler;
+  obs::SimProfiler profiler;
+  profiler.Attach(&scheduler);
+  scheduler.Schedule(1.0, [] {});
+  scheduler.Run();
+  EXPECT_EQ(profiler.total_events(), 1u);
+  profiler.Detach();
+  scheduler.Schedule(1.0, [] {});
+  scheduler.Run();
+  EXPECT_EQ(profiler.total_events(), 1u);
+}
+
+TEST(SimProfiler, ChromeTraceIsWellFormed) {
+  desp::Scheduler scheduler;
+  const uint16_t tag = scheduler.RegisterProfileTag("worker");
+  obs::SimProfiler profiler(/*capture_spans=*/true);
+  profiler.Attach(&scheduler);
+  {
+    desp::TagScope scope(&scheduler, tag);
+    for (int i = 1; i <= 5; ++i) {
+      scheduler.Schedule(static_cast<double>(i), [] {});
+    }
+  }
+  scheduler.Run();
+  const std::string json = profiler.ChromeTraceJson();
+  ExpectBalancedJson(json);
+  for (const char* needle : {"traceEvents", "\"ph\"", "\"X\"", "worker",
+                             "displayTimeUnit"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_EQ(profiler.dropped_spans(), 0u);
+}
+
+TEST(SimProfiler, SpanCapIsCountedNotFatal) {
+  desp::Scheduler scheduler;
+  obs::SimProfiler profiler(/*capture_spans=*/true, /*max_spans=*/3);
+  profiler.Attach(&scheduler);
+  for (int i = 1; i <= 10; ++i) {
+    scheduler.Schedule(static_cast<double>(i), [] {});
+  }
+  scheduler.Run();
+  EXPECT_EQ(profiler.total_events(), 10u);  // aggregates stay exact
+  EXPECT_EQ(profiler.dropped_spans(), 7u);
+  ExpectBalancedJson(profiler.ChromeTraceJson());
+}
+
+// --- End-to-end through VoodbSystem -----------------------------------------
+
+core::ExperimentConfig SmallConfig() {
+  core::ExperimentConfig ec;
+  ec.system.page_size = 1024;
+  ec.system.buffer_pages = 16;
+  ec.workload.num_classes = 8;
+  ec.workload.num_objects = 200;
+  ec.workload.max_refs_per_class = 3;
+  ec.workload.base_instance_size = 50;
+  ec.workload.seed = 5;
+  return ec;
+}
+
+TEST(SystemObservability, RegistrySeesActorCounters) {
+  const core::ExperimentConfig ec = SmallConfig();
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(ec.workload);
+  core::VoodbSystem sys(ec.system, &base, nullptr, /*seed=*/9);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(9).Derive(1));
+  sys.RunTransactions(gen, 40);
+  const obs::MetricSnapshot snap = sys.metric_registry().Snapshot();
+  EXPECT_EQ(snap.counters.at("txn.committed"),
+            sys.transaction_manager().committed());
+  EXPECT_EQ(snap.counters.at("io.reads"), sys.io_subsystem().reads());
+  EXPECT_EQ(snap.counters.at("buffer.requests"),
+            sys.buffering_manager().requests());
+  EXPECT_EQ(snap.histograms.at("txn.response_ms").count(),
+            sys.transaction_manager().committed());
+  EXPECT_GT(snap.counters.at("io.reads"), 0u);
+  ExpectBalancedJson(snap.ToJson());
+}
+
+TEST(SystemObservability, ProfilerCoversTheWholeRun) {
+  core::ExperimentConfig ec = SmallConfig();
+  ec.system.observe = true;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(ec.workload);
+  core::VoodbSystem sys(ec.system, &base, nullptr, /*seed=*/9);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(9).Derive(1));
+  sys.RunTransactions(gen, 40);
+  ASSERT_NE(sys.profiler(), nullptr);
+  EXPECT_EQ(sys.profiler()->total_events(),
+            sys.scheduler().ExecutedEvents());
+  EXPECT_DOUBLE_EQ(sys.profiler()->total_sim_time(), sys.scheduler().Now());
+  uint64_t events = 0;
+  double sim_time = 0.0;
+  for (const obs::SimProfiler::TagStat& s : sys.profiler()->Stats()) {
+    events += s.events;
+    sim_time += s.sim_time;
+  }
+  EXPECT_EQ(events, sys.profiler()->total_events());
+  EXPECT_DOUBLE_EQ(sim_time, sys.profiler()->total_sim_time());
+}
+
+TEST(SystemObservability, ObservationDoesNotChangeResults) {
+  // Attaching the registry + profiler must not perturb the simulation:
+  // same seed with observe on and off yields identical metrics.
+  const core::ExperimentConfig ec = SmallConfig();
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(ec.workload);
+  auto run = [&](bool observe) {
+    core::VoodbConfig cfg = ec.system;
+    cfg.observe = observe;
+    core::VoodbSystem sys(cfg, &base, nullptr, /*seed=*/31);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(31).Derive(1));
+    return sys.RunTransactions(gen, 30);
+  };
+  const core::PhaseMetrics off = run(false);
+  const core::PhaseMetrics on = run(true);
+  EXPECT_EQ(on.total_ios, off.total_ios);
+  EXPECT_EQ(on.buffer_hits, off.buffer_hits);
+  EXPECT_EQ(on.mean_response_ms, off.mean_response_ms);
+  EXPECT_EQ(on.response_histogram.buckets(),
+            off.response_histogram.buckets());
+}
+
+TEST(SystemObservability, MaxResponseComesFromTheHistogram) {
+  // The PhaseMetrics percentile fix: max_response_ms is the histogram's
+  // tracked maximum and the quantiles bracket it.
+  const core::ExperimentConfig ec = SmallConfig();
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(ec.workload);
+  core::VoodbSystem sys(ec.system, &base, nullptr, /*seed=*/11);
+  ocb::WorkloadGenerator gen(&base, desp::RandomStream(11).Derive(1));
+  const core::PhaseMetrics m = sys.RunTransactions(gen, 50);
+  ASSERT_EQ(m.response_histogram.count(), 50u);
+  EXPECT_DOUBLE_EQ(m.max_response_ms, m.response_histogram.max());
+  EXPECT_GT(m.max_response_ms, 0.0);
+  EXPECT_LE(m.ResponseQuantileMs(0.5), m.ResponseQuantileMs(0.95));
+  EXPECT_LE(m.ResponseQuantileMs(0.95), m.ResponseQuantileMs(0.999));
+  EXPECT_LE(m.ResponseQuantileMs(0.999), m.max_response_ms);
+  EXPECT_GE(m.mean_response_ms, m.response_histogram.min());
+  EXPECT_LE(m.mean_response_ms, m.max_response_ms);
+}
+
+}  // namespace
+}  // namespace voodb

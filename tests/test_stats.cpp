@@ -193,5 +193,46 @@ TEST(AdditionalReplications, ClampsHugeRatiosWithoutOverflow) {
             AdditionalReplications(10, 1.0, 1e-6));
 }
 
+TEST(TallyDeltaSince, RecoversPhaseMoments) {
+  // Chan's combining formula inverted: the delta of a run-cumulative
+  // tally against an earlier snapshot reports exactly the phase's count
+  // and (to FP accuracy) its mean and variance.
+  Tally t;
+  for (double v : {3.0, 7.0, 11.0}) t.Add(v);
+  const Tally snapshot = t;
+  Tally phase;
+  for (double v : {2.0, 20.0, 8.0, 14.0}) {
+    t.Add(v);
+    phase.Add(v);
+  }
+  const Tally delta = t.DeltaSince(snapshot);
+  EXPECT_EQ(delta.count(), 4u);
+  EXPECT_NEAR(delta.mean(), phase.mean(), 1e-12);
+  EXPECT_NEAR(delta.variance(), phase.variance(), 1e-9);
+  // min/max are not recoverable from moments: run-cumulative by contract.
+  EXPECT_DOUBLE_EQ(delta.min(), 2.0);
+  EXPECT_DOUBLE_EQ(delta.max(), 20.0);
+}
+
+TEST(TallyDeltaSince, EmptyStartAndEmptyPhase) {
+  Tally t;
+  const Tally empty;
+  for (double v : {1.0, 2.0}) t.Add(v);
+  const Tally from_empty = t.DeltaSince(empty);
+  EXPECT_EQ(from_empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(from_empty.mean(), 1.5);
+  const Tally no_phase = t.DeltaSince(t);
+  EXPECT_EQ(no_phase.count(), 0u);
+  EXPECT_DOUBLE_EQ(no_phase.mean(), 0.0);
+}
+
+TEST(TallyDeltaSince, RejectsLaterSnapshot) {
+  Tally t;
+  t.Add(1.0);
+  Tally later = t;
+  later.Add(2.0);
+  EXPECT_THROW(t.DeltaSince(later), util::Error);
+}
+
 }  // namespace
 }  // namespace voodb::desp
