@@ -1,98 +1,10 @@
 /// \file bench_farm_speedup.cpp
-/// \brief Wall-clock speedup of the parallel replication farm vs the
-/// serial path on a non-trivial VOODB workload, with a bitwise identity
-/// check between the two runs.
-///
-/// The paper's protocol is ~100 replications per experiment; they are
-/// independent, so an 8-thread farm should approach 8x on 8 free cores
-/// (expect >= 3x with scheduling overhead and shared caches).  The
-/// printed numbers depend on the machine's free parallelism: on a
-/// single-core box both runs take the same time — the identity check
-/// still proves the farm is safe to use everywhere.
-#include <chrono>
-#include <iostream>
-
-#include "exp/executor.hpp"
-#include "exp/farm.hpp"
+/// \brief Thin wrapper over the "farm_speedup" catalog scenario
+/// (replication-farm wall-clock speedup with a bitwise identity check);
+/// equivalent to `voodb run farm_speedup` with the same flags, but keeps
+/// the BENCH_farm.json identity.
 #include "harness.hpp"
-#include "voodb/experiment.hpp"
-
-namespace {
-
-double WallMs(const std::function<void()>& fn) {
-  const auto start = std::chrono::steady_clock::now();
-  fn();
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace voodb;
-  using namespace voodb::bench;
-  const RunOptions options = ParseOptions(
-      argc, argv,
-      "Farm speedup — parallel vs serial replications of a VOODB "
-      "experiment (identical results, wall-clock ratio)");
-
-  core::ExperimentConfig ec;
-  ec.system.system_class = core::SystemClass::kCentralized;
-  ec.system.event_queue = options.event_queue;
-  ec.system.buffer_pages = 600;
-  ec.workload.num_classes = 20;
-  ec.workload.num_objects = 5000;
-  ec.workload.hot_transactions = static_cast<uint32_t>(options.transactions);
-  ec.replications = options.replications;
-  ec.base_seed = options.seed;
-  const ocb::ObjectBase base = ocb::ObjectBase::Generate(ec.workload);
-  const size_t threads =
-      options.threads == 0 ? 8 : options.threads;  // headline point: 8
-
-  desp::ReplicationResult serial;
-  desp::ReplicationResult parallel;
-  const double serial_ms = WallMs([&] {
-    ec.threads = 1;
-    serial = core::Experiment::RunOnBase(ec, base);
-  });
-  const double parallel_ms = WallMs([&] {
-    ec.threads = threads;
-    parallel = core::Experiment::RunOnBase(ec, base);
-  });
-
-  bool identical = serial.replications() == parallel.replications();
-  for (const std::string& name : serial.MetricNames()) {
-    const desp::Tally& a = serial.Metric(name);
-    const desp::Tally& b = parallel.Metric(name);
-    identical = identical && a.count() == b.count() && a.mean() == b.mean() &&
-                a.variance() == b.variance() && a.min() == b.min() &&
-                a.max() == b.max();
-  }
-
-  const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
-  util::TextTable table({"Path", "Threads", "Wall (ms)", "Mean I/Os"});
-  table.AddRow({"serial", "1", util::FormatDouble(serial_ms, 1),
-                util::FormatDouble(serial.Metric("total_ios").mean(), 1)});
-  table.AddRow({"farm", std::to_string(threads),
-                util::FormatDouble(parallel_ms, 1),
-                util::FormatDouble(parallel.Metric("total_ios").mean(), 1)});
-  std::cout << "== Farm speedup (" << options.replications
-            << " replications) ==\n";
-  if (options.csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
-  std::cout << "Speedup: " << util::FormatDouble(speedup, 2) << "x at "
-            << threads << " threads ("
-            << exp::ThreadPool::HardwareThreads()
-            << " hardware threads); results bitwise identical: "
-            << (identical ? "yes" : "NO — BUG") << "\n";
-
-  Estimate speedup_estimate;
-  speedup_estimate.mean = speedup;
-  RecordEstimate("farm_speedup", std::to_string(threads) + "_threads",
-                 "speedup", speedup_estimate);
-  return identical ? 0 : 1;
+  return voodb::bench::RunScenarioMain("farm_speedup", argc, argv, "farm");
 }

@@ -1,0 +1,11 @@
+/// \file bench_micro_parallel.cpp
+/// \brief Thin wrapper over the "micro_parallel" catalog scenario (the
+/// conservative parallel kernel's speedup + identity bench); equivalent
+/// to `voodb run micro_parallel` with the same flags, but keeps the
+/// legacy BENCH_parallel.json identity.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return voodb::bench::RunScenarioMain("micro_parallel", argc, argv,
+                                       "parallel");
+}

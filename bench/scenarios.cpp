@@ -6,11 +6,15 @@
 #include <utility>
 #include <vector>
 
+#include <chrono>
+
 #include "cluster/dstc.hpp"
 #include "cluster/gay_gruenwald.hpp"
 #include "desp/random.hpp"
 #include "emu/texas_emulator.hpp"
+#include "exp/executor.hpp"
 #include "harness.hpp"
+#include "micro_parallel.hpp"
 #include "micro_scheduler.hpp"
 #include "micro_storage.hpp"
 #include "micro_trace.hpp"
@@ -19,7 +23,9 @@
 #include "util/check.hpp"
 #include "util/table.hpp"
 #include "voodb/catalog.hpp"
+#include "voodb/experiment.hpp"
 #include "voodb/param_registry.hpp"
+#include "voodb/sharded.hpp"
 #include "voodb/system.hpp"
 
 namespace voodb::bench {
@@ -788,9 +794,208 @@ void RegisterAblationVmModel() {
   Register(std::move(s));
 }
 
+// --- Parallel kernel / sharding ----------------------------------------------
+
+double WallClockMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void RegisterShardScale() {
+  Scenario s;
+  s.name = "shard_scale";
+  s.title = "Sharded VOODB on the conservative parallel kernel";
+  s.description =
+      "N hash-partitioned storage-server stacks (shards) under the "
+      "conservative window protocol, swept over shards x sim_threads "
+      "with the total transaction count held constant.  Every "
+      "sim_threads > 1 cell is digest-checked against its serial "
+      "reference — the scenario FAILS on any divergence, so the "
+      "identity contract (bit-identical results at any thread count) is "
+      "enforced on every run, on every machine.  Wall-clock speedup "
+      "additionally needs free cores.  --set multi_partition_pct=... "
+      "steers the cross-shard traffic; --transactions=N is the total "
+      "workload across shards.";
+  {
+    ocb::OcbParameters wl;
+    wl.num_classes = 20;
+    wl.num_objects = 8000;
+    wl.think_time_ms = 1.0;
+    s.base.workload = wl;
+  }
+  s.base.system.system_class = core::SystemClass::kCentralized;
+  s.base.system.buffer_pages = 512;
+  s.base.system.network_throughput_mbps = 1.0;
+  s.base.system.num_users = 3;
+  s.base.system.multi_partition_pct = 0.2;
+  s.swept = {"shards", "sim_threads"};
+  s.run = [](const ScenarioContext& ctx) {
+    const RunOptions options = ToRunOptions(ctx);
+    const ocb::ObjectBase base =
+        ocb::ObjectBase::Generate(ctx.config.workload);
+    ScenarioResult result;
+    util::TextTable table({"Shards", "Threads", "Txns", "Mean I/Os",
+                           "Remote", "Windows", "Wall (ms)", "Identical"});
+    for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
+      // Total workload held constant: per-shard share of --transactions.
+      const uint64_t per_shard =
+          std::max<uint64_t>(1, options.transactions / shards);
+      core::VoodbConfig cfg = ctx.config.system;
+      cfg.shards = shards;
+      uint64_t reference_digest = 0;
+      core::PhaseMetrics reference;
+      for (const size_t threads : {1u, 2u, 4u, 8u}) {
+        if (shards == 1 && threads > 1) continue;  // no partitions to farm
+        core::PhaseMetrics m;
+        uint64_t digest = 0;
+        uint64_t remote = 0;
+        uint64_t windows = 0;
+        const double wall_ms = WallClockMs([&] {
+          core::ShardedVoodb sys(cfg, &base, options.seed);
+          if (threads > 1) {
+            exp::ThreadPool pool({threads});
+            m = sys.Run(per_shard, &pool);
+          } else {
+            m = sys.Run(per_shard);
+          }
+          digest = sys.TraceDigest();
+          remote = sys.remote_subtxns();
+          windows = sys.kernel().Windows();
+        });
+        const bool is_reference = threads == 1;
+        if (is_reference) {
+          reference_digest = digest;
+          reference = m;
+        } else {
+          // The acceptance gate: bit-identical to the serial run.
+          VOODB_CHECK_MSG(
+              digest == reference_digest &&
+                  m.transactions == reference.transactions &&
+                  m.total_ios == reference.total_ios &&
+                  m.sim_time_ms == reference.sim_time_ms,
+              "shard_scale identity violated at " << shards << " shards / "
+                                                  << threads << " threads");
+        }
+        const std::string cell = std::to_string(shards) + "s_" +
+                                 std::to_string(threads) + "t";
+        Note(result, "shard_scale", cell, "total_ios",
+             Estimate{static_cast<double>(m.total_ios), 0.0});
+        Note(result, "shard_scale", cell, "wall_ms", Estimate{wall_ms, 0.0});
+        table.AddRow({std::to_string(shards), std::to_string(threads),
+                      std::to_string(m.transactions),
+                      std::to_string(m.total_ios), std::to_string(remote),
+                      std::to_string(windows),
+                      util::FormatDouble(wall_ms, 1),
+                      is_reference ? "ref" : "yes"});
+      }
+    }
+    PrintTable(ctx, ctx.scenario->title, table,
+               "Identical=yes means the cell's event digest and metrics "
+               "matched the serial reference bit-for-bit (enforced; the "
+               "scenario throws otherwise).");
+    return result;
+  };
+  Register(std::move(s));
+}
+
+void RegisterFarmSpeedup() {
+  Scenario s;
+  s.name = "farm_speedup";
+  s.title = "Replication-farm wall-clock speedup (bitwise-checked)";
+  s.description =
+      "Wall-clock of the parallel replication farm vs the serial path on "
+      "a non-trivial VOODB workload, with a bitwise identity check "
+      "between the two runs.  The paper's protocol is ~100 independent "
+      "replications, so an 8-thread farm should approach 8x on 8 free "
+      "cores; on a busy or small machine the ratio shrinks but the "
+      "identity check still proves the farm is safe to use everywhere.  "
+      "--threads=N sets the parallel leg's worker count (default 8).";
+  s.base.system.system_class = core::SystemClass::kCentralized;
+  s.base.system.buffer_pages = 600;
+  s.base.workload.num_classes = 20;
+  s.base.workload.num_objects = 5000;
+  s.run = [](const ScenarioContext& ctx) {
+    const RunOptions options = ToRunOptions(ctx);
+    core::ExperimentConfig ec = ctx.config;
+    ec.workload.hot_transactions =
+        static_cast<uint32_t>(options.transactions);
+    ec.replications = options.replications;
+    ec.base_seed = options.seed;
+    const ocb::ObjectBase base = ocb::ObjectBase::Generate(ec.workload);
+    const size_t threads =
+        options.threads == 0 ? 8 : options.threads;  // headline point: 8
+
+    desp::ReplicationResult serial;
+    desp::ReplicationResult parallel;
+    const double serial_ms = WallClockMs([&] {
+      ec.threads = 1;
+      serial = core::Experiment::RunOnBase(ec, base);
+    });
+    const double parallel_ms = WallClockMs([&] {
+      ec.threads = threads;
+      parallel = core::Experiment::RunOnBase(ec, base);
+    });
+
+    bool identical = serial.replications() == parallel.replications();
+    for (const std::string& name : serial.MetricNames()) {
+      const desp::Tally& a = serial.Metric(name);
+      const desp::Tally& b = parallel.Metric(name);
+      identical = identical && a.count() == b.count() &&
+                  a.mean() == b.mean() && a.variance() == b.variance() &&
+                  a.min() == b.min() && a.max() == b.max();
+    }
+    VOODB_CHECK_MSG(identical,
+                    "farm results diverged between the serial and "
+                    "parallel paths");
+
+    const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+    util::TextTable table({"Path", "Threads", "Wall (ms)", "Mean I/Os"});
+    table.AddRow({"serial", "1", util::FormatDouble(serial_ms, 1),
+                  util::FormatDouble(serial.Metric("total_ios").mean(), 1)});
+    table.AddRow({"farm", std::to_string(threads),
+                  util::FormatDouble(parallel_ms, 1),
+                  util::FormatDouble(parallel.Metric("total_ios").mean(),
+                                     1)});
+    PrintTable(ctx, ctx.scenario->title, table, nullptr);
+    std::cout << "Speedup: " << util::FormatDouble(speedup, 2) << "x at "
+              << threads << " threads ("
+              << exp::ThreadPool::HardwareThreads()
+              << " hardware threads); results bitwise identical: yes\n";
+
+    ScenarioResult result;
+    Note(result, "farm_speedup", std::to_string(threads) + "_threads",
+         "speedup", Estimate{speedup, 0.0});
+    Note(result, "farm_speedup", std::to_string(threads) + "_threads",
+         "serial_ms", Estimate{serial_ms, 0.0});
+    Note(result, "farm_speedup", std::to_string(threads) + "_threads",
+         "parallel_ms", Estimate{parallel_ms, 0.0});
+    return result;
+  };
+  Register(std::move(s));
+}
+
 // --- Micro benches -----------------------------------------------------------
 
 void RegisterMicroBenches() {
+  {
+    Scenario s;
+    s.name = "micro_parallel";
+    s.title = "Micro: conservative parallel kernel speedup + identity";
+    s.description =
+        "A multi-partition event workload (per-partition chains plus "
+        "cross-partition pings under a fixed lookahead) executed "
+        "serially and on growing thread pools; every pooled run is "
+        "digest-checked against the serial reference and the scenario "
+        "fails on divergence.  Protocol knobs: --transactions=N sizes "
+        "the chain count, --replications=N timed trials per cell.  "
+        "Model parameters are not used.";
+    s.system_config_used = false;
+    s.run = RunMicroParallelScenario;
+    Register(std::move(s));
+  }
   {
     Scenario s;
     s.name = "micro_scheduler";
@@ -982,6 +1187,8 @@ void RegisterAll() {
   RegisterAblationPlacement();
   RegisterAblationSysclass();
   RegisterAblationVmModel();
+  RegisterShardScale();
+  RegisterFarmSpeedup();
   RegisterMicroBenches();
   RegisterTraceScenarios();
 }

@@ -1,0 +1,162 @@
+#include "desp/parallel_scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "exp/executor.hpp"
+
+namespace voodb::desp {
+
+ParallelScheduler::ParallelScheduler(Options options)
+    : explicit_window_(options.window) {
+  VOODB_CHECK_MSG(options.partitions >= 1, "need at least one partition");
+  VOODB_CHECK_MSG(options.window >= 0.0,
+                  "window width cannot be negative (window="
+                      << options.window << ")");
+  schedulers_.reserve(options.partitions);
+  for (size_t i = 0; i < options.partitions; ++i) {
+    schedulers_.push_back(std::make_unique<Scheduler>(options.queue));
+  }
+  const size_t n = options.partitions;
+  edge_delay_.assign(n * n, kInfinity);
+  mail_.resize(n * n);
+}
+
+void ParallelScheduler::SetEdgeDelay(size_t from, size_t to,
+                                     SimTime min_delay) {
+  const size_t n = schedulers_.size();
+  VOODB_CHECK_MSG(from < n && to < n, "edge (" << from << " -> " << to
+                                               << ") out of range");
+  VOODB_CHECK_MSG(from != to, "an edge to self has no lookahead to register");
+  VOODB_CHECK_MSG(min_delay > 0.0,
+                  "edge delay must be positive — zero lookahead admits no "
+                  "conservative window (delay="
+                      << min_delay << ")");
+  edge_delay_[from * n + to] = min_delay;
+}
+
+void ParallelScheduler::SetUniformEdgeDelay(SimTime min_delay) {
+  const size_t n = schedulers_.size();
+  for (size_t from = 0; from < n; ++from) {
+    for (size_t to = 0; to < n; ++to) {
+      if (from != to) SetEdgeDelay(from, to, min_delay);
+    }
+  }
+}
+
+SimTime ParallelScheduler::Lookahead() const {
+  SimTime lookahead = kInfinity;
+  for (const SimTime delay : edge_delay_) {
+    lookahead = std::min(lookahead, delay);
+  }
+  return lookahead;
+}
+
+SimTime ParallelScheduler::Window() const {
+  if (explicit_window_ > 0.0) {
+    VOODB_CHECK_MSG(explicit_window_ <= Lookahead(),
+                    "explicit window " << explicit_window_
+                                       << " exceeds the minimum edge delay "
+                                       << Lookahead()
+                                       << " — not conservative");
+    return explicit_window_;
+  }
+  return Lookahead();
+}
+
+void ParallelScheduler::SendTo(size_t from, size_t to, SimTime delay,
+                               Scheduler::Action action, int priority) {
+  const size_t n = schedulers_.size();
+  VOODB_CHECK_MSG(from < n && to < n, "SendTo(" << from << " -> " << to
+                                                << ") out of range");
+  if (from == to) {
+    schedulers_[from]->Schedule(delay, std::move(action), priority);
+    return;
+  }
+  const SimTime edge = edge_delay_[from * n + to];
+  VOODB_CHECK_MSG(edge < kInfinity, "SendTo on unregistered edge ("
+                                        << from << " -> " << to << ")");
+  VOODB_CHECK_MSG(delay >= edge, "SendTo delay " << delay
+                                                 << " below the registered "
+                                                    "edge delay "
+                                                 << edge << " (" << from
+                                                 << " -> " << to << ")");
+  mail_[from * n + to].push_back(Envelope{
+      schedulers_[from]->Now() + delay, priority, std::move(action)});
+}
+
+void ParallelScheduler::DeliverMail() {
+  const size_t n = schedulers_.size();
+  std::vector<Envelope> merged;
+  for (size_t to = 0; to < n; ++to) {
+    merged.clear();
+    for (size_t from = 0; from < n; ++from) {
+      std::vector<Envelope>& box = mail_[from * n + to];
+      for (Envelope& envelope : box) merged.push_back(std::move(envelope));
+      box.clear();
+    }
+    if (merged.empty()) continue;
+    // Stable: equal (time, priority) keeps source-ascending order and
+    // per-edge FIFO, so the target's seq assignment — and with it the
+    // whole downstream execution — is a pure function of mailbox
+    // contents, not of which thread ran which partition.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Envelope& a, const Envelope& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.priority > b.priority;
+                     });
+    cross_events_ += merged.size();
+    for (Envelope& envelope : merged) {
+      schedulers_[to]->ScheduleAt(envelope.time, std::move(envelope.action),
+                                  envelope.priority);
+    }
+  }
+}
+
+uint64_t ParallelScheduler::Run(exp::ThreadPool* pool) {
+  stop_requested_ = false;
+  const size_t n = schedulers_.size();
+  const SimTime window = Window();
+  const uint64_t executed_before = ExecutedEvents();
+  const bool parallel = pool != nullptr && n > 1 && pool->thread_count() > 1;
+  while (!stop_requested_) {
+    DeliverMail();
+    SimTime start = kInfinity;
+    for (const std::unique_ptr<Scheduler>& partition : schedulers_) {
+      if (partition->HasNextEvent()) {
+        start = std::min(start, partition->NextEventTime());
+      }
+    }
+    if (start == kInfinity) break;  // drained (DeliverMail ran first)
+    const SimTime end = window == kInfinity ? kInfinity : start + window;
+    if (parallel) {
+      for (size_t p = 0; p < n; ++p) {
+        Scheduler* partition = schedulers_[p].get();
+        pool->Submit([partition, end] { partition->RunWindow(end); });
+      }
+      pool->Wait();  // the barrier: publishes partition state to this thread
+    } else {
+      for (size_t p = 0; p < n; ++p) schedulers_[p]->RunWindow(end);
+    }
+    ++windows_;
+  }
+  return ExecutedEvents() - executed_before;
+}
+
+SimTime ParallelScheduler::MaxNow() const {
+  SimTime now = 0.0;
+  for (const std::unique_ptr<Scheduler>& partition : schedulers_) {
+    now = std::max(now, partition->Now());
+  }
+  return now;
+}
+
+uint64_t ParallelScheduler::ExecutedEvents() const {
+  uint64_t executed = 0;
+  for (const std::unique_ptr<Scheduler>& partition : schedulers_) {
+    executed += partition->ExecutedEvents();
+  }
+  return executed;
+}
+
+}  // namespace voodb::desp

@@ -151,6 +151,29 @@ void Scheduler::Run() {
   }
 }
 
+uint64_t Scheduler::RunWindow(SimTime end) {
+  stopped_ = false;
+  uint64_t executed = 0;
+  while (!stopped_) {
+    SkimCancelled();
+    if (queue_->Empty() || queue_->Min().key.time >= end) break;
+    Step();
+    ++executed;
+  }
+  return executed;
+}
+
+bool Scheduler::HasNextEvent() {
+  SkimCancelled();
+  return !queue_->Empty();
+}
+
+SimTime Scheduler::NextEventTime() {
+  SkimCancelled();
+  VOODB_CHECK_MSG(!queue_->Empty(), "NextEventTime() on an empty event list");
+  return queue_->Min().key.time;
+}
+
 void Scheduler::RunUntil(SimTime deadline) {
   stopped_ = false;
   while (!stopped_) {

@@ -101,6 +101,21 @@ class Scheduler {
   /// `deadline` are executed), the list drains, or Stop() is called.
   void RunUntil(SimTime deadline);
 
+  /// Executes every event with time strictly below `end` (or until the
+  /// list drains or Stop() is called) and returns the number executed.
+  /// Unlike RunUntil, the clock is left at the last executed event — it
+  /// is *not* advanced to `end` — so consecutive windows compose without
+  /// perturbing timestamps.  This is the per-partition primitive of the
+  /// conservative parallel protocol (see parallel_scheduler.hpp).
+  uint64_t RunWindow(SimTime end);
+
+  /// True if a live (non-cancelled) event is queued.  Skims lazily-
+  /// deleted entries, so it is non-const.
+  bool HasNextEvent();
+
+  /// Time of the next live event; HasNextEvent() must be true.
+  SimTime NextEventTime();
+
   /// Makes Run()/RunUntil() return after the current event completes.
   void Stop() { stopped_ = true; }
 

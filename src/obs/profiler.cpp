@@ -1,6 +1,7 @@
 #include "obs/profiler.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "exp/report.hpp"
 #include "util/check.hpp"
@@ -10,71 +11,110 @@ namespace voodb::obs {
 SimProfiler::SimProfiler(bool capture_spans, size_t max_spans)
     : capture_spans_(capture_spans), max_spans_(max_spans) {}
 
-void SimProfiler::Attach(desp::Scheduler* scheduler) {
+void SimProfiler::Attach(desp::Scheduler* scheduler, std::string name) {
   VOODB_CHECK_MSG(scheduler != nullptr, "profiler needs a scheduler");
-  scheduler_ = scheduler;
-  scheduler_->SetProfileHook(&SimProfiler::Hook, this);
+  for (const std::unique_ptr<Attachment>& attachment : attachments_) {
+    VOODB_CHECK_MSG(attachment->scheduler != scheduler,
+                    "scheduler already attached to this profiler");
+  }
+  auto attachment = std::make_unique<Attachment>();
+  attachment->scheduler = scheduler;
+  attachment->name = std::move(name);
+  attachment->owner = this;
+  scheduler->SetProfileHook(&SimProfiler::Hook, attachment.get());
+  attachments_.push_back(std::move(attachment));
 }
 
 void SimProfiler::Detach() {
-  if (scheduler_ != nullptr) scheduler_->SetProfileHook(nullptr, nullptr);
+  for (const std::unique_ptr<Attachment>& attachment : attachments_) {
+    attachment->scheduler->SetProfileHook(nullptr, nullptr);
+  }
 }
 
 void SimProfiler::Hook(void* ctx, uint16_t tag, desp::SimTime now,
                        desp::SimTime advance) {
-  static_cast<SimProfiler*>(ctx)->Record(tag, now, advance);
-}
-
-void SimProfiler::Record(uint16_t tag, desp::SimTime now,
-                         desp::SimTime advance) {
-  if (tag >= events_.size()) {
-    events_.resize(tag + 1, 0);
-    sim_time_.resize(tag + 1, 0.0);
+  // ctx is the per-scheduler attachment: partitions running on different
+  // worker threads record into disjoint state, no synchronization needed.
+  auto* attachment = static_cast<Attachment*>(ctx);
+  if (tag >= attachment->events.size()) {
+    attachment->events.resize(tag + 1, 0);
+    attachment->sim_time.resize(tag + 1, 0.0);
   }
-  ++events_[tag];
-  sim_time_[tag] += advance;
-  ++total_events_;
-  total_sim_time_ += advance;
-  if (capture_spans_) {
-    if (spans_.size() < max_spans_) {
-      spans_.push_back(Span{now - advance, advance, tag});
+  ++attachment->events[tag];
+  attachment->sim_time[tag] += advance;
+  ++attachment->total_events;
+  attachment->total_sim_time += advance;
+  if (attachment->owner->capture_spans_) {
+    if (attachment->spans.size() < attachment->owner->max_spans_) {
+      attachment->spans.push_back(Span{now - advance, advance, tag});
     } else {
-      ++dropped_spans_;
+      ++attachment->dropped_spans;
     }
   }
 }
 
 std::vector<SimProfiler::TagStat> SimProfiler::Stats() const {
-  VOODB_CHECK_MSG(scheduler_ != nullptr, "profiler was never attached");
-  const std::vector<std::string>& names = scheduler_->profile_tag_names();
-  std::vector<TagStat> stats;
-  for (size_t tag = 0; tag < events_.size(); ++tag) {
-    if (events_[tag] == 0) continue;
-    TagStat stat;
-    stat.name = tag < names.size() ? names[tag] : "unknown";
-    stat.events = events_[tag];
-    stat.sim_time = sim_time_[tag];
-    stats.push_back(std::move(stat));
+  VOODB_CHECK_MSG(!attachments_.empty(), "profiler was never attached");
+  // Merge by tag *name*: the same actor name may intern to different tag
+  // ids on different partitions.  std::map iteration gives the ascending
+  // name order the report promises.
+  std::map<std::string, TagStat> merged;
+  for (const std::unique_ptr<Attachment>& attachment : attachments_) {
+    const std::vector<std::string>& names =
+        attachment->scheduler->profile_tag_names();
+    for (size_t tag = 0; tag < attachment->events.size(); ++tag) {
+      if (attachment->events[tag] == 0) continue;
+      const std::string& name =
+          tag < names.size() ? names[tag] : std::string("unknown");
+      TagStat& stat = merged[name];
+      stat.name = name;
+      stat.events += attachment->events[tag];
+      stat.sim_time += attachment->sim_time[tag];
+    }
   }
-  std::sort(stats.begin(), stats.end(),
-            [](const TagStat& a, const TagStat& b) {
-              if (a.sim_time != b.sim_time) return a.sim_time > b.sim_time;
-              return a.name < b.name;
-            });
+  std::vector<TagStat> stats;
+  stats.reserve(merged.size());
+  for (auto& entry : merged) stats.push_back(std::move(entry.second));
   return stats;
+}
+
+uint64_t SimProfiler::total_events() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Attachment>& a : attachments_) {
+    total += a->total_events;
+  }
+  return total;
+}
+
+double SimProfiler::total_sim_time() const {
+  double total = 0.0;
+  for (const std::unique_ptr<Attachment>& a : attachments_) {
+    total += a->total_sim_time;
+  }
+  return total;
+}
+
+uint64_t SimProfiler::dropped_spans() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Attachment>& a : attachments_) {
+    total += a->dropped_spans;
+  }
+  return total;
 }
 
 util::TextTable SimProfiler::Table() const {
   util::TextTable table(
       {"Actor", "Events", "Events %", "Sim time (ms)", "Time %"});
+  const uint64_t events_total = total_events();
+  const double time_total = total_sim_time();
   for (const TagStat& stat : Stats()) {
     const double event_share =
-        total_events_ == 0
+        events_total == 0
             ? 0.0
             : 100.0 * static_cast<double>(stat.events) /
-                  static_cast<double>(total_events_);
+                  static_cast<double>(events_total);
     const double time_share =
-        total_sim_time_ <= 0.0 ? 0.0 : 100.0 * stat.sim_time / total_sim_time_;
+        time_total <= 0.0 ? 0.0 : 100.0 * stat.sim_time / time_total;
     table.AddRow({stat.name, std::to_string(stat.events),
                   util::FormatDouble(event_share, 1),
                   util::FormatDouble(stat.sim_time, 3),
@@ -84,41 +124,56 @@ util::TextTable SimProfiler::Table() const {
 }
 
 std::string SimProfiler::ChromeTraceJson() const {
-  VOODB_CHECK_MSG(scheduler_ != nullptr, "profiler was never attached");
-  const std::vector<std::string>& names = scheduler_->profile_tag_names();
+  VOODB_CHECK_MSG(!attachments_.empty(), "profiler was never attached");
   exp::JsonWriter w;
   w.BeginObject();
   w.Key("displayTimeUnit").Value("ms");
   w.Key("traceEvents").BeginArray();
-  for (size_t tag = 0; tag < events_.size(); ++tag) {
-    if (events_[tag] == 0) continue;
-    w.BeginObject();
-    w.Key("ph").Value("M");
-    w.Key("name").Value("thread_name");
-    w.Key("pid").Value(1);
-    w.Key("tid").Value(static_cast<uint64_t>(tag));
-    w.Key("args").BeginObject();
-    w.Key("name").Value(tag < names.size() ? names[tag] : "unknown");
-    w.EndObject();
-    w.EndObject();
-  }
-  for (const Span& span : spans_) {
-    w.BeginObject();
-    w.Key("ph").Value("X");
-    w.Key("name").Value(span.tag < names.size() ? names[span.tag]
-                                                : "unknown");
-    w.Key("pid").Value(1);
-    w.Key("tid").Value(static_cast<uint64_t>(span.tag));
-    // Simulated milliseconds emitted as trace microseconds.
-    w.Key("ts").Value(span.start * 1000.0);
-    w.Key("dur").Value(span.duration * 1000.0);
-    w.EndObject();
+  for (size_t i = 0; i < attachments_.size(); ++i) {
+    const Attachment& attachment = *attachments_[i];
+    const uint64_t pid = i + 1;
+    const std::vector<std::string>& names =
+        attachment.scheduler->profile_tag_names();
+    if (!attachment.name.empty()) {
+      w.BeginObject();
+      w.Key("ph").Value("M");
+      w.Key("name").Value("process_name");
+      w.Key("pid").Value(pid);
+      w.Key("args").BeginObject();
+      w.Key("name").Value(attachment.name);
+      w.EndObject();
+      w.EndObject();
+    }
+    for (size_t tag = 0; tag < attachment.events.size(); ++tag) {
+      if (attachment.events[tag] == 0) continue;
+      w.BeginObject();
+      w.Key("ph").Value("M");
+      w.Key("name").Value("thread_name");
+      w.Key("pid").Value(pid);
+      w.Key("tid").Value(static_cast<uint64_t>(tag));
+      w.Key("args").BeginObject();
+      w.Key("name").Value(tag < names.size() ? names[tag] : "unknown");
+      w.EndObject();
+      w.EndObject();
+    }
+    for (const Span& span : attachment.spans) {
+      w.BeginObject();
+      w.Key("ph").Value("X");
+      w.Key("name").Value(span.tag < names.size() ? names[span.tag]
+                                                  : "unknown");
+      w.Key("pid").Value(pid);
+      w.Key("tid").Value(static_cast<uint64_t>(span.tag));
+      // Simulated milliseconds emitted as trace microseconds.
+      w.Key("ts").Value(span.start * 1000.0);
+      w.Key("dur").Value(span.duration * 1000.0);
+      w.EndObject();
+    }
   }
   w.EndArray();
   w.Key("otherData").BeginObject();
-  w.Key("total_events").Value(total_events_);
-  w.Key("total_sim_time_ms").Value(total_sim_time_);
-  w.Key("dropped_spans").Value(dropped_spans_);
+  w.Key("total_events").Value(total_events());
+  w.Key("total_sim_time_ms").Value(total_sim_time());
+  w.Key("dropped_spans").Value(dropped_spans());
   w.EndObject();
   w.EndObject();
   return w.str();

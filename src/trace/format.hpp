@@ -1,5 +1,5 @@
 /// \file format.hpp
-/// \brief The VOODB access-trace binary format (version 1).
+/// \brief The VOODB access-trace binary format (version 2).
 ///
 /// A trace is one versioned fixed-size header followed by a stream of
 /// self-describing chunks.  Records are stored *columnar* inside each
@@ -29,7 +29,25 @@ namespace voodb::trace {
 
 /// "VTRC" little-endian.
 inline constexpr uint32_t kMagic = 0x43525456u;
-inline constexpr uint32_t kFormatVersion = 1;
+
+/// Version 2 packs the issuing user's id into kTxnBegin's id column —
+/// `(user << kTxnUserShift) | kind` — so traces of concurrent or
+/// sharded runs replay as per-user transaction streams.  The zigzag
+/// varint delta coding absorbs the widened ids.  The reader still
+/// accepts version-1 traces (every marker decodes as user 0).
+inline constexpr uint32_t kFormatVersion = 2;
+inline constexpr uint32_t kMinFormatVersion = 1;
+
+/// kTxnBegin id column layout (format v2): low byte = transaction kind
+/// ordinal, upper bits = user id.
+inline constexpr uint32_t kTxnUserShift = 8;
+inline constexpr uint64_t kTxnKindMask = (1u << kTxnUserShift) - 1;
+
+/// Packs a kTxnBegin id (format v2).
+inline constexpr uint64_t PackTxnBegin(uint64_t kind, uint32_t user) {
+  return (static_cast<uint64_t>(user) << kTxnUserShift) |
+         (kind & kTxnKindMask);
+}
 
 /// Header flag bits.  The bits above kFlagFinished mark recordings
 /// whose buffer behaviour a bare page-stream replay cannot reproduce
@@ -67,11 +85,14 @@ enum class RecordKind : uint8_t {
   kPage = 3,
 };
 
-/// One decoded trace record.
+/// One decoded trace record.  The reader normalizes kTxnBegin across
+/// format versions: `id` is always the bare TransactionKind ordinal and
+/// `user` the issuing user (0 for version-1 traces).
 struct Record {
   RecordKind kind = RecordKind::kPage;
-  uint64_t id = 0;   ///< OID, PageId, or TransactionKind ordinal
+  uint64_t id = 0;    ///< OID, PageId, or TransactionKind ordinal
   bool write = false;
+  uint32_t user = 0;  ///< issuing user id (kTxnBegin only)
 };
 
 /// Counters of the recorded run's buffering layer, embedded in the

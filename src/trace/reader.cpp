@@ -35,10 +35,11 @@ void Reader::Validate() {
   VOODB_CHECK_MSG(header_.magic == kMagic,
                   "not a VOODB trace (bad magic 0x" << std::hex
                                                     << header_.magic << ")");
-  VOODB_CHECK_MSG(header_.version == kFormatVersion,
-                  "unsupported trace version " << header_.version
-                                               << " (expected "
-                                               << kFormatVersion << ")");
+  VOODB_CHECK_MSG(header_.version >= kMinFormatVersion &&
+                      header_.version <= kFormatVersion,
+                  "unsupported trace version "
+                      << header_.version << " (supported: "
+                      << kMinFormatVersion << ".." << kFormatVersion << ")");
   VOODB_CHECK_MSG(header_.flags & kFlagFinished,
                   "trace is unfinished (recording was interrupted before "
                   "Writer::Finish)");
@@ -107,6 +108,13 @@ bool Reader::Next(Record& record) {
                   "corrupt record kind " << static_cast<int>(kinds_[i]));
   record.kind = static_cast<RecordKind>(kinds_[i]);
   record.id = ids_[i];
+  record.user = 0;
+  if (record.kind == RecordKind::kTxnBegin && header_.version >= 2) {
+    // v2 packs (user << 8 | kind); normalize so callers never branch on
+    // the format version.  v1 markers carry the bare kind (user 0).
+    record.user = static_cast<uint32_t>(record.id >> kTxnUserShift);
+    record.id &= kTxnKindMask;
+  }
   record.write = (flags_[i / 8] >> (i % 8)) & 1u;
   ++records_read_;
   return true;

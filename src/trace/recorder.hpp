@@ -23,8 +23,11 @@ class Recorder {
   /// `writer` is not owned and must outlive the recorder.
   explicit Recorder(Writer* writer);
 
-  void OnTxnBegin(uint64_t kind) {
-    Append(RecordKind::kTxnBegin, kind, false);
+  /// Marks a transaction boundary; `user` identifies the issuing user so
+  /// concurrent/sharded recordings replay as per-user streams (format
+  /// v2: the id column packs `(user << 8) | kind`).
+  void OnTxnBegin(uint64_t kind, uint32_t user = 0) {
+    Append(RecordKind::kTxnBegin, PackTxnBegin(kind, user), false);
   }
   void OnTxnEnd() { Append(RecordKind::kTxnEnd, 0, false); }
   void OnObject(uint64_t oid, bool write) {

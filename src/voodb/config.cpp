@@ -61,6 +61,13 @@ void VoodbConfig::Validate() const {
                   "parameter 'trace_record' cannot be combined with "
                   "workload_source=trace: trace_path would be both the "
                   "replay input and the recording output");
+  // A sharded run records per-shard interleavings the single trace_path
+  // cannot hold, and trace replay is a serial transaction stream.
+  VOODB_CHECK_MSG(shards == 1 || (!trace_record &&
+                                  workload_source ==
+                                      WorkloadSourceKind::kSynthetic),
+                  "parameter 'shards' > 1 cannot be combined with trace "
+                  "recording or trace replay");
   disk.Validate();
 }
 

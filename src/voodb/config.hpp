@@ -142,6 +142,25 @@ struct VoodbConfig {
   /// `workload_source = trace`.
   std::string trace_path;
 
+  // --- Parallel kernel / sharding (desp::ParallelScheduler) ------------------
+  /// Storage-server shards: N independent ObjectManager/BufferManager/
+  /// TransactionManager stacks hash-partitioned over the object base,
+  /// driven by `ShardedVoodb` on one scheduler partition each.  1 = the
+  /// ordinary single-server model (every existing scenario).
+  uint32_t shards = 1;
+  /// Worker threads executing scheduler partitions inside ONE run (the
+  /// conservative window protocol; results are bit-identical at any
+  /// value).  1 = serial execution on the calling thread.
+  uint32_t sim_threads = 1;
+  /// Explicit window width (ms) for the conservative protocol; 0 derives
+  /// it from the minimum cross-shard delay (disk service + network
+  /// transfer of one page).  Must not exceed that minimum.
+  double sim_window = 0.0;
+  /// Fraction of transactions that touch a second shard: after the home
+  /// shard commits, a request ships through the network actor to a
+  /// deterministic remote shard, which runs a sub-transaction and acks.
+  double multi_partition_pct = 0.0;
+
   // --- Observability (obs subsystem) ----------------------------------------
   /// Attach the simulation-time profiler: per-actor attribution of
   /// simulated time and event counts (`voodb profile` sets this).  Off by

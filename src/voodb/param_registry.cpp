@@ -474,7 +474,7 @@ class Builder {
 #if defined(__x86_64__) && defined(__linux__)
 static_assert(sizeof(storage::DiskParameters) == 24,
               "DiskParameters changed: update the parameter registry");
-static_assert(sizeof(VoodbConfig) == 280,
+static_assert(sizeof(VoodbConfig) == 304,
               "VoodbConfig changed: update the parameter registry");
 static_assert(sizeof(ocb::OcbParameters) == 208,
               "OcbParameters changed: update the parameter registry");
@@ -598,6 +598,22 @@ ParamRegistry::ParamRegistry() {
   b.SystemString("trace_path", &VoodbConfig::trace_path,
                  "trace file path: output for trace_record, input for "
                  "workload_source=trace");
+  b.System("shards", &VoodbConfig::shards,
+           "independent storage-server shards hash-partitioned over the "
+           "object base (1 = the single-server model)")
+      .Range(1);
+  b.System("sim_threads", &VoodbConfig::sim_threads,
+           "worker threads executing scheduler partitions inside one run; "
+           "results are bit-identical at any value (pure perf knob)")
+      .Range(1);
+  b.System("sim_window", &VoodbConfig::sim_window,
+           "explicit conservative-window width ms; 0 derives it from the "
+           "minimum cross-shard delay")
+      .Range(0.0);
+  b.System("multi_partition_pct", &VoodbConfig::multi_partition_pct,
+           "fraction of transactions that run a sub-transaction on a "
+           "second shard through the network actor")
+      .Range(0.0, 1.0);
   b.System("observe", &VoodbConfig::observe,
            "attach the simulation-time profiler (per-actor sim-time and "
            "event attribution)");

@@ -9,10 +9,14 @@ namespace voodb::core {
 
 VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
                          std::unique_ptr<cluster::ClusteringPolicy> policy,
-                         uint64_t seed)
+                         uint64_t seed, desp::Scheduler* scheduler)
     : config_(config),
       base_(base),
-      scheduler_(config.event_queue),
+      owned_scheduler_(scheduler == nullptr
+                           ? std::make_unique<desp::Scheduler>(
+                                 config.event_queue)
+                           : nullptr),
+      scheduler_(scheduler == nullptr ? owned_scheduler_.get() : scheduler),
       rng_(seed) {
   config_.Validate();
   VOODB_CHECK_MSG(base_ != nullptr, "system needs an object base");
@@ -21,18 +25,18 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
   // depends on the two staying the same stream.
   const desp::RandomStream buffer_rng = rng_.Derive(0xB0FF);
   object_manager_ = std::make_unique<ObjectManagerActor>(
-      &scheduler_, base_, config_.page_size, config_.initial_placement,
+      scheduler_, base_, config_.page_size, config_.initial_placement,
       config_.storage_overhead);
-  io_ = std::make_unique<IoSubsystemActor>(&scheduler_, config_.disk);
-  network_ = std::make_unique<NetworkActor>(&scheduler_,
+  io_ = std::make_unique<IoSubsystemActor>(scheduler_, config_.disk);
+  network_ = std::make_unique<NetworkActor>(scheduler_,
                                             config_.network_throughput_mbps);
   buffering_ = std::make_unique<BufferingManagerActor>(
-      &scheduler_, config_, object_manager_.get(), io_.get(), buffer_rng);
+      scheduler_, config_, object_manager_.get(), io_.get(), buffer_rng);
   clustering_ = std::make_unique<ClusteringManagerActor>(
-      &scheduler_, std::move(policy), object_manager_.get(), buffering_.get(),
+      scheduler_, std::move(policy), object_manager_.get(), buffering_.get(),
       io_.get());
   tm_ = std::make_unique<TransactionManagerActor>(
-      &scheduler_, config_, object_manager_.get(), buffering_.get(),
+      scheduler_, config_, object_manager_.get(), buffering_.get(),
       clustering_.get(), network_.get());
   if (config_.disk_fault_prob > 0.0) {
     io_->SetFaultModel(config_.disk_fault_prob, config_.disk_fault_retry_ms,
@@ -44,7 +48,7 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
     fp.recovery_base_ms = config_.recovery_base_ms;
     fp.recovery_per_dirty_page_ms = config_.recovery_per_dirty_page_ms;
     failures_ = std::make_unique<FailureInjectorActor>(
-        &scheduler_, fp, buffering_.get(), io_.get(), rng_.Derive(0xC7A5));
+        scheduler_, fp, buffering_.get(), io_.get(), rng_.Derive(0xC7A5));
     failures_->Arm();
   }
   if (config_.workload_source == WorkloadSourceKind::kTrace) {
@@ -83,7 +87,7 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
     // the aggregate per-actor totals alone need no per-event storage.
     profiler_ = std::make_unique<obs::SimProfiler>(
         /*capture_spans=*/!config_.profile_path.empty());
-    profiler_->Attach(&scheduler_);
+    profiler_->Attach(scheduler_);
   }
 }
 
@@ -106,9 +110,9 @@ void VoodbSystem::RegisterMetrics() {
   clustering_->RegisterMetrics(metrics_);
   io_->RegisterMetrics(metrics_);
   network_->RegisterMetrics(metrics_);
-  metrics_.RegisterGauge("sim.now_ms", [this] { return scheduler_.Now(); });
+  metrics_.RegisterGauge("sim.now_ms", [this] { return scheduler_->Now(); });
   metrics_.RegisterGauge("sim.executed_events", [this] {
-    return static_cast<double>(scheduler_.ExecutedEvents());
+    return static_cast<double>(scheduler_->ExecutedEvents());
   });
 }
 
@@ -161,12 +165,12 @@ PhaseMetrics VoodbSystem::Drive(ocb::WorkloadSource& external_workload,
     desp::RandomStream think_rng;
     double think_time_ms;
 
-    void UserLoop() {
+    void UserLoop(uint32_t user) {
       if (to_issue == 0) {
         // Phase exhausted; the user retires.  Once the last in-flight
         // transaction commits, the phase ends — even if hazard events
         // are still armed on the scheduler.
-        if (outstanding == 0) sys->scheduler_.Stop();
+        if (outstanding == 0) sys->scheduler_->Stop();
         return;
       }
       --to_issue;
@@ -175,34 +179,31 @@ PhaseMetrics VoodbSystem::Drive(ocb::WorkloadSource& external_workload,
                                  ? workload->NextOfKind(*forced_kind)
                                  : workload->Next();
       // Transaction markers frame the object stream the Object Manager
-      // records.  With one user the markers nest exactly around the
-      // transaction's accesses; concurrent users interleave them (such
-      // traces replay as page streams but not as workloads).
-      if (sys->trace_recorder_ != nullptr) {
-        sys->trace_recorder_->OnTxnBegin(static_cast<uint64_t>(txn.kind));
-      }
-      auto submit = [this, txn = std::move(txn)]() mutable {
-        sys->tm_->Submit(std::move(txn), [this]() { AfterCommit(); });
+      // records, carrying the issuing user's id (format v2) so
+      // concurrent runs replay as per-user transaction streams.
+      sys->RecordTxnBegin(txn.kind, user);
+      auto submit = [this, user, txn = std::move(txn)]() mutable {
+        sys->tm_->Submit(std::move(txn), [this, user]() { AfterCommit(user); });
       };
       if (think_time_ms > 0.0) {
-        sys->scheduler_.Schedule(think_rng.Exponential(think_time_ms),
+        sys->scheduler_->Schedule(think_rng.Exponential(think_time_ms),
                                  std::move(submit));
       } else {
         submit();
       }
     }
 
-    void AfterCommit() {
+    void AfterCommit(uint32_t user) {
       --outstanding;
-      if (sys->trace_recorder_ != nullptr) sys->trace_recorder_->OnTxnEnd();
+      sys->RecordTxnEnd();
       // Automatic triggering happens at transaction boundaries.
       if (sys->config_.auto_clustering &&
           sys->clustering_->ShouldTrigger()) {
         sys->clustering_->PerformClustering(
-            [this](ClusteringMetrics) { UserLoop(); });
+            [this, user](ClusteringMetrics) { UserLoop(user); });
         return;
       }
-      UserLoop();
+      UserLoop(user);
     }
   };
 
@@ -215,11 +216,20 @@ PhaseMetrics VoodbSystem::Drive(ocb::WorkloadSource& external_workload,
                      base_->params().think_time_ms};
   const uint32_t active_users =
       static_cast<uint32_t>(std::min<uint64_t>(config_.num_users, n));
-  for (uint32_t u = 0; u < active_users; ++u) driver.UserLoop();
-  scheduler_.Run();
+  for (uint32_t u = 0; u < active_users; ++u) driver.UserLoop(u);
+  scheduler_->Run();
   VOODB_CHECK_MSG(driver.to_issue == 0 && driver.outstanding == 0,
                   "phase ended with unfinished work");
   return Delta(before);
+}
+
+void VoodbSystem::RecordTxnBegin(ocb::TransactionKind kind, uint32_t user) {
+  if (trace_recorder_ == nullptr) return;
+  trace_recorder_->OnTxnBegin(static_cast<uint64_t>(kind), user);
+}
+
+void VoodbSystem::RecordTxnEnd() {
+  if (trace_recorder_ != nullptr) trace_recorder_->OnTxnEnd();
 }
 
 ClusteringMetrics VoodbSystem::TriggerClustering() {
@@ -231,7 +241,7 @@ ClusteringMetrics VoodbSystem::TriggerClustering() {
   });
   // Step (don't drain): armed hazard events may outlive the
   // reorganization.
-  while (!finished && scheduler_.Step()) {
+  while (!finished && scheduler_->Step()) {
   }
   VOODB_CHECK_MSG(finished, "clustering did not complete");
   return metrics;
@@ -250,7 +260,7 @@ VoodbSystem::Snapshot VoodbSystem::Take() const {
   s.net_bytes = network_->bytes_transferred();
   s.response_count = tm_->response_times().count();
   s.response_sum = tm_->response_times().sum();
-  s.time = scheduler_.Now();
+  s.time = scheduler_->Now();
   s.response_histogram = tm_->response_histogram();
   if (tm_->lock_manager() != nullptr) {
     s.lock_wait_histogram = tm_->lock_manager()->stats().wait_histogram;

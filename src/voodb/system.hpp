@@ -42,14 +42,20 @@ namespace voodb::core {
 /// A fully wired instance of the generic evaluation model.
 class VoodbSystem {
  public:
-  /// \param config  Table 3 parameters (validated here)
-  /// \param base    the OCB object base (not owned; must outlive us)
-  /// \param policy  CLUSTP module (nullptr = None)
-  /// \param seed    replication seed (drives RANDOM replacement, think
-  ///                times, and any other stochastic system behaviour)
+  /// \param config     Table 3 parameters (validated here)
+  /// \param base       the OCB object base (not owned; must outlive us)
+  /// \param policy     CLUSTP module (nullptr = None)
+  /// \param seed       replication seed (drives RANDOM replacement, think
+  ///                   times, and any other stochastic system behaviour)
+  /// \param scheduler  event scheduler to ride on (not owned; must outlive
+  ///                   us).  Null — the default — makes the system own a
+  ///                   private serial scheduler.  A `ShardedVoodb` passes
+  ///                   one partition of its `desp::ParallelScheduler` so N
+  ///                   independent stacks advance under the conservative
+  ///                   window protocol.
   VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
               std::unique_ptr<cluster::ClusteringPolicy> policy,
-              uint64_t seed);
+              uint64_t seed, desp::Scheduler* scheduler = nullptr);
 
   /// Finalizes an in-progress access trace (see FinishTrace).
   ~VoodbSystem();
@@ -85,7 +91,7 @@ class VoodbSystem {
 
   // --- component access (benches, tests) -----------------------------------
   const VoodbConfig& config() const { return config_; }
-  desp::Scheduler& scheduler() { return scheduler_; }
+  desp::Scheduler& scheduler() { return *scheduler_; }
   ObjectManagerActor& object_manager() { return *object_manager_; }
   BufferingManagerActor& buffering_manager() { return *buffering_; }
   ClusteringManagerActor& clustering_manager() { return *clustering_; }
@@ -103,7 +109,9 @@ class VoodbSystem {
   /// `profile_path` is configured).
   obs::SimProfiler* profiler() { return profiler_.get(); }
 
- private:
+  /// Counter snapshot for computing phase deltas.  Public so external
+  /// drivers (ShardedVoodb) can frame their own phases without going
+  /// through RunTransactions.
   struct Snapshot {
     uint64_t ios = 0;
     uint64_t reads = 0;
@@ -123,6 +131,13 @@ class VoodbSystem {
   };
   Snapshot Take() const;
   PhaseMetrics Delta(const Snapshot& before) const;
+
+  /// Frames the marker stream and, for sharded drivers, per-user
+  /// attribution: the trace's kTxnBegin id column packs (user, kind).
+  void RecordTxnBegin(ocb::TransactionKind kind, uint32_t user);
+  void RecordTxnEnd();
+
+ private:
   PhaseMetrics Drive(ocb::WorkloadSource& workload,
                      const ocb::TransactionKind* forced_kind, uint64_t n);
   /// Builds the metric registry from every actor's cells.
@@ -130,7 +145,8 @@ class VoodbSystem {
 
   VoodbConfig config_;
   const ocb::ObjectBase* base_;
-  desp::Scheduler scheduler_;
+  std::unique_ptr<desp::Scheduler> owned_scheduler_;  ///< null if external
+  desp::Scheduler* scheduler_;
   desp::RandomStream rng_;
   std::unique_ptr<ObjectManagerActor> object_manager_;
   std::unique_ptr<IoSubsystemActor> io_;

@@ -154,7 +154,7 @@ TEST(SimProfiler, AttributesEveryDispatchAndAdvance) {
   EXPECT_DOUBLE_EQ(profiler.total_sim_time(), scheduler.Now());
   const std::vector<obs::SimProfiler::TagStat> stats = profiler.Stats();
   ASSERT_EQ(stats.size(), 2u);
-  // Sorted by descending sim time: a advanced 0->10->20, b 20->25.
+  // Sorted by ascending name; a advanced 0->10->20, b 20->25.
   EXPECT_EQ(stats[0].name, "actor-a");
   EXPECT_EQ(stats[0].events, 2u);
   EXPECT_DOUBLE_EQ(stats[0].sim_time, 20.0);
@@ -219,6 +219,51 @@ TEST(SimProfiler, ChromeTraceIsWellFormed) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
   EXPECT_EQ(profiler.dropped_spans(), 0u);
+}
+
+TEST(SimProfiler, MergesPartitionsByTagNameInNameOrder) {
+  // Two partitions intern overlapping actor names under *different* tag
+  // ids; the merged report keys on the name and sorts by it, so the
+  // output is deterministic however partitions map to threads.
+  desp::Scheduler p0;
+  desp::Scheduler p1;
+  const uint16_t disk0 = p0.RegisterProfileTag("disk");
+  const uint16_t net1 = p1.RegisterProfileTag("network");
+  const uint16_t disk1 = p1.RegisterProfileTag("disk");  // different id
+  ASSERT_NE(disk0, disk1);
+  obs::SimProfiler profiler(/*capture_spans=*/true);
+  profiler.Attach(&p0, "shard0");
+  profiler.Attach(&p1, "shard1");
+  {
+    desp::TagScope scope(&p0, disk0);
+    p0.Schedule(10.0, [] {});
+  }
+  {
+    desp::TagScope scope(&p1, net1);
+    p1.Schedule(4.0, [] {});
+  }
+  {
+    desp::TagScope scope(&p1, disk1);
+    p1.Schedule(1.0, [] {});
+  }
+  p0.Run();
+  p1.Run();
+  const std::vector<obs::SimProfiler::TagStat> stats = profiler.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "disk");
+  EXPECT_EQ(stats[0].events, 2u);
+  EXPECT_DOUBLE_EQ(stats[0].sim_time, 11.0);  // 10.0 on p0 + 1.0 on p1
+  EXPECT_EQ(stats[1].name, "network");
+  EXPECT_EQ(stats[1].events, 1u);
+  EXPECT_EQ(profiler.total_events(), 3u);
+  EXPECT_DOUBLE_EQ(profiler.total_sim_time(), 14.0);
+  // Each partition becomes its own pid, labelled via process_name.
+  const std::string json = profiler.ChromeTraceJson();
+  ExpectBalancedJson(json);
+  for (const char* needle : {"shard0", "shard1", "process_name"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_THROW(profiler.Attach(&p0), util::Error);  // double attach
 }
 
 TEST(SimProfiler, SpanCapIsCountedNotFatal) {

@@ -47,9 +47,11 @@ TEST(ScenarioCatalog, RegistersEveryPaperFigureTableAndAblation) {
       "ablation_clustering", "ablation_failures",
       "ablation_locking",    "ablation_multiprog",
       "ablation_placement",  "ablation_sysclass",
-      "ablation_vm_model",   "micro_scheduler",
-      "micro_storage",       "trace_mrc",
-      "fig08_mrc",           "micro_trace"};
+      "ablation_vm_model",   "shard_scale",
+      "farm_speedup",        "micro_parallel",
+      "micro_scheduler",     "micro_storage",
+      "trace_mrc",           "fig08_mrc",
+      "micro_trace"};
   EXPECT_EQ(exp::ScenarioRegistry::Instance().Names(), expected);
 }
 

@@ -186,6 +186,68 @@ TEST_P(SchedulerTest, OversizedCapturesSpillToHeapAndStillFire) {
   EXPECT_EQ(sum, 32u * 31u / 2u);
 }
 
+TEST_P(SchedulerTest, StopFromInsideAnEventHaltsRunUntil) {
+  // Stop() called mid-RunUntil must halt after the current event, leave
+  // the clock at that event (not the deadline), and keep the remaining
+  // events pending — windowed execution relies on exactly this.
+  Scheduler s(GetParam());
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    s.Schedule(t, [&, t] {
+      times.push_back(t);
+      if (t == 2.0) s.Stop();
+    });
+  }
+  s.RunUntil(10.0);
+  EXPECT_EQ(times, (std::vector<double>{1, 2}));
+  EXPECT_DOUBLE_EQ(s.Now(), 2.0);
+  EXPECT_EQ(s.PendingEvents(), 2u);
+  s.RunUntil(10.0);  // resumes
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST_P(SchedulerTest, EventScheduledExactlyAtDeadlineFromInsideAnEventRuns) {
+  // An event firing at the deadline may schedule another event at that
+  // same instant; RunUntil's contract ("events at exactly `deadline` are
+  // executed") covers the newcomer too.
+  Scheduler s(GetParam());
+  std::vector<int> order;
+  s.Schedule(2.0, [&] {
+    order.push_back(1);
+    s.Schedule(0.0, [&] { order.push_back(2); });
+    s.ScheduleAt(2.0, [&] { order.push_back(3); });
+  });
+  s.RunUntil(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.Now(), 2.0);
+  EXPECT_EQ(s.PendingEvents(), 0u);
+}
+
+TEST_P(SchedulerTest, CancelStormsKeepTheQueueCompacted) {
+  // The documented invariant: QueueEntries() < 2 * PendingEvents() + 1
+  // after every Cancel.  Re-armed timeouts are the adversarial pattern —
+  // schedule far-future events and cancel almost all of them, in waves.
+  Scheduler s(GetParam());
+  for (int wave = 0; wave < 8; ++wave) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 200; ++i) {
+      handles.push_back(
+          s.Schedule(1000.0 + wave * 100.0 + i, [] {}));
+    }
+    for (size_t i = 0; i < handles.size(); ++i) {
+      if (i % 16 == 0) continue;  // keep a few alive across waves
+      EXPECT_TRUE(s.Cancel(handles[i]));
+      EXPECT_LT(s.QueueEntries(), 2 * s.PendingEvents() + 1)
+          << "wave " << wave << " cancel " << i;
+    }
+  }
+  // The survivors still fire, in order.
+  uint64_t before = s.ExecutedEvents();
+  s.Run();
+  EXPECT_EQ(s.ExecutedEvents() - before, 8u * ((200u + 15u) / 16u));
+  EXPECT_EQ(s.PendingEvents(), 0u);
+}
+
 TEST_P(SchedulerTest, ManyEventsStressDeterminism) {
   auto run = [kind = GetParam()] {
     Scheduler s(kind);

@@ -1,0 +1,185 @@
+// ShardedVoodb: N hash-partitioned VOODB stacks on the conservative
+// parallel kernel.  The load-bearing property is the identity contract —
+// byte-identical metrics and event digests at any sim_threads value.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "exp/executor.hpp"
+#include "ocb/object_base.hpp"
+#include "util/check.hpp"
+#include "voodb/sharded.hpp"
+
+namespace voodb::core {
+namespace {
+
+ocb::OcbParameters SmallWorkload() {
+  ocb::OcbParameters p;
+  p.num_classes = 5;
+  p.num_objects = 400;
+  p.think_time_ms = 1.0;
+  return p;
+}
+
+VoodbConfig ShardConfig(uint32_t shards, double multi_partition_pct) {
+  VoodbConfig cfg;
+  cfg.shards = shards;
+  cfg.multi_partition_pct = multi_partition_pct;
+  cfg.buffer_pages = 64;
+  cfg.num_users = 3;
+  cfg.network_throughput_mbps = 1.0;
+  return cfg;
+}
+
+struct RunResult {
+  PhaseMetrics merged;
+  std::vector<PhaseMetrics> per_shard;
+  uint64_t digest = 0;
+  uint64_t remote = 0;
+  uint64_t windows = 0;
+};
+
+RunResult RunSharded(uint32_t shards, double mp_pct, size_t threads,
+                     uint64_t transactions = 40) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  ShardedVoodb sys(ShardConfig(shards, mp_pct), &base, /*seed=*/7);
+  RunResult r;
+  if (threads > 1) {
+    exp::ThreadPool pool({threads});
+    r.merged = sys.Run(transactions, &pool);
+  } else {
+    r.merged = sys.Run(transactions);
+  }
+  r.per_shard = sys.shard_metrics();
+  r.digest = sys.TraceDigest();
+  r.remote = sys.remote_subtxns();
+  r.windows = sys.kernel().Windows();
+  return r;
+}
+
+void ExpectBitIdentical(const PhaseMetrics& a, const PhaseMetrics& b) {
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.object_accesses, b.object_accesses);
+  EXPECT_EQ(a.total_ios, b.total_ios);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.buffer_hits, b.buffer_hits);
+  EXPECT_EQ(a.buffer_requests, b.buffer_requests);
+  EXPECT_EQ(a.network_bytes, b.network_bytes);
+  // Doubles compared as bits: "close" is not the contract.
+  EXPECT_EQ(std::memcmp(&a.sim_time_ms, &b.sim_time_ms, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.mean_response_ms, &b.mean_response_ms,
+                        sizeof(double)),
+            0);
+}
+
+TEST(ShardedVoodb, SingleShardRunsAndMergesTrivially) {
+  const RunResult r = RunSharded(1, 0.0, 1);
+  EXPECT_EQ(r.merged.transactions, 40u);
+  EXPECT_EQ(r.per_shard.size(), 1u);
+  EXPECT_EQ(r.remote, 0u);
+  EXPECT_GT(r.merged.total_ios, 0u);
+}
+
+TEST(ShardedVoodb, ShardsRunIndependentStacksAndMetricsSum) {
+  const RunResult r = RunSharded(4, 0.0, 1);
+  EXPECT_EQ(r.per_shard.size(), 4u);
+  // No multi-partition traffic: each shard commits its own 40.
+  EXPECT_EQ(r.merged.transactions, 4u * 40u);
+  uint64_t ios = 0;
+  for (const PhaseMetrics& m : r.per_shard) ios += m.total_ios;
+  EXPECT_EQ(r.merged.total_ios, ios);
+  EXPECT_EQ(r.remote, 0u);
+}
+
+TEST(ShardedVoodb, MultiPartitionTransactionsCrossShards) {
+  const RunResult r = RunSharded(4, 0.5, 1);
+  // Roughly half of 4*40 home transactions spawn a remote sub-txn; the
+  // sub-transactions commit on their serving shard, so they are counted.
+  EXPECT_GT(r.remote, 20u);
+  EXPECT_EQ(r.merged.transactions, 4u * 40u + r.remote);
+  // Every request leg crossed the network.
+  EXPECT_GT(r.merged.network_bytes, 0u);
+  EXPECT_GT(r.windows, 1u);
+}
+
+TEST(ShardedVoodb, BitIdenticalAcrossThreadCounts) {
+  const RunResult serial = RunSharded(4, 0.4, 1);
+  for (size_t threads : {2u, 4u, 8u}) {
+    const RunResult pooled = RunSharded(4, 0.4, threads);
+    SCOPED_TRACE(threads);
+    EXPECT_EQ(pooled.digest, serial.digest);
+    EXPECT_EQ(pooled.remote, serial.remote);
+    EXPECT_EQ(pooled.windows, serial.windows);
+    ExpectBitIdentical(pooled.merged, serial.merged);
+    ASSERT_EQ(pooled.per_shard.size(), serial.per_shard.size());
+    for (size_t s = 0; s < serial.per_shard.size(); ++s) {
+      ExpectBitIdentical(pooled.per_shard[s], serial.per_shard[s]);
+    }
+  }
+}
+
+TEST(ShardedVoodb, ConsecutivePhasesStayDeterministic) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  auto run_two_phases = [&](size_t threads) {
+    ShardedVoodb sys(ShardConfig(2, 0.25), &base, /*seed=*/11);
+    exp::ThreadPool pool({threads});
+    exp::ThreadPool* p = threads > 1 ? &pool : nullptr;
+    const PhaseMetrics first = sys.Run(30, p);
+    const PhaseMetrics second = sys.Run(30, p);
+    return std::make_pair(first.total_ios + second.total_ios,
+                          sys.TraceDigest());
+  };
+  const auto serial = run_two_phases(1);
+  const auto pooled = run_two_phases(4);
+  EXPECT_EQ(serial.first, pooled.first);
+  EXPECT_EQ(serial.second, pooled.second);
+}
+
+TEST(ShardedVoodb, MergedMetricRegistrySnapshotsInShardOrder) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  ShardedVoodb sys(ShardConfig(2, 0.0), &base, /*seed=*/3);
+  sys.Run(20);
+  const obs::MetricSnapshot merged = sys.MergedMetrics();
+  // Counters from both shards folded: the merged I/O counter matches the
+  // per-shard metric sum.
+  const auto reads = merged.counters.find("io.reads");
+  const auto writes = merged.counters.find("io.writes");
+  ASSERT_NE(reads, merged.counters.end());
+  ASSERT_NE(writes, merged.counters.end());
+  uint64_t ios = 0;
+  for (const PhaseMetrics& m : sys.shard_metrics()) ios += m.total_ios;
+  EXPECT_EQ(reads->second + writes->second, ios);
+}
+
+TEST(ShardedVoodb, ProfilerSpansEveryPartition) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  VoodbConfig cfg = ShardConfig(2, 0.25);
+  cfg.observe = true;
+  ShardedVoodb sys(cfg, &base, /*seed=*/5);
+  sys.Run(20);
+  ASSERT_NE(sys.profiler(), nullptr);
+  EXPECT_GT(sys.profiler()->total_events(), 0u);
+  // Both partitions contributed (the merged table is name-keyed; the
+  // totals span shard0 and shard1).
+  EXPECT_EQ(sys.profiler()->total_events(),
+            sys.kernel().ExecutedEvents());
+}
+
+TEST(ShardedVoodb, RejectsConfigurationsTheKernelCannotDrain) {
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(SmallWorkload());
+  VoodbConfig hazard = ShardConfig(2, 0.0);
+  hazard.failure_mtbf_ms = 1000.0;  // re-arms forever: cannot drain
+  EXPECT_THROW(ShardedVoodb(hazard, &base, 1), util::Error);
+
+  VoodbConfig tracing = ShardConfig(2, 0.0);
+  tracing.trace_record = true;
+  tracing.trace_path = "x.vtrc";
+  EXPECT_THROW(ShardedVoodb(tracing, &base, 1), util::Error);
+
+  VoodbConfig tiny = ShardConfig(128, 0.0);  // 400/128 < 5 classes
+  EXPECT_THROW(ShardedVoodb(tiny, &base, 1), util::Error);
+}
+
+}  // namespace
+}  // namespace voodb::core

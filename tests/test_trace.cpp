@@ -5,7 +5,10 @@
 /// replay through the DES.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
+#include <cstring>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -417,6 +420,114 @@ TEST(TraceWorkload, RejectsTracesWithoutTransactionRecords) {
     writer.Finish(TraceCounters{});
   }
   EXPECT_THROW(TraceWorkload workload(&ss), util::Error);
+}
+
+// --- Format v2: per-user transaction markers --------------------------------
+
+TEST(TraceFormat, TxnMarkersCarryUserIdsAndNormalizeOnRead) {
+  std::stringstream ss = BinaryStream();
+  {
+    Writer writer(&ss, SmallHeader());
+    Recorder recorder(&writer);
+    recorder.OnTxnBegin(3);  // default user = 0 (serial recordings)
+    recorder.OnTxnEnd();
+    recorder.OnTxnBegin(5, /*user=*/41);
+    recorder.OnObject(7, true);
+    recorder.OnTxnEnd();
+    recorder.OnTxnBegin(2, /*user=*/70000);  // ids beyond 16 bits survive
+    recorder.OnTxnEnd();
+    recorder.Flush();
+    writer.Finish(TraceCounters{});
+  }
+  Reader reader(&ss);
+  EXPECT_EQ(reader.header().version, 2u);
+  std::vector<Record> records;
+  Record r;
+  while (reader.Next(r)) records.push_back(r);
+  ASSERT_EQ(records.size(), 7u);
+  // The reader unpacks (user << 8 | kind): id is always the bare kind.
+  EXPECT_EQ(records[0].id, 3u);
+  EXPECT_EQ(records[0].user, 0u);
+  EXPECT_EQ(records[2].id, 5u);
+  EXPECT_EQ(records[2].user, 41u);
+  EXPECT_EQ(records[3].id, 7u);     // non-marker records keep raw ids
+  EXPECT_EQ(records[3].user, 0u);   // ... and carry no user
+  EXPECT_EQ(records[5].id, 2u);
+  EXPECT_EQ(records[5].user, 70000u);
+}
+
+TEST(TraceFormat, ReaderStillAcceptsVersion1Traces) {
+  // A v1 trace is byte-identical to a v2 trace whose markers all carry
+  // user 0, except for the header's version field — craft one by
+  // patching it.
+  std::stringstream ss = BinaryStream();
+  {
+    Writer writer(&ss, SmallHeader());
+    Recorder recorder(&writer);
+    recorder.OnTxnBegin(4);
+    recorder.OnObject(11, false);
+    recorder.OnTxnEnd();
+    recorder.Flush();
+    writer.Finish(TraceCounters{});
+  }
+  std::string bytes = ss.str();
+  const uint32_t v1 = 1;
+  std::memcpy(&bytes[offsetof(Header, version)], &v1, sizeof(v1));
+  std::stringstream patched = BinaryStream();
+  patched.str(bytes);
+  Reader reader(&patched);
+  EXPECT_EQ(reader.header().version, 1u);
+  std::vector<Record> records;
+  Record r;
+  while (reader.Next(r)) records.push_back(r);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, RecordKind::kTxnBegin);
+  EXPECT_EQ(records[0].id, 4u);
+  EXPECT_EQ(records[0].user, 0u);
+  // An unsupported future version is still rejected.
+  const uint32_t v99 = 99;
+  std::memcpy(&bytes[offsetof(Header, version)], &v99, sizeof(v99));
+  std::stringstream future = BinaryStream();
+  future.str(bytes);
+  EXPECT_THROW(Reader bad(&future), util::Error);
+}
+
+TEST(TraceFormat, ConcurrentRecordingAttributesMarkersToUsers) {
+  // A multi-user DES run interleaves markers; v2 makes each one carry
+  // its issuing user so the interleaving is recoverable.
+  core::VoodbConfig cfg;
+  cfg.page_size = 1024;
+  cfg.buffer_pages = 16;
+  cfg.num_users = 3;
+  cfg.multiprogramming_level = 3;
+  const std::string path = "test_trace_users.vtrc";
+  cfg.trace_record = true;
+  cfg.trace_path = path;
+  ocb::OcbParameters wl;
+  wl.num_classes = 8;
+  wl.num_objects = 200;
+  wl.max_refs_per_class = 3;
+  wl.base_instance_size = 50;
+  wl.seed = 5;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
+  {
+    core::VoodbSystem sys(cfg, &base, nullptr, /*seed=*/21);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(21).Derive(1));
+    sys.RunTransactions(gen, 30);
+    sys.FinishTrace();
+  }
+  Reader reader(path);
+  std::vector<uint32_t> users_seen;
+  Record r;
+  while (reader.Next(r)) {
+    if (r.kind == RecordKind::kTxnBegin) users_seen.push_back(r.user);
+  }
+  ASSERT_EQ(users_seen.size(), 30u);
+  // All three users issued transactions, ids within [0, num_users).
+  std::set<uint32_t> distinct(users_seen.begin(), users_seen.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  for (const uint32_t user : users_seen) EXPECT_LT(user, 3u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
