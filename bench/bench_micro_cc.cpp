@@ -1,0 +1,10 @@
+/// \file bench_micro_cc.cpp
+/// \brief Thin wrapper over the "micro_cc" catalog scenario (the
+/// concurrency-control protocol overhead bench + wait-die parity gate);
+/// equivalent to `voodb run micro_cc` with the same flags, but keeps a
+/// stable BENCH_cc.json identity.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return voodb::bench::RunScenarioMain("micro_cc", argc, argv, "cc");
+}

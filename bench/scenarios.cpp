@@ -8,12 +8,14 @@
 
 #include <chrono>
 
+#include "cc/kind.hpp"
 #include "cluster/dstc.hpp"
 #include "cluster/gay_gruenwald.hpp"
 #include "desp/random.hpp"
 #include "emu/texas_emulator.hpp"
 #include "exp/executor.hpp"
 #include "harness.hpp"
+#include "micro_cc.hpp"
 #include "micro_parallel.hpp"
 #include "micro_scheduler.hpp"
 #include "micro_storage.hpp"
@@ -977,6 +979,154 @@ void RegisterFarmSpeedup() {
   Register(std::move(s));
 }
 
+// --- Concurrency control -----------------------------------------------------
+
+void RegisterCcAbyss() {
+  Scenario s;
+  s.name = "cc_abyss";
+  s.title = "Concurrency-control abyss: NUSERS x protocol contention study";
+  s.description =
+      "Every cc::Protocol (2PL no-wait, wait-die, deadlock detection, "
+      "MVCC, OCC) swept over the number of users up to 4096 on a small "
+      "hot object base — the classic many-core contention study (\"1000 "
+      "cores\" style) run inside the VOODB model.  Emits throughput, "
+      "abort-rate and p99 response-time curves per protocol into "
+      "BENCH_cc_abyss.json.  Each run is a single deterministic "
+      "simulation (seed-driven, farm-thread independent); a second leg "
+      "re-runs every protocol under shards=2 at sim_threads 1 vs 2 and "
+      "FAILS unless the event digests and metrics are bit-identical.  "
+      "--set num_users=N caps the user grid (CI runs a tiny grid this "
+      "way); --transactions=N is the floor on transactions per cell "
+      "(raised to one per user).";
+  {
+    // Short uniform random-access transactions (the contention-study
+    // shape): 8 independent accesses over a 20k-object base, 25% writes.
+    // Conflicts are rare at 16 users and dense at 4096 — the sweep walks
+    // the whole contention regime instead of saturating immediately.
+    ocb::OcbParameters wl;
+    wl.num_classes = 20;
+    wl.num_objects = 20000;
+    wl.p_set = 0.0;
+    wl.p_simple = 0.0;
+    wl.p_hierarchy = 0.0;
+    wl.p_stochastic = 0.0;
+    wl.p_random_access = 1.0;
+    wl.random_access_count = 8;
+    wl.p_update = 0.25;
+    s.base.workload = wl;
+  }
+  s.base.system.system_class = core::SystemClass::kCentralized;
+  s.base.system.buffer_pages = 1024;
+  s.base.system.use_lock_manager = true;
+  s.base.system.num_users = 4096;
+  s.swept = {"cc_protocol", "multiprogramming_level", "use_lock_manager"};
+  s.run = [](const ScenarioContext& ctx) {
+    const RunOptions options = ToRunOptions(ctx);
+    const ocb::ObjectBase base =
+        ocb::ObjectBase::Generate(ctx.config.workload);
+    ScenarioResult result;
+    constexpr cc::ProtocolKind kProtocols[] = {
+        cc::ProtocolKind::kNoWait, cc::ProtocolKind::kWaitDie,
+        cc::ProtocolKind::kDeadlockDetect, cc::ProtocolKind::kMvcc,
+        cc::ProtocolKind::kOcc};
+
+    util::TextTable table({"NUSERS", "Protocol", "Throughput (tps)",
+                           "Abort rate", "p99 (ms)", "Restarts"});
+    for (const uint32_t users : {16u, 64u, 256u, 1024u, 4096u}) {
+      if (users > ctx.config.system.num_users) continue;  // --set cap
+      for (const cc::ProtocolKind kind : kProtocols) {
+        core::VoodbConfig cfg = ctx.config.system;
+        cfg.use_lock_manager = true;
+        cfg.cc_protocol = kind;
+        cfg.num_users = users;
+        cfg.multiprogramming_level = users;
+        const uint64_t txns = std::max<uint64_t>(options.transactions, users);
+        core::VoodbSystem sys(cfg, &base, nullptr, options.seed);
+        ocb::WorkloadGenerator gen(&base,
+                                   desp::RandomStream(options.seed).Derive(1));
+        const core::PhaseMetrics m = sys.RunTransactions(gen, txns);
+        const double attempts = static_cast<double>(
+            m.transactions + m.transaction_restarts);
+        const double abort_rate =
+            attempts == 0.0
+                ? 0.0
+                : static_cast<double>(m.transaction_restarts) / attempts;
+        const double p99 = m.ResponseQuantileMs(0.99);
+        const std::string x = std::to_string(users);
+        const std::string name = cc::ToString(kind);
+        Note(result, "throughput", x, name,
+             Estimate{m.ThroughputTps(), 0.0});
+        Note(result, "abort_rate", x, name, Estimate{abort_rate, 0.0});
+        Note(result, "p99_ms", x, name, Estimate{p99, 0.0});
+        table.AddRow({x, name, util::FormatDouble(m.ThroughputTps(), 2),
+                      util::FormatDouble(abort_rate, 3),
+                      util::FormatDouble(p99, 1),
+                      std::to_string(m.transaction_restarts)});
+      }
+    }
+    PrintTable(ctx, ctx.scenario->title, table,
+               "Expectation: no-wait aborts hardest but keeps latency "
+               "flat; wait-die restarts grow with contention; deadlock "
+               "detection trades aborts for graph-walk waits; MVCC reads "
+               "never block (aborts are write-write only); OCC collapses "
+               "once the validation window fills with conflicting "
+               "commits.");
+
+    // Identity leg: every protocol must stay bit-identical under the
+    // sharded driver at sim_threads > 1 (the subsystem's determinism
+    // contract, enforced on every run).
+    util::TextTable identity({"Protocol", "Shards", "Txns/shard", "Digest",
+                              "Identical"});
+    for (const cc::ProtocolKind kind : kProtocols) {
+      core::VoodbConfig cfg = ctx.config.system;
+      cfg.use_lock_manager = true;
+      cfg.cc_protocol = kind;
+      cfg.num_users = 8;
+      cfg.multiprogramming_level = 8;
+      cfg.shards = 2;
+      const uint64_t per_shard =
+          std::max<uint64_t>(1, options.transactions / 4);
+      core::PhaseMetrics serial;
+      uint64_t serial_digest = 0;
+      {
+        core::ShardedVoodb sys(cfg, &base, options.seed);
+        serial = sys.Run(per_shard);
+        serial_digest = sys.TraceDigest();
+      }
+      core::PhaseMetrics pooled;
+      uint64_t pooled_digest = 0;
+      {
+        core::ShardedVoodb sys(cfg, &base, options.seed);
+        exp::ThreadPool pool({2});
+        pooled = sys.Run(per_shard, &pool);
+        pooled_digest = sys.TraceDigest();
+      }
+      const std::string name = cc::ToString(kind);
+      VOODB_CHECK_MSG(
+          pooled_digest == serial_digest &&
+              pooled.transactions == serial.transactions &&
+              pooled.transaction_restarts == serial.transaction_restarts &&
+              pooled.total_ios == serial.total_ios &&
+              pooled.sim_time_ms == serial.sim_time_ms,
+          "protocol " << name
+                      << " diverged between sim_threads 1 and 2 under "
+                         "shards=2 — the cc determinism contract is broken");
+      identity.AddRow({name, "2", std::to_string(per_shard),
+                       util::FormatDouble(
+                           static_cast<double>(serial_digest % 100000), 0),
+                       "yes"});
+      result["identity/" + name + "/sharded/ok"] = 1.0;
+    }
+    PrintTable(ctx, "Sharded determinism per protocol (sim_threads 1 vs 2)",
+               identity,
+               "Identical=yes means event digest, transactions, restarts, "
+               "I/Os and simulated time all matched bit-for-bit (enforced; "
+               "the scenario throws otherwise).");
+    return result;
+  };
+  Register(std::move(s));
+}
+
 // --- Micro benches -----------------------------------------------------------
 
 void RegisterMicroBenches() {
@@ -994,6 +1144,24 @@ void RegisterMicroBenches() {
         "Model parameters are not used.";
     s.system_config_used = false;
     s.run = RunMicroParallelScenario;
+    Register(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "micro_cc";
+    s.title = "Micro: concurrency-control protocol overhead + wait-die parity";
+    s.description =
+        "A synthetic contended lock workload driven through every "
+        "cc::Protocol and through an embedded verbatim copy of the "
+        "pre-subsystem wait-die LockManager; fails unless the wait_die "
+        "protocol reproduces the legacy manager's commit/restart/lock "
+        "counters exactly, and asserts the Transaction Manager's pooled "
+        "in-flight slots stay bounded by concurrency.  Protocol knobs: "
+        "--transactions=N transactions per synthetic user, "
+        "--replications=N timed trials per protocol.  Model parameters "
+        "are not used.";
+    s.system_config_used = false;
+    s.run = RunMicroCcScenario;
     Register(std::move(s));
   }
   {
@@ -1189,6 +1357,7 @@ void RegisterAll() {
   RegisterAblationVmModel();
   RegisterShardScale();
   RegisterFarmSpeedup();
+  RegisterCcAbyss();
   RegisterMicroBenches();
   RegisterTraceScenarios();
 }

@@ -1,0 +1,25 @@
+/// \file kind.hpp
+/// \brief The concurrency-control protocol enumeration.
+///
+/// Split from protocol.hpp so VoodbConfig can name a protocol without
+/// pulling the scheduler/histogram headers into every config user.
+#pragma once
+
+#include <cstdint>
+
+namespace voodb::cc {
+
+/// The protocol families of the classic "Staring into the Abyss"
+/// many-core concurrency-control study (DBx1000 lineage), at object
+/// granularity inside the VOODB discrete-event model.
+enum class ProtocolKind : uint8_t {
+  kNoWait = 0,          ///< 2PL, abort immediately on any conflict
+  kWaitDie = 1,         ///< 2PL, wait-die (the paper's §5 extension)
+  kDeadlockDetect = 2,  ///< 2PL, waits-for cycle detection at enqueue
+  kMvcc = 3,            ///< multiversion timestamps, first-committer-wins
+  kOcc = 4,             ///< optimistic, backward validation at commit
+};
+
+const char* ToString(ProtocolKind k);
+
+}  // namespace voodb::cc

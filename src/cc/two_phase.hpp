@@ -1,0 +1,168 @@
+/// \file two_phase.hpp
+/// \brief The three 2PL protocol variants: no-wait, wait-die, and
+/// waits-for cycle detection.
+///
+/// All three share the object-granularity S/X lock table shape of
+/// core::LockManager; they differ only in what happens on conflict:
+///
+///  - **NoWait2pl** aborts the requester immediately — no queue at all,
+///    the cheapest table and the highest abort rate under contention.
+///  - **WaitDie2pl** *wraps* the existing core::LockManager verbatim, so
+///    the pre-subsystem behavior (and its event stream, bit for bit) is
+///    one protocol among peers rather than special-cased in the
+///    Transaction Manager.
+///  - **DeadlockDetect2pl** lets every conflicting request wait FIFO and
+///    runs a waits-for cycle search at enqueue time, aborting the
+///    requester only when parking it would actually close a cycle —
+///    fewer aborts than wait-die, at the cost of the graph walk.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/protocol.hpp"
+#include "voodb/lock_manager.hpp"
+
+namespace voodb::cc {
+
+/// 2PL that never queues: any conflict aborts the requester immediately.
+class NoWait2pl final : public Protocol {
+ public:
+  explicit NoWait2pl(desp::Scheduler* scheduler);
+
+  ProtocolKind kind() const override { return ProtocolKind::kNoWait; }
+  void Begin(uint64_t txn, uint64_t age) override;
+  void Access(uint64_t txn, ocb::Oid oid, bool write, Action granted,
+              Action aborted) override;
+  bool ValidateCommit(uint64_t txn) override { return true; }
+  void Commit(uint64_t txn) override;
+  void Abort(uint64_t txn) override;
+  size_t ActiveTransactions() const override { return table_.active(); }
+  size_t PoolCapacity() const { return table_.capacity(); }
+
+ private:
+  struct Holder {
+    uint64_t txn;
+    core::LockMode mode;
+  };
+  struct Entry {
+    std::vector<Holder> holders;
+  };
+  struct TxnState {
+    std::vector<ocb::Oid> held;  // may contain duplicates for upgrades
+    void Recycle() { held.clear(); }
+  };
+
+  bool Holds(uint64_t txn, ocb::Oid oid, core::LockMode mode) const;
+  bool Compatible(const Entry& entry, uint64_t txn,
+                  core::LockMode mode) const;
+  void Grant(Entry& entry, uint64_t txn, core::LockMode mode);
+  void ReleaseAll(uint64_t txn);
+
+  std::unordered_map<ocb::Oid, Entry> locks_;
+  TxnTable<TxnState> table_;
+};
+
+/// 2PL wait-die: delegation to the pre-subsystem core::LockManager, so
+/// existing runs under the default protocol stay byte-identical.
+class WaitDie2pl final : public Protocol {
+ public:
+  explicit WaitDie2pl(desp::Scheduler* scheduler);
+
+  ProtocolKind kind() const override { return ProtocolKind::kWaitDie; }
+  void Begin(uint64_t txn, uint64_t age) override;
+  void Access(uint64_t txn, ocb::Oid oid, bool write, Action granted,
+              Action aborted) override;
+  bool ValidateCommit(uint64_t txn) override { return true; }
+  void Commit(uint64_t txn) override;
+  void Abort(uint64_t txn) override;
+  size_t ActiveTransactions() const override {
+    return lock_manager_.ActiveTransactions();
+  }
+  const desp::LogHistogram& wait_histogram() const override {
+    return lock_manager_.stats().wait_histogram;
+  }
+  const core::LockManager* lock_manager() const override {
+    return &lock_manager_;
+  }
+  /// Registers the wrapped manager's `lock.*` metrics (the pre-subsystem
+  /// set, unchanged) plus `cc.*` aliases over the same cells.
+  void RegisterMetrics(obs::MetricRegistry& registry) const override;
+
+ private:
+  core::LockManager lock_manager_;
+};
+
+/// 2PL with FIFO waiting and waits-for cycle detection at enqueue time.
+class DeadlockDetect2pl final : public Protocol {
+ public:
+  explicit DeadlockDetect2pl(desp::Scheduler* scheduler);
+
+  ProtocolKind kind() const override {
+    return ProtocolKind::kDeadlockDetect;
+  }
+  void Begin(uint64_t txn, uint64_t age) override;
+  void Access(uint64_t txn, ocb::Oid oid, bool write, Action granted,
+              Action aborted) override;
+  bool ValidateCommit(uint64_t txn) override { return true; }
+  void Commit(uint64_t txn) override;
+  void Abort(uint64_t txn) override;
+  size_t ActiveTransactions() const override { return table_.active(); }
+  size_t PoolCapacity() const { return table_.capacity(); }
+
+ private:
+  struct Holder {
+    uint64_t txn;
+    core::LockMode mode;
+  };
+  struct Waiter {
+    uint64_t txn;
+    core::LockMode mode;
+    double enqueued_at;
+    Action granted;
+  };
+  struct Entry {
+    std::vector<Holder> holders;
+    std::deque<Waiter> waiters;
+  };
+  struct TxnState {
+    std::vector<ocb::Oid> held;  // may contain duplicates for upgrades
+    /// The oid this transaction is parked on (the Transaction Manager
+    /// issues accesses strictly one at a time, so at most one).
+    bool waiting = false;
+    ocb::Oid waiting_on = 0;
+    /// Cycle-search stamp: search ids strictly increase, so a stale mark
+    /// never matches and needs no reset on recycle.
+    uint64_t visit_mark = 0;
+    void Recycle() {
+      held.clear();
+      waiting = false;
+    }
+  };
+
+  bool Holds(uint64_t txn, ocb::Oid oid, core::LockMode mode) const;
+  bool Compatible(const Entry& entry, uint64_t txn,
+                  core::LockMode mode) const;
+  void Grant(Entry& entry, uint64_t txn, core::LockMode mode);
+  void WakeWaiters(ocb::Oid oid);
+  void ReleaseAll(uint64_t txn);
+  /// True when parking `txn` on `oid` (either at the queue front, for
+  /// upgrades, or at the back) would close a waits-for cycle.  Edges are
+  /// derived on the fly from the current table: a parked waiter waits on
+  /// every conflicting holder and every conflicting waiter ahead of it.
+  bool WouldDeadlock(uint64_t txn, ocb::Oid oid, core::LockMode mode,
+                     bool front);
+  /// DFS helper: true when `target` (a parked or about-to-park txn) can
+  /// reach `origin` through waits-for edges.
+  bool Reaches(uint64_t target, uint64_t origin);
+
+  std::unordered_map<ocb::Oid, Entry> locks_;
+  TxnTable<TxnState> table_;
+  std::vector<uint64_t> dfs_stack_;  // reused across cycle searches
+  uint64_t dfs_search_ = 0;          // current search id (visit stamps)
+};
+
+}  // namespace voodb::cc

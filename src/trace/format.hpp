@@ -33,9 +33,13 @@ inline constexpr uint32_t kMagic = 0x43525456u;
 /// Version 2 packs the issuing user's id into kTxnBegin's id column —
 /// `(user << kTxnUserShift) | kind` — so traces of concurrent or
 /// sharded runs replay as per-user transaction streams.  The zigzag
-/// varint delta coding absorbs the widened ids.  The reader still
-/// accepts version-1 traces (every marker decodes as user 0).
-inline constexpr uint32_t kFormatVersion = 2;
+/// varint delta coding absorbs the widened ids.  Version 3 adds the
+/// kTxnAbort marker (concurrency-control aborts/restarts), so
+/// contention runs replay as full transaction streams including the
+/// discarded attempts.  The reader still accepts version-1 and -2
+/// traces (v1 markers decode as user 0; pre-v3 traces simply contain
+/// no abort markers).
+inline constexpr uint32_t kFormatVersion = 3;
 inline constexpr uint32_t kMinFormatVersion = 1;
 
 /// kTxnBegin id column layout (format v2): low byte = transaction kind
@@ -83,6 +87,10 @@ enum class RecordKind : uint8_t {
   kTxnEnd = 1,
   kObject = 2,
   kPage = 3,
+  /// The in-flight attempt was aborted by concurrency control and will
+  /// be retried: accesses recorded since the enclosing kTxnBegin belong
+  /// to the discarded attempt (format v3+).
+  kTxnAbort = 4,
 };
 
 /// One decoded trace record.  The reader normalizes kTxnBegin across

@@ -131,6 +131,7 @@ void MrcAnalyzer::Consume(Reader& reader) {
         OnTxnBegin();
         break;
       case RecordKind::kTxnEnd:
+      case RecordKind::kTxnAbort:
         break;
     }
   }

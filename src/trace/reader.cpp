@@ -104,7 +104,11 @@ bool Reader::Next(Record& record) {
     if (!LoadChunk()) return false;
   }
   const uint32_t i = cursor_++;
-  VOODB_CHECK_MSG(kinds_[i] <= static_cast<uint8_t>(RecordKind::kPage),
+  // kTxnAbort exists from format v3 on; in older traces the value is
+  // corruption, not a record.
+  const uint8_t max_kind = static_cast<uint8_t>(
+      header_.version >= 3 ? RecordKind::kTxnAbort : RecordKind::kPage);
+  VOODB_CHECK_MSG(kinds_[i] <= max_kind,
                   "corrupt record kind " << static_cast<int>(kinds_[i]));
   record.kind = static_cast<RecordKind>(kinds_[i]);
   record.id = ids_[i];

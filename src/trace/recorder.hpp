@@ -30,6 +30,8 @@ class Recorder {
     Append(RecordKind::kTxnBegin, PackTxnBegin(kind, user), false);
   }
   void OnTxnEnd() { Append(RecordKind::kTxnEnd, 0, false); }
+  /// Marks a concurrency-control abort of the in-flight attempt (v3).
+  void OnTxnAbort() { Append(RecordKind::kTxnAbort, 0, false); }
   void OnObject(uint64_t oid, bool write) {
     Append(RecordKind::kObject, oid, write);
   }

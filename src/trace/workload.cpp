@@ -51,6 +51,15 @@ ocb::Transaction TraceWorkload::Next() {
           return txn;
         }
         break;
+      case RecordKind::kTxnAbort:
+        // The attempt recorded so far was discarded by concurrency
+        // control; the retry re-records its accesses, so the replayed
+        // transaction keeps only the attempt that committed.
+        if (in_txn) {
+          txn.accesses.clear();
+          txn.root = 0;
+        }
+        break;
       case RecordKind::kPage:
         break;  // physical stream; irrelevant to the logical workload
     }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cc/kind.hpp"
 #include "desp/event_queue.hpp"
 #include "storage/disk_model.hpp"
 #include "storage/placement.hpp"
@@ -89,7 +90,11 @@ struct VoodbConfig {
   /// fixed GETLOCK delay alone.  Wait-die resolves deadlocks; aborted
   /// transactions restart after an exponential backoff.
   bool use_lock_manager = false;
-  /// Mean of the exponential restart backoff (ms) after a wait-die abort.
+  /// Concurrency-control protocol driven by the Transaction Manager when
+  /// use_lock_manager is on (wait_die reproduces the pre-subsystem
+  /// LockManager behavior bit for bit).
+  cc::ProtocolKind cc_protocol = cc::ProtocolKind::kWaitDie;
+  /// Mean of the exponential restart backoff (ms) after a CC abort.
   double restart_backoff_ms = 20.0;
 
   // --- Random hazards (paper §5 extension) ----------------------------------

@@ -249,9 +249,21 @@ double ParamRegistry::ParseValue(const std::string& name,
   char* end = nullptr;
   const double v = std::strtod(text.c_str(), &end);
   if (!text.empty() && end != nullptr && *end == '\0') return v;
+  // A misspelled enum value gets a did-you-mean over every accepted
+  // spelling, matching the unknown-parameter diagnostic in At().
+  std::string hint;
+  if (d.type == ParamType::kEnum) {
+    std::vector<std::string> spellings;
+    for (const auto& value_spellings : d.enum_values) {
+      spellings.insert(spellings.end(), value_spellings.begin(),
+                       value_spellings.end());
+    }
+    const std::string nearest = util::NearestMatch(text, spellings);
+    if (!nearest.empty()) hint = " (did you mean '" + nearest + "'?)";
+  }
   VOODB_CHECK_MSG(false, "parameter '" << name << "' (" << ToString(d.type)
-                                       << ") got '" << text
-                                       << "'; valid: " << d.RangeText());
+                                       << ") got '" << text << "'" << hint
+                                       << "; valid: " << d.RangeText());
   return 0.0;
 }
 
@@ -550,8 +562,15 @@ ParamRegistry::ParamRegistry() {
   b.System("use_lock_manager", &VoodbConfig::use_lock_manager,
            "real object-level 2PL with wait-die instead of the fixed "
            "GETLOCK delay");
+  b.System("cc_protocol", &VoodbConfig::cc_protocol,
+           "concurrency-control protocol when use_lock_manager is on")
+      .Enum({{"no_wait", "nowait"},
+             {"wait_die", "waitdie"},
+             {"deadlock_detect", "detect"},
+             {"mvcc"},
+             {"occ"}});
   b.System("restart_backoff_ms", &VoodbConfig::restart_backoff_ms,
-           "mean exponential restart backoff ms after a wait-die abort")
+           "mean exponential restart backoff ms after a CC abort")
       .Range(0.0);
   b.System("failure_mtbf_ms", &VoodbConfig::failure_mtbf_ms,
            "mean time between crashes ms; 0 disables the hazard process")

@@ -80,6 +80,7 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
     trace_recorder_ = std::make_unique<trace::Recorder>(trace_writer_.get());
     buffering_->SetRecorder(trace_recorder_.get());
     object_manager_->SetRecorder(trace_recorder_.get());
+    tm_->SetRecorder(trace_recorder_.get());
   }
   RegisterMetrics();
   if (config_.observe || !config_.profile_path.empty()) {
@@ -123,6 +124,7 @@ void VoodbSystem::FinishTrace() {
   // on the next flush.
   buffering_->SetRecorder(nullptr);
   object_manager_->SetRecorder(nullptr);
+  tm_->SetRecorder(nullptr);
   trace_recorder_->Flush();
   if (buffering_->DroppedWhileRecording()) {
     trace_writer_->AddFlags(trace::kFlagBufferDrop);
@@ -262,8 +264,10 @@ VoodbSystem::Snapshot VoodbSystem::Take() const {
   s.response_sum = tm_->response_times().sum();
   s.time = scheduler_->Now();
   s.response_histogram = tm_->response_histogram();
-  if (tm_->lock_manager() != nullptr) {
-    s.lock_wait_histogram = tm_->lock_manager()->stats().wait_histogram;
+  if (tm_->cc_protocol() != nullptr) {
+    // Under wait_die this reads the wrapped LockManager's histogram —
+    // the pre-subsystem series, unchanged.
+    s.lock_wait_histogram = tm_->cc_protocol()->wait_histogram();
   }
   s.disk_service_histogram = io_->service_histogram();
   return s;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "trace/recorder.hpp"
 #include "util/check.hpp"
 
 namespace voodb::core {
@@ -28,150 +29,195 @@ TransactionManagerActor::TransactionManagerActor(
   VOODB_CHECK_MSG(object_manager_ && buffering_ && clustering_ && network_,
                   "transaction manager needs its peers");
   if (config_.use_lock_manager) {
-    lock_manager_ = std::make_unique<LockManager>(scheduler);
+    protocol_ = cc::MakeProtocol(config_.cc_protocol, scheduler);
   }
+}
+
+TransactionManagerActor::Handle TransactionManagerActor::AllocInFlight() {
+  uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Slot& slot = pool_[index];
+  slot.live = true;
+  ++pool_live_;
+  return Handle{index, slot.generation};
+}
+
+TransactionManagerActor::InFlight& TransactionManagerActor::At(Handle h) {
+  VOODB_CHECK_MSG(h.index < pool_.size(), "bad in-flight handle");
+  Slot& slot = pool_[h.index];
+  VOODB_CHECK_MSG(slot.live && slot.generation == h.generation,
+                  "stale in-flight handle (slot recycled)");
+  return slot.state;
+}
+
+void TransactionManagerActor::FreeInFlight(Handle h) {
+  Slot& slot = pool_[h.index];
+  VOODB_CHECK_MSG(slot.live && slot.generation == h.generation,
+                  "double free of in-flight handle");
+  // Recycle keeping heap capacity (txn access vector, done target).
+  slot.state.txn.accesses.clear();
+  slot.state.next_access = 0;
+  slot.state.response_bytes = 0;
+  slot.state.attempts = 0;
+  slot.state.done = nullptr;
+  slot.live = false;
+  ++slot.generation;  // invalidate any still-outstanding handle
+  --pool_live_;
+  free_slots_.push_back(h.index);
 }
 
 void TransactionManagerActor::Submit(ocb::Transaction txn,
                                      std::function<void()> done) {
   VOODB_CHECK_MSG(static_cast<bool>(done), "Submit needs a continuation");
-  auto state = std::make_shared<InFlight>();
-  state->txn = std::move(txn);
-  state->done = std::move(done);
+  const Handle h = AllocInFlight();
+  InFlight& state = At(h);
+  state.txn = std::move(txn);
+  state.done = std::move(done);
   const double submitted_at = Now();
-  db_scheduler_.AcquireAction([this, state, submitted_at]() {
-    state->admitted_at = submitted_at;  // response time includes queueing
-    if (lock_manager_ != nullptr) {
-      state->txn_id = next_txn_id_++;
-      state->age_stamp = next_age_stamp_++;
-      lock_manager_->BeginTransaction(state->txn_id,
-                                      static_cast<double>(state->age_stamp));
+  db_scheduler_.AcquireAction([this, h, submitted_at]() {
+    InFlight& s = At(h);
+    s.admitted_at = submitted_at;  // response time includes queueing
+    if (protocol_ != nullptr) {
+      s.txn_id = next_txn_id_++;
+      s.age_stamp = next_age_stamp_++;
+      s.attempts = 1;
+      protocol_->Begin(s.txn_id, s.age_stamp);
     }
     clustering_->OnTransactionStart();
     if (config_.system_class == SystemClass::kDbServer) {
       // The whole query ships to the server up front.
-      network_->Transfer(kRequestBytes,
-                         [this, state]() { ProcessNext(state); });
+      network_->Transfer(kRequestBytes, [this, h]() { ProcessNext(h); });
     } else {
-      ProcessNext(state);
+      ProcessNext(h);
     }
   });
 }
 
-void TransactionManagerActor::ProcessNext(std::shared_ptr<InFlight> state) {
-  if (state->next_access >= state->txn.accesses.size()) {
-    Commit(std::move(state));
+void TransactionManagerActor::ProcessNext(Handle h) {
+  InFlight& state = At(h);
+  if (state.next_access >= state.txn.accesses.size()) {
+    Commit(h);
     return;
   }
   // GETLOCK: lock acquisition for this object operation, on the CPU.
   double cpu_cost = config_.get_lock_ms + config_.object_cpu_ms;
   if (clustering_->enabled()) cpu_cost += config_.clustering_stat_cpu_ms;
   if (cpu_cost > 0.0) {
-    cpu_.AcquireFor(cpu_cost,
-                    [this, state = std::move(state)]() mutable {
-                      AccessObject(std::move(state));
-                    });
+    cpu_.AcquireFor(cpu_cost, [this, h]() { AccessObject(h); });
   } else {
-    AccessObject(std::move(state));
+    AccessObject(h);
   }
 }
 
-void TransactionManagerActor::AccessObject(std::shared_ptr<InFlight> state) {
-  const ocb::ObjectAccess access = state->txn.accesses[state->next_access];
-  ++state->next_access;
-  if (lock_manager_ != nullptr) {
-    const LockMode mode =
-        access.is_write ? LockMode::kExclusive : LockMode::kShared;
-    lock_manager_->Acquire(
-        state->txn_id, access.oid, mode,
-        [this, state, access]() mutable {
-          PerformAccess(std::move(state), access);
-        },
-        [this, state]() mutable { Restart(std::move(state)); });
+void TransactionManagerActor::AccessObject(Handle h) {
+  InFlight& state = At(h);
+  const ocb::ObjectAccess access = state.txn.accesses[state.next_access];
+  ++state.next_access;
+  if (protocol_ != nullptr) {
+    protocol_->Access(
+        state.txn_id, access.oid, access.is_write,
+        [this, h, access]() { PerformAccess(h, access); },
+        [this, h]() { Restart(h); });
     return;
   }
-  PerformAccess(std::move(state), access);
+  PerformAccess(h, access);
 }
 
-void TransactionManagerActor::Restart(std::shared_ptr<InFlight> state) {
-  // Wait-die abort: release everything, back off, retry from the start
-  // with a fresh lock identity but the original age stamp (so the
-  // transaction eventually becomes the oldest and cannot starve).
+void TransactionManagerActor::Restart(Handle h) {
+  // Concurrency-control abort (wait-die "die", no-wait conflict,
+  // deadlock, write conflict, or failed validation): release everything,
+  // back off, retry from the start with a fresh protocol identity but
+  // the original age stamp (so under wait-die the transaction eventually
+  // becomes the oldest and cannot starve).
+  InFlight& state = At(h);
   ++restarts_;
-  lock_manager_->ReleaseAll(state->txn_id);
-  state->next_access = 0;
-  state->response_bytes = 0;
+  protocol_->Abort(state.txn_id);
+  if (recorder_ != nullptr) recorder_->OnTxnAbort();
+  state.next_access = 0;
+  state.response_bytes = 0;
   const double backoff = config_.restart_backoff_ms > 0.0
                              ? backoff_rng_.Exponential(
                                    config_.restart_backoff_ms)
                              : 0.0;
-  CallIn(backoff, &TransactionManagerActor::Reattempt, std::move(state));
+  CallIn(backoff, &TransactionManagerActor::Reattempt, h);
 }
 
-void TransactionManagerActor::Reattempt(std::shared_ptr<InFlight> state) {
-  state->txn_id = next_txn_id_++;
-  lock_manager_->BeginTransaction(state->txn_id,
-                                  static_cast<double>(state->age_stamp));
-  ProcessNext(std::move(state));
+void TransactionManagerActor::Reattempt(Handle h) {
+  InFlight& state = At(h);
+  state.txn_id = next_txn_id_++;
+  ++state.attempts;
+  protocol_->Begin(state.txn_id, state.age_stamp);
+  ProcessNext(h);
 }
 
-void TransactionManagerActor::PerformAccess(std::shared_ptr<InFlight> state,
+void TransactionManagerActor::PerformAccess(Handle h,
                                             ocb::ObjectAccess access) {
   ++object_operations_;
   clustering_->OnObjectAccess(access.oid, access.is_write);
   const storage::PageSpan span = object_manager_->SpanOf(access.oid);
   const uint64_t object_bytes = object_manager_->base().SizeOf(access.oid);
   buffering_->AccessObject(
-      access.oid, access.is_write,
-      [this, state = std::move(state), span, object_bytes]() mutable {
+      access.oid, access.is_write, [this, h, span, object_bytes]() {
         // Client-Server shipping once the data is server-resident.
         switch (config_.system_class) {
           case SystemClass::kCentralized:
-            ProcessNext(std::move(state));
+            ProcessNext(h);
             break;
           case SystemClass::kPageServer:
-            ShipAndContinue(std::move(state),
+            ShipAndContinue(h,
                             kRequestBytes + static_cast<uint64_t>(span.count) *
                                                 config_.page_size);
             break;
           case SystemClass::kObjectServer:
-            ShipAndContinue(std::move(state), kRequestBytes + object_bytes);
+            ShipAndContinue(h, kRequestBytes + object_bytes);
             break;
           case SystemClass::kDbServer:
             // Results accumulate and ship at commit.
-            state->response_bytes += object_bytes;
-            ProcessNext(std::move(state));
+            At(h).response_bytes += object_bytes;
+            ProcessNext(h);
             break;
         }
       });
 }
 
-void TransactionManagerActor::ShipAndContinue(std::shared_ptr<InFlight> state,
-                                              uint64_t bytes) {
-  network_->Transfer(bytes, [this, state = std::move(state)]() mutable {
-    ProcessNext(std::move(state));
-  });
+void TransactionManagerActor::ShipAndContinue(Handle h, uint64_t bytes) {
+  network_->Transfer(bytes, [this, h]() { ProcessNext(h); });
 }
 
-void TransactionManagerActor::Commit(std::shared_ptr<InFlight> state) {
+void TransactionManagerActor::Commit(Handle h) {
+  InFlight& state = At(h);
+  // Commit-time validation (OCC backward validation, MVCC first
+  // committer): a failed attempt restarts like any other abort.
+  if (protocol_ != nullptr && !protocol_->ValidateCommit(state.txn_id)) {
+    Restart(h);
+    return;
+  }
   // RELLOCK: every lock acquired by the transaction is released.
   const double release_cost =
       config_.release_lock_ms *
-      static_cast<double>(state->txn.accesses.size());
-  auto finish = [this, state]() mutable {
-    auto complete = [this, state]() mutable {
-      auto retire = [this, state]() mutable {
-        if (lock_manager_ != nullptr) {
-          lock_manager_->ReleaseAll(state->txn_id);  // strict 2PL
+      static_cast<double>(state.txn.accesses.size());
+  auto finish = [this, h]() {
+    auto complete = [this, h]() {
+      auto retire = [this, h]() {
+        InFlight& s = At(h);
+        if (protocol_ != nullptr) {
+          protocol_->Commit(s.txn_id);  // strict 2PL release / install
+          retry_histogram_.Add(static_cast<double>(s.attempts - 1));
         }
         clustering_->OnTransactionEnd();
         db_scheduler_.Release();
         ++committed_;
-        const double response = Now() - state->admitted_at;
+        const double response = Now() - s.admitted_at;
         response_times_.Add(response);
         response_histogram_.Add(response);
-        auto done = std::move(state->done);
-        state.reset();
+        auto done = std::move(s.done);
+        FreeInFlight(h);
         done();
       };
       if (config_.flush_on_commit) {
@@ -181,8 +227,8 @@ void TransactionManagerActor::Commit(std::shared_ptr<InFlight> state) {
       }
     };
     if (config_.system_class == SystemClass::kDbServer &&
-        state->response_bytes > 0) {
-      network_->Transfer(state->response_bytes, std::move(complete));
+        At(h).response_bytes > 0) {
+      network_->Transfer(At(h).response_bytes, std::move(complete));
     } else {
       complete();
     }
@@ -203,7 +249,10 @@ void TransactionManagerActor::RegisterMetrics(
   registry.RegisterHistogram("txn.response_ms", &response_histogram_);
   registry.RegisterGauge("txn.scheduler_utilization",
                          [this] { return SchedulerUtilization(); });
-  if (lock_manager_ != nullptr) lock_manager_->RegisterMetrics(registry);
+  if (protocol_ != nullptr) {
+    protocol_->RegisterMetrics(registry);
+    registry.RegisterHistogram("cc.retries", &retry_histogram_);
+  }
 }
 
 }  // namespace voodb::core

@@ -8,12 +8,27 @@
 /// (GETLOCK on the CPU), asks the Object Manager for the object's pages,
 /// the Buffering Manager for those pages, the network for shipping
 /// (Client-Server classes), and releases locks at commit (RELLOCK).
+///
+/// Concurrency control is delegated to a pluggable `cc::Protocol`
+/// (selected by VoodbConfig::cc_protocol when use_lock_manager is on):
+/// the manager registers each attempt, routes every object operation
+/// through the protocol's access decision, validates at commit, and
+/// restarts aborted attempts after a randomized backoff — identically
+/// for lock-based, multiversion, and optimistic schemes.
+///
+/// In-flight transaction state lives in a generation-counted slot pool
+/// (the DES arena discipline): continuations capture an 8-byte handle,
+/// not a `shared_ptr`, so the steady-state hot path performs no
+/// allocation per attempt and the pool size is bounded by the
+/// multiprogramming level, not the run length.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
+#include "cc/protocol.hpp"
 #include "desp/actor.hpp"
 #include "desp/histogram.hpp"
 #include "desp/random.hpp"
@@ -31,6 +46,10 @@
 namespace voodb::obs {
 class MetricRegistry;
 }  // namespace voodb::obs
+
+namespace voodb::trace {
+class Recorder;
+}  // namespace voodb::trace
 
 namespace voodb::core {
 
@@ -50,7 +69,7 @@ class TransactionManagerActor : public desp::Actor {
 
   uint64_t committed() const { return committed_; }
   uint64_t object_operations() const { return object_operations_; }
-  /// Wait-die restarts (0 unless use_lock_manager).
+  /// Concurrency-control restarts (0 unless use_lock_manager).
   uint64_t restarts() const { return restarts_; }
   const desp::Tally& response_times() const { return response_times_; }
   /// Full response-time distribution (ms) since construction; use
@@ -59,10 +78,27 @@ class TransactionManagerActor : public desp::Actor {
     return response_histogram_;
   }
   double SchedulerUtilization() const { return db_scheduler_.Utilization(); }
-  /// The lock manager (nullptr unless use_lock_manager).
-  const LockManager* lock_manager() const { return lock_manager_.get(); }
+  /// The wait-die lock manager (nullptr unless the active protocol wraps
+  /// one, i.e. cc_protocol=wait_die) — pre-subsystem accessor, kept for
+  /// tests and diagnostics.
+  const LockManager* lock_manager() const {
+    return protocol_ == nullptr ? nullptr : protocol_->lock_manager();
+  }
+  /// The concurrency-control protocol (nullptr unless use_lock_manager).
+  const cc::Protocol* cc_protocol() const { return protocol_.get(); }
 
-  /// Registers this actor's counters/histograms (and the lock manager's,
+  /// In-flight slot-pool occupancy/capacity — the capacity is bounded by
+  /// the concurrency in flight, never by transactions run (micro_cc
+  /// asserts this).
+  size_t inflight_pool_live() const { return pool_live_; }
+  size_t inflight_pool_capacity() const { return pool_.size(); }
+
+  /// Attaches/detaches (nullptr) a trace recorder; aborted attempts are
+  /// recorded as kTxnAbort markers so contention runs replay as full
+  /// transaction streams.
+  void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
+  /// Registers this actor's counters/histograms (and the protocol's,
   /// when enabled) with `registry` — pointer handles, no update overhead.
   void RegisterMetrics(obs::MetricRegistry& registry) const;
 
@@ -72,20 +108,37 @@ class TransactionManagerActor : public desp::Actor {
     size_t next_access = 0;
     double admitted_at = 0.0;
     uint64_t response_bytes = 0;  // DbServer: result shipped at commit
-    uint64_t txn_id = 0;          // lock-manager identity (per attempt)
+    uint64_t txn_id = 0;          // protocol identity (per attempt)
     uint64_t age_stamp = 0;       // wait-die age (kept across restarts)
+    uint64_t attempts = 0;        // 1 + restarts of this transaction
     std::function<void()> done;
   };
+  /// Generation-counted reference into the slot pool.  Continuations
+  /// capture this by value and re-resolve on fire, so pool growth never
+  /// invalidates an outstanding callback and a stale handle is caught by
+  /// the generation check instead of corrupting a recycled slot.
+  struct Handle {
+    uint32_t index = 0;
+    uint32_t generation = 0;
+  };
+  struct Slot {
+    InFlight state;
+    uint32_t generation = 0;
+    bool live = false;
+  };
 
-  void ProcessNext(std::shared_ptr<InFlight> state);
-  void AccessObject(std::shared_ptr<InFlight> state);
-  void PerformAccess(std::shared_ptr<InFlight> state,
-                     ocb::ObjectAccess access);
-  void Restart(std::shared_ptr<InFlight> state);
-  /// Backoff elapsed: re-register with the lock manager and retry.
-  void Reattempt(std::shared_ptr<InFlight> state);
-  void ShipAndContinue(std::shared_ptr<InFlight> state, uint64_t bytes);
-  void Commit(std::shared_ptr<InFlight> state);
+  Handle AllocInFlight();
+  InFlight& At(Handle h);
+  void FreeInFlight(Handle h);
+
+  void ProcessNext(Handle h);
+  void AccessObject(Handle h);
+  void PerformAccess(Handle h, ocb::ObjectAccess access);
+  void Restart(Handle h);
+  /// Backoff elapsed: re-register with the protocol and retry.
+  void Reattempt(Handle h);
+  void ShipAndContinue(Handle h, uint64_t bytes);
+  void Commit(Handle h);
 
   const VoodbConfig config_;
   ObjectManagerActor* object_manager_;
@@ -94,8 +147,12 @@ class TransactionManagerActor : public desp::Actor {
   NetworkActor* network_;
   desp::Resource db_scheduler_;  ///< capacity = MULTILVL
   desp::Resource cpu_;           ///< server CPU (locks, object ops, stats)
-  std::unique_ptr<LockManager> lock_manager_;  ///< §5 extension
+  std::unique_ptr<cc::Protocol> protocol_;  ///< §5 extension, pluggable
+  trace::Recorder* recorder_ = nullptr;
   desp::RandomStream backoff_rng_;
+  std::vector<Slot> pool_;
+  std::vector<uint32_t> free_slots_;
+  size_t pool_live_ = 0;
   uint64_t next_txn_id_ = 1;
   uint64_t next_age_stamp_ = 1;
   uint64_t committed_ = 0;
@@ -103,6 +160,9 @@ class TransactionManagerActor : public desp::Actor {
   uint64_t restarts_ = 0;
   desp::Tally response_times_;
   desp::LogHistogram response_histogram_;
+  /// Restarts per committed transaction (cc.retries) when a protocol is
+  /// active.
+  desp::LogHistogram retry_histogram_;
 };
 
 }  // namespace voodb::core

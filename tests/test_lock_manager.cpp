@@ -167,6 +167,106 @@ TEST_F(LockManagerTest, YoungerRequesterDiesBehindOlderQueuedExclusive) {
   EXPECT_TRUE(died);
 }
 
+TEST_F(LockManagerTest, UpgradeBypassesParkedWaitersWhenSoleHolder) {
+  // T1 (younger) is the sole S holder; T2 (older) parks an X request
+  // behind it.  T1's S->X upgrade must jump the queue: upgrades are
+  // granted ahead of parked waiters when the holders are compatible,
+  // otherwise the upgrade and the waiter deadlock forever.
+  lm_.BeginTransaction(1, 2.0);  // younger holder
+  lm_.BeginTransaction(2, 1.0);  // older waiter
+  lm_.Acquire(1, 10, LockMode::kShared, [] {}, [] { FAIL(); });
+  sched_.Run();
+  bool waiter_granted = false;
+  lm_.Acquire(2, 10, LockMode::kExclusive, [&] { waiter_granted = true; },
+              [] { FAIL() << "older waiter must not die"; });
+  sched_.Run();
+  ASSERT_FALSE(waiter_granted);
+  bool upgraded = false;
+  lm_.Acquire(1, 10, LockMode::kExclusive, [&] { upgraded = true; },
+              [] { FAIL() << "sole-holder upgrade must not die"; });
+  sched_.Run();
+  EXPECT_TRUE(upgraded);
+  EXPECT_TRUE(lm_.Holds(1, 10, LockMode::kExclusive));
+  EXPECT_FALSE(waiter_granted);  // still parked behind the upgraded X
+  lm_.ReleaseAll(1);
+  sched_.Run();
+  EXPECT_TRUE(waiter_granted);
+  EXPECT_EQ(lm_.stats().upgrades, 1u);
+}
+
+TEST_F(LockManagerTest, ParkedUpgradeCompletesWhenOtherHolderReleases) {
+  // Both hold S; the older one's upgrade parks at the queue FRONT and a
+  // younger request behind it dies (the parked upgrade is a wait-die
+  // target).  Releasing the other S holder completes the upgrade.
+  lm_.BeginTransaction(1, 1.0);  // older, will upgrade
+  lm_.BeginTransaction(2, 2.0);  // younger co-holder
+  lm_.BeginTransaction(3, 3.0);  // youngest, dies behind the upgrade
+  lm_.Acquire(1, 10, LockMode::kShared, [] {}, [] { FAIL(); });
+  lm_.Acquire(2, 10, LockMode::kShared, [] {}, [] { FAIL(); });
+  sched_.Run();
+  bool upgraded = false;
+  lm_.Acquire(1, 10, LockMode::kExclusive, [&] { upgraded = true; },
+              [] { FAIL() << "older upgrade must wait, not die"; });
+  sched_.Run();
+  EXPECT_FALSE(upgraded);
+  EXPECT_EQ(lm_.stats().waits, 1u);
+  bool died = false;
+  lm_.Acquire(3, 10, LockMode::kShared, [] { FAIL(); }, [&] { died = true; });
+  sched_.Run();
+  EXPECT_TRUE(died);  // parked X upgrade ahead is older -> die
+  lm_.ReleaseAll(2);
+  sched_.Run();
+  EXPECT_TRUE(upgraded);
+  EXPECT_TRUE(lm_.Holds(1, 10, LockMode::kExclusive));
+  EXPECT_EQ(lm_.stats().upgrades, 1u);
+}
+
+TEST_F(LockManagerTest, UpgradeDeathLeavesSharedHoldReleasable) {
+  // Wait-die kills a younger upgrade attempt mid-transaction: the S hold
+  // must survive the death (the TM aborts and releases explicitly), and
+  // ReleaseAll must then clean it up and unblock the other upgrader.
+  lm_.BeginTransaction(1, 1.0);  // older
+  lm_.BeginTransaction(2, 2.0);  // younger
+  lm_.Acquire(1, 10, LockMode::kShared, [] {}, [] { FAIL(); });
+  lm_.Acquire(2, 10, LockMode::kShared, [] {}, [] { FAIL(); });
+  sched_.Run();
+  bool died = false;
+  lm_.Acquire(2, 10, LockMode::kExclusive, [] { FAIL(); },
+              [&] { died = true; });
+  sched_.Run();
+  ASSERT_TRUE(died);
+  EXPECT_TRUE(lm_.Holds(2, 10, LockMode::kShared));  // hold survives
+  bool upgraded = false;
+  lm_.Acquire(1, 10, LockMode::kExclusive, [&] { upgraded = true; },
+              [] { FAIL(); });
+  sched_.Run();
+  EXPECT_FALSE(upgraded);  // still blocked by T2's S
+  lm_.ReleaseAll(2);       // the TM's abort path
+  sched_.Run();
+  EXPECT_TRUE(upgraded);
+  EXPECT_EQ(lm_.ActiveTransactions(), 1u);
+  lm_.ReleaseAll(1);
+  EXPECT_EQ(lm_.ActiveTransactions(), 0u);
+}
+
+TEST_F(LockManagerTest, ReRequestingHeldExclusiveNeverSamplesAWait) {
+  // Re-requesting a held X (in either mode) is a pure re-grant: no new
+  // holder entry, no wait-time sample, only the immediate-grant counter.
+  lm_.BeginTransaction(1, 1.0);
+  lm_.Acquire(1, 10, LockMode::kExclusive, [] {}, [] { FAIL(); });
+  sched_.Run();
+  const uint64_t samples_after_grant = lm_.stats().wait_times.count();
+  int grants = 0;
+  lm_.Acquire(1, 10, LockMode::kExclusive, [&] { ++grants; }, [] { FAIL(); });
+  lm_.Acquire(1, 10, LockMode::kShared, [&] { ++grants; }, [] { FAIL(); });
+  sched_.Run();
+  EXPECT_EQ(grants, 2);
+  EXPECT_EQ(lm_.HeldLocks(1), 1u);
+  EXPECT_EQ(lm_.stats().immediate_grants, 3u);
+  EXPECT_EQ(lm_.stats().wait_times.count(), samples_after_grant);
+  EXPECT_EQ(lm_.stats().upgrades, 0u);
+}
+
 TEST_F(LockManagerTest, WaitTimeMeasured) {
   lm_.BeginTransaction(1, 1.0);
   lm_.BeginTransaction(2, 2.0);

@@ -33,7 +33,7 @@ void ExpectErrorMentions(Fn&& fn, const std::string& needle) {
 // a field was added or removed: update the descriptor table in
 // param_registry.cpp (its sizeof static_asserts fire first on x86-64
 // Linux) and then these counts.
-constexpr size_t kSystemFields = 40;
+constexpr size_t kSystemFields = 41;
 constexpr size_t kDiskFields = 3;
 constexpr size_t kWorkloadFields = 30;
 
@@ -214,6 +214,33 @@ TEST(ParamRegistry, EventQueueAcceptsNamesAliasesAndNumerics) {
             desp::EventQueueKind::kQuaternaryHeap);
   ExpectErrorMentions([] { desp::ParseEventQueueKind("nope"); },
                       "binary_heap | quaternary_heap | calendar_queue");
+}
+
+TEST(ParamRegistry, CcProtocolEnumRoundTripsAndSuggestsNearestSpelling) {
+  VoodbConfig system;
+  ocb::OcbParameters workload;
+  const ParamTarget target{&system, &workload};
+  for (const auto& [spelling, kind] :
+       std::initializer_list<std::pair<const char*, cc::ProtocolKind>>{
+           {"no_wait", cc::ProtocolKind::kNoWait},
+           {"nowait", cc::ProtocolKind::kNoWait},
+           {"wait_die", cc::ProtocolKind::kWaitDie},
+           {"waitdie", cc::ProtocolKind::kWaitDie},
+           {"deadlock_detect", cc::ProtocolKind::kDeadlockDetect},
+           {"detect", cc::ProtocolKind::kDeadlockDetect},
+           {"mvcc", cc::ProtocolKind::kMvcc},
+           {"occ", cc::ProtocolKind::kOcc}}) {
+    Registry().Set(target, "cc_protocol", std::string(spelling));
+    EXPECT_EQ(system.cc_protocol, kind) << spelling;
+  }
+  // A misspelled enum value is rejected with a did-you-mean suggestion
+  // computed over every accepted spelling.
+  ExpectErrorMentions(
+      [&] { Registry().Set(target, "cc_protocol", std::string("walt_die")); },
+      "did you mean 'wait_die'?");
+  ExpectErrorMentions(
+      [&] { Registry().Set(target, "cc_protocol", std::string("mvc")); },
+      "did you mean 'mvcc'?");
 }
 
 TEST(ParamRegistry, RangeViolationsNameTheParameter) {

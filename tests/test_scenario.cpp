@@ -48,7 +48,8 @@ TEST(ScenarioCatalog, RegistersEveryPaperFigureTableAndAblation) {
       "ablation_locking",    "ablation_multiprog",
       "ablation_placement",  "ablation_sysclass",
       "ablation_vm_model",   "shard_scale",
-      "farm_speedup",        "micro_parallel",
+      "farm_speedup",        "cc_abyss",
+      "micro_parallel",      "micro_cc",
       "micro_scheduler",     "micro_storage",
       "trace_mrc",           "fig08_mrc",
       "micro_trace"};

@@ -440,7 +440,7 @@ TEST(TraceFormat, TxnMarkersCarryUserIdsAndNormalizeOnRead) {
     writer.Finish(TraceCounters{});
   }
   Reader reader(&ss);
-  EXPECT_EQ(reader.header().version, 2u);
+  EXPECT_EQ(reader.header().version, kFormatVersion);
   std::vector<Record> records;
   Record r;
   while (reader.Next(r)) records.push_back(r);
@@ -528,6 +528,64 @@ TEST(TraceFormat, ConcurrentRecordingAttributesMarkersToUsers) {
   EXPECT_EQ(distinct.size(), 3u);
   for (const uint32_t user : users_seen) EXPECT_LT(user, 3u);
   std::remove(path.c_str());
+}
+
+// --- Format v3: abort markers -----------------------------------------------
+
+TEST(TraceFormat, TxnAbortMarkersRoundTripAndReplayKeepsCommittedAttempt) {
+  std::stringstream ss = BinaryStream();
+  {
+    Writer writer(&ss, SmallHeader());
+    Recorder recorder(&writer);
+    // One logical transaction, restarted once by concurrency control:
+    // the first attempt touches {10, 11}, aborts, and the retry that
+    // eventually commits touches {20, 21, 22}.
+    recorder.OnTxnBegin(
+        static_cast<uint64_t>(ocb::TransactionKind::kSimpleTraversal),
+        /*user=*/7);
+    recorder.OnObject(10, true);
+    recorder.OnObject(11, false);
+    recorder.OnTxnAbort();
+    recorder.OnObject(20, false);
+    recorder.OnObject(21, true);
+    recorder.OnObject(22, false);
+    recorder.OnTxnEnd();
+    recorder.Flush();
+    writer.Finish(TraceCounters{});
+  }
+  const std::string bytes = ss.str();
+
+  {  // Reader pass: the marker survives the round trip, normalized.
+    std::stringstream in = BinaryStream();
+    in.str(bytes);
+    Reader reader(&in);
+    EXPECT_EQ(reader.header().version, kFormatVersion);
+    std::vector<Record> records;
+    Record r;
+    while (reader.Next(r)) records.push_back(r);
+    ASSERT_EQ(records.size(), 8u);
+    EXPECT_EQ(records[0].kind, RecordKind::kTxnBegin);
+    EXPECT_EQ(records[0].user, 7u);
+    EXPECT_EQ(records[3].kind, RecordKind::kTxnAbort);
+    EXPECT_EQ(records[3].id, 0u);    // markers carry no payload ...
+    EXPECT_EQ(records[3].user, 0u);  // ... and no user field
+    EXPECT_EQ(records[7].kind, RecordKind::kTxnEnd);
+  }
+
+  {  // Replay pass: only the committed attempt's accesses survive.
+    std::stringstream in = BinaryStream();
+    in.str(bytes);
+    TraceWorkload workload(&in);
+    const ocb::Transaction txn = workload.Next();
+    ASSERT_EQ(txn.accesses.size(), 3u);
+    EXPECT_EQ(txn.root, 20u);
+    EXPECT_EQ(txn.accesses[0].oid, 20u);
+    EXPECT_FALSE(txn.accesses[0].is_write);
+    EXPECT_EQ(txn.accesses[1].oid, 21u);
+    EXPECT_TRUE(txn.accesses[1].is_write);
+    EXPECT_EQ(txn.accesses[2].oid, 22u);
+    EXPECT_EQ(workload.transactions_replayed(), 1u);
+  }
 }
 
 }  // namespace
