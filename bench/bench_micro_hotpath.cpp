@@ -1,0 +1,11 @@
+/// \file bench_micro_hotpath.cpp
+/// \brief Thin wrapper over the `micro_hotpath` catalog scenario (see
+/// bench/micro_hotpath.hpp).  Writes BENCH_hotpath.json; exits non-zero
+/// if the fast lane's executed event trace ever diverges from the
+/// embedded heap-only baseline.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return voodb::bench::RunScenarioMain("micro_hotpath", argc, argv,
+                                       "hotpath");
+}

@@ -1,6 +1,7 @@
 #include "harness.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +70,12 @@ class BenchRecorder {
     w.Key("replications").Value(options_.replications);
     w.Key("transactions").Value(options_.transactions);
     w.Key("threads").Value(static_cast<uint64_t>(options_.threads));
+    // The kernel configuration the numbers were measured under.  Both
+    // knobs are bit-identity-preserving, so identity diffs may strip
+    // them alongside wall_clock_ms — but a perf number without them is
+    // unattributable.
+    w.Key("event_queue").Value(desp::ToString(options_.event_queue));
+    w.Key("fast_lane").Value(options_.fast_lane);
     w.Key("ci_level").Value(0.95);
     w.Key("wall_clock_ms").Value(wall_ms);
     w.Key("sections").BeginArray();
@@ -198,6 +205,7 @@ RunOptions ToRunOptions(const exp::ScenarioContext& ctx) {
   options.seed = ctx.options.seed;
   options.threads = ctx.options.threads;
   options.event_queue = ctx.config.system.event_queue;
+  options.fast_lane = ctx.config.system.fast_lane;
   options.csv = ctx.options.csv;
   if (ctx.scenario != nullptr) options.bench_name = ctx.scenario->name;
   return options;
@@ -248,6 +256,28 @@ int RunScenarioMain(const std::string& scenario_name, int argc,
       overrides.emplace_back(assignment.substr(0, eq),
                              assignment.substr(eq + 1));
     }
+
+    // Resolve the kernel knobs the run will actually execute under
+    // (scenario base + --set overrides; RunScenario itself validates the
+    // overrides, this is presentation only) so the run header and the
+    // report metadata name the configuration the numbers belong to.
+    desp::EventQueueKind kernel_queue = scenario.base.system.event_queue;
+    bool kernel_lane = scenario.base.system.fast_lane;
+    for (const auto& [name, value] : overrides) {
+      if (name == "event_queue") {
+        kernel_queue = desp::ParseEventQueueKind(value);
+      } else if (name == "fast_lane") {
+        std::string lower = value;
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        kernel_lane = lower == "true" || lower == "yes" || lower == "on" ||
+                      lower == "1";
+      }
+    }
+    options.event_queue = kernel_queue;
+    options.fast_lane = kernel_lane;
+    std::cout << "[kernel] event_queue=" << desp::ToString(kernel_queue)
+              << " fast_lane=" << (kernel_lane ? "on" : "off") << "\n";
 
     BenchRecorder::Instance().Configure(options);
     exp::ScenarioOptions scenario_options;

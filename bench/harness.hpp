@@ -53,6 +53,10 @@ struct RunOptions {
   /// Kernel event-list backend for the simulation runs; results are
   /// bit-identical across backends, only wall clock changes.
   desp::EventQueueKind event_queue = desp::EventQueueKind::kBinaryHeap;
+  /// Zero-delay fast-lane state (`fast_lane` parameter); like the
+  /// backend choice it is a pure wall-clock knob, recorded into the
+  /// report so perf numbers are attributable to a kernel configuration.
+  bool fast_lane = true;
   bool csv = false;
   std::string bench_name;  ///< derived from argv[0] ("fig06_...")
   std::string json;        ///< output path; empty = disabled

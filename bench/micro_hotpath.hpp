@@ -1,0 +1,39 @@
+/// \file micro_hotpath.hpp
+/// \brief The zero-delay fast-lane hot-path micro bench as a catalog
+/// scenario.
+///
+/// Measures the contention-regime hot path of `desp::Scheduler` — the
+/// zero-delay continuation storms the concurrency-control stack emits
+/// (lock grant -> operation -> release at one timestamp) — against an
+/// embedded verbatim copy of the pre-fast-lane heap-only scheduler, so
+/// the speedup column is measured against the real predecessor, not
+/// remembered.  Two legs:
+///
+///   storm    ~94% zero-delay continuations (every 16th hop is an I/O
+///            completion that advances the clock) — the lane's target
+///   control  strictly positive delays — the lane never engages and the
+///            bench gates on "no regression"
+///
+/// Every cell is digest-checked (SetTraceHook FNV-1a over executed
+/// event keys) across baseline / lane-off / lane-on before timing; the
+/// scenario fails on divergence.  Speedups are paired per trial
+/// (baseline and lane timed back-to-back, ratio tallied), so machine
+/// noise cancels instead of inflating the CI.  Runs through the
+/// scenario path: `voodb run micro_hotpath` and the thin
+/// `bench_micro_hotpath` wrapper both resolve here, and results land in
+/// BENCH_hotpath.json.
+///
+/// Protocol-knob mapping (micro benches have no model config):
+///   --transactions=N   N concurrent users, N*200 events per trial
+///                      (default 1000 = a 200k-event storm)
+///   --replications=N   paired timed trials per leg
+#pragma once
+
+#include "exp/scenario.hpp"
+
+namespace voodb::bench {
+
+/// Run hook of the `micro_hotpath` scenario.
+exp::ScenarioResult RunMicroHotpathScenario(const exp::ScenarioContext& ctx);
+
+}  // namespace voodb::bench

@@ -16,6 +16,7 @@
 #include "exp/executor.hpp"
 #include "harness.hpp"
 #include "micro_cc.hpp"
+#include "micro_hotpath.hpp"
 #include "micro_parallel.hpp"
 #include "micro_scheduler.hpp"
 #include "micro_storage.hpp"
@@ -1127,6 +1128,90 @@ void RegisterCcAbyss() {
   Register(std::move(s));
 }
 
+void RegisterYcsbZipf() {
+  Scenario s;
+  s.name = "ycsb_zipf";
+  s.title = "YCSB-style zipfian read/write mix under 2PL";
+  s.description =
+      "The cloud-serving access pattern the CC literature sweeps: every "
+      "transaction is ycsb_ops_per_txn independent point accesses whose "
+      "keys follow a Zipf law over the object base and whose read/write "
+      "mix is a per-access coin flip.  Sweeps skew x read mix under the "
+      "real lock manager and reports throughput, abort rate and p99 per "
+      "cell.  The workload_source=ycsb_zipf axis this scenario pins down "
+      "is available to every other scenario too — e.g. `voodb run "
+      "cc_abyss --set workload_source=ycsb_zipf --set ycsb_skew=1.2` "
+      "re-runs the contention study on a hotspot workload.";
+  {
+    ocb::OcbParameters wl;
+    wl.num_classes = 10;
+    wl.num_objects = 8000;
+    s.base.workload = wl;
+  }
+  s.base.system.system_class = core::SystemClass::kCentralized;
+  s.base.system.buffer_pages = 512;
+  s.base.system.use_lock_manager = true;
+  s.base.system.num_users = 32;
+  s.base.system.multiprogramming_level = 32;
+  s.base.system.workload_source = core::WorkloadSourceKind::kYcsbZipf;
+  s.swept = {"ycsb_skew", "ycsb_read_pct"};
+  s.run = [](const ScenarioContext& ctx) {
+    const RunOptions options = ToRunOptions(ctx);
+    ScenarioResult result;
+    util::TextTable table({"Skew", "Read pct", "Throughput (tps)",
+                           "Abort rate", "p99 (ms)", "Restarts"});
+    for (const double skew : {0.0, 0.9, 1.2}) {
+      for (const double read_pct : {0.5, 0.95}) {
+        // ycsb_* tunables ride on the object base's parameter block, so
+        // the base is regenerated per cell (structure params are
+        // unchanged — the object graph is identical every time).
+        ocb::OcbParameters wl = ctx.config.workload;
+        wl.ycsb_skew = skew;
+        wl.ycsb_read_pct = read_pct;
+        const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
+        const auto metrics = ReplicateMetrics(
+            options, options.seed,
+            [&](uint64_t seed, desp::MetricSink& sink) {
+              core::VoodbSystem sys(ctx.config.system, &base, nullptr, seed);
+              // Substituted by workload_source=ycsb_zipf inside Drive.
+              ocb::WorkloadGenerator gen(&base,
+                                         desp::RandomStream(seed).Derive(1));
+              const core::PhaseMetrics m =
+                  sys.RunTransactions(gen, options.transactions);
+              const double attempts = static_cast<double>(
+                  m.transactions + m.transaction_restarts);
+              sink.Observe("throughput_tps", m.ThroughputTps());
+              sink.Observe("abort_rate",
+                           attempts == 0.0
+                               ? 0.0
+                               : static_cast<double>(m.transaction_restarts) /
+                                     attempts);
+              sink.Observe("p99_ms", m.ResponseQuantileMs(0.99));
+              sink.Observe("restarts",
+                           static_cast<double>(m.transaction_restarts));
+            });
+        const std::string x = util::FormatDouble(skew, 1) + "/" +
+                              util::FormatDouble(read_pct, 2);
+        for (const auto& [metric, estimate] : metrics) {
+          Note(result, "ycsb", x, metric, estimate);
+        }
+        table.AddRow({util::FormatDouble(skew, 1),
+                      util::FormatDouble(read_pct, 2),
+                      WithCi(metrics.at("throughput_tps"), 2),
+                      util::FormatDouble(metrics.at("abort_rate").mean, 3),
+                      util::FormatDouble(metrics.at("p99_ms").mean, 1),
+                      util::FormatDouble(metrics.at("restarts").mean, 0)});
+      }
+    }
+    PrintTable(ctx, ctx.scenario->title, table,
+               "Expectation: contention — abort rate and p99 — rises with "
+               "skew and with the write fraction; at skew 0 the mix is "
+               "uniform and aborts stay near zero.");
+    return result;
+  };
+  Register(std::move(s));
+}
+
 // --- Micro benches -----------------------------------------------------------
 
 void RegisterMicroBenches() {
@@ -1176,6 +1261,24 @@ void RegisterMicroBenches() {
         "--replications=N timed trials.  Model parameters are not used.";
     s.system_config_used = false;
     s.run = RunMicroSchedulerScenario;
+    Register(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "micro_hotpath";
+    s.title = "Micro: zero-delay fast lane vs embedded heap-only baseline";
+    s.description =
+        "The contention-regime hot path: a ~94% zero-delay continuation "
+        "storm and a strictly-positive-delay control, each timed as "
+        "paired trials of the fast-lane scheduler against an embedded "
+        "verbatim copy of the pre-lane heap-only kernel.  Every cell is "
+        "digest-checked (baseline vs lane-off vs lane-on executed event "
+        "keys) before timing and the scenario fails on divergence.  "
+        "Protocol knobs: --transactions=N users (N*200 events per "
+        "trial), --replications=N paired trials.  Model parameters are "
+        "not used.";
+    s.system_config_used = false;
+    s.run = RunMicroHotpathScenario;
     Register(std::move(s));
   }
   {
@@ -1358,6 +1461,7 @@ void RegisterAll() {
   RegisterShardScale();
   RegisterFarmSpeedup();
   RegisterCcAbyss();
+  RegisterYcsbZipf();
   RegisterMicroBenches();
   RegisterTraceScenarios();
 }

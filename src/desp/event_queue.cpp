@@ -76,6 +76,8 @@ class DaryHeapQueue final : public EventQueue {
 
   void Clear() override { heap_.clear(); }
 
+  void Reserve(size_t events) override { heap_.reserve(events); }
+
  private:
   void SiftUp(size_t i) {
     QueuedEvent moving = heap_[i];

@@ -91,6 +91,12 @@ class EventQueue {
   bool Empty() const { return Size() == 0; }
 
   virtual void Clear() = 0;
+
+  /// Hints that up to `events` entries will be pending at once so the
+  /// backend can pre-size its storage.  Never changes ordering; the
+  /// default is a no-op for backends without a useful notion of
+  /// capacity (the calendar queue sizes its buckets from population).
+  virtual void Reserve(size_t events) { (void)events; }
 };
 
 /// Creates a backend instance.

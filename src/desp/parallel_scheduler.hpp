@@ -27,6 +27,13 @@
 /// timing — the execution is bit-identical to a 1-thread run at any
 /// thread count: same event keys, same clocks, same per-partition seq
 /// assignment.  The farm's identity contract extends to single runs.
+///
+/// The scheduler's zero-delay fast lane composes with the protocol
+/// unchanged: `NextEventTime`/`RunWindow` are lane-aware, and a lane
+/// event whose timestamp sits at or past a window's `end` (possible when
+/// another partition's earlier events defined the window start) waits
+/// for a window that strictly covers it — exactly as a queued event
+/// would.
 #pragma once
 
 #include <cstdint>

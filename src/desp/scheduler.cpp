@@ -32,7 +32,19 @@ EventHandle Scheduler::ScheduleAt(SimTime when, Action action, int priority) {
   record.cancelled = false;
   record.in_queue = true;
   record.tag = current_tag_;
-  queue_->Push(QueuedEvent{record.key, slot});
+  if (lane_enabled_ && when == now_) {
+    // Zero-delay fast lane: all lane entries share time == now_, so a
+    // per-priority FIFO ring preserves the (time, priority, seq) order
+    // without touching the O(log n) queue.  The lane drains before the
+    // clock can advance (see PopNext), so the time never goes stale.
+    record.in_lane = true;
+    LanePush(priority, slot);
+    ++stats_.lane_pushes;
+  } else {
+    record.in_lane = false;
+    queue_->Push(QueuedEvent{record.key, slot});
+    ++stats_.heap_pushes;
+  }
   ++pending_;
   EventHandle handle;
   handle.scheduler_ = this;
@@ -66,12 +78,21 @@ bool Scheduler::Cancel(EventHandle& handle) {
   record.cancelled = true;
   record.action.Reset();  // release captured resources eagerly
   --pending_;
-  ++cancelled_in_queue_;
   // Lazily-deleted entries are only skimmed when they reach the front of
-  // the queue; without a bound, cancel-heavy workloads (re-armed
-  // timeouts) bloat the event list forever.  Rebuild it once the dead
-  // entries outnumber the live ones.
-  if (cancelled_in_queue_ * 2 > queue_->Size()) Compact();
+  // their structure; without a bound, cancel-heavy workloads (re-armed
+  // timeouts) bloat the event list forever.  Rebuild whichever structure
+  // holds the event once its dead entries outnumber its live ones.
+  // Lane-resident events stay cancellable under the same contract: they
+  // are skimmed at the ring head (LaneHead) or dropped by CompactLane,
+  // never executed — and the per-structure bound keeps the documented
+  // QueueEntries() < 2 * PendingEvents() + 1 invariant intact.
+  if (record.in_lane) {
+    ++lane_cancelled_;
+    if (lane_cancelled_ * 2 > lane_size_) CompactLane();
+  } else {
+    ++cancelled_in_queue_;
+    if (cancelled_in_queue_ * 2 > queue_->Size()) Compact();
+  }
   return true;
 }
 
@@ -108,41 +129,163 @@ void Scheduler::Compact() {
   }
   cancelled_in_queue_ = 0;
   for (const QueuedEvent& event : live) queue_->Push(event);
+  ++stats_.compactions;
 }
 
 void Scheduler::SkimCancelled() {
+  if (cancelled_in_queue_ == 0) return;  // the common, branch-only case
   while (!queue_->Empty()) {
     const QueuedEvent min = queue_->Min();
     if (!arena_[min.slot].cancelled) return;
     queue_->PopMin();
     FreeSlot(min.slot);
     --cancelled_in_queue_;
+    ++stats_.skims;
   }
 }
 
-bool Scheduler::Step() {
-  for (;;) {
-    if (queue_->Empty()) return false;
-    const QueuedEvent event = queue_->PopMin();
-    EventRecord& record = arena_[event.slot];
-    if (record.cancelled) {
-      FreeSlot(event.slot);
-      --cancelled_in_queue_;
-      continue;
+void Scheduler::LanePush(int priority, uint32_t slot) {
+  LaneRing* ring = nullptr;
+  for (LaneRing& candidate : lanes_) {
+    if (candidate.priority == priority) {
+      ring = &candidate;
+      break;
     }
-    --pending_;
-    const SimTime advance = event.key.time - now_;
-    now_ = event.key.time;
-    const uint16_t tag = record.tag;
-    current_tag_ = tag;  // events scheduled by the action inherit it
-    Action action = std::move(record.action);
-    FreeSlot(event.slot);  // the action may recycle the slot immediately
-    if (trace_ != nullptr) trace_(trace_ctx_, event.key);
-    if (profile_ != nullptr) profile_(profile_ctx_, tag, now_, advance);
-    ++executed_;
-    action();
+  }
+  if (ring == nullptr) {
+    // Rings stay sorted by priority descending so the first ring with a
+    // live head is the lane minimum.  Workloads use a handful of
+    // distinct priorities, so the linear scan stays in one cache line.
+    auto it = lanes_.begin();
+    while (it != lanes_.end() && it->priority > priority) ++it;
+    ring = &*lanes_.insert(it, LaneRing{priority, {}, 0, 0});
+  }
+  if (ring->tail - ring->head == ring->slots.size()) {
+    GrowRing(*ring, ring->slots.size() + 1);
+  }
+  ring->slots[ring->tail & (ring->slots.size() - 1)] = slot;
+  ++ring->tail;
+  ++lane_size_;
+}
+
+void Scheduler::GrowRing(LaneRing& ring, size_t min_capacity) {
+  size_t capacity =
+      ring.slots.empty() ? kLaneInitialCapacity : ring.slots.size();
+  while (capacity < min_capacity) capacity *= 2;
+  std::vector<uint32_t> slots(capacity);
+  const size_t count = ring.tail - ring.head;
+  for (size_t i = 0; i < count; ++i) {
+    slots[i] = ring.slots[(ring.head + i) & (ring.slots.size() - 1)];
+  }
+  ring.slots = std::move(slots);
+  ring.head = 0;
+  ring.tail = count;
+}
+
+Scheduler::LaneRing* Scheduler::LaneHead() {
+  for (LaneRing& ring : lanes_) {
+    while (ring.head != ring.tail) {
+      const uint32_t slot = ring.slots[ring.head & (ring.slots.size() - 1)];
+      if (!arena_[slot].cancelled) return &ring;
+      ++ring.head;
+      --lane_size_;
+      --lane_cancelled_;
+      ++stats_.skims;
+      FreeSlot(slot);
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::CompactLane() {
+  for (LaneRing& ring : lanes_) {
+    if (ring.head == ring.tail) continue;
+    const size_t mask = ring.slots.size() - 1;
+    size_t out = ring.head;
+    for (size_t i = ring.head; i != ring.tail; ++i) {
+      const uint32_t slot = ring.slots[i & mask];
+      if (arena_[slot].cancelled) {
+        FreeSlot(slot);
+        --lane_size_;
+      } else {
+        ring.slots[out & mask] = slot;  // in-place, FIFO order preserved
+        ++out;
+      }
+    }
+    ring.tail = out;
+  }
+  lane_cancelled_ = 0;
+  ++stats_.compactions;
+}
+
+bool Scheduler::PopNext(QueuedEvent* out) {
+  LaneRing* ring = lane_size_ > 0 ? LaneHead() : nullptr;
+  if (ring == nullptr) {
+    // Heap-only path: the pre-lane Step() loop, with lazy skimming.
+    for (;;) {
+      if (queue_->Empty()) return false;
+      const QueuedEvent event = queue_->PopMin();
+      if (arena_[event.slot].cancelled) {
+        FreeSlot(event.slot);
+        --cancelled_in_queue_;
+        ++stats_.skims;
+        continue;
+      }
+      ++stats_.heap_pops;
+      *out = event;
+      return true;
+    }
+  }
+  // Merge: the lane head carries time == now_, so it can only lose to a
+  // queue entry at the same timestamp with higher priority or lower seq.
+  // Because the clock only advances through a queue event with a later
+  // time — reachable only once the lane is empty — every lane entry
+  // still satisfies time == now_ when it surfaces here.
+  const uint32_t slot = ring->slots[ring->head & (ring->slots.size() - 1)];
+  const EventKey lane_key = arena_[slot].key;
+  SkimCancelled();
+  if (!queue_->Empty() && FiresBefore(queue_->Min().key, lane_key)) {
+    *out = queue_->PopMin();
+    ++stats_.heap_pops;
     return true;
   }
+  ++ring->head;
+  --lane_size_;
+  ++stats_.lane_pops;
+  *out = QueuedEvent{lane_key, slot};
+  return true;
+}
+
+bool Scheduler::PeekNextTime(SimTime* time) {
+  LaneRing* ring = lane_size_ > 0 ? LaneHead() : nullptr;
+  if (ring != nullptr) {
+    // == Now(), which is <= every queue entry, so the lane head time is
+    // the merged minimum whenever the lane is non-empty.
+    *time = arena_[ring->slots[ring->head & (ring->slots.size() - 1)]].key.time;
+    return true;
+  }
+  SkimCancelled();
+  if (queue_->Empty()) return false;
+  *time = queue_->Min().key.time;
+  return true;
+}
+
+bool Scheduler::Step() {
+  QueuedEvent event;
+  if (!PopNext(&event)) return false;
+  EventRecord& record = arena_[event.slot];
+  --pending_;
+  const SimTime advance = event.key.time - now_;
+  now_ = event.key.time;
+  const uint16_t tag = record.tag;
+  current_tag_ = tag;  // events scheduled by the action inherit it
+  Action action = std::move(record.action);
+  FreeSlot(event.slot);  // the action may recycle the slot immediately
+  if (trace_ != nullptr) trace_(trace_ctx_, event.key);
+  if (profile_ != nullptr) profile_(profile_ctx_, tag, now_, advance);
+  ++executed_;
+  action();
+  return true;
 }
 
 void Scheduler::Run() {
@@ -155,8 +298,11 @@ uint64_t Scheduler::RunWindow(SimTime end) {
   stopped_ = false;
   uint64_t executed = 0;
   while (!stopped_) {
-    SkimCancelled();
-    if (queue_->Empty() || queue_->Min().key.time >= end) break;
+    SimTime next;
+    // The merged peek keeps the window contract lane-aware: lane events
+    // carry time == Now(), which can sit at or past `end` when another
+    // partition's earlier events defined the window — they must wait.
+    if (!PeekNextTime(&next) || next >= end) break;
     Step();
     ++executed;
   }
@@ -164,27 +310,48 @@ uint64_t Scheduler::RunWindow(SimTime end) {
 }
 
 bool Scheduler::HasNextEvent() {
-  SkimCancelled();
-  return !queue_->Empty();
+  SimTime next;
+  return PeekNextTime(&next);
 }
 
 SimTime Scheduler::NextEventTime() {
-  SkimCancelled();
-  VOODB_CHECK_MSG(!queue_->Empty(), "NextEventTime() on an empty event list");
-  return queue_->Min().key.time;
+  SimTime next;
+  VOODB_CHECK_MSG(PeekNextTime(&next),
+                  "NextEventTime() on an empty event list");
+  return next;
 }
 
 void Scheduler::RunUntil(SimTime deadline) {
   stopped_ = false;
   while (!stopped_) {
-    SkimCancelled();
-    if (queue_->Empty()) return;
-    if (queue_->Min().key.time > deadline) {
+    SimTime next;
+    if (!PeekNextTime(&next)) return;
+    if (next > deadline) {
       now_ = deadline;
       return;
     }
     Step();
   }
+}
+
+void Scheduler::Reserve(size_t events) {
+  arena_.reserve(events);
+  queue_->Reserve(events);
+  if (!lane_enabled_ || events == 0) return;
+  // Pre-size the default-priority ring: a same-timestamp burst can
+  // approach the full pending population (every user's decision
+  // continuation lands at one instant under contention).
+  size_t capacity = kLaneInitialCapacity;
+  while (capacity < events) capacity *= 2;
+  for (LaneRing& ring : lanes_) {
+    if (ring.priority == 0) {
+      if (ring.slots.size() < capacity) GrowRing(ring, capacity);
+      return;
+    }
+  }
+  auto it = lanes_.begin();
+  while (it != lanes_.end() && it->priority > 0) ++it;
+  lanes_.insert(it, LaneRing{0, std::vector<uint32_t>(capacity), 0, 0});
 }
 
 }  // namespace voodb::desp

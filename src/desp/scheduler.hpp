@@ -16,6 +16,17 @@
 /// produce bit-identical simulations; pick one with the `kind`
 /// constructor argument (`VoodbConfig::event_queue` at the system level,
 /// `--event-queue=` on the benches).
+///
+/// On top of the pluggable queue sits a *zero-delay fast lane* (a
+/// calendar-queue-style "now bucket"): events scheduled at exactly
+/// `Now()` — the dominant pattern once every object access under a
+/// cc::Protocol fires a same-timestamp decision continuation — go into
+/// per-priority FIFO rings instead of the O(log n) heap.  Because every
+/// lane entry shares `time == Now()`, FIFO order within a ring *is* seq
+/// order, ring priority order breaks the priority tie, and `Step()`
+/// merges the lane head against the heap head with the full
+/// (time, priority desc, seq) comparison — so execution order is
+/// bit-identical with the lane on or off (see SetLaneEnabled).
 #pragma once
 
 #include <cstdint>
@@ -65,6 +76,18 @@ class EventHandle {
   Scheduler* scheduler_ = nullptr;
   uint32_t slot_ = 0;
   uint32_t generation_ = 0;
+};
+
+/// Cheap per-scheduler event-list operation counters, exposed so the
+/// observability layer can register them without adding any hot-path
+/// indirection (each is one `uint64_t` increment).
+struct QueueStats {
+  uint64_t heap_pushes = 0;   ///< entries pushed into the pluggable queue
+  uint64_t heap_pops = 0;     ///< live entries popped from the queue
+  uint64_t lane_pushes = 0;   ///< zero-delay entries taken by the fast lane
+  uint64_t lane_pops = 0;     ///< live entries popped from the fast lane
+  uint64_t skims = 0;         ///< lazily-deleted entries dropped at a head
+  uint64_t compactions = 0;   ///< queue/lane rebuilds triggered by Cancel
 };
 
 /// Discrete-event scheduler: pluggable event list + slab arena + clock.
@@ -125,14 +148,41 @@ class Scheduler {
   /// Total number of events executed since construction.
   uint64_t ExecutedEvents() const { return executed_; }
 
-  /// Event-list entries including lazily-deleted cancelled ones.  The
-  /// scheduler compacts the list whenever cancelled entries outnumber
-  /// live ones, so QueueEntries() < 2 * PendingEvents() + 1 always holds
-  /// after a Cancel.  Exposed for tests and diagnostics.
-  size_t QueueEntries() const { return queue_->Size(); }
+  /// Event-list entries (queue + fast lane) including lazily-deleted
+  /// cancelled ones.  The scheduler compacts each structure whenever its
+  /// cancelled entries outnumber its live ones, so
+  /// QueueEntries() < 2 * PendingEvents() + 1 always holds after a
+  /// Cancel.  Exposed for tests and diagnostics.
+  size_t QueueEntries() const { return queue_->Size() + lane_size_; }
+
+  /// Fast-lane entries including lazily-deleted cancelled ones.
+  /// Exposed for tests and diagnostics.
+  size_t LaneEntries() const { return lane_size_; }
 
   /// The active event-list backend's name ("binary", ...).
   const char* queue_name() const { return queue_->name(); }
+
+  /// Enables or disables the zero-delay fast lane (default: enabled).
+  /// A pure performance knob: execution order is bit-identical either
+  /// way.  Disabling routes future schedules through the pluggable
+  /// queue; events already in the lane drain normally, so the toggle is
+  /// safe at any time.
+  void SetLaneEnabled(bool enabled) { lane_enabled_ = enabled; }
+  bool lane_enabled() const { return lane_enabled_; }
+
+  /// Pre-sizes the slab arena, the queue backend, and the fast lane for
+  /// roughly `events` concurrently pending events, so steady-state runs
+  /// never reallocate on the schedule/fire hot path.  Purely a capacity
+  /// hint; never changes behavior.
+  void Reserve(size_t events);
+
+  /// Capacity of the slab arena (for tests of Reserve).
+  size_t ArenaCapacity() const { return arena_.capacity(); }
+
+  /// Event-list operation counters (see QueueStats).  The cells are
+  /// stable for the scheduler's lifetime, so observability code can
+  /// register pointers to them.
+  const QueueStats& queue_stats() const { return stats_; }
 
   /// Observes every fired event's key, in execution order, before its
   /// action runs.  Used by the kernel bit-identity tests to diff event
@@ -189,21 +239,51 @@ class Scheduler {
     uint32_t generation = 0;
     bool cancelled = false;
     bool in_queue = false;   ///< queued (live or lazily-deleted)
+    bool in_lane = false;    ///< resident in the fast lane, not the queue
     uint16_t tag = 0;        ///< profiling tag (ambient at schedule time)
     uint32_t next_free = 0;  ///< free-list link when not allocated
+  };
+
+  /// One FIFO ring of same-priority fast-lane entries.  `slots` has
+  /// power-of-two capacity; `head`/`tail` are free-running counters
+  /// masked on access, so FIFO position — and therefore seq order, since
+  /// all lane entries share `time == now_` — is preserved across wraps.
+  struct LaneRing {
+    int priority = 0;
+    std::vector<uint32_t> slots;
+    size_t head = 0;
+    size_t tail = 0;
   };
 
   uint32_t AllocSlot();
   void FreeSlot(uint32_t slot);
   bool IsPending(uint32_t slot, uint32_t generation) const;
-  /// Rebuilds the event list keeping only live entries.
+  /// Rebuilds the pluggable queue keeping only live entries.
   void Compact();
   /// Pops lazily-deleted entries off the front of the queue.
   void SkimCancelled();
+  /// Appends `slot` to the ring for `priority`, creating/growing it.
+  void LanePush(int priority, uint32_t slot);
+  /// The ring holding the lane's next live event — the first non-empty
+  /// ring in priority-descending order — skimming lazily-deleted heads
+  /// on the way.  Null when the lane is empty.
+  LaneRing* LaneHead();
+  /// Grows `ring` to a power-of-two capacity >= `min_capacity`,
+  /// preserving FIFO order.
+  static void GrowRing(LaneRing& ring, size_t min_capacity);
+  /// Rewrites every ring in place keeping only live entries (FIFO order
+  /// preserved; the lane analogue of Compact()).
+  void CompactLane();
+  /// Removes and returns the merged (lane vs queue) minimum into `out`;
+  /// false when no live event remains.
+  bool PopNext(QueuedEvent* out);
+  /// Time of the merged next live event; false when none remains.
+  bool PeekNextTime(SimTime* time);
 
   friend class EventHandle;
 
   static constexpr uint32_t kNoSlot = UINT32_MAX;
+  static constexpr size_t kLaneInitialCapacity = 8;
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
@@ -211,6 +291,11 @@ class Scheduler {
   size_t pending_ = 0;
   size_t cancelled_in_queue_ = 0;
   bool stopped_ = false;
+  bool lane_enabled_ = true;
+  std::vector<LaneRing> lanes_;  ///< sorted by priority descending
+  size_t lane_size_ = 0;         ///< lane entries incl. lazily-deleted
+  size_t lane_cancelled_ = 0;
+  QueueStats stats_;
   std::unique_ptr<EventQueue> queue_;
   std::vector<EventRecord> arena_;
   uint32_t free_head_ = kNoSlot;

@@ -94,6 +94,16 @@ struct OcbParameters {
   /// (set semantics) or once per path (bag semantics).
   bool traversal_visits_once = true;
 
+  // --- YCSB-style zipfian mix (workload_source = ycsb_zipf) ----------------
+  /// Zipf exponent of the per-access key draw over the whole base
+  /// (0 = uniform; YCSB's classic hotspot regime is ~0.99).  Rank 0 —
+  /// the lowest OIDs — is hottest.
+  double ycsb_skew = 0.99;
+  /// Probability an individual access is a read; the rest write.
+  double ycsb_read_pct = 0.95;
+  /// Independent object accesses per YCSB transaction.
+  uint32_t ycsb_ops_per_txn = 8;
+
   /// Base RNG seed for object-base generation (workload streams are
   /// derived per replication by the experiment runner).
   uint64_t seed = 1999;

@@ -35,6 +35,8 @@ const char* ToString(WorkloadSourceKind s) {
       return "SYNTHETIC";
     case WorkloadSourceKind::kTrace:
       return "TRACE";
+    case WorkloadSourceKind::kYcsbZipf:
+      return "YCSB_ZIPF";
   }
   return "?";
 }
@@ -50,7 +52,7 @@ void VoodbConfig::Validate() const {
   VOODB_CHECK_MSG(!trace_record || !trace_path.empty(),
                   "parameter 'trace_path' must be set when trace_record "
                   "is enabled");
-  VOODB_CHECK_MSG(workload_source == WorkloadSourceKind::kSynthetic ||
+  VOODB_CHECK_MSG(workload_source != WorkloadSourceKind::kTrace ||
                       !trace_path.empty(),
                   "parameter 'trace_path' must name a recorded trace when "
                   "workload_source is trace");

@@ -35,6 +35,7 @@ const char* ToString(PrefetchPolicy p);
 enum class WorkloadSourceKind {
   kSynthetic,  ///< the stochastic OCB generator (the paper's protocol)
   kTrace,      ///< deterministic replay of a recorded trace (trace_path)
+  kYcsbZipf,   ///< YCSB-style zipfian point accesses (ocb::YcsbZipfWorkload)
 };
 
 const char* ToString(WorkloadSourceKind s);
@@ -50,6 +51,12 @@ struct VoodbConfig {
   /// knob: results are bit-identical under every backend (sweep it with
   /// bench_micro_scheduler or the "event_queue" grid axis).
   desp::EventQueueKind event_queue = desp::EventQueueKind::kBinaryHeap;
+  /// Zero-delay fast lane of the simulation kernel (the "now bucket"):
+  /// events scheduled at exactly the current simulated time bypass the
+  /// event queue through per-priority FIFO rings.  Like event_queue, a
+  /// pure performance knob — execution order is bit-identical either
+  /// way (tests/test_scheduler_lane.cpp holds it to that).
+  bool fast_lane = true;
 
   // --- Buffering Manager ---------------------------------------------------
   uint32_t page_size = 4096;       ///< PGSIZE

@@ -486,9 +486,9 @@ class Builder {
 #if defined(__x86_64__) && defined(__linux__)
 static_assert(sizeof(storage::DiskParameters) == 24,
               "DiskParameters changed: update the parameter registry");
-static_assert(sizeof(VoodbConfig) == 304,
+static_assert(sizeof(VoodbConfig) == 312,
               "VoodbConfig changed: update the parameter registry");
-static_assert(sizeof(ocb::OcbParameters) == 208,
+static_assert(sizeof(ocb::OcbParameters) == 232,
               "OcbParameters changed: update the parameter registry");
 #endif
 
@@ -510,6 +510,9 @@ ParamRegistry::ParamRegistry() {
       .Enum({{"binary_heap", "binary", "heap"},
              {"quaternary_heap", "quaternary", "4ary"},
              {"calendar_queue", "calendar", "bucket"}});
+  b.System("fast_lane", &VoodbConfig::fast_lane,
+           "kernel zero-delay fast lane (now bucket); execution order is "
+           "bit-identical on or off (pure perf knob)");
   b.System("page_size", &VoodbConfig::page_size,
            "PGSIZE: disk page size in bytes")
       .Range(512);
@@ -611,9 +614,10 @@ ParamRegistry::ParamRegistry() {
            "record the run's access trace (txn markers, object and page "
            "accesses) to trace_path");
   b.System("workload_source", &VoodbConfig::workload_source,
-           "transaction stream source: the synthetic OCB generator or a "
-           "recorded trace replayed from trace_path")
-      .Enum({{"synthetic"}, {"trace"}});
+           "transaction stream source: the synthetic OCB generator, a "
+           "recorded trace replayed from trace_path, or YCSB-style "
+           "zipfian point accesses (ycsb_* workload params)")
+      .Enum({{"synthetic"}, {"trace"}, {"ycsb_zipf", "ycsb"}});
   b.SystemString("trace_path", &VoodbConfig::trace_path,
                  "trace file path: output for trace_record, input for "
                  "workload_source=trace");
@@ -735,6 +739,16 @@ ParamRegistry::ParamRegistry() {
   b.Workload("traversal_visits_once",
              &ocb::OcbParameters::traversal_visits_once,
              "hierarchy traversals visit each object at most once");
+  b.Workload("ycsb_skew", &ocb::OcbParameters::ycsb_skew,
+             "Zipf exponent of ycsb_zipf key draws over the whole base "
+             "(0 = uniform)")
+      .Range(0.0);
+  b.Workload("ycsb_read_pct", &ocb::OcbParameters::ycsb_read_pct,
+             "probability a ycsb_zipf access is a read (rest write)")
+      .Range(0.0, 1.0);
+  b.Workload("ycsb_ops_per_txn", &ocb::OcbParameters::ycsb_ops_per_txn,
+             "independent object accesses per ycsb_zipf transaction")
+      .Range(1);
   b.Workload("seed", &ocb::OcbParameters::seed,
              "base RNG seed for object-base generation");
 

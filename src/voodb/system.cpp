@@ -38,6 +38,15 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
   tm_ = std::make_unique<TransactionManagerActor>(
       scheduler_, config_, object_manager_.get(), buffering_.get(),
       clustering_.get(), network_.get());
+  scheduler_->SetLaneEnabled(config_.fast_lane);
+  // Pre-size the kernel for the steady-state event population so
+  // contention-scale runs never reallocate on the schedule/fire hot
+  // path: each user keeps a few events pending (think timer, submit
+  // continuation, I/O completion, hazard timeout) and each pooled
+  // inflight transaction can hold a same-timestamp cc decision
+  // continuation.
+  scheduler_->Reserve(static_cast<size_t>(config_.num_users) * 4 +
+                      tm_->inflight_pool_capacity() * 2 + 64);
   if (config_.disk_fault_prob > 0.0) {
     io_->SetFaultModel(config_.disk_fault_prob, config_.disk_fault_retry_ms,
                        config_.disk_fault_max_retries, rng_.Derive(0xFA17));
@@ -54,6 +63,12 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
   if (config_.workload_source == WorkloadSourceKind::kTrace) {
     trace_workload_ =
         std::make_unique<trace::TraceWorkload>(config_.trace_path);
+  }
+  if (config_.workload_source == WorkloadSourceKind::kYcsbZipf) {
+    // Seeded from the replication stream like the buffer RNG, so every
+    // replication draws an independent but reproducible key sequence.
+    ycsb_workload_ = std::make_unique<ocb::YcsbZipfWorkload>(
+        base_, rng_.Derive(0x59C5B));
   }
   if (config_.trace_record) {
     trace::Header header;
@@ -115,6 +130,18 @@ void VoodbSystem::RegisterMetrics() {
   metrics_.RegisterGauge("sim.executed_events", [this] {
     return static_cast<double>(scheduler_->ExecutedEvents());
   });
+  // Kernel event-list counters: the scheduler already increments these
+  // cells on its hot path, so registering pointers costs nothing.  Note
+  // the heap/lane split is a per-scheduler performance detail — sharded
+  // runs route differently than serial ones — so identity checks compare
+  // simulation state (digests, actor metrics), never sim.queue.*.
+  const desp::QueueStats& qs = scheduler_->queue_stats();
+  metrics_.RegisterCounter("sim.queue.heap_pushes", &qs.heap_pushes);
+  metrics_.RegisterCounter("sim.queue.heap_pops", &qs.heap_pops);
+  metrics_.RegisterCounter("sim.queue.lane_pushes", &qs.lane_pushes);
+  metrics_.RegisterCounter("sim.queue.lane_pops", &qs.lane_pops);
+  metrics_.RegisterCounter("sim.queue.skims", &qs.skims);
+  metrics_.RegisterCounter("sim.queue.compactions", &qs.compactions);
 }
 
 void VoodbSystem::FinishTrace() {
@@ -146,12 +173,15 @@ PhaseMetrics VoodbSystem::RunTransactionsOfKind(ocb::WorkloadSource& workload,
 PhaseMetrics VoodbSystem::Drive(ocb::WorkloadSource& external_workload,
                                 const ocb::TransactionKind* forced_kind,
                                 uint64_t n) {
-  // workload_source = trace substitutes the recorded stream for whatever
-  // generator the caller handed in; every scenario gains trace replay
-  // without touching its run hook.
-  ocb::WorkloadSource& workload = trace_workload_ != nullptr
-                                      ? *trace_workload_
-                                      : external_workload;
+  // workload_source = trace / ycsb_zipf substitutes the configured
+  // stream for whatever generator the caller handed in; every scenario
+  // gains trace replay and the YCSB axis without touching its run hook.
+  ocb::WorkloadSource& workload =
+      trace_workload_ != nullptr
+          ? static_cast<ocb::WorkloadSource&>(*trace_workload_)
+      : ycsb_workload_ != nullptr
+          ? static_cast<ocb::WorkloadSource&>(*ycsb_workload_)
+          : external_workload;
   const Snapshot before = Take();
   if (n == 0) return Delta(before);
 

@@ -24,6 +24,7 @@
 #include "obs/profiler.hpp"
 #include "ocb/object_base.hpp"
 #include "ocb/workload.hpp"
+#include "ocb/ycsb.hpp"
 #include "trace/recorder.hpp"
 #include "trace/workload.hpp"
 #include "trace/writer.hpp"
@@ -165,6 +166,7 @@ class VoodbSystem {
   std::unique_ptr<trace::Writer> trace_writer_;      ///< trace_record
   std::unique_ptr<trace::Recorder> trace_recorder_;  ///< trace_record
   std::unique_ptr<trace::TraceWorkload> trace_workload_;  ///< source=trace
+  std::unique_ptr<ocb::YcsbZipfWorkload> ycsb_workload_;  ///< source=ycsb_zipf
 };
 
 }  // namespace voodb::core

@@ -49,10 +49,11 @@ TEST(ScenarioCatalog, RegistersEveryPaperFigureTableAndAblation) {
       "ablation_placement",  "ablation_sysclass",
       "ablation_vm_model",   "shard_scale",
       "farm_speedup",        "cc_abyss",
-      "micro_parallel",      "micro_cc",
-      "micro_scheduler",     "micro_storage",
-      "trace_mrc",           "fig08_mrc",
-      "micro_trace"};
+      "ycsb_zipf",           "micro_parallel",
+      "micro_cc",
+      "micro_scheduler",     "micro_hotpath",
+      "micro_storage",       "trace_mrc",
+      "fig08_mrc",           "micro_trace"};
   EXPECT_EQ(exp::ScenarioRegistry::Instance().Names(), expected);
 }
 

@@ -1,0 +1,116 @@
+/// \file test_ycsb.cpp
+/// \brief Tests for the YCSB-style zipfian workload source.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ocb/ycsb.hpp"
+#include "voodb/system.hpp"
+
+namespace voodb::ocb {
+namespace {
+
+OcbParameters YcsbParams() {
+  OcbParameters p;
+  p.num_classes = 8;
+  p.num_objects = 500;
+  p.max_refs_per_class = 3;
+  p.seed = 7;
+  p.ycsb_skew = 0.99;
+  p.ycsb_read_pct = 0.95;
+  p.ycsb_ops_per_txn = 8;
+  return p;
+}
+
+TEST(YcsbZipf, EveryTransactionHasOpsPerTxnPointAccesses) {
+  OcbParameters p = YcsbParams();
+  p.ycsb_ops_per_txn = 5;
+  const ObjectBase base = ObjectBase::Generate(p);
+  YcsbZipfWorkload gen(&base, desp::RandomStream(3));
+  for (int i = 0; i < 200; ++i) {
+    const Transaction txn = gen.Next();
+    EXPECT_EQ(txn.kind, TransactionKind::kRandomAccess);
+    ASSERT_EQ(txn.accesses.size(), 5u);
+    EXPECT_EQ(txn.root, txn.accesses.front().oid);
+    for (const ObjectAccess& a : txn.accesses) {
+      EXPECT_LT(a.oid, base.NumObjects());
+    }
+  }
+}
+
+TEST(YcsbZipf, ReadFractionMatchesParameter) {
+  OcbParameters p = YcsbParams();
+  p.ycsb_read_pct = 0.75;
+  const ObjectBase base = ObjectBase::Generate(p);
+  YcsbZipfWorkload gen(&base, desp::RandomStream(5));
+  uint64_t reads = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    for (const ObjectAccess& a : gen.Next().accesses) {
+      ++total;
+      if (!a.is_write) ++reads;
+    }
+  }
+  EXPECT_NEAR(reads / double(total), 0.75, 0.02);
+}
+
+TEST(YcsbZipf, SkewConcentratesAccessesAndZeroSkewIsUniform) {
+  const auto hottest_share = [](double skew) {
+    OcbParameters p = YcsbParams();
+    p.ycsb_skew = skew;
+    const ObjectBase base = ObjectBase::Generate(p);
+    YcsbZipfWorkload gen(&base, desp::RandomStream(9));
+    std::map<Oid, uint64_t> counts;
+    uint64_t total = 0;
+    for (int i = 0; i < 3000; ++i) {
+      for (const ObjectAccess& a : gen.Next().accesses) {
+        ++counts[a.oid];
+        ++total;
+      }
+    }
+    uint64_t max = 0;
+    for (const auto& [oid, n] : counts) max = std::max(max, n);
+    return max / double(total);
+  };
+  const double uniform = hottest_share(0.0);
+  const double skewed = hottest_share(1.2);
+  // Uniform: ~1/500 per object.  A 1.2-skew Zipf puts a large multiple
+  // of that on the hottest key.
+  EXPECT_LT(uniform, 0.02);
+  EXPECT_GT(skewed, uniform * 5);
+}
+
+TEST(YcsbZipf, DeterministicInSeedAndKindRequestIsIgnored) {
+  const ObjectBase base = ObjectBase::Generate(YcsbParams());
+  YcsbZipfWorkload a(&base, desp::RandomStream(21));
+  YcsbZipfWorkload b(&base, desp::RandomStream(21));
+  for (int i = 0; i < 50; ++i) {
+    const Transaction ta = a.Next();
+    const Transaction tb = b.NextOfKind(TransactionKind::kHierarchyTraversal);
+    ASSERT_EQ(ta.accesses.size(), tb.accesses.size());
+    EXPECT_EQ(tb.kind, TransactionKind::kRandomAccess);
+    for (size_t j = 0; j < ta.accesses.size(); ++j) {
+      EXPECT_EQ(ta.accesses[j].oid, tb.accesses[j].oid);
+      EXPECT_EQ(ta.accesses[j].is_write, tb.accesses[j].is_write);
+    }
+  }
+}
+
+TEST(YcsbZipf, SystemSubstitutesTheSourceForTheCallersGenerator) {
+  const ObjectBase base = ObjectBase::Generate(YcsbParams());
+  core::VoodbConfig cfg;
+  cfg.system_class = core::SystemClass::kCentralized;
+  cfg.page_size = 1024;
+  cfg.buffer_pages = 16;
+  cfg.multiprogramming_level = 2;
+  cfg.workload_source = core::WorkloadSourceKind::kYcsbZipf;
+  core::VoodbSystem sys(cfg, &base, nullptr, 1);
+  // The caller's generator is ignored; the ycsb stream drives the run.
+  WorkloadGenerator unused(&base, desp::RandomStream(2));
+  const core::PhaseMetrics m = sys.RunTransactions(unused, 40);
+  EXPECT_EQ(m.transactions, 40u);
+  EXPECT_GT(m.object_accesses, 0u);
+  EXPECT_GT(m.sim_time_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace voodb::ocb
