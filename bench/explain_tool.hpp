@@ -1,0 +1,20 @@
+/// \file explain_tool.hpp
+/// \brief The `voodb explain <scenario>` subcommand.
+///
+///   voodb explain cc_abyss [--top K] [--transactions=N] [--seed=N]
+///                 [--set k=v ...]
+///       runs one fixed-seed simulation of the scenario's base
+///       configuration with causal span tracing on and explains where
+///       the tail's response time went: the per-component critical-path
+///       table (lock wait, IO, network, CPU, abort/retry), then the K
+///       slowest transactions' full span trees as text breakdowns, plus
+///       a Perfetto/Chrome-trace JSON export of those exemplars.
+#pragma once
+
+namespace voodb::bench {
+
+/// Entry point for `voodb explain ...`; `argv` starts after the
+/// "explain" word.  Returns a process exit code.
+int RunExplainCommand(int argc, const char* const* argv);
+
+}  // namespace voodb::bench

@@ -499,6 +499,76 @@ void AssertInFlightPooling(util::TextTable& table) {
                 "400 txns", "-", "-", "ok"});
 }
 
+/// The span-tracer overhead gate: the same contended two-phase system run
+/// untraced and traced (sample rate 1).  Tracing is pure metadata, so the
+/// simulation outputs must be identical (enforced) and the wall-clock
+/// ratio must stay small (recorded; CI gates it at 1.03x).  Returns the
+/// best-of-trials traced/untraced ratio.
+double MeasureTracingOverhead(util::TextTable& table, uint64_t trials) {
+  ocb::OcbParameters wl;
+  wl.num_classes = 8;
+  wl.num_objects = 300;
+  wl.root_region = 6;
+  wl.p_update = 0.5;
+  wl.seed = 111;
+  const ocb::ObjectBase base = ocb::ObjectBase::Generate(wl);
+
+  core::VoodbConfig cfg;
+  cfg.system_class = core::SystemClass::kCentralized;
+  cfg.page_size = 1024;
+  cfg.buffer_pages = 128;
+  cfg.multiprogramming_level = 8;
+  cfg.num_users = 8;
+  cfg.use_lock_manager = true;
+  cfg.get_lock_ms = 0.2;
+  cfg.release_lock_ms = 0.2;
+
+  constexpr uint64_t kTxns = 2000;
+  auto run = [&](bool traced, core::PhaseMetrics* out) {
+    core::VoodbConfig cell = cfg;
+    cell.trace_spans = traced;
+    cell.trace_sample_rate = 1.0;
+    core::VoodbSystem sys(cell, &base, nullptr, /*seed=*/7);
+    ocb::WorkloadGenerator gen(&base, desp::RandomStream(7).Derive(1));
+    return WallMs([&] { *out = sys.RunTransactions(gen, kTxns); });
+  };
+
+  double untraced_wall = 0.0;
+  double traced_wall = 0.0;
+  core::PhaseMetrics untraced;
+  core::PhaseMetrics traced;
+  for (uint64_t t = 0; t < trials; ++t) {
+    core::PhaseMetrics m;
+    const double off = run(false, &m);
+    if (t == 0 || off < untraced_wall) untraced_wall = off;
+    untraced = m;
+    const double on = run(true, &m);
+    if (t == 0 || on < traced_wall) traced_wall = on;
+    traced = m;
+  }
+  VOODB_CHECK_MSG(
+      traced.sim_time_ms == untraced.sim_time_ms &&
+          traced.transactions == untraced.transactions &&
+          traced.transaction_restarts == untraced.transaction_restarts &&
+          traced.total_ios == untraced.total_ios,
+      "span tracing perturbed the simulation: traced "
+          << traced.sim_time_ms << " ms / " << traced.total_ios
+          << " IOs vs untraced " << untraced.sim_time_ms << " ms / "
+          << untraced.total_ios << " IOs");
+  const double ratio =
+      untraced_wall <= 0.0 ? 1.0 : traced_wall / untraced_wall;
+  RecordEstimate("tracing", "micro_cc", "untraced_wall_ms",
+                 Estimate{untraced_wall, 0.0});
+  RecordEstimate("tracing", "micro_cc", "traced_wall_ms",
+                 Estimate{traced_wall, 0.0});
+  RecordEstimate("tracing", "micro_cc", "wall_ratio", Estimate{ratio, 0.0});
+  table.AddRow({"span_tracing", util::FormatDouble(traced_wall, 2),
+                std::to_string(traced.transactions), "-",
+                util::FormatDouble(traced.sim_time_ms, 1),
+                util::FormatDouble(ratio, 3) + "x"});
+  return ratio;
+}
+
 }  // namespace
 
 exp::ScenarioResult RunMicroCcScenario(const exp::ScenarioContext& ctx) {
@@ -613,6 +683,8 @@ exp::ScenarioResult RunMicroCcScenario(const exp::ScenarioContext& ctx) {
 
   AssertInFlightPooling(table);
   result["pooling/inflight/ok/mean"] = 1.0;
+  result["tracing/micro_cc/wall_ratio/mean"] =
+      MeasureTracingOverhead(table, trials);
 
   std::cout << "== Concurrency-control protocol overhead (" << params.users
             << " users x " << params.txns_per_user << " txns, "
@@ -629,7 +701,10 @@ exp::ScenarioResult RunMicroCcScenario(const exp::ScenarioContext& ctx) {
                "simulated time and lock counters exactly (enforced — the "
                "scenario throws otherwise).  Wall times are best-of-trials; "
                "inflight_pool is the Transaction Manager slot-pool witness "
-               "(bounded by concurrency, zero live after drain).\n";
+               "(bounded by concurrency, zero live after drain); "
+               "span_tracing is the traced/untraced wall-clock ratio on an "
+               "identical system run (same simulation outputs enforced; CI "
+               "gates the ratio).\n";
   return result;
 }
 

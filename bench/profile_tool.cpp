@@ -46,7 +46,8 @@ int Profile(const std::string& scenario_name, int argc,
       "set", "override a model parameter (name=value, repeatable)");
   const std::string trace_path = args.GetString(
       "trace", "PROFILE_" + scenario_name + ".trace.json",
-      "Chrome-trace output (chrome://tracing); \"off\" disables");
+      "Chrome-trace output (chrome://tracing); \"off\" disables; an "
+      "explicit --set profile_path wins when --trace is not given");
   const std::string metrics_path = args.GetString(
       "metrics", "PROFILE_" + scenario_name + ".metrics.json",
       "metric-snapshot JSON output; \"off\" disables");
@@ -75,8 +76,14 @@ int Profile(const std::string& scenario_name, int argc,
         assignment.substr(0, eq), assignment.substr(eq + 1));
   }
   config.system.observe = true;
-  config.system.profile_path =
-      (trace_path == "off" || trace_path == "none") ? "" : trace_path;
+  // Compose with `--set profile_path=...` (and any scenario base value):
+  // the --trace flag only overrides when explicitly given, and "off"
+  // disables the timeline regardless of where the path came from.
+  if (trace_path == "off" || trace_path == "none") {
+    config.system.profile_path.clear();
+  } else if (args.Provided("trace") || config.system.profile_path.empty()) {
+    config.system.profile_path = trace_path;
+  }
   config.system.Validate();
   config.workload.Validate();
 

@@ -1032,7 +1032,8 @@ void RegisterCcAbyss() {
         cc::ProtocolKind::kOcc};
 
     util::TextTable table({"NUSERS", "Protocol", "Throughput (tps)",
-                           "Abort rate", "p99 (ms)", "Restarts"});
+                           "Abort rate", "p99 (ms)", "Lock p99", "IO p99",
+                           "Retry", "Restarts"});
     for (const uint32_t users : {16u, 64u, 256u, 1024u, 4096u}) {
       if (users > ctx.config.system.num_users) continue;  // --set cap
       for (const cc::ProtocolKind kind : kProtocols) {
@@ -1055,13 +1056,27 @@ void RegisterCcAbyss() {
         const double p99 = m.ResponseQuantileMs(0.99);
         const std::string x = std::to_string(users);
         const std::string name = cc::ToString(kind);
+        // Critical-path attribution: where the p99 actually went (lock
+        // waits vs disk vs abort/redo work), from the span tracer's
+        // per-component histograms.
+        const obs::ComponentHistograms& comp = m.component_histograms;
+        const double lock_wait_p99 = comp.lock_wait.Quantile(0.99);
+        const double io_p99 = comp.io.Quantile(0.99);
+        const double retry_mean = comp.retry.mean();
         Note(result, "throughput", x, name,
              Estimate{m.ThroughputTps(), 0.0});
         Note(result, "abort_rate", x, name, Estimate{abort_rate, 0.0});
         Note(result, "p99_ms", x, name, Estimate{p99, 0.0});
+        Note(result, "lock_wait_p99_ms", x, name,
+             Estimate{lock_wait_p99, 0.0});
+        Note(result, "io_p99_ms", x, name, Estimate{io_p99, 0.0});
+        Note(result, "retry_ms", x, name, Estimate{retry_mean, 0.0});
         table.AddRow({x, name, util::FormatDouble(m.ThroughputTps(), 2),
                       util::FormatDouble(abort_rate, 3),
                       util::FormatDouble(p99, 1),
+                      util::FormatDouble(lock_wait_p99, 1),
+                      util::FormatDouble(io_p99, 1),
+                      util::FormatDouble(retry_mean, 1),
                       std::to_string(m.transaction_restarts)});
       }
     }
@@ -1159,7 +1174,8 @@ void RegisterYcsbZipf() {
     const RunOptions options = ToRunOptions(ctx);
     ScenarioResult result;
     util::TextTable table({"Skew", "Read pct", "Throughput (tps)",
-                           "Abort rate", "p99 (ms)", "Restarts"});
+                           "Abort rate", "p99 (ms)", "Lock p99", "IO p99",
+                           "Retry", "Restarts"});
     for (const double skew : {0.0, 0.9, 1.2}) {
       for (const double read_pct : {0.5, 0.95}) {
         // ycsb_* tunables ride on the object base's parameter block, so
@@ -1189,18 +1205,27 @@ void RegisterYcsbZipf() {
               sink.Observe("p99_ms", m.ResponseQuantileMs(0.99));
               sink.Observe("restarts",
                            static_cast<double>(m.transaction_restarts));
+              // Per-component critical-path breakdown (span tracer).
+              const obs::ComponentHistograms& comp = m.component_histograms;
+              sink.Observe("lock_wait_p99_ms",
+                           comp.lock_wait.Quantile(0.99));
+              sink.Observe("io_p99_ms", comp.io.Quantile(0.99));
+              sink.Observe("retry_ms", comp.retry.mean());
             });
         const std::string x = util::FormatDouble(skew, 1) + "/" +
                               util::FormatDouble(read_pct, 2);
         for (const auto& [metric, estimate] : metrics) {
           Note(result, "ycsb", x, metric, estimate);
         }
-        table.AddRow({util::FormatDouble(skew, 1),
-                      util::FormatDouble(read_pct, 2),
-                      WithCi(metrics.at("throughput_tps"), 2),
-                      util::FormatDouble(metrics.at("abort_rate").mean, 3),
-                      util::FormatDouble(metrics.at("p99_ms").mean, 1),
-                      util::FormatDouble(metrics.at("restarts").mean, 0)});
+        table.AddRow(
+            {util::FormatDouble(skew, 1), util::FormatDouble(read_pct, 2),
+             WithCi(metrics.at("throughput_tps"), 2),
+             util::FormatDouble(metrics.at("abort_rate").mean, 3),
+             util::FormatDouble(metrics.at("p99_ms").mean, 1),
+             util::FormatDouble(metrics.at("lock_wait_p99_ms").mean, 1),
+             util::FormatDouble(metrics.at("io_p99_ms").mean, 1),
+             util::FormatDouble(metrics.at("retry_ms").mean, 1),
+             util::FormatDouble(metrics.at("restarts").mean, 0)});
       }
     }
     PrintTable(ctx, ctx.scenario->title, table,

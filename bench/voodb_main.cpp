@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "exp/scenario.hpp"
+#include "explain_tool.hpp"
 #include "harness.hpp"
 #include "profile_tool.hpp"
 #include "scenarios.hpp"
@@ -53,10 +54,15 @@ int Usage(std::ostream& os, int code) {
         "                                 per-actor simulated-time\n"
         "                                 breakdown, latency percentiles,\n"
         "                                 chrome://tracing timeline and\n"
-        "                                 metric-snapshot JSON\n\n"
+        "                                 metric-snapshot JSON\n"
+        "  voodb explain <scenario> [--top K] [--set name=value ...]\n"
+        "                                 explain tail latency: critical-\n"
+        "                                 path breakdown per component,\n"
+        "                                 plus the K slowest transactions'\n"
+        "                                 span trees (text + Perfetto)\n\n"
         "Run `voodb run <scenario> --help` for the run flags, `voodb "
         "trace --help` for the trace workflow, `voodb profile --help` "
-        "for the profiler.\n";
+        "for the profiler, `voodb explain --help` for tail analysis.\n";
   return code;
 }
 
@@ -184,6 +190,9 @@ int main(int argc, char** argv) {
     }
     if (command == "profile") {
       return voodb::bench::RunProfileCommand(argc - 1, argv + 1);
+    }
+    if (command == "explain") {
+      return voodb::bench::RunExplainCommand(argc - 1, argv + 1);
     }
     if (command == "run") {
       if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {

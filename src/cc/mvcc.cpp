@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/spans.hpp"
+
 namespace voodb::cc {
 
 Mvcc::Mvcc(desp::Scheduler* scheduler) : Protocol(scheduler) {}
@@ -40,6 +42,7 @@ void Mvcc::Access(uint64_t txn, ocb::Oid oid, bool write, Action granted,
     // under first-committer-wins one of them must lose — abort the later
     // writer now instead of letting it run to a doomed validation.
     ++stats_.aborts_write_conflict;
+    NoteAbort(obs::AbortCause::kWriteConflict);
     Fire(std::move(aborted));
     return;
   }
@@ -59,6 +62,7 @@ bool Mvcc::ValidateCommit(uint64_t txn) {
       // First committer wins: someone installed a version after our
       // snapshot; committing ours would silently overwrite it.
       ++stats_.validation_failures;
+      NoteAbort(obs::AbortCause::kValidation);
       return false;
     }
   }

@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/spans.hpp"
+
 namespace voodb::cc {
 namespace {
 
@@ -62,6 +64,7 @@ bool Occ::ValidateCommit(uint64_t txn) {
        index < log_base_ + log_.size(); ++index) {
     if (Intersects(state.reads, log_[index - log_base_])) {
       ++stats_.validation_failures;
+      NoteAbort(obs::AbortCause::kValidation);
       return false;
     }
   }

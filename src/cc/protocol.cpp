@@ -4,6 +4,7 @@
 #include "cc/occ.hpp"
 #include "cc/two_phase.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace voodb::cc {
 
@@ -28,6 +29,10 @@ Protocol::Protocol(desp::Scheduler* scheduler) : scheduler_(scheduler) {
 }
 
 Protocol::~Protocol() = default;
+
+void Protocol::NoteAbort(obs::AbortCause cause) {
+  if (tracer_ != nullptr) tracer_->NoteAbortAmbient(cause);
+}
 
 void Protocol::RegisterMetrics(obs::MetricRegistry& registry) const {
   registry.RegisterCounter("cc.begins", &stats_.begins);

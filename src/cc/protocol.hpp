@@ -37,6 +37,8 @@
 
 namespace voodb::obs {
 class MetricRegistry;
+class SpanTracer;
+enum class AbortCause : uint8_t;
 }  // namespace voodb::obs
 
 namespace voodb::core {
@@ -205,7 +207,15 @@ class Protocol {
   /// Registers the `cc.*` counters and histograms with `registry`.
   virtual void RegisterMetrics(obs::MetricRegistry& registry) const;
 
+  /// Attaches the span tracer (may be null).  Protocols annotate the
+  /// requester's open attempt span with the abort cause at decision time
+  /// — pure metadata, never visible to the simulation.
+  void SetTracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
  protected:
+  /// Annotates the ambient trace (the requester's, at decision sites)
+  /// with `cause`; no-op without a tracer.
+  void NoteAbort(obs::AbortCause cause);
   /// Fires a decision continuation as a zero-delay event (the
   /// LockManager's grant idiom — decisions never run inline, so event
   /// order is independent of the protocol's internal control flow).
@@ -213,6 +223,7 @@ class Protocol {
 
   desp::Scheduler* scheduler_;
   CcStats stats_;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 /// Builds the protocol selected by `kind` on `scheduler`.

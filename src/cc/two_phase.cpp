@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace voodb::cc {
 namespace {
@@ -75,6 +76,7 @@ void NoWait2pl::Access(uint64_t txn, ocb::Oid oid, bool write,
   if (!Compatible(entry, txn, mode)) {
     // The defining move: conflicts are never waited out.
     ++stats_.aborts_no_wait;
+    NoteAbort(obs::AbortCause::kNoWait);
     Fire(std::move(aborted));
     return;
   }
@@ -119,7 +121,13 @@ void NoWait2pl::Abort(uint64_t txn) {
 // ---------------------------------------------------------------------------
 
 WaitDie2pl::WaitDie2pl(desp::Scheduler* scheduler)
-    : Protocol(scheduler), lock_manager_(scheduler) {}
+    : Protocol(scheduler), lock_manager_(scheduler) {
+  // A die decision can fire from another transaction's release (the
+  // manager's wait-die re-enforcement); the manager invokes the hook
+  // under the victim's trace context at both decision sites, so the
+  // cause lands on the victim's open attempt.  No-op without a tracer.
+  lock_manager_.SetDieHook([this] { NoteAbort(obs::AbortCause::kWaitDie); });
+}
 
 void WaitDie2pl::Begin(uint64_t txn, uint64_t age) {
   ++stats_.begins;
@@ -130,6 +138,9 @@ void WaitDie2pl::Access(uint64_t txn, ocb::Oid oid, bool write,
                         Action granted, Action aborted) {
   // Pure delegation: the wrapped manager makes exactly the calls the
   // Transaction Manager used to make, so the event stream is unchanged.
+  // Abort causes are annotated by the manager's die hook (see the
+  // constructor), not by wrapping the continuation here — a per-access
+  // std::function wrap costs an allocation on the uncontended path.
   lock_manager_.Acquire(txn, oid, ModeOf(write), std::move(granted),
                         std::move(aborted));
 }
@@ -319,6 +330,7 @@ void DeadlockDetect2pl::Access(uint64_t txn, ocb::Oid oid, bool write,
   }
   if (WouldDeadlock(txn, oid, mode, is_upgrade)) {
     ++stats_.aborts_deadlock;
+    NoteAbort(obs::AbortCause::kDeadlock);
     Fire(std::move(aborted));
     return;
   }

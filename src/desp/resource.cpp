@@ -37,7 +37,8 @@ void Resource::Acquire(Grant on_grant, double priority) {
 void Resource::AcquireAction(Scheduler::Action on_grant, double priority) {
   VOODB_CHECK_MSG(static_cast<bool>(on_grant),
                   "Acquire needs a grant continuation");
-  Waiter w{std::move(on_grant), priority, Now(), next_seq_++};
+  Waiter w{std::move(on_grant), priority, Now(), next_seq_++,
+           scheduler().current_trace()};
   if (busy_ < capacity_) {
     GrantTo(std::move(w));
     return;
@@ -86,6 +87,10 @@ void Resource::GrantTo(Waiter waiter) {
   busy_stat_.Update(Now(), static_cast<double>(busy_));
   wait_times_.Add(Now() - waiter.enqueued_at);
   // Run the continuation as an event so grants never grow the call stack.
+  // The grant event carries the *requester's* trace context: without the
+  // scope it would inherit the releasing event's context (a grant fired
+  // from another transaction's Release would be misattributed).
+  TraceScope trace(&scheduler(), waiter.trace);
   After(0.0, std::move(waiter.on_grant));
 }
 

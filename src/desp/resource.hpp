@@ -81,6 +81,10 @@ class Resource : public Actor {
     double priority;
     SimTime enqueued_at;
     uint64_t seq;
+    /// Ambient trace context of the requester, restored around the grant
+    /// so work done under the resource is attributed to the transaction
+    /// that asked for it, not to whichever event happened to release it.
+    uint32_t trace;
   };
 
   void GrantTo(Waiter waiter);

@@ -32,6 +32,7 @@ EventHandle Scheduler::ScheduleAt(SimTime when, Action action, int priority) {
   record.cancelled = false;
   record.in_queue = true;
   record.tag = current_tag_;
+  record.trace = current_trace_;
   if (lane_enabled_ && when == now_) {
     // Zero-delay fast lane: all lane entries share time == now_, so a
     // per-priority FIFO ring preserves the (time, priority, seq) order
@@ -279,6 +280,7 @@ bool Scheduler::Step() {
   now_ = event.key.time;
   const uint16_t tag = record.tag;
   current_tag_ = tag;  // events scheduled by the action inherit it
+  current_trace_ = record.trace;  // trace context inherits the same way
   Action action = std::move(record.action);
   FreeSlot(event.slot);  // the action may recycle the slot immediately
   if (trace_ != nullptr) trace_(trace_ctx_, event.key);

@@ -221,6 +221,25 @@ class Scheduler {
   }
   uint16_t current_tag() const { return current_tag_; }
 
+  // --- Trace context -------------------------------------------------------
+  //
+  // Alongside the profiling tag, every event carries a 32-bit trace context
+  // (0 = "untraced") stamped from the scheduler's ambient context at
+  // schedule time and restored by Step() before the action runs.  The span
+  // tracer (obs/spans.hpp) uses it to attribute work performed by shared
+  // actors (disk, network) back to the transaction that caused it, across
+  // arbitrarily deep event chains.  Like the tag it is pure metadata: it
+  // never influences ordering, timing, or random streams.
+
+  /// Replaces the ambient trace context stamped onto newly scheduled
+  /// events; returns the previous context so callers can scope the change.
+  uint32_t SetCurrentTrace(uint32_t trace) {
+    const uint32_t previous = current_trace_;
+    current_trace_ = trace;
+    return previous;
+  }
+  uint32_t current_trace() const { return current_trace_; }
+
   /// Observes every dispatched event: its tag, the new clock value, and the
   /// simulated time the clock advanced to reach it (0 for simultaneous
   /// events).  Null (the default) disables profiling at the cost of a single
@@ -241,6 +260,7 @@ class Scheduler {
     bool in_queue = false;   ///< queued (live or lazily-deleted)
     bool in_lane = false;    ///< resident in the fast lane, not the queue
     uint16_t tag = 0;        ///< profiling tag (ambient at schedule time)
+    uint32_t trace = 0;      ///< trace context (ambient at schedule time)
     uint32_t next_free = 0;  ///< free-list link when not allocated
   };
 
@@ -302,6 +322,7 @@ class Scheduler {
   TraceFn trace_ = nullptr;
   void* trace_ctx_ = nullptr;
   uint16_t current_tag_ = 0;
+  uint32_t current_trace_ = 0;
   std::vector<std::string> tag_names_{"untagged"};
   ProfileFn profile_ = nullptr;
   void* profile_ctx_ = nullptr;
@@ -320,6 +341,21 @@ class TagScope {
  private:
   Scheduler* scheduler_;
   uint16_t previous_;
+};
+
+/// RAII scope that sets the scheduler's ambient trace context and restores
+/// the previous one on destruction (the tracing analogue of TagScope).
+class TraceScope {
+ public:
+  TraceScope(Scheduler* scheduler, uint32_t trace)
+      : scheduler_(scheduler), previous_(scheduler->SetCurrentTrace(trace)) {}
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope() { scheduler_->SetCurrentTrace(previous_); }
+
+ private:
+  Scheduler* scheduler_;
+  uint32_t previous_;
 };
 
 }  // namespace voodb::desp

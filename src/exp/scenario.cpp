@@ -88,14 +88,19 @@ ScenarioResult RunScenario(const Scenario& scenario,
   // concurrently on the farm — and every one of them would truncate the
   // same trace_path.  Recording is a single-run affair.
   VOODB_CHECK_MSG(!ctx.config.system.trace_record || options.replications <= 1,
-                  "parameter 'trace_record' records one system per "
-                  "replication into the same trace_path; record a single "
-                  "fixed-seed run with `voodb trace record` instead");
+                  "parameter 'trace_record' conflicts with --replications="
+                      << options.replications
+                      << ": every replication records into the same "
+                         "trace_path; drop --replications (or pass "
+                         "--replications=1), or record a single fixed-seed "
+                         "run with `voodb trace record`");
   VOODB_CHECK_MSG(
       ctx.config.system.profile_path.empty() || options.replications <= 1,
-      "parameter 'profile_path' writes one Chrome trace per replication "
-      "into the same file; profile a single fixed-seed run with "
-      "`voodb profile` instead");
+      "parameter 'profile_path' conflicts with --replications="
+          << options.replications
+          << ": every replication writes the same Chrome-trace file; drop "
+             "--replications (or pass --replications=1), or profile a "
+             "single fixed-seed run with `voodb profile`");
   ctx.config.system.Validate();
   ctx.config.workload.Validate();
   return scenario.run(ctx);

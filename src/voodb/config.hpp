@@ -182,6 +182,17 @@ struct VoodbConfig {
   /// `observe` and enables span capture.  Per system instance like
   /// trace_path, so profile single fixed-seed runs (`voodb profile`).
   std::string profile_path;
+  /// Causal per-transaction tracing (obs/spans.hpp): span trees,
+  /// critical-path component histograms, tail exemplars.  Pure metadata —
+  /// simulation results are bit-identical with tracing on or off.
+  bool trace_spans = true;
+  /// Fraction of transactions traced, decided by a deterministic hash of
+  /// the transaction id (no RNG stream is consumed, so any rate leaves
+  /// the simulation untouched).
+  double trace_sample_rate = 1.0;
+  /// Slowest-K committed transactions whose full span trees are retained
+  /// and exported by `voodb explain`.
+  uint32_t trace_exemplars = 8;
 
   void Validate() const;
 };

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "util/check.hpp"
 
 namespace voodb::core {
@@ -31,12 +32,19 @@ void IoSubsystemActor::ExecuteNext(
     done();
     return;
   }
+  const double requested_at = Now();
   disk_.AcquireAction([this, ios = std::move(ios), index,
-                       done = std::move(done)]() mutable {
+                       done = std::move(done), requested_at]() mutable {
     // Service time is computed at grant time so the head position
     // reflects the actual execution order under contention.
     const double service = disk_model_.IoTime((*ios)[index]) + FaultPenalty();
     service_histogram_.Add(service);
+    if (tracer_ != nullptr) {
+      // The grant runs in the requester's trace context (the resource
+      // restores it), so the leaf lands on the right transaction.
+      tracer_->AmbientLeaf(obs::SpanKind::kIo, (*ios)[index].page,
+                           requested_at, Now() + service);
+    }
     CallIn(service, &IoSubsystemActor::FinishIo, std::move(ios), index,
            std::move(done));
   });

@@ -23,6 +23,7 @@
 
 namespace voodb::obs {
 class MetricRegistry;
+class SpanTracer;
 }  // namespace voodb::obs
 
 namespace voodb::core {
@@ -66,6 +67,12 @@ class IoSubsystemActor : public desp::Actor {
   /// `registry`.
   void RegisterMetrics(obs::MetricRegistry& registry) const;
 
+  /// Attaches/detaches (nullptr) the span tracer: each physical I/O emits
+  /// a disk-IO leaf (queueing + service) against the ambient trace
+  /// context, so the transaction that caused it gets the attribution
+  /// without this actor knowing about transactions.
+  void SetTracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
  private:
   void ExecuteNext(std::shared_ptr<std::vector<storage::PageIo>> ios,
                    size_t index, std::function<void()> done);
@@ -83,6 +90,7 @@ class IoSubsystemActor : public desp::Actor {
   uint64_t transient_faults_ = 0;
   desp::RandomStream fault_rng_{0};
   desp::LogHistogram service_histogram_;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace voodb::core

@@ -128,12 +128,13 @@ void LockManager::Acquire(uint64_t txn, ocb::Oid oid, LockMode mode,
   // conflicting parked waiter (they overtake the whole queue).
   if (!MayWait(entry, txn, mode, entry.waiters.size())) {
     ++stats_.deadlock_aborts;
+    if (die_hook_) die_hook_();  // ambient context is the requester's
     scheduler_->Schedule(0.0, std::move(died));
     return;
   }
   ++stats_.waits;
   Waiter waiter{txn, mode, scheduler_->Now(), std::move(granted),
-                std::move(died)};
+                std::move(died), scheduler_->current_trace()};
   if (is_upgrade) {
     entry.waiters.push_front(std::move(waiter));
   } else {
@@ -201,7 +202,12 @@ void LockManager::WakeWaiters(ocb::Oid oid) {
     txn_it->second.held.push_back(oid);
     stats_.wait_times.Add(scheduler_->Now() - head.enqueued_at);
     stats_.wait_histogram.Add(scheduler_->Now() - head.enqueued_at);
-    scheduler_->Schedule(0.0, std::move(head.granted));
+    {
+      // Wake-ups fire from the releasing transaction's event; restore the
+      // waiter's trace context so downstream work is attributed to it.
+      desp::TraceScope trace(scheduler_, head.trace);
+      scheduler_->Schedule(0.0, std::move(head.granted));
+    }
     entry.waiters.pop_front();
     granted_any = true;
   }
@@ -229,7 +235,11 @@ void LockManager::EnforceWaitDie(ocb::Oid oid) {
     }
     // An older conflicting holder/waiter appeared ahead: the waiter dies.
     ++stats_.deadlock_aborts;
-    scheduler_->Schedule(0.0, std::move(it->died));
+    {
+      desp::TraceScope trace(scheduler_, it->trace);
+      if (die_hook_) die_hook_();
+      scheduler_->Schedule(0.0, std::move(it->died));
+    }
     it = waiters.erase(it);
   }
 }

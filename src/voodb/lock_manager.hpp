@@ -76,6 +76,11 @@ class LockManager {
   /// transaction is forgotten (call BeginTransaction again to restart).
   void ReleaseAll(uint64_t txn);
 
+  /// Called at each wait-die abort decision, under the victim's trace
+  /// context (observability seam: annotates the victim's span tree with
+  /// the abort cause without wrapping every request's continuation).
+  void SetDieHook(std::function<void()> hook) { die_hook_ = std::move(hook); }
+
   /// Locks currently held by `txn`.
   size_t HeldLocks(uint64_t txn) const;
   /// True when `txn` holds a lock on `oid` in at least `mode`.
@@ -102,6 +107,9 @@ class LockManager {
     double enqueued_at;
     std::function<void()> granted;
     std::function<void()> died;
+    /// Requester's ambient trace context, restored around wake/die fires
+    /// so they are attributed to the waiter, not the releasing event.
+    uint32_t trace = 0;
   };
   struct LockEntry {
     std::vector<Holder> holders;
@@ -135,6 +143,7 @@ class LockManager {
   std::unordered_map<ocb::Oid, LockEntry> table_;
   std::unordered_map<uint64_t, TxnState> transactions_;
   LockStats stats_;
+  std::function<void()> die_hook_;
 };
 
 }  // namespace voodb::core

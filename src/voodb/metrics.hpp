@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "desp/histogram.hpp"
+#include "obs/spans.hpp"
 
 namespace voodb::core {
 
@@ -34,6 +35,11 @@ struct PhaseMetrics {
   desp::LogHistogram response_histogram;      ///< per-transaction (ms)
   desp::LogHistogram lock_wait_histogram;     ///< per lock grant (ms)
   desp::LogHistogram disk_service_histogram;  ///< per physical I/O (ms)
+  /// Critical-path decomposition of the phase's committed (sampled)
+  /// transactions: per-component response-time histograms whose per-txn
+  /// values sum exactly to the response time (obs::CriticalPath).  Empty
+  /// unless trace_spans is on.
+  obs::ComponentHistograms component_histograms;
 
   /// Response-time percentile (ms); 0 when no transaction committed.
   double ResponseQuantileMs(double q) const {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "util/check.hpp"
 
 namespace voodb::core {
@@ -23,6 +24,18 @@ void NetworkActor::Transfer(uint64_t bytes, std::function<void()> done) {
   bytes_transferred_ += bytes;
   if (infinite()) {
     done();
+    return;
+  }
+  if (tracer_ != nullptr) {
+    const double requested_at = Now();
+    link_.AcquireFor(TransferTime(bytes),
+                     [this, bytes, requested_at, done = std::move(done)]() {
+                       // Runs in the requester's trace context (resource
+                       // grants restore it; the service wait inherits).
+                       tracer_->AmbientLeaf(obs::SpanKind::kNet, bytes,
+                                            requested_at, Now());
+                       done();
+                     });
     return;
   }
   link_.AcquireFor(TransferTime(bytes), std::move(done));

@@ -16,6 +16,7 @@
 
 namespace voodb::obs {
 class MetricRegistry;
+class SpanTracer;
 }  // namespace voodb::obs
 
 namespace voodb::core {
@@ -38,10 +39,16 @@ class NetworkActor : public desp::Actor {
   /// Registers the link counter and utilization gauge with `registry`.
   void RegisterMetrics(obs::MetricRegistry& registry) const;
 
+  /// Attaches/detaches (nullptr) the span tracer: each transfer emits a
+  /// network leaf (queueing + wire time) against the ambient trace
+  /// context.  Infinite links transfer in zero time and emit nothing.
+  void SetTracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
  private:
   desp::Resource link_;
   double throughput_mbps_;
   uint64_t bytes_transferred_ = 0;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace voodb::core

@@ -486,7 +486,7 @@ class Builder {
 #if defined(__x86_64__) && defined(__linux__)
 static_assert(sizeof(storage::DiskParameters) == 24,
               "DiskParameters changed: update the parameter registry");
-static_assert(sizeof(VoodbConfig) == 312,
+static_assert(sizeof(VoodbConfig) == 336,
               "VoodbConfig changed: update the parameter registry");
 static_assert(sizeof(ocb::OcbParameters) == 232,
               "OcbParameters changed: update the parameter registry");
@@ -643,6 +643,17 @@ ParamRegistry::ParamRegistry() {
   b.SystemString("profile_path", &VoodbConfig::profile_path,
                  "Chrome-trace (chrome://tracing) output path; non-empty "
                  "implies observe and enables span capture");
+  b.System("trace_spans", &VoodbConfig::trace_spans,
+           "causal per-transaction tracing: span trees, critical-path "
+           "component histograms, tail exemplars (voodb explain)");
+  b.System("trace_sample_rate", &VoodbConfig::trace_sample_rate,
+           "fraction of transactions traced, chosen by a deterministic "
+           "txn-id hash (consumes no RNG stream)")
+      .Range(0.0, 1.0);
+  b.System("trace_exemplars", &VoodbConfig::trace_exemplars,
+           "slowest-K committed transactions whose full span trees are "
+           "retained for voodb explain")
+      .Range(0);
 
   // --- Disk (storage::DiskParameters) ---------------------------------------
   b.Disk("disk_search_ms", &storage::DiskParameters::search_ms,

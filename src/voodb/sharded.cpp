@@ -57,6 +57,7 @@ PhaseMetrics MergeShardMetrics(const std::vector<PhaseMetrics>& per_shard) {
     m.response_histogram.Merge(s.response_histogram);
     m.lock_wait_histogram.Merge(s.lock_wait_histogram);
     m.disk_service_histogram.Merge(s.disk_service_histogram);
+    m.component_histograms.Merge(s.component_histograms);
   }
   m.mean_response_ms = m.transactions == 0
                            ? 0.0
@@ -121,12 +122,18 @@ struct ShardedVoodb::ShardDriver {
                0, static_cast<int64_t>(n) - 2))) %
           n;
       const double hop = owner->CrossShardDelayMs();
+      // The global trace id of the transaction that just committed (0 if
+      // it was not sampled): the remote sub-transaction stitches to it.
+      const uint64_t parent =
+          sys->span_tracer() != nullptr
+              ? sys->span_tracer()->last_finished_global_id()
+              : 0;
       sys->network().Transfer(
-          owner->config_.page_size, [this, user, remote, hop] {
+          owner->config_.page_size, [this, user, remote, hop, parent] {
             owner->kernel_->SendTo(shard, remote, hop,
-                                   [this, user, remote, hop] {
+                                   [this, user, remote, hop, parent] {
                                      owner->drivers_[remote]->ServeRemote(
-                                         shard, user, hop);
+                                         shard, user, hop, parent);
                                    });
           });
       return;
@@ -137,10 +144,13 @@ struct ShardedVoodb::ShardDriver {
   /// Runs on the *remote* shard's partition: a forced-kind
   /// sub-transaction through its own Transaction Manager, acked back to
   /// the requesting shard when it commits.
-  void ServeRemote(size_t home, uint32_t user, double hop) {
+  void ServeRemote(size_t home, uint32_t user, double hop, uint64_t parent) {
     ++served_remote;
     ocb::Transaction sub =
         gen->NextOfKind(ocb::TransactionKind::kSimpleTraversal);
+    if (parent != 0) {
+      sys->transaction_manager().SetNextTraceParent(parent);
+    }
     sys->transaction_manager().Submit(
         std::move(sub), [this, home, user, hop] {
           owner->kernel_->SendTo(shard, home, hop, [this, home, user] {
@@ -215,7 +225,8 @@ ShardedVoodb::ShardedVoodb(VoodbConfig config, const ocb::ObjectBase* base,
     shard_config.profile_path.clear();
     shards_.push_back(std::make_unique<VoodbSystem>(
         shard_config, &partitions_[s], nullptr,
-        rng_.Derive(0x57AC0000 + s).seed(), &kernel_->partition(s)));
+        rng_.Derive(0x57AC0000 + s).seed(), &kernel_->partition(s),
+        /*trace_global_id_base=*/static_cast<uint64_t>(s) << 48));
   }
   if (config_.observe || !config_.profile_path.empty()) {
     profiler_ = std::make_unique<obs::SimProfiler>(
@@ -323,6 +334,17 @@ obs::MetricSnapshot ShardedVoodb::MergedMetrics() const {
   obs::MetricSnapshot merged;
   for (const auto& shard : shards_) {
     merged.Merge(shard->metric_registry().Snapshot());
+  }
+  return merged;
+}
+
+std::vector<obs::Exemplar> ShardedVoodb::MergedExemplars() const {
+  std::vector<obs::Exemplar> merged;
+  for (const auto& shard : shards_) {
+    const obs::SpanTracer* tracer = shard->span_tracer();
+    if (tracer == nullptr) continue;
+    merged = obs::MergeExemplars(std::move(merged), tracer->exemplars(),
+                                 config_.trace_exemplars);
   }
   return merged;
 }

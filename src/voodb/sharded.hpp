@@ -83,6 +83,11 @@ class ShardedVoodb {
   /// order — deterministic at any `sim_threads`.
   obs::MetricSnapshot MergedMetrics() const;
 
+  /// Every shard's tail exemplars merged in shard order, keeping the
+  /// `trace_exemplars` slowest — deterministic at any `sim_threads`.
+  /// Empty unless `trace_spans`.
+  std::vector<obs::Exemplar> MergedExemplars() const;
+
   /// The profiler spanning every partition (nullptr unless `observe` or
   /// a `profile_path` is configured); its Table()/Stats() merge
   /// per-partition attribution by tag name.

@@ -9,7 +9,8 @@ namespace voodb::core {
 
 VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
                          std::unique_ptr<cluster::ClusteringPolicy> policy,
-                         uint64_t seed, desp::Scheduler* scheduler)
+                         uint64_t seed, desp::Scheduler* scheduler,
+                         uint64_t trace_global_id_base)
     : config_(config),
       base_(base),
       owned_scheduler_(scheduler == nullptr
@@ -38,6 +39,20 @@ VoodbSystem::VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
   tm_ = std::make_unique<TransactionManagerActor>(
       scheduler_, config_, object_manager_.get(), buffering_.get(),
       clustering_.get(), network_.get());
+  if (config_.trace_spans) {
+    obs::SpanTracer::Options topts;
+    topts.sample_seed = seed;
+    topts.sample_rate = config_.trace_sample_rate;
+    topts.exemplars = config_.trace_exemplars;
+    topts.global_id_base = trace_global_id_base;
+    tracer_ = std::make_unique<obs::SpanTracer>(scheduler_, topts);
+    // At most MULTILVL transactions are admitted (and thus traced) at
+    // once; pre-size the slabs so steady-state tracing never allocates.
+    tracer_->Reserve(config_.multiprogramming_level + 4);
+    tm_->SetTracer(tracer_.get());
+    io_->SetTracer(tracer_.get());
+    network_->SetTracer(tracer_.get());
+  }
   scheduler_->SetLaneEnabled(config_.fast_lane);
   // Pre-size the kernel for the steady-state event population so
   // contention-scale runs never reallocate on the schedule/fire hot
@@ -300,6 +315,7 @@ VoodbSystem::Snapshot VoodbSystem::Take() const {
     s.lock_wait_histogram = tm_->cc_protocol()->wait_histogram();
   }
   s.disk_service_histogram = io_->service_histogram();
+  if (tracer_ != nullptr) s.component_histograms = tracer_->components();
   return s;
 }
 
@@ -328,6 +344,8 @@ PhaseMetrics VoodbSystem::Delta(const Snapshot& before) const {
       after.lock_wait_histogram.DeltaSince(before.lock_wait_histogram);
   m.disk_service_histogram =
       after.disk_service_histogram.DeltaSince(before.disk_service_histogram);
+  m.component_histograms =
+      after.component_histograms.DeltaSince(before.component_histograms);
   // The histogram's tracked max is authoritative (run-cumulative: the
   // per-bucket counts are exact deltas, min/max carry over — see
   // desp::LogHistogram::DeltaSince).

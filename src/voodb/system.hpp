@@ -22,6 +22,7 @@
 #include "desp/scheduler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/spans.hpp"
 #include "ocb/object_base.hpp"
 #include "ocb/workload.hpp"
 #include "ocb/ycsb.hpp"
@@ -54,9 +55,13 @@ class VoodbSystem {
   ///                   one partition of its `desp::ParallelScheduler` so N
   ///                   independent stacks advance under the conservative
   ///                   window protocol.
+  /// \param trace_global_id_base  OR-ed onto transaction ids to form
+  ///                   cross-shard-unique trace identities (shard << 48);
+  ///                   0 for the ordinary single-server model.
   VoodbSystem(VoodbConfig config, const ocb::ObjectBase* base,
               std::unique_ptr<cluster::ClusteringPolicy> policy,
-              uint64_t seed, desp::Scheduler* scheduler = nullptr);
+              uint64_t seed, desp::Scheduler* scheduler = nullptr,
+              uint64_t trace_global_id_base = 0);
 
   /// Finalizes an in-progress access trace (see FinishTrace).
   ~VoodbSystem();
@@ -109,6 +114,10 @@ class VoodbSystem {
   /// The simulation-time profiler (nullptr unless `observe` or a
   /// `profile_path` is configured).
   obs::SimProfiler* profiler() { return profiler_.get(); }
+  /// The causal span tracer (nullptr unless `trace_spans`); exemplars and
+  /// component histograms for `voodb explain` and the sweep tables.
+  obs::SpanTracer* span_tracer() { return tracer_.get(); }
+  const obs::SpanTracer* span_tracer() const { return tracer_.get(); }
 
   /// Counter snapshot for computing phase deltas.  Public so external
   /// drivers (ShardedVoodb) can frame their own phases without going
@@ -129,6 +138,7 @@ class VoodbSystem {
     desp::LogHistogram response_histogram;
     desp::LogHistogram lock_wait_histogram;
     desp::LogHistogram disk_service_histogram;
+    obs::ComponentHistograms component_histograms;
   };
   Snapshot Take() const;
   PhaseMetrics Delta(const Snapshot& before) const;
@@ -160,6 +170,7 @@ class VoodbSystem {
   // --- observability (obs subsystem) ----------------------------------------
   obs::MetricRegistry metrics_;
   std::unique_ptr<obs::SimProfiler> profiler_;
+  std::unique_ptr<obs::SpanTracer> tracer_;
   bool profile_written_ = false;
 
   // --- access tracing (trace subsystem) -------------------------------------

@@ -45,6 +45,7 @@
 
 namespace voodb::obs {
 class MetricRegistry;
+class SpanTracer;
 }  // namespace voodb::obs
 
 namespace voodb::trace {
@@ -98,6 +99,16 @@ class TransactionManagerActor : public desp::Actor {
   /// transaction streams.
   void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
+  /// Attaches/detaches (nullptr) the span tracer; the manager emits the
+  /// structural spans (root, attempts, cc waits, buffer accesses, commit,
+  /// backoffs) and shares the tracer with the protocol for abort-cause
+  /// annotation.  Pure metadata: simulation results are unchanged.
+  void SetTracer(obs::SpanTracer* tracer);
+
+  /// Declares the next submitted transaction a cross-shard sub-transaction
+  /// of `parent_global_id`, stitching its trace to the parent's.
+  void SetNextTraceParent(uint64_t parent_global_id);
+
   /// Registers this actor's counters/histograms (and the protocol's,
   /// when enabled) with `registry` — pointer handles, no update overhead.
   void RegisterMetrics(obs::MetricRegistry& registry) const;
@@ -111,6 +122,8 @@ class TransactionManagerActor : public desp::Actor {
     uint64_t txn_id = 0;          // protocol identity (per attempt)
     uint64_t age_stamp = 0;       // wait-die age (kept across restarts)
     uint64_t attempts = 0;        // 1 + restarts of this transaction
+    uint32_t trace = 0;           // span-tracer context (0 = untraced)
+    double backoff_started = 0.0;  // restart backoff span begin
     std::function<void()> done;
   };
   /// Generation-counted reference into the slot pool.  Continuations
@@ -132,7 +145,11 @@ class TransactionManagerActor : public desp::Actor {
   void FreeInFlight(Handle h);
 
   void ProcessNext(Handle h);
+  /// CPU slice for the access bookkeeping done: emit the span, go on.
+  void OnCpuReady(Handle h, double cpu_start);
   void AccessObject(Handle h);
+  /// Protocol granted the access: emit the cc-wait span, perform it.
+  void OnAccessGranted(Handle h, ocb::ObjectAccess access, double wait_start);
   void PerformAccess(Handle h, ocb::ObjectAccess access);
   void Restart(Handle h);
   /// Backoff elapsed: re-register with the protocol and retry.
@@ -149,6 +166,7 @@ class TransactionManagerActor : public desp::Actor {
   desp::Resource cpu_;           ///< server CPU (locks, object ops, stats)
   std::unique_ptr<cc::Protocol> protocol_;  ///< §5 extension, pluggable
   trace::Recorder* recorder_ = nullptr;
+  obs::SpanTracer* tracer_ = nullptr;
   desp::RandomStream backoff_rng_;
   std::vector<Slot> pool_;
   std::vector<uint32_t> free_slots_;
